@@ -1,0 +1,302 @@
+//! The kernel's 8-byte eBPF instruction encoding, with encoder and
+//! decoder validated against each other (paper §3.4 methodology).
+
+use crate::{AluOp, Insn, JmpOp, Size, Src};
+
+/// One 8-byte encoding slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RawInsn {
+    /// Operation code.
+    pub opcode: u8,
+    /// Destination register (low nibble of the reg byte).
+    pub dst: u8,
+    /// Source register (high nibble of the reg byte).
+    pub src: u8,
+    /// Signed 16-bit offset.
+    pub off: i16,
+    /// Signed 32-bit immediate.
+    pub imm: i32,
+}
+
+const CLASS_LD: u8 = 0x00;
+const CLASS_LDX: u8 = 0x01;
+const CLASS_ST: u8 = 0x02;
+const CLASS_STX: u8 = 0x03;
+const CLASS_ALU: u8 = 0x04;
+const CLASS_JMP: u8 = 0x05;
+const CLASS_JMP32: u8 = 0x06;
+const CLASS_ALU64: u8 = 0x07;
+
+const SRC_X: u8 = 0x08;
+
+fn alu_code(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0x00,
+        AluOp::Sub => 0x10,
+        AluOp::Mul => 0x20,
+        AluOp::Div => 0x30,
+        AluOp::Or => 0x40,
+        AluOp::And => 0x50,
+        AluOp::Lsh => 0x60,
+        AluOp::Rsh => 0x70,
+        AluOp::Neg => 0x80,
+        AluOp::Mod => 0x90,
+        AluOp::Xor => 0xa0,
+        AluOp::Mov => 0xb0,
+        AluOp::Arsh => 0xc0,
+    }
+}
+
+fn alu_op(code: u8) -> Option<AluOp> {
+    Some(match code {
+        0x00 => AluOp::Add,
+        0x10 => AluOp::Sub,
+        0x20 => AluOp::Mul,
+        0x30 => AluOp::Div,
+        0x40 => AluOp::Or,
+        0x50 => AluOp::And,
+        0x60 => AluOp::Lsh,
+        0x70 => AluOp::Rsh,
+        0x80 => AluOp::Neg,
+        0x90 => AluOp::Mod,
+        0xa0 => AluOp::Xor,
+        0xb0 => AluOp::Mov,
+        0xc0 => AluOp::Arsh,
+        _ => return None,
+    })
+}
+
+fn jmp_code(op: JmpOp) -> u8 {
+    match op {
+        JmpOp::Ja => 0x00,
+        JmpOp::Jeq => 0x10,
+        JmpOp::Jgt => 0x20,
+        JmpOp::Jge => 0x30,
+        JmpOp::Jset => 0x40,
+        JmpOp::Jne => 0x50,
+        JmpOp::Jsgt => 0x60,
+        JmpOp::Jsge => 0x70,
+        JmpOp::Jlt => 0xa0,
+        JmpOp::Jle => 0xb0,
+        JmpOp::Jslt => 0xc0,
+        JmpOp::Jsle => 0xd0,
+    }
+}
+
+fn jmp_op(code: u8) -> Option<JmpOp> {
+    Some(match code {
+        0x00 => JmpOp::Ja,
+        0x10 => JmpOp::Jeq,
+        0x20 => JmpOp::Jgt,
+        0x30 => JmpOp::Jge,
+        0x40 => JmpOp::Jset,
+        0x50 => JmpOp::Jne,
+        0x60 => JmpOp::Jsgt,
+        0x70 => JmpOp::Jsge,
+        0xa0 => JmpOp::Jlt,
+        0xb0 => JmpOp::Jle,
+        0xc0 => JmpOp::Jslt,
+        0xd0 => JmpOp::Jsle,
+        _ => return None,
+    })
+}
+
+fn size_code(s: Size) -> u8 {
+    match s {
+        Size::W => 0x00,
+        Size::H => 0x08,
+        Size::B => 0x10,
+        Size::DW => 0x18,
+    }
+}
+
+fn size_of(code: u8) -> Size {
+    match code & 0x18 {
+        0x00 => Size::W,
+        0x08 => Size::H,
+        0x10 => Size::B,
+        _ => Size::DW,
+    }
+}
+
+/// Encodes an instruction into one or two slots (`lddw` takes two).
+pub fn encode(i: Insn) -> Vec<RawInsn> {
+    let raw = |opcode, dst, src, off, imm| RawInsn {
+        opcode,
+        dst,
+        src,
+        off,
+        imm,
+    };
+    match i {
+        Insn::Alu64 { op, src, dst, srcr, imm } | Insn::Alu32 { op, src, dst, srcr, imm } => {
+            let class = if matches!(i, Insn::Alu64 { .. }) {
+                CLASS_ALU64
+            } else {
+                CLASS_ALU
+            };
+            let (srcbit, srcreg, immv) = match src {
+                Src::K => (0, 0, imm),
+                Src::X => (SRC_X, srcr, 0),
+            };
+            vec![raw(alu_code(op) | srcbit | class, dst, srcreg, 0, immv)]
+        }
+        Insn::Endian { be, bits, dst } => {
+            let srcbit = if be { SRC_X } else { 0 };
+            vec![raw(0xd0 | srcbit | CLASS_ALU, dst, 0, 0, bits as i32)]
+        }
+        Insn::Jmp { op, src, dst, srcr, off, imm } | Insn::Jmp32 { op, src, dst, srcr, off, imm } => {
+            let class = if matches!(i, Insn::Jmp { .. }) {
+                CLASS_JMP
+            } else {
+                CLASS_JMP32
+            };
+            let (srcbit, srcreg, immv) = match src {
+                Src::K => (0, 0, imm),
+                Src::X => (SRC_X, srcr, 0),
+            };
+            vec![raw(jmp_code(op) | srcbit | class, dst, srcreg, off, immv)]
+        }
+        Insn::LdDw { dst, imm } => {
+            vec![
+                raw(0x18, dst, 0, 0, imm as i32),
+                raw(0, 0, 0, 0, (imm >> 32) as i32),
+            ]
+        }
+        Insn::LdX { size, dst, srcr, off } => {
+            vec![raw(0x60 | size_code(size) | CLASS_LDX, dst, srcr, off, 0)]
+        }
+        Insn::StX { size, dst, srcr, off } => {
+            vec![raw(0x60 | size_code(size) | CLASS_STX, dst, srcr, off, 0)]
+        }
+        Insn::St { size, dst, off, imm } => {
+            vec![raw(0x60 | size_code(size) | CLASS_ST, dst, 0, off, imm)]
+        }
+        Insn::Call { id } => vec![raw(0x80 | CLASS_JMP, 0, 0, 0, id)],
+        Insn::Exit => vec![raw(0x90 | CLASS_JMP, 0, 0, 0, 0)],
+    }
+}
+
+/// Decodes the instruction at `slots[0]`, returning it and the number of
+/// slots consumed.
+pub fn decode(slots: &[RawInsn]) -> Result<(Insn, usize), String> {
+    let r = slots[0];
+    let class = r.opcode & 0x07;
+    let code = r.opcode & 0xf0;
+    let is_x = r.opcode & SRC_X != 0;
+    let src = if is_x { Src::X } else { Src::K };
+    match class {
+        CLASS_ALU | CLASS_ALU64 => {
+            if code == 0xd0 && class == CLASS_ALU {
+                let bits = r.imm as u32;
+                if !matches!(bits, 16 | 32 | 64) {
+                    return Err(format!("bad endian width {bits}"));
+                }
+                return Ok((
+                    Insn::Endian {
+                        be: is_x,
+                        bits,
+                        dst: r.dst,
+                    },
+                    1,
+                ));
+            }
+            let op = alu_op(code).ok_or(format!("bad alu opcode {:#x}", r.opcode))?;
+            let insn = if class == CLASS_ALU64 {
+                Insn::Alu64 {
+                    op,
+                    src,
+                    dst: r.dst,
+                    srcr: r.src,
+                    imm: r.imm,
+                }
+            } else {
+                Insn::Alu32 {
+                    op,
+                    src,
+                    dst: r.dst,
+                    srcr: r.src,
+                    imm: r.imm,
+                }
+            };
+            Ok((insn, 1))
+        }
+        CLASS_JMP if code == 0x80 && !is_x => Ok((Insn::Call { id: r.imm }, 1)),
+        CLASS_JMP if code == 0x90 && !is_x => Ok((Insn::Exit, 1)),
+        CLASS_JMP | CLASS_JMP32 => {
+            let op = jmp_op(code).ok_or(format!("bad jmp opcode {:#x}", r.opcode))?;
+            let insn = if class == CLASS_JMP {
+                Insn::Jmp {
+                    op,
+                    src,
+                    dst: r.dst,
+                    srcr: r.src,
+                    off: r.off,
+                    imm: r.imm,
+                }
+            } else {
+                Insn::Jmp32 {
+                    op,
+                    src,
+                    dst: r.dst,
+                    srcr: r.src,
+                    off: r.off,
+                    imm: r.imm,
+                }
+            };
+            Ok((insn, 1))
+        }
+        CLASS_LD if r.opcode == 0x18 => {
+            if slots.len() < 2 {
+                return Err("truncated lddw".into());
+            }
+            let lo = slots[0].imm as u32 as u64;
+            let hi = slots[1].imm as u32 as u64;
+            Ok((
+                Insn::LdDw {
+                    dst: r.dst,
+                    imm: (hi << 32 | lo) as i64,
+                },
+                2,
+            ))
+        }
+        CLASS_LDX if r.opcode & 0xe0 == 0x60 => Ok((
+            Insn::LdX {
+                size: size_of(r.opcode),
+                dst: r.dst,
+                srcr: r.src,
+                off: r.off,
+            },
+            1,
+        )),
+        CLASS_STX if r.opcode & 0xe0 == 0x60 => Ok((
+            Insn::StX {
+                size: size_of(r.opcode),
+                dst: r.dst,
+                srcr: r.src,
+                off: r.off,
+            },
+            1,
+        )),
+        CLASS_ST if r.opcode & 0xe0 == 0x60 => Ok((
+            Insn::St {
+                size: size_of(r.opcode),
+                dst: r.dst,
+                off: r.off,
+                imm: r.imm,
+            },
+            1,
+        )),
+        _ => Err(format!("unknown opcode {:#x}", r.opcode)),
+    }
+}
+
+/// Decodes and validates by re-encoding (paper §3.4).
+pub fn decode_validated(slots: &[RawInsn]) -> Result<(Insn, usize), String> {
+    let (insn, used) = decode(slots)?;
+    let back = encode(insn);
+    if back.len() != used || back != slots[..used] {
+        return Err(format!("decode/encode mismatch for {insn:?}"));
+    }
+    Ok((insn, used))
+}

@@ -1,0 +1,251 @@
+//! The eBPF interpreter under symbolic evaluation.
+//!
+//! The ALU semantics follow the kernel's documented behaviour:
+//!
+//! - 32-bit ALU operations compute on the low words and **zero-extend**
+//!   the result to 64 bits (the invariant violated by the JIT bugs found
+//!   in §7);
+//! - shift amounts are masked to the operand width (63 or 31);
+//! - division/modulo by zero yield 0 and the dividend's low bits
+//!   respectively (the checked-runtime semantics the verifier enforces).
+
+use crate::{AluOp, BpfState, Insn, JmpOp, Src};
+use serval_core::{split_pc, BugOn};
+use serval_smt::{SBool, BV};
+use serval_sym::{Merge, SymCtx};
+
+/// Result of one instruction step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepResult {
+    /// Continue at the (updated) pc.
+    Continue,
+    /// The program exited.
+    Exit,
+}
+
+impl Merge for StepResult {
+    fn merge(_c: SBool, t: &Self, e: &Self) -> Self {
+        // Paths that exited stay exited; the run loop handles per-path
+        // termination via split-pc, so a merged Continue is conservative.
+        if t == e {
+            *t
+        } else {
+            StepResult::Continue
+        }
+    }
+}
+
+/// The lifted eBPF interpreter.
+pub struct BpfInterp {
+    /// The program.
+    pub program: Vec<Insn>,
+    /// Maximum instructions per path.
+    pub fuel: usize,
+    /// Helper-call results, modelled as uninterpreted functions of r1..r5.
+    pub helper_uf: Option<serval_smt::UfId>,
+}
+
+impl BpfInterp {
+    /// An interpreter for `program`.
+    pub fn new(program: Vec<Insn>) -> BpfInterp {
+        BpfInterp {
+            program,
+            fuel: 4096,
+            helper_uf: None,
+        }
+    }
+
+    /// Executes the single instruction `insn` on `s` (used by the JIT
+    /// checker, which verifies one instruction at a time; paper §7).
+    pub fn step_insn(&self, ctx: &mut SymCtx, s: &mut BpfState, insn: Insn) -> StepResult {
+        let one = BV::lit(64, 1);
+        match insn {
+            Insn::Alu64 { op, src, dst, srcr, imm } => {
+                let a = s.reg(dst);
+                let b = operand64(s, src, srcr, imm);
+                let v = alu64(ctx, op, a, b);
+                *s.set_reg(ctx, dst) = v;
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::Alu32 { op, src, dst, srcr, imm } => {
+                let a = s.reg(dst).trunc(32);
+                let b = operand64(s, src, srcr, imm).trunc(32);
+                let v32 = alu32(ctx, op, a, b);
+                // BPF semantics: the 32-bit result is zero-extended.
+                *s.set_reg(ctx, dst) = v32.zext(64);
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::Endian { be, bits, dst } => {
+                let v = s.reg(dst);
+                let swapped = byteswap(v, bits);
+                // On a little-endian machine: `be` swaps, `le` truncates.
+                let result = if be {
+                    swapped
+                } else {
+                    v.trunc(bits).zext(64)
+                };
+                *s.set_reg(ctx, dst) = result;
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::Jmp { op, src, dst, srcr, off, imm } => {
+                let a = s.reg(dst);
+                let b = operand64(s, src, srcr, imm);
+                let taken = jump_taken(op, a, b);
+                let target = s.pc + BV::lit(64, (off as i64 + 1) as u64 as u128);
+                let next = s.pc + one;
+                s.pc = taken.select(target, next);
+                StepResult::Continue
+            }
+            Insn::Jmp32 { op, src, dst, srcr, off, imm } => {
+                let a = s.reg(dst).trunc(32);
+                let b = operand64(s, src, srcr, imm).trunc(32);
+                let taken = jump_taken(op, a, b);
+                let target = s.pc + BV::lit(64, (off as i64 + 1) as u64 as u128);
+                let next = s.pc + one;
+                s.pc = taken.select(target, next);
+                StepResult::Continue
+            }
+            Insn::LdDw { dst, imm } => {
+                *s.set_reg(ctx, dst) = BV::lit(64, imm as u64 as u128);
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::LdX { .. } | Insn::StX { .. } | Insn::St { .. } => {
+                // Memory access requires a packet/stack model, which the
+                // single-instruction JIT checker does not exercise; a
+                // whole-program run treats it as unsupported.
+                ctx.bug_on(SBool::lit(true), "memory access unsupported in this run");
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::Call { id } => {
+                // Helper calls clobber r1-r5 and return in r0, modelled by
+                // an uninterpreted function of the arguments and id.
+                let uf = match self.helper_uf {
+                    Some(uf) => uf,
+                    None => {
+                        ctx.bug_on(SBool::lit(true), "helper call without helper model");
+                        s.pc = s.pc + one;
+                        return StepResult::Continue;
+                    }
+                };
+                let args: Vec<serval_smt::TermId> = vec![
+                    BV::lit(64, id as u64 as u128).0,
+                    s.reg(1).0,
+                    s.reg(2).0,
+                    s.reg(3).0,
+                    s.reg(4).0,
+                    s.reg(5).0,
+                ];
+                let r0 = BV(serval_smt::build::uf_apply(uf, &args));
+                s.regs[0] = r0;
+                for r in 1..=5 {
+                    s.regs[r] = BV::fresh(64, &format!("clobber.r{r}"));
+                }
+                s.pc = s.pc + one;
+                StepResult::Continue
+            }
+            Insn::Exit => StepResult::Exit,
+        }
+    }
+
+    /// Runs the program to exit under all-paths symbolic evaluation.
+    pub fn run(&self, ctx: &mut SymCtx, s: &mut BpfState) -> bool {
+        self.step(ctx, s, self.fuel)
+    }
+
+    fn step(&self, ctx: &mut SymCtx, s: &mut BpfState, fuel: usize) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        let n = self.program.len() as u128;
+        ctx.bug_on(s.pc.uge(BV::lit(64, n)), "bpf pc out of bounds");
+        let pc = s.pc;
+        let r = split_pc(ctx, s, pc, |ctx, s, v| {
+            if v >= n {
+                return true;
+            }
+            let insn = self.program[v as usize];
+            s.pc = BV::lit(64, v);
+            match self.step_insn(ctx, s, insn) {
+                StepResult::Exit => true,
+                StepResult::Continue => self.step(ctx, s, fuel - 1),
+            }
+        });
+        r.unwrap_or(false)
+    }
+}
+
+fn operand64(s: &BpfState, src: Src, srcr: u8, imm: i32) -> BV {
+    match src {
+        Src::K => BV::lit(64, imm as i64 as u64 as u128),
+        Src::X => s.reg(srcr),
+    }
+}
+
+fn alu64(ctx: &mut SymCtx, op: AluOp, a: BV, b: BV) -> BV {
+    alu(ctx, op, a, b, 64)
+}
+
+fn alu32(ctx: &mut SymCtx, op: AluOp, a: BV, b: BV) -> BV {
+    alu(ctx, op, a, b, 32)
+}
+
+/// Shared ALU semantics at width `w`.
+fn alu(ctx: &mut SymCtx, op: AluOp, a: BV, b: BV, w: u32) -> BV {
+    let zero = BV::lit(w, 0);
+    let shmask = BV::lit(w, (w - 1) as u128);
+    let _ = ctx;
+    match op {
+        AluOp::Add => a + b,
+        AluOp::Sub => a - b,
+        AluOp::Mul => a * b,
+        // The BPF runtime semantics adopted by the kernel: division by
+        // zero yields zero (the in-kernel verifier also forbids provable
+        // division by zero; the JIT must still be safe).
+        AluOp::Div => b.is_zero().select(zero, a.udiv(b)),
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+        AluOp::Lsh => a.shl(b & shmask),
+        AluOp::Rsh => a.lshr(b & shmask),
+        AluOp::Neg => zero - a,
+        AluOp::Mod => b.is_zero().select(a, a.urem(b)),
+        AluOp::Xor => a ^ b,
+        AluOp::Mov => b,
+        AluOp::Arsh => a.ashr(b & shmask),
+    }
+}
+
+fn jump_taken(op: JmpOp, a: BV, b: BV) -> SBool {
+    match op {
+        JmpOp::Ja => SBool::lit(true),
+        JmpOp::Jeq => a.eq_(b),
+        JmpOp::Jgt => a.ugt(b),
+        JmpOp::Jge => a.uge(b),
+        JmpOp::Jset => (a & b).ne_(BV::lit(a.width(), 0)),
+        JmpOp::Jne => a.ne_(b),
+        JmpOp::Jsgt => a.sgt(b),
+        JmpOp::Jsge => a.sge(b),
+        JmpOp::Jlt => a.ult(b),
+        JmpOp::Jle => a.ule(b),
+        JmpOp::Jslt => a.slt(b),
+        JmpOp::Jsle => a.sle(b),
+    }
+}
+
+/// Byte-swaps the low `bits` bits of `v`, zero-extending to 64.
+fn byteswap(v: BV, bits: u32) -> BV {
+    let nbytes = bits / 8;
+    let mut out: Option<BV> = None;
+    for i in 0..nbytes {
+        let byte = v.extract(i * 8 + 7, i * 8);
+        out = Some(match out {
+            None => byte,
+            Some(acc) => acc.concat(byte),
+        });
+    }
+    out.unwrap().zext(64)
+}

@@ -1,0 +1,179 @@
+//! The BPF verifier (paper §5): an extended-BPF (eBPF) interpreter lifted
+//! to a verifier.
+//!
+//! Implements the extended BPF instruction set: 64-bit and 32-bit ALU
+//! operations (the 32-bit class zero-extends its result — the semantics
+//! the Linux JITs got wrong, paper §7), jumps (64- and 32-bit compares),
+//! byte swaps, `lddw`, memory accesses, and limited support for in-kernel
+//! helper calls via uninterpreted functions.
+//!
+//! The instruction encoding follows the kernel's 8-byte layout
+//! (`opcode:8 dst:4 src:4 off:16 imm:32`), with both an encoder and a
+//! decoder validated against each other.
+
+use serval_core::BugOn;
+use serval_smt::{SBool, BV};
+use serval_sym::{Merge, SymCtx};
+
+pub mod encoding;
+pub mod interp;
+
+pub use encoding::{decode, decode_validated, encode};
+pub use interp::{BpfInterp, StepResult};
+
+/// ALU operations (shared by the 64- and 32-bit classes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Or,
+    And,
+    Lsh,
+    Rsh,
+    Neg,
+    Mod,
+    Xor,
+    Mov,
+    Arsh,
+}
+
+impl AluOp {
+    /// All ALU operations, for exhaustive checking (paper §7).
+    pub const ALL: [AluOp; 13] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Div,
+        AluOp::Or,
+        AluOp::And,
+        AluOp::Lsh,
+        AluOp::Rsh,
+        AluOp::Neg,
+        AluOp::Mod,
+        AluOp::Xor,
+        AluOp::Mov,
+        AluOp::Arsh,
+    ];
+}
+
+/// Jump comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum JmpOp {
+    Ja,
+    Jeq,
+    Jgt,
+    Jge,
+    Jset,
+    Jne,
+    Jsgt,
+    Jsge,
+    Jlt,
+    Jle,
+    Jslt,
+    Jsle,
+}
+
+/// Operand source: immediate (`K`) or register (`X`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// 32-bit immediate.
+    K,
+    /// Source register.
+    X,
+}
+
+/// Memory access sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Size {
+    B,
+    H,
+    W,
+    DW,
+}
+
+impl Size {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            Size::B => 1,
+            Size::H => 2,
+            Size::W => 4,
+            Size::DW => 8,
+        }
+    }
+}
+
+/// An eBPF instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// 64-bit ALU operation: `dst = dst op (src/imm)`.
+    Alu64 { op: AluOp, src: Src, dst: u8, srcr: u8, imm: i32 },
+    /// 32-bit ALU operation: low words, result zero-extended to 64 bits.
+    Alu32 { op: AluOp, src: Src, dst: u8, srcr: u8, imm: i32 },
+    /// Byte swap: `dst = le<bits>(dst)` or `be<bits>(dst)`.
+    Endian { be: bool, bits: u32, dst: u8 },
+    /// 64-bit jump.
+    Jmp { op: JmpOp, src: Src, dst: u8, srcr: u8, off: i16, imm: i32 },
+    /// 32-bit jump (compares low words).
+    Jmp32 { op: JmpOp, src: Src, dst: u8, srcr: u8, off: i16, imm: i32 },
+    /// Load 64-bit immediate (occupies two encoding slots).
+    LdDw { dst: u8, imm: i64 },
+    /// Memory load: `dst = *(size*)(src + off)`.
+    LdX { size: Size, dst: u8, srcr: u8, off: i16 },
+    /// Memory store of register.
+    StX { size: Size, dst: u8, srcr: u8, off: i16 },
+    /// Memory store of immediate.
+    St { size: Size, dst: u8, off: i16, imm: i32 },
+    /// Call an in-kernel helper by id.
+    Call { id: i32 },
+    /// Program exit; R0 is the return value.
+    Exit,
+}
+
+/// BPF machine state: eleven 64-bit registers and an instruction index.
+#[derive(Clone, Debug)]
+pub struct BpfState {
+    /// R0..R10 (R10 is the read-only frame pointer).
+    pub regs: Vec<BV>,
+    /// Instruction index (not a byte offset).
+    pub pc: BV,
+}
+
+impl BpfState {
+    /// Fully symbolic registers, pc at 0.
+    pub fn fresh(tag: &str) -> BpfState {
+        BpfState {
+            regs: (0..11)
+                .map(|i| BV::fresh(64, &format!("{tag}.r{i}")))
+                .collect(),
+            pc: BV::lit(64, 0),
+        }
+    }
+
+    /// Reads register `r`.
+    pub fn reg(&self, r: u8) -> BV {
+        self.regs[r as usize]
+    }
+
+    /// Writes register `r`.
+    pub fn set_reg(&mut self, ctx: &mut SymCtx, r: u8) -> &mut BV {
+        if r == 10 {
+            ctx.bug_on(SBool::lit(true), "write to read-only frame pointer r10");
+        }
+        &mut self.regs[r as usize]
+    }
+}
+
+impl Merge for BpfState {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        BpfState {
+            regs: Vec::merge(c, &t.regs, &e.regs),
+            pc: BV::merge(c, &t.pc, &e.pc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,222 @@
+//! BPF verifier tests: encoding round-trips, interpreter semantics vs a
+//! Rust reference, and symbolic whole-program runs.
+
+use crate::*;
+use proptest::prelude::*;
+use serval_smt::{reset_ctx, verify, BV};
+use serval_sym::SymCtx;
+
+fn arb_alu() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(AluOp::ALL.to_vec())
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let r = 0u8..10;
+    prop_oneof![
+        (arb_alu(), any::<bool>(), r.clone(), r.clone(), any::<i32>()).prop_map(
+            |(op, x, dst, srcr, imm)| Insn::Alu64 {
+                op,
+                src: if x { Src::X } else { Src::K },
+                dst,
+                srcr: if x { srcr } else { 0 },
+                imm: if x { 0 } else { imm },
+            }
+        ),
+        (arb_alu(), any::<bool>(), r.clone(), r.clone(), any::<i32>()).prop_map(
+            |(op, x, dst, srcr, imm)| Insn::Alu32 {
+                op,
+                src: if x { Src::X } else { Src::K },
+                dst,
+                srcr: if x { srcr } else { 0 },
+                imm: if x { 0 } else { imm },
+            }
+        ),
+        (any::<bool>(), prop::sample::select(vec![16u32, 32, 64]), r.clone())
+            .prop_map(|(be, bits, dst)| Insn::Endian { be, bits, dst }),
+        (r.clone(), any::<i64>()).prop_map(|(dst, imm)| Insn::LdDw { dst, imm }),
+        Just(Insn::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let slots = encode(insn);
+        let (back, used) = decode_validated(&slots).expect("decode");
+        prop_assert_eq!(back, insn);
+        prop_assert_eq!(used, slots.len());
+    }
+
+    /// Differential test: symbolic single-step vs a concrete Rust
+    /// reference implementation of the BPF ALU semantics.
+    #[test]
+    fn alu_matches_reference(
+        op in arb_alu(),
+        a in any::<u64>(),
+        b in any::<u64>(),
+        is32 in any::<bool>(),
+    ) {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let interp = BpfInterp::new(vec![]);
+        let mut s = BpfState::fresh("s");
+        s.regs[1] = BV::lit(64, a as u128);
+        s.regs[2] = BV::lit(64, b as u128);
+        let insn = if is32 {
+            Insn::Alu32 { op, src: Src::X, dst: 1, srcr: 2, imm: 0 }
+        } else {
+            Insn::Alu64 { op, src: Src::X, dst: 1, srcr: 2, imm: 0 }
+        };
+        interp.step_insn(&mut ctx, &mut s, insn);
+        let got = s.reg(1).as_const().expect("concrete result") as u64;
+        let expect = reference_alu(op, a, b, is32);
+        prop_assert_eq!(got, expect, "{:?} is32={}", op, is32);
+    }
+}
+
+/// Reference BPF ALU semantics in plain Rust.
+fn reference_alu(op: AluOp, a: u64, b: u64, is32: bool) -> u64 {
+    if is32 {
+        let a = a as u32;
+        let b = b as u32;
+        let r: u32 = match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => if b == 0 { 0 } else { a / b },
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Lsh => a.wrapping_shl(b),
+            AluOp::Rsh => a.wrapping_shr(b),
+            AluOp::Neg => a.wrapping_neg(),
+            AluOp::Mod => if b == 0 { a } else { a % b },
+            AluOp::Xor => a ^ b,
+            AluOp::Mov => b,
+            AluOp::Arsh => ((a as i32).wrapping_shr(b)) as u32,
+        };
+        r as u64 // zero-extended
+    } else {
+        match op {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => if b == 0 { 0 } else { a / b },
+            AluOp::Or => a | b,
+            AluOp::And => a & b,
+            AluOp::Lsh => a.wrapping_shl(b as u32),
+            AluOp::Rsh => a.wrapping_shr(b as u32),
+            AluOp::Neg => a.wrapping_neg(),
+            AluOp::Mod => if b == 0 { a } else { a % b },
+            AluOp::Xor => a ^ b,
+            AluOp::Mov => b,
+            AluOp::Arsh => ((a as i64).wrapping_shr(b as u32)) as u64,
+        }
+    }
+}
+
+#[test]
+fn alu32_zero_extends() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let interp = BpfInterp::new(vec![]);
+    let mut s = BpfState::fresh("s");
+    let r1 = s.reg(1);
+    interp.step_insn(
+        &mut ctx,
+        &mut s,
+        Insn::Alu32 { op: AluOp::Add, src: Src::K, dst: 1, srcr: 0, imm: 0 },
+    );
+    // Adding 0 in 32-bit mode still clears the upper half.
+    assert!(verify(&[], s.reg(1).eq_(r1.trunc(32).zext(64))).is_proved());
+}
+
+#[test]
+fn endian_semantics() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let interp = BpfInterp::new(vec![]);
+    let mut s = BpfState::fresh("s");
+    s.regs[1] = BV::lit(64, 0x1122334455667788);
+    interp.step_insn(&mut ctx, &mut s, Insn::Endian { be: true, bits: 32, dst: 1 });
+    assert_eq!(s.reg(1).as_const(), Some(0x88776655));
+    s.regs[2] = BV::lit(64, 0x1122334455667788);
+    interp.step_insn(&mut ctx, &mut s, Insn::Endian { be: false, bits: 16, dst: 2 });
+    assert_eq!(s.reg(2).as_const(), Some(0x7788));
+    s.regs[3] = BV::lit(64, 0x1122334455667788);
+    interp.step_insn(&mut ctx, &mut s, Insn::Endian { be: true, bits: 64, dst: 3 });
+    assert_eq!(s.reg(3).as_const(), Some(0x8877665544332211));
+}
+
+#[test]
+fn symbolic_program_max() {
+    reset_ctx();
+    // r0 = max(r1, r2) via jge.
+    let prog = vec![
+        Insn::Alu64 { op: AluOp::Mov, src: Src::X, dst: 0, srcr: 1, imm: 0 },
+        Insn::Jmp { op: JmpOp::Jge, src: Src::X, dst: 1, srcr: 2, off: 1, imm: 0 },
+        Insn::Alu64 { op: AluOp::Mov, src: Src::X, dst: 0, srcr: 2, imm: 0 },
+        Insn::Exit,
+    ];
+    let mut ctx = SymCtx::new();
+    let interp = BpfInterp::new(prog);
+    let mut s = BpfState::fresh("s");
+    let (r1, r2) = (s.reg(1), s.reg(2));
+    assert!(interp.run(&mut ctx, &mut s), "program must exit on all paths");
+    let expect = r1.uge(r2).select(r1, r2);
+    assert!(verify(&[], s.reg(0).eq_(expect)).is_proved());
+}
+
+#[test]
+fn jmp32_compares_low_words() {
+    reset_ctx();
+    let prog = vec![
+        Insn::Alu64 { op: AluOp::Mov, src: Src::K, dst: 0, srcr: 0, imm: 0 },
+        Insn::Jmp32 { op: JmpOp::Jeq, src: Src::X, dst: 1, srcr: 2, off: 1, imm: 0 },
+        Insn::Exit,
+        Insn::Alu64 { op: AluOp::Mov, src: Src::K, dst: 0, srcr: 0, imm: 1 },
+        Insn::Exit,
+    ];
+    let mut ctx = SymCtx::new();
+    let interp = BpfInterp::new(prog);
+    let mut s = BpfState::fresh("s");
+    let (r1, r2) = (s.reg(1), s.reg(2));
+    assert!(interp.run(&mut ctx, &mut s));
+    let low_eq = r1.trunc(32).eq_(r2.trunc(32));
+    assert!(verify(&[low_eq], s.reg(0).eq_(BV::lit(64, 1))).is_proved());
+    assert!(verify(&[!low_eq], s.reg(0).eq_(BV::lit(64, 0))).is_proved());
+}
+
+#[test]
+fn write_to_r10_flagged() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let interp = BpfInterp::new(vec![]);
+    let mut s = BpfState::fresh("s");
+    interp.step_insn(
+        &mut ctx,
+        &mut s,
+        Insn::Alu64 { op: AluOp::Mov, src: Src::K, dst: 10, srcr: 0, imm: 0 },
+    );
+    let failed = ctx
+        .take_obligations()
+        .into_iter()
+        .any(|ob| !verify(&[], ob.condition).is_proved());
+    assert!(failed, "writing r10 must be flagged");
+}
+
+#[test]
+fn helper_call_modelled_as_uf() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let uf = serval_smt::with_ctx(|c| c.declare_uf("helper", vec![64; 6], 64));
+    let mut interp = BpfInterp::new(vec![]);
+    interp.helper_uf = Some(uf);
+    let mut s1 = BpfState::fresh("a");
+    let mut s2 = s1.clone();
+    interp.step_insn(&mut ctx, &mut s1, Insn::Call { id: 7 });
+    interp.step_insn(&mut ctx, &mut s2, Insn::Call { id: 7 });
+    // Same helper, same arguments: same result (congruence).
+    assert!(verify(&[], s1.reg(0).eq_(s2.reg(0))).is_proved());
+}

@@ -1,0 +1,132 @@
+//! Proof reports: named theorems, verdicts, counterexamples, timing.
+
+use serval_smt::solver::{verify_with, SolverConfig, VerifyResult};
+use serval_smt::{Model, SBool};
+use serval_sym::{Obligation, SymCtx};
+use std::time::{Duration, Instant};
+
+/// The verdict for one theorem.
+#[derive(Debug)]
+pub enum Verdict {
+    /// Proved valid.
+    Proved,
+    /// Disproved; holds the counterexample model and its rendering.
+    Counterexample(Box<Model>, String),
+    /// Solver budget exhausted — the paper's "timeout" outcome (§6.4).
+    Unknown,
+}
+
+impl Verdict {
+    /// Whether the theorem was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+}
+
+/// One proved (or failed) theorem.
+#[derive(Debug)]
+pub struct TheoremResult {
+    /// Theorem name, e.g. `"refinement: spawn"`.
+    pub name: String,
+    /// Outcome.
+    pub verdict: Verdict,
+    /// Wall time of the solver query.
+    pub time: Duration,
+}
+
+/// A collection of theorem results for one verification run.
+#[derive(Debug, Default)]
+pub struct ProofReport {
+    /// Individual theorem outcomes, in proof order.
+    pub theorems: Vec<TheoremResult>,
+}
+
+impl ProofReport {
+    /// Whether every theorem was proved.
+    pub fn all_proved(&self) -> bool {
+        self.theorems.iter().all(|t| t.verdict.is_proved())
+    }
+
+    /// Whether any theorem exhausted the solver budget.
+    pub fn any_unknown(&self) -> bool {
+        self.theorems
+            .iter()
+            .any(|t| matches!(t.verdict, Verdict::Unknown))
+    }
+
+    /// Total solver wall time.
+    pub fn total_time(&self) -> Duration {
+        self.theorems.iter().map(|t| t.time).sum()
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: ProofReport) {
+        self.theorems.extend(other.theorems);
+    }
+
+    /// Renders a human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for t in &self.theorems {
+            let status = match &t.verdict {
+                Verdict::Proved => "proved".to_string(),
+                Verdict::Counterexample(_, cex) => format!("FAILED\n{cex}"),
+                Verdict::Unknown => "UNKNOWN (budget exhausted)".to_string(),
+            };
+            out.push_str(&format!(
+                "  [{:>8.2?}] {:<40} {}\n",
+                t.time, t.name, status
+            ));
+        }
+        out
+    }
+
+    /// The first failing theorem, if any.
+    pub fn first_failure(&self) -> Option<&TheoremResult> {
+        self.theorems.iter().find(|t| !t.verdict.is_proved())
+    }
+}
+
+/// Discharges one goal under the context's assumptions plus `extra`.
+pub fn discharge(
+    ctx: &SymCtx,
+    cfg: SolverConfig,
+    name: impl Into<String>,
+    extra: &[SBool],
+    goal: SBool,
+) -> TheoremResult {
+    let mut assumptions: Vec<SBool> = ctx.assumptions().to_vec();
+    assumptions.extend_from_slice(extra);
+    let start = Instant::now();
+    let verdict = match verify_with(cfg, &assumptions, goal) {
+        VerifyResult::Proved => Verdict::Proved,
+        VerifyResult::Counterexample(m) => {
+            let rendering = m.render();
+            Verdict::Counterexample(m, rendering)
+        }
+        VerifyResult::Unknown => Verdict::Unknown,
+    };
+    TheoremResult {
+        name: name.into(),
+        verdict,
+        time: start.elapsed(),
+    }
+}
+
+/// Discharges every collected obligation (e.g. `bug_on` checks) in `ctx`,
+/// consuming them.
+pub fn discharge_obligations(
+    ctx: &mut SymCtx,
+    cfg: SolverConfig,
+    prefix: &str,
+) -> ProofReport {
+    let obligations: Vec<Obligation> = ctx.take_obligations();
+    let mut report = ProofReport::default();
+    for ob in obligations {
+        let name = format!("{prefix}{}", ob.label);
+        report
+            .theorems
+            .push(discharge(ctx, cfg, name, &[], ob.condition));
+    }
+    report
+}

@@ -1,0 +1,457 @@
+//! An untrusted IR→RV64 compiler at three optimization levels.
+//!
+//! Plays gcc's role in the monitors' builds (paper Fig. 11 verifies
+//! binaries compiled at `-O0`, `-O1`, `-O2`). Nothing trusts this code:
+//! the RISC-V verifier re-verifies whatever comes out.
+//!
+//! - [`OptLevel::O0`]: every virtual register lives in a stack slot;
+//!   each statement loads operands into temporaries and stores back.
+//! - [`OptLevel::O1`]: the first ten virtual registers are allocated to
+//!   callee-saved registers (saved/restored in the prologue), the rest
+//!   spill.
+//! - [`OptLevel::O2`]: `O1` plus constant folding and immediate-form
+//!   selection (`addi`/`andi`/`ori`/`xori` instead of materializing
+//!   constants).
+
+use crate::ir::{BinOp, Func, Module, Pred, Stmt, Term, Val};
+use serval_riscv::insn::{IAluOp, Insn, LdOp, RAluOp, StOp};
+use serval_riscv::reg;
+use serval_riscv::Asm;
+
+/// Compiler optimization level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OptLevel {
+    /// Stack-machine style.
+    O0,
+    /// Register allocation.
+    O1,
+    /// Register allocation + folding + immediate forms.
+    O2,
+}
+
+impl OptLevel {
+    /// All levels, for the Fig. 11 sweep.
+    pub const ALL: [OptLevel; 3] = [OptLevel::O0, OptLevel::O1, OptLevel::O2];
+}
+
+const T0: u8 = reg::T0;
+const T1: u8 = reg::T1;
+const T2: u8 = reg::T2;
+/// Allocatable callee-saved registers (x18..x27).
+const S_REGS: [u8; 10] = [18, 19, 20, 21, 22, 23, 24, 25, 26, 27];
+
+/// Where a virtual register lives.
+#[derive(Clone, Copy, Debug)]
+enum Loc {
+    SReg(u8),
+    Slot(i32),
+}
+
+/// Compiles every function in `module` into `asm`, defining one label per
+/// function (callable with `asm.call(name)`) and one symbol per global.
+pub fn compile(module: &Module, level: OptLevel, asm: &mut Asm) {
+    for (name, addr) in &module.globals {
+        asm.define_symbol(name, *addr);
+    }
+    for f in &module.funcs {
+        FnCompiler::new(module, f, level).emit(asm);
+    }
+}
+
+struct FnCompiler<'a> {
+    module: &'a Module,
+    f: &'a Func,
+    level: OptLevel,
+    /// Location of each virtual register.
+    loc: Vec<Loc>,
+    /// Location of each parameter.
+    ploc: Vec<Loc>,
+    /// Frame size in bytes.
+    frame: i32,
+    /// Number of callee-saved registers used (saved below ra).
+    used_sregs: Vec<u8>,
+    /// Known constant values per vreg (O2 folding).
+    known: Vec<Option<i64>>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(module: &'a Module, f: &'a Func, level: OptLevel) -> FnCompiler<'a> {
+        // Layout: [ra][saved s-regs][param slots][vreg slots].
+        let mut off = 8i32; // after ra at sp+0
+        let mut used_sregs = Vec::new();
+        let mut loc = Vec::new();
+        let mut ploc = Vec::new();
+        let alloc_regs = level >= OptLevel::O1;
+        if alloc_regs {
+            for (i, _) in (0..f.regs).enumerate() {
+                if i < S_REGS.len() {
+                    let s = S_REGS[i];
+                    if !used_sregs.contains(&s) {
+                        used_sregs.push(s);
+                    }
+                    loc.push(Loc::SReg(s));
+                } else {
+                    loc.push(Loc::Slot(0)); // patched below
+                }
+            }
+        } else {
+            loc = vec![Loc::Slot(0); f.regs as usize];
+        }
+        off += 8 * used_sregs.len() as i32;
+        for _ in 0..f.params {
+            ploc.push(Loc::Slot(off));
+            off += 8;
+        }
+        for l in loc.iter_mut() {
+            if let Loc::Slot(s) = l {
+                *s = off;
+                off += 8;
+                let _ = s;
+            }
+        }
+        let frame = (off + 15) / 16 * 16;
+        FnCompiler {
+            module,
+            f,
+            level,
+            loc,
+            ploc,
+            frame,
+            used_sregs,
+            known: vec![None; f.regs as usize],
+        }
+    }
+
+    fn block_label(&self, l: &str) -> String {
+        format!("{}.{}", self.f.name, l)
+    }
+
+    fn emit(mut self, asm: &mut Asm) {
+        asm.label(self.f.name);
+        // Prologue.
+        asm.addi(reg::SP, reg::SP, -self.frame);
+        asm.sd(reg::RA, 0, reg::SP);
+        for (i, &s) in self.used_sregs.clone().iter().enumerate() {
+            asm.sd(s, 8 + 8 * i as i32, reg::SP);
+        }
+        // Park parameters.
+        for i in 0..self.f.params {
+            let a = reg::A0 + i as u8;
+            match self.ploc[i] {
+                Loc::Slot(off) => {
+                    asm.sd(a, off, reg::SP);
+                }
+                Loc::SReg(s) => {
+                    asm.mv(s, a);
+                }
+            }
+        }
+        for bi in 0..self.f.blocks.len() {
+            let block = self.f.blocks[bi].clone();
+            // Constant knowledge is block-local: values flowing in through
+            // a join (e.g. a loop back-edge) are not constant.
+            self.known = vec![None; self.f.regs as usize];
+            asm.label(&self.block_label(block.label));
+            for stmt in &block.stmts {
+                self.stmt(asm, stmt);
+            }
+            self.term(asm, &block.term);
+        }
+    }
+
+    /// Loads operand `v` into a register, preferring its home register.
+    fn get(&mut self, asm: &mut Asm, v: Val, tmp: u8) -> u8 {
+        match v {
+            Val::Reg(r) => match self.loc[r as usize] {
+                Loc::SReg(s) => s,
+                Loc::Slot(off) => {
+                    asm.ld(tmp, off, reg::SP);
+                    tmp
+                }
+            },
+            Val::Const(c) => {
+                if c == 0 {
+                    return reg::ZERO;
+                }
+                asm.li(tmp, c);
+                tmp
+            }
+            Val::Global(name) => {
+                asm.la(tmp, name);
+                tmp
+            }
+            Val::Param(i) => match self.ploc[i] {
+                Loc::SReg(s) => s,
+                Loc::Slot(off) => {
+                    asm.ld(tmp, off, reg::SP);
+                    tmp
+                }
+            },
+        }
+    }
+
+    /// Stores the value in `src` into virtual register `dst`.
+    fn put(&mut self, asm: &mut Asm, dst: u32, src: u8) {
+        match self.loc[dst as usize] {
+            Loc::SReg(s) => {
+                if s != src {
+                    asm.mv(s, src);
+                }
+            }
+            Loc::Slot(off) => {
+                asm.sd(src, off, reg::SP);
+            }
+        }
+    }
+
+    /// The constant value of `v` when statically known (O2 only).
+    fn const_of(&self, v: Val) -> Option<i64> {
+        if self.level < OptLevel::O2 {
+            return None;
+        }
+        match v {
+            Val::Const(c) => Some(c),
+            Val::Reg(r) => self.known[r as usize],
+            _ => None,
+        }
+    }
+
+    fn stmt(&mut self, asm: &mut Asm, stmt: &Stmt) {
+        match stmt {
+            Stmt::Bin { dst, op, a, b } => {
+                // O2: full constant folding.
+                if let (Some(x), Some(y)) = (self.const_of(*a), self.const_of(*b)) {
+                    if let Some(v) = fold(*op, x, y) {
+                        self.known[*dst as usize] = Some(v);
+                        if (i32::MIN as i64..=u32::MAX as i64).contains(&v) {
+                            asm.li(T0, v);
+                            self.put(asm, *dst, T0);
+                            return;
+                        }
+                    }
+                }
+                self.known[*dst as usize] = None;
+                // O2: immediate forms for small right-hand constants.
+                if let Some(y) = self.const_of(*b) {
+                    if (-2048..2048).contains(&y) {
+                        if let Some(iop) = imm_form(*op) {
+                            let ra = self.get(asm, *a, T0);
+                            asm.i(Insn::OpImm {
+                                op: iop,
+                                rd: T0,
+                                rs1: ra,
+                                imm: y as i32,
+                            });
+                            self.put(asm, *dst, T0);
+                            return;
+                        }
+                    }
+                }
+                let ra = self.get(asm, *a, T0);
+                let rb = self.get(asm, *b, T1);
+                match op {
+                    BinOp::Add => asm.i(Insn::Op { op: RAluOp::Add, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::Sub => asm.i(Insn::Op { op: RAluOp::Sub, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::Mul => asm.i(Insn::Op { op: RAluOp::Mul, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::UDiv => asm.i(Insn::Op { op: RAluOp::Divu, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::URem => asm.i(Insn::Op { op: RAluOp::Remu, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::And => asm.i(Insn::Op { op: RAluOp::And, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::Or => asm.i(Insn::Op { op: RAluOp::Or, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::Xor => asm.i(Insn::Op { op: RAluOp::Xor, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::Shl => asm.i(Insn::Op { op: RAluOp::Sll, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::LShr => asm.i(Insn::Op { op: RAluOp::Srl, rd: T0, rs1: ra, rs2: rb }),
+                    BinOp::AShr => asm.i(Insn::Op { op: RAluOp::Sra, rd: T0, rs1: ra, rs2: rb }),
+                };
+                self.put(asm, *dst, T0);
+            }
+            Stmt::Icmp { dst, pred, a, b } => {
+                self.known[*dst as usize] = None;
+                let ra = self.get(asm, *a, T0);
+                let rb = self.get(asm, *b, T1);
+                self.emit_icmp(asm, *pred, ra, rb);
+                self.put(asm, *dst, T0);
+            }
+            Stmt::Select { dst, c, a, b } => {
+                // Branchless select (mask trick): keeps straight-line code
+                // straight-line under symbolic evaluation, so data choices
+                // merge as ite terms instead of splitting paths.
+                self.known[*dst as usize] = None;
+                let rc = self.get(asm, *c, T2);
+                // T2 = (c != 0) ? all-ones : 0.
+                asm.i(Insn::Op { op: RAluOp::Sltu, rd: T2, rs1: reg::ZERO, rs2: rc });
+                asm.i(Insn::Op { op: RAluOp::Sub, rd: T2, rs1: reg::ZERO, rs2: T2 });
+                let ra = self.get(asm, *a, T0);
+                asm.i(Insn::Op { op: RAluOp::And, rd: T0, rs1: ra, rs2: T2 });
+                asm.i(Insn::OpImm { op: IAluOp::Xori, rd: T2, rs1: T2, imm: -1 });
+                let rb = self.get(asm, *b, T1);
+                asm.i(Insn::Op { op: RAluOp::And, rd: T1, rs1: rb, rs2: T2 });
+                asm.i(Insn::Op { op: RAluOp::Or, rd: T0, rs1: T0, rs2: T1 });
+                self.put(asm, *dst, T0);
+            }
+            Stmt::Load { dst, addr, bytes } => {
+                self.known[*dst as usize] = None;
+                let ra = self.get(asm, *addr, T0);
+                let op = match bytes {
+                    1 => LdOp::Lbu,
+                    2 => LdOp::Lhu,
+                    4 => LdOp::Lwu,
+                    8 => LdOp::Ld,
+                    _ => panic!("bad load width {bytes}"),
+                };
+                asm.i(Insn::Load { op, rd: T0, rs1: ra, off: 0 });
+                self.put(asm, *dst, T0);
+            }
+            Stmt::Store { addr, val, bytes } => {
+                let ra = self.get(asm, *addr, T0);
+                let rv = self.get(asm, *val, T1);
+                let op = match bytes {
+                    1 => StOp::Sb,
+                    2 => StOp::Sh,
+                    4 => StOp::Sw,
+                    8 => StOp::Sd,
+                    _ => panic!("bad store width {bytes}"),
+                };
+                asm.i(Insn::Store { op, rs1: ra, rs2: rv, off: 0 });
+            }
+            Stmt::Call { dst, func, args } => {
+                self.known[*dst as usize] = None;
+                assert!(args.len() <= 8, "too many call arguments");
+                // Load arguments; later a-regs first so earlier loads are
+                // not clobbered (params live in slots or s-regs, never in
+                // a-regs at this point).
+                for (i, &a) in args.iter().enumerate() {
+                    let r = self.get(asm, a, T0);
+                    if r != reg::A0 + i as u8 {
+                        asm.mv(reg::A0 + i as u8, r);
+                    }
+                }
+                let _ = self.module.func(func); // arity/existence check
+                asm.call(func);
+                self.put(asm, *dst, reg::A0);
+            }
+        }
+    }
+
+    fn emit_icmp(&mut self, asm: &mut Asm, pred: Pred, ra: u8, rb: u8) {
+        // Result in T0.
+        let slt = |asm: &mut Asm, a, b| {
+            asm.i(Insn::Op { op: RAluOp::Slt, rd: T0, rs1: a, rs2: b });
+        };
+        let sltu = |asm: &mut Asm, a, b| {
+            asm.i(Insn::Op { op: RAluOp::Sltu, rd: T0, rs1: a, rs2: b });
+        };
+        let invert = |asm: &mut Asm| {
+            asm.i(Insn::OpImm { op: IAluOp::Xori, rd: T0, rs1: T0, imm: 1 });
+        };
+        match pred {
+            Pred::Eq => {
+                asm.i(Insn::Op { op: RAluOp::Sub, rd: T0, rs1: ra, rs2: rb });
+                asm.i(Insn::OpImm { op: IAluOp::Sltiu, rd: T0, rs1: T0, imm: 1 });
+            }
+            Pred::Ne => {
+                asm.i(Insn::Op { op: RAluOp::Sub, rd: T0, rs1: ra, rs2: rb });
+                asm.i(Insn::Op { op: RAluOp::Sltu, rd: T0, rs1: reg::ZERO, rs2: T0 });
+            }
+            Pred::Ult => sltu(asm, ra, rb),
+            Pred::Ugt => sltu(asm, rb, ra),
+            Pred::Ule => {
+                sltu(asm, rb, ra);
+                invert(asm);
+            }
+            Pred::Uge => {
+                sltu(asm, ra, rb);
+                invert(asm);
+            }
+            Pred::Slt => slt(asm, ra, rb),
+            Pred::Sgt => slt(asm, rb, ra),
+            Pred::Sle => {
+                slt(asm, rb, ra);
+                invert(asm);
+            }
+            Pred::Sge => {
+                slt(asm, ra, rb);
+                invert(asm);
+            }
+        }
+    }
+
+    fn term(&mut self, asm: &mut Asm, t: &Term) {
+        match t {
+            Term::Br(next) => {
+                let l = self.block_label(next);
+                asm.j(&l);
+            }
+            Term::CondBr(c, then_l, else_l) => {
+                let rc = self.get(asm, *c, T0);
+                let tl = self.block_label(then_l);
+                let el = self.block_label(else_l);
+                asm.bnez(rc, &tl);
+                asm.j(&el);
+            }
+            Term::Ret(v) => {
+                let r = self.get(asm, *v, T0);
+                if r != reg::A0 {
+                    asm.mv(reg::A0, r);
+                }
+                // Epilogue.
+                for (i, &s) in self.used_sregs.clone().iter().enumerate() {
+                    asm.ld(s, 8 + 8 * i as i32, reg::SP);
+                }
+                asm.ld(reg::RA, 0, reg::SP);
+                asm.addi(reg::SP, reg::SP, self.frame);
+                asm.ret();
+            }
+        }
+    }
+}
+
+fn fold(op: BinOp, x: i64, y: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::UDiv => {
+            if y == 0 {
+                return None;
+            }
+            ((x as u64) / (y as u64)) as i64
+        }
+        BinOp::URem => {
+            if y == 0 {
+                return None;
+            }
+            ((x as u64) % (y as u64)) as i64
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => {
+            if !(0..64).contains(&y) {
+                return None;
+            }
+            ((x as u64) << y) as i64
+        }
+        BinOp::LShr => {
+            if !(0..64).contains(&y) {
+                return None;
+            }
+            ((x as u64) >> y) as i64
+        }
+        BinOp::AShr => {
+            if !(0..64).contains(&y) {
+                return None;
+            }
+            x >> y
+        }
+    })
+}
+
+fn imm_form(op: BinOp) -> Option<IAluOp> {
+    Some(match op {
+        BinOp::Add => IAluOp::Addi,
+        BinOp::And => IAluOp::Andi,
+        BinOp::Or => IAluOp::Ori,
+        BinOp::Xor => IAluOp::Xori,
+        _ => return None,
+    })
+}

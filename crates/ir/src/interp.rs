@@ -1,0 +1,187 @@
+//! The lifted IR interpreter/verifier.
+//!
+//! Evaluates a function on symbolic arguments over the shared typed
+//! memory model, collecting UBSan-style `bug_on` obligations (oversized
+//! shifts, division by zero, and — via the memory model — out-of-bounds
+//! and misaligned accesses). These are the checks that found the two
+//! Keystone undefined-behaviour bugs in §7.
+
+use crate::ir::{BinOp, Func, Module, Pred, Stmt, Term, Val};
+use serval_core::{BugOn, Mem};
+use serval_smt::BV;
+use serval_sym::SymCtx;
+
+/// The IR verifier for a module.
+pub struct IrInterp<'m> {
+    /// The module under evaluation.
+    pub module: &'m Module,
+    /// Maximum block transfers per path (loops must be bounded; paper
+    /// §3.1).
+    pub fuel: usize,
+}
+
+/// Per-path evaluation environment.
+#[derive(Clone)]
+struct Env {
+    regs: Vec<BV>,
+    args: Vec<BV>,
+}
+
+impl<'m> IrInterp<'m> {
+    /// A verifier for `module`.
+    pub fn new(module: &'m Module) -> IrInterp<'m> {
+        IrInterp {
+            module,
+            fuel: 512,
+        }
+    }
+
+    /// Evaluates `func(args)` over `mem`, returning the result value.
+    /// UB obligations accumulate in `ctx`.
+    pub fn call(&self, ctx: &mut SymCtx, mem: &mut Mem, func: &str, args: &[BV]) -> BV {
+        let f = self.module.func(func);
+        assert_eq!(args.len(), f.params, "arity mismatch calling {func}");
+        let env = Env {
+            regs: vec![BV::lit(64, 0); f.regs as usize],
+            args: args.to_vec(),
+        };
+        self.exec_block(ctx, mem, f, env, f.blocks[0].label, self.fuel)
+    }
+
+    fn value(&self, env: &Env, v: Val) -> BV {
+        match v {
+            Val::Reg(r) => env.regs[r as usize],
+            Val::Const(c) => BV::lit(64, c as u64 as u128),
+            Val::Global(name) => BV::lit(64, self.module.global(name) as u128),
+            Val::Param(i) => env.args[i],
+        }
+    }
+
+    fn exec_block(
+        &self,
+        ctx: &mut SymCtx,
+        mem: &mut Mem,
+        f: &Func,
+        mut env: Env,
+        label: &str,
+        fuel: usize,
+    ) -> BV {
+        if fuel == 0 {
+            // Unbounded loop: outside the finite fragment (paper §3.5).
+            ctx.bug_on(
+                serval_smt::SBool::lit(true),
+                &format!("evaluation fuel exhausted in {}", f.name),
+            );
+            return BV::lit(64, 0);
+        }
+        let block = f.block(label).clone();
+        for stmt in &block.stmts {
+            self.exec_stmt(ctx, mem, f, &mut env, stmt);
+        }
+        match &block.term {
+            Term::Ret(v) => self.value(&env, *v),
+            Term::Br(next) => self.exec_block(ctx, mem, f, env, next, fuel - 1),
+            Term::CondBr(c, then_l, else_l) => {
+                let cond = self.value(&env, *c).ne_(BV::lit(64, 0));
+                let env2 = env.clone();
+                ctx.branch(
+                    cond,
+                    mem,
+                    |ctx, mem| self.exec_block(ctx, mem, f, env, then_l, fuel - 1),
+                    |ctx, mem| self.exec_block(ctx, mem, f, env2, else_l, fuel - 1),
+                )
+            }
+        }
+    }
+
+    fn exec_stmt(&self, ctx: &mut SymCtx, mem: &mut Mem, f: &Func, env: &mut Env, stmt: &Stmt) {
+        match stmt {
+            Stmt::Bin { dst, op, a, b } => {
+                let x = self.value(env, *a);
+                let y = self.value(env, *b);
+                env.regs[*dst as usize] = self.bin(ctx, f, *op, x, y);
+            }
+            Stmt::Icmp { dst, pred, a, b } => {
+                let x = self.value(env, *a);
+                let y = self.value(env, *b);
+                let c = match pred {
+                    Pred::Eq => x.eq_(y),
+                    Pred::Ne => x.ne_(y),
+                    Pred::Ult => x.ult(y),
+                    Pred::Ule => x.ule(y),
+                    Pred::Ugt => x.ugt(y),
+                    Pred::Uge => x.uge(y),
+                    Pred::Slt => x.slt(y),
+                    Pred::Sle => x.sle(y),
+                    Pred::Sgt => x.sgt(y),
+                    Pred::Sge => x.sge(y),
+                };
+                env.regs[*dst as usize] = c.select(BV::lit(64, 1), BV::lit(64, 0));
+            }
+            Stmt::Select { dst, c, a, b } => {
+                let cond = self.value(env, *c).ne_(BV::lit(64, 0));
+                let x = self.value(env, *a);
+                let y = self.value(env, *b);
+                env.regs[*dst as usize] = cond.select(x, y);
+            }
+            Stmt::Load { dst, addr, bytes } => {
+                let a = self.value(env, *addr);
+                let v = mem.load(ctx, a, *bytes);
+                env.regs[*dst as usize] = v.zext(64);
+            }
+            Stmt::Store { addr, val, bytes } => {
+                let a = self.value(env, *addr);
+                let v = self.value(env, *val).trunc(*bytes * 8);
+                mem.store(ctx, a, v, *bytes);
+            }
+            Stmt::Call { dst, func, args } => {
+                let argv: Vec<BV> = args.iter().map(|&a| self.value(env, a)).collect();
+                let r = self.call(ctx, mem, func, &argv);
+                env.regs[*dst as usize] = r;
+            }
+        }
+    }
+
+    /// Binary operation with UBSan-style checks (paper §3.3: the LLVM
+    /// verifier reuses Clang UndefinedBehaviorSanitizer checks).
+    fn bin(&self, ctx: &mut SymCtx, f: &Func, op: BinOp, a: BV, b: BV) -> BV {
+        let sixty_four = BV::lit(64, 64);
+        match op {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::UDiv => {
+                ctx.bug_on(b.is_zero(), &format!("division by zero in {}", f.name));
+                a.udiv(b)
+            }
+            BinOp::URem => {
+                ctx.bug_on(b.is_zero(), &format!("remainder by zero in {}", f.name));
+                a.urem(b)
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => {
+                ctx.bug_on(
+                    b.uge(sixty_four),
+                    &format!("oversized shift in {}", f.name),
+                );
+                a.shl(b)
+            }
+            BinOp::LShr => {
+                ctx.bug_on(
+                    b.uge(sixty_four),
+                    &format!("oversized shift in {}", f.name),
+                );
+                a.lshr(b)
+            }
+            BinOp::AShr => {
+                ctx.bug_on(
+                    b.uge(sixty_four),
+                    &format!("oversized shift in {}", f.name),
+                );
+                a.ashr(b)
+            }
+        }
+    }
+}

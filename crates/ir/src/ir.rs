@@ -1,0 +1,277 @@
+//! The IR: functions of basic blocks over 64-bit virtual registers.
+//!
+//! All values are 64-bit integers (pointers included), matching both the
+//! RV64 target and the monitors' C-style implementations. Sub-word memory
+//! accesses specify a byte width.
+
+/// A value operand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Val {
+    /// A virtual register.
+    Reg(u32),
+    /// A 64-bit constant.
+    Const(i64),
+    /// The address of a named global (resolved by interpreter/compiler).
+    Global(&'static str),
+    /// The `i`-th function parameter.
+    Param(usize),
+}
+
+/// Binary operators. The `checked` wrappers in [`Stmt::Bin`] control
+/// UBSan-style checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Unsigned division; division by zero is UB (checked).
+    UDiv,
+    /// Unsigned remainder; zero divisor is UB (checked).
+    URem,
+    And,
+    Or,
+    Xor,
+    /// Shift left; amounts >= 64 are UB (checked).
+    Shl,
+    /// Logical shift right; amounts >= 64 are UB (checked).
+    LShr,
+    /// Arithmetic shift right; amounts >= 64 are UB (checked).
+    AShr,
+}
+
+/// Comparison predicates (icmp).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pred {
+    Eq,
+    Ne,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// `dst = a op b`.
+    Bin {
+        dst: u32,
+        op: BinOp,
+        a: Val,
+        b: Val,
+    },
+    /// `dst = (a pred b) ? 1 : 0`.
+    Icmp {
+        dst: u32,
+        pred: Pred,
+        a: Val,
+        b: Val,
+    },
+    /// `dst = c != 0 ? a : b`.
+    Select {
+        dst: u32,
+        c: Val,
+        a: Val,
+        b: Val,
+    },
+    /// `dst = *(addr)` of `bytes` bytes, zero-extended.
+    Load {
+        dst: u32,
+        addr: Val,
+        bytes: u32,
+    },
+    /// `*(addr) = val` of `bytes` bytes.
+    Store {
+        addr: Val,
+        val: Val,
+        bytes: u32,
+    },
+    /// `dst = f(args...)` — a direct call.
+    Call {
+        dst: u32,
+        func: &'static str,
+        args: Vec<Val>,
+    },
+}
+
+/// A block terminator.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// Unconditional branch.
+    Br(&'static str),
+    /// Branch on `c != 0`.
+    CondBr(Val, &'static str, &'static str),
+    /// Return a value.
+    Ret(Val),
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Label.
+    pub label: &'static str,
+    /// Straight-line body.
+    pub stmts: Vec<Stmt>,
+    /// Terminator.
+    pub term: Term,
+}
+
+/// A function.
+#[derive(Clone, Debug)]
+pub struct Func {
+    /// Name (call target and diagnostics).
+    pub name: &'static str,
+    /// Number of parameters.
+    pub params: usize,
+    /// Number of virtual registers used (registers are dense `0..regs`).
+    pub regs: u32,
+    /// Blocks; entry is the first.
+    pub blocks: Vec<Block>,
+}
+
+impl Func {
+    /// The block labelled `label`.
+    pub fn block(&self, label: &str) -> &Block {
+        self.blocks
+            .iter()
+            .find(|b| b.label == label)
+            .unwrap_or_else(|| panic!("no block {label} in {}", self.name))
+    }
+}
+
+/// A module: functions plus the addresses of named globals.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Functions; call targets are resolved by name.
+    pub funcs: Vec<Func>,
+    /// Global name → physical address (mirrors the symbol table the paper
+    /// extracts with objdump).
+    pub globals: Vec<(&'static str, u64)>,
+}
+
+impl Module {
+    /// The function named `name`.
+    pub fn func(&self, name: &str) -> &Func {
+        self.funcs
+            .iter()
+            .find(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no function {name}"))
+    }
+
+    /// The address of global `name`.
+    pub fn global(&self, name: &str) -> u64 {
+        self.globals
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("no global {name}"))
+            .1
+    }
+}
+
+/// A tiny builder DSL for writing functions by hand.
+pub struct FuncBuilder {
+    name: &'static str,
+    params: usize,
+    next_reg: u32,
+    blocks: Vec<Block>,
+    cur: Option<(&'static str, Vec<Stmt>)>,
+}
+
+impl FuncBuilder {
+    /// Starts a function with `params` parameters.
+    pub fn new(name: &'static str, params: usize) -> FuncBuilder {
+        FuncBuilder {
+            name,
+            params,
+            next_reg: 0,
+            blocks: Vec::new(),
+            cur: None,
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn reg(&mut self) -> u32 {
+        let r = self.next_reg;
+        self.next_reg += 1;
+        r
+    }
+
+    /// Opens a block.
+    pub fn block(&mut self, label: &'static str) -> &mut Self {
+        assert!(self.cur.is_none(), "previous block not terminated");
+        self.cur = Some((label, Vec::new()));
+        self
+    }
+
+    /// Appends a statement to the open block.
+    pub fn stmt(&mut self, s: Stmt) -> &mut Self {
+        self.cur.as_mut().expect("no open block").1.push(s);
+        self
+    }
+
+    /// `dst = a op b` with a fresh destination.
+    pub fn bin(&mut self, op: BinOp, a: Val, b: Val) -> Val {
+        let dst = self.reg();
+        self.stmt(Stmt::Bin { dst, op, a, b });
+        Val::Reg(dst)
+    }
+
+    /// `dst = icmp pred a, b`.
+    pub fn icmp(&mut self, pred: Pred, a: Val, b: Val) -> Val {
+        let dst = self.reg();
+        self.stmt(Stmt::Icmp { dst, pred, a, b });
+        Val::Reg(dst)
+    }
+
+    /// `dst = select c, a, b`.
+    pub fn select(&mut self, c: Val, a: Val, b: Val) -> Val {
+        let dst = self.reg();
+        self.stmt(Stmt::Select { dst, c, a, b });
+        Val::Reg(dst)
+    }
+
+    /// `dst = load bytes, addr`.
+    pub fn load(&mut self, addr: Val, bytes: u32) -> Val {
+        let dst = self.reg();
+        self.stmt(Stmt::Load { dst, addr, bytes });
+        Val::Reg(dst)
+    }
+
+    /// `store bytes, val -> addr`.
+    pub fn store(&mut self, addr: Val, val: Val, bytes: u32) -> &mut Self {
+        self.stmt(Stmt::Store { addr, val, bytes })
+    }
+
+    /// `dst = call f(args)`.
+    pub fn call(&mut self, func: &'static str, args: Vec<Val>) -> Val {
+        let dst = self.reg();
+        self.stmt(Stmt::Call { dst, func, args });
+        Val::Reg(dst)
+    }
+
+    /// Closes the open block with a terminator.
+    pub fn term(&mut self, t: Term) -> &mut Self {
+        let (label, stmts) = self.cur.take().expect("no open block");
+        self.blocks.push(Block {
+            label,
+            stmts,
+            term: t,
+        });
+        self
+    }
+
+    /// Finishes the function.
+    pub fn build(self) -> Func {
+        assert!(self.cur.is_none(), "unterminated block");
+        Func {
+            name: self.name,
+            params: self.params,
+            regs: self.next_reg,
+            blocks: self.blocks,
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! IR verifier and compiler tests, including symbolic differential
+//! validation: for each optimization level, the compiled RV64 binary is
+//! proven to compute the same result as the IR interpreter on *symbolic*
+//! arguments — a miniature translation validation.
+
+use crate::compile::{compile, OptLevel};
+use crate::ir::{BinOp, FuncBuilder, Module, Pred, Stmt, Term, Val};
+use crate::interp::IrInterp;
+use serval_core::{Layout, Mem, MemCfg, PathElem};
+use serval_riscv::{reg, Asm, Interp as RvInterp, Machine};
+use serval_smt::{reset_ctx, verify, BV};
+use serval_sym::SymCtx;
+
+const STACK_TOP: u64 = 0x8010_0000;
+const COUNTER: u64 = 0x8020_0000;
+
+/// max(a, b) with a branch.
+fn max_func() -> crate::ir::Func {
+    let mut b = FuncBuilder::new("max", 2);
+    b.block("entry");
+    let c = b.icmp(Pred::Uge, Val::Param(0), Val::Param(1));
+    b.term(Term::CondBr(c, "a", "b"));
+    b.block("a").term(Term::Ret(Val::Param(0)));
+    b.block("b").term(Term::Ret(Val::Param(1)));
+    b.build()
+}
+
+/// Increments a global counter by a parameter, returns the new value.
+fn bump_func() -> crate::ir::Func {
+    let mut b = FuncBuilder::new("bump", 1);
+    b.block("entry");
+    let old = b.load(Val::Global("counter"), 8);
+    let new = b.bin(BinOp::Add, old, Val::Param(0));
+    b.store(Val::Global("counter"), new, 8);
+    b.term(Term::Ret(new));
+    b.build()
+}
+
+/// Calls bump twice: tests the call path.
+fn double_bump_func() -> crate::ir::Func {
+    let mut b = FuncBuilder::new("double_bump", 1);
+    b.block("entry");
+    let _ = b.call("bump", vec![Val::Param(0)]);
+    let r = b.call("bump", vec![Val::Param(0)]);
+    b.term(Term::Ret(r));
+    b.build()
+}
+
+/// A bounded loop: sum 0..n for constant n (compiled as a real loop).
+fn sum_func() -> crate::ir::Func {
+    let mut b = FuncBuilder::new("sum8", 0);
+    let acc = b.reg();
+    let i = b.reg();
+    b.block("entry");
+    b.stmt(Stmt::Bin { dst: acc, op: BinOp::Add, a: Val::Const(0), b: Val::Const(0) });
+    b.stmt(Stmt::Bin { dst: i, op: BinOp::Add, a: Val::Const(0), b: Val::Const(0) });
+    b.term(Term::Br("loop"));
+    b.block("loop");
+    b.stmt(Stmt::Bin { dst: acc, op: BinOp::Add, a: Val::Reg(acc), b: Val::Reg(i) });
+    b.stmt(Stmt::Bin { dst: i, op: BinOp::Add, a: Val::Reg(i), b: Val::Const(1) });
+    let c = b.icmp(Pred::Ult, Val::Reg(i), Val::Const(8));
+    b.term(Term::CondBr(c, "loop", "done"));
+    b.block("done").term(Term::Ret(Val::Reg(acc)));
+    b.build()
+}
+
+fn test_module() -> Module {
+    Module {
+        funcs: vec![max_func(), bump_func(), double_bump_func(), sum_func()],
+        globals: vec![("counter", COUNTER)],
+    }
+}
+
+fn fresh_mem() -> Mem {
+    let mut mem = Mem::new(MemCfg::default());
+    mem.add_region(
+        "counter",
+        COUNTER,
+        Layout::Struct(vec![("value".into(), Layout::Cell(8))]).instantiate_fresh("counter"),
+    );
+    mem.add_region(
+        "stack",
+        STACK_TOP - 4096,
+        Layout::Array(512, Box::new(Layout::Cell(8))).instantiate_fresh("stack"),
+    );
+    mem
+}
+
+#[test]
+fn interp_max() {
+    reset_ctx();
+    let module = test_module();
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    let interp = IrInterp::new(&module);
+    let (a, b) = (BV::fresh(64, "a"), BV::fresh(64, "b"));
+    let r = interp.call(&mut ctx, &mut mem, "max", &[a, b]);
+    let expect = a.uge(b).select(a, b);
+    assert!(verify(&[], r.eq_(expect)).is_proved());
+}
+
+#[test]
+fn interp_global_and_calls() {
+    reset_ctx();
+    let module = test_module();
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    let init = mem.read_path("counter", &[PathElem::Field("value")]);
+    let interp = IrInterp::new(&module);
+    let x = BV::fresh(64, "x");
+    let r = interp.call(&mut ctx, &mut mem, "double_bump", &[x]);
+    assert!(verify(&[], r.eq_(init + x + x)).is_proved());
+}
+
+#[test]
+fn interp_bounded_loop() {
+    reset_ctx();
+    let module = test_module();
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    let interp = IrInterp::new(&module);
+    let r = interp.call(&mut ctx, &mut mem, "sum8", &[]);
+    assert_eq!(r.as_const(), Some((0..8).sum::<u128>()));
+}
+
+#[test]
+fn ub_oversized_shift_flagged() {
+    reset_ctx();
+    // r = 1 << p with unconstrained p: UBSan-style check must fail.
+    let mut b = FuncBuilder::new("shifty", 1);
+    b.block("entry");
+    let r = b.bin(BinOp::Shl, Val::Const(1), Val::Param(0));
+    b.term(Term::Ret(r));
+    let module = Module {
+        funcs: vec![b.build()],
+        globals: vec![],
+    };
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    let interp = IrInterp::new(&module);
+    let p = BV::fresh(64, "p");
+    interp.call(&mut ctx, &mut mem, "shifty", &[p]);
+    let failed = ctx
+        .take_obligations()
+        .into_iter()
+        .any(|ob| !verify(&[], ob.condition).is_proved());
+    assert!(failed, "oversized shift must be flagged");
+}
+
+#[test]
+fn ub_division_by_zero_flagged() {
+    reset_ctx();
+    let mut b = FuncBuilder::new("divy", 2);
+    b.block("entry");
+    let r = b.bin(BinOp::UDiv, Val::Param(0), Val::Param(1));
+    b.term(Term::Ret(r));
+    let module = Module {
+        funcs: vec![b.build()],
+        globals: vec![],
+    };
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    let interp = IrInterp::new(&module);
+    let args = [BV::fresh(64, "a"), BV::fresh(64, "b")];
+    interp.call(&mut ctx, &mut mem, "divy", &args);
+    let failed = ctx
+        .take_obligations()
+        .into_iter()
+        .any(|ob| !verify(&[], ob.condition).is_proved());
+    assert!(failed, "division by zero must be flagged");
+}
+
+/// Runs a compiled function on the RISC-V verifier with symbolic args.
+fn run_compiled(
+    ctx: &mut SymCtx,
+    module: &Module,
+    level: OptLevel,
+    func: &str,
+    args: &[BV],
+    mem: Mem,
+) -> (BV, Machine) {
+    let tag = format!("{func} at {level:?}");
+    let mut asm = Asm::new();
+    // Entry stub: set up the stack, call the function, then mret.
+    asm.la(reg::SP, "stack_top");
+    asm.define_symbol("stack_top", STACK_TOP);
+    asm.call(func);
+    asm.i(serval_riscv::Insn::Mret);
+    compile(module, level, &mut asm);
+    let base = 0x8000_0000;
+    let words = asm.assemble(base);
+    let interp = RvInterp::from_words(base, &words, 4096).unwrap();
+    let mut m = Machine::fresh_at(base, mem, "m");
+    for (i, &a) in args.iter().enumerate() {
+        m.set_reg(reg::A0 + i as u8, a);
+    }
+    let o = interp.run(ctx, &mut m);
+    assert!(o.ok(), "compiled run of {tag} failed: {o:?}");
+    (m.reg(reg::A0), m)
+}
+
+/// Translation validation: IR semantics == compiled binary semantics, for
+/// symbolic inputs, at every optimization level.
+#[test]
+fn compiled_matches_interp_all_levels() {
+    let module = test_module();
+    for level in OptLevel::ALL {
+        for func in ["max", "bump", "double_bump", "sum8"] {
+            reset_ctx();
+            let mut ctx = SymCtx::new();
+            let nargs = module.func(func).params;
+            let args: Vec<BV> = (0..nargs)
+                .map(|i| BV::fresh(64, &format!("arg{i}")))
+                .collect();
+            // IR side.
+            let mut ir_mem = fresh_mem();
+            let ir_counter0 = ir_mem.read_path("counter", &[PathElem::Field("value")]);
+            let ir_r = IrInterp::new(&module).call(&mut ctx, &mut ir_mem, func, &args);
+            let ir_counter = ir_mem.read_path("counter", &[PathElem::Field("value")]);
+            // Compiled side, with an independent memory whose counter is
+            // pinned equal to the IR side's initial value.
+            let mut rv_mem = fresh_mem();
+            rv_mem.write_path("counter", &[PathElem::Field("value")], ir_counter0);
+            let (rv_r, m) = run_compiled(&mut ctx, &module, level, func, &args, rv_mem);
+            let rv_counter = m.mem.read_path("counter", &[PathElem::Field("value")]);
+            assert!(
+                verify(&[], rv_r.eq_(ir_r)).is_proved(),
+                "{func} at {level:?}: return value differs"
+            );
+            assert!(
+                verify(&[], rv_counter.eq_(ir_counter)).is_proved(),
+                "{func} at {level:?}: global state differs"
+            );
+        }
+    }
+}
+
+/// Higher optimization levels execute fewer instructions (the dynamic
+/// count is what drives verification time in Fig. 11; static size can
+/// grow slightly at O1 due to callee-saved spills in tiny functions).
+#[test]
+fn opt_levels_reduce_dynamic_instructions() {
+    let module = test_module();
+    let mut steps = Vec::new();
+    for level in OptLevel::ALL {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let mut asm = Asm::new();
+        asm.la(reg::SP, "stack_top");
+        asm.define_symbol("stack_top", STACK_TOP);
+        asm.call("sum8");
+        asm.i(serval_riscv::Insn::Mret);
+        compile(&module, level, &mut asm);
+        let words = asm.assemble(0x8000_0000);
+        let interp = RvInterp::from_words(0x8000_0000, &words, 4096).unwrap();
+        let mut m = Machine::fresh_at(0x8000_0000, fresh_mem(), "m");
+        let o = interp.run(&mut ctx, &mut m);
+        assert!(o.ok(), "{level:?}: {o:?}");
+        assert_eq!(m.reg(reg::A0).as_const(), Some((0..8).sum::<u128>()));
+        steps.push(o.steps);
+    }
+    assert!(
+        steps[0] > steps[1] && steps[1] >= steps[2],
+        "dynamic instruction counts must shrink with optimization: {steps:?}"
+    );
+}

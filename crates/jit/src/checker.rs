@@ -1,0 +1,240 @@
+//! The JIT-correctness checker (paper §7).
+//!
+//! The property: starting from a BPF state and an equivalent machine
+//! state, the result of executing a single BPF instruction on the BPF
+//! state is equivalent to the machine state after executing the JIT's
+//! output for that instruction. Violations are reported as bugs with
+//! counterexamples, which the paper turned into kernel patches and
+//! regression tests.
+
+use crate::rv64::{reg_map, Rv64Jit};
+use crate::x86jit::{pair_map, X86Jit};
+use serval_bpf::{AluOp, BpfInterp, BpfState, Insn as Bpf, Src};
+use serval_core::{Mem, MemCfg};
+use serval_riscv::{Interp as RvInterp, Machine};
+use serval_smt::solver::SolverConfig;
+use serval_smt::{reset_ctx, SBool, VerifyResult};
+use serval_sym::SymCtx;
+use std::time::Instant;
+
+/// One checker verdict.
+#[derive(Clone, Debug)]
+pub struct CheckRow {
+    /// Target ISA ("rv64" or "x86-32").
+    pub target: &'static str,
+    /// Description of the BPF instruction checked.
+    pub insn: String,
+    /// Whether the translation was verified equivalent.
+    pub ok: bool,
+    /// Counterexample description when not ok.
+    pub cex: Option<String>,
+    /// Wall time of the check.
+    pub millis: u128,
+}
+
+/// Checks one BPF instruction against the RISC-V JIT. Returns `None` when
+/// the JIT does not cover the instruction. Resets the thread's term
+/// context.
+pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+    let seq = jit.emit(insn)?;
+    reset_ctx();
+    let start = Instant::now();
+    let mut ctx = SymCtx::new();
+    // Full fidelity: the emitted instructions go through machine-code
+    // encoding and validated decoding (paper §3.4).
+    let mut words: Vec<u32> = seq.iter().map(|&i| serval_riscv::encode(i)).collect();
+    words.push(serval_riscv::encode(serval_riscv::Insn::Mret));
+    let interp = match RvInterp::from_words(0, &words, 256) {
+        Ok(i) => i,
+        Err(e) => {
+            return Some(CheckRow {
+                target: "rv64",
+                insn: format!("{insn:?}"),
+                ok: false,
+                cex: Some(format!("emitted invalid machine code: {e}")),
+                millis: start.elapsed().as_millis(),
+            })
+        }
+    };
+    let b0 = BpfState::fresh("bpf");
+    let mut b = b0.clone();
+    let mut m = Machine::fresh_at(0, Mem::new(MemCfg::default()), "rv");
+    for r in 0..=10u8 {
+        m.set_reg(reg_map(r), b.reg(r));
+    }
+    let bpf = BpfInterp::new(vec![]);
+    bpf.step_insn(&mut ctx, &mut b, insn);
+    let o = interp.run(&mut ctx, &mut m);
+    if !o.ok() {
+        return Some(CheckRow {
+            target: "rv64",
+            insn: format!("{insn:?}"),
+            ok: false,
+            cex: Some(format!("machine run did not complete: {o:?}")),
+            millis: start.elapsed().as_millis(),
+        });
+    }
+    // Equivalence goal over every BPF register.
+    let mut goal = SBool::lit(true);
+    for r in 0..=10u8 {
+        goal = goal & m.reg(reg_map(r)).eq_(b.reg(r));
+    }
+    finish("rv64", insn, &b0, &ctx, cfg, goal, start)
+}
+
+/// Checks one BPF instruction against the x86-32 JIT.
+pub fn check_x86(jit: &X86Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+    let seq = jit.emit(insn)?;
+    reset_ctx();
+    let start = Instant::now();
+    let mut ctx = SymCtx::new();
+    // Fidelity: round-trip through machine bytes.
+    for &i in &seq {
+        let bytes = serval_x86::encode(i);
+        if serval_x86::decode_validated(&bytes).is_err() {
+            return Some(CheckRow {
+                target: "x86-32",
+                insn: format!("{insn:?}"),
+                ok: false,
+                cex: Some("emitted invalid machine code".into()),
+                millis: start.elapsed().as_millis(),
+            });
+        }
+    }
+    let interp = serval_x86::X86Interp::new(seq);
+    let b0 = BpfState::fresh("bpf");
+    let mut b = b0.clone();
+    let mut m = serval_x86::X86State::fresh("x86");
+    for r in 0..=2u8 {
+        let (lo, hi) = pair_map(r);
+        m.set_reg(lo, b.reg(r).trunc(32));
+        m.set_reg(hi, b.reg(r).extract(63, 32));
+    }
+    let bpf = BpfInterp::new(vec![]);
+    bpf.step_insn(&mut ctx, &mut b, insn);
+    if !interp.run(&mut ctx, &mut m) {
+        return Some(CheckRow {
+            target: "x86-32",
+            insn: format!("{insn:?}"),
+            ok: false,
+            cex: Some("machine run diverged".into()),
+            millis: start.elapsed().as_millis(),
+        });
+    }
+    let mut goal = SBool::lit(true);
+    for r in 0..=2u8 {
+        let (lo, hi) = pair_map(r);
+        goal = goal & m.reg(hi).concat(m.reg(lo)).eq_(b.reg(r));
+    }
+    finish("x86-32", insn, &b0, &ctx, cfg, goal, start)
+}
+
+fn finish(
+    target: &'static str,
+    insn: Bpf,
+    b0: &BpfState,
+    ctx: &SymCtx,
+    cfg: SolverConfig,
+    mut goal: SBool,
+    start: Instant,
+) -> Option<CheckRow> {
+    // Collected UB obligations must also hold (e.g. no jumps out of the
+    // emitted sequence).
+    for ob in ctx.obligations() {
+        goal = goal & ob.condition;
+    }
+    let (ok, cex) = match serval_smt::solver::verify_with(cfg, ctx.assumptions(), goal) {
+        VerifyResult::Proved => (true, None),
+        VerifyResult::Unknown => (false, Some("solver budget exhausted".into())),
+        VerifyResult::Counterexample(model) => {
+            let mut desc = String::from("counterexample:");
+            for r in 0..=10u8 {
+                let v = model.eval_bv(b0.reg(r).0) as u64;
+                if v != 0 {
+                    desc.push_str(&format!(" r{r}={v:#x}"));
+                }
+            }
+            (false, Some(desc))
+        }
+    };
+    Some(CheckRow {
+        target,
+        insn: format!("{insn:?}"),
+        ok,
+        cex,
+        millis: start.elapsed().as_millis(),
+    })
+}
+
+/// Immediates exercised for `K`-form instructions (shift corner cases
+/// included: 0, 32 boundary, and large counts).
+pub const K_VALUES: [i32; 7] = [0, 1, 31, 32, 33, 63, -1];
+
+/// Sweeps the RISC-V JIT across every ALU instruction in both widths and
+/// both source forms (paper §7's per-instruction checking).
+pub fn sweep_rv64(jit: &Rv64Jit, cfg: SolverConfig) -> Vec<CheckRow> {
+    let mut rows = Vec::new();
+    for &op in &AluOp::ALL {
+        for is32 in [false, true] {
+            // Register form.
+            let insn = mk_insn(op, is32, Src::X, 0);
+            if let Some(row) = check_rv64(jit, insn, cfg) {
+                rows.push(row);
+            }
+            // Immediate forms across the corner-case constants; report the
+            // first failing immediate.
+            let mut k_row: Option<CheckRow> = None;
+            for &k in &K_VALUES {
+                let insn = mk_insn(op, is32, Src::K, k);
+                if let Some(row) = check_rv64(jit, insn, cfg) {
+                    let failed = !row.ok;
+                    if k_row.is_none() || failed {
+                        k_row = Some(row);
+                    }
+                    if failed {
+                        break;
+                    }
+                }
+            }
+            rows.extend(k_row);
+        }
+    }
+    rows
+}
+
+/// Sweeps the x86-32 JIT (register-only subset).
+pub fn sweep_x86(jit: &X86Jit, cfg: SolverConfig) -> Vec<CheckRow> {
+    let mut rows = Vec::new();
+    for &op in &AluOp::ALL {
+        for is32 in [false, true] {
+            let insn = mk_insn(op, is32, Src::X, 0);
+            if let Some(row) = check_x86(jit, insn, cfg) {
+                rows.push(row);
+            }
+            let mut k_row: Option<CheckRow> = None;
+            for &k in &K_VALUES {
+                let insn = mk_insn(op, is32, Src::K, k);
+                if let Some(row) = check_x86(jit, insn, cfg) {
+                    let failed = !row.ok;
+                    if k_row.is_none() || failed {
+                        k_row = Some(row);
+                    }
+                    if failed {
+                        break;
+                    }
+                }
+            }
+            rows.extend(k_row);
+        }
+    }
+    rows
+}
+
+fn mk_insn(op: AluOp, is32: bool, src: Src, imm: i32) -> Bpf {
+    let (dst, srcr) = (1, 2);
+    if is32 {
+        Bpf::Alu32 { op, src, dst, srcr, imm }
+    } else {
+        Bpf::Alu64 { op, src, dst, srcr, imm }
+    }
+}

@@ -1,0 +1,26 @@
+//! BPF JIT compilers and the Serval JIT-correctness checker (paper §7).
+//!
+//! The paper combines the BPF verifier with the RISC-V and x86-32
+//! verifiers to check the Linux kernel's BPF JITs one instruction at a
+//! time, finding 15 bugs (9 RISC-V, 6 x86-32), all in the handling of
+//! zero extensions and bit shifts. This crate reproduces that experiment:
+//!
+//! - [`rv64`]: a BPF→RV64 JIT modelled on the kernel's, with the nine
+//!   historical bug classes reintroducible via [`rv64::RvBug`];
+//! - [`x86jit`]: a BPF→x86-32 JIT using register pairs for 64-bit values,
+//!   with the six shift-handling bugs reintroducible via
+//!   [`x86jit::X86Bug`];
+//! - [`checker`]: the per-instruction equivalence checker — starting from
+//!   a BPF state and a corresponding machine state, executing one BPF
+//!   instruction must be equivalent to executing the JIT's output.
+
+pub mod checker;
+pub mod rv64;
+pub mod x86jit;
+
+pub use checker::{check_rv64, check_x86, sweep_rv64, sweep_x86, CheckRow};
+pub use rv64::{Rv64Jit, RvBug};
+pub use x86jit::{X86Bug, X86Jit};
+
+#[cfg(test)]
+mod tests;

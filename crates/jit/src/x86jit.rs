@@ -1,0 +1,321 @@
+//! A BPF→x86-32 JIT modelled on the kernel's `bpf_jit_comp32.c`: 64-bit
+//! BPF values live in 32-bit register pairs, and 64-bit shifts use
+//! `shld`/`shrd` with an explicit fix-up for counts of 32 or more.
+//!
+//! The six [`X86Bug`] variants reproduce the §7 x86-32 bug class — the
+//! ALU64 {LSH, RSH, ARSH} × {K, X} shifts mishandling counts ≥ 32 — so the
+//! checker can demonstrate finding them.
+
+use serval_bpf::{AluOp, Insn as Bpf, Src};
+use serval_x86::{Alu, Cc, Insn as X86, Reg, ShiftOp};
+use std::collections::BTreeSet;
+
+/// The six §7 x86-32 JIT bugs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum X86Bug {
+    /// ALU64 lsh by immediate: counts >= 32 use the small-count path.
+    LshK,
+    /// ALU64 rsh by immediate.
+    RshK,
+    /// ALU64 arsh by immediate.
+    ArshK,
+    /// ALU64 lsh by register: missing the >= 32 fix-up.
+    LshX,
+    /// ALU64 rsh by register.
+    RshX,
+    /// ALU64 arsh by register.
+    ArshX,
+}
+
+impl X86Bug {
+    /// All six bugs.
+    pub const ALL: [X86Bug; 6] = [
+        X86Bug::LshK,
+        X86Bug::RshK,
+        X86Bug::ArshK,
+        X86Bug::LshX,
+        X86Bug::RshX,
+        X86Bug::ArshX,
+    ];
+}
+
+/// BPF register → (low, high) x86 register pair. The checker maps BPF
+/// r0-r2; the kernel keeps further registers on the stack, which the
+/// register-only model omits (see DESIGN.md).
+pub fn pair_map(r: u8) -> (Reg, Reg) {
+    match r {
+        0 => (Reg::Eax, Reg::Edx),
+        1 => (Reg::Ebx, Reg::Ebp),
+        2 => (Reg::Esi, Reg::Edi),
+        _ => panic!("bpf register r{r} is not register-allocated on x86-32"),
+    }
+}
+
+/// The BPF→x86-32 JIT.
+#[derive(Clone, Debug, Default)]
+pub struct X86Jit {
+    /// Bugs to reintroduce; empty = the fixed JIT.
+    pub bugs: BTreeSet<X86Bug>,
+}
+
+impl X86Jit {
+    /// A correct (fixed) JIT.
+    pub fn fixed() -> X86Jit {
+        X86Jit::default()
+    }
+
+    /// A JIT with all six historical bugs present.
+    pub fn buggy() -> X86Jit {
+        X86Jit {
+            bugs: X86Bug::ALL.into_iter().collect(),
+        }
+    }
+
+    fn has(&self, b: X86Bug) -> bool {
+        self.bugs.contains(&b)
+    }
+
+    /// Emits the x86 sequence for one BPF instruction; `None` when the
+    /// instruction is outside the register-only subset (mul/div/mod go
+    /// through helper calls in the kernel).
+    pub fn emit(&self, insn: Bpf) -> Option<Vec<X86>> {
+        let mut out = Vec::new();
+        match insn {
+            Bpf::Alu64 { op, src, dst, srcr, imm } => {
+                if dst > 2 || (src == Src::X && srcr > 2) {
+                    return None;
+                }
+                self.emit_alu64(&mut out, op, src, dst, srcr, imm)?;
+            }
+            Bpf::Alu32 { op, src, dst, srcr, imm } => {
+                if dst > 2 || (src == Src::X && srcr > 2) {
+                    return None;
+                }
+                self.emit_alu32(&mut out, op, src, dst, srcr, imm)?;
+            }
+            _ => return None,
+        }
+        Some(out)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_alu64(
+        &self,
+        out: &mut Vec<X86>,
+        op: AluOp,
+        src: Src,
+        dst: u8,
+        srcr: u8,
+        imm: i32,
+    ) -> Option<()> {
+        let (dl, dh) = pair_map(dst);
+        let hi_imm = (imm >> 31) as u32; // sign extension of the immediate
+        match op {
+            AluOp::Add | AluOp::Sub => {
+                let (lo_op, hi_op) = if op == AluOp::Add {
+                    (Alu::Add, Alu::Adc)
+                } else {
+                    (Alu::Sub, Alu::Sbb)
+                };
+                match src {
+                    Src::X => {
+                        let (sl, sh) = pair_map(srcr);
+                        out.push(X86::AluRR { op: lo_op, dst: dl, src: sl });
+                        out.push(X86::AluRR { op: hi_op, dst: dh, src: sh });
+                    }
+                    Src::K => {
+                        out.push(X86::AluRI { op: lo_op, dst: dl, imm: imm as u32 });
+                        out.push(X86::AluRI { op: hi_op, dst: dh, imm: hi_imm });
+                    }
+                }
+            }
+            AluOp::And | AluOp::Or | AluOp::Xor => {
+                let a = match op {
+                    AluOp::And => Alu::And,
+                    AluOp::Or => Alu::Or,
+                    _ => Alu::Xor,
+                };
+                match src {
+                    Src::X => {
+                        let (sl, sh) = pair_map(srcr);
+                        out.push(X86::AluRR { op: a, dst: dl, src: sl });
+                        out.push(X86::AluRR { op: a, dst: dh, src: sh });
+                    }
+                    Src::K => {
+                        out.push(X86::AluRI { op: a, dst: dl, imm: imm as u32 });
+                        out.push(X86::AluRI { op: a, dst: dh, imm: hi_imm });
+                    }
+                }
+            }
+            AluOp::Mov => match src {
+                Src::X => {
+                    let (sl, sh) = pair_map(srcr);
+                    out.push(X86::MovRR { dst: dl, src: sl });
+                    out.push(X86::MovRR { dst: dh, src: sh });
+                }
+                Src::K => {
+                    out.push(X86::MovRI { dst: dl, imm: imm as u32 });
+                    out.push(X86::MovRI { dst: dh, imm: hi_imm });
+                }
+            },
+            AluOp::Neg => {
+                // -x = ~x + 1 across the pair.
+                out.push(X86::Not { dst: dl });
+                out.push(X86::Not { dst: dh });
+                out.push(X86::AluRI { op: Alu::Add, dst: dl, imm: 1 });
+                out.push(X86::AluRI { op: Alu::Adc, dst: dh, imm: 0 });
+            }
+            AluOp::Lsh | AluOp::Rsh | AluOp::Arsh => match src {
+                Src::K => self.shift64_k(out, op, dl, dh, imm as u32 & 63),
+                Src::X => {
+                    let (sl, _sh) = pair_map(srcr);
+                    self.shift64_x(out, op, dl, dh, sl);
+                }
+            },
+            // Multiplication and division go through helper calls in the
+            // kernel's 32-bit JIT; out of the register-only scope.
+            AluOp::Mul | AluOp::Div | AluOp::Mod => return None,
+        }
+        Some(())
+    }
+
+    /// 64-bit shift by a constant (pre-masked to 0..=63).
+    fn shift64_k(&self, out: &mut Vec<X86>, op: AluOp, dl: Reg, dh: Reg, k: u32) {
+        let bug = match op {
+            AluOp::Lsh => self.has(X86Bug::LshK),
+            AluOp::Rsh => self.has(X86Bug::RshK),
+            _ => self.has(X86Bug::ArshK),
+        };
+        if k == 0 {
+            return;
+        }
+        let small = k < 32 || bug; // the bug: always take the small path
+        let k8 = if small { (k & 31) as u8 } else { (k - 32) as u8 };
+        match op {
+            AluOp::Lsh => {
+                if small {
+                    out.push(X86::ShldRI { dst: dh, src: dl, imm: k8 });
+                    out.push(X86::ShiftRI { op: ShiftOp::Shl, dst: dl, imm: k8 });
+                } else {
+                    out.push(X86::MovRR { dst: dh, src: dl });
+                    out.push(X86::ShiftRI { op: ShiftOp::Shl, dst: dh, imm: k8 });
+                    out.push(X86::MovRI { dst: dl, imm: 0 });
+                }
+            }
+            AluOp::Rsh => {
+                if small {
+                    out.push(X86::ShrdRI { dst: dl, src: dh, imm: k8 });
+                    out.push(X86::ShiftRI { op: ShiftOp::Shr, dst: dh, imm: k8 });
+                } else {
+                    out.push(X86::MovRR { dst: dl, src: dh });
+                    out.push(X86::ShiftRI { op: ShiftOp::Shr, dst: dl, imm: k8 });
+                    out.push(X86::MovRI { dst: dh, imm: 0 });
+                }
+            }
+            _ => {
+                if small {
+                    out.push(X86::ShrdRI { dst: dl, src: dh, imm: k8 });
+                    out.push(X86::ShiftRI { op: ShiftOp::Sar, dst: dh, imm: k8 });
+                } else {
+                    out.push(X86::MovRR { dst: dl, src: dh });
+                    out.push(X86::ShiftRI { op: ShiftOp::Sar, dst: dl, imm: k8 });
+                    out.push(X86::ShiftRI { op: ShiftOp::Sar, dst: dh, imm: 31 });
+                }
+            }
+        }
+    }
+
+    /// 64-bit shift by a register (the count register is `ecx`).
+    fn shift64_x(&self, out: &mut Vec<X86>, op: AluOp, dl: Reg, dh: Reg, sl: Reg) {
+        let bug = match op {
+            AluOp::Lsh => self.has(X86Bug::LshX),
+            AluOp::Rsh => self.has(X86Bug::RshX),
+            _ => self.has(X86Bug::ArshX),
+        };
+        out.push(X86::MovRR { dst: Reg::Ecx, src: sl });
+        out.push(X86::AluRI { op: Alu::And, dst: Reg::Ecx, imm: 63 });
+        match op {
+            AluOp::Lsh => {
+                out.push(X86::ShldRCl { dst: dh, src: dl });
+                out.push(X86::ShiftRCl { op: ShiftOp::Shl, dst: dl });
+            }
+            AluOp::Rsh => {
+                out.push(X86::ShrdRCl { dst: dl, src: dh });
+                out.push(X86::ShiftRCl { op: ShiftOp::Shr, dst: dh });
+            }
+            _ => {
+                out.push(X86::ShrdRCl { dst: dl, src: dh });
+                out.push(X86::ShiftRCl { op: ShiftOp::Sar, dst: dh });
+            }
+        }
+        if bug {
+            // The historical bug: no fix-up for counts >= 32.
+            return;
+        }
+        // if (count >= 32) { fix up the pair }
+        out.push(X86::AluRI { op: Alu::Cmp, dst: Reg::Ecx, imm: 32 });
+        out.push(X86::Jcc { cc: Cc::B, target: 2 });
+        match op {
+            AluOp::Lsh => {
+                out.push(X86::MovRR { dst: dh, src: dl });
+                out.push(X86::MovRI { dst: dl, imm: 0 });
+            }
+            AluOp::Rsh => {
+                out.push(X86::MovRR { dst: dl, src: dh });
+                out.push(X86::MovRI { dst: dh, imm: 0 });
+            }
+            _ => {
+                out.push(X86::MovRR { dst: dl, src: dh });
+                out.push(X86::ShiftRI { op: ShiftOp::Sar, dst: dh, imm: 31 });
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn emit_alu32(
+        &self,
+        out: &mut Vec<X86>,
+        op: AluOp,
+        src: Src,
+        dst: u8,
+        srcr: u8,
+        imm: i32,
+    ) -> Option<()> {
+        let (dl, dh) = pair_map(dst);
+        let lo = |out: &mut Vec<X86>, a: Alu| match src {
+            Src::X => out.push(X86::AluRR { op: a, dst: dl, src: pair_map(srcr).0 }),
+            Src::K => out.push(X86::AluRI { op: a, dst: dl, imm: imm as u32 }),
+        };
+        match op {
+            AluOp::Add => lo(out, Alu::Add),
+            AluOp::Sub => lo(out, Alu::Sub),
+            AluOp::And => lo(out, Alu::And),
+            AluOp::Or => lo(out, Alu::Or),
+            AluOp::Xor => lo(out, Alu::Xor),
+            AluOp::Mov => match src {
+                Src::X => out.push(X86::MovRR { dst: dl, src: pair_map(srcr).0 }),
+                Src::K => out.push(X86::MovRI { dst: dl, imm: imm as u32 }),
+            },
+            AluOp::Neg => out.push(X86::Neg { dst: dl }),
+            AluOp::Lsh | AluOp::Rsh | AluOp::Arsh => {
+                let sh = match op {
+                    AluOp::Lsh => ShiftOp::Shl,
+                    AluOp::Rsh => ShiftOp::Shr,
+                    _ => ShiftOp::Sar,
+                };
+                match src {
+                    Src::K => out.push(X86::ShiftRI { op: sh, dst: dl, imm: (imm as u32 & 31) as u8 }),
+                    Src::X => {
+                        out.push(X86::MovRR { dst: Reg::Ecx, src: pair_map(srcr).0 });
+                        out.push(X86::AluRI { op: Alu::And, dst: Reg::Ecx, imm: 31 });
+                        out.push(X86::ShiftRCl { op: sh, dst: dl });
+                    }
+                }
+            }
+            AluOp::Mul | AluOp::Div | AluOp::Mod => return None,
+        }
+        // 32-bit results clear the high half.
+        out.push(X86::MovRI { dst: dh, imm: 0 });
+        Some(())
+    }
+}

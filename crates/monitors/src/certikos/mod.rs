@@ -1,0 +1,422 @@
+//! CertiKOS^s: the RISC-V port of the CertiKOS security monitor
+//! (paper §6.2).
+//!
+//! The monitor provides strict isolation between up to [`NPROC`] processes.
+//! Each process owns a memory quota and a contiguous region of physical
+//! memory enforced with PMP; the PID space is statically partitioned
+//! (children of `p` are `2p+1` and `2p+2`). The §6.2 retrofit changes are
+//! included: `spawn` takes a caller-chosen child PID (closing the
+//! consecutive-PID covert channel) and does not load ELF images (that is
+//! delegated to untrusted S-mode code).
+//!
+//! Monitor calls (`a7` selects, arguments in `a0`/`a1`, result in `a0`):
+//!
+//! | nr | call                     | result |
+//! |----|--------------------------|--------|
+//! | 1  | `get_quota()`            | caller's remaining quota |
+//! | 2  | `spawn(child, quota)`    | `child` or `-1` |
+//! | 3  | `yield()`                | `0` (in the resumed process) |
+//!
+//! The implementation is IR compiled to RV64 (untrusted), plus a
+//! hand-written trap stub handling dispatch, context switch, and PMP
+//! programming. All proofs are over the final binary.
+
+pub mod proofs;
+pub mod spec;
+
+use serval_core::{Layout, Mem, MemCfg, OptCfg};
+use serval_ir::ir::{BinOp, FuncBuilder, Module, Pred, Term, Val};
+use serval_ir::{compile, OptLevel};
+use serval_riscv::insn::{BrOp, CsrOp, CsrSrc, Insn};
+use serval_riscv::machine::csr;
+use serval_riscv::{reg, Asm, Interp};
+
+/// Number of processes.
+pub const NPROC: u64 = 8;
+/// Code base address.
+pub const CODE_BASE: u64 = 0x8000_0000;
+/// Monitor stack top.
+pub const STACK_TOP: u64 = 0x8010_0000;
+/// `struct proc` array base.
+pub const PROCS: u64 = 0x8020_0000;
+/// Current-PID cell.
+pub const CUR_PID: u64 = 0x8020_1000;
+/// Base of the physical memory managed by quotas.
+pub const PROC_RAM: u64 = 0x8400_0000;
+/// Page size.
+pub const PAGE: u64 = 4096;
+/// pmpcfg0 value: entry 0 TOR no-access, entry 1 TOR RWX.
+pub const PMP_CFG: u64 = 0x0f08;
+/// Total memory quota handed to process 0 at boot, in pages.
+pub const TOTAL_QUOTA: u64 = 16;
+
+/// Field offsets in `struct proc` (64 bytes).
+pub mod field {
+    pub const STATE: i64 = 0;
+    pub const QUOTA: i64 = 8;
+    pub const BASE: i64 = 16;
+    pub const NR_CHILDREN: i64 = 24;
+    pub const CTX_S0: i64 = 32;
+    pub const CTX_S1: i64 = 40;
+    pub const CTX_SP: i64 = 48;
+    pub const CTX_MEPC: i64 = 56;
+}
+
+/// Monitor-call numbers.
+pub mod sys {
+    pub const GET_QUOTA: u64 = 1;
+    pub const SPAWN: u64 = 2;
+    pub const YIELD: u64 = 3;
+}
+
+/// The `struct proc` layout.
+pub fn proc_layout() -> Layout {
+    Layout::Struct(vec![
+        ("state".into(), Layout::Cell(8)),
+        ("quota".into(), Layout::Cell(8)),
+        ("base".into(), Layout::Cell(8)),
+        ("nr_children".into(), Layout::Cell(8)),
+        ("ctx_s0".into(), Layout::Cell(8)),
+        ("ctx_s1".into(), Layout::Cell(8)),
+        ("ctx_sp".into(), Layout::Cell(8)),
+        ("ctx_mepc".into(), Layout::Cell(8)),
+    ])
+}
+
+/// Builds the monitor's typed memory with fully symbolic contents
+/// (trap-handler verification, paper §3.4).
+pub fn fresh_mem() -> Mem {
+    let mut mem = Mem::new(MemCfg::default());
+    mem.add_region(
+        "procs",
+        PROCS,
+        Layout::Array(NPROC, Box::new(proc_layout())).instantiate_fresh("procs"),
+    );
+    mem.add_region(
+        "cur_pid",
+        CUR_PID,
+        Layout::Struct(vec![("cur".into(), Layout::Cell(8))]).instantiate_fresh("cur_pid"),
+    );
+    mem.add_region(
+        "stack",
+        STACK_TOP - PAGE,
+        Layout::Array(512, Box::new(Layout::Cell(8))).instantiate_fresh("stack"),
+    );
+    mem
+}
+
+/// The monitor's trap handlers in IR.
+pub fn module() -> Module {
+    let procs = Val::Global("procs");
+    let cur_pid = Val::Global("cur_pid");
+
+    // sys_get_quota(): procs[cur].quota.
+    let get_quota = {
+        let mut b = FuncBuilder::new("sys_get_quota", 0);
+        b.block("entry");
+        let cur = b.load(cur_pid, 8);
+        let off = b.bin(BinOp::Shl, cur, Val::Const(6));
+        let p = b.bin(BinOp::Add, procs, off);
+        let qa = b.bin(BinOp::Add, p, Val::Const(field::QUOTA));
+        let q = b.load(qa, 8);
+        b.term(Term::Ret(q));
+        b.build()
+    };
+
+    // sys_spawn(child, quota).
+    let spawn = {
+        let mut b = FuncBuilder::new("sys_spawn", 2);
+        let child = Val::Param(0);
+        let quota = Val::Param(1);
+        b.block("entry");
+        let cur = b.load(cur_pid, 8);
+        let two_cur = b.bin(BinOp::Add, cur, cur);
+        let c1v = b.bin(BinOp::Add, two_cur, Val::Const(1));
+        let c2v = b.bin(BinOp::Add, two_cur, Val::Const(2));
+        let is1 = b.icmp(Pred::Eq, child, c1v);
+        let is2 = b.icmp(Pred::Eq, child, c2v);
+        let ok_pid = b.bin(BinOp::Or, is1, is2);
+        let ok_range = b.icmp(Pred::Ult, child, Val::Const(NPROC as i64));
+        let valid1 = b.bin(BinOp::And, ok_pid, ok_range);
+        b.term(Term::CondBr(valid1, "check2", "fail"));
+
+        b.block("check2");
+        let coff = b.bin(BinOp::Shl, child, Val::Const(6));
+        let cp = b.bin(BinOp::Add, procs, coff);
+        let cstate = b.load(cp, 8);
+        let free = b.icmp(Pred::Eq, cstate, Val::Const(0));
+        let poff = b.bin(BinOp::Shl, cur, Val::Const(6));
+        let pp = b.bin(BinOp::Add, procs, poff);
+        let pq_addr = b.bin(BinOp::Add, pp, Val::Const(field::QUOTA));
+        let pq = b.load(pq_addr, 8);
+        let qok = b.icmp(Pred::Ule, quota, pq);
+        let valid2 = b.bin(BinOp::And, free, qok);
+        b.term(Term::CondBr(valid2, "doit", "fail"));
+
+        b.block("doit");
+        // Carve the child's region from the top of the parent's.
+        let poff = b.bin(BinOp::Shl, cur, Val::Const(6));
+        let pp = b.bin(BinOp::Add, procs, poff);
+        let pq_addr = b.bin(BinOp::Add, pp, Val::Const(field::QUOTA));
+        let pq = b.load(pq_addr, 8);
+        let newq = b.bin(BinOp::Sub, pq, quota);
+        b.store(pq_addr, newq, 8);
+        let pbase_addr = b.bin(BinOp::Add, pp, Val::Const(field::BASE));
+        let pbase = b.load(pbase_addr, 8);
+        let cbase = b.bin(BinOp::Add, pbase, newq);
+        let nc_addr = b.bin(BinOp::Add, pp, Val::Const(field::NR_CHILDREN));
+        let nc = b.load(nc_addr, 8);
+        let nc1 = b.bin(BinOp::Add, nc, Val::Const(1));
+        b.store(nc_addr, nc1, 8);
+
+        let coff = b.bin(BinOp::Shl, child, Val::Const(6));
+        let cp = b.bin(BinOp::Add, procs, coff);
+        b.store(cp, Val::Const(1), 8); // state = USED
+        let cq_addr = b.bin(BinOp::Add, cp, Val::Const(field::QUOTA));
+        b.store(cq_addr, quota, 8);
+        let cb_addr = b.bin(BinOp::Add, cp, Val::Const(field::BASE));
+        b.store(cb_addr, cbase, 8);
+        let cn_addr = b.bin(BinOp::Add, cp, Val::Const(field::NR_CHILDREN));
+        b.store(cn_addr, Val::Const(0), 8);
+        // Initial context: entry at the region start, stack at its end.
+        let s0_addr = b.bin(BinOp::Add, cp, Val::Const(field::CTX_S0));
+        b.store(s0_addr, Val::Const(0), 8);
+        let s1_addr = b.bin(BinOp::Add, cp, Val::Const(field::CTX_S1));
+        b.store(s1_addr, Val::Const(0), 8);
+        let entry_off = b.bin(BinOp::Shl, cbase, Val::Const(12));
+        let entry = b.bin(BinOp::Add, entry_off, Val::Const(PROC_RAM as i64));
+        let size = b.bin(BinOp::Shl, quota, Val::Const(12));
+        let sp0 = b.bin(BinOp::Add, entry, size);
+        let sp_addr = b.bin(BinOp::Add, cp, Val::Const(field::CTX_SP));
+        b.store(sp_addr, sp0, 8);
+        let mepc_addr = b.bin(BinOp::Add, cp, Val::Const(field::CTX_MEPC));
+        b.store(mepc_addr, entry, 8);
+        b.term(Term::Ret(child));
+
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    };
+
+    // sys_yield(): round-robin to the nearest used process; branchless so
+    // the binary stays single-path under symbolic evaluation.
+    let yield_ = {
+        let mut b = FuncBuilder::new("sys_yield", 0);
+        b.block("entry");
+        let cur = b.load(cur_pid, 8);
+        let mut next = cur;
+        for d in (1..=NPROC).rev() {
+            let cand_raw = b.bin(BinOp::Add, cur, Val::Const(d as i64));
+            let cand = b.bin(BinOp::And, cand_raw, Val::Const(NPROC as i64 - 1));
+            let off = b.bin(BinOp::Shl, cand, Val::Const(6));
+            let p = b.bin(BinOp::Add, procs, off);
+            let st = b.load(p, 8);
+            let used = b.icmp(Pred::Eq, st, Val::Const(1));
+            next = b.select(used, cand, next);
+        }
+        b.store(cur_pid, next, 8);
+        b.term(Term::Ret(next));
+        b.build()
+    };
+
+    Module {
+        funcs: vec![get_quota, spawn, yield_],
+        globals: vec![("procs", PROCS), ("cur_pid", CUR_PID)],
+    }
+}
+
+/// Builds the monitor binary: trap stub + compiled handlers. Returns the
+/// lifted interpreter over the validated machine code.
+pub fn build(level: OptLevel, opt: OptCfg) -> Interp {
+    build_with_boot(level, opt).0
+}
+
+/// Like [`build`], also returning the boot-entry address for reset-state
+/// verification (paper §3.4).
+pub fn build_with_boot(level: OptLevel, opt: OptCfg) -> (Interp, u64) {
+    let mut asm = Asm::new();
+    asm.define_symbol("stack_top", STACK_TOP);
+    let csrr = |rd, c| Insn::Csr {
+        op: CsrOp::Rs,
+        rd,
+        src: CsrSrc::Reg(reg::ZERO),
+        csr: c,
+    };
+    let csrw = |rs, c| Insn::Csr {
+        op: CsrOp::Rw,
+        rd: reg::ZERO,
+        src: CsrSrc::Reg(rs),
+        csr: c,
+    };
+
+    // ---- trap entry: save the application sp, switch to monitor stack.
+    asm.i(csrw(reg::SP, csr::MSCRATCH));
+    asm.la(reg::SP, "stack_top");
+    // ---- dispatch on a7.
+    asm.li(reg::T0, sys::GET_QUOTA as i64);
+    asm.branch(BrOp::Beq, reg::A7, reg::T0, "h_get_quota");
+    asm.li(reg::T0, sys::SPAWN as i64);
+    asm.branch(BrOp::Beq, reg::A7, reg::T0, "h_spawn");
+    asm.li(reg::T0, sys::YIELD as i64);
+    asm.branch(BrOp::Beq, reg::A7, reg::T0, "h_yield");
+    asm.li(reg::A0, -1); // unknown monitor call
+    asm.j("ret_adv");
+
+    asm.label("h_get_quota");
+    asm.call("sys_get_quota");
+    asm.j("ret_adv");
+
+    asm.label("h_spawn");
+    asm.call("sys_spawn"); // arguments already in a0/a1
+    asm.j("ret_adv");
+
+    asm.label("h_yield");
+    // Save the caller's context into procs[cur].
+    asm.la(reg::T0, "cur_pid");
+    asm.ld(reg::T1, 0, reg::T0);
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Slli,
+        rd: reg::T2,
+        rs1: reg::T1,
+        imm: 6,
+    });
+    asm.la(reg::T0, "procs");
+    asm.add(reg::T2, reg::T0, reg::T2);
+    asm.sd(reg::S0, field::CTX_S0 as i32, reg::T2);
+    asm.sd(reg::S1, field::CTX_S1 as i32, reg::T2);
+    asm.i(csrr(reg::T3, csr::MSCRATCH));
+    asm.sd(reg::T3, field::CTX_SP as i32, reg::T2);
+    asm.i(csrr(reg::T3, csr::MEPC));
+    asm.addi(reg::T3, reg::T3, 4); // resume after the ecall
+    asm.sd(reg::T3, field::CTX_MEPC as i32, reg::T2);
+    asm.call("sys_yield"); // a0 = new current pid
+    // Restore the target's context.
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Slli,
+        rd: reg::T2,
+        rs1: reg::A0,
+        imm: 6,
+    });
+    asm.la(reg::T0, "procs");
+    asm.add(reg::T2, reg::T0, reg::T2);
+    asm.ld(reg::S0, field::CTX_S0 as i32, reg::T2);
+    asm.ld(reg::S1, field::CTX_S1 as i32, reg::T2);
+    asm.ld(reg::T3, field::CTX_SP as i32, reg::T2);
+    asm.i(csrw(reg::T3, csr::MSCRATCH));
+    asm.ld(reg::T3, field::CTX_MEPC as i32, reg::T2);
+    asm.i(csrw(reg::T3, csr::MEPC));
+    // Program PMP for the target's region.
+    asm.ld(reg::T3, field::BASE as i32, reg::T2);
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Slli,
+        rd: reg::T3,
+        rs1: reg::T3,
+        imm: 12,
+    });
+    asm.li(reg::T4, PROC_RAM as i64);
+    asm.add(reg::T3, reg::T3, reg::T4);
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Srli,
+        rd: reg::T5,
+        rs1: reg::T3,
+        imm: 2,
+    });
+    asm.i(csrw(reg::T5, csr::PMPADDR0));
+    asm.ld(reg::T5, field::QUOTA as i32, reg::T2);
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Slli,
+        rd: reg::T5,
+        rs1: reg::T5,
+        imm: 12,
+    });
+    asm.add(reg::T5, reg::T3, reg::T5);
+    asm.i(Insn::OpImm {
+        op: serval_riscv::insn::IAluOp::Srli,
+        rd: reg::T5,
+        rs1: reg::T5,
+        imm: 2,
+    });
+    asm.i(csrw(reg::T5, csr::PMPADDR0 + 1));
+    asm.li(reg::T5, PMP_CFG as i64);
+    asm.i(csrw(reg::T5, csr::PMPCFG0));
+    asm.li(reg::A0, 0); // yield returns 0 in the resumed process
+    asm.j("ret_common");
+
+    // ---- exit: advance mepc past the ecall, scrub, restore sp, mret.
+    asm.label("ret_adv");
+    asm.i(csrr(reg::T0, csr::MEPC));
+    asm.addi(reg::T0, reg::T0, 4);
+    asm.i(csrw(reg::T0, csr::MEPC));
+    asm.label("ret_common");
+    // Scrub caller-saved registers so no monitor data leaks (the result
+    // stays in a0).
+    for r in [
+        reg::RA,
+        reg::GP,
+        reg::TP,
+        reg::T0,
+        reg::T1,
+        reg::T2,
+        reg::T3,
+        reg::T4,
+        reg::T5,
+        reg::T6,
+        reg::A1,
+        reg::A2,
+        reg::A3,
+        reg::A4,
+        reg::A5,
+        reg::A6,
+        reg::A7,
+    ] {
+        asm.mv(r, reg::ZERO);
+    }
+    asm.i(csrr(reg::SP, csr::MSCRATCH));
+    asm.i(Insn::Mret);
+
+    // ---- boot code (paper §3.4): from the architectural reset state,
+    // initialize the monitor's data, trap vector, PMP, and the first
+    // process, then drop to S-mode. Verified by `proofs::prove_boot`.
+    asm.label("boot");
+    asm.la(reg::T0, "procs");
+    for off in (0..(NPROC * 64)).step_by(8) {
+        asm.sd(reg::ZERO, off as i32, reg::T0);
+    }
+    // procs[0] = { state: USED, quota: TOTAL_QUOTA, base: 0 }.
+    asm.li(reg::T1, 1);
+    asm.sd(reg::T1, field::STATE as i32, reg::T0);
+    asm.li(reg::T1, TOTAL_QUOTA as i64);
+    asm.sd(reg::T1, field::QUOTA as i32, reg::T0);
+    asm.la(reg::T0, "cur_pid");
+    asm.sd(reg::ZERO, 0, reg::T0);
+    // Trap vector: the handler entry at the start of the image.
+    asm.li(reg::T1, CODE_BASE as i64);
+    asm.i(csrw(reg::T1, csr::MTVEC));
+    // PMP: process 0 owns [PROC_RAM, PROC_RAM + TOTAL_QUOTA pages).
+    asm.li(reg::T5, (PROC_RAM >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0));
+    asm.li(reg::T5, ((PROC_RAM + TOTAL_QUOTA * PAGE) >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0 + 1));
+    asm.li(reg::T5, PMP_CFG as i64);
+    asm.i(csrw(reg::T5, csr::PMPCFG0));
+    // Enter process 0 at the base of its region with the stack at its top.
+    asm.li(reg::T1, PROC_RAM as i64);
+    asm.i(csrw(reg::T1, csr::MEPC));
+    asm.li(reg::SP, (PROC_RAM + TOTAL_QUOTA * PAGE) as i64);
+    asm.i(Insn::Mret);
+
+    compile(&module(), level, &mut asm);
+    let words = asm.assemble(CODE_BASE);
+    // Without split-pc, merged-pc evaluation explores every code address
+    // at every step (paper §3.2) and can never terminate; a tiny fuel
+    // keeps the §6.4 ablation harness finite — the run still reports
+    // divergence, the paper's observed outcome.
+    let fuel = if opt.split_pc { 4096 } else { 3 };
+    let mut interp = Interp::from_words(CODE_BASE, &words, fuel)
+        .expect("monitor binary must decode (encoder-validated)");
+    interp.opt = opt;
+    (interp, asm.address_of("boot", CODE_BASE))
+}
+
+#[cfg(test)]
+mod tests;

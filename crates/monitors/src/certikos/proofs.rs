@@ -1,0 +1,560 @@
+//! CertiKOS^s proofs: binary-level refinement (paper §3.3/§6.2) and
+//! noninterference (the three small-step properties of §6.2 plus the
+//! Nickel-style check that catches the consecutive-PID covert channel).
+
+use super::spec::{
+    abstraction, owns_pid, proc_eq, spec_get_quota, spec_next, spec_pmp, spec_spawn,
+    spec_yield, SpecState,
+};
+use super::{build, fresh_mem, sys, CODE_BASE, NPROC};
+use serval_core::report::{discharge, ProofReport};
+use serval_core::OptCfg;
+use serval_ir::OptLevel;
+use serval_riscv::{reg, Machine};
+use serval_smt::solver::SolverConfig;
+use serval_smt::{reset_ctx, SBool, BV};
+use serval_sym::SymCtx;
+
+/// Proves one monitor call against its functional specification over the
+/// compiled binary: absence of UB, state refinement, return value,
+/// invariant preservation, control flow, register scrubbing, and (for
+/// yield) the installed PMP configuration.
+///
+/// Resets the thread's term context.
+pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let interp = build(level, optcfg);
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    mem.cfg.concretize_offsets = optcfg.concretize_offsets;
+    let mut m = Machine::fresh_at(CODE_BASE, mem, "m");
+
+    // Abstract view of the entry state; assume the representation
+    // invariant (paper §3.3).
+    let s0 = abstraction(&m.mem);
+    ctx.assume(s0.invariant());
+
+    // Trap-entry registers: the monitor-call number is pinned per proof
+    // (the external form of split-cases, paper §4); arguments stay
+    // symbolic.
+    m.set_reg(reg::A7, BV::lit(64, op as u128));
+    let a0 = m.reg(reg::A0);
+    let a1 = m.reg(reg::A1);
+    let entry = EntryState {
+        sp: m.reg(reg::SP),
+        s0: m.reg(reg::S0),
+        s1: m.reg(reg::S1),
+        mepc: m.csrs.mepc,
+    };
+
+    let name = op_name(op);
+    let mut report = ProofReport::default();
+    let outcome = interp.run(&mut ctx, &mut m);
+    if !outcome.ok() {
+        report.theorems.push(serval_core::report::TheoremResult {
+            name: format!("{name}: symbolic evaluation"),
+            verdict: serval_core::report::Verdict::Unknown,
+            time: std::time::Duration::ZERO,
+        });
+        return report;
+    }
+
+    // Run the functional specification.
+    let mut s = s0.clone();
+    let spec_ret = match op {
+        sys::GET_QUOTA => spec_get_quota(&s),
+        sys::SPAWN => spec_spawn(&mut s, a0, a1),
+        sys::YIELD => {
+            let saved = [entry.s0, entry.s1, entry.sp, entry.mepc + BV::lit(64, 4)];
+            spec_yield(&mut s, saved);
+            BV::lit(64, 0) // yield returns 0 in the resumed process
+        }
+        _ => panic!("unknown op {op}"),
+    };
+
+    // 1. UB obligations collected during evaluation of the binary.
+    for ob in ctx.take_obligations() {
+        report
+            .theorems
+            .push(discharge(&ctx, cfg, format!("{name}: {}", ob.label), &[], ob.condition));
+    }
+
+    // 2. State refinement: AF(impl') == spec'.
+    let s_impl = abstraction(&m.mem);
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        format!("{name}: state refinement"),
+        &[],
+        s_impl.eq_(&s),
+    ));
+
+    // 3. Return value.
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        format!("{name}: return value"),
+        &[],
+        m.reg(reg::A0).eq_(spec_ret),
+    ));
+
+    // 4. Invariant preservation.
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        format!("{name}: invariant preserved"),
+        &[],
+        s.invariant(),
+    ));
+
+    // 5. Control flow and callee-visible registers at trap return.
+    let (want_pc, want_sp, want_s0, want_s1) = if op == sys::YIELD {
+        let new = s.cur;
+        (
+            s.read(new, |p| p.ctx[3]),
+            s.read(new, |p| p.ctx[2]),
+            s.read(new, |p| p.ctx[0]),
+            s.read(new, |p| p.ctx[1]),
+        )
+    } else {
+        (
+            entry.mepc + BV::lit(64, 4),
+            entry.sp,
+            entry.s0,
+            entry.s1,
+        )
+    };
+    let control = m.pc.eq_(want_pc)
+        & m.reg(reg::SP).eq_(want_sp)
+        & m.reg(reg::S0).eq_(want_s0)
+        & m.reg(reg::S1).eq_(want_s1);
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        format!("{name}: control flow and context"),
+        &[],
+        control,
+    ));
+
+    // 6. No monitor data leaks through scratch registers.
+    let mut scrubbed = SBool::lit(true);
+    for r in [
+        reg::RA,
+        reg::GP,
+        reg::TP,
+        reg::T0,
+        reg::T1,
+        reg::T2,
+        reg::T3,
+        reg::T4,
+        reg::T5,
+        reg::T6,
+        reg::A1,
+        reg::A2,
+        reg::A3,
+        reg::A4,
+        reg::A5,
+        reg::A6,
+        reg::A7,
+    ] {
+        scrubbed = scrubbed & m.reg(r).eq_(BV::lit(64, 0));
+    }
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        format!("{name}: scratch registers scrubbed"),
+        &[],
+        scrubbed,
+    ));
+
+    // 7. PMP isolation for the process being switched to.
+    if op == sys::YIELD {
+        let cases: Vec<(SBool, (BV, BV, BV))> = (0..NPROC)
+            .map(|i| {
+                let guard = s.cur.eq_(BV::lit(64, i as u128));
+                (guard, spec_pmp(&s.procs[i as usize]))
+            })
+            .collect();
+        let mut goal = SBool::lit(true);
+        for (guard, (lo, hi, cfgv)) in cases {
+            goal = goal
+                & guard.implies(
+                    m.csrs.pmpaddr[0].eq_(lo)
+                        & m.csrs.pmpaddr[1].eq_(hi)
+                        & m.csrs.pmpcfg0.eq_(cfgv),
+                );
+        }
+        report.theorems.push(discharge(
+            &ctx,
+            cfg,
+            format!("{name}: PMP configuration"),
+            &[],
+            goal,
+        ));
+    }
+
+    report
+}
+
+struct EntryState {
+    sp: BV,
+    s0: BV,
+    s1: BV,
+    mepc: BV,
+}
+
+fn op_name(op: u64) -> &'static str {
+    match op {
+        sys::GET_QUOTA => "certikos get_quota",
+        sys::SPAWN => "certikos spawn",
+        sys::YIELD => "certikos yield",
+        _ => "certikos unknown",
+    }
+}
+
+/// Monolithic-dispatch refinement (the §4 `split-cases` ablation): one
+/// query over a *symbolic* monitor-call number instead of one per call.
+/// The trap dispatcher's behaviour for every call is folded into a single
+/// verification condition, the pathology `split-cases` decomposes.
+pub fn prove_monolithic(level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let interp = build(level, optcfg);
+    let mut ctx = SymCtx::new();
+    let mut mem = fresh_mem();
+    mem.cfg.concretize_offsets = optcfg.concretize_offsets;
+    let mut m = Machine::fresh_at(CODE_BASE, mem, "m");
+    let s0 = abstraction(&m.mem);
+    ctx.assume(s0.invariant());
+    // The monitor-call number stays symbolic: the evaluation and the
+    // final query cover every handler at once.
+    let a7 = m.reg(reg::A7);
+    let a0 = m.reg(reg::A0);
+    let a1 = m.reg(reg::A1);
+    let entry = EntryState {
+        sp: m.reg(reg::SP),
+        s0: m.reg(reg::S0),
+        s1: m.reg(reg::S1),
+        mepc: m.csrs.mepc,
+    };
+    let mut report = ProofReport::default();
+    let outcome = interp.run(&mut ctx, &mut m);
+    if !outcome.ok() {
+        report.theorems.push(serval_core::report::TheoremResult {
+            name: "certikos monolithic: symbolic evaluation".into(),
+            verdict: serval_core::report::Verdict::Unknown,
+            time: std::time::Duration::ZERO,
+        });
+        return report;
+    }
+    // Specification dispatch mirrors the monitor's.
+    let s_gq = s0.clone();
+    let r_gq = spec_get_quota(&s_gq);
+    let mut s_sp = s0.clone();
+    let r_sp = spec_spawn(&mut s_sp, a0, a1);
+    let mut s_yd = s0.clone();
+    let saved = [entry.s0, entry.s1, entry.sp, entry.mepc + BV::lit(64, 4)];
+    spec_yield(&mut s_yd, saved);
+    let is = |n: u64| a7.eq_(BV::lit(64, n as u128));
+    let s_impl = abstraction(&m.mem);
+    let state_goal = is(sys::GET_QUOTA).implies(s_impl.eq_(&s_gq))
+        & is(sys::SPAWN).implies(s_impl.eq_(&s_sp))
+        & is(sys::YIELD).implies(s_impl.eq_(&s_yd))
+        & (!is(sys::GET_QUOTA) & !is(sys::SPAWN) & !is(sys::YIELD))
+            .implies(s_impl.eq_(&s0));
+    let ret_goal = is(sys::GET_QUOTA).implies(m.reg(reg::A0).eq_(r_gq))
+        & is(sys::SPAWN).implies(m.reg(reg::A0).eq_(r_sp))
+        & is(sys::YIELD).implies(m.reg(reg::A0).eq_(BV::lit(64, 0)));
+    for ob in ctx.take_obligations() {
+        report
+            .theorems
+            .push(discharge(&ctx, cfg, format!("certikos monolithic: {}", ob.label), &[], ob.condition));
+    }
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        "certikos monolithic: state refinement (all calls at once)",
+        &[],
+        state_goal & ret_goal,
+    ));
+    report
+}
+
+/// Proves refinement for all three monitor calls.
+pub fn prove_refinement(level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> ProofReport {
+    let mut report = ProofReport::default();
+    for op in [sys::GET_QUOTA, sys::SPAWN, sys::YIELD] {
+        report.extend(prove_op(op, level, optcfg, cfg));
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// Noninterference (paper §6.2)
+// ---------------------------------------------------------------------
+
+/// Process `p`'s observation equivalence over abstract states: its own
+/// record in full, plus the *availability* of its statically-owned child
+/// slots (whether each is still free to spawn into) — the slots are `p`'s
+/// resource, but once a child runs, its record belongs to the child's own
+/// domain. Scheduling state (`cur`, the set of runnable processes)
+/// belongs to the scheduler domain, to which every process may flow — the
+/// intransitive-policy treatment Nickel uses (paper §6.2).
+pub fn obs_eq(p: BV, s1: &SpecState, s2: &SpecState) -> SBool {
+    let mut acc = SBool::lit(true);
+    let zero = BV::lit(64, 0);
+    for (i, (a, b)) in s1.procs.iter().zip(&s2.procs).enumerate() {
+        let i = BV::lit(64, i as u128);
+        acc = acc & i.eq_(p).implies(proc_eq(a, b));
+        let avail_eq = a.state.eq_(zero).iff(b.state.eq_(zero));
+        acc = acc & owns_pid(p, i).implies(avail_eq);
+    }
+    acc
+}
+
+/// Property 1 (§6.2): a small-step action by `p` itself from two
+/// indistinguishable states yields indistinguishable states and equal
+/// results.
+pub fn prove_own_step_consistency(cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let mut report = ProofReport::default();
+    for op in [sys::GET_QUOTA, sys::SPAWN, sys::YIELD] {
+        let ctx = {
+            let mut ctx = SymCtx::new();
+            let p = BV::fresh(64, "p");
+            let mut s1 = SpecState::fresh("s1");
+            let mut s2 = SpecState::fresh("s2");
+            ctx.assume(p.ult(BV::lit(64, NPROC as u128)));
+            ctx.assume(s1.invariant());
+            ctx.assume(s2.invariant());
+            ctx.assume(s1.cur.eq_(p));
+            ctx.assume(s2.cur.eq_(p));
+            ctx.assume(obs_eq(p, &s1, &s2));
+            // Shared action arguments.
+            let a0 = BV::fresh(64, "arg0");
+            let a1 = BV::fresh(64, "arg1");
+            let ctx4: [BV; 4] = std::array::from_fn(|i| BV::fresh(64, &format!("c{i}")));
+            let (r1, r2) = match op {
+                sys::GET_QUOTA => (spec_get_quota(&s1), spec_get_quota(&s2)),
+                sys::SPAWN => (spec_spawn(&mut s1, a0, a1), spec_spawn(&mut s2, a0, a1)),
+                _ => (spec_yield(&mut s1, ctx4), spec_yield(&mut s2, ctx4)),
+            };
+            let mut goal = obs_eq(p, &s1, &s2);
+            // The caller observes the result, except for yield where the
+            // caller is suspended and the result goes to the next process.
+            if op != sys::YIELD {
+                goal = goal & r1.eq_(r2);
+            }
+            report.theorems.push(discharge(
+                &ctx,
+                cfg,
+                format!("{}: own-step consistency", op_name(op)),
+                &[],
+                goal,
+            ));
+            ctx
+        };
+        drop(ctx);
+    }
+    report
+}
+
+/// Property 2 (§6.2): a non-yield action by another process `q` (that does
+/// not own `p` as a child slot) leaves `p`'s observation unchanged.
+pub fn prove_others_invisible(cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let mut report = ProofReport::default();
+    for op in [sys::GET_QUOTA, sys::SPAWN] {
+        let mut ctx = SymCtx::new();
+        let p = BV::fresh(64, "p");
+        let mut s = SpecState::fresh("s");
+        let s_before = s.clone();
+        ctx.assume(p.ult(BV::lit(64, NPROC as u128)));
+        ctx.assume(s.invariant());
+        // The actor is the current process q != p, and p is not one of
+        // q's child slots (spawn may legitimately flow q → child).
+        ctx.assume(s.cur.ne_(p));
+        ctx.assume(!owns_pid(s.cur, p));
+        let a0 = BV::fresh(64, "arg0");
+        let a1 = BV::fresh(64, "arg1");
+        match op {
+            sys::GET_QUOTA => {
+                let _ = spec_get_quota(&s);
+            }
+            _ => {
+                let _ = spec_spawn(&mut s, a0, a1);
+            }
+        }
+        report.theorems.push(discharge(
+            &ctx,
+            cfg,
+            format!("{}: invisible to others", op_name(op)),
+            &[],
+            obs_eq(p, &s_before, &s),
+        ));
+        ctx.take_obligations();
+    }
+    report
+}
+
+/// Property 3 (§6.2): if `p` is yielded to from two indistinguishable
+/// states, the resulting states are indistinguishable to `p`.
+pub fn prove_yield_to_consistency(cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let mut report = ProofReport::default();
+    let mut ctx = SymCtx::new();
+    let p = BV::fresh(64, "p");
+    let mut s1 = SpecState::fresh("s1");
+    let mut s2 = SpecState::fresh("s2");
+    ctx.assume(p.ult(BV::lit(64, NPROC as u128)));
+    ctx.assume(s1.invariant());
+    ctx.assume(s2.invariant());
+    ctx.assume(s1.cur.ne_(p));
+    ctx.assume(s2.cur.ne_(p));
+    ctx.assume(obs_eq(p, &s1, &s2));
+    // The action: yield, with the (unobservable to p) caller contexts.
+    let c1: [BV; 4] = std::array::from_fn(|i| BV::fresh(64, &format!("c1_{i}")));
+    let c2: [BV; 4] = std::array::from_fn(|i| BV::fresh(64, &format!("c2_{i}")));
+    // "p is yielded to" in both runs.
+    ctx.assume(spec_next(&s1).eq_(p));
+    ctx.assume(spec_next(&s2).eq_(p));
+    spec_yield(&mut s1, c1);
+    spec_yield(&mut s2, c2);
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        "certikos yield-to consistency",
+        &[],
+        obs_eq(p, &s1, &s2),
+    ));
+    report
+}
+
+/// The Nickel-style check (paper §6.2) on `spawn`'s child-visible effect:
+/// from two states indistinguishable to a prospective child `c`, the same
+/// `spawn` action must leave `c`-indistinguishable states. Holds for the
+/// retrofit caller-chosen-PID spawn; *fails* for the legacy
+/// consecutive-PID spawn, exposing the parent→child covert channel
+/// through `nr_children`.
+pub fn prove_spawn_child_consistency(legacy: bool, cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let mut report = ProofReport::default();
+    let mut ctx = SymCtx::new();
+    let c = BV::fresh(64, "c");
+    let mut s1 = SpecState::fresh("s1");
+    let mut s2 = SpecState::fresh("s2");
+    ctx.assume(c.ult(BV::lit(64, NPROC as u128)));
+    ctx.assume(s1.invariant());
+    ctx.assume(s2.invariant());
+    // Same acting parent in both runs; c is one of its child slots but is
+    // not running.
+    ctx.assume(s1.cur.eq_(s2.cur));
+    ctx.assume(owns_pid(s1.cur, c));
+    ctx.assume(s1.cur.ne_(c));
+    ctx.assume(obs_eq(c, &s1, &s2));
+    // Action arguments are public and identical. CertiKOS deliberately
+    // permits the parent→child flow *during the child's own creation*
+    // (paper §6.2), so the goal exempts the child the action publicly
+    // designates. The retrofit interface names the child as an argument;
+    // the legacy interface computes it from the parent's private
+    // `nr_children`, leaving nothing public to exempt — and the resulting
+    // counterexample is exactly the §6.2 covert channel.
+    let child_arg = BV::fresh(64, "child");
+    let quota = BV::fresh(64, "quota");
+    let (goal, name) = if legacy {
+        let _ = spec_spawn_legacy(&mut s1, quota);
+        let _ = spec_spawn_legacy(&mut s2, quota);
+        (
+            obs_eq(c, &s1, &s2),
+            "certikos legacy spawn: child-view consistency (covert channel)",
+        )
+    } else {
+        let _ = spec_spawn(&mut s1, child_arg, quota);
+        let _ = spec_spawn(&mut s2, child_arg, quota);
+        (
+            child_arg.ne_(c).implies(obs_eq(c, &s1, &s2)),
+            "certikos spawn: child-view consistency",
+        )
+    };
+    report.theorems.push(discharge(&ctx, cfg, name, &[], goal));
+    report
+}
+
+/// The *legacy* CertiKOS spawn: the child PID is `2*cur + nr_children + 1`
+/// (consecutive allocation). This discloses the parent's number of
+/// children to the child — the covert channel the §6.2 retrofit removes.
+pub fn spec_spawn_legacy(s: &mut SpecState, quota: BV) -> BV {
+    let cur = s.cur;
+    let nr = s.read(cur, |p| p.nr_children);
+    let child = cur + cur + nr + BV::lit(64, 1);
+    spec_spawn(s, child, quota)
+}
+
+/// All noninterference theorems expected to hold.
+pub fn prove_noninterference(cfg: SolverConfig) -> ProofReport {
+    let mut report = ProofReport::default();
+    report.extend(prove_own_step_consistency(cfg));
+    report.extend(prove_others_invisible(cfg));
+    report.extend(prove_yield_to_consistency(cfg));
+    report.extend(prove_spawn_child_consistency(false, cfg));
+    report
+}
+
+/// Boot verification (paper §3.4): from the architectural reset state
+/// with *arbitrary* memory contents, the boot code establishes the
+/// initial abstract state (process 0 running with the whole quota), the
+/// representation invariant, the trap vector, the PMP window, and enters
+/// process 0.
+pub fn prove_boot(level: OptLevel, cfg: SolverConfig) -> ProofReport {
+    reset_ctx();
+    let (interp, boot_addr) = super::build_with_boot(level, OptCfg::default());
+    let mut ctx = SymCtx::new();
+    // Reset state: registers and CSRs architecturally zero, memory
+    // arbitrary (the boot code must not depend on it).
+    let mut m = Machine::reset_at(boot_addr, fresh_mem());
+    let mut report = ProofReport::default();
+    let outcome = interp.run(&mut ctx, &mut m);
+    if !outcome.ok() {
+        report.theorems.push(serval_core::report::TheoremResult {
+            name: "certikos boot: symbolic evaluation".into(),
+            verdict: serval_core::report::Verdict::Unknown,
+            time: std::time::Duration::ZERO,
+        });
+        return report;
+    }
+    for ob in ctx.take_obligations() {
+        report
+            .theorems
+            .push(discharge(&ctx, cfg, format!("certikos boot: {}", ob.label), &[], ob.condition));
+    }
+    // The abstract state after boot: pid 0 running, owning everything.
+    let s = abstraction(&m.mem);
+    let zero = BV::lit(64, 0);
+    let mut goal = s.cur.eq_(zero)
+        & s.procs[0].state.eq_(BV::lit(64, 1))
+        & s.procs[0].quota.eq_(BV::lit(64, super::TOTAL_QUOTA as u128))
+        & s.procs[0].base.eq_(zero)
+        & s.invariant();
+    for p in &s.procs[1..] {
+        goal = goal & p.state.eq_(zero);
+    }
+    report
+        .theorems
+        .push(discharge(&ctx, cfg, "certikos boot: initial abstract state", &[], goal));
+    // Machine configuration: trap vector, PMP, and entry into process 0.
+    let machine_goal = m.csrs.mtvec.eq_(BV::lit(64, CODE_BASE as u128))
+        & m.pc.eq_(BV::lit(64, super::PROC_RAM as u128))
+        & m.csrs.pmpaddr[0].eq_(BV::lit(64, (super::PROC_RAM >> 2) as u128))
+        & m.csrs.pmpaddr[1].eq_(BV::lit(
+            64,
+            ((super::PROC_RAM + super::TOTAL_QUOTA * super::PAGE) >> 2) as u128,
+        ))
+        & m.csrs.pmpcfg0.eq_(BV::lit(64, super::PMP_CFG as u128));
+    report.theorems.push(discharge(
+        &ctx,
+        cfg,
+        "certikos boot: trap vector, PMP, and entry",
+        &[],
+        machine_goal,
+    ));
+    report
+}

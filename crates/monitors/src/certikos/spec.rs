@@ -1,0 +1,229 @@
+//! The CertiKOS^s functional specification and abstraction function
+//! (paper §3.3, §6.2).
+
+use super::{NPROC, PAGE, PMP_CFG, PROC_RAM};
+use serval_core::{Mem, PathElem};
+use serval_smt::{SBool, BV};
+use serval_sym::{merge_many, Merge};
+
+/// Abstract per-process record.
+#[derive(Clone, Debug)]
+pub struct SpecProc {
+    /// 0 = free, 1 = used.
+    pub state: BV,
+    /// Remaining memory quota in pages.
+    pub quota: BV,
+    /// First page of the process's contiguous region.
+    pub base: BV,
+    /// Number of children spawned (bookkeeping; public information).
+    pub nr_children: BV,
+    /// Saved context: s0, s1, sp, mepc.
+    pub ctx: [BV; 4],
+}
+
+impl Merge for SpecProc {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        SpecProc {
+            state: BV::merge(c, &t.state, &e.state),
+            quota: BV::merge(c, &t.quota, &e.quota),
+            base: BV::merge(c, &t.base, &e.base),
+            nr_children: BV::merge(c, &t.nr_children, &e.nr_children),
+            ctx: <[BV; 4]>::merge(c, &t.ctx, &e.ctx),
+        }
+    }
+}
+
+/// The abstract monitor state.
+#[derive(Clone, Debug)]
+pub struct SpecState {
+    /// Currently running PID.
+    pub cur: BV,
+    /// Per-process records.
+    pub procs: Vec<SpecProc>,
+}
+
+impl Merge for SpecState {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        SpecState {
+            cur: BV::merge(c, &t.cur, &e.cur),
+            procs: Vec::merge(c, &t.procs, &e.procs),
+        }
+    }
+}
+
+impl SpecState {
+    /// A fully symbolic state (for noninterference proofs).
+    pub fn fresh(tag: &str) -> SpecState {
+        let f = |n: String| BV::fresh(64, &n);
+        SpecState {
+            cur: f(format!("{tag}.cur")),
+            procs: (0..NPROC)
+                .map(|i| SpecProc {
+                    state: f(format!("{tag}.p{i}.state")),
+                    quota: f(format!("{tag}.p{i}.quota")),
+                    base: f(format!("{tag}.p{i}.base")),
+                    nr_children: f(format!("{tag}.p{i}.nc")),
+                    ctx: std::array::from_fn(|k| f(format!("{tag}.p{i}.ctx{k}"))),
+                })
+                .collect(),
+        }
+    }
+
+    /// Reads `procs[idx].field` at a symbolic index.
+    pub fn read(&self, idx: BV, f: impl Fn(&SpecProc) -> BV) -> BV {
+        let cases: Vec<(SBool, BV)> = self
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (idx.eq_(BV::lit(64, i as u128)), f(p)))
+            .collect();
+        merge_many(&cases)
+    }
+
+    /// Updates `procs[idx]` at a symbolic index under `guard`.
+    pub fn update(&mut self, guard: SBool, idx: BV, f: impl Fn(&mut SpecProc)) {
+        for (i, p) in self.procs.iter_mut().enumerate() {
+            let here = guard & idx.eq_(BV::lit(64, i as u128));
+            let mut updated = p.clone();
+            f(&mut updated);
+            *p = SpecProc::merge(here, &updated, p);
+        }
+    }
+
+    /// Structural equality of two states.
+    pub fn eq_(&self, other: &SpecState) -> SBool {
+        let mut acc = self.cur.eq_(other.cur);
+        for (a, b) in self.procs.iter().zip(&other.procs) {
+            acc = acc & proc_eq(a, b);
+        }
+        acc
+    }
+
+    /// The representation/state invariant: `cur` names a used process in
+    /// range.
+    pub fn invariant(&self) -> SBool {
+        let in_range = self.cur.ult(BV::lit(64, NPROC as u128));
+        let running = self.read(self.cur, |p| p.state).eq_(BV::lit(64, 1));
+        in_range & running
+    }
+}
+
+/// Per-process record equality.
+pub fn proc_eq(a: &SpecProc, b: &SpecProc) -> SBool {
+    a.state.eq_(b.state)
+        & a.quota.eq_(b.quota)
+        & a.base.eq_(b.base)
+        & a.nr_children.eq_(b.nr_children)
+        & a.ctx[0].eq_(b.ctx[0])
+        & a.ctx[1].eq_(b.ctx[1])
+        & a.ctx[2].eq_(b.ctx[2])
+        & a.ctx[3].eq_(b.ctx[3])
+}
+
+/// The abstraction function AF: typed memory → abstract state
+/// (paper §3.3).
+pub fn abstraction(mem: &Mem) -> SpecState {
+    SpecState {
+        cur: mem.read_path("cur_pid", &[PathElem::Field("cur")]),
+        procs: (0..NPROC)
+            .map(|i| {
+                let f = |name: &'static str| {
+                    mem.read_path("procs", &[PathElem::Index(i), PathElem::Field(name)])
+                };
+                SpecProc {
+                    state: f("state"),
+                    quota: f("quota"),
+                    base: f("base"),
+                    nr_children: f("nr_children"),
+                    ctx: [f("ctx_s0"), f("ctx_s1"), f("ctx_sp"), f("ctx_mepc")],
+                }
+            })
+            .collect(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Functional specifications (paper §3.3)
+// ---------------------------------------------------------------------
+
+/// `get_quota`: returns the caller's remaining quota; no state change.
+pub fn spec_get_quota(s: &SpecState) -> BV {
+    s.read(s.cur, |p| p.quota)
+}
+
+/// Whether `child` is a PID statically owned by `parent`
+/// (children of `p` are `2p+1` and `2p+2`).
+pub fn owns_pid(parent: BV, child: BV) -> SBool {
+    let two = parent + parent;
+    let in_range = child.ult(BV::lit(64, NPROC as u128));
+    (child.eq_(two + BV::lit(64, 1)) | child.eq_(two + BV::lit(64, 2))) & in_range
+}
+
+/// `spawn(child, quota)` with the caller-chosen child PID (the §6.2
+/// retrofit closing the consecutive-PID covert channel). Returns the
+/// result value.
+pub fn spec_spawn(s: &mut SpecState, child: BV, quota: BV) -> BV {
+    let cur = s.cur;
+    let ok_pid = owns_pid(cur, child);
+    let child_free = s.read(child, |p| p.state).eq_(BV::lit(64, 0));
+    // An out-of-range child is already rejected by ok_pid; the read above
+    // merges arbitrary in-range records, which ok_pid masks.
+    let pq = s.read(cur, |p| p.quota);
+    let q_ok = quota.ule(pq);
+    let valid = ok_pid & child_free & q_ok;
+
+    let newq = pq - quota;
+    let pbase = s.read(cur, |p| p.base);
+    let cbase = pbase + newq;
+    let entry = BV::lit(64, PROC_RAM as u128) + cbase.shl(BV::lit(64, PAGE.trailing_zeros() as u128));
+    let sp0 = entry + quota.shl(BV::lit(64, PAGE.trailing_zeros() as u128));
+
+    s.update(valid, cur, |p| {
+        p.quota = newq;
+        p.nr_children = p.nr_children + BV::lit(64, 1);
+    });
+    s.update(valid, child, |p| {
+        p.state = BV::lit(64, 1);
+        p.quota = quota;
+        p.base = cbase;
+        p.nr_children = BV::lit(64, 0);
+        p.ctx = [BV::lit(64, 0), BV::lit(64, 0), sp0, entry];
+    });
+    valid.select(child, BV::lit(64, u64::MAX as u128))
+}
+
+/// The next used PID after `cur` in round-robin order.
+pub fn spec_next(s: &SpecState) -> BV {
+    let mut next = s.cur;
+    for d in (1..=NPROC).rev() {
+        let cand = (s.cur + BV::lit(64, d as u128)) & BV::lit(64, NPROC as u128 - 1);
+        let used = s.read(cand, |p| p.state).eq_(BV::lit(64, 1));
+        next = used.select(cand, next);
+    }
+    next
+}
+
+/// `yield`: saves the caller's context (as captured at trap entry),
+/// switches to the next used process. `saved_ctx` is the caller's
+/// context (s0, s1, sp, resume pc). Returns the new current PID.
+pub fn spec_yield(s: &mut SpecState, saved_ctx: [BV; 4]) -> BV {
+    let cur = s.cur;
+    s.update(SBool::lit(true), cur, |p| p.ctx = saved_ctx);
+    let next = spec_next(s);
+    s.cur = next;
+    next
+}
+
+/// The PMP configuration the monitor must install for process `p`:
+/// `(pmpaddr0, pmpaddr1, pmpcfg0)` delimiting its region.
+pub fn spec_pmp(p: &SpecProc) -> (BV, BV, BV) {
+    let shift = BV::lit(64, PAGE.trailing_zeros() as u128);
+    let start = BV::lit(64, PROC_RAM as u128) + p.base.shl(shift);
+    let end = start + p.quota.shl(shift);
+    let two = BV::lit(64, 2);
+    (
+        start.lshr(two),
+        end.lshr(two),
+        BV::lit(64, PMP_CFG as u128),
+    )
+}

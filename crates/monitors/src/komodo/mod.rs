@@ -1,0 +1,659 @@
+//! Komodo^s: the RISC-V port of the Komodo enclave monitor (paper §6.3).
+//!
+//! The monitor manages [`NPAGES`] secure pages through a page database and
+//! provides SGX-like enclaves ("addrspaces"). The §6.3 retrofit changes
+//! are reflected: three-level paging (the added `InitL3PTable` call),
+//! page-number+index arguments for the map calls, and indices instead of
+//! pointers in structure fields (simplifying the representation
+//! invariant). PMP + TVM provide isolation (paper §6.1): secure pages are
+//! inaccessible to the OS; `Enter`/`Exit` flip the PMP window.
+//!
+//! Monitor calls (`a7` selects; arguments `a0..a2`; result in `a0`,
+//! `-1` = error):
+//!
+//! | nr | call |
+//! |----|------|
+//! | 1  | `InitAddrspace(asp_page, l1pt_page)` |
+//! | 2  | `InitThread(asp_page, th_page, entry)` |
+//! | 3  | `InitL2PTable(asp_page, page)` |
+//! | 4  | `InitL3PTable(asp_page, page)` (the retrofit addition) |
+//! | 5  | `MapSecure(asp_page, page, l3pt_page)` |
+//! | 6  | `MapInsecure(asp_page, l3pt_page, phys_page)` |
+//! | 7  | `Finalise(asp_page)` |
+//! | 8  | `Enter(th_page)` |
+//! | 9  | `Resume(th_page)` |
+//! | 10 | `Exit(value)` (from the enclave; the value is declassified) |
+//! | 11 | `Stop(asp_page)` |
+//! | 12 | `Remove(page)` |
+
+pub mod proofs;
+pub mod spec;
+
+use serval_core::{Layout, Mem, MemCfg, OptCfg};
+use serval_ir::ir::{BinOp, FuncBuilder, Module, Pred, Term, Val};
+use serval_ir::{compile, OptLevel};
+use serval_riscv::insn::{BrOp, CsrOp, CsrSrc, Insn};
+use serval_riscv::machine::csr;
+use serval_riscv::{reg, Asm, Interp};
+
+/// Number of secure pages managed by the page database.
+pub const NPAGES: u64 = 16;
+/// Sentinel for "no current thread".
+pub const NONE: u64 = NPAGES;
+/// Code base address.
+pub const CODE_BASE: u64 = 0x8000_0000;
+/// Monitor stack top.
+pub const STACK_TOP: u64 = 0x8010_0000;
+/// Page-database base.
+pub const PAGEDB: u64 = 0x8030_0000;
+/// Monitor state cells (cur_thread, os_resume, pending_mepc).
+pub const STATE: u64 = 0x8030_1000;
+/// Secure-memory window covered by the page database.
+pub const SECURE_BASE: u64 = 0x8800_0000;
+/// Number of insecure (OS-shared) physical pages for `MapInsecure`.
+pub const INSEC_PAGES: u64 = 1024;
+/// Where boot hands control to the (untrusted) OS.
+pub const OS_ENTRY: u64 = 0x8020_0000;
+/// Page size.
+pub const PAGE: u64 = 4096;
+/// pmpcfg0 denying the OS access to secure memory (entry 0 covers the
+/// secure window with no permissions; entry 1 grants RWX below/above via
+/// TOR chaining is left to the OS's own entries).
+pub const PMP_DENY: u64 = 0x08;
+/// pmpcfg0 while an enclave runs: secure window RWX.
+pub const PMP_ALLOW: u64 = 0x0f;
+
+/// Page types.
+pub mod ty {
+    pub const FREE: u64 = 0;
+    pub const ADDRSPACE: u64 = 1;
+    pub const THREAD: u64 = 2;
+    pub const L1PT: u64 = 3;
+    pub const L2PT: u64 = 4;
+    pub const L3PT: u64 = 5;
+    pub const DATA: u64 = 6;
+}
+
+/// Addrspace states.
+pub mod st {
+    pub const INIT: u64 = 1;
+    pub const FINAL: u64 = 2;
+    pub const STOPPED: u64 = 3;
+}
+
+/// Monitor-call numbers.
+pub mod sys {
+    pub const INIT_ADDRSPACE: u64 = 1;
+    pub const INIT_THREAD: u64 = 2;
+    pub const INIT_L2PT: u64 = 3;
+    pub const INIT_L3PT: u64 = 4;
+    pub const MAP_SECURE: u64 = 5;
+    pub const MAP_INSECURE: u64 = 6;
+    pub const FINALISE: u64 = 7;
+    pub const ENTER: u64 = 8;
+    pub const RESUME: u64 = 9;
+    pub const EXIT: u64 = 10;
+    pub const STOP: u64 = 11;
+    pub const REMOVE: u64 = 12;
+}
+
+/// Field offsets in a page-database entry (64 bytes).
+pub mod field {
+    pub const TYPE: i64 = 0;
+    pub const OWNER: i64 = 8;
+    pub const STATE: i64 = 16;
+    pub const REFCOUNT: i64 = 24;
+    pub const EXTRA: i64 = 32;
+}
+
+/// Page-database entry layout.
+pub fn entry_layout() -> Layout {
+    Layout::Struct(vec![
+        ("type".into(), Layout::Cell(8)),
+        ("owner".into(), Layout::Cell(8)),
+        ("state".into(), Layout::Cell(8)),
+        ("refcount".into(), Layout::Cell(8)),
+        ("extra".into(), Layout::Cell(8)),
+        ("pad0".into(), Layout::Cell(8)),
+        ("pad1".into(), Layout::Cell(8)),
+        ("pad2".into(), Layout::Cell(8)),
+    ])
+}
+
+/// Builds the monitor's typed memory with fully symbolic contents.
+pub fn fresh_mem() -> Mem {
+    let mut mem = Mem::new(MemCfg::default());
+    mem.add_region(
+        "pagedb",
+        PAGEDB,
+        Layout::Array(NPAGES, Box::new(entry_layout())).instantiate_fresh("pagedb"),
+    );
+    mem.add_region(
+        "state",
+        STATE,
+        Layout::Struct(vec![
+            ("cur_thread".into(), Layout::Cell(8)),
+            ("os_resume".into(), Layout::Cell(8)),
+            ("pending_mepc".into(), Layout::Cell(8)),
+        ])
+        .instantiate_fresh("state"),
+    );
+    mem.add_region(
+        "stack",
+        STACK_TOP - PAGE,
+        Layout::Array(512, Box::new(Layout::Cell(8))).instantiate_fresh("stack"),
+    );
+    mem
+}
+
+/// Shared IR prologue: `&pagedb[page]` plus common checks.
+struct Pg;
+impl Pg {
+    /// Emits `&pagedb[page]` (no bounds check; callers guard).
+    fn entry(b: &mut FuncBuilder, page: Val) -> Val {
+        let off = b.bin(BinOp::Shl, page, Val::Const(6));
+        b.bin(BinOp::Add, Val::Global("pagedb"), off)
+    }
+
+    fn fld(b: &mut FuncBuilder, entry: Val, off: i64) -> Val {
+        b.bin(BinOp::Add, entry, Val::Const(off))
+    }
+}
+
+/// The monitor's trap handlers in IR.
+pub fn module() -> Module {
+    let mut funcs = Vec::new();
+
+    // sys_init_addrspace(asp, l1pt).
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_init_addrspace", 2);
+        let asp = Val::Param(0);
+        let l1 = Val::Param(1);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, asp, Val::Const(NPAGES as i64));
+        let r2 = b.icmp(Pred::Ult, l1, Val::Const(NPAGES as i64));
+        let ne = b.icmp(Pred::Ne, asp, l1);
+        let v1 = b.bin(BinOp::And, r1, r2);
+        let v1 = b.bin(BinOp::And, v1, ne);
+        b.term(Term::CondBr(v1, "check", "fail"));
+        b.block("check");
+        let ea = Pg::entry(&mut b, asp);
+        let el = Pg::entry(&mut b, l1);
+        let ta = b.load(ea, 8);
+        let tl = b.load(el, 8);
+        let fa = b.icmp(Pred::Eq, ta, Val::Const(ty::FREE as i64));
+        let fl = b.icmp(Pred::Eq, tl, Val::Const(ty::FREE as i64));
+        let v2 = b.bin(BinOp::And, fa, fl);
+        b.term(Term::CondBr(v2, "doit", "fail"));
+        b.block("doit");
+        b.store(ea, Val::Const(ty::ADDRSPACE as i64), 8);
+        let oa = Pg::fld(&mut b, ea, field::OWNER);
+        b.store(oa, asp, 8);
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        b.store(sa, Val::Const(st::INIT as i64), 8);
+        let ra = Pg::fld(&mut b, ea, field::REFCOUNT);
+        b.store(ra, Val::Const(2), 8); // the addrspace and l1pt pages
+        let xa = Pg::fld(&mut b, ea, field::EXTRA);
+        b.store(xa, Val::Const(0), 8);
+        b.store(el, Val::Const(ty::L1PT as i64), 8);
+        let ol = Pg::fld(&mut b, el, field::OWNER);
+        b.store(ol, asp, 8);
+        let sl = Pg::fld(&mut b, el, field::STATE);
+        b.store(sl, Val::Const(0), 8);
+        let rl = Pg::fld(&mut b, el, field::REFCOUNT);
+        b.store(rl, Val::Const(0), 8);
+        let xl = Pg::fld(&mut b, el, field::EXTRA);
+        b.store(xl, Val::Const(0), 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    // A family of "allocate a page of type T to an INIT addrspace":
+    // InitThread (stores entry pc), InitL2PTable, InitL3PTable, MapSecure
+    // (additionally requires a valid l3pt owned by the addrspace).
+    let alloc = |name: &'static str, page_ty: u64, has_extra: bool, needs_l3: bool| {
+        let params = if has_extra || needs_l3 { 3 } else { 2 };
+        let mut b = FuncBuilder::new(name, params);
+        let asp = Val::Param(0);
+        let page = Val::Param(1);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, asp, Val::Const(NPAGES as i64));
+        let r2 = b.icmp(Pred::Ult, page, Val::Const(NPAGES as i64));
+        let mut v1 = b.bin(BinOp::And, r1, r2);
+        if needs_l3 {
+            let r3 = b.icmp(Pred::Ult, Val::Param(2), Val::Const(NPAGES as i64));
+            v1 = b.bin(BinOp::And, v1, r3);
+        }
+        b.term(Term::CondBr(v1, "check", "fail"));
+        b.block("check");
+        let ea = Pg::entry(&mut b, asp);
+        let ta = b.load(ea, 8);
+        let is_asp = b.icmp(Pred::Eq, ta, Val::Const(ty::ADDRSPACE as i64));
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        let state = b.load(sa, 8);
+        let is_init = b.icmp(Pred::Eq, state, Val::Const(st::INIT as i64));
+        let ep = Pg::entry(&mut b, page);
+        let tp = b.load(ep, 8);
+        let is_free = b.icmp(Pred::Eq, tp, Val::Const(ty::FREE as i64));
+        let mut ok = b.bin(BinOp::And, is_asp, is_init);
+        ok = b.bin(BinOp::And, ok, is_free);
+        if needs_l3 {
+            let el3 = Pg::entry(&mut b, Val::Param(2));
+            let tl3 = b.load(el3, 8);
+            let is_l3 = b.icmp(Pred::Eq, tl3, Val::Const(ty::L3PT as i64));
+            let ol3 = Pg::fld(&mut b, el3, field::OWNER);
+            let owner = b.load(ol3, 8);
+            let owned = b.icmp(Pred::Eq, owner, asp);
+            let both = b.bin(BinOp::And, is_l3, owned);
+            ok = b.bin(BinOp::And, ok, both);
+        }
+        b.term(Term::CondBr(ok, "doit", "fail"));
+        b.block("doit");
+        let ep = Pg::entry(&mut b, page);
+        b.store(ep, Val::Const(page_ty as i64), 8);
+        let op = Pg::fld(&mut b, ep, field::OWNER);
+        b.store(op, asp, 8);
+        // Scrub stale metadata: the new owner must not inherit it.
+        let sp_ = Pg::fld(&mut b, ep, field::STATE);
+        b.store(sp_, Val::Const(0), 8);
+        let rp_ = Pg::fld(&mut b, ep, field::REFCOUNT);
+        b.store(rp_, Val::Const(0), 8);
+        let xp = Pg::fld(&mut b, ep, field::EXTRA);
+        if has_extra {
+            b.store(xp, Val::Param(2), 8);
+        } else {
+            b.store(xp, Val::Const(0), 8);
+        }
+        let ea = Pg::entry(&mut b, asp);
+        let rc_addr = Pg::fld(&mut b, ea, field::REFCOUNT);
+        let rc = b.load(rc_addr, 8);
+        let rc1 = b.bin(BinOp::Add, rc, Val::Const(1));
+        b.store(rc_addr, rc1, 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    };
+    funcs.push(alloc("sys_init_thread", ty::THREAD, true, false));
+    funcs.push(alloc("sys_init_l2pt", ty::L2PT, false, false));
+    funcs.push(alloc("sys_init_l3pt", ty::L3PT, false, false));
+    funcs.push(alloc("sys_map_secure", ty::DATA, false, true));
+
+    // sys_map_insecure(asp, l3pt, phys): checks only; the mapping itself
+    // lives in the (untracked) page tables.
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_map_insecure", 3);
+        let asp = Val::Param(0);
+        let l3 = Val::Param(1);
+        let phys = Val::Param(2);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, asp, Val::Const(NPAGES as i64));
+        let r2 = b.icmp(Pred::Ult, l3, Val::Const(NPAGES as i64));
+        let r3 = b.icmp(Pred::Ult, phys, Val::Const(INSEC_PAGES as i64));
+        let mut v = b.bin(BinOp::And, r1, r2);
+        v = b.bin(BinOp::And, v, r3);
+        b.term(Term::CondBr(v, "check", "fail"));
+        b.block("check");
+        let ea = Pg::entry(&mut b, asp);
+        let ta = b.load(ea, 8);
+        let is_asp = b.icmp(Pred::Eq, ta, Val::Const(ty::ADDRSPACE as i64));
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        let state = b.load(sa, 8);
+        let is_init = b.icmp(Pred::Eq, state, Val::Const(st::INIT as i64));
+        let el3 = Pg::entry(&mut b, l3);
+        let tl3 = b.load(el3, 8);
+        let is_l3 = b.icmp(Pred::Eq, tl3, Val::Const(ty::L3PT as i64));
+        let ol3 = Pg::fld(&mut b, el3, field::OWNER);
+        let owner = b.load(ol3, 8);
+        let owned = b.icmp(Pred::Eq, owner, asp);
+        let mut ok = b.bin(BinOp::And, is_asp, is_init);
+        ok = b.bin(BinOp::And, ok, is_l3);
+        ok = b.bin(BinOp::And, ok, owned);
+        b.term(Term::CondBr(ok, "doit", "fail"));
+        b.block("doit");
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    // sys_set_state(asp, new_state, required_state): shared by Finalise
+    // (INIT→FINAL) and Stop (any addrspace → STOPPED, required = 0 = any).
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_set_state", 3);
+        let asp = Val::Param(0);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, asp, Val::Const(NPAGES as i64));
+        b.term(Term::CondBr(r1, "check", "fail"));
+        b.block("check");
+        let ea = Pg::entry(&mut b, asp);
+        let ta = b.load(ea, 8);
+        let is_asp = b.icmp(Pred::Eq, ta, Val::Const(ty::ADDRSPACE as i64));
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        let state = b.load(sa, 8);
+        let any = b.icmp(Pred::Eq, Val::Param(2), Val::Const(0));
+        let match_ = b.icmp(Pred::Eq, state, Val::Param(2));
+        let st_ok = b.bin(BinOp::Or, any, match_);
+        let ok = b.bin(BinOp::And, is_asp, st_ok);
+        b.term(Term::CondBr(ok, "doit", "fail"));
+        b.block("doit");
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        b.store(sa, Val::Param(1), 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    // sys_enter(th): validates and stages the thread's entry pc.
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_enter", 1);
+        let th = Val::Param(0);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, th, Val::Const(NPAGES as i64));
+        b.term(Term::CondBr(r1, "check", "fail"));
+        b.block("check");
+        let et = Pg::entry(&mut b, th);
+        let tt = b.load(et, 8);
+        let is_th = b.icmp(Pred::Eq, tt, Val::Const(ty::THREAD as i64));
+        let ot = Pg::fld(&mut b, et, field::OWNER);
+        let asp = b.load(ot, 8);
+        let in_range = b.icmp(Pred::Ult, asp, Val::Const(NPAGES as i64));
+        let pre = b.bin(BinOp::And, is_th, in_range);
+        b.term(Term::CondBr(pre, "check2", "fail"));
+        b.block("check2");
+        let et = Pg::entry(&mut b, th);
+        let ot = Pg::fld(&mut b, et, field::OWNER);
+        let asp = b.load(ot, 8);
+        let ea = Pg::entry(&mut b, asp);
+        let sa = Pg::fld(&mut b, ea, field::STATE);
+        let state = b.load(sa, 8);
+        let is_final = b.icmp(Pred::Eq, state, Val::Const(st::FINAL as i64));
+        let ct = b.load(Val::Global("cur_thread"), 8);
+        let idle = b.icmp(Pred::Eq, ct, Val::Const(NONE as i64));
+        let ok = b.bin(BinOp::And, is_final, idle);
+        b.term(Term::CondBr(ok, "doit", "fail"));
+        b.block("doit");
+        b.store(Val::Global("cur_thread"), th, 8);
+        let et = Pg::entry(&mut b, th);
+        let xp = Pg::fld(&mut b, et, field::EXTRA);
+        let entry_pc = b.load(xp, 8);
+        b.store(Val::Global("pending_mepc"), entry_pc, 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    // sys_exit(): clears the current thread; the stub restores the OS
+    // resume point and the deny-PMP window.
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_exit", 0);
+        b.block("entry");
+        let ct = b.load(Val::Global("cur_thread"), 8);
+        let busy = b.icmp(Pred::Ne, ct, Val::Const(NONE as i64));
+        b.term(Term::CondBr(busy, "doit", "fail"));
+        b.block("doit");
+        b.store(Val::Global("cur_thread"), Val::Const(NONE as i64), 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    // sys_remove(page): frees a page of a stopped addrspace; the
+    // addrspace page itself goes last (refcount 1).
+    funcs.push({
+        let mut b = FuncBuilder::new("sys_remove", 1);
+        let page = Val::Param(0);
+        b.block("entry");
+        let r1 = b.icmp(Pred::Ult, page, Val::Const(NPAGES as i64));
+        b.term(Term::CondBr(r1, "check", "fail"));
+        b.block("check");
+        let ep = Pg::entry(&mut b, page);
+        let tp = b.load(ep, 8);
+        let not_free = b.icmp(Pred::Ne, tp, Val::Const(ty::FREE as i64));
+        let op = Pg::fld(&mut b, ep, field::OWNER);
+        let owner = b.load(op, 8);
+        let in_range = b.icmp(Pred::Ult, owner, Val::Const(NPAGES as i64));
+        let pre = b.bin(BinOp::And, not_free, in_range);
+        b.term(Term::CondBr(pre, "check2", "fail"));
+        b.block("check2");
+        let ep = Pg::entry(&mut b, page);
+        let ct = b.load(Val::Global("cur_thread"), 8);
+        let not_running = b.icmp(Pred::Ne, page, ct);
+        let op = Pg::fld(&mut b, ep, field::OWNER);
+        let owner = b.load(op, 8);
+        let eo = Pg::entry(&mut b, owner);
+        let oty = b.load(eo, 8);
+        let owner_is_asp_ = b.icmp(Pred::Eq, oty, Val::Const(ty::ADDRSPACE as i64));
+        let owner_is_asp = b.bin(BinOp::And, owner_is_asp_, not_running);
+        let so = Pg::fld(&mut b, eo, field::STATE);
+        let ostate = b.load(so, 8);
+        let stopped_ = b.icmp(Pred::Eq, ostate, Val::Const(st::STOPPED as i64));
+        let stopped = b.bin(BinOp::And, owner_is_asp, stopped_);
+        let tp = b.load(ep, 8);
+        let is_asp = b.icmp(Pred::Eq, tp, Val::Const(ty::ADDRSPACE as i64));
+        let ro = Pg::fld(&mut b, eo, field::REFCOUNT);
+        let rc = b.load(ro, 8);
+        let last = b.icmp(Pred::Eq, rc, Val::Const(1));
+        let asp_ok = b.select(is_asp, last, Val::Const(1));
+        let ok = b.bin(BinOp::And, stopped, asp_ok);
+        b.term(Term::CondBr(ok, "doit", "fail"));
+        b.block("doit");
+        let ep = Pg::entry(&mut b, page);
+        let op = Pg::fld(&mut b, ep, field::OWNER);
+        let owner = b.load(op, 8);
+        let eo = Pg::entry(&mut b, owner);
+        let ro = Pg::fld(&mut b, eo, field::REFCOUNT);
+        let rc = b.load(ro, 8);
+        let rc1 = b.bin(BinOp::Sub, rc, Val::Const(1));
+        b.store(ro, rc1, 8);
+        b.store(ep, Val::Const(ty::FREE as i64), 8);
+        let sp_ = Pg::fld(&mut b, ep, field::OWNER);
+        b.store(sp_, Val::Const(0), 8);
+        let st_ = Pg::fld(&mut b, ep, field::STATE);
+        b.store(st_, Val::Const(0), 8);
+        let rf_ = Pg::fld(&mut b, ep, field::REFCOUNT);
+        b.store(rf_, Val::Const(0), 8);
+        let ex_ = Pg::fld(&mut b, ep, field::EXTRA);
+        b.store(ex_, Val::Const(0), 8);
+        b.term(Term::Ret(Val::Const(0)));
+        b.block("fail");
+        b.term(Term::Ret(Val::Const(-1)));
+        b.build()
+    });
+
+    Module {
+        funcs,
+        globals: vec![
+            ("pagedb", PAGEDB),
+            ("cur_thread", STATE),
+            ("os_resume", STATE + 8),
+            ("pending_mepc", STATE + 16),
+        ],
+    }
+}
+
+/// Builds the monitor binary: trap stub + compiled handlers.
+pub fn build(level: OptLevel, opt: OptCfg) -> Interp {
+    build_with_boot(level, opt).0
+}
+
+/// Like [`build`], also returning the boot-entry address for reset-state
+/// verification (paper §3.4).
+pub fn build_with_boot(level: OptLevel, opt: OptCfg) -> (Interp, u64) {
+    let mut asm = Asm::new();
+    asm.define_symbol("stack_top", STACK_TOP);
+    let csrr = |rd, c| Insn::Csr {
+        op: CsrOp::Rs,
+        rd,
+        src: CsrSrc::Reg(reg::ZERO),
+        csr: c,
+    };
+    let csrw = |rs, c| Insn::Csr {
+        op: CsrOp::Rw,
+        rd: reg::ZERO,
+        src: CsrSrc::Reg(rs),
+        csr: c,
+    };
+
+    asm.i(csrw(reg::SP, csr::MSCRATCH));
+    asm.la(reg::SP, "stack_top");
+    // Dispatch.
+    let direct: [(u64, &str); 6] = [
+        (sys::INIT_ADDRSPACE, "sys_init_addrspace"),
+        (sys::INIT_THREAD, "sys_init_thread"),
+        (sys::INIT_L2PT, "sys_init_l2pt"),
+        (sys::INIT_L3PT, "sys_init_l3pt"),
+        (sys::MAP_SECURE, "sys_map_secure"),
+        (sys::MAP_INSECURE, "sys_map_insecure"),
+    ];
+    for (nr, _) in &direct {
+        asm.li(reg::T0, *nr as i64);
+        asm.branch(BrOp::Beq, reg::A7, reg::T0, &format!("h_{nr}"));
+    }
+    for (nr, label) in [
+        (sys::FINALISE, "h_finalise"),
+        (sys::ENTER, "h_enter"),
+        (sys::RESUME, "h_enter"), // resume shares the enter path
+        (sys::EXIT, "h_exit"),
+        (sys::STOP, "h_stop"),
+        (sys::REMOVE, "h_remove"),
+    ] {
+        asm.li(reg::T0, nr as i64);
+        asm.branch(BrOp::Beq, reg::A7, reg::T0, label);
+    }
+    asm.li(reg::A0, -1);
+    asm.j("ret_adv");
+
+    for (nr, func) in &direct {
+        asm.label(&format!("h_{nr}"));
+        asm.call(func);
+        asm.j("ret_adv");
+    }
+    asm.label("h_finalise");
+    asm.mv(reg::A1, reg::ZERO);
+    asm.addi(reg::A1, reg::ZERO, st::FINAL as i32);
+    asm.addi(reg::A2, reg::ZERO, st::INIT as i32);
+    asm.call("sys_set_state");
+    asm.j("ret_adv");
+    asm.label("h_stop");
+    asm.addi(reg::A1, reg::ZERO, st::STOPPED as i32);
+    asm.mv(reg::A2, reg::ZERO); // any prior state
+    asm.call("sys_set_state");
+    asm.j("ret_adv");
+    asm.label("h_remove");
+    asm.call("sys_remove");
+    asm.j("ret_adv");
+
+    // Enter/Resume: provisionally save the OS resume point, then flip the
+    // PMP window and jump into the enclave on success.
+    asm.label("h_enter");
+    asm.i(csrr(reg::T3, csr::MEPC));
+    asm.addi(reg::T3, reg::T3, 4);
+    asm.la(reg::T0, "os_resume");
+    asm.sd(reg::T3, 0, reg::T0);
+    asm.call("sys_enter");
+    asm.bnez(reg::A0, "ret_adv"); // validation failed: plain error return
+    asm.la(reg::T0, "pending_mepc");
+    asm.ld(reg::T3, 0, reg::T0);
+    asm.i(csrw(reg::T3, csr::MEPC));
+    asm.li(reg::T5, (SECURE_BASE >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0));
+    asm.li(reg::T5, ((SECURE_BASE + NPAGES * PAGE) >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0 + 1));
+    // Entry 0 TOR no-perm below secure, entry 1 TOR RWX over it.
+    asm.li(reg::T5, (PMP_DENY | (PMP_ALLOW << 8)) as i64);
+    asm.i(csrw(reg::T5, csr::PMPCFG0));
+    asm.li(reg::A0, 0);
+    asm.j("ret_common");
+
+    // Exit: the value in a0 is declassified to the OS.
+    asm.label("h_exit");
+    asm.mv(reg::T6, reg::A0); // preserve the exit value across the call
+    asm.call("sys_exit");
+    asm.bnez(reg::A0, "ret_adv");
+    asm.la(reg::T0, "os_resume");
+    asm.ld(reg::T3, 0, reg::T0);
+    asm.i(csrw(reg::T3, csr::MEPC));
+    // Secure window: no access for the OS.
+    asm.li(reg::T5, (SECURE_BASE >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0));
+    asm.li(reg::T5, ((SECURE_BASE + NPAGES * PAGE) >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0 + 1));
+    asm.li(reg::T5, (PMP_DENY | (PMP_DENY << 8)) as i64);
+    asm.i(csrw(reg::T5, csr::PMPCFG0));
+    asm.mv(reg::A0, reg::T6);
+    asm.j("ret_common");
+
+    asm.label("ret_adv");
+    asm.i(csrr(reg::T0, csr::MEPC));
+    asm.addi(reg::T0, reg::T0, 4);
+    asm.i(csrw(reg::T0, csr::MEPC));
+    asm.label("ret_common");
+    for r in [
+        reg::RA,
+        reg::GP,
+        reg::TP,
+        reg::T0,
+        reg::T1,
+        reg::T2,
+        reg::T3,
+        reg::T4,
+        reg::T5,
+        reg::T6,
+        reg::A1,
+        reg::A2,
+        reg::A3,
+        reg::A4,
+        reg::A5,
+        reg::A6,
+        reg::A7,
+    ] {
+        asm.mv(r, reg::ZERO);
+    }
+    asm.i(csrr(reg::SP, csr::MSCRATCH));
+    asm.i(Insn::Mret);
+
+    // ---- boot code (paper §3.4): zero the page database, mark no
+    // running thread, set the trap vector, close the secure PMP window,
+    // and drop to the OS. Verified by `proofs::prove_boot`.
+    asm.label("boot");
+    asm.la(reg::T0, "pagedb");
+    for off in (0..(NPAGES * 64)).step_by(8) {
+        asm.sd(reg::ZERO, off as i32, reg::T0);
+    }
+    asm.la(reg::T0, "cur_thread");
+    asm.li(reg::T1, NONE as i64);
+    asm.sd(reg::T1, 0, reg::T0);
+    asm.la(reg::T0, "os_resume");
+    asm.sd(reg::ZERO, 0, reg::T0);
+    asm.la(reg::T0, "pending_mepc");
+    asm.sd(reg::ZERO, 0, reg::T0);
+    asm.li(reg::T1, CODE_BASE as i64);
+    asm.i(csrw(reg::T1, csr::MTVEC));
+    asm.li(reg::T5, (SECURE_BASE >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0));
+    asm.li(reg::T5, ((SECURE_BASE + NPAGES * PAGE) >> 2) as i64);
+    asm.i(csrw(reg::T5, csr::PMPADDR0 + 1));
+    asm.li(reg::T5, (PMP_DENY | (PMP_DENY << 8)) as i64);
+    asm.i(csrw(reg::T5, csr::PMPCFG0));
+    asm.li(reg::T1, OS_ENTRY as i64);
+    asm.i(csrw(reg::T1, csr::MEPC));
+    asm.i(Insn::Mret);
+
+    compile(&module(), level, &mut asm);
+    let words = asm.assemble(CODE_BASE);
+    // See the certikos build: merged-pc evaluation must stay finite.
+    let fuel = if opt.split_pc { 8192 } else { 3 };
+    let mut interp = Interp::from_words(CODE_BASE, &words, fuel)
+        .expect("monitor binary must decode (encoder-validated)");
+    interp.opt = opt;
+    (interp, asm.address_of("boot", CODE_BASE))
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,290 @@
+//! The Komodo^s functional specification and abstraction function.
+
+use super::{st, ty, NONE, NPAGES};
+use serval_core::{Mem, PathElem};
+use serval_smt::{SBool, BV};
+use serval_sym::{merge_many, Merge};
+
+/// Abstract page-database entry.
+#[derive(Clone, Debug)]
+pub struct SpecPage {
+    pub ty: BV,
+    pub owner: BV,
+    pub state: BV,
+    pub refcount: BV,
+    pub extra: BV,
+}
+
+impl Merge for SpecPage {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        SpecPage {
+            ty: BV::merge(c, &t.ty, &e.ty),
+            owner: BV::merge(c, &t.owner, &e.owner),
+            state: BV::merge(c, &t.state, &e.state),
+            refcount: BV::merge(c, &t.refcount, &e.refcount),
+            extra: BV::merge(c, &t.extra, &e.extra),
+        }
+    }
+}
+
+/// Equality of page entries.
+pub fn page_eq(a: &SpecPage, b: &SpecPage) -> SBool {
+    a.ty.eq_(b.ty)
+        & a.owner.eq_(b.owner)
+        & a.state.eq_(b.state)
+        & a.refcount.eq_(b.refcount)
+        & a.extra.eq_(b.extra)
+}
+
+/// The abstract monitor state.
+#[derive(Clone, Debug)]
+pub struct SpecState {
+    pub pages: Vec<SpecPage>,
+    pub cur_thread: BV,
+    pub os_resume: BV,
+}
+
+impl Merge for SpecState {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        SpecState {
+            pages: Vec::merge(c, &t.pages, &e.pages),
+            cur_thread: BV::merge(c, &t.cur_thread, &e.cur_thread),
+            os_resume: BV::merge(c, &t.os_resume, &e.os_resume),
+        }
+    }
+}
+
+impl SpecState {
+    /// A fully symbolic state.
+    pub fn fresh(tag: &str) -> SpecState {
+        let f = |n: String| BV::fresh(64, &n);
+        SpecState {
+            pages: (0..NPAGES)
+                .map(|i| SpecPage {
+                    ty: f(format!("{tag}.pg{i}.ty")),
+                    owner: f(format!("{tag}.pg{i}.owner")),
+                    state: f(format!("{tag}.pg{i}.state")),
+                    refcount: f(format!("{tag}.pg{i}.rc")),
+                    extra: f(format!("{tag}.pg{i}.extra")),
+                })
+                .collect(),
+            cur_thread: f(format!("{tag}.cur_thread")),
+            os_resume: f(format!("{tag}.os_resume")),
+        }
+    }
+
+    /// Reads `pages[idx].field` at a symbolic index.
+    pub fn read(&self, idx: BV, f: impl Fn(&SpecPage) -> BV) -> BV {
+        let cases: Vec<(SBool, BV)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (idx.eq_(BV::lit(64, i as u128)), f(p)))
+            .collect();
+        merge_many(&cases)
+    }
+
+    /// Updates `pages[idx]` at a symbolic index under `guard`.
+    pub fn update(&mut self, guard: SBool, idx: BV, f: impl Fn(&mut SpecPage)) {
+        for (i, p) in self.pages.iter_mut().enumerate() {
+            let here = guard & idx.eq_(BV::lit(64, i as u128));
+            let mut updated = p.clone();
+            f(&mut updated);
+            *p = SpecPage::merge(here, &updated, p);
+        }
+    }
+
+    /// Structural equality (pages + cur_thread + os_resume).
+    pub fn eq_(&self, other: &SpecState) -> SBool {
+        let mut acc = self.cur_thread.eq_(other.cur_thread) & self.os_resume.eq_(other.os_resume);
+        for (a, b) in self.pages.iter().zip(&other.pages) {
+            acc = acc & page_eq(a, b);
+        }
+        acc
+    }
+
+    /// Well-formedness of ownership: every addrspace page owns itself.
+    /// (Established at InitAddrspace and preserved by every call; assumed
+    /// by the noninterference lemmas.)
+    pub fn wf(&self) -> SBool {
+        let mut acc = SBool::lit(true);
+        for (i, p) in self.pages.iter().enumerate() {
+            let is_asp = p.ty.eq_(BV::lit(64, ty::ADDRSPACE as u128));
+            acc = acc & is_asp.implies(p.owner.eq_(BV::lit(64, i as u128)));
+        }
+        acc
+    }
+
+    /// State invariant: the current thread is NONE or a THREAD page.
+    pub fn invariant(&self) -> SBool {
+        let idle = self.cur_thread.eq_(BV::lit(64, NONE as u128));
+        let valid = self.cur_thread.ult(BV::lit(64, NPAGES as u128))
+            & self
+                .read(self.cur_thread, |p| p.ty)
+                .eq_(BV::lit(64, ty::THREAD as u128));
+        idle | valid
+    }
+}
+
+/// AF: typed memory → abstract state.
+pub fn abstraction(mem: &Mem) -> SpecState {
+    SpecState {
+        pages: (0..NPAGES)
+            .map(|i| {
+                let f = |name: &'static str| {
+                    mem.read_path("pagedb", &[PathElem::Index(i), PathElem::Field(name)])
+                };
+                SpecPage {
+                    ty: f("type"),
+                    owner: f("owner"),
+                    state: f("state"),
+                    refcount: f("refcount"),
+                    extra: f("extra"),
+                }
+            })
+            .collect(),
+        cur_thread: mem.read_path("state", &[PathElem::Field("cur_thread")]),
+        os_resume: mem.read_path("state", &[PathElem::Field("os_resume")]),
+    }
+}
+
+fn lit(v: u64) -> BV {
+    BV::lit(64, v as u128)
+}
+
+fn ok_else(valid: SBool) -> BV {
+    valid.select(lit(0), lit(u64::MAX))
+}
+
+/// `InitAddrspace(asp, l1pt)`.
+pub fn spec_init_addrspace(s: &mut SpecState, asp: BV, l1: BV) -> BV {
+    let in_range = asp.ult(lit(NPAGES)) & l1.ult(lit(NPAGES)) & asp.ne_(l1);
+    let both_free = s.read(asp, |p| p.ty).eq_(lit(ty::FREE))
+        & s.read(l1, |p| p.ty).eq_(lit(ty::FREE));
+    let valid = in_range & both_free;
+    s.update(valid, asp, |p| {
+        p.ty = lit(ty::ADDRSPACE);
+        p.owner = asp;
+        p.state = lit(st::INIT);
+        p.refcount = lit(2);
+        p.extra = lit(0);
+    });
+    s.update(valid, l1, |p| {
+        p.ty = lit(ty::L1PT);
+        p.owner = asp;
+        p.state = lit(0);
+        p.refcount = lit(0);
+        p.extra = lit(0);
+    });
+    ok_else(valid)
+}
+
+/// The shared page-allocation spec (InitThread/InitL2PT/InitL3PT/
+/// MapSecure).
+pub fn spec_alloc(
+    s: &mut SpecState,
+    asp: BV,
+    page: BV,
+    page_ty: u64,
+    extra: Option<BV>,
+    l3: Option<BV>,
+) -> BV {
+    let mut valid = asp.ult(lit(NPAGES)) & page.ult(lit(NPAGES));
+    if let Some(l3) = l3 {
+        valid = valid & l3.ult(lit(NPAGES));
+    }
+    valid = valid
+        & s.read(asp, |p| p.ty).eq_(lit(ty::ADDRSPACE))
+        & s.read(asp, |p| p.state).eq_(lit(st::INIT))
+        & s.read(page, |p| p.ty).eq_(lit(ty::FREE));
+    if let Some(l3) = l3 {
+        valid = valid
+            & s.read(l3, |p| p.ty).eq_(lit(ty::L3PT))
+            & s.read(l3, |p| p.owner).eq_(asp);
+    }
+    s.update(valid, page, |p| {
+        // Fully initialize the entry: stale metadata must not leak into
+        // the new owner's view (see the noninterference lemmas).
+        p.ty = lit(page_ty);
+        p.owner = asp;
+        p.state = lit(0);
+        p.refcount = lit(0);
+        p.extra = extra.unwrap_or_else(|| lit(0));
+    });
+    s.update(valid, asp, |p| p.refcount = p.refcount + lit(1));
+    ok_else(valid)
+}
+
+/// `MapInsecure(asp, l3pt, phys)` — checks only.
+pub fn spec_map_insecure(s: &SpecState, asp: BV, l3: BV, phys: BV) -> BV {
+    let valid = asp.ult(lit(NPAGES))
+        & l3.ult(lit(NPAGES))
+        & phys.ult(lit(super::INSEC_PAGES))
+        & s.read(asp, |p| p.ty).eq_(lit(ty::ADDRSPACE))
+        & s.read(asp, |p| p.state).eq_(lit(st::INIT))
+        & s.read(l3, |p| p.ty).eq_(lit(ty::L3PT))
+        & s.read(l3, |p| p.owner).eq_(asp);
+    ok_else(valid)
+}
+
+/// `Finalise(asp)` / `Stop(asp)` via the shared state-transition spec.
+pub fn spec_set_state(s: &mut SpecState, asp: BV, new: u64, required: u64) -> BV {
+    let mut valid =
+        asp.ult(lit(NPAGES)) & s.read(asp, |p| p.ty).eq_(lit(ty::ADDRSPACE));
+    if required != 0 {
+        valid = valid & s.read(asp, |p| p.state).eq_(lit(required));
+    }
+    s.update(valid, asp, |p| p.state = lit(new));
+    ok_else(valid)
+}
+
+/// `Enter(th)` / `Resume(th)`: returns `(result, new mepc guard)`; the
+/// machine-level theorems check the staged mepc separately.
+pub fn spec_enter(s: &mut SpecState, th: BV, os_resume: BV) -> (BV, SBool) {
+    let valid = th.ult(lit(NPAGES))
+        & s.read(th, |p| p.ty).eq_(lit(ty::THREAD))
+        & s.read(th, |p| p.owner).ult(lit(NPAGES))
+        & s
+            .read(s.read(th, |p| p.owner), |p| p.state)
+            .eq_(lit(st::FINAL))
+        & s.cur_thread.eq_(lit(NONE));
+    let valid_clone = valid;
+    s.cur_thread = valid.select(th, s.cur_thread);
+    s.os_resume = valid.select(os_resume, s.os_resume);
+    (ok_else(valid), valid_clone)
+}
+
+/// `Exit(value)`: returns `(result, success)`.
+pub fn spec_exit(s: &mut SpecState, value: BV) -> (BV, SBool) {
+    let valid = s.cur_thread.ne_(lit(NONE));
+    s.cur_thread = valid.select(lit(NONE), s.cur_thread);
+    (valid.select(value, lit(u64::MAX)), valid)
+}
+
+/// `Remove(page)`.
+pub fn spec_remove(s: &mut SpecState, page: BV) -> BV {
+    let tp = s.read(page, |p| p.ty);
+    let owner = s.read(page, |p| p.owner);
+    let mut valid = page.ult(lit(NPAGES)) & tp.ne_(lit(ty::FREE)) & owner.ult(lit(NPAGES));
+    // The currently executing thread's page cannot be pulled out from
+    // under it (keeps the cur-thread invariant).
+    valid = valid & page.ne_(s.cur_thread);
+    // The owner entry must actually be an addrspace (its state field is
+    // meaningless otherwise) and be stopped.
+    valid = valid & s.read(owner, |p| p.ty).eq_(lit(ty::ADDRSPACE));
+    let ostate = s.read(owner, |p| p.state);
+    valid = valid & ostate.eq_(lit(st::STOPPED));
+    // The addrspace page itself can only go when it is the last page.
+    let is_asp = tp.eq_(lit(ty::ADDRSPACE));
+    let rc = s.read(owner, |p| p.refcount);
+    valid = valid & is_asp.implies(rc.eq_(lit(1)));
+    s.update(valid, owner, |p| p.refcount = p.refcount - lit(1));
+    s.update(valid, page, |p| {
+        p.ty = lit(ty::FREE);
+        p.owner = lit(0);
+        p.state = lit(0);
+        p.refcount = lit(0);
+        p.extra = lit(0);
+    });
+    ok_else(valid)
+}

@@ -1,0 +1,322 @@
+//! A small RV64 assembler: labels, branches, and pseudo-instructions.
+//!
+//! Used by the monitors' build descriptions (playing the role of gcc +
+//! binutils, which are untrusted in the paper's methodology — the verifier
+//! consumes only the machine words this assembler emits, and validates its
+//! own decoding against the encoder).
+
+use crate::insn::{BrOp, IAluOp, Insn, LdOp, RAluOp, StOp};
+use crate::reg;
+use std::collections::HashMap;
+
+/// One assembly item: a concrete instruction or a label-relative fixup.
+#[derive(Clone, Debug)]
+enum Item {
+    Insn(Insn),
+    /// Branch to a label; patched at assembly time.
+    Branch { op: BrOp, rs1: u8, rs2: u8, label: String },
+    /// Jump-and-link to a label.
+    Jal { rd: u8, label: String },
+    /// Load the absolute address of a label (expands to auipc+addi).
+    La { rd: u8, label: String },
+}
+
+/// The assembler: emits items, resolves labels, produces machine words.
+#[derive(Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    /// Extra symbols (data addresses) usable with `la`.
+    symbols: HashMap<String, u64>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Defines a data symbol for `la`.
+    pub fn define_symbol(&mut self, name: &str, addr: u64) {
+        self.symbols.insert(name.to_string(), addr);
+    }
+
+    /// Places a label at the current position.
+    pub fn label(&mut self, name: &str) {
+        let prev = self.labels.insert(name.to_string(), self.items.len());
+        assert!(prev.is_none(), "duplicate label {name}");
+    }
+
+    /// Emits a raw instruction.
+    pub fn i(&mut self, insn: Insn) -> &mut Self {
+        self.items.push(Item::Insn(insn));
+        self
+    }
+
+    // ---- common instructions ----
+
+    /// `addi rd, rs1, imm` (also `mv` when imm = 0).
+    pub fn addi(&mut self, rd: u8, rs1: u8, imm: i32) -> &mut Self {
+        assert!((-2048..2048).contains(&imm), "addi immediate {imm}");
+        self.i(Insn::OpImm {
+            op: IAluOp::Addi,
+            rd,
+            rs1,
+            imm,
+        })
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: u8, rs: u8) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Loads a constant into `rd` (expands to lui/addiw sequences as
+    /// needed; supports any 32-bit signed constant and unsigned 32-bit
+    /// values such as physical addresses).
+    pub fn li(&mut self, rd: u8, value: i64) -> &mut Self {
+        assert!(
+            value >= i32::MIN as i64 && value <= u32::MAX as i64,
+            "li constant {value:#x} out of supported range"
+        );
+        for insn in li_sequence(rd, value) {
+            self.i(insn);
+        }
+        self
+    }
+
+    /// `ld rd, off(rs1)`.
+    pub fn ld(&mut self, rd: u8, off: i32, rs1: u8) -> &mut Self {
+        self.i(Insn::Load {
+            op: LdOp::Ld,
+            rd,
+            rs1,
+            off,
+        })
+    }
+
+    /// `sd rs2, off(rs1)`.
+    pub fn sd(&mut self, rs2: u8, off: i32, rs1: u8) -> &mut Self {
+        self.i(Insn::Store {
+            op: StOp::Sd,
+            rs1,
+            rs2,
+            off,
+        })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: u8, rs1: u8, rs2: u8) -> &mut Self {
+        self.i(Insn::Op {
+            op: RAluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
+    }
+
+    /// Branch to `label`.
+    pub fn branch(&mut self, op: BrOp, rs1: u8, rs2: u8, label: &str) -> &mut Self {
+        self.items.push(Item::Branch {
+            op,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: u8, label: &str) -> &mut Self {
+        self.branch(BrOp::Beq, rs, reg::ZERO, label)
+    }
+
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: u8, label: &str) -> &mut Self {
+        self.branch(BrOp::Bne, rs, reg::ZERO, label)
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn j(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jal {
+            rd: reg::ZERO,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Call `label` (jal ra, label).
+    pub fn call(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jal {
+            rd: reg::RA,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Return (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.i(Insn::Jalr {
+            rd: reg::ZERO,
+            rs1: reg::RA,
+            off: 0,
+        })
+    }
+
+    /// Loads the address of a code label or data symbol into `rd`.
+    pub fn la(&mut self, rd: u8, label: &str) -> &mut Self {
+        self.items.push(Item::La {
+            rd,
+            label: label.to_string(),
+        });
+        self
+    }
+
+    /// Number of instruction slots an item occupies (la is padded to a
+    /// fixed expansion length).
+    fn size_of(item: &Item) -> usize {
+        match item {
+            Item::La { .. } => LA_SLOTS,
+            _ => 1,
+        }
+    }
+
+    /// The address label `name` will have when assembled at `base`.
+    pub fn address_of(&self, name: &str, base: u64) -> u64 {
+        let mut pos = 0usize;
+        for (i, item) in self.items.iter().enumerate() {
+            if self.labels.get(name) == Some(&i) {
+                return base + pos as u64;
+            }
+            pos += 4 * Self::size_of(item);
+        }
+        if self.labels.get(name) == Some(&self.items.len()) {
+            return base + pos as u64;
+        }
+        panic!("undefined label {name}");
+    }
+
+    /// Resolves labels and produces machine words for code placed at
+    /// `base`.
+    pub fn assemble(&self, base: u64) -> Vec<u32> {
+        // First pass: byte offset of each item.
+        let mut offsets = Vec::with_capacity(self.items.len());
+        let mut pos = 0usize;
+        for item in &self.items {
+            offsets.push(pos);
+            pos += 4 * Self::size_of(item);
+        }
+        let label_off = |name: &str| -> i64 {
+            let idx = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name}"));
+            if idx == self.items.len() {
+                pos as i64
+            } else {
+                offsets[idx] as i64
+            }
+        };
+        let mut words = Vec::with_capacity(pos / 4);
+        for (i, item) in self.items.iter().enumerate() {
+            let here = offsets[i] as i64;
+            match item {
+                Item::Insn(insn) => words.push(crate::insn::encode(*insn)),
+                Item::Branch { op, rs1, rs2, label } => {
+                    let off = label_off(label) - here;
+                    assert!((-4096..4096).contains(&off), "branch to {label} too far");
+                    words.push(crate::insn::encode(Insn::Branch {
+                        op: *op,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        off: off as i32,
+                    }));
+                }
+                Item::Jal { rd, label } => {
+                    let off = label_off(label) - here;
+                    words.push(crate::insn::encode(Insn::Jal {
+                        rd: *rd,
+                        off: off as i32,
+                    }));
+                }
+                Item::La { rd, label } => {
+                    // Absolute address: from a code label (base-relative)
+                    // or a data symbol. Addresses must fit in unsigned
+                    // 32 bits (the monitors' physical layouts do).
+                    let addr = match self.symbols.get(label.as_str()) {
+                        Some(&a) => a,
+                        None => base + label_off(label) as u64,
+                    };
+                    assert!(addr <= u32::MAX as u64, "la address {addr:#x} too large");
+                    let seq = li_sequence(*rd, addr as i64);
+                    assert!(seq.len() <= LA_SLOTS, "la expansion too long");
+                    for k in 0..LA_SLOTS {
+                        // Pad with nops to keep label offsets fixed.
+                        words.push(crate::insn::encode(*seq.get(k).unwrap_or(&NOP)));
+                    }
+                }
+            }
+        }
+        words
+    }
+}
+
+
+/// Fixed slot count for the `la` pseudo-instruction expansion.
+const LA_SLOTS: usize = 4;
+
+/// `nop` (addi x0, x0, 0).
+const NOP: Insn = Insn::OpImm {
+    op: IAluOp::Addi,
+    rd: 0,
+    rs1: 0,
+    imm: 0,
+};
+
+/// Expands a constant load into real instructions: `addi` for small
+/// values; `lui` + `addiw` for 32-bit values (the `addiw` wraps at 32 bits
+/// like the real `li` expansion); a final shift pair re-zero-extends
+/// unsigned 32-bit values such as physical addresses.
+fn li_sequence(rd: u8, value: i64) -> Vec<Insn> {
+    use crate::insn::IAluWOp;
+    if (-2048..2048).contains(&value) {
+        return vec![Insn::OpImm {
+            op: IAluOp::Addi,
+            rd,
+            rs1: 0,
+            imm: value as i32,
+        }];
+    }
+    let v = value;
+    let low = (v << 52 >> 52) as i32; // sign-extended low 12 bits
+    let high = ((v.wrapping_sub(low as i64)) >> 12) as i32;
+    let mut out = vec![Insn::Lui {
+        rd,
+        imm20: high & 0xfffff,
+    }];
+    if low != 0 {
+        out.push(Insn::OpImmW {
+            op: IAluWOp::Addiw,
+            rd,
+            rs1: rd,
+            imm: low,
+        });
+    }
+    // lui/addiw produce sext32(v); re-zero-extend when the caller wanted
+    // an unsigned 32-bit value with bit 31 set.
+    if v > i32::MAX as i64 {
+        out.push(Insn::OpImm {
+            op: IAluOp::Slli,
+            rd,
+            rs1: rd,
+            imm: 32,
+        });
+        out.push(Insn::OpImm {
+            op: IAluOp::Srli,
+            rd,
+            rs1: rd,
+            imm: 32,
+        });
+    }
+    out
+}

@@ -1,0 +1,592 @@
+//! RV64I + M + Zicsr instructions with a decoder *and* an encoder.
+//!
+//! The encoder exists for the paper's §3.4 validation approach: a decoder
+//! is hard to audit, an encoder is simple; validating that re-encoding a
+//! decoded instruction reproduces the original bytes removes binutils (and
+//! this decoder) from the trusted base. [`decode_validated`] performs that
+//! check.
+
+/// Conditional-branch comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BrOp {
+    /// Equal.
+    Beq,
+    /// Not equal.
+    Bne,
+    /// Signed less-than.
+    Blt,
+    /// Signed greater-or-equal.
+    Bge,
+    /// Unsigned less-than.
+    Bltu,
+    /// Unsigned greater-or-equal.
+    Bgeu,
+}
+
+/// Load widths and extensions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LdOp {
+    /// Load byte, sign-extended.
+    Lb,
+    /// Load half, sign-extended.
+    Lh,
+    /// Load word, sign-extended.
+    Lw,
+    /// Load double.
+    Ld,
+    /// Load byte, zero-extended.
+    Lbu,
+    /// Load half, zero-extended.
+    Lhu,
+    /// Load word, zero-extended.
+    Lwu,
+}
+
+impl LdOp {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            LdOp::Lb | LdOp::Lbu => 1,
+            LdOp::Lh | LdOp::Lhu => 2,
+            LdOp::Lw | LdOp::Lwu => 4,
+            LdOp::Ld => 8,
+        }
+    }
+}
+
+/// Store widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StOp {
+    /// Store byte.
+    Sb,
+    /// Store half.
+    Sh,
+    /// Store word.
+    Sw,
+    /// Store double.
+    Sd,
+}
+
+impl StOp {
+    /// Access width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            StOp::Sb => 1,
+            StOp::Sh => 2,
+            StOp::Sw => 4,
+            StOp::Sd => 8,
+        }
+    }
+}
+
+/// Immediate ALU operations (OP-IMM); shifts take the immediate as shamt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IAluOp {
+    Addi,
+    Slti,
+    Sltiu,
+    Xori,
+    Ori,
+    Andi,
+    Slli,
+    Srli,
+    Srai,
+}
+
+/// 32-bit immediate ALU operations (OP-IMM-32).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IAluWOp {
+    Addiw,
+    Slliw,
+    Srliw,
+    Sraiw,
+}
+
+/// Register-register ALU operations (OP), including the M extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RAluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// 32-bit register-register ALU operations (OP-32), including M.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RAluWOp {
+    Addw,
+    Subw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Mulw,
+    Divw,
+    Divuw,
+    Remw,
+    Remuw,
+}
+
+/// Zicsr operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrOp {
+    /// Read/write.
+    Rw,
+    /// Read and set bits.
+    Rs,
+    /// Read and clear bits.
+    Rc,
+}
+
+/// CSR source operand: a register or a 5-bit zero-extended immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsrSrc {
+    /// Register form (`csrrw`/`csrrs`/`csrrc`).
+    Reg(u8),
+    /// Immediate form (`csrrwi`/`csrrsi`/`csrrci`).
+    Imm(u8),
+}
+
+/// An RV64IM+Zicsr instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Insn {
+    /// Load upper immediate: `rd ← sext(imm20 << 12)`.
+    Lui { rd: u8, imm20: i32 },
+    /// Add upper immediate to pc.
+    Auipc { rd: u8, imm20: i32 },
+    /// Jump and link; `off` is a byte offset from this instruction.
+    Jal { rd: u8, off: i32 },
+    /// Indirect jump and link.
+    Jalr { rd: u8, rs1: u8, off: i32 },
+    /// Conditional branch; `off` is a byte offset.
+    Branch { op: BrOp, rs1: u8, rs2: u8, off: i32 },
+    /// Memory load.
+    Load { op: LdOp, rd: u8, rs1: u8, off: i32 },
+    /// Memory store.
+    Store { op: StOp, rs1: u8, rs2: u8, off: i32 },
+    /// Immediate ALU operation.
+    OpImm { op: IAluOp, rd: u8, rs1: u8, imm: i32 },
+    /// 32-bit immediate ALU operation.
+    OpImmW { op: IAluWOp, rd: u8, rs1: u8, imm: i32 },
+    /// Register ALU operation.
+    Op { op: RAluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// 32-bit register ALU operation.
+    OpW { op: RAluWOp, rd: u8, rs1: u8, rs2: u8 },
+    /// CSR access.
+    Csr { op: CsrOp, rd: u8, src: CsrSrc, csr: u16 },
+    /// Environment call.
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+    /// Return from machine-mode trap.
+    Mret,
+    /// Wait for interrupt (no-op here: interrupts are disabled, §3.4).
+    Wfi,
+    /// Memory fence (no-op on a single in-order core).
+    Fence,
+}
+
+const OP_LUI: u32 = 0x37;
+const OP_AUIPC: u32 = 0x17;
+const OP_JAL: u32 = 0x6f;
+const OP_JALR: u32 = 0x67;
+const OP_BRANCH: u32 = 0x63;
+const OP_LOAD: u32 = 0x03;
+const OP_STORE: u32 = 0x23;
+const OP_OPIMM: u32 = 0x13;
+const OP_OP: u32 = 0x33;
+const OP_OPIMM32: u32 = 0x1b;
+const OP_OP32: u32 = 0x3b;
+const OP_MISCMEM: u32 = 0x0f;
+const OP_SYSTEM: u32 = 0x73;
+
+fn r_type(f7: u32, rs2: u8, rs1: u8, f3: u32, rd: u8, opcode: u32) -> u32 {
+    f7 << 25 | (rs2 as u32) << 20 | (rs1 as u32) << 15 | f3 << 12 | (rd as u32) << 7 | opcode
+}
+
+fn i_type(imm: i32, rs1: u8, f3: u32, rd: u8, opcode: u32) -> u32 {
+    ((imm as u32) & 0xfff) << 20 | (rs1 as u32) << 15 | f3 << 12 | (rd as u32) << 7 | opcode
+}
+
+fn s_type(imm: i32, rs2: u8, rs1: u8, f3: u32, opcode: u32) -> u32 {
+    let imm = imm as u32;
+    (imm >> 5 & 0x7f) << 25
+        | (rs2 as u32) << 20
+        | (rs1 as u32) << 15
+        | f3 << 12
+        | (imm & 0x1f) << 7
+        | opcode
+}
+
+fn b_type(off: i32, rs2: u8, rs1: u8, f3: u32, opcode: u32) -> u32 {
+    let imm = off as u32;
+    (imm >> 12 & 1) << 31
+        | (imm >> 5 & 0x3f) << 25
+        | (rs2 as u32) << 20
+        | (rs1 as u32) << 15
+        | f3 << 12
+        | (imm >> 1 & 0xf) << 8
+        | (imm >> 11 & 1) << 7
+        | opcode
+}
+
+fn u_type(imm20: i32, rd: u8, opcode: u32) -> u32 {
+    ((imm20 as u32) & 0xfffff) << 12 | (rd as u32) << 7 | opcode
+}
+
+fn j_type(off: i32, rd: u8, opcode: u32) -> u32 {
+    let imm = off as u32;
+    (imm >> 20 & 1) << 31
+        | (imm >> 1 & 0x3ff) << 21
+        | (imm >> 11 & 1) << 20
+        | (imm >> 12 & 0xff) << 12
+        | (rd as u32) << 7
+        | opcode
+}
+
+/// Encodes an instruction to its 32-bit machine word.
+pub fn encode(i: Insn) -> u32 {
+    match i {
+        Insn::Lui { rd, imm20 } => u_type(imm20, rd, OP_LUI),
+        Insn::Auipc { rd, imm20 } => u_type(imm20, rd, OP_AUIPC),
+        Insn::Jal { rd, off } => j_type(off, rd, OP_JAL),
+        Insn::Jalr { rd, rs1, off } => i_type(off, rs1, 0, rd, OP_JALR),
+        Insn::Branch { op, rs1, rs2, off } => {
+            let f3 = match op {
+                BrOp::Beq => 0,
+                BrOp::Bne => 1,
+                BrOp::Blt => 4,
+                BrOp::Bge => 5,
+                BrOp::Bltu => 6,
+                BrOp::Bgeu => 7,
+            };
+            b_type(off, rs2, rs1, f3, OP_BRANCH)
+        }
+        Insn::Load { op, rd, rs1, off } => {
+            let f3 = match op {
+                LdOp::Lb => 0,
+                LdOp::Lh => 1,
+                LdOp::Lw => 2,
+                LdOp::Ld => 3,
+                LdOp::Lbu => 4,
+                LdOp::Lhu => 5,
+                LdOp::Lwu => 6,
+            };
+            i_type(off, rs1, f3, rd, OP_LOAD)
+        }
+        Insn::Store { op, rs1, rs2, off } => {
+            let f3 = match op {
+                StOp::Sb => 0,
+                StOp::Sh => 1,
+                StOp::Sw => 2,
+                StOp::Sd => 3,
+            };
+            s_type(off, rs2, rs1, f3, OP_STORE)
+        }
+        Insn::OpImm { op, rd, rs1, imm } => match op {
+            IAluOp::Addi => i_type(imm, rs1, 0, rd, OP_OPIMM),
+            IAluOp::Slti => i_type(imm, rs1, 2, rd, OP_OPIMM),
+            IAluOp::Sltiu => i_type(imm, rs1, 3, rd, OP_OPIMM),
+            IAluOp::Xori => i_type(imm, rs1, 4, rd, OP_OPIMM),
+            IAluOp::Ori => i_type(imm, rs1, 6, rd, OP_OPIMM),
+            IAluOp::Andi => i_type(imm, rs1, 7, rd, OP_OPIMM),
+            IAluOp::Slli => i_type(imm & 0x3f, rs1, 1, rd, OP_OPIMM),
+            IAluOp::Srli => i_type(imm & 0x3f, rs1, 5, rd, OP_OPIMM),
+            IAluOp::Srai => i_type((imm & 0x3f) | 0x400, rs1, 5, rd, OP_OPIMM),
+        },
+        Insn::OpImmW { op, rd, rs1, imm } => match op {
+            IAluWOp::Addiw => i_type(imm, rs1, 0, rd, OP_OPIMM32),
+            IAluWOp::Slliw => i_type(imm & 0x1f, rs1, 1, rd, OP_OPIMM32),
+            IAluWOp::Srliw => i_type(imm & 0x1f, rs1, 5, rd, OP_OPIMM32),
+            IAluWOp::Sraiw => i_type((imm & 0x1f) | 0x400, rs1, 5, rd, OP_OPIMM32),
+        },
+        Insn::Op { op, rd, rs1, rs2 } => {
+            let (f7, f3) = match op {
+                RAluOp::Add => (0x00, 0),
+                RAluOp::Sub => (0x20, 0),
+                RAluOp::Sll => (0x00, 1),
+                RAluOp::Slt => (0x00, 2),
+                RAluOp::Sltu => (0x00, 3),
+                RAluOp::Xor => (0x00, 4),
+                RAluOp::Srl => (0x00, 5),
+                RAluOp::Sra => (0x20, 5),
+                RAluOp::Or => (0x00, 6),
+                RAluOp::And => (0x00, 7),
+                RAluOp::Mul => (0x01, 0),
+                RAluOp::Mulh => (0x01, 1),
+                RAluOp::Mulhsu => (0x01, 2),
+                RAluOp::Mulhu => (0x01, 3),
+                RAluOp::Div => (0x01, 4),
+                RAluOp::Divu => (0x01, 5),
+                RAluOp::Rem => (0x01, 6),
+                RAluOp::Remu => (0x01, 7),
+            };
+            r_type(f7, rs2, rs1, f3, rd, OP_OP)
+        }
+        Insn::OpW { op, rd, rs1, rs2 } => {
+            let (f7, f3) = match op {
+                RAluWOp::Addw => (0x00, 0),
+                RAluWOp::Subw => (0x20, 0),
+                RAluWOp::Sllw => (0x00, 1),
+                RAluWOp::Srlw => (0x00, 5),
+                RAluWOp::Sraw => (0x20, 5),
+                RAluWOp::Mulw => (0x01, 0),
+                RAluWOp::Divw => (0x01, 4),
+                RAluWOp::Divuw => (0x01, 5),
+                RAluWOp::Remw => (0x01, 6),
+                RAluWOp::Remuw => (0x01, 7),
+            };
+            r_type(f7, rs2, rs1, f3, rd, OP_OP32)
+        }
+        Insn::Csr { op, rd, src, csr } => {
+            let (f3base, field) = match src {
+                CsrSrc::Reg(rs1) => (1, rs1),
+                CsrSrc::Imm(zimm) => (5, zimm),
+            };
+            let f3 = match op {
+                CsrOp::Rw => f3base,
+                CsrOp::Rs => f3base + 1,
+                CsrOp::Rc => f3base + 2,
+            };
+            (csr as u32) << 20 | (field as u32) << 15 | f3 << 12 | (rd as u32) << 7 | OP_SYSTEM
+        }
+        Insn::Ecall => 0x0000_0073,
+        Insn::Ebreak => 0x0010_0073,
+        Insn::Mret => 0x3020_0073,
+        Insn::Wfi => 0x1050_0073,
+        Insn::Fence => 0x0000_000f,
+    }
+}
+
+fn sext(v: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((v << shift) as i32) >> shift
+}
+
+/// Decodes a 32-bit machine word.
+pub fn decode(w: u32) -> Result<Insn, String> {
+    let opcode = w & 0x7f;
+    let rd = (w >> 7 & 0x1f) as u8;
+    let f3 = w >> 12 & 7;
+    let rs1 = (w >> 15 & 0x1f) as u8;
+    let rs2 = (w >> 20 & 0x1f) as u8;
+    let f7 = w >> 25;
+    let i_imm = sext(w >> 20, 12);
+    match opcode {
+        OP_LUI => Ok(Insn::Lui {
+            rd,
+            imm20: sext(w >> 12, 20),
+        }),
+        OP_AUIPC => Ok(Insn::Auipc {
+            rd,
+            imm20: sext(w >> 12, 20),
+        }),
+        OP_JAL => {
+            let imm = (w >> 31 & 1) << 20
+                | (w >> 21 & 0x3ff) << 1
+                | (w >> 20 & 1) << 11
+                | (w >> 12 & 0xff) << 12;
+            Ok(Insn::Jal {
+                rd,
+                off: sext(imm, 21),
+            })
+        }
+        OP_JALR if f3 == 0 => Ok(Insn::Jalr {
+            rd,
+            rs1,
+            off: i_imm,
+        }),
+        OP_BRANCH => {
+            let imm = (w >> 31 & 1) << 12
+                | (w >> 25 & 0x3f) << 5
+                | (w >> 8 & 0xf) << 1
+                | (w >> 7 & 1) << 11;
+            let off = sext(imm, 13);
+            let op = match f3 {
+                0 => BrOp::Beq,
+                1 => BrOp::Bne,
+                4 => BrOp::Blt,
+                5 => BrOp::Bge,
+                6 => BrOp::Bltu,
+                7 => BrOp::Bgeu,
+                _ => return Err(format!("bad branch funct3 {f3}")),
+            };
+            Ok(Insn::Branch { op, rs1, rs2, off })
+        }
+        OP_LOAD => {
+            let op = match f3 {
+                0 => LdOp::Lb,
+                1 => LdOp::Lh,
+                2 => LdOp::Lw,
+                3 => LdOp::Ld,
+                4 => LdOp::Lbu,
+                5 => LdOp::Lhu,
+                6 => LdOp::Lwu,
+                _ => return Err(format!("bad load funct3 {f3}")),
+            };
+            Ok(Insn::Load {
+                op,
+                rd,
+                rs1,
+                off: i_imm,
+            })
+        }
+        OP_STORE => {
+            let op = match f3 {
+                0 => StOp::Sb,
+                1 => StOp::Sh,
+                2 => StOp::Sw,
+                3 => StOp::Sd,
+                _ => return Err(format!("bad store funct3 {f3}")),
+            };
+            let imm = (w >> 25) << 5 | (w >> 7 & 0x1f);
+            Ok(Insn::Store {
+                op,
+                rs1,
+                rs2,
+                off: sext(imm, 12),
+            })
+        }
+        OP_OPIMM => {
+            let op = match f3 {
+                0 => IAluOp::Addi,
+                2 => IAluOp::Slti,
+                3 => IAluOp::Sltiu,
+                4 => IAluOp::Xori,
+                6 => IAluOp::Ori,
+                7 => IAluOp::Andi,
+                1 => {
+                    if w >> 26 != 0 {
+                        return Err("bad slli funct6".into());
+                    }
+                    IAluOp::Slli
+                }
+                5 => match w >> 26 {
+                    0x00 => IAluOp::Srli,
+                    0x10 => IAluOp::Srai,
+                    other => return Err(format!("bad shift funct6 {other:#x}")),
+                },
+                _ => unreachable!(),
+            };
+            let imm = match op {
+                IAluOp::Slli | IAluOp::Srli | IAluOp::Srai => (w >> 20 & 0x3f) as i32,
+                _ => i_imm,
+            };
+            Ok(Insn::OpImm { op, rd, rs1, imm })
+        }
+        OP_OPIMM32 => {
+            let op = match f3 {
+                0 => IAluWOp::Addiw,
+                1 => {
+                    if f7 != 0 {
+                        return Err("bad slliw funct7".into());
+                    }
+                    IAluWOp::Slliw
+                }
+                5 => match f7 {
+                    0x00 => IAluWOp::Srliw,
+                    0x20 => IAluWOp::Sraiw,
+                    other => return Err(format!("bad shiftw funct7 {other:#x}")),
+                },
+                _ => return Err(format!("bad op-imm-32 funct3 {f3}")),
+            };
+            let imm = match op {
+                IAluWOp::Addiw => i_imm,
+                _ => (w >> 20 & 0x1f) as i32,
+            };
+            Ok(Insn::OpImmW { op, rd, rs1, imm })
+        }
+        OP_OP => {
+            let op = match (f7, f3) {
+                (0x00, 0) => RAluOp::Add,
+                (0x20, 0) => RAluOp::Sub,
+                (0x00, 1) => RAluOp::Sll,
+                (0x00, 2) => RAluOp::Slt,
+                (0x00, 3) => RAluOp::Sltu,
+                (0x00, 4) => RAluOp::Xor,
+                (0x00, 5) => RAluOp::Srl,
+                (0x20, 5) => RAluOp::Sra,
+                (0x00, 6) => RAluOp::Or,
+                (0x00, 7) => RAluOp::And,
+                (0x01, 0) => RAluOp::Mul,
+                (0x01, 1) => RAluOp::Mulh,
+                (0x01, 2) => RAluOp::Mulhsu,
+                (0x01, 3) => RAluOp::Mulhu,
+                (0x01, 4) => RAluOp::Div,
+                (0x01, 5) => RAluOp::Divu,
+                (0x01, 6) => RAluOp::Rem,
+                (0x01, 7) => RAluOp::Remu,
+                _ => return Err(format!("bad op funct7/funct3 {f7:#x}/{f3}")),
+            };
+            Ok(Insn::Op { op, rd, rs1, rs2 })
+        }
+        OP_OP32 => {
+            let op = match (f7, f3) {
+                (0x00, 0) => RAluWOp::Addw,
+                (0x20, 0) => RAluWOp::Subw,
+                (0x00, 1) => RAluWOp::Sllw,
+                (0x00, 5) => RAluWOp::Srlw,
+                (0x20, 5) => RAluWOp::Sraw,
+                (0x01, 0) => RAluWOp::Mulw,
+                (0x01, 4) => RAluWOp::Divw,
+                (0x01, 5) => RAluWOp::Divuw,
+                (0x01, 6) => RAluWOp::Remw,
+                (0x01, 7) => RAluWOp::Remuw,
+                _ => return Err(format!("bad op-32 funct7/funct3 {f7:#x}/{f3}")),
+            };
+            Ok(Insn::OpW { op, rd, rs1, rs2 })
+        }
+        OP_MISCMEM => Ok(Insn::Fence),
+        OP_SYSTEM => match f3 {
+            0 => match w {
+                0x0000_0073 => Ok(Insn::Ecall),
+                0x0010_0073 => Ok(Insn::Ebreak),
+                0x3020_0073 => Ok(Insn::Mret),
+                0x1050_0073 => Ok(Insn::Wfi),
+                _ => Err(format!("bad system word {w:#x}")),
+            },
+            1..=3 | 5..=7 => {
+                let csr = (w >> 20) as u16;
+                let field = rs1;
+                let (op, src) = match f3 {
+                    1 => (CsrOp::Rw, CsrSrc::Reg(field)),
+                    2 => (CsrOp::Rs, CsrSrc::Reg(field)),
+                    3 => (CsrOp::Rc, CsrSrc::Reg(field)),
+                    5 => (CsrOp::Rw, CsrSrc::Imm(field)),
+                    6 => (CsrOp::Rs, CsrSrc::Imm(field)),
+                    7 => (CsrOp::Rc, CsrSrc::Imm(field)),
+                    _ => unreachable!(),
+                };
+                Ok(Insn::Csr { op, rd, src, csr })
+            }
+            _ => Err(format!("bad system funct3 {f3}")),
+        },
+        _ => Err(format!("unknown opcode {opcode:#x} in word {w:#010x}")),
+    }
+}
+
+/// Decodes with the §3.4 validation: the decoded instruction must
+/// re-encode to the original word, otherwise decoding is rejected.
+pub fn decode_validated(w: u32) -> Result<Insn, String> {
+    let i = decode(w)?;
+    let back = encode(i);
+    if back != w {
+        return Err(format!(
+            "decode/encode mismatch: {w:#010x} decoded to {i:?} which encodes to {back:#010x}"
+        ));
+    }
+    Ok(i)
+}

@@ -1,0 +1,113 @@
+//! A specification of RISC-V physical memory protection (paper §6.1).
+//!
+//! PMP lets M-mode define up to 8 regions (on the U54) with per-region
+//! read/write/execute permissions, checked by hardware for S/U-mode
+//! accesses. The monitors program PMP to isolate processes/enclaves; their
+//! noninterference proofs use this module as the *model* of what untrusted
+//! S/U-mode code can observe or modify.
+//!
+//! Only the TOR (top-of-range) address mode is modelled, which is what the
+//! ported monitors use; the region `i` matches addresses in
+//! `[pmpaddr[i-1] << 2, pmpaddr[i] << 2)`.
+
+use crate::machine::Csrs;
+use serval_smt::{SBool, BV};
+
+/// Access kinds for PMP checks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Access {
+    /// Read.
+    R,
+    /// Write.
+    W,
+    /// Execute.
+    X,
+}
+
+const A_TOR: u128 = 1;
+
+/// Whether an S/U-mode access to `addr` is allowed by the PMP
+/// configuration in `csrs`. Returns a symbolic boolean; with no matching
+/// region the access is denied (the privileged-spec default for S/U).
+pub fn pmp_allows(csrs: &Csrs, addr: BV, access: Access) -> SBool {
+    let mut allowed = SBool::lit(false);
+    let mut matched = SBool::lit(false);
+    let mut prev_top = BV::lit(64, 0);
+    for i in 0..8 {
+        let cfg = csrs.pmpcfg0.lshr(BV::lit(64, (8 * i) as u128)) & BV::lit(64, 0xff);
+        let a_field = cfg.lshr(BV::lit(64, 3)) & BV::lit(64, 3);
+        let is_tor = a_field.eq_(BV::lit(64, A_TOR));
+        let top = csrs.pmpaddr[i].shl(BV::lit(64, 2));
+        let in_range = addr.uge(prev_top) & addr.ult(top);
+        let bit = match access {
+            Access::R => cfg & BV::lit(64, 1),
+            Access::W => cfg.lshr(BV::lit(64, 1)) & BV::lit(64, 1),
+            Access::X => cfg.lshr(BV::lit(64, 2)) & BV::lit(64, 1),
+        };
+        let perm = bit.ne_(BV::lit(64, 0));
+        // Lowest-numbered matching region takes priority.
+        let this_match = is_tor & in_range & !matched;
+        allowed = allowed | (this_match & perm);
+        matched = matched | this_match;
+        prev_top = top;
+    }
+    allowed
+}
+
+/// Convenience: builds the pmpcfg0 byte for a TOR region with the given
+/// permissions.
+pub fn tor_cfg(r: bool, w: bool, x: bool) -> u64 {
+    (A_TOR as u64) << 3 | (r as u64) | (w as u64) << 1 | (x as u64) << 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serval_smt::{reset_ctx, verify};
+
+    #[test]
+    fn tor_region_allows_inside_denies_outside() {
+        reset_ctx();
+        let mut csrs = Csrs::reset();
+        // Region 0: [0, 0x1000) no access; region 1: [0x1000, 0x2000) rw.
+        csrs.pmpaddr[0] = BV::lit(64, 0x1000 >> 2);
+        csrs.pmpaddr[1] = BV::lit(64, 0x2000 >> 2);
+        let cfg0 = tor_cfg(false, false, false);
+        let cfg1 = tor_cfg(true, true, false);
+        csrs.pmpcfg0 = BV::lit(64, (cfg0 as u128) | (cfg1 as u128) << 8);
+
+        let addr = BV::fresh(64, "addr");
+        let inside = addr.uge(BV::lit(64, 0x1000)) & addr.ult(BV::lit(64, 0x2000));
+        assert!(verify(&[inside], pmp_allows(&csrs, addr, Access::R)).is_proved());
+        assert!(verify(&[inside], !pmp_allows(&csrs, addr, Access::X)).is_proved());
+        let below = addr.ult(BV::lit(64, 0x1000));
+        assert!(verify(&[below], !pmp_allows(&csrs, addr, Access::R)).is_proved());
+        let above = addr.uge(BV::lit(64, 0x2000));
+        assert!(verify(&[above], !pmp_allows(&csrs, addr, Access::W)).is_proved());
+    }
+
+    #[test]
+    fn lowest_region_priority() {
+        reset_ctx();
+        let mut csrs = Csrs::reset();
+        // Region 0 covers [0, 0x1000) read-only; region 1 covers
+        // [0, 0x2000)... i.e. [0x1000, 0x2000) after TOR chaining, rw.
+        csrs.pmpaddr[0] = BV::lit(64, 0x1000 >> 2);
+        csrs.pmpaddr[1] = BV::lit(64, 0x2000 >> 2);
+        let cfg0 = tor_cfg(true, false, false);
+        let cfg1 = tor_cfg(true, true, false);
+        csrs.pmpcfg0 = BV::lit(64, (cfg0 as u128) | (cfg1 as u128) << 8);
+        let addr = BV::lit(64, 0x800);
+        // Region 0 matches first: read ok, write denied.
+        assert!(verify(&[], pmp_allows(&csrs, addr, Access::R)).is_proved());
+        assert!(verify(&[], !pmp_allows(&csrs, addr, Access::W)).is_proved());
+    }
+
+    #[test]
+    fn no_match_denies() {
+        reset_ctx();
+        let csrs = Csrs::reset(); // all regions OFF
+        let addr = BV::fresh(64, "addr");
+        assert!(verify(&[], !pmp_allows(&csrs, addr, Access::R)).is_proved());
+    }
+}

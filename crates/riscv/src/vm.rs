@@ -1,0 +1,253 @@
+//! A specification of Sv39 three-level address translation (paper §6.1).
+//!
+//! The monitors run in M-mode with paging disabled; S/U-mode code is not
+//! interpreted, but its memory accesses are *modelled*: the paper verifies
+//! the monitors against "a specification of PMP and a three-level page
+//! walk". This module provides that page-walk specification over the
+//! typed memory model, used by specifications and litmus tests to reason
+//! about what an S/U-mode access to a virtual address can reach, in
+//! combination with [`crate::pmp`].
+//!
+//! Only the pieces the security arguments need are modelled: valid/leaf
+//! bits, permission bits, and the three-level PPN structure. A-/D-bit
+//! updates and superpage alignment faults are out of scope (the ported
+//! monitors avoid superpages after the U54 PMP erratum, paper §6.4).
+
+use crate::machine::Csrs;
+use crate::pmp::Access;
+use serval_core::Mem;
+use serval_smt::{SBool, BV};
+use serval_sym::SymCtx;
+
+/// PTE permission bits.
+const PTE_V: u128 = 1 << 0;
+const PTE_R: u128 = 1 << 1;
+const PTE_W: u128 = 1 << 2;
+const PTE_X: u128 = 1 << 3;
+
+/// The result of a modelled S/U-mode access: whether translation (and the
+/// subsequent PMP check) allows it, and the physical address it reaches.
+#[derive(Clone, Copy, Debug)]
+pub struct Translation {
+    /// The access is architecturally allowed.
+    pub ok: SBool,
+    /// The translated physical address (meaningful when `ok`).
+    pub paddr: BV,
+}
+
+/// The page-table root from `satp` (mode field ignored: the monitors pin
+/// satp via TVM, and the specification is only consulted under Sv39).
+pub fn root_of(csrs: &Csrs) -> BV {
+    (csrs.satp & BV::lit(64, (1u128 << 44) - 1)).shl(BV::lit(64, 12))
+}
+
+/// Walks the three-level Sv39 table rooted at `root` for `vaddr`.
+///
+/// Loads page-table entries through the typed memory model (so walks
+/// interact with the monitor's view of memory and produce the usual
+/// bounds obligations). Returns the translation result; a non-canonical
+/// address, an invalid entry, a permission mismatch, or a non-leaf at the
+/// last level all yield `ok = false`.
+pub fn walk(
+    ctx: &mut SymCtx,
+    mem: &mut Mem,
+    root: BV,
+    vaddr: BV,
+    access: Access,
+) -> Translation {
+    let mut ok = SBool::lit(true);
+    // Canonicality: bits 63..39 replicate bit 38.
+    let sext = vaddr.extract(38, 0).sext(64);
+    ok = ok & vaddr.eq_(sext);
+
+    let mut table = root;
+    let mut paddr = BV::lit(64, 0);
+    let mut done = SBool::lit(false);
+    for level in (0..3u32).rev() {
+        let vpn = vaddr
+            .lshr(BV::lit(64, (12 + 9 * level) as u128))
+            & BV::lit(64, 0x1ff);
+        let pte_addr = table + vpn.shl(BV::lit(64, 3));
+        let pte = mem.load(ctx, pte_addr, 8);
+        let valid = (pte & BV::lit(64, PTE_V)).ne_(BV::lit(64, 0));
+        let r = (pte & BV::lit(64, PTE_R)).ne_(BV::lit(64, 0));
+        let w = (pte & BV::lit(64, PTE_W)).ne_(BV::lit(64, 0));
+        let x = (pte & BV::lit(64, PTE_X)).ne_(BV::lit(64, 0));
+        let leaf = r | x;
+        let perm = match access {
+            Access::R => r,
+            Access::W => w,
+            Access::X => x,
+        };
+        let ppn = pte.lshr(BV::lit(64, 10)) & BV::lit(64, (1u128 << 44) - 1);
+        let base = ppn.shl(BV::lit(64, 12));
+        // Leaf at this level: translate (superpages must be aligned; the
+        // monitors only map 4 KiB pages, so only level 0 leaves are
+        // considered valid here — see the module docs).
+        let here_ok = valid
+            & leaf
+            & perm
+            & if level == 0 {
+                SBool::lit(true)
+            } else {
+                SBool::lit(false)
+            };
+        let offset = vaddr & BV::lit(64, 0xfff);
+        let this_paddr = base + offset;
+        let take = !done & here_ok;
+        paddr = take.select(this_paddr, paddr);
+        done = done | take;
+        // Otherwise descend; an invalid or unexpected-leaf entry faults.
+        let descend_ok = valid & !leaf;
+        ok = ok & (done | descend_ok);
+        table = base;
+    }
+    Translation {
+        ok: ok & done,
+        paddr,
+    }
+}
+
+/// An S/U-mode access is allowed iff the page walk succeeds *and* the
+/// resulting physical address passes PMP (paper §6.1: both mechanisms
+/// compose).
+pub fn su_access_allowed(
+    ctx: &mut SymCtx,
+    mem: &mut Mem,
+    csrs: &Csrs,
+    vaddr: BV,
+    access: Access,
+) -> Translation {
+    let t = walk(ctx, mem, root_of(csrs), vaddr, access);
+    let pmp_ok = crate::pmp::pmp_allows(csrs, t.paddr, access);
+    Translation {
+        ok: t.ok & pmp_ok,
+        paddr: t.paddr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serval_core::{Layout, MemCfg, PathElem};
+    use serval_smt::{reset_ctx, verify};
+
+    const ROOT: u64 = 0x8100_0000;
+    const L2: u64 = 0x8100_1000;
+    const L3: u64 = 0x8100_2000;
+    const FRAME: u64 = 0x8400_0000;
+
+    /// Builds a table mapping vaddr 0x40_0000_0000-ish... actually maps
+    /// virtual page (vpn2=1, vpn1=2, vpn0=3) to FRAME, read+write.
+    fn table_mem() -> Mem {
+        let mut mem = Mem::new(MemCfg::default());
+        for (name, base) in [("l1", ROOT), ("l2", L2), ("l3", L3)] {
+            mem.add_region(
+                name,
+                base,
+                Layout::Array(512, Box::new(Layout::Cell(8))).instantiate_zero(name),
+            );
+        }
+        let nonleaf = |next: u64| BV::lit(64, (((next >> 12) as u128) << 10) | PTE_V);
+        let leaf = |frame: u64| {
+            BV::lit(
+                64,
+                (((frame >> 12) as u128) << 10) | PTE_V | PTE_R | PTE_W,
+            )
+        };
+        let mut m = mem;
+        m.write_path("l1", &[PathElem::Index(1)], nonleaf(L2));
+        m.write_path("l2", &[PathElem::Index(2)], nonleaf(L3));
+        m.write_path("l3", &[PathElem::Index(3)], leaf(FRAME));
+        m
+    }
+
+    fn vaddr(vpn2: u64, vpn1: u64, vpn0: u64, off: u64) -> u64 {
+        // Canonical Sv39 with bit 38 clear.
+        vpn2 << 30 | vpn1 << 21 | vpn0 << 12 | off
+    }
+
+    #[test]
+    fn mapped_page_translates() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let mut mem = table_mem();
+        let va = BV::lit(64, vaddr(1, 2, 3, 0x123) as u128);
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::R);
+        assert!(verify(&[], t.ok).is_proved());
+        assert_eq!(t.paddr.as_const(), Some((FRAME + 0x123) as u128));
+        // Writable too; not executable.
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::W);
+        assert!(verify(&[], t.ok).is_proved());
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::X);
+        assert!(verify(&[], !t.ok).is_proved());
+    }
+
+    #[test]
+    fn unmapped_page_faults() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let mut mem = table_mem();
+        let va = BV::lit(64, vaddr(1, 2, 4, 0) as u128); // vpn0=4 unmapped
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::R);
+        assert!(verify(&[], !t.ok).is_proved());
+    }
+
+    #[test]
+    fn non_canonical_address_faults() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let mut mem = table_mem();
+        let va = BV::lit(64, 1u128 << 40 | vaddr(1, 2, 3, 0) as u128);
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::R);
+        assert!(verify(&[], !t.ok).is_proved());
+    }
+
+    #[test]
+    fn symbolic_offset_stays_in_frame() {
+        reset_ctx();
+        // For any offset, a translated access lands inside the mapped
+        // 4 KiB frame — the isolation fact specifications rely on.
+        let mut ctx = SymCtx::new();
+        let mut mem = table_mem();
+        let off = BV::fresh(64, "off");
+        ctx.assume(off.ult(BV::lit(64, 0x1000)));
+        let va = BV::lit(64, vaddr(1, 2, 3, 0) as u128) | off;
+        let t = walk(&mut ctx, &mut mem, BV::lit(64, ROOT as u128), va, Access::R);
+        let assumptions: Vec<_> = ctx.assumptions().to_vec();
+        let inside = t.paddr.uge(BV::lit(64, FRAME as u128))
+            & t.paddr.ult(BV::lit(64, (FRAME + 0x1000) as u128));
+        assert!(
+            serval_smt::solver::verify_with(
+                serval_smt::solver::SolverConfig::default(),
+                &assumptions,
+                t.ok.implies(inside)
+            )
+            .is_proved()
+        );
+    }
+
+    #[test]
+    fn composes_with_pmp() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let mut mem = table_mem();
+        let mut csrs = Csrs::reset();
+        csrs.satp = BV::lit(64, (ROOT >> 12) as u128);
+        // PMP denies everything (all entries OFF): no access allowed even
+        // though the walk succeeds.
+        let va = BV::lit(64, vaddr(1, 2, 3, 0) as u128);
+        let t = su_access_allowed(&mut ctx, &mut mem, &csrs, va, Access::R);
+        assert!(verify(&[], !t.ok).is_proved());
+        // Open a PMP window over the frame: access allowed.
+        csrs.pmpaddr[0] = BV::lit(64, (FRAME >> 2) as u128);
+        csrs.pmpaddr[1] = BV::lit(64, ((FRAME + 0x1000) >> 2) as u128);
+        csrs.pmpcfg0 = BV::lit(
+            64,
+            (crate::pmp::tor_cfg(false, false, false) as u128)
+                | (crate::pmp::tor_cfg(true, true, false) as u128) << 8,
+        );
+        let t = su_access_allowed(&mut ctx, &mut mem, &csrs, va, Access::R);
+        assert!(verify(&[], t.ok).is_proved());
+    }
+}

@@ -1,0 +1,14 @@
+use serval_sat::{Lit, Solver, Var};
+fn main() {
+    let mut s = Solver::new();
+    let n = 5; let m = 4;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| (0..m).map(|_| s.new_var()).collect()).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m { for i1 in 0..n { for i2 in (i1+1)..n {
+        s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+    }}}
+    println!("{:?}", s.solve());
+}

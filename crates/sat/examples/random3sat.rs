@@ -1,0 +1,36 @@
+//! Stress demo: random 3-SAT near the phase transition (ratio 4.26).
+use serval_sat::{Lit, SolveResult, Solver};
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+fn main() {
+    let mut sat = 0;
+    let mut unsat = 0;
+    for seed in 1..=40u64 {
+        let mut rng = seed.wrapping_mul(0x9e3779b97f4a7c15);
+        let n = 100usize;
+        let m = 426usize;
+        let mut s = Solver::new();
+        let vars: Vec<_> = (0..n).map(|_| s.new_var()).collect();
+        for _ in 0..m {
+            let mut c = Vec::new();
+            for _ in 0..3 {
+                let v = vars[(xorshift(&mut rng) % n as u64) as usize];
+                let neg = xorshift(&mut rng) & 1 == 1;
+                c.push(Lit::new(v, neg));
+            }
+            s.add_clause(&c);
+        }
+        match s.solve() {
+            SolveResult::Sat => sat += 1,
+            SolveResult::Unsat => unsat += 1,
+            SolveResult::Unknown => unreachable!(),
+        }
+    }
+    println!("random 3-SAT n=100 m=426: {} sat, {} unsat", sat, unsat);
+}

@@ -1,0 +1,106 @@
+//! A binary max-heap over variables ordered by VSIDS activity.
+//!
+//! The heap supports the operations CDCL needs: pop the most active
+//! unassigned variable, re-insert variables when they are unassigned during
+//! backtracking, and sift a variable up when its activity is bumped.
+
+use crate::types::Var;
+
+/// Max-heap of variables keyed by an external activity array.
+#[derive(Default)]
+pub(crate) struct VarHeap {
+    /// Heap array of variable indices.
+    heap: Vec<u32>,
+    /// `pos[v]` is the index of `v` in `heap`, or `NONE` if absent.
+    pos: Vec<u32>,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl VarHeap {
+    /// Grows the position map to cover `n` variables.
+    pub fn grow(&mut self, n: usize) {
+        if self.pos.len() < n {
+            self.pos.resize(n, NONE);
+        }
+    }
+
+    /// Whether `v` is currently in the heap.
+    pub fn contains(&self, v: Var) -> bool {
+        self.pos[v.index()] != NONE
+    }
+
+    /// Inserts `v` if absent.
+    pub fn insert(&mut self, v: Var, activity: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v.index()] = self.heap.len() as u32;
+        self.heap.push(v.0);
+        self.sift_up(self.heap.len() - 1, activity);
+    }
+
+    /// Removes and returns the variable with the highest activity.
+    pub fn pop(&mut self, activity: &[f64]) -> Option<Var> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        let top = self.heap[0];
+        let last = self.heap.pop().unwrap();
+        self.pos[top as usize] = NONE;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, activity);
+        }
+        Some(Var(top))
+    }
+
+    /// Restores the heap property after `v`'s activity increased.
+    pub fn decrease_key(&mut self, v: Var, activity: &[f64]) {
+        let p = self.pos[v.index()];
+        if p != NONE {
+            self.sift_up(p as usize, activity);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        let x = self.heap[i];
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[parent] as usize] >= act[x as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[parent];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = parent;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        let x = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let l = 2 * i + 1;
+            if l >= n {
+                break;
+            }
+            let r = l + 1;
+            let c = if r < n && act[self.heap[r] as usize] > act[self.heap[l] as usize] {
+                r
+            } else {
+                l
+            };
+            if act[self.heap[c] as usize] <= act[x as usize] {
+                break;
+            }
+            self.heap[i] = self.heap[c];
+            self.pos[self.heap[i] as usize] = i as u32;
+            i = c;
+        }
+        self.heap[i] = x;
+        self.pos[x as usize] = i as u32;
+    }
+}

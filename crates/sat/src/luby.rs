@@ -1,0 +1,31 @@
+//! The Luby restart sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+
+/// Returns the `i`-th element (1-based) of the Luby sequence.
+pub(crate) fn luby(mut i: u64) -> u64 {
+    // Find the finite subsequence containing index `i`, of length 2^k - 1.
+    let mut k = 1u32;
+    while (1u64 << k) - 1 < i {
+        k += 1;
+    }
+    while (1u64 << k) - 1 != i {
+        i -= (1u64 << (k - 1)) - 1;
+        k = 1;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+    }
+    1u64 << (k - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::luby;
+
+    #[test]
+    fn first_elements() {
+        let want = [1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &w) in want.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), w, "luby({})", i + 1);
+        }
+    }
+}

@@ -1,0 +1,680 @@
+//! The CDCL solver proper.
+
+use crate::heap::VarHeap;
+use crate::luby::luby;
+use crate::types::{LBool, Lit, SolveResult, Var};
+
+/// Reference to a clause in the solver's arena.
+type CRef = u32;
+
+/// A clause. Learnt clauses carry an LBD ("glue") score used by database
+/// reduction; original clauses are never deleted.
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    lbd: u32,
+    deleted: bool,
+}
+
+/// A watcher entry: the watched clause plus a "blocker" literal that lets
+/// propagation skip the clause without touching its memory when the blocker
+/// is already true.
+#[derive(Clone, Copy)]
+struct Watch {
+    cref: CRef,
+    blocker: Lit,
+}
+
+/// Counters exposed for the symbolic profiler and the benchmark harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnts: u64,
+}
+
+/// A CDCL SAT solver. See the crate documentation for an overview.
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watch>>,
+    assign: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<CRef>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    order: VarHeap,
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    /// False once the clause set is unsatisfiable at level 0.
+    ok: bool,
+    /// Assumptions for the current `solve_assuming` call.
+    assumptions: Vec<Lit>,
+    /// Subset of assumptions responsible for the last `Unsat` answer.
+    conflict_core: Vec<Lit>,
+    /// Learnt-clause count that triggers the next database reduction.
+    max_learnts: f64,
+    num_learnts: usize,
+    /// Optional conflict budget; `None` = unbounded.
+    budget: Option<u64>,
+    stats: SolverStats,
+}
+
+const VAR_DECAY: f64 = 0.95;
+const RESCALE_LIMIT: f64 = 1e100;
+const RESTART_BASE: u64 = 128;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Solver {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assign: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            order: VarHeap::default(),
+            phase: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            assumptions: Vec::new(),
+            conflict_core: Vec::new(),
+            max_learnts: 4096.0,
+            num_learnts: 0,
+            budget: None,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assign.len() as u32);
+        self.assign.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.grow(self.assign.len());
+        self.order.insert(v, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated so far.
+    pub fn num_vars(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Number of clauses added (including learnt, excluding deleted).
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted).count()
+    }
+
+    /// Limits the search to `conflicts` conflicts; `solve` returns
+    /// [`SolveResult::Unknown`] if exhausted. Pass `None` for no limit.
+    pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
+        self.budget = conflicts;
+    }
+
+    /// Solver statistics for profiling.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnts = self.num_learnts as u64;
+        s
+    }
+
+    /// Adds a clause. Returns `false` if the clause set became trivially
+    /// unsatisfiable (all further solving returns `Unsat`).
+    pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        // A previous Sat answer leaves the model trail in place; clear it.
+        self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        let mut c: Vec<Lit> = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        // Drop literals already false at level 0; detect tautologies and
+        // clauses already satisfied at level 0.
+        let mut out = Vec::with_capacity(c.len());
+        for (i, &l) in c.iter().enumerate() {
+            if i + 1 < c.len() && c[i + 1] == !l {
+                return true; // tautology: l and !l adjacent after sort
+            }
+            match self.value_lbool(l) {
+                LBool::True => return true,
+                LBool::False => {}
+                LBool::Undef => out.push(l),
+            }
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                self.ok = self.propagate().is_none();
+                self.ok
+            }
+            _ => {
+                self.attach_new_clause(out, false);
+                true
+            }
+        }
+    }
+
+    /// Solves the current clause set with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_assuming(&[])
+    }
+
+    /// Solves under the given assumption literals.
+    ///
+    /// On `Unsat`, [`Solver::unsat_core`] returns the subset of assumptions
+    /// used in the refutation.
+    pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_core.clear();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        self.assumptions = assumptions.to_vec();
+        let result = self.search_loop();
+        if result != SolveResult::Sat {
+            self.backtrack(0);
+        }
+        // On Sat, keep the trail so `value` reads the full model; the next
+        // solve call restarts from level 0 via backtrack below.
+        result
+    }
+
+    /// The subset of assumption literals in the final conflict of the last
+    /// `Unsat` answer from [`Solver::solve_assuming`].
+    pub fn unsat_core(&self) -> &[Lit] {
+        &self.conflict_core
+    }
+
+    /// The model value of `v` after a `Sat` answer.
+    pub fn value(&self, v: Var) -> Option<bool> {
+        match self.assign[v.index()] {
+            LBool::True => Some(true),
+            LBool::False => Some(false),
+            LBool::Undef => None,
+        }
+    }
+
+    /// The model value of a literal after a `Sat` answer.
+    pub fn value_lit(&self, l: Lit) -> Option<bool> {
+        self.value(l.var()).map(|b| b != l.is_neg())
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    fn search_loop(&mut self) -> SolveResult {
+        self.backtrack(0);
+        let mut restart_idx: u64 = 0;
+        loop {
+            restart_idx += 1;
+            let budget = luby(restart_idx) * RESTART_BASE;
+            match self.search(budget) {
+                Some(r) => return r,
+                None => {
+                    // Restart: keep learnt clauses and saved phases.
+                    self.stats.restarts += 1;
+                    self.backtrack(0);
+                }
+            }
+        }
+    }
+
+    /// Runs CDCL for up to `conflict_budget` conflicts. Returns `None` to
+    /// request a restart.
+    fn search(&mut self, conflict_budget: u64) -> Option<SolveResult> {
+        let mut conflicts_here: u64 = 0;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if let Some(total) = self.budget {
+                    if self.stats.conflicts > total {
+                        return Some(SolveResult::Unknown);
+                    }
+                }
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return Some(SolveResult::Unsat);
+                }
+                let (learnt, back_level, lbd) = self.analyze(confl);
+                self.backtrack(back_level);
+                if learnt.len() == 1 {
+                    debug_assert_eq!(self.decision_level(), 0);
+                    self.unchecked_enqueue(learnt[0], None);
+                } else {
+                    let first = learnt[0];
+                    let cref = self.attach_new_clause(learnt, true);
+                    self.clauses[cref as usize].lbd = lbd;
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+                self.decay_activities();
+                if self.num_learnts as f64 > self.max_learnts {
+                    self.reduce_db();
+                    self.max_learnts *= 1.5;
+                }
+                if conflicts_here >= conflict_budget {
+                    return None; // restart
+                }
+            } else {
+                // No conflict: place assumptions, then decide by VSIDS.
+                match self.pick_branch() {
+                    Decision::Sat => return Some(SolveResult::Sat),
+                    Decision::AssumptionConflict(l) => {
+                        self.analyze_final(l);
+                        return Some(SolveResult::Unsat);
+                    }
+                    Decision::Took => {}
+                }
+            }
+        }
+    }
+
+    fn pick_branch(&mut self) -> Decision {
+        // First honor pending assumptions, one decision level each.
+        while (self.decision_level() as usize) < self.assumptions.len() {
+            let a = self.assumptions[self.decision_level() as usize];
+            match self.value_lbool(a) {
+                LBool::True => {
+                    // Already implied: open an empty decision level so the
+                    // level↔assumption-index correspondence is kept.
+                    self.trail_lim.push(self.trail.len());
+                }
+                LBool::False => return Decision::AssumptionConflict(a),
+                LBool::Undef => {
+                    self.trail_lim.push(self.trail.len());
+                    self.unchecked_enqueue(a, None);
+                    self.stats.decisions += 1;
+                    return Decision::Took;
+                }
+            }
+        }
+        // Then VSIDS.
+        while let Some(v) = self.order.pop(&self.activity) {
+            if self.assign[v.index()] == LBool::Undef {
+                let lit = Lit::new(v, !self.phase[v.index()]);
+                self.trail_lim.push(self.trail.len());
+                self.unchecked_enqueue(lit, None);
+                self.stats.decisions += 1;
+                return Decision::Took;
+            }
+        }
+        Decision::Sat
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation
+    // ------------------------------------------------------------------
+
+    fn propagate(&mut self) -> Option<CRef> {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // Take the watch list for !p; clauses watching !p must find a
+            // new watch, propagate, or conflict.
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            let mut conflict: Option<CRef> = None;
+            'outer: while i < ws.len() {
+                let w = ws[i];
+                if self.value_lbool(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                let clause = &mut self.clauses[cref as usize];
+                if clause.deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                // Normalize: watched literals are lits[0] and lits[1]; put
+                // the false literal in position 1.
+                if clause.lits[0] == false_lit {
+                    clause.lits.swap(0, 1);
+                }
+                debug_assert_eq!(clause.lits[1], false_lit);
+                let first = clause.lits[0];
+                if first != w.blocker
+                    && value_of(&self.assign, first) == LBool::True
+                {
+                    ws[i] = Watch {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // Look for a new literal to watch.
+                for k in 2..clause.lits.len() {
+                    let l = clause.lits[k];
+                    if value_of(&self.assign, l) != LBool::False {
+                        clause.lits.swap(1, k);
+                        let new_watch = clause.lits[1];
+                        self.watches[new_watch.index()].push(Watch {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'outer;
+                    }
+                }
+                // No new watch: clause is unit or conflicting.
+                ws[i] = Watch {
+                    cref,
+                    blocker: first,
+                };
+                i += 1;
+                if value_of(&self.assign, first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                } else {
+                    self.unchecked_enqueue(first, Some(cref));
+                }
+            }
+            // Merge back: propagation may have appended new watches for
+            // false_lit (self-watch is impossible, but keep it robust).
+            let appended = std::mem::replace(&mut self.watches[false_lit.index()], ws);
+            self.watches[false_lit.index()].extend(appended);
+            if conflict.is_some() {
+                return conflict;
+            }
+        }
+        None
+    }
+
+    fn value_lbool(&self, l: Lit) -> LBool {
+        value_of(&self.assign, l)
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<CRef>) {
+        debug_assert_eq!(self.value_lbool(l), LBool::Undef);
+        let v = l.var();
+        self.assign[v.index()] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.level[v.index()] = self.decision_level();
+        self.reason[v.index()] = from;
+        self.phase[v.index()] = !l.is_neg();
+        self.trail.push(l);
+    }
+
+    fn decision_level(&self) -> u32 {
+        self.trail_lim.len() as u32
+    }
+
+    fn backtrack(&mut self, target: u32) {
+        if self.decision_level() <= target {
+            return;
+        }
+        let keep = self.trail_lim[target as usize];
+        for i in (keep..self.trail.len()).rev() {
+            let v = self.trail[i].var();
+            self.assign[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v, &self.activity);
+        }
+        self.trail.truncate(keep);
+        self.trail_lim.truncate(target as usize);
+        self.qhead = keep;
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict analysis
+    // ------------------------------------------------------------------
+
+    /// First-UIP conflict analysis. Returns the learnt clause (asserting
+    /// literal first, second-highest-level literal second), the backtrack
+    /// level, and the clause LBD.
+    fn analyze(&mut self, confl: CRef) -> (Vec<Lit>, u32, u32) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot 0 for the UIP
+        let mut marked: Vec<Var> = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut idx = self.trail.len();
+        let mut cref = confl;
+        loop {
+            {
+                let start = if p.is_some() { 1 } else { 0 };
+                let clause_lits = self.clauses[cref as usize].lits[start..].to_vec();
+                for q in clause_lits {
+                    let v = q.var();
+                    if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                        self.seen[v.index()] = true;
+                        marked.push(v);
+                        self.bump_var(v);
+                        if self.level[v.index()] >= self.decision_level() {
+                            counter += 1;
+                        } else {
+                            learnt.push(q);
+                        }
+                    }
+                }
+            }
+            // Walk the trail backwards to the next seen literal at the
+            // current decision level.
+            loop {
+                idx -= 1;
+                if self.seen[self.trail[idx].var().index()] {
+                    break;
+                }
+            }
+            let lit = self.trail[idx];
+            self.seen[lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                p = Some(lit);
+                break;
+            }
+            cref = self.reason[lit.var().index()]
+                .expect("non-decision literal at conflict level must have a reason");
+            p = Some(lit);
+        }
+        learnt[0] = !p.unwrap();
+
+        // Clause minimization: drop literals implied by the rest.
+        let kept: Vec<Lit> = learnt[1..]
+            .iter()
+            .copied()
+            .filter(|&l| !self.redundant(l))
+            .collect();
+        learnt.truncate(1);
+        learnt.extend(kept);
+
+        // Compute backtrack level (second-highest level in the clause) and
+        // move that literal to position 1 for watching.
+        let mut back_level = 0;
+        if learnt.len() > 1 {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()]
+                {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            back_level = self.level[learnt[1].var().index()];
+        }
+
+        // LBD: number of distinct decision levels in the clause.
+        let mut levels: Vec<u32> = learnt
+            .iter()
+            .map(|l| self.level[l.var().index()])
+            .collect();
+        levels.sort_unstable();
+        levels.dedup();
+        let lbd = levels.len() as u32;
+
+        // Clear every mark set during this analysis, including literals
+        // dropped by minimization (a stale mark corrupts later analyses).
+        for v in marked {
+            self.seen[v.index()] = false;
+        }
+        (learnt, back_level, lbd)
+    }
+
+    /// Whether learnt-clause literal `l` is redundant: its reason clause's
+    /// literals are all already in the learnt clause (seen) or at level 0.
+    /// One-step (non-recursive) minimization — sound and cheap.
+    fn redundant(&self, l: Lit) -> bool {
+        let v = l.var();
+        match self.reason[v.index()] {
+            None => false,
+            Some(cref) => self.clauses[cref as usize].lits.iter().all(|&q| {
+                q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+            }),
+        }
+    }
+
+    /// Builds the unsat core when assumption `failed` is falsified by the
+    /// earlier assumptions: traces reasons back to assumption decisions.
+    fn analyze_final(&mut self, failed: Lit) {
+        self.conflict_core.clear();
+        self.conflict_core.push(failed);
+        if self.decision_level() == 0 {
+            return;
+        }
+        let mut marked: Vec<Var> = Vec::new();
+        self.seen[failed.var().index()] = true;
+        marked.push(failed.var());
+        for i in (self.trail_lim[0]..self.trail.len()).rev() {
+            let t = self.trail[i];
+            let v = t.var();
+            if !self.seen[v.index()] {
+                continue;
+            }
+            match self.reason[v.index()] {
+                Some(cref) => {
+                    for &q in &self.clauses[cref as usize].lits {
+                        let qv = q.var();
+                        if qv != v && !self.seen[qv.index()] && self.level[qv.index()] > 0 {
+                            self.seen[qv.index()] = true;
+                            marked.push(qv);
+                        }
+                    }
+                }
+                None => {
+                    // A decision below the assumption levels is always an
+                    // assumption literal.
+                    self.conflict_core.push(t);
+                }
+            }
+        }
+        for v in marked {
+            self.seen[v.index()] = false;
+        }
+        self.conflict_core.sort_unstable();
+        self.conflict_core.dedup();
+    }
+
+    // ------------------------------------------------------------------
+    // Activities and clause database
+    // ------------------------------------------------------------------
+
+    fn bump_var(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > RESCALE_LIMIT {
+            for a in &mut self.activity {
+                *a /= RESCALE_LIMIT;
+            }
+            self.var_inc /= RESCALE_LIMIT;
+        }
+        self.order.decrease_key(v, &self.activity);
+    }
+
+    fn decay_activities(&mut self) {
+        self.var_inc /= VAR_DECAY;
+    }
+
+    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> CRef {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as CRef;
+        let w0 = lits[0];
+        let w1 = lits[1];
+        self.watches[w0.index()].push(Watch { cref, blocker: w1 });
+        self.watches[w1.index()].push(Watch { cref, blocker: w0 });
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            lbd: 0,
+            deleted: false,
+        });
+        cref
+    }
+
+    /// Deletes roughly half of the learnt clauses, preferring high LBD.
+    /// Clauses that are the reason for a current assignment are kept.
+    fn reduce_db(&mut self) {
+        let locked: Vec<bool> = {
+            let mut locked = vec![false; self.clauses.len()];
+            for v in 0..self.assign.len() {
+                if let Some(cref) = self.reason[v] {
+                    locked[cref as usize] = true;
+                }
+            }
+            locked
+        };
+        let mut learnt_refs: Vec<CRef> = (0..self.clauses.len() as CRef)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted && !locked[c as usize] && cl.lits.len() > 2
+            })
+            .collect();
+        learnt_refs.sort_by_key(|&c| std::cmp::Reverse(self.clauses[c as usize].lbd));
+        let to_delete = learnt_refs.len() / 2;
+        for &c in &learnt_refs[..to_delete] {
+            self.clauses[c as usize].deleted = true;
+            self.num_learnts -= 1;
+        }
+        // Deleted clauses are dropped from watch lists lazily in propagate.
+    }
+}
+
+#[inline]
+fn value_of(assign: &[LBool], l: Lit) -> LBool {
+    assign[l.var().index()].under_sign(l.is_neg())
+}
+
+enum Decision {
+    Took,
+    Sat,
+    AssumptionConflict(Lit),
+}

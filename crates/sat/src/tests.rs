@@ -1,0 +1,349 @@
+//! Unit and property tests for the CDCL solver.
+//!
+//! The property tests cross-check the solver against a brute-force
+//! enumeration on random small formulas, covering both satisfiable and
+//! unsatisfiable instances, with and without assumptions.
+
+use crate::{Lit, SolveResult, Solver, Var};
+use proptest::prelude::*;
+
+fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
+    (0..n).map(|_| s.new_var()).collect()
+}
+
+#[test]
+fn empty_formula_is_sat() {
+    let mut s = Solver::new();
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn unit_clauses() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 2);
+    assert!(s.add_clause(&[Lit::pos(v[0])]));
+    assert!(s.add_clause(&[Lit::neg(v[1])]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.value(v[0]), Some(true));
+    assert_eq!(s.value(v[1]), Some(false));
+}
+
+#[test]
+fn contradictory_units_unsat() {
+    let mut s = Solver::new();
+    let v = s.new_var();
+    assert!(s.add_clause(&[Lit::pos(v)]));
+    assert!(!s.add_clause(&[Lit::neg(v)]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn empty_clause_unsat() {
+    let mut s = Solver::new();
+    s.new_var();
+    assert!(!s.add_clause(&[]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn tautology_is_dropped() {
+    let mut s = Solver::new();
+    let v = s.new_var();
+    assert!(s.add_clause(&[Lit::pos(v), Lit::neg(v)]));
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn implication_chain_propagates() {
+    // x0 & (x0 -> x1) & (x1 -> x2) ... forces all true.
+    let mut s = Solver::new();
+    let v = lits(&mut s, 20);
+    s.add_clause(&[Lit::pos(v[0])]);
+    for i in 0..19 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    for &x in &v {
+        assert_eq!(s.value(x), Some(true));
+    }
+}
+
+#[test]
+fn pigeonhole_3_into_2_unsat() {
+    // PHP(3,2): 3 pigeons, 2 holes. Classic small UNSAT instance that
+    // requires real conflict analysis.
+    let mut s = Solver::new();
+    // p[i][j]: pigeon i in hole j.
+    let p: Vec<Vec<Var>> = (0..3).map(|_| lits(&mut s, 2)).collect();
+    for row in &p {
+        s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+    }
+    for j in 0..2 {
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn pigeonhole_5_into_4_unsat() {
+    let mut s = Solver::new();
+    let n = 5;
+    let m = 4;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| lits(&mut s, m)).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    assert!(s.stats().conflicts > 0);
+}
+
+#[test]
+fn assumptions_flip_result() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 2);
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    assert_eq!(s.solve_assuming(&[Lit::neg(v[0])]), SolveResult::Sat);
+    assert_eq!(s.value(v[1]), Some(true));
+    assert_eq!(
+        s.solve_assuming(&[Lit::neg(v[0]), Lit::neg(v[1])]),
+        SolveResult::Unsat
+    );
+    // The formula itself is still satisfiable afterwards.
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn unsat_core_is_subset_of_assumptions() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 4);
+    // v0 -> v1, v1 -> v2.
+    s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+    s.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+    let asms = [Lit::pos(v[0]), Lit::pos(v[3]), Lit::neg(v[2])];
+    assert_eq!(s.solve_assuming(&asms), SolveResult::Unsat);
+    let core = s.unsat_core().to_vec();
+    assert!(!core.is_empty());
+    for l in &core {
+        assert!(asms.contains(l), "core literal {:?} not an assumption", l);
+    }
+    // v3 is irrelevant and should not appear in the core.
+    assert!(!core.contains(&Lit::pos(v[3])));
+}
+
+#[test]
+fn incremental_add_after_solve() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 3);
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    s.add_clause(&[Lit::neg(v[0])]);
+    s.add_clause(&[Lit::neg(v[1])]);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn conflict_budget_returns_unknown() {
+    // A hard instance (PHP 7 into 6) with a tiny budget must give up.
+    let mut s = Solver::new();
+    let n = 7;
+    let m = 6;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| lits(&mut s, m)).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    s.set_conflict_budget(Some(10));
+    assert_eq!(s.solve(), SolveResult::Unknown);
+    s.set_conflict_budget(None);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn xor_chain_sat() {
+    // CNF encoding of x0 ^ x1 ^ ... ^ x9 = 1 via intermediate variables.
+    let mut s = Solver::new();
+    let x = lits(&mut s, 10);
+    let mut acc = x[0];
+    for &xi in &x[1..] {
+        let out = s.new_var();
+        // out = acc ^ xi.
+        s.add_clause(&[Lit::neg(out), Lit::pos(acc), Lit::pos(xi)]);
+        s.add_clause(&[Lit::neg(out), Lit::neg(acc), Lit::neg(xi)]);
+        s.add_clause(&[Lit::pos(out), Lit::neg(acc), Lit::pos(xi)]);
+        s.add_clause(&[Lit::pos(out), Lit::pos(acc), Lit::neg(xi)]);
+        acc = out;
+    }
+    s.add_clause(&[Lit::pos(acc)]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    let parity = x
+        .iter()
+        .fold(false, |p, &v| p ^ s.value(v).unwrap());
+    assert!(parity, "model must satisfy odd parity");
+}
+
+// ---------------------------------------------------------------------
+// Property tests vs. brute force
+// ---------------------------------------------------------------------
+
+/// Brute-force satisfiability of a CNF over `n` variables (n <= 16).
+fn brute_force_sat(n: usize, cnf: &[Vec<(usize, bool)>]) -> bool {
+    'outer: for m in 0u32..(1 << n) {
+        for clause in cnf {
+            let sat = clause
+                .iter()
+                .any(|&(v, neg)| ((m >> v) & 1 == 1) != neg);
+            if !sat {
+                continue 'outer;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<(usize, bool)>> {
+    prop::collection::vec((0..nvars, any::<bool>()), 1..=4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force(
+        cnf in prop::collection::vec(clause_strategy(8), 1..40)
+    ) {
+        let nvars = 8;
+        let mut s = Solver::new();
+        let vars = lits(&mut s, nvars);
+        let mut ok = true;
+        for clause in &cnf {
+            let c: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, neg)| Lit::new(vars[v], neg))
+                .collect();
+            ok &= s.add_clause(&c);
+        }
+        let expected = brute_force_sat(nvars, &cnf);
+        let got = if ok { s.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(got == SolveResult::Sat, expected);
+        if got == SolveResult::Sat {
+            // The returned model must actually satisfy the formula.
+            for clause in &cnf {
+                let sat = clause.iter().any(|&(v, neg)| {
+                    s.value(vars[v]).unwrap_or(false) != neg
+                });
+                prop_assert!(sat, "model does not satisfy clause {:?}", clause);
+            }
+        }
+    }
+
+    #[test]
+    fn solver_with_assumptions_agrees_with_brute_force(
+        cnf in prop::collection::vec(clause_strategy(6), 1..25),
+        asm in prop::collection::vec((0..6usize, any::<bool>()), 0..3)
+    ) {
+        let nvars = 6;
+        let mut s = Solver::new();
+        let vars = lits(&mut s, nvars);
+        let mut ok = true;
+        for clause in &cnf {
+            let c: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, neg)| Lit::new(vars[v], neg))
+                .collect();
+            ok &= s.add_clause(&c);
+        }
+        // Deduplicate contradictory assumptions on the same variable;
+        // brute force treats them as unit clauses.
+        let mut full = cnf.clone();
+        for &(v, neg) in &asm {
+            full.push(vec![(v, neg)]);
+        }
+        let expected = brute_force_sat(nvars, &full);
+        let asml: Vec<Lit> = asm.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+        let got = if ok { s.solve_assuming(&asml) } else { SolveResult::Unsat };
+        prop_assert_eq!(got == SolveResult::Sat, expected);
+        // Solving twice must be deterministic w.r.t. the verdict.
+        let again = if ok { s.solve_assuming(&asml) } else { SolveResult::Unsat };
+        prop_assert_eq!(got, again);
+    }
+}
+
+#[test]
+fn graph_coloring_instances() {
+    // K4 is 3-colorable? No — needs 4. Check both directions on small
+    // complete graphs using direct encoding (vertex×color vars).
+    for (n, colors, expect_sat) in [(3usize, 3usize, true), (4, 3, false), (4, 4, true)] {
+        let mut s = Solver::new();
+        let v: Vec<Vec<Var>> = (0..n)
+            .map(|_| (0..colors).map(|_| s.new_var()).collect())
+            .collect();
+        for row in &v {
+            let c: Vec<Lit> = row.iter().map(|&x| Lit::pos(x)).collect();
+            s.add_clause(&c); // every vertex colored
+            for i in 0..colors {
+                for j in (i + 1)..colors {
+                    s.add_clause(&[Lit::neg(row[i]), Lit::neg(row[j])]);
+                }
+            }
+        }
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in 0..colors {
+                    s.add_clause(&[Lit::neg(v[a][c]), Lit::neg(v[b][c])]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve() == SolveResult::Sat,
+            expect_sat,
+            "K{n} with {colors} colors"
+        );
+    }
+}
+
+#[test]
+fn solve_reuses_learnt_clauses() {
+    // Solving the same instance twice must stay correct (learnt clauses
+    // and saved phases persist across calls).
+    let mut s = Solver::new();
+    let n = 6;
+    let m = 5;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| lits(&mut s, m)).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let conflicts_first = s.stats().conflicts;
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    // The second solve benefits from the learnt clauses (strictly fewer
+    // *new* conflicts than the first full search).
+    assert!(s.stats().conflicts <= conflicts_first * 2);
+}

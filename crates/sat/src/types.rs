@@ -1,0 +1,112 @@
+//! Core propositional types: variables, literals, solve results.
+
+use std::fmt;
+
+/// A propositional variable, numbered from 0.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// Returns the variable's index, usable as a dense array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A literal: a variable or its negation.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated, so that
+/// literals index dense arrays (e.g. watch lists) directly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(pub u32);
+
+impl Lit {
+    /// The positive literal of `v`.
+    #[inline]
+    pub fn pos(v: Var) -> Lit {
+        Lit(v.0 << 1)
+    }
+
+    /// The negative literal of `v`.
+    #[inline]
+    pub fn neg(v: Var) -> Lit {
+        Lit(v.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a sign (`true` = negated).
+    #[inline]
+    pub fn new(v: Var, negated: bool) -> Lit {
+        Lit(v.0 << 1 | negated as u32)
+    }
+
+    /// The literal's variable.
+    #[inline]
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    #[inline]
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The literal's index, usable as a dense array key.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", if self.is_neg() { "!" } else { "" }, self.0 >> 1)
+    }
+}
+
+/// The verdict of a [`crate::Solver::solve`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found; query it with
+    /// [`crate::Solver::value`].
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The solver gave up (conflict budget exhausted).
+    Unknown,
+}
+
+/// A tri-state truth value used on the assignment trail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+impl LBool {
+    /// The value of a literal whose variable has this value.
+    #[inline]
+    pub(crate) fn under_sign(self, negated: bool) -> LBool {
+        match (self, negated) {
+            (LBool::Undef, _) => LBool::Undef,
+            (LBool::True, false) | (LBool::False, true) => LBool::True,
+            _ => LBool::False,
+        }
+    }
+}

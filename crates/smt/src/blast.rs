@@ -1,0 +1,641 @@
+//! Tseitin bit-blasting of the term DAG to CNF.
+//!
+//! Each bitvector term becomes a vector of SAT literals (LSB first); each
+//! boolean term becomes a single literal. The traversal is iterative and
+//! memoized, so shared subterms are encoded once and arbitrarily deep DAGs
+//! (long straight-line machine-code runs) do not overflow the stack.
+//!
+//! Uninterpreted functions are eliminated by Ackermann expansion: each
+//! syntactically distinct application gets fresh result literals, and for
+//! every pair of applications of the same function a congruence constraint
+//! `args equal → results equal` is added in [`Blaster::finalize`].
+
+use crate::term::{mask, Op, Sort, TermId, UfId};
+use crate::with_ctx;
+use serval_sat::{Lit, Solver};
+use std::collections::HashMap;
+
+/// Incremental bit-blaster writing clauses into a [`serval_sat::Solver`].
+pub struct Blaster {
+    bool_map: HashMap<TermId, Lit>,
+    bv_map: HashMap<TermId, Vec<Lit>>,
+    lit_true: Option<Lit>,
+    /// Per-UF list of `(argument bits, result bits)` for Ackermann.
+    uf_apps: HashMap<UfId, Vec<(Vec<Vec<Lit>>, Vec<Lit>)>>,
+    /// Number of congruence pairs already emitted per UF (supports
+    /// incremental finalize).
+    uf_done: HashMap<UfId, usize>,
+}
+
+impl Default for Blaster {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Blaster {
+    /// Creates an empty blaster.
+    pub fn new() -> Blaster {
+        Blaster {
+            bool_map: HashMap::new(),
+            bv_map: HashMap::new(),
+            lit_true: None,
+            uf_apps: HashMap::new(),
+            uf_done: HashMap::new(),
+        }
+    }
+
+    /// Asserts boolean term `t` (adds clauses making it true).
+    pub fn assert_true(&mut self, sat: &mut Solver, t: TermId) {
+        let l = self.lit_of(sat, t);
+        sat.add_clause(&[l]);
+    }
+
+    /// The literal encoding boolean term `t`.
+    pub fn lit_of(&mut self, sat: &mut Solver, t: TermId) -> Lit {
+        self.ensure(sat, t);
+        self.bool_map[&t]
+    }
+
+    /// The literal vector (LSB first) encoding bitvector term `t`.
+    pub fn bits_of(&mut self, sat: &mut Solver, t: TermId) -> Vec<Lit> {
+        self.ensure(sat, t);
+        self.bv_map[&t].clone()
+    }
+
+    /// Emits pending Ackermann congruence constraints. Must be called after
+    /// the last `assert_true` and before solving.
+    pub fn finalize(&mut self, sat: &mut Solver) {
+        let ufs: Vec<UfId> = self.uf_apps.keys().copied().collect();
+        for uf in ufs {
+            let apps = self.uf_apps[&uf].clone();
+            let start = *self.uf_done.get(&uf).unwrap_or(&0);
+            for i in 0..apps.len() {
+                // Only emit pairs involving at least one new application.
+                for j in (i + 1).max(start)..apps.len() {
+                    self.congruence(sat, &apps[i], &apps[j]);
+                }
+            }
+            self.uf_done.insert(uf, apps.len());
+        }
+    }
+
+    /// `args_i == args_j → result_i == result_j`.
+    fn congruence(
+        &mut self,
+        sat: &mut Solver,
+        a: &(Vec<Vec<Lit>>, Vec<Lit>),
+        b: &(Vec<Vec<Lit>>, Vec<Lit>),
+    ) {
+        // all_eq literal: conjunction of per-argument equalities.
+        let mut arg_eqs = Vec::new();
+        for (x, y) in a.0.iter().zip(&b.0) {
+            arg_eqs.push(self.eq_gate(sat, x, y));
+        }
+        let all_eq = self.and_many(sat, &arg_eqs);
+        // all_eq → result bits equal.
+        for (&r1, &r2) in a.1.iter().zip(&b.1) {
+            sat.add_clause(&[!all_eq, !r1, r2]);
+            sat.add_clause(&[!all_eq, r1, !r2]);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Traversal
+    // ------------------------------------------------------------------
+
+    fn done(&self, t: TermId) -> bool {
+        self.bool_map.contains_key(&t) || self.bv_map.contains_key(&t)
+    }
+
+    fn ensure(&mut self, sat: &mut Solver, root: TermId) {
+        if self.done(root) {
+            return;
+        }
+        let mut stack = vec![root];
+        while let Some(&t) = stack.last() {
+            if self.done(t) {
+                stack.pop();
+                continue;
+            }
+            let children = with_ctx(|c| c.term(t).children.clone());
+            let pending: Vec<TermId> =
+                children.iter().copied().filter(|&c| !self.done(c)).collect();
+            if pending.is_empty() {
+                self.encode(sat, t);
+                stack.pop();
+            } else {
+                stack.extend(pending);
+            }
+        }
+    }
+
+    fn encode(&mut self, sat: &mut Solver, t: TermId) {
+        let (op, children, sort) = with_ctx(|c| {
+            let n = c.term(t);
+            (n.op.clone(), n.children.clone(), n.sort)
+        });
+        match sort {
+            Sort::Bool => {
+                let l = self.encode_bool(sat, &op, &children);
+                self.bool_map.insert(t, l);
+            }
+            Sort::BitVec(w) => {
+                let bits = self.encode_bv(sat, &op, &children, w);
+                debug_assert_eq!(bits.len(), w as usize);
+                self.bv_map.insert(t, bits);
+            }
+        }
+    }
+
+    fn encode_bool(&mut self, sat: &mut Solver, op: &Op, ch: &[TermId]) -> Lit {
+        match op {
+            Op::BoolConst(b) => {
+                let tl = self.true_lit(sat);
+                if *b {
+                    tl
+                } else {
+                    !tl
+                }
+            }
+            Op::Var(_) => Lit::pos(sat.new_var()),
+            Op::Not => !self.bool_map[&ch[0]],
+            Op::And => {
+                let (a, b) = (self.bool_map[&ch[0]], self.bool_map[&ch[1]]);
+                self.and_gate(sat, a, b)
+            }
+            Op::Or => {
+                let (a, b) = (self.bool_map[&ch[0]], self.bool_map[&ch[1]]);
+                self.or_gate(sat, a, b)
+            }
+            Op::Xor => {
+                let (a, b) = (self.bool_map[&ch[0]], self.bool_map[&ch[1]]);
+                self.xor_gate(sat, a, b)
+            }
+            Op::Iff => {
+                let (a, b) = (self.bool_map[&ch[0]], self.bool_map[&ch[1]]);
+                !self.xor_gate(sat, a, b)
+            }
+            Op::IteBool => {
+                let (c, a, b) = (
+                    self.bool_map[&ch[0]],
+                    self.bool_map[&ch[1]],
+                    self.bool_map[&ch[2]],
+                );
+                self.mux_gate(sat, c, a, b)
+            }
+            Op::Eq => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                self.eq_gate(sat, &a, &b)
+            }
+            Op::Ult => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                self.ult_gate(sat, &a, &b)
+            }
+            Op::Ule => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                let gt = self.ult_gate(sat, &b, &a);
+                !gt
+            }
+            Op::Slt => {
+                let a = self.flip_msb(self.bv_map[&ch[0]].clone());
+                let b = self.flip_msb(self.bv_map[&ch[1]].clone());
+                self.ult_gate(sat, &a, &b)
+            }
+            Op::Sle => {
+                let a = self.flip_msb(self.bv_map[&ch[0]].clone());
+                let b = self.flip_msb(self.bv_map[&ch[1]].clone());
+                let gt = self.ult_gate(sat, &b, &a);
+                !gt
+            }
+            _ => unreachable!("not a bool op: {op:?}"),
+        }
+    }
+
+    fn encode_bv(&mut self, sat: &mut Solver, op: &Op, ch: &[TermId], w: u32) -> Vec<Lit> {
+        let w = w as usize;
+        match op {
+            Op::BvConst(v) => {
+                let tl = self.true_lit(sat);
+                (0..w)
+                    .map(|i| if v >> i & 1 == 1 { tl } else { !tl })
+                    .collect()
+            }
+            Op::Var(_) => (0..w).map(|_| Lit::pos(sat.new_var())).collect(),
+            Op::BvNot => self.bv_map[&ch[0]].iter().map(|&l| !l).collect(),
+            Op::BvNeg => {
+                let a: Vec<Lit> = self.bv_map[&ch[0]].iter().map(|&l| !l).collect();
+                let one = self.const_bits(sat, w, 1);
+                self.add_gate(sat, &a, &one, None)
+            }
+            Op::BvAdd => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                self.add_gate(sat, &a, &b, None)
+            }
+            Op::BvSub => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b: Vec<Lit> = self.bv_map[&ch[1]].iter().map(|&l| !l).collect();
+                let tl = self.true_lit(sat);
+                self.add_gate(sat, &a, &b, Some(tl))
+            }
+            Op::BvMul => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                self.mul_gate(sat, &a, &b)
+            }
+            Op::BvUdiv => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                let (q, _r) = self.divrem_gate(sat, &a, &b);
+                // Division by zero yields all ones.
+                let bz = self.is_zero_gate(sat, &b);
+                let tl = self.true_lit(sat);
+                let ones = vec![tl; w];
+                self.mux_bits(sat, bz, &ones, &q)
+            }
+            Op::BvUrem => {
+                let a = self.bv_map[&ch[0]].clone();
+                let b = self.bv_map[&ch[1]].clone();
+                let (_q, r) = self.divrem_gate(sat, &a, &b);
+                // Remainder by zero yields the dividend.
+                let bz = self.is_zero_gate(sat, &b);
+                self.mux_bits(sat, bz, &a, &r)
+            }
+            Op::BvAnd => self.bitwise(sat, ch, |s, me, a, b| me.and_gate(s, a, b)),
+            Op::BvOr => self.bitwise(sat, ch, |s, me, a, b| me.or_gate(s, a, b)),
+            Op::BvXor => self.bitwise(sat, ch, |s, me, a, b| me.xor_gate(s, a, b)),
+            Op::BvShl => self.shift_gate(sat, ch, ShiftKind::Left),
+            Op::BvLshr => self.shift_gate(sat, ch, ShiftKind::LogicalRight),
+            Op::BvAshr => self.shift_gate(sat, ch, ShiftKind::ArithRight),
+            Op::Concat => {
+                let hi = self.bv_map[&ch[0]].clone();
+                let lo = self.bv_map[&ch[1]].clone();
+                let mut bits = lo;
+                bits.extend(hi);
+                bits
+            }
+            Op::Extract(hi, lo) => {
+                let a = &self.bv_map[&ch[0]];
+                a[*lo as usize..=*hi as usize].to_vec()
+            }
+            Op::ZeroExt => {
+                let a = self.bv_map[&ch[0]].clone();
+                let tl = self.true_lit(sat);
+                let mut bits = a;
+                while bits.len() < w {
+                    bits.push(!tl);
+                }
+                bits
+            }
+            Op::SignExt => {
+                let a = self.bv_map[&ch[0]].clone();
+                let sign = *a.last().expect("sext of empty bv");
+                let mut bits = a;
+                while bits.len() < w {
+                    bits.push(sign);
+                }
+                bits
+            }
+            Op::IteBv => {
+                let c = self.bool_map[&ch[0]];
+                let a = self.bv_map[&ch[1]].clone();
+                let b = self.bv_map[&ch[2]].clone();
+                self.mux_bits(sat, c, &a, &b)
+            }
+            Op::UfApply(uf) => {
+                let args: Vec<Vec<Lit>> = ch.iter().map(|c| self.bv_map[c].clone()).collect();
+                let result: Vec<Lit> = (0..w).map(|_| Lit::pos(sat.new_var())).collect();
+                self.uf_apps
+                    .entry(*uf)
+                    .or_default()
+                    .push((args, result.clone()));
+                result
+            }
+            _ => unreachable!("not a bv op: {op:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Gate primitives
+    // ------------------------------------------------------------------
+
+    fn true_lit(&mut self, sat: &mut Solver) -> Lit {
+        if let Some(l) = self.lit_true {
+            return l;
+        }
+        let l = Lit::pos(sat.new_var());
+        sat.add_clause(&[l]);
+        self.lit_true = Some(l);
+        l
+    }
+
+    fn is_const(&self, l: Lit) -> Option<bool> {
+        self.lit_true.map(|t| {
+            if l == t {
+                Some(true)
+            } else if l == !t {
+                Some(false)
+            } else {
+                None
+            }
+        })?
+    }
+
+    fn and_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) | (_, Some(false)) => return !self.true_lit(sat),
+            (Some(true), _) => return b,
+            (_, Some(true)) => return a,
+            _ => {}
+        }
+        if a == b {
+            return a;
+        }
+        if a == !b {
+            return !self.true_lit(sat);
+        }
+        let c = Lit::pos(sat.new_var());
+        sat.add_clause(&[!c, a]);
+        sat.add_clause(&[!c, b]);
+        sat.add_clause(&[c, !a, !b]);
+        c
+    }
+
+    fn or_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        let c = self.and_gate(sat, !a, !b);
+        !c
+    }
+
+    fn xor_gate(&mut self, sat: &mut Solver, a: Lit, b: Lit) -> Lit {
+        match (self.is_const(a), self.is_const(b)) {
+            (Some(false), _) => return b,
+            (_, Some(false)) => return a,
+            (Some(true), _) => return !b,
+            (_, Some(true)) => return !a,
+            _ => {}
+        }
+        if a == b {
+            return !self.true_lit(sat);
+        }
+        if a == !b {
+            return self.true_lit(sat);
+        }
+        let c = Lit::pos(sat.new_var());
+        sat.add_clause(&[!c, a, b]);
+        sat.add_clause(&[!c, !a, !b]);
+        sat.add_clause(&[c, !a, b]);
+        sat.add_clause(&[c, a, !b]);
+        c
+    }
+
+    fn mux_gate(&mut self, sat: &mut Solver, c: Lit, t: Lit, e: Lit) -> Lit {
+        match self.is_const(c) {
+            Some(true) => return t,
+            Some(false) => return e,
+            None => {}
+        }
+        if t == e {
+            return t;
+        }
+        let o = Lit::pos(sat.new_var());
+        sat.add_clause(&[!c, !t, o]);
+        sat.add_clause(&[!c, t, !o]);
+        sat.add_clause(&[c, !e, o]);
+        sat.add_clause(&[c, e, !o]);
+        o
+    }
+
+    fn and_many(&mut self, sat: &mut Solver, ls: &[Lit]) -> Lit {
+        let mut acc = self.true_lit(sat);
+        for &l in ls {
+            acc = self.and_gate(sat, acc, l);
+        }
+        acc
+    }
+
+    fn eq_gate(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut eqs = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let ne = self.xor_gate(sat, x, y);
+            eqs.push(!ne);
+        }
+        self.and_many(sat, &eqs)
+    }
+
+    fn is_zero_gate(&mut self, sat: &mut Solver, a: &[Lit]) -> Lit {
+        let neg: Vec<Lit> = a.iter().map(|&l| !l).collect();
+        self.and_many(sat, &neg)
+    }
+
+    /// `a < b` unsigned: borrow chain from LSB.
+    fn ult_gate(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Lit {
+        debug_assert_eq!(a.len(), b.len());
+        let mut lt = !self.true_lit(sat);
+        for (&x, &y) in a.iter().zip(b) {
+            // lt' = (¬x ∧ y) ∨ ((x ↔ y) ∧ lt).
+            let xltb = {
+                let nx = !x;
+                self.and_gate(sat, nx, y)
+            };
+            let same = {
+                let ne = self.xor_gate(sat, x, y);
+                !ne
+            };
+            let keep = self.and_gate(sat, same, lt);
+            lt = self.or_gate(sat, xltb, keep);
+        }
+        lt
+    }
+
+    fn flip_msb(&self, mut bits: Vec<Lit>) -> Vec<Lit> {
+        let n = bits.len();
+        bits[n - 1] = !bits[n - 1];
+        bits
+    }
+
+    fn add_gate(
+        &mut self,
+        sat: &mut Solver,
+        a: &[Lit],
+        b: &[Lit],
+        carry_in: Option<Lit>,
+    ) -> Vec<Lit> {
+        debug_assert_eq!(a.len(), b.len());
+        let mut carry = carry_in.unwrap_or_else(|| !self.true_lit(sat));
+        let mut out = Vec::with_capacity(a.len());
+        for (&x, &y) in a.iter().zip(b) {
+            let xy = self.xor_gate(sat, x, y);
+            let s = self.xor_gate(sat, xy, carry);
+            // carry' = (x ∧ y) ∨ (carry ∧ (x ⊕ y)).
+            let c1 = self.and_gate(sat, x, y);
+            let c2 = self.and_gate(sat, carry, xy);
+            carry = self.or_gate(sat, c1, c2);
+            out.push(s);
+        }
+        out
+    }
+
+    fn mul_gate(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+        let w = a.len();
+        let fl = !self.true_lit(sat);
+        let mut acc = vec![fl; w];
+        for i in 0..w {
+            // Partial product: (a << i) AND b[i].
+            let mut pp = vec![fl; w];
+            for j in 0..w - i {
+                pp[i + j] = self.and_gate(sat, a[j], b[i]);
+            }
+            acc = self.add_gate(sat, &acc, &pp, None);
+        }
+        acc
+    }
+
+    fn mux_bits(&mut self, sat: &mut Solver, c: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+        t.iter()
+            .zip(e)
+            .map(|(&x, &y)| self.mux_gate(sat, c, x, y))
+            .collect()
+    }
+
+    /// Restoring division: returns `(quotient, remainder)` for `b != 0`;
+    /// the caller muxes in the division-by-zero semantics.
+    fn divrem_gate(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
+        let w = a.len();
+        let fl = !self.true_lit(sat);
+        // Accumulator has w+1 bits; b is zero-extended to w+1.
+        let mut bx: Vec<Lit> = b.to_vec();
+        bx.push(fl);
+        let mut r: Vec<Lit> = vec![fl; w + 1];
+        let mut q: Vec<Lit> = vec![fl; w];
+        for i in (0..w).rev() {
+            // r = (r << 1) | a[i], still within w+1 bits because the
+            // running remainder is < b <= 2^w - 1.
+            let mut shifted = Vec::with_capacity(w + 1);
+            shifted.push(a[i]);
+            shifted.extend_from_slice(&r[..w]);
+            r = shifted;
+            // ge = r >= b.
+            let lt = self.ult_gate(sat, &r, &bx);
+            let ge = !lt;
+            q[i] = ge;
+            // r = ge ? r - b : r.
+            let nb: Vec<Lit> = bx.iter().map(|&l| !l).collect();
+            let tl = self.true_lit(sat);
+            let sub = self.add_gate(sat, &r, &nb, Some(tl));
+            r = self.mux_bits(sat, ge, &sub, &r);
+        }
+        (q, r[..w].to_vec())
+    }
+
+    fn bitwise(
+        &mut self,
+        sat: &mut Solver,
+        ch: &[TermId],
+        f: impl Fn(&mut Solver, &mut Self, Lit, Lit) -> Lit,
+    ) -> Vec<Lit> {
+        let a = self.bv_map[&ch[0]].clone();
+        let b = self.bv_map[&ch[1]].clone();
+        a.iter()
+            .zip(&b)
+            .map(|(&x, &y)| f(sat, self, x, y))
+            .collect()
+    }
+
+    fn shift_gate(&mut self, sat: &mut Solver, ch: &[TermId], kind: ShiftKind) -> Vec<Lit> {
+        let a = self.bv_map[&ch[0]].clone();
+        let amt = self.bv_map[&ch[1]].clone();
+        let w = a.len();
+        let fl = !self.true_lit(sat);
+        let fill = |bits: &[Lit]| match kind {
+            ShiftKind::ArithRight => *bits.last().unwrap(),
+            _ => fl,
+        };
+        // Barrel stages for amount bits k with 2^k < w cover all in-range
+        // shifts; any higher amount bit forces the "big shift" result.
+        let mut cur = a.clone();
+        let mut stages = 0;
+        while (1usize << stages) < w {
+            stages += 1;
+        }
+        for k in 0..stages.min(amt.len()) {
+            let dist = 1usize << k;
+            let f = fill(&cur);
+            let shifted: Vec<Lit> = match kind {
+                ShiftKind::Left => (0..w)
+                    .map(|i| if i >= dist { cur[i - dist] } else { fl })
+                    .collect(),
+                ShiftKind::LogicalRight | ShiftKind::ArithRight => (0..w)
+                    .map(|i| if i + dist < w { cur[i + dist] } else { f })
+                    .collect(),
+            };
+            cur = self.mux_bits(sat, amt[k], &shifted, &cur);
+        }
+        // big = any amount bit at position >= stages.
+        let mut big = fl;
+        for &l in amt.iter().skip(stages) {
+            big = self.or_gate(sat, big, l);
+        }
+        let f = fill(&a);
+        let big_result = vec![f; w];
+        self.mux_bits(sat, big, &big_result, &cur)
+    }
+
+    fn const_bits(&mut self, sat: &mut Solver, w: usize, v: u128) -> Vec<Lit> {
+        let tl = self.true_lit(sat);
+        (0..w)
+            .map(|i| if mask(w as u32, v) >> i & 1 == 1 { tl } else { !tl })
+            .collect()
+    }
+
+    /// Reads the model value of bitvector term `t` after a Sat answer.
+    /// Returns `None` if `t` was never blasted.
+    pub fn read_bv(&self, sat: &Solver, t: TermId) -> Option<u128> {
+        let bits = self.bv_map.get(&t)?;
+        let mut v = 0u128;
+        for (i, &l) in bits.iter().enumerate() {
+            if sat.value_lit(l).unwrap_or(false) {
+                v |= 1 << i;
+            }
+        }
+        Some(v)
+    }
+
+    /// Reads the model value of boolean term `t` after a Sat answer.
+    pub fn read_bool(&self, sat: &Solver, t: TermId) -> Option<bool> {
+        let l = self.bool_map.get(&t)?;
+        Some(sat.value_lit(*l).unwrap_or(false))
+    }
+
+    /// All UF applications blasted so far, with their current model values:
+    /// `(uf, arg values, result value)`. Used to build model UF tables.
+    pub fn read_uf_apps(&self, sat: &Solver) -> Vec<(UfId, Vec<u128>, u128)> {
+        let read = |bits: &[Lit]| {
+            let mut v = 0u128;
+            for (i, &l) in bits.iter().enumerate() {
+                if sat.value_lit(l).unwrap_or(false) {
+                    v |= 1 << i;
+                }
+            }
+            v
+        };
+        let mut out = Vec::new();
+        for (&uf, apps) in &self.uf_apps {
+            for (args, result) in apps {
+                out.push((uf, args.iter().map(|a| read(a)).collect(), read(result)));
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ShiftKind {
+    Left,
+    LogicalRight,
+    ArithRight,
+}

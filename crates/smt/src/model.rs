@@ -1,0 +1,197 @@
+//! Models: satisfying assignments mapped back to terms.
+//!
+//! A [`Model`] assigns concrete values to the symbolic constants and
+//! uninterpreted functions that appear in a satisfiable query, and can
+//! evaluate *any* term under that assignment. Verification failures surface
+//! models as counterexamples (paper §3.1); the test suites also use model
+//! evaluation to cross-check the bit-blaster against the term semantics.
+
+use crate::semantics;
+use crate::term::{mask, with_ctx, Op, Sort, TermId, UfId};
+use std::collections::HashMap;
+
+/// A concrete interpretation of symbolic constants and UFs.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    /// Values of bitvector symbolic constants, keyed by their term id.
+    pub bv_values: HashMap<TermId, u128>,
+    /// Values of boolean symbolic constants, keyed by their term id.
+    pub bool_values: HashMap<TermId, bool>,
+    /// Per-UF graph: argument tuple → result. Arguments not present map to
+    /// the default value 0.
+    pub uf_tables: HashMap<UfId, HashMap<Vec<u128>, u128>>,
+}
+
+impl Model {
+    /// Assigns `v` to the bitvector symbolic constant `t`.
+    pub fn set_bv(&mut self, t: TermId, v: u128) {
+        self.bv_values.insert(t, v);
+    }
+
+    /// Assigns `v` to the boolean symbolic constant `t`.
+    pub fn set_bool(&mut self, t: TermId, v: bool) {
+        self.bool_values.insert(t, v);
+    }
+
+    /// Evaluates bitvector term `t` under this model.
+    pub fn eval_bv(&self, t: TermId) -> u128 {
+        match self.eval(t) {
+            Value::Bv(v) => v,
+            Value::Bool(_) => panic!("eval_bv of a boolean term"),
+        }
+    }
+
+    /// Evaluates boolean term `t` under this model.
+    pub fn eval_bool(&self, t: TermId) -> bool {
+        match self.eval(t) {
+            Value::Bool(b) => b,
+            Value::Bv(_) => panic!("eval_bool of a bitvector term"),
+        }
+    }
+
+    /// Evaluates any term iteratively (deep DAG safe), memoized.
+    fn eval(&self, root: TermId) -> Value {
+        let mut memo: HashMap<TermId, Value> = HashMap::new();
+        let mut stack = vec![root];
+        while let Some(&t) = stack.last() {
+            if memo.contains_key(&t) {
+                stack.pop();
+                continue;
+            }
+            let (op, children, sort) = with_ctx(|c| {
+                let n = c.term(t);
+                (n.op.clone(), n.children.clone(), n.sort)
+            });
+            let pending: Vec<TermId> = children
+                .iter()
+                .copied()
+                .filter(|c| !memo.contains_key(c))
+                .collect();
+            if !pending.is_empty() {
+                stack.extend(pending);
+                continue;
+            }
+            let val = self.eval_node(t, &op, &children, sort, &memo);
+            memo.insert(t, val);
+            stack.pop();
+        }
+        memo[&root]
+    }
+
+    fn eval_node(
+        &self,
+        t: TermId,
+        op: &Op,
+        ch: &[TermId],
+        sort: Sort,
+        memo: &HashMap<TermId, Value>,
+    ) -> Value {
+        let bv = |i: usize| memo[&ch[i]].as_bv();
+        let b = |i: usize| memo[&ch[i]].as_bool();
+        match op {
+            Op::BoolConst(v) => Value::Bool(*v),
+            Op::BvConst(v) => Value::Bv(*v),
+            Op::Var(_) => match sort {
+                Sort::Bool => Value::Bool(*self.bool_values.get(&t).unwrap_or(&false)),
+                Sort::BitVec(w) => {
+                    Value::Bv(mask(w, *self.bv_values.get(&t).unwrap_or(&0)))
+                }
+            },
+            Op::Not => Value::Bool(!b(0)),
+            Op::And => Value::Bool(b(0) && b(1)),
+            Op::Or => Value::Bool(b(0) || b(1)),
+            Op::Xor => Value::Bool(b(0) ^ b(1)),
+            Op::Iff => Value::Bool(b(0) == b(1)),
+            Op::IteBool => Value::Bool(if b(0) { b(1) } else { b(2) }),
+            Op::Eq | Op::Ult | Op::Ule | Op::Slt | Op::Sle => {
+                let w = with_ctx(|c| c.sort(ch[0]).width());
+                Value::Bool(semantics::cmp_const(op, w, bv(0), bv(1)))
+            }
+            Op::BvNot | Op::BvNeg => {
+                Value::Bv(semantics::unop_const(op, sort.width(), bv(0)))
+            }
+            Op::BvAdd
+            | Op::BvSub
+            | Op::BvMul
+            | Op::BvUdiv
+            | Op::BvUrem
+            | Op::BvAnd
+            | Op::BvOr
+            | Op::BvXor
+            | Op::BvShl
+            | Op::BvLshr
+            | Op::BvAshr => Value::Bv(semantics::binop_const(op, sort.width(), bv(0), bv(1))),
+            Op::Concat => {
+                let wl = with_ctx(|c| c.sort(ch[1]).width());
+                Value::Bv(mask(sort.width(), (bv(0) << wl) | mask(wl, bv(1))))
+            }
+            Op::Extract(_, lo) => Value::Bv(mask(sort.width(), bv(0) >> lo)),
+            Op::ZeroExt => Value::Bv(bv(0)),
+            Op::SignExt => {
+                let wi = with_ctx(|c| c.sort(ch[0]).width());
+                Value::Bv(mask(
+                    sort.width(),
+                    crate::term::to_signed(wi, bv(0)) as u128,
+                ))
+            }
+            Op::IteBv => Value::Bv(if b(0) { bv(1) } else { bv(2) }),
+            Op::UfApply(uf) => {
+                let args: Vec<u128> = (0..ch.len()).map(bv).collect();
+                let v = self
+                    .uf_tables
+                    .get(uf)
+                    .and_then(|tbl| tbl.get(&args))
+                    .copied()
+                    .unwrap_or(0);
+                Value::Bv(mask(sort.width(), v))
+            }
+        }
+    }
+
+    /// Renders the model for humans: one line per symbolic constant.
+    pub fn render(&self) -> String {
+        let mut lines: Vec<String> = Vec::new();
+        with_ctx(|c| {
+            for (&t, &v) in &self.bv_values {
+                if let Op::Var(ord) = c.term(t).op {
+                    lines.push(format!(
+                        "  {} = {:#x} ({} bits)",
+                        c.var_name(ord),
+                        v,
+                        c.sort(t).width()
+                    ));
+                }
+            }
+            for (&t, &v) in &self.bool_values {
+                if let Op::Var(ord) = c.term(t).op {
+                    lines.push(format!("  {} = {}", c.var_name(ord), v));
+                }
+            }
+        });
+        lines.sort();
+        lines.join("\n")
+    }
+}
+
+/// A concrete value of either sort.
+#[derive(Clone, Copy, Debug)]
+enum Value {
+    Bool(bool),
+    Bv(u128),
+}
+
+impl Value {
+    fn as_bool(self) -> bool {
+        match self {
+            Value::Bool(b) => b,
+            Value::Bv(_) => panic!("expected bool"),
+        }
+    }
+
+    fn as_bv(self) -> u128 {
+        match self {
+            Value::Bv(v) => v,
+            Value::Bool(_) => panic!("expected bv"),
+        }
+    }
+}

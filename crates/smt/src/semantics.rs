@@ -1,0 +1,90 @@
+//! Concrete semantics of the term operators.
+//!
+//! A single source of truth used both by the smart constructors (constant
+//! folding) and by model evaluation; any divergence between folding and
+//! evaluation would be a soundness bug, so they share this module.
+
+use crate::term::{mask, to_signed, Op};
+
+/// Evaluates a unary bitvector operator on a constant.
+pub fn unop_const(op: &Op, w: u32, a: u128) -> u128 {
+    let a = mask(w, a);
+    match op {
+        Op::BvNot => mask(w, !a),
+        Op::BvNeg => mask(w, a.wrapping_neg()),
+        _ => unreachable!("not a bv unop: {op:?}"),
+    }
+}
+
+/// Evaluates a binary bitvector operator on constants.
+pub fn binop_const(op: &Op, w: u32, a: u128, b: u128) -> u128 {
+    let a = mask(w, a);
+    let b = mask(w, b);
+    let r = match op {
+        Op::BvAdd => a.wrapping_add(b),
+        Op::BvSub => a.wrapping_sub(b),
+        Op::BvMul => a.wrapping_mul(b),
+        Op::BvAnd => a & b,
+        Op::BvOr => a | b,
+        Op::BvXor => a ^ b,
+        // SMT-LIB: division by zero yields all ones; remainder by zero
+        // yields the dividend.
+        Op::BvUdiv => {
+            if b == 0 {
+                u128::MAX
+            } else {
+                a / b
+            }
+        }
+        Op::BvUrem => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+        // Shift amounts are compared against the width as unsigned values.
+        Op::BvShl => {
+            if b >= w as u128 {
+                0
+            } else {
+                a << b
+            }
+        }
+        Op::BvLshr => {
+            if b >= w as u128 {
+                0
+            } else {
+                a >> b
+            }
+        }
+        Op::BvAshr => {
+            let s = to_signed(w, a);
+            if b >= w as u128 {
+                if s < 0 {
+                    u128::MAX
+                } else {
+                    0
+                }
+            } else {
+                (s >> b) as u128
+            }
+        }
+        _ => unreachable!("not a bv binop: {op:?}"),
+    };
+    mask(w, r)
+}
+
+/// Evaluates a comparison operator on constants.
+pub fn cmp_const(op: &Op, w: u32, a: u128, b: u128) -> bool {
+    let ua = mask(w, a);
+    let ub = mask(w, b);
+    match op {
+        Op::Eq => ua == ub,
+        Op::Ult => ua < ub,
+        Op::Ule => ua <= ub,
+        Op::Slt => to_signed(w, ua) < to_signed(w, ub),
+        Op::Sle => to_signed(w, ua) <= to_signed(w, ub),
+        _ => unreachable!("not a comparison: {op:?}"),
+    }
+}

@@ -1,0 +1,136 @@
+//! `check` / `verify` entry points: term-level queries end-to-end.
+//!
+//! Each call builds a fresh SAT instance, blasts the assertions, finalizes
+//! uninterpreted functions, solves, and (for satisfiable queries) extracts
+//! a [`Model`] over exactly the symbolic constants appearing in the query.
+
+use crate::blast::Blaster;
+use crate::bv::SBool;
+use crate::model::Model;
+use crate::term::{with_ctx, Op, Sort, TermId};
+use serval_sat::{SolveResult, Solver};
+use std::collections::HashSet;
+
+/// Configuration for a solver call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SolverConfig {
+    /// Abort with `Unknown` after this many SAT conflicts. Serval's
+    /// evaluation uses this to demonstrate that proofs without symbolic
+    /// optimizations time out (paper §6.4).
+    pub conflict_budget: Option<u64>,
+}
+
+/// Result of a satisfiability check.
+#[derive(Debug)]
+pub enum CheckResult {
+    /// Satisfiable, with a model.
+    Sat(Box<Model>),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+/// Result of a verification query.
+#[derive(Debug)]
+pub enum VerifyResult {
+    /// The goal holds under the assumptions.
+    Proved,
+    /// The goal fails; the model is a counterexample.
+    Counterexample(Box<Model>),
+    /// Budget exhausted.
+    Unknown,
+}
+
+impl VerifyResult {
+    /// Whether the query was proved.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, VerifyResult::Proved)
+    }
+}
+
+/// Checks the conjunction of `assertions` for satisfiability.
+pub fn check(assertions: &[SBool]) -> CheckResult {
+    check_with(SolverConfig::default(), assertions)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with(cfg: SolverConfig, assertions: &[SBool]) -> CheckResult {
+    let mut sat = Solver::new();
+    sat.set_conflict_budget(cfg.conflict_budget);
+    let mut blaster = Blaster::new();
+    for a in assertions {
+        // Fast path: a constant-false assertion needs no solving.
+        if a.is_false() {
+            return CheckResult::Unsat;
+        }
+        blaster.assert_true(&mut sat, a.0);
+    }
+    blaster.finalize(&mut sat);
+    match sat.solve() {
+        SolveResult::Unsat => CheckResult::Unsat,
+        SolveResult::Unknown => CheckResult::Unknown,
+        SolveResult::Sat => {
+            let model = extract_model(&blaster, &sat, assertions.iter().map(|a| a.0));
+            CheckResult::Sat(Box::new(model))
+        }
+    }
+}
+
+/// Proves `goal` under `assumptions`: checks that `assumptions ∧ ¬goal` is
+/// unsatisfiable.
+pub fn verify(assumptions: &[SBool], goal: SBool) -> VerifyResult {
+    verify_with(SolverConfig::default(), assumptions, goal)
+}
+
+/// [`verify`] with an explicit configuration.
+pub fn verify_with(cfg: SolverConfig, assumptions: &[SBool], goal: SBool) -> VerifyResult {
+    let mut q: Vec<SBool> = assumptions.to_vec();
+    q.push(!goal);
+    match check_with(cfg, &q) {
+        CheckResult::Unsat => VerifyResult::Proved,
+        CheckResult::Sat(m) => VerifyResult::Counterexample(m),
+        CheckResult::Unknown => VerifyResult::Unknown,
+    }
+}
+
+/// Builds a [`Model`] for the symbolic constants reachable from `roots`.
+fn extract_model(
+    blaster: &Blaster,
+    sat: &Solver,
+    roots: impl Iterator<Item = TermId>,
+) -> Model {
+    let mut model = Model::default();
+    // Walk the DAG for variable leaves.
+    let mut seen: HashSet<TermId> = HashSet::new();
+    let mut stack: Vec<TermId> = roots.collect();
+    while let Some(t) = stack.pop() {
+        if !seen.insert(t) {
+            continue;
+        }
+        let (is_var, children, sort) = with_ctx(|c| {
+            let n = c.term(t);
+            (matches!(n.op, Op::Var(_)), n.children.clone(), n.sort)
+        });
+        if is_var {
+            match sort {
+                Sort::Bool => {
+                    if let Some(v) = blaster.read_bool(sat, t) {
+                        model.set_bool(t, v);
+                    }
+                }
+                Sort::BitVec(_) => {
+                    if let Some(v) = blaster.read_bv(sat, t) {
+                        model.set_bv(t, v);
+                    }
+                }
+            }
+        }
+        stack.extend(children);
+    }
+    // UF interpretations from the Ackermann expansion.
+    for (uf, args, result) in blaster.read_uf_apps(sat) {
+        model.uf_tables.entry(uf).or_default().insert(args, result);
+    }
+    model
+}

@@ -1,0 +1,241 @@
+//! Hash-consed term DAG and the thread-local term context.
+//!
+//! Every term lives in a per-thread [`Ctx`]; [`TermId`] is an index into it.
+//! Hash-consing guarantees structural sharing: building the same term twice
+//! yields the same id, which keeps symbolic evaluation of straight-line
+//! machine code polynomial in practice and makes equality checks O(1).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// The sort of a term: boolean or a fixed-width bitvector.
+///
+/// Widths from 1 to 128 bits are supported; 128 covers double-width
+/// multiplication results used by the RISC-V `mulh` family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sort {
+    /// Boolean sort.
+    Bool,
+    /// Bitvector sort of the given width in bits (1..=128).
+    BitVec(u32),
+}
+
+impl Sort {
+    /// The width of a bitvector sort.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sort is `Bool`.
+    pub fn width(self) -> u32 {
+        match self {
+            Sort::BitVec(w) => w,
+            Sort::Bool => panic!("Bool sort has no width"),
+        }
+    }
+}
+
+/// Identifier of a hash-consed term within the thread's context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+/// Identifier of an uninterpreted function within the thread's context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct UfId(pub u32);
+
+/// Term operators. Children are stored separately in [`Term::children`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    // Leaves.
+    /// Boolean constant.
+    BoolConst(bool),
+    /// Bitvector constant; `value` is truncated to the sort width.
+    BvConst(u128),
+    /// A free symbolic constant ("unknown input"). The `u32` is a unique
+    /// ordinal; the name is kept in the context for diagnostics.
+    Var(u32),
+
+    // Boolean connectives (children: Bool).
+    Not,
+    And,
+    Or,
+    Xor,
+    Iff,
+    /// if-then-else on booleans: children `[cond, then, else]`.
+    IteBool,
+
+    // Predicates (children: BitVec, result: Bool).
+    /// Bitvector equality.
+    Eq,
+    /// Unsigned less-than.
+    Ult,
+    /// Unsigned less-or-equal.
+    Ule,
+    /// Signed less-than.
+    Slt,
+    /// Signed less-or-equal.
+    Sle,
+
+    // Bitvector operations (children and result: BitVec).
+    BvNot,
+    BvNeg,
+    BvAnd,
+    BvOr,
+    BvXor,
+    BvAdd,
+    BvSub,
+    BvMul,
+    /// Unsigned division; division by zero yields all-ones (SMT-LIB).
+    BvUdiv,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    BvUrem,
+    /// Logical shift left; shift amounts >= width yield zero.
+    BvShl,
+    /// Logical shift right; shift amounts >= width yield zero.
+    BvLshr,
+    /// Arithmetic shift right; shift amounts >= width replicate the sign.
+    BvAshr,
+    /// Concatenation: children `[hi, lo]`; result width is the sum.
+    Concat,
+    /// Bit extraction `[hi:lo]` (inclusive).
+    Extract(u32, u32),
+    /// Zero extension to the result width.
+    ZeroExt,
+    /// Sign extension to the result width.
+    SignExt,
+    /// if-then-else on bitvectors: children `[cond, then, else]`.
+    IteBv,
+    /// Application of an uninterpreted function to bitvector arguments.
+    UfApply(UfId),
+}
+
+/// A term node: operator, children, and sort.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Term {
+    /// The operator at this node.
+    pub op: Op,
+    /// Child term ids, in operator-specific order.
+    pub children: Vec<TermId>,
+    /// The node's sort.
+    pub sort: Sort,
+}
+
+/// Signature of an uninterpreted function: argument widths and result width.
+#[derive(Clone, Debug)]
+pub struct UfSig {
+    /// Diagnostic name.
+    pub name: String,
+    /// Widths of the (bitvector) arguments.
+    pub args: Vec<u32>,
+    /// Width of the (bitvector) result.
+    pub result: u32,
+}
+
+/// The per-thread term store.
+#[derive(Default)]
+pub struct Ctx {
+    terms: Vec<Term>,
+    intern: HashMap<Term, TermId>,
+    var_names: Vec<String>,
+    ufs: Vec<UfSig>,
+}
+
+impl Ctx {
+    /// Interns `t`, returning the id of the canonical copy.
+    pub fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.intern.get(&t) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(t.clone());
+        self.intern.insert(t, id);
+        id
+    }
+
+    /// The term node for `id`.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.0 as usize]
+    }
+
+    /// The sort of `id`.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.0 as usize].sort
+    }
+
+    /// Allocates a fresh symbolic constant of the given sort.
+    pub fn fresh_var(&mut self, sort: Sort, name: &str) -> TermId {
+        let ordinal = self.var_names.len() as u32;
+        self.var_names.push(format!("{name}#{ordinal}"));
+        // Vars are unique by ordinal, so interning always allocates.
+        self.intern(Term {
+            op: Op::Var(ordinal),
+            children: Vec::new(),
+            sort,
+        })
+    }
+
+    /// The diagnostic name of variable ordinal `v`.
+    pub fn var_name(&self, v: u32) -> &str {
+        &self.var_names[v as usize]
+    }
+
+    /// Declares an uninterpreted function.
+    pub fn declare_uf(&mut self, name: &str, args: Vec<u32>, result: u32) -> UfId {
+        let id = UfId(self.ufs.len() as u32);
+        self.ufs.push(UfSig {
+            name: name.to_string(),
+            args,
+            result,
+        });
+        id
+    }
+
+    /// The signature of `uf`.
+    pub fn uf_sig(&self, uf: UfId) -> &UfSig {
+        &self.ufs[uf.0 as usize]
+    }
+
+    /// Number of interned terms (used by the symbolic profiler).
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+thread_local! {
+    static CTX: RefCell<Ctx> = RefCell::new(Ctx::default());
+}
+
+/// Runs `f` with mutable access to the thread's term context.
+pub fn with_ctx<R>(f: impl FnOnce(&mut Ctx) -> R) -> R {
+    CTX.with(|c| f(&mut c.borrow_mut()))
+}
+
+/// Clears the thread's term context.
+///
+/// Term ids issued before the reset become dangling; callers (benchmarks,
+/// independent verification queries) must not reuse them.
+pub fn reset_ctx() {
+    CTX.with(|c| *c.borrow_mut() = Ctx::default());
+}
+
+/// Truncates `v` to `w` bits.
+#[inline]
+pub fn mask(w: u32, v: u128) -> u128 {
+    if w >= 128 {
+        v
+    } else {
+        v & ((1u128 << w) - 1)
+    }
+}
+
+/// Sign-extends the `w`-bit value `v` to an `i128`.
+#[inline]
+pub fn to_signed(w: u32, v: u128) -> i128 {
+    let v = mask(w, v);
+    if w < 128 && v >> (w - 1) & 1 == 1 {
+        // Two's-complement reinterpretation, computed in u128 to avoid
+        // signed overflow at w = 127.
+        v.wrapping_sub(1u128 << w) as i128
+    } else {
+        v as i128
+    }
+}

@@ -1,0 +1,427 @@
+//! Tests for the SMT layer: simplification, solving, models, and a
+//! property test cross-checking the bit-blaster against the term semantics.
+
+use crate::model::Model;
+use crate::solver::{check, check_with, verify, CheckResult, SolverConfig, VerifyResult};
+use crate::term::with_ctx;
+use crate::{reset_ctx, SBool, BV};
+use proptest::prelude::*;
+
+fn proved(assumptions: &[SBool], goal: SBool) -> bool {
+    verify(assumptions, goal).is_proved()
+}
+
+#[test]
+fn constant_folding() {
+    reset_ctx();
+    let a = BV::lit(32, 20) + BV::lit(32, 22);
+    assert_eq!(a.as_const(), Some(42));
+    let b = BV::lit(8, 0xf0) | BV::lit(8, 0x0f);
+    assert_eq!(b.as_const(), Some(0xff));
+    let c = BV::lit(8, 200) * BV::lit(8, 2); // wraps
+    assert_eq!(c.as_const(), Some(144));
+    let d = BV::lit(16, 0x8000).ashr(BV::lit(16, 15));
+    assert_eq!(d.as_const(), Some(0xffff));
+    assert!((BV::lit(8, 3).ult(BV::lit(8, 5))).is_true());
+    assert!((BV::lit(8, 0xff).slt(BV::lit(8, 0))).is_true()); // -1 < 0 signed
+}
+
+#[test]
+fn identity_simplifications() {
+    reset_ctx();
+    let x = BV::fresh(32, "x");
+    assert_eq!(x + BV::lit(32, 0), x);
+    assert_eq!(x * BV::lit(32, 1), x);
+    assert_eq!(x ^ x, BV::lit(32, 0));
+    assert_eq!(x - x, BV::lit(32, 0));
+    assert_eq!(x & x, x);
+    assert_eq!(x | BV::lit(32, 0), x);
+    assert_eq!((x & BV::lit(32, 0)).as_const(), Some(0));
+    assert!(x.eq_(x).is_true());
+    assert!(x.ult(x).is_false());
+    assert!(x.ule(x).is_true());
+}
+
+#[test]
+fn add_constant_gathering() {
+    reset_ctx();
+    let x = BV::fresh(64, "x");
+    let a = x + BV::lit(64, 5) + BV::lit(64, 7);
+    let b = x + BV::lit(64, 12);
+    assert_eq!(a, b, "chained constant adds must canonicalize");
+    let c = x - BV::lit(64, 3);
+    let d = x + BV::lit(64, 3u128.wrapping_neg());
+    assert_eq!(c, d, "subtraction of a constant becomes addition");
+}
+
+#[test]
+fn ite_simplifications() {
+    reset_ctx();
+    let c = SBool::fresh("c");
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    assert_eq!(c.select(x, x), x);
+    assert_eq!(SBool::lit(true).select(x, y), x);
+    assert_eq!(SBool::lit(false).select(x, y), y);
+    // eq(ite(c, 4, 2), 4) → c  (the split-pc feasibility pattern).
+    let pc = c.select(BV::lit(64, 4), BV::lit(64, 2));
+    assert_eq!(pc.eq_(BV::lit(64, 4)), c);
+    assert_eq!(pc.eq_(BV::lit(64, 2)), !c);
+    assert!(pc.eq_(BV::lit(64, 9)).is_false());
+}
+
+#[test]
+fn verify_commutativity_and_assoc() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let z = BV::fresh(16, "z");
+    assert!(proved(&[], (x + y).eq_(y + x)));
+    assert!(proved(&[], ((x + y) + z).eq_(x + (y + z))));
+    assert!(proved(&[], (x * y).eq_(y * x)));
+    assert!(proved(&[], ((x ^ y) ^ y).eq_(x)));
+}
+
+#[test]
+fn verify_finds_counterexample() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    // x + 1 > x fails at x = 0xff.
+    match verify(&[], (x + BV::lit(8, 1)).ugt(x)) {
+        VerifyResult::Counterexample(m) => {
+            assert_eq!(m.eval_bv(x.0), 0xff);
+        }
+        r => panic!("expected counterexample, got {r:?}"),
+    }
+}
+
+#[test]
+fn verify_with_assumptions() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let lt = x.ult(BV::lit(8, 0x80));
+    // Under the assumption, x + 1 > x does hold.
+    assert!(proved(&[lt], (x + BV::lit(8, 1)).ugt(x)));
+}
+
+#[test]
+fn signed_comparisons() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    // slt(x, y) == ult(x ^ 0x80, y ^ 0x80).
+    let lhs = x.slt(y);
+    let rhs = (x ^ BV::lit(8, 0x80)).ult(y ^ BV::lit(8, 0x80));
+    assert!(proved(&[], lhs.iff(rhs)));
+}
+
+#[test]
+fn shift_semantics() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    // Oversized shifts yield zero (logical) / sign (arithmetic).
+    assert!(proved(&[], x.shl(BV::lit(8, 8)).eq_(BV::lit(8, 0))));
+    assert!(proved(&[], x.lshr(BV::lit(8, 9)).eq_(BV::lit(8, 0))));
+    let sign = x.slt(BV::lit(8, 0)).select(BV::lit(8, 0xff), BV::lit(8, 0));
+    assert!(proved(&[], x.ashr(BV::lit(8, 200)).eq_(sign)));
+    // shl by 1 doubles.
+    assert!(proved(&[], x.shl(BV::lit(8, 1)).eq_(x + x)));
+}
+
+#[test]
+fn division_relation() {
+    reset_ctx();
+    let a = BV::fresh(8, "a");
+    let b = BV::fresh(8, "b");
+    let nz = !b.is_zero();
+    let q = a.udiv(b);
+    let r = a.urem(b);
+    assert!(proved(&[nz], (q * b + r).eq_(a)));
+    assert!(proved(&[nz], r.ult(b)));
+    // Division by zero: SMT-LIB semantics.
+    let z = BV::lit(8, 0);
+    assert!(proved(&[b.eq_(z)], a.udiv(b).eq_(BV::lit(8, 0xff))));
+    assert!(proved(&[b.eq_(z)], a.urem(b).eq_(a)));
+}
+
+#[test]
+fn signed_division() {
+    reset_ctx();
+    // Exhaustive spot checks vs Rust semantics at width 8.
+    for (x, y) in [(7i8, 2i8), (-7, 2), (7, -2), (-7, -2), (-128, -1)] {
+        let a = BV::lit(8, x as u8 as u128);
+        let b = BV::lit(8, y as u8 as u128);
+        let q = a.sdiv(b);
+        let r = a.srem(b);
+        let expect_q = x.wrapping_div(y) as u8 as u128;
+        let expect_r = x.wrapping_rem(y) as u8 as u128;
+        assert_eq!(q.as_const(), Some(expect_q), "sdiv {x}/{y}");
+        assert_eq!(r.as_const(), Some(expect_r), "srem {x}%{y}");
+    }
+}
+
+#[test]
+fn extract_concat_roundtrip() {
+    reset_ctx();
+    let x = BV::fresh(32, "x");
+    let hi = x.extract(31, 16);
+    let lo = x.extract(15, 0);
+    assert_eq!(hi.concat(lo), x, "re-concatenation simplifies structurally");
+    assert!(proved(&[], hi.concat(lo).eq_(x)));
+    // zext/sext agree on non-negative values.
+    let small = BV::fresh(8, "s");
+    let nonneg = small.slt(BV::lit(8, 0x80));
+    assert!(proved(&[nonneg], small.zext(16).eq_(small.sext(16))));
+}
+
+#[test]
+fn uf_congruence() {
+    reset_ctx();
+    let f = with_ctx(|c| c.declare_uf("f", vec![8], 8));
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let fx = BV(crate::build::uf_apply(f, &[x.0]));
+    let fy = BV(crate::build::uf_apply(f, &[y.0]));
+    // Congruence: x == y → f(x) == f(y).
+    assert!(proved(&[x.eq_(y)], fx.eq_(fy)));
+    // But f(x) == f(y) is not valid in general.
+    assert!(!proved(&[], fx.eq_(fy)));
+    // And distinct outputs for distinct inputs are satisfiable.
+    match check(&[x.ne_(y), fx.ne_(fy)]) {
+        CheckResult::Sat(m) => {
+            assert_ne!(m.eval_bv(x.0), m.eval_bv(y.0));
+        }
+        r => panic!("expected sat, got {r:?}"),
+    }
+}
+
+#[test]
+fn model_evaluates_whole_query() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let constraint = (x * y).eq_(BV::lit(8, 35)) & x.ult(y);
+    match check(&[constraint]) {
+        CheckResult::Sat(m) => {
+            assert!(m.eval_bool(constraint.0), "model must satisfy the query");
+            let xv = m.eval_bv(x.0);
+            let yv = m.eval_bv(y.0);
+            assert_eq!((xv * yv) & 0xff, 35);
+            assert!(xv < yv);
+        }
+        r => panic!("expected sat, got {r:?}"),
+    }
+}
+
+#[test]
+fn conflict_budget_gives_unknown() {
+    reset_ctx();
+    // A multiplication inversion query that is hard for a tiny budget.
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let goal = (x * y).ne_(BV::lit(32, 0x12345677));
+    let cfg = SolverConfig {
+        conflict_budget: Some(5),
+    };
+    let q = [!goal, x.ugt(BV::lit(32, 1)), y.ugt(BV::lit(32, 1))];
+    match check_with(cfg, &q) {
+        CheckResult::Unknown => {}
+        CheckResult::Sat(_) => {} // a lucky model within budget is fine
+        r => panic!("unexpected {r:?}"),
+    }
+}
+
+#[test]
+fn wide_terms_128_bits() {
+    reset_ctx();
+    let x = BV::fresh(64, "x");
+    // zext to 128 and multiply: check (x * 1)<<0 round trips at 128 bits.
+    let wide = x.zext(128);
+    let sq = wide * BV::lit(128, 2);
+    assert!(proved(&[], sq.extract(64, 1).eq_(x)));
+}
+
+// ---------------------------------------------------------------------
+// Property test: blaster vs. term semantics
+// ---------------------------------------------------------------------
+
+/// A tiny stack machine for generating random well-sorted terms of width 8.
+fn build_term(opcodes: &[u8], vars: &[BV]) -> BV {
+    let mut stack: Vec<BV> = vec![vars[0]];
+    for &op in opcodes {
+        let a = *stack.last().unwrap();
+        let b = if stack.len() >= 2 {
+            stack[stack.len() - 2]
+        } else {
+            vars[1]
+        };
+        let r = match op % 18 {
+            0 => a + b,
+            1 => a - b,
+            2 => a * b,
+            3 => a & b,
+            4 => a | b,
+            5 => a ^ b,
+            6 => !a,
+            7 => a.neg(),
+            8 => a.shl(b),
+            9 => a.lshr(b),
+            10 => a.ashr(b),
+            11 => a.udiv(b),
+            12 => a.urem(b),
+            13 => a.ult(b).select(a, b),
+            14 => a.slt(b).select(a, b),
+            15 => a.eq_(b).select(a + b, a - b),
+            16 => a.extract(7, 4).concat(b.extract(3, 0)),
+            17 => a.extract(3, 0).zext(8) + b.extract(7, 4).sext(8),
+            _ => unreachable!(),
+        };
+        stack.push(r);
+        if stack.len() > 4 {
+            stack.remove(0);
+        }
+    }
+    *stack.last().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// For a random term t and random inputs, the bit-blasted circuit and
+    /// the direct evaluator must agree: asserting `inputs = model` and
+    /// `t != eval(t)` must be UNSAT, and with `t == eval(t)` must be SAT.
+    #[test]
+    fn blaster_agrees_with_evaluator(
+        opcodes in prop::collection::vec(any::<u8>(), 1..24),
+        x in any::<u8>(),
+        y in any::<u8>(),
+        z in any::<u8>(),
+    ) {
+        reset_ctx();
+        let vars = [BV::fresh(8, "x"), BV::fresh(8, "y"), BV::fresh(8, "z")];
+        let t = build_term(&opcodes, &vars);
+        let mut m = Model::default();
+        m.set_bv(vars[0].0, x as u128);
+        m.set_bv(vars[1].0, y as u128);
+        m.set_bv(vars[2].0, z as u128);
+        let expected = m.eval_bv(t.0);
+        let pins = [
+            vars[0].eq_(BV::lit(8, x as u128)),
+            vars[1].eq_(BV::lit(8, y as u128)),
+            vars[2].eq_(BV::lit(8, z as u128)),
+        ];
+        // t must equal the evaluator's answer under the pinned inputs.
+        let goal = t.eq_(BV::lit(8, expected));
+        prop_assert!(
+            verify(&pins, goal).is_proved(),
+            "blaster disagrees with evaluator: expected {expected:#x}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Additional algebraic properties (solver-checked)
+// ---------------------------------------------------------------------
+
+#[test]
+fn distributivity_and_negation() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let z = BV::fresh(8, "z");
+    assert!(proved(&[], (x * (y + z)).eq_(x * y + x * z)));
+    assert!(proved(&[], (x.neg()).eq_(!x + BV::lit(8, 1))));
+    assert!(proved(&[], (x - y).eq_(x + y.neg())));
+}
+
+#[test]
+fn shift_composition() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    // (x << 3) << 4 == x << 7.
+    let lhs = x.shl(BV::lit(16, 3)).shl(BV::lit(16, 4));
+    assert!(proved(&[], lhs.eq_(x.shl(BV::lit(16, 7)))));
+    // Arithmetic then logical shift right relation on non-negative values.
+    let nonneg = x.slt(BV::lit(16, 0x8000));
+    assert!(proved(&[nonneg], x.ashr(BV::lit(16, 5)).eq_(x.lshr(BV::lit(16, 5)))));
+}
+
+#[test]
+fn extension_properties() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    // zext then trunc is the identity.
+    assert!(proved(&[], x.zext(32).trunc(8).eq_(x)));
+    // sext preserves signed comparisons.
+    let y = BV::fresh(8, "y");
+    let narrow = x.slt(y);
+    let wide = x.sext(16).slt(y.sext(16));
+    assert!(proved(&[], narrow.iff(wide)));
+    // zext preserves unsigned comparisons.
+    let wide = x.zext(16).ult(y.zext(16));
+    assert!(proved(&[], x.ult(y).iff(wide)));
+}
+
+#[test]
+fn mulh_via_wide_multiply() {
+    reset_ctx();
+    // The RISC-V mulhu lowering: high half of zext multiply matches a
+    // manual decomposition at 8 bits.
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let wide = x.zext(16) * y.zext(16);
+    let hi = wide.extract(15, 8);
+    let lo = wide.extract(7, 0);
+    assert!(proved(&[], lo.eq_(x * y)));
+    // hi:lo reassembles the wide product.
+    assert!(proved(&[], hi.concat(lo).eq_(wide)));
+}
+
+#[test]
+fn urem_bounds_and_step() {
+    reset_ctx();
+    let a = BV::fresh(8, "a");
+    let n = BV::fresh(8, "n");
+    let nz = !n.is_zero();
+    // (a + n) % n == a % n.
+    let wraps = (a + n).urem(n);
+    // Careful: a + n can wrap at 8 bits, where the identity fails; guard.
+    let no_ovf = a.zext(9) + n.zext(9);
+    let fits = no_ovf.ult(BV::lit(9, 256));
+    assert!(proved(&[nz, fits], wraps.eq_(a.urem(n))));
+}
+
+#[test]
+fn ite_distributes_over_ops() {
+    reset_ctx();
+    let c = SBool::fresh("c");
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let z = BV::fresh(8, "z");
+    // ite(c, x, y) + z == ite(c, x + z, y + z).
+    let lhs = c.select(x, y) + z;
+    let rhs = c.select(x + z, y + z);
+    assert!(proved(&[], lhs.eq_(rhs)));
+}
+
+#[test]
+fn uf_two_arguments() {
+    reset_ctx();
+    let f = with_ctx(|c| c.declare_uf("g", vec![8, 8], 8));
+    let a = BV::fresh(8, "a");
+    let b = BV::fresh(8, "b");
+    let ab = BV(crate::build::uf_apply(f, &[a.0, b.0]));
+    let ba = BV(crate::build::uf_apply(f, &[b.0, a.0]));
+    // Congruence needs both arguments equal.
+    assert!(proved(&[a.eq_(b)], ab.eq_(ba)));
+    assert!(!proved(&[], ab.eq_(ba)), "uninterpreted g need not be symmetric");
+}
+
+#[test]
+fn unsat_from_contradictory_assumptions() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    // Contradictory assumptions prove anything (vacuous truth).
+    let asm = [x.ult(BV::lit(8, 4)), x.ugt(BV::lit(8, 9))];
+    assert!(proved(&asm, x.eq_(BV::lit(8, 0xee))));
+}

@@ -1,0 +1,28 @@
+//! Symbolic evaluation for lifted interpreters.
+//!
+//! This crate plays Rosette's role in the Serval stack (paper Fig. 1): it
+//! provides the machinery that turns an ordinary interpreter into a
+//! verifier. An interpreter written against [`SymCtx`] and the [`Merge`]
+//! trait evaluates concrete programs concretely (partial evaluation comes
+//! from the `serval-smt` smart constructors) and symbolic programs
+//! *all-paths*, merging state at control-flow joins exactly like Rosette's
+//! hybrid strategy of symbolic execution and bounded model checking
+//! (paper §3.2).
+//!
+//! The crate also implements the symbolic profiler (paper §3.2,
+//! Bornholt & Torlak OOPSLA'18): interpreters label regions with
+//! [`SymCtx::profile`], and [`Profiler::report`] ranks regions by a score
+//! combining path splits, state merges, and term creation — the same
+//! signals the paper uses to find bottlenecks like the symbolic program
+//! counter in the ToyRISC verifier.
+
+mod ctx;
+mod merge;
+mod profiler;
+
+pub use ctx::{Obligation, SymCtx};
+pub use merge::{merge_many, Merge};
+pub use profiler::{Profiler, RegionReport, RegionStats};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,104 @@
+//! The [`Merge`] trait: combining program states at control-flow joins.
+//!
+//! State merging is what keeps all-paths evaluation polynomial: instead of
+//! forking the whole evaluation at every branch, both arms are evaluated
+//! and their states are merged point-wise with `ite` terms guarded by the
+//! branch condition (paper §3.2, state `s3` in Fig. 5).
+
+use serval_smt::{SBool, BV};
+
+/// Values that can be merged under a symbolic condition.
+///
+/// `Merge::merge(c, t, e)` denotes the value `if c then t else e`.
+pub trait Merge: Clone {
+    /// Point-wise merge of two values under condition `cond`.
+    fn merge(cond: SBool, then_v: &Self, else_v: &Self) -> Self;
+}
+
+impl Merge for BV {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        cond.select(*t, *e)
+    }
+}
+
+impl Merge for SBool {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        cond.ite(*t, *e)
+    }
+}
+
+impl Merge for () {
+    fn merge(_cond: SBool, _t: &Self, _e: &Self) -> Self {}
+}
+
+/// Concrete bookkeeping values merge only when equal; diverging concrete
+/// state is a verifier bug (the field should have been symbolic).
+macro_rules! concrete_merge {
+    ($($ty:ty),*) => {$(
+        impl Merge for $ty {
+            fn merge(_cond: SBool, t: &Self, e: &Self) -> Self {
+                assert_eq!(t, e, concat!(
+                    "cannot merge diverged concrete ", stringify!($ty),
+                    "; make this state component symbolic"));
+                t.clone()
+            }
+        }
+    )*};
+}
+
+concrete_merge!(bool, u8, u16, u32, u64, u128, usize, i64, String);
+
+impl<T: Merge> Merge for Vec<T> {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        assert_eq!(t.len(), e.len(), "cannot merge vectors of different lengths");
+        t.iter()
+            .zip(e)
+            .map(|(a, b)| T::merge(cond, a, b))
+            .collect()
+    }
+}
+
+impl<T: Merge, const N: usize> Merge for [T; N] {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        std::array::from_fn(|i| T::merge(cond, &t[i], &e[i]))
+    }
+}
+
+impl<A: Merge, B: Merge> Merge for (A, B) {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        (A::merge(cond, &t.0, &e.0), B::merge(cond, &t.1, &e.1))
+    }
+}
+
+impl<A: Merge, B: Merge, C: Merge> Merge for (A, B, C) {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        (
+            A::merge(cond, &t.0, &e.0),
+            B::merge(cond, &t.1, &e.1),
+            C::merge(cond, &t.2, &e.2),
+        )
+    }
+}
+
+impl<T: Merge> Merge for Option<T> {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        match (t, e) {
+            (None, None) => None,
+            (Some(a), Some(b)) => Some(T::merge(cond, a, b)),
+            _ => panic!("cannot merge Some with None; model absence symbolically"),
+        }
+    }
+}
+
+/// Merges a non-empty list of `(guard, value)` cases into a single value.
+///
+/// The guards are expected to be exhaustive under the current path
+/// condition; the last case acts as the default.
+pub fn merge_many<T: Merge>(cases: &[(SBool, T)]) -> T {
+    let (last, rest) = cases.split_last().expect("merge_many of empty case list");
+    let mut acc = last.1.clone();
+    for (guard, v) in rest.iter().rev() {
+        acc = T::merge(*guard, v, &acc);
+    }
+    acc
+}

@@ -1,0 +1,231 @@
+//! Tests for the symbolic evaluation engine.
+
+use crate::{merge_many, Merge, SymCtx};
+use serval_smt::{reset_ctx, verify, SBool, VerifyResult, BV};
+
+/// A toy two-register machine state for merge tests.
+#[derive(Clone, Debug)]
+struct Regs {
+    a: BV,
+    b: BV,
+}
+
+impl Merge for Regs {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        Regs {
+            a: BV::merge(cond, &t.a, &e.a),
+            b: BV::merge(cond, &t.b, &e.b),
+        }
+    }
+}
+
+#[test]
+fn concrete_branch_runs_one_arm() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let mut state = Regs {
+        a: BV::lit(8, 1),
+        b: BV::lit(8, 2),
+    };
+    let cond = BV::lit(8, 3).ult(BV::lit(8, 4)); // concretely true
+    ctx.branch(
+        cond,
+        &mut state,
+        |_, s| s.a = BV::lit(8, 10),
+        |_, s| s.a = BV::lit(8, 20),
+    );
+    assert_eq!(state.a.as_const(), Some(10));
+    assert_eq!(ctx.profiler.total_splits(), 0, "no split for concrete cond");
+}
+
+#[test]
+fn symbolic_branch_merges() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let mut state = Regs {
+        a: x,
+        b: BV::lit(8, 0),
+    };
+    let cond = x.ult(BV::lit(8, 5));
+    ctx.branch(
+        cond,
+        &mut state,
+        |_, s| s.a = BV::lit(8, 1),
+        |_, s| s.a = BV::lit(8, 2),
+    );
+    assert_eq!(ctx.profiler.total_splits(), 1);
+    assert_eq!(ctx.profiler.total_merges(), 1);
+    // The merged value is ite(x < 5, 1, 2): prove it.
+    let expect = cond.select(BV::lit(8, 1), BV::lit(8, 2));
+    assert!(verify(&[], state.a.eq_(expect)).is_proved());
+    // b untouched on both arms merges to itself.
+    assert_eq!(state.b.as_const(), Some(0));
+}
+
+#[test]
+fn branch_return_values_merge() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let mut state = ();
+    let r = ctx.branch(
+        x.is_zero(),
+        &mut state,
+        |_, _| BV::lit(8, 100),
+        |_, _| BV::lit(8, 200),
+    );
+    let expect = x.is_zero().select(BV::lit(8, 100), BV::lit(8, 200));
+    assert!(verify(&[], r.eq_(expect)).is_proved());
+}
+
+#[test]
+fn nested_branches_refine_path() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let c = x.ult(BV::lit(8, 10));
+    let mut state = ();
+    // Inside the then-arm, branching on the same condition again must
+    // evaluate only the then-arm (path-based pruning).
+    ctx.branch(
+        c,
+        &mut state,
+        |ctx, st| {
+            let r = ctx.branch(c, st, |_, _| 1u64, |_, _| 2u64);
+            assert_eq!(r, 1, "same condition on path must short-circuit");
+        },
+        |ctx, st| {
+            let r = ctx.branch(c, st, |_, _| 1u64, |_, _| 2u64);
+            assert_eq!(r, 2, "negated condition on path must short-circuit");
+        },
+    );
+}
+
+#[test]
+fn obligations_respect_path_condition() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let mut state = ();
+    ctx.branch(
+        x.ult(BV::lit(8, 16)),
+        &mut state,
+        |ctx, _| {
+            // On this path x < 16, so x != 200 is provable.
+            ctx.require(x.ne_(BV::lit(8, 200)), "no-200");
+        },
+        |_, _| {},
+    );
+    let obs = ctx.take_obligations();
+    assert_eq!(obs.len(), 1);
+    assert!(verify(&[], obs[0].condition).is_proved());
+}
+
+#[test]
+fn failed_obligation_produces_counterexample() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    ctx.require(x.ne_(BV::lit(8, 7)), "x-not-7");
+    let obs = ctx.take_obligations();
+    match verify(&[], obs[0].condition) {
+        VerifyResult::Counterexample(m) => assert_eq!(m.eval_bv(x.0), 7),
+        r => panic!("expected counterexample, got {r:?}"),
+    }
+}
+
+#[test]
+fn split_enumerates_cases() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let cases: Vec<(SBool, u128)> = (0..4u128)
+        .map(|v| (x.eq_(BV::lit(8, v)), v))
+        .collect();
+    let mut state = Regs {
+        a: BV::lit(8, 0),
+        b: BV::lit(8, 0),
+    };
+    let r = ctx.split(&mut state, &cases, |_, s, v| {
+        s.a = BV::lit(8, v * 10);
+        BV::lit(8, v + 1)
+    });
+    // Under the assumption x == 2, the merged state must have a == 20 and
+    // the merged result must be 3.
+    let asm = x.eq_(BV::lit(8, 2));
+    assert!(verify(&[asm], state.a.eq_(BV::lit(8, 20))).is_proved());
+    assert!(verify(&[asm], r.eq_(BV::lit(8, 3))).is_proved());
+}
+
+#[test]
+fn merge_many_folds_guards() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let cases = vec![
+        (x.eq_(BV::lit(8, 0)), BV::lit(8, 100)),
+        (x.eq_(BV::lit(8, 1)), BV::lit(8, 101)),
+        (SBool::lit(true), BV::lit(8, 102)),
+    ];
+    let v = merge_many(&cases);
+    assert!(verify(&[x.eq_(BV::lit(8, 1))], v.eq_(BV::lit(8, 101))).is_proved());
+    assert!(verify(&[x.eq_(BV::lit(8, 9))], v.eq_(BV::lit(8, 102))).is_proved());
+}
+
+#[test]
+fn profiler_attributes_regions() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(8, "x");
+    let mut state = Regs {
+        a: x,
+        b: x,
+    };
+    ctx.profile("outer", |ctx| {
+        ctx.profile("hot", |ctx| {
+            for i in 0..5u128 {
+                ctx.branch(
+                    x.eq_(BV::lit(8, i)),
+                    &mut state,
+                    |_, s| s.a = s.a + BV::lit(8, 1),
+                    |_, s| s.b = s.b + BV::lit(8, 1),
+                );
+            }
+        });
+        ctx.profile("cold", |_| {});
+    });
+    let report = ctx.profiler.report();
+    // "hot" and its enclosing "outer" tie (inclusive attribution); both
+    // must outrank "cold".
+    let top2: Vec<&str> = report[..2].iter().map(|r| r.label.as_str()).collect();
+    assert!(top2.contains(&"hot"), "hot must rank in top 2:\n{}",
+        ctx.profiler.render());
+    assert_eq!(report.last().unwrap().label, "cold");
+    let hot = &report.iter().find(|r| r.label == "hot").unwrap().stats;
+    assert_eq!(hot.splits, 5);
+    assert_eq!(hot.merges, 5);
+    // The outer region subsumes the inner one.
+    let outer = report.iter().find(|r| r.label == "outer").unwrap();
+    assert!(outer.stats.splits >= 5);
+}
+
+#[test]
+fn vec_and_tuple_merge() {
+    reset_ctx();
+    let c = SBool::fresh("c");
+    let v1 = vec![BV::lit(8, 1), BV::lit(8, 2)];
+    let v2 = vec![BV::lit(8, 1), BV::lit(8, 9)];
+    let m = Vec::merge(c, &v1, &v2);
+    assert_eq!(m[0].as_const(), Some(1), "equal elements stay concrete");
+    assert!(m[1].as_const().is_none(), "diverged element becomes ite");
+    let t = <(BV, u64)>::merge(c, &(BV::lit(8, 3), 7), &(BV::lit(8, 4), 7));
+    assert_eq!(t.1, 7);
+}
+
+#[test]
+#[should_panic(expected = "cannot merge diverged concrete")]
+fn concrete_merge_divergence_panics() {
+    reset_ctx();
+    let c = SBool::fresh("c");
+    let _ = u64::merge(c, &1, &2);
+}

@@ -1,0 +1,343 @@
+//! The ToyRISC instruction set and its lifted verifier (paper §3.2–§3.3).
+//!
+//! ToyRISC is the paper's five-instruction teaching ISA (Fig. 2): `ret`,
+//! `bnez`, `sgtz`, `sltz`, `li`, over a program counter and two integer
+//! registers `a0`/`a1`. This crate reproduces the §3 walkthrough:
+//!
+//! - an interpreter that is also a verifier when run on symbolic state
+//!   ([`ToyRisc::interpret`], Fig. 4);
+//! - the sign program (Fig. 3) as [`sign_program`];
+//! - the `split-pc` symbolic optimization and the merged-pc baseline whose
+//!   pathology the symbolic profiler exposes (§3.2);
+//! - the refinement and step-consistency proofs of §3.3
+//!   ([`prove_sign_refinement`], [`prove_sign_step_consistency`]).
+
+use serval_core::{split_pc, BugOn};
+use serval_core::report::ProofReport;
+use serval_core::spec::{prove_refinement, prove_step_consistency, Refinement};
+use serval_smt::solver::SolverConfig;
+use serval_smt::{SBool, BV};
+use serval_sym::{Merge, SymCtx};
+
+/// Register names.
+pub const A0: usize = 0;
+/// Scratch register.
+pub const A1: usize = 1;
+
+/// A ToyRISC instruction (paper Fig. 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Insn {
+    /// End execution; `pc ← 0`.
+    Ret,
+    /// Branch to `imm` if register `rs` is nonzero.
+    Bnez(usize, u64),
+    /// `rd ← 1` if `rs > 0` (signed) else `0`; `pc ← pc + 1`.
+    Sgtz(usize, usize),
+    /// `rd ← 1` if `rs < 0` (signed) else `0`; `pc ← pc + 1`.
+    Sltz(usize, usize),
+    /// Load immediate.
+    Li(usize, i64),
+}
+
+/// ToyRISC machine state: a 64-bit program counter and two 64-bit
+/// registers.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// Program counter (an instruction index, not a byte address).
+    pub pc: BV,
+    /// Integer registers `a0`, `a1`.
+    pub regs: Vec<BV>,
+}
+
+impl Cpu {
+    /// A CPU at `pc = 0` with the given register values.
+    pub fn new(a0: BV, a1: BV) -> Cpu {
+        Cpu {
+            pc: BV::lit(64, 0),
+            regs: vec![a0, a1],
+        }
+    }
+
+    /// A CPU with fully symbolic registers (for verification).
+    pub fn fresh(tag: &str) -> Cpu {
+        Cpu::new(
+            BV::fresh(64, &format!("{tag}.a0")),
+            BV::fresh(64, &format!("{tag}.a1")),
+        )
+    }
+}
+
+impl Merge for Cpu {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        Cpu {
+            pc: BV::merge(cond, &t.pc, &e.pc),
+            regs: Vec::merge(cond, &t.regs, &e.regs),
+        }
+    }
+}
+
+/// Evaluation outcome: records whether any path exhausted its fuel, which
+/// corresponds to divergence of symbolic evaluation in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Outcome {
+    /// True if some path ran out of fuel before reaching `ret`.
+    pub diverged: bool,
+    /// Number of instructions executed on the longest path.
+    pub steps: usize,
+}
+
+impl Merge for Outcome {
+    fn merge(_cond: SBool, t: &Self, e: &Self) -> Self {
+        Outcome {
+            diverged: t.diverged || e.diverged,
+            steps: t.steps.max(e.steps),
+        }
+    }
+}
+
+/// The ToyRISC interpreter/verifier (paper Fig. 4).
+pub struct ToyRisc {
+    /// The program to run.
+    pub program: Vec<Insn>,
+    /// Apply the `split-pc` symbolic optimization before each fetch.
+    pub use_split_pc: bool,
+    /// Evaluation fuel: maximum instructions per path.
+    pub fuel: usize,
+}
+
+impl ToyRisc {
+    /// A verifier for `program` with `split-pc` enabled.
+    pub fn new(program: Vec<Insn>) -> ToyRisc {
+        ToyRisc {
+            program,
+            use_split_pc: true,
+            fuel: 64,
+        }
+    }
+
+    /// Interprets from `cpu` until every path executes `ret` (or fuel runs
+    /// out). On symbolic state this is all-paths symbolic evaluation; the
+    /// interpreter doubles as a CPU emulator on concrete state.
+    pub fn interpret(&self, ctx: &mut SymCtx, cpu: &mut Cpu) -> Outcome {
+        self.step(ctx, cpu, self.fuel)
+    }
+
+    fn step(&self, ctx: &mut SymCtx, cpu: &mut Cpu, fuel: usize) -> Outcome {
+        if fuel == 0 {
+            return Outcome {
+                diverged: true,
+                steps: 0,
+            };
+        }
+        let n = self.program.len() as u128;
+        // The behavior is undefined if pc is out of bounds (Fig. 4).
+        ctx.bug_on(cpu.pc.uge(BV::lit(64, n)), "pc out of bounds");
+        let pc = cpu.pc;
+        if self.use_split_pc {
+            // split-pc: enumerate only the concrete values pc can take.
+            let r = ctx.profile("fetch", |ctx| {
+                split_pc(ctx, cpu, pc, |ctx, cpu, v| {
+                    if v >= n {
+                        // Covered by the bug-on above; stop this path.
+                        return Outcome { diverged: false, steps: 0 };
+                    }
+                    self.execute_at(ctx, cpu, v as usize, fuel)
+                })
+            });
+            r.expect("ToyRISC pc is never opaque")
+        } else {
+            // Merged-pc baseline: like Rosette's `vector-ref` on a merged
+            // pc, the fetch considers every program index at every step
+            // (§3.2's pathology). The guards are deliberately opaque
+            // (uge ∧ ule) so the term layer cannot prune infeasible
+            // indices — that pruning is exactly what `split-pc` adds.
+            let cases: Vec<(SBool, u128)> = (0..n)
+                .map(|i| {
+                    let iv = BV::lit(64, i);
+                    (pc.uge(iv) & pc.ule(iv), i)
+                })
+                .collect();
+            ctx.profile("fetch", |ctx| {
+                ctx.split(cpu, &cases, |ctx, cpu, i| {
+                    self.execute_at(ctx, cpu, i as usize, fuel)
+                })
+            })
+        }
+    }
+
+    fn execute_at(&self, ctx: &mut SymCtx, cpu: &mut Cpu, idx: usize, fuel: usize) -> Outcome {
+        let insn = self.program[idx];
+        let halted = ctx.profile("execute", |ctx| {
+            // pc is concrete on this path.
+            cpu.pc = BV::lit(64, idx as u128);
+            self.execute(ctx, cpu, insn)
+        });
+        if halted {
+            Outcome {
+                diverged: false,
+                steps: 1,
+            }
+        } else {
+            let mut o = self.step(ctx, cpu, fuel - 1);
+            o.steps += 1;
+            o
+        }
+    }
+
+    /// Executes one instruction; returns whether it was `ret`.
+    fn execute(&self, ctx: &mut SymCtx, cpu: &mut Cpu, insn: Insn) -> bool {
+        let one = BV::lit(64, 1);
+        let zero = BV::lit(64, 0);
+        match insn {
+            Insn::Ret => {
+                cpu.pc = zero;
+                true
+            }
+            Insn::Bnez(rs, imm) => {
+                let taken = cpu.regs[rs].ne_(zero);
+                let next = cpu.pc + one;
+                // A branch is a state merge: both targets fold into an
+                // ite-valued pc (Fig. 5, state s6).
+                cpu.pc = taken.select(BV::lit(64, imm as u128), next);
+                let _ = ctx;
+                false
+            }
+            Insn::Sgtz(rd, rs) => {
+                cpu.pc = cpu.pc + one;
+                cpu.regs[rd] = cpu.regs[rs].sgt(zero).select(one, zero);
+                false
+            }
+            Insn::Sltz(rd, rs) => {
+                cpu.pc = cpu.pc + one;
+                cpu.regs[rd] = cpu.regs[rs].slt(zero).select(one, zero);
+                false
+            }
+            Insn::Li(rd, imm) => {
+                cpu.pc = cpu.pc + one;
+                cpu.regs[rd] = BV::lit(64, imm as u64 as u128);
+                false
+            }
+        }
+    }
+}
+
+/// The sign program of paper Fig. 3: computes the sign of `a0` into `a0`,
+/// clobbering `a1`.
+pub fn sign_program() -> Vec<Insn> {
+    vec![
+        Insn::Sltz(A1, A0),    // 0: a1 <- (a0 < 0)
+        Insn::Bnez(A1, 4),     // 1: branch to 4 if a1 != 0
+        Insn::Sgtz(A0, A0),    // 2: a0 <- (a0 > 0)
+        Insn::Ret,             // 3
+        Insn::Li(A0, -1),      // 4: a0 <- -1
+        Insn::Ret,             // 5
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Specification (paper §3.3)
+// ---------------------------------------------------------------------
+
+/// Specification state for the sign program.
+#[derive(Clone, Debug)]
+pub struct SignState {
+    /// Abstract `a0`.
+    pub a0: BV,
+    /// Abstract `a1` (scratch).
+    pub a1: BV,
+}
+
+impl Merge for SignState {
+    fn merge(cond: SBool, t: &Self, e: &Self) -> Self {
+        SignState {
+            a0: BV::merge(cond, &t.a0, &e.a0),
+            a1: BV::merge(cond, &t.a1, &e.a1),
+        }
+    }
+}
+
+/// The functional specification `spec-sign` (paper §3.3): the detailed
+/// variant that also pins the scratch register.
+pub fn spec_sign(s: &SignState) -> SignState {
+    let zero = BV::lit(64, 0);
+    let one = BV::lit(64, 1);
+    let minus_one = BV::lit(64, u64::MAX as u128);
+    let sign = s
+        .a0
+        .sgt(zero)
+        .select(one, s.a0.slt(zero).select(minus_one, zero));
+    let scratch = s.a0.slt(zero).select(one, zero);
+    SignState {
+        a0: sign,
+        a1: scratch,
+    }
+}
+
+/// The refinement instance for the sign program.
+pub struct SignRefinement {
+    /// Verifier configuration under test.
+    pub verifier: ToyRisc,
+}
+
+impl Refinement for SignRefinement {
+    type Impl = Cpu;
+    type Spec = SignState;
+
+    fn fresh_impl(&self, _ctx: &mut SymCtx) -> Cpu {
+        Cpu::fresh("impl")
+    }
+
+    /// RI: the machine is at the entry point (paper: `pc = 0`).
+    fn rep_invariant(&self, c: &Cpu) -> SBool {
+        c.pc.eq_(BV::lit(64, 0))
+    }
+
+    /// AF: registers map directly to specification state.
+    fn abstraction(&self, c: &Cpu) -> SignState {
+        SignState {
+            a0: c.regs[A0],
+            a1: c.regs[A1],
+        }
+    }
+
+    fn spec_eq(&self, a: &SignState, b: &SignState) -> SBool {
+        a.a0.eq_(b.a0) & a.a1.eq_(b.a1)
+    }
+
+    fn run_impl(&self, ctx: &mut SymCtx, c: &mut Cpu) {
+        let o = self.verifier.interpret(ctx, c);
+        assert!(!o.diverged, "symbolic evaluation diverged");
+    }
+
+    fn run_spec(&self, _ctx: &mut SymCtx, s: &mut SignState) {
+        *s = spec_sign(s);
+    }
+}
+
+/// Proves functional correctness of the sign program by state-machine
+/// refinement (paper §3.3).
+pub fn prove_sign_refinement(cfg: SolverConfig) -> ProofReport {
+    let r = SignRefinement {
+        verifier: ToyRisc::new(sign_program()),
+    };
+    prove_refinement(&r, cfg, "sign")
+}
+
+/// Proves step consistency for `spec-sign` (paper §3.3): the result
+/// depends only on `a0`, never on the initial scratch register.
+pub fn prove_sign_step_consistency(cfg: SolverConfig) -> ProofReport {
+    prove_step_consistency(
+        cfg,
+        "sign: step consistency",
+        |_, tag| SignState {
+            a0: BV::fresh(64, &format!("{tag}.a0")),
+            a1: BV::fresh(64, &format!("{tag}.a1")),
+        },
+        |_, s| *s = spec_sign(s),
+        |s1, s2| s1.a0.eq_(s2.a0),
+        |_| SBool::lit(true),
+    )
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,173 @@
+//! Tests reproducing the paper's §3 walkthrough end-to-end.
+
+use crate::*;
+use serval_smt::solver::SolverConfig;
+use serval_smt::{reset_ctx, verify};
+
+/// The interpreter behaves as a regular CPU emulator on concrete state
+/// (paper §3.2: pc=0, a0=42 results in a0=1).
+#[test]
+fn concrete_emulation() {
+    for (a0, expect) in [(42i64, 1i64), (-5, -1), (0, 0), (i64::MIN, -1), (i64::MAX, 1)] {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let t = ToyRisc::new(sign_program());
+        let mut cpu = Cpu::new(BV::lit(64, a0 as u64 as u128), BV::lit(64, 0));
+        let o = t.interpret(&mut ctx, &mut cpu);
+        assert!(!o.diverged);
+        assert_eq!(
+            cpu.regs[A0].as_const(),
+            Some(expect as u64 as u128),
+            "sign({a0})"
+        );
+        assert_eq!(cpu.pc.as_const(), Some(0), "ret resets pc");
+    }
+}
+
+/// Symbolic evaluation covers all behaviors: the final a0 equals the
+/// specification's sign for arbitrary inputs (Fig. 5's full tree).
+#[test]
+fn symbolic_run_matches_spec() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let t = ToyRisc::new(sign_program());
+    let mut cpu = Cpu::fresh("cpu");
+    let s0 = SignState {
+        a0: cpu.regs[A0],
+        a1: cpu.regs[A1],
+    };
+    let o = t.interpret(&mut ctx, &mut cpu);
+    assert!(!o.diverged);
+    let s1 = spec_sign(&s0);
+    assert!(verify(&[], cpu.regs[A0].eq_(s1.a0)).is_proved());
+    assert!(verify(&[], cpu.regs[A1].eq_(s1.a1)).is_proved());
+}
+
+/// The full §3.3 refinement proof: UB absence, RI preservation, lock-step
+/// commutation with the functional specification.
+#[test]
+fn sign_refinement_proves() {
+    reset_ctx();
+    let report = prove_sign_refinement(SolverConfig::default());
+    assert!(report.all_proved(), "\n{}", report.render());
+    // It proves all three obligations plus the bug-on checks.
+    assert!(report.theorems.len() >= 3);
+}
+
+/// Step consistency (noninterference sanity check on the spec, §3.3).
+#[test]
+fn sign_step_consistency_proves() {
+    reset_ctx();
+    let report = prove_sign_step_consistency(SolverConfig::default());
+    assert!(report.all_proved(), "\n{}", report.render());
+}
+
+/// A wrong specification is rejected with a counterexample.
+#[test]
+fn wrong_spec_rejected() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let t = ToyRisc::new(sign_program());
+    let mut cpu = Cpu::fresh("cpu");
+    let a0 = cpu.regs[A0];
+    t.interpret(&mut ctx, &mut cpu);
+    // Claim: the result is always 1. Must fail for a0 <= 0.
+    match verify(&[], cpu.regs[A0].eq_(BV::lit(64, 1))) {
+        serval_smt::VerifyResult::Counterexample(m) => {
+            let v = m.eval_bv(a0.0) as u64 as i64;
+            assert!(v <= 0, "counterexample must be non-positive, got {v}");
+        }
+        r => panic!("expected counterexample, got {r:?}"),
+    }
+}
+
+/// A buggy program (missing the negative branch) fails refinement.
+#[test]
+fn buggy_program_fails_refinement() {
+    reset_ctx();
+    let buggy = vec![
+        Insn::Sltz(A1, A0),
+        // bnez omitted: negative inputs fall through to sgtz.
+        Insn::Sgtz(A0, A0),
+        Insn::Ret,
+    ];
+    let r = SignRefinement {
+        verifier: ToyRisc::new(buggy),
+    };
+    let report = serval_core::spec::prove_refinement(&r, SolverConfig::default(), "buggy");
+    assert!(!report.all_proved(), "bug must be caught");
+}
+
+/// §3.2: without split-pc the verifier explores every program location at
+/// every step; the profiler ranks the fetch region at the top, exactly the
+/// red flag the paper describes. With split-pc the fetch work collapses.
+#[test]
+fn profiler_finds_symbolic_pc_bottleneck() {
+    reset_ctx();
+    let mut ctx_no = SymCtx::new();
+    let mut t = ToyRisc::new(sign_program());
+    t.use_split_pc = false;
+    t.fuel = 6; // merged-pc evaluation explores ~6^fuel nodes
+    let mut cpu = Cpu::fresh("cpu");
+    let o = t.interpret(&mut ctx_no, &mut cpu);
+    assert!(o.diverged, "merged-pc evaluation cannot terminate (paper §3.2)");
+    let splits_no = ctx_no.profiler.total_splits();
+
+    reset_ctx();
+    let mut ctx_yes = SymCtx::new();
+    let t2 = ToyRisc::new(sign_program());
+    let mut cpu2 = Cpu::fresh("cpu");
+    t2.interpret(&mut ctx_yes, &mut cpu2);
+    let splits_yes = ctx_yes.profiler.total_splits();
+
+    assert!(
+        splits_no > 2 * splits_yes,
+        "merged-pc evaluation must split far more ({splits_no} vs {splits_yes})"
+    );
+}
+
+/// Both evaluation strategies compute the same final state on every
+/// feasible path (infeasible merged-pc paths carry false guards).
+#[test]
+fn split_pc_preserves_semantics() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let x = BV::fresh(64, "x");
+    let mut with_split = Cpu::new(x, BV::lit(64, 0));
+    let mut without = with_split.clone();
+    let mut t = ToyRisc::new(sign_program());
+    t.interpret(&mut ctx, &mut with_split);
+    t.use_split_pc = false;
+    t.fuel = 6;
+    t.interpret(&mut ctx, &mut without);
+    assert!(verify(&[], with_split.regs[A0].eq_(without.regs[A0])).is_proved());
+    assert!(verify(&[], with_split.regs[A1].eq_(without.regs[A1])).is_proved());
+}
+
+/// Fuel exhaustion reports divergence (infinite loop program).
+#[test]
+fn infinite_loop_diverges() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let looping = vec![Insn::Bnez(A0, 0), Insn::Ret];
+    let mut t = ToyRisc::new(looping);
+    t.fuel = 16;
+    let mut cpu = Cpu::fresh("cpu");
+    let o = t.interpret(&mut ctx, &mut cpu);
+    assert!(o.diverged, "unbounded loop must exhaust fuel");
+}
+
+/// Out-of-bounds pc is caught by the bug-on check.
+#[test]
+fn out_of_bounds_pc_flagged() {
+    reset_ctx();
+    let mut ctx = SymCtx::new();
+    let t = ToyRisc::new(vec![Insn::Bnez(A0, 99), Insn::Ret]);
+    let mut cpu = Cpu::fresh("cpu");
+    t.interpret(&mut ctx, &mut cpu);
+    let failed = ctx
+        .take_obligations()
+        .into_iter()
+        .any(|ob| !verify(&[], ob.condition).is_proved());
+    assert!(failed, "jump to 99 must violate the pc bounds bug-on");
+}

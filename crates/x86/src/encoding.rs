@@ -1,0 +1,275 @@
+//! Byte-level x86 encoding for the JIT subset (register-direct ModR/M
+//! only), with decoder validation per the paper's §3.4 methodology.
+
+use crate::{Alu, Cc, Insn, Reg, ShiftOp};
+
+fn modrm(reg: u8, rm: Reg) -> u8 {
+    0xc0 | reg << 3 | rm as u8
+}
+
+fn alu_rr_opcode(op: Alu) -> u8 {
+    // "op r/m32, r32" forms.
+    match op {
+        Alu::Add => 0x01,
+        Alu::Adc => 0x11,
+        Alu::Sub => 0x29,
+        Alu::Sbb => 0x19,
+        Alu::And => 0x21,
+        Alu::Or => 0x09,
+        Alu::Xor => 0x31,
+        Alu::Cmp => 0x39,
+    }
+}
+
+fn alu_ext(op: Alu) -> u8 {
+    // ModR/M reg-field extension for the 0x81 immediate group.
+    match op {
+        Alu::Add => 0,
+        Alu::Or => 1,
+        Alu::Adc => 2,
+        Alu::Sbb => 3,
+        Alu::And => 4,
+        Alu::Sub => 5,
+        Alu::Xor => 6,
+        Alu::Cmp => 7,
+    }
+}
+
+fn shift_ext(op: ShiftOp) -> u8 {
+    match op {
+        ShiftOp::Shl => 4,
+        ShiftOp::Shr => 5,
+        ShiftOp::Sar => 7,
+    }
+}
+
+fn cc_code(cc: Cc) -> u8 {
+    match cc {
+        Cc::B => 0x2,
+        Cc::Ae => 0x3,
+        Cc::E => 0x4,
+        Cc::Ne => 0x5,
+        Cc::Be => 0x6,
+        Cc::A => 0x7,
+        Cc::S => 0x8,
+        Cc::Ns => 0x9,
+        Cc::L => 0xc,
+        Cc::Ge => 0xd,
+        Cc::Le => 0xe,
+        Cc::G => 0xf,
+    }
+}
+
+fn cc_of(code: u8) -> Option<Cc> {
+    Some(match code {
+        0x2 => Cc::B,
+        0x3 => Cc::Ae,
+        0x4 => Cc::E,
+        0x5 => Cc::Ne,
+        0x6 => Cc::Be,
+        0x7 => Cc::A,
+        0x8 => Cc::S,
+        0x9 => Cc::Ns,
+        0xc => Cc::L,
+        0xd => Cc::Ge,
+        0xe => Cc::Le,
+        0xf => Cc::G,
+        _ => return None,
+    })
+}
+
+/// Encodes an instruction to machine bytes (rel8 jump displacements carry
+/// the instruction-index delta, as documented in the crate root).
+pub fn encode(i: Insn) -> Vec<u8> {
+    match i {
+        Insn::MovRR { dst, src } => vec![0x89, modrm(src as u8, dst)],
+        Insn::MovRI { dst, imm } => {
+            let mut v = vec![0xb8 + dst as u8];
+            v.extend(imm.to_le_bytes());
+            v
+        }
+        Insn::AluRR { op, dst, src } => vec![alu_rr_opcode(op), modrm(src as u8, dst)],
+        Insn::AluRI { op, dst, imm } => {
+            let mut v = vec![0x81, modrm(alu_ext(op), dst)];
+            v.extend(imm.to_le_bytes());
+            v
+        }
+        Insn::ShiftRI { op, dst, imm } => vec![0xc1, modrm(shift_ext(op), dst), imm],
+        Insn::ShiftRCl { op, dst } => vec![0xd3, modrm(shift_ext(op), dst)],
+        Insn::ShldRI { dst, src, imm } => vec![0x0f, 0xa4, modrm(src as u8, dst), imm],
+        Insn::ShldRCl { dst, src } => vec![0x0f, 0xa5, modrm(src as u8, dst)],
+        Insn::ShrdRI { dst, src, imm } => vec![0x0f, 0xac, modrm(src as u8, dst), imm],
+        Insn::ShrdRCl { dst, src } => vec![0x0f, 0xad, modrm(src as u8, dst)],
+        Insn::Neg { dst } => vec![0xf7, modrm(3, dst)],
+        Insn::Not { dst } => vec![0xf7, modrm(2, dst)],
+        Insn::TestRR { a, b } => vec![0x85, modrm(b as u8, a)],
+        Insn::Jcc { cc, target } => vec![0x70 | cc_code(cc), target as u8],
+        Insn::Jmp { target } => vec![0xeb, target as u8],
+    }
+}
+
+/// Decodes the instruction at the start of `bytes`, returning it and the
+/// number of bytes consumed.
+pub fn decode(bytes: &[u8]) -> Result<(Insn, usize), String> {
+    let b0 = *bytes.first().ok_or("empty")?;
+    let rm_args = |b: u8| -> Result<(u8, Reg), String> {
+        if b >> 6 != 3 {
+            return Err(format!("non-register ModR/M {b:#x}"));
+        }
+        Ok((b >> 3 & 7, Reg::from_num(b & 7)))
+    };
+    let imm32 = |off: usize| -> Result<u32, String> {
+        let sl: [u8; 4] = bytes
+            .get(off..off + 4)
+            .ok_or("truncated imm32")?
+            .try_into()
+            .unwrap();
+        Ok(u32::from_le_bytes(sl))
+    };
+    match b0 {
+        0x89 => {
+            let (reg, rm) = rm_args(bytes[1])?;
+            Ok((
+                Insn::MovRR {
+                    dst: rm,
+                    src: Reg::from_num(reg),
+                },
+                2,
+            ))
+        }
+        0xb8..=0xbf => Ok((
+            Insn::MovRI {
+                dst: Reg::from_num(b0 - 0xb8),
+                imm: imm32(1)?,
+            },
+            5,
+        )),
+        0x01 | 0x11 | 0x29 | 0x19 | 0x21 | 0x09 | 0x31 | 0x39 => {
+            let op = match b0 {
+                0x01 => Alu::Add,
+                0x11 => Alu::Adc,
+                0x29 => Alu::Sub,
+                0x19 => Alu::Sbb,
+                0x21 => Alu::And,
+                0x09 => Alu::Or,
+                0x31 => Alu::Xor,
+                _ => Alu::Cmp,
+            };
+            let (reg, rm) = rm_args(bytes[1])?;
+            Ok((
+                Insn::AluRR {
+                    op,
+                    dst: rm,
+                    src: Reg::from_num(reg),
+                },
+                2,
+            ))
+        }
+        0x81 => {
+            let (ext, rm) = rm_args(bytes[1])?;
+            let op = match ext {
+                0 => Alu::Add,
+                1 => Alu::Or,
+                2 => Alu::Adc,
+                3 => Alu::Sbb,
+                4 => Alu::And,
+                5 => Alu::Sub,
+                6 => Alu::Xor,
+                7 => Alu::Cmp,
+                _ => unreachable!(),
+            };
+            Ok((
+                Insn::AluRI {
+                    op,
+                    dst: rm,
+                    imm: imm32(2)?,
+                },
+                6,
+            ))
+        }
+        0xc1 => {
+            let (ext, rm) = rm_args(bytes[1])?;
+            let op = match ext {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                e => return Err(format!("bad shift ext {e}")),
+            };
+            Ok((
+                Insn::ShiftRI {
+                    op,
+                    dst: rm,
+                    imm: bytes[2],
+                },
+                3,
+            ))
+        }
+        0xd3 => {
+            let (ext, rm) = rm_args(bytes[1])?;
+            let op = match ext {
+                4 => ShiftOp::Shl,
+                5 => ShiftOp::Shr,
+                7 => ShiftOp::Sar,
+                e => return Err(format!("bad shift ext {e}")),
+            };
+            Ok((Insn::ShiftRCl { op, dst: rm }, 2))
+        }
+        0xf7 => {
+            let (ext, rm) = rm_args(bytes[1])?;
+            match ext {
+                3 => Ok((Insn::Neg { dst: rm }, 2)),
+                2 => Ok((Insn::Not { dst: rm }, 2)),
+                e => Err(format!("bad group-3 ext {e}")),
+            }
+        }
+        0x85 => {
+            let (reg, rm) = rm_args(bytes[1])?;
+            Ok((
+                Insn::TestRR {
+                    a: rm,
+                    b: Reg::from_num(reg),
+                },
+                2,
+            ))
+        }
+        0x70..=0x7f => {
+            let cc = cc_of(b0 & 0xf).ok_or(format!("unsupported cc {:#x}", b0 & 0xf))?;
+            Ok((
+                Insn::Jcc {
+                    cc,
+                    target: bytes[1] as i8,
+                },
+                2,
+            ))
+        }
+        0xeb => Ok((
+            Insn::Jmp {
+                target: bytes[1] as i8,
+            },
+            2,
+        )),
+        0x0f => {
+            let b1 = *bytes.get(1).ok_or("truncated 0f")?;
+            let (reg, rm) = rm_args(bytes[2])?;
+            let src = Reg::from_num(reg);
+            match b1 {
+                0xa4 => Ok((Insn::ShldRI { dst: rm, src, imm: bytes[3] }, 4)),
+                0xa5 => Ok((Insn::ShldRCl { dst: rm, src }, 3)),
+                0xac => Ok((Insn::ShrdRI { dst: rm, src, imm: bytes[3] }, 4)),
+                0xad => Ok((Insn::ShrdRCl { dst: rm, src }, 3)),
+                _ => Err(format!("unknown 0f opcode {b1:#x}")),
+            }
+        }
+        _ => Err(format!("unknown opcode {b0:#x}")),
+    }
+}
+
+/// Decodes with re-encoding validation (paper §3.4).
+pub fn decode_validated(bytes: &[u8]) -> Result<(Insn, usize), String> {
+    let (i, n) = decode(bytes)?;
+    let back = encode(i);
+    if back != bytes[..n] {
+        return Err(format!("decode/encode mismatch for {i:?}"));
+    }
+    Ok((i, n))
+}

@@ -1,0 +1,235 @@
+//! The x86-32 interpreter under symbolic evaluation.
+
+use crate::{Alu, Cc, Insn, ShiftOp, X86State};
+use serval_core::{split_pc, BugOn};
+use serval_smt::{SBool, BV};
+use serval_sym::SymCtx;
+
+/// The lifted x86-32 interpreter.
+pub struct X86Interp {
+    /// The program (e.g. a JIT-emitted sequence).
+    pub program: Vec<Insn>,
+    /// Maximum instructions per path.
+    pub fuel: usize,
+}
+
+impl X86Interp {
+    /// An interpreter for `program`.
+    pub fn new(program: Vec<Insn>) -> X86Interp {
+        X86Interp {
+            program,
+            fuel: 1024,
+        }
+    }
+
+    /// Runs until the pc falls off the end of the program (the JIT
+    /// checker's convention for "sequence complete"). Returns false if
+    /// evaluation diverged.
+    pub fn run(&self, ctx: &mut SymCtx, s: &mut X86State) -> bool {
+        self.step(ctx, s, self.fuel)
+    }
+
+    fn step(&self, ctx: &mut SymCtx, s: &mut X86State, fuel: usize) -> bool {
+        if fuel == 0 {
+            return false;
+        }
+        let n = self.program.len() as u128;
+        ctx.bug_on(s.pc.ugt(BV::lit(64, n)), "x86 pc out of bounds");
+        let pc = s.pc;
+        let r = split_pc(ctx, s, pc, |ctx, s, v| {
+            if v >= n {
+                return true; // fell off the end: sequence complete
+            }
+            let insn = self.program[v as usize];
+            s.pc = BV::lit(64, v);
+            self.execute(ctx, s, insn);
+            self.step(ctx, s, fuel - 1)
+        });
+        r.unwrap_or(false)
+    }
+
+    /// Executes one instruction at a concrete pc.
+    pub fn execute(&self, ctx: &mut SymCtx, s: &mut X86State, insn: Insn) {
+        let _ = ctx;
+        let next = s.pc + BV::lit(64, 1);
+        match insn {
+            Insn::MovRR { dst, src } => {
+                s.set_reg(dst, s.reg(src));
+                s.pc = next;
+            }
+            Insn::MovRI { dst, imm } => {
+                s.set_reg(dst, BV::lit(32, imm as u128));
+                s.pc = next;
+            }
+            Insn::AluRR { op, dst, src } => {
+                let b = s.reg(src);
+                self.alu(s, op, dst, b);
+                s.pc = next;
+            }
+            Insn::AluRI { op, dst, imm } => {
+                self.alu(s, op, dst, BV::lit(32, imm as u128));
+                s.pc = next;
+            }
+            Insn::ShiftRI { op, dst, imm } => {
+                self.shift(s, op, dst, BV::lit(32, (imm & 0x1f) as u128));
+                s.pc = next;
+            }
+            Insn::ShiftRCl { op, dst } => {
+                let amt = s.reg(crate::Reg::Ecx) & BV::lit(32, 0x1f);
+                self.shift(s, op, dst, amt);
+                s.pc = next;
+            }
+            Insn::ShldRI { dst, src, imm } => {
+                self.double_shift(s, dst, src, BV::lit(32, (imm & 0x1f) as u128), true);
+                s.pc = next;
+            }
+            Insn::ShldRCl { dst, src } => {
+                let amt = s.reg(crate::Reg::Ecx) & BV::lit(32, 0x1f);
+                self.double_shift(s, dst, src, amt, true);
+                s.pc = next;
+            }
+            Insn::ShrdRI { dst, src, imm } => {
+                self.double_shift(s, dst, src, BV::lit(32, (imm & 0x1f) as u128), false);
+                s.pc = next;
+            }
+            Insn::ShrdRCl { dst, src } => {
+                let amt = s.reg(crate::Reg::Ecx) & BV::lit(32, 0x1f);
+                self.double_shift(s, dst, src, amt, false);
+                s.pc = next;
+            }
+            Insn::Neg { dst } => {
+                let a = s.reg(dst);
+                let r = BV::lit(32, 0) - a;
+                s.cf = a.ne_(BV::lit(32, 0));
+                s.zf = r.is_zero();
+                s.sf = r.slt(BV::lit(32, 0));
+                s.of = a.eq_(BV::lit(32, 0x8000_0000));
+                s.set_reg(dst, r);
+                s.pc = next;
+            }
+            Insn::Not { dst } => {
+                s.set_reg(dst, !s.reg(dst));
+                s.pc = next;
+            }
+            Insn::TestRR { a, b } => {
+                let r = s.reg(a) & s.reg(b);
+                s.cf = SBool::lit(false);
+                s.of = SBool::lit(false);
+                s.zf = r.is_zero();
+                s.sf = r.slt(BV::lit(32, 0));
+                s.pc = next;
+            }
+            Insn::Jcc { cc, target } => {
+                let taken = cond(s, cc);
+                let t = s.pc + BV::lit(64, (1 + target as i64) as u64 as u128);
+                s.pc = taken.select(t, next);
+            }
+            Insn::Jmp { target } => {
+                s.pc = s.pc + BV::lit(64, (1 + target as i64) as u64 as u128);
+            }
+        }
+    }
+
+    fn alu(&self, s: &mut X86State, op: Alu, dst: crate::Reg, b: BV) {
+        let a = s.reg(dst);
+        let zero = BV::lit(32, 0);
+        match op {
+            Alu::Add | Alu::Adc => {
+                let cin = if op == Alu::Adc {
+                    s.cf.select(BV::lit(32, 1), zero)
+                } else {
+                    zero
+                };
+                let wide = a.zext(33) + b.zext(33) + cin.zext(33);
+                let r = wide.trunc(32);
+                s.cf = wide.extract(32, 32).eq_(BV::lit(1, 1));
+                // Signed overflow: operands same sign, result differs.
+                s.of = (a.slt(zero).iff(b.slt(zero))) & !(a.slt(zero).iff(r.slt(zero)));
+                s.zf = r.is_zero();
+                s.sf = r.slt(zero);
+                s.set_reg(dst, r);
+            }
+            Alu::Sub | Alu::Sbb | Alu::Cmp => {
+                let bin = if op == Alu::Sbb {
+                    s.cf.select(BV::lit(32, 1), zero)
+                } else {
+                    zero
+                };
+                let wide = a.zext(33) - b.zext(33) - bin.zext(33);
+                let r = wide.trunc(32);
+                s.cf = wide.extract(32, 32).eq_(BV::lit(1, 1)); // borrow
+                s.of = !(a.slt(zero).iff(b.slt(zero))) & !(a.slt(zero).iff(r.slt(zero)));
+                s.zf = r.is_zero();
+                s.sf = r.slt(zero);
+                if op != Alu::Cmp {
+                    s.set_reg(dst, r);
+                }
+            }
+            Alu::And | Alu::Or | Alu::Xor => {
+                let r = match op {
+                    Alu::And => a & b,
+                    Alu::Or => a | b,
+                    _ => a ^ b,
+                };
+                s.cf = SBool::lit(false);
+                s.of = SBool::lit(false);
+                s.zf = r.is_zero();
+                s.sf = r.slt(zero);
+                s.set_reg(dst, r);
+            }
+        }
+    }
+
+    /// Shift semantics. Flags: the JIT sequences only consume flags set by
+    /// explicit `cmp`/`test`, so shifts here update ZF/SF and leave CF/OF
+    /// unchanged for zero amounts (matching hardware) and approximate CF
+    /// otherwise; this is documented in DESIGN.md.
+    fn shift(&self, s: &mut X86State, op: ShiftOp, dst: crate::Reg, amt: BV) {
+        let a = s.reg(dst);
+        let r = match op {
+            ShiftOp::Shl => a.shl(amt),
+            ShiftOp::Shr => a.lshr(amt),
+            ShiftOp::Sar => a.ashr(amt),
+        };
+        let zero_amt = amt.is_zero();
+        s.zf = zero_amt.ite(s.zf, r.is_zero());
+        s.sf = zero_amt.ite(s.sf, r.slt(BV::lit(32, 0)));
+        s.set_reg(dst, zero_amt.select(a, r));
+    }
+}
+
+impl X86Interp {
+    /// `shld`/`shrd`: 64-bit double shift through a register pair. The
+    /// count is pre-masked to 5 bits; a zero count leaves state unchanged.
+    fn double_shift(&self, s: &mut X86State, dst: crate::Reg, src: crate::Reg, amt: BV, left: bool) {
+        let d = s.reg(dst);
+        let x = s.reg(src);
+        let inv = BV::lit(32, 32) - amt;
+        let r = if left {
+            d.shl(amt) | x.lshr(inv)
+        } else {
+            d.lshr(amt) | x.shl(inv)
+        };
+        let zero_amt = amt.is_zero();
+        s.zf = zero_amt.ite(s.zf, r.is_zero());
+        s.sf = zero_amt.ite(s.sf, r.slt(BV::lit(32, 0)));
+        s.set_reg(dst, zero_amt.select(d, r));
+    }
+}
+
+fn cond(s: &X86State, cc: Cc) -> SBool {
+    match cc {
+        Cc::E => s.zf,
+        Cc::Ne => !s.zf,
+        Cc::B => s.cf,
+        Cc::Ae => !s.cf,
+        Cc::A => !s.cf & !s.zf,
+        Cc::Be => s.cf | s.zf,
+        Cc::L => s.sf ^ s.of,
+        Cc::Ge => !(s.sf ^ s.of),
+        Cc::G => !s.zf & !(s.sf ^ s.of),
+        Cc::Le => s.zf | (s.sf ^ s.of),
+        Cc::S => s.sf,
+        Cc::Ns => !s.sf,
+    }
+}

@@ -1,0 +1,196 @@
+//! The x86-32 verifier (paper §5): general-purpose registers and the
+//! instruction subset used by the Linux kernel's BPF JIT for x86-32.
+//!
+//! As in the paper, only the general-purpose register state (plus the
+//! arithmetic EFLAGS bits the JIT's compare-and-branch sequences depend
+//! on) is modelled. Instructions carry their x86 machine encoding via
+//! [`encode`]/[`decode`], validated against each other (§3.4); jump
+//! targets are modelled as instruction-index deltas.
+
+use serval_smt::{SBool, BV};
+use serval_sym::Merge;
+
+pub mod encoding;
+pub mod interp;
+
+pub use encoding::{decode, decode_validated, encode};
+pub use interp::X86Interp;
+
+/// General-purpose 32-bit registers, numbered as in ModR/M.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+impl Reg {
+    /// All registers in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Ebx,
+        Reg::Esp,
+        Reg::Ebp,
+        Reg::Esi,
+        Reg::Edi,
+    ];
+
+    /// Register from its ModR/M number.
+    pub fn from_num(n: u8) -> Reg {
+        Self::ALL[n as usize]
+    }
+}
+
+/// Flag-setting ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Alu {
+    Add,
+    Adc,
+    Sub,
+    Sbb,
+    And,
+    Or,
+    Xor,
+    Cmp,
+}
+
+/// Shift operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    Shl,
+    Shr,
+    Sar,
+}
+
+/// Condition codes for `jcc`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cc {
+    /// ZF.
+    E,
+    /// !ZF.
+    Ne,
+    /// CF (unsigned below).
+    B,
+    /// !CF.
+    Ae,
+    /// !CF && !ZF.
+    A,
+    /// CF || ZF.
+    Be,
+    /// SF != OF (signed less).
+    L,
+    /// SF == OF.
+    Ge,
+    /// !ZF && SF == OF.
+    G,
+    /// ZF || SF != OF.
+    Le,
+    /// SF.
+    S,
+    /// !SF.
+    Ns,
+}
+
+/// An x86-32 instruction from the BPF-JIT subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Insn {
+    /// `mov dst, src`.
+    MovRR { dst: Reg, src: Reg },
+    /// `mov dst, imm32`.
+    MovRI { dst: Reg, imm: u32 },
+    /// `op dst, src` (flag-setting).
+    AluRR { op: Alu, dst: Reg, src: Reg },
+    /// `op dst, imm32`.
+    AluRI { op: Alu, dst: Reg, imm: u32 },
+    /// `shift dst, imm8`.
+    ShiftRI { op: ShiftOp, dst: Reg, imm: u8 },
+    /// `shift dst, cl`.
+    ShiftRCl { op: ShiftOp, dst: Reg },
+    /// `shld dst, src, imm8`: shift dst left, filling from src's top bits.
+    ShldRI { dst: Reg, src: Reg, imm: u8 },
+    /// `shld dst, src, cl`.
+    ShldRCl { dst: Reg, src: Reg },
+    /// `shrd dst, src, imm8`: shift dst right, filling from src's low bits.
+    ShrdRI { dst: Reg, src: Reg, imm: u8 },
+    /// `shrd dst, src, cl`.
+    ShrdRCl { dst: Reg, src: Reg },
+    /// `neg dst`.
+    Neg { dst: Reg },
+    /// `not dst` (does not affect flags).
+    Not { dst: Reg },
+    /// `test a, b` (flags only).
+    TestRR { a: Reg, b: Reg },
+    /// Conditional jump; `target` is an instruction-index delta from the
+    /// *next* instruction.
+    Jcc { cc: Cc, target: i8 },
+    /// Unconditional jump (same target convention).
+    Jmp { target: i8 },
+}
+
+/// Machine state: eight 32-bit registers, arithmetic flags, and an
+/// instruction index.
+#[derive(Clone, Debug)]
+pub struct X86State {
+    /// Registers, indexed by ModR/M number.
+    pub regs: Vec<BV>,
+    /// Carry flag.
+    pub cf: SBool,
+    /// Zero flag.
+    pub zf: SBool,
+    /// Sign flag.
+    pub sf: SBool,
+    /// Overflow flag.
+    pub of: SBool,
+    /// Instruction index.
+    pub pc: BV,
+}
+
+impl X86State {
+    /// Fully symbolic registers, flags cleared, pc at 0.
+    pub fn fresh(tag: &str) -> X86State {
+        X86State {
+            regs: (0..8)
+                .map(|i| BV::fresh(32, &format!("{tag}.r{i}")))
+                .collect(),
+            cf: SBool::lit(false),
+            zf: SBool::lit(false),
+            sf: SBool::lit(false),
+            of: SBool::lit(false),
+            pc: BV::lit(64, 0),
+        }
+    }
+
+    /// Reads a register.
+    pub fn reg(&self, r: Reg) -> BV {
+        self.regs[r as usize]
+    }
+
+    /// Writes a register.
+    pub fn set_reg(&mut self, r: Reg, v: BV) {
+        debug_assert_eq!(v.width(), 32);
+        self.regs[r as usize] = v;
+    }
+}
+
+impl Merge for X86State {
+    fn merge(c: SBool, t: &Self, e: &Self) -> Self {
+        X86State {
+            regs: Vec::merge(c, &t.regs, &e.regs),
+            cf: SBool::merge(c, &t.cf, &e.cf),
+            zf: SBool::merge(c, &t.zf, &e.zf),
+            sf: SBool::merge(c, &t.sf, &e.sf),
+            of: SBool::merge(c, &t.of, &e.of),
+            pc: BV::merge(c, &t.pc, &e.pc),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,218 @@
+//! x86-32 verifier tests.
+
+use crate::*;
+use proptest::prelude::*;
+use serval_smt::{reset_ctx, verify, BV};
+use serval_sym::SymCtx;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    prop::sample::select(Reg::ALL.to_vec())
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    let alu = prop::sample::select(vec![
+        Alu::Add,
+        Alu::Adc,
+        Alu::Sub,
+        Alu::Sbb,
+        Alu::And,
+        Alu::Or,
+        Alu::Xor,
+        Alu::Cmp,
+    ]);
+    let sh = prop::sample::select(vec![ShiftOp::Shl, ShiftOp::Shr, ShiftOp::Sar]);
+    let cc = prop::sample::select(vec![
+        Cc::E,
+        Cc::Ne,
+        Cc::B,
+        Cc::Ae,
+        Cc::A,
+        Cc::Be,
+        Cc::L,
+        Cc::Ge,
+        Cc::G,
+        Cc::Le,
+        Cc::S,
+        Cc::Ns,
+    ]);
+    prop_oneof![
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::MovRR { dst, src }),
+        (arb_reg(), any::<u32>()).prop_map(|(dst, imm)| Insn::MovRI { dst, imm }),
+        (alu.clone(), arb_reg(), arb_reg()).prop_map(|(op, dst, src)| Insn::AluRR { op, dst, src }),
+        (alu, arb_reg(), any::<u32>()).prop_map(|(op, dst, imm)| Insn::AluRI { op, dst, imm }),
+        (sh.clone(), arb_reg(), 0u8..32).prop_map(|(op, dst, imm)| Insn::ShiftRI { op, dst, imm }),
+        (sh, arb_reg()).prop_map(|(op, dst)| Insn::ShiftRCl { op, dst }),
+        arb_reg().prop_map(|dst| Insn::Neg { dst }),
+        arb_reg().prop_map(|dst| Insn::Not { dst }),
+        (arb_reg(), arb_reg()).prop_map(|(a, b)| Insn::TestRR { a, b }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(dst, src, imm)| Insn::ShldRI { dst, src, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::ShldRCl { dst, src }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(dst, src, imm)| Insn::ShrdRI { dst, src, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(dst, src)| Insn::ShrdRCl { dst, src }),
+        (cc, any::<i8>()).prop_map(|(cc, target)| Insn::Jcc { cc, target }),
+        any::<i8>().prop_map(|target| Insn::Jmp { target }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn encode_decode_roundtrip(insn in arb_insn()) {
+        let bytes = encode(insn);
+        let (back, n) = decode_validated(&bytes).expect("decode");
+        prop_assert_eq!(back, insn);
+        prop_assert_eq!(n, bytes.len());
+    }
+}
+
+fn run_concrete(program: Vec<Insn>, init: &[(Reg, u32)]) -> X86State {
+    let mut ctx = SymCtx::new();
+    let interp = X86Interp::new(program);
+    let mut s = X86State::fresh("s");
+    for &(r, v) in init {
+        s.set_reg(r, BV::lit(32, v as u128));
+    }
+    assert!(interp.run(&mut ctx, &mut s), "diverged");
+    s
+}
+
+#[test]
+fn add_with_carry_chain() {
+    reset_ctx();
+    // 64-bit add via add/adc pairs: (eax:edx) += (ebx:ecx).
+    let s = run_concrete(
+        vec![
+            Insn::AluRR { op: Alu::Add, dst: Reg::Eax, src: Reg::Ebx },
+            Insn::AluRR { op: Alu::Adc, dst: Reg::Edx, src: Reg::Ecx },
+        ],
+        &[
+            (Reg::Eax, 0xffff_ffff),
+            (Reg::Edx, 0x1),
+            (Reg::Ebx, 0x1),
+            (Reg::Ecx, 0x0),
+        ],
+    );
+    // 0x1_ffffffff + 1 = 0x2_00000000.
+    assert_eq!(s.reg(Reg::Eax).as_const(), Some(0));
+    assert_eq!(s.reg(Reg::Edx).as_const(), Some(2));
+}
+
+#[test]
+fn sub_with_borrow_chain() {
+    reset_ctx();
+    let s = run_concrete(
+        vec![
+            Insn::AluRR { op: Alu::Sub, dst: Reg::Eax, src: Reg::Ebx },
+            Insn::AluRR { op: Alu::Sbb, dst: Reg::Edx, src: Reg::Ecx },
+        ],
+        &[
+            (Reg::Eax, 0x0),
+            (Reg::Edx, 0x2),
+            (Reg::Ebx, 0x1),
+            (Reg::Ecx, 0x0),
+        ],
+    );
+    // 0x2_00000000 - 1 = 0x1_ffffffff.
+    assert_eq!(s.reg(Reg::Eax).as_const(), Some(0xffff_ffff));
+    assert_eq!(s.reg(Reg::Edx).as_const(), Some(1));
+}
+
+#[test]
+fn conditional_jump_symbolic() {
+    reset_ctx();
+    // if (eax == 0) ebx = 1; else ebx = 2;
+    let prog = vec![
+        Insn::AluRI { op: Alu::Cmp, dst: Reg::Eax, imm: 0 },
+        Insn::Jcc { cc: Cc::E, target: 2 },
+        Insn::MovRI { dst: Reg::Ebx, imm: 2 },
+        Insn::Jmp { target: 1 },
+        Insn::MovRI { dst: Reg::Ebx, imm: 1 },
+    ];
+    let mut ctx = SymCtx::new();
+    let interp = X86Interp::new(prog);
+    let mut s = X86State::fresh("s");
+    let eax = s.reg(Reg::Eax);
+    assert!(interp.run(&mut ctx, &mut s));
+    let expect = eax.is_zero().select(BV::lit(32, 1), BV::lit(32, 2));
+    assert!(verify(&[], s.reg(Reg::Ebx).eq_(expect)).is_proved());
+}
+
+#[test]
+fn signed_compare_flags() {
+    reset_ctx();
+    // ecx = 1 if eax < ebx (signed) else 0.
+    let prog = vec![
+        Insn::MovRI { dst: Reg::Ecx, imm: 0 },
+        Insn::AluRR { op: Alu::Cmp, dst: Reg::Eax, src: Reg::Ebx },
+        Insn::Jcc { cc: Cc::Ge, target: 1 },
+        Insn::MovRI { dst: Reg::Ecx, imm: 1 },
+    ];
+    let mut ctx = SymCtx::new();
+    let interp = X86Interp::new(prog);
+    let mut s = X86State::fresh("s");
+    let (a, b) = (s.reg(Reg::Eax), s.reg(Reg::Ebx));
+    assert!(interp.run(&mut ctx, &mut s));
+    let expect = a.slt(b).select(BV::lit(32, 1), BV::lit(32, 0));
+    assert!(verify(&[], s.reg(Reg::Ecx).eq_(expect)).is_proved());
+}
+
+#[test]
+fn unsigned_compare_flags() {
+    reset_ctx();
+    let prog = vec![
+        Insn::MovRI { dst: Reg::Ecx, imm: 0 },
+        Insn::AluRR { op: Alu::Cmp, dst: Reg::Eax, src: Reg::Ebx },
+        Insn::Jcc { cc: Cc::Ae, target: 1 },
+        Insn::MovRI { dst: Reg::Ecx, imm: 1 },
+    ];
+    let mut ctx = SymCtx::new();
+    let interp = X86Interp::new(prog);
+    let mut s = X86State::fresh("s");
+    let (a, b) = (s.reg(Reg::Eax), s.reg(Reg::Ebx));
+    assert!(interp.run(&mut ctx, &mut s));
+    let expect = a.ult(b).select(BV::lit(32, 1), BV::lit(32, 0));
+    assert!(verify(&[], s.reg(Reg::Ecx).eq_(expect)).is_proved());
+}
+
+#[test]
+fn shifts_match_reference() {
+    for (op, a, amt, expect) in [
+        (ShiftOp::Shl, 0x8000_0001u32, 1u8, 0x2u32),
+        (ShiftOp::Shr, 0x8000_0000, 31, 1),
+        (ShiftOp::Sar, 0x8000_0000, 31, 0xffff_ffff),
+        (ShiftOp::Shl, 0x1234_5678, 0, 0x1234_5678),
+    ] {
+        reset_ctx();
+        let s = run_concrete(
+            vec![Insn::ShiftRI { op, dst: Reg::Eax, imm: amt }],
+            &[(Reg::Eax, a)],
+        );
+        assert_eq!(s.reg(Reg::Eax).as_const(), Some(expect as u128), "{op:?}");
+    }
+}
+
+
+#[test]
+fn shld_shrd_semantics() {
+    reset_ctx();
+    // shld eax, ebx, 8: eax = (eax << 8) | (ebx >> 24).
+    let s = run_concrete(
+        vec![Insn::ShldRI { dst: Reg::Eax, src: Reg::Ebx, imm: 8 }],
+        &[(Reg::Eax, 0x11223344), (Reg::Ebx, 0xaabbccdd)],
+    );
+    assert_eq!(s.reg(Reg::Eax).as_const(), Some(0x223344aa));
+    reset_ctx();
+    let s = run_concrete(
+        vec![Insn::ShrdRI { dst: Reg::Eax, src: Reg::Ebx, imm: 8 }],
+        &[(Reg::Eax, 0x11223344), (Reg::Ebx, 0xaabbccdd)],
+    );
+    assert_eq!(s.reg(Reg::Eax).as_const(), Some(0xdd112233));
+    // Count of zero leaves the register unchanged.
+    reset_ctx();
+    let s = run_concrete(
+        vec![Insn::ShldRI { dst: Reg::Eax, src: Reg::Ebx, imm: 0 }],
+        &[(Reg::Eax, 0x11223344), (Reg::Ebx, 0xaabbccdd)],
+    );
+    assert_eq!(s.reg(Reg::Eax).as_const(), Some(0x11223344));
+}

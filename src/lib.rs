@@ -1,0 +1,17 @@
+//! Root crate of the Serval reproduction workspace.
+//!
+//! Re-exports the member crates for convenient use from the examples and
+//! integration tests. See `README.md` for an overview and `DESIGN.md` for
+//! the system inventory.
+
+pub use serval_bpf as bpf;
+pub use serval_core as core_fw;
+pub use serval_ir as ir;
+pub use serval_jit as jit;
+pub use serval_monitors as monitors;
+pub use serval_riscv as riscv;
+pub use serval_sat as sat;
+pub use serval_smt as smt;
+pub use serval_sym as sym;
+pub use serval_toyrisc as toyrisc;
+pub use serval_x86 as x86;

@@ -1,0 +1,130 @@
+//! Cross-crate integration tests: the full verification stack end-to-end,
+//! from the CDCL solver up through a monitor refinement proof.
+
+use serval_repro::core_fw::{OptCfg, PathElem};
+use serval_repro::smt::solver::SolverConfig;
+use serval_repro::smt::{reset_ctx, verify, BV};
+use serval_repro::sym::SymCtx;
+
+/// The whole pipeline in one query: terms → blasting → CDCL → model.
+#[test]
+fn solver_pipeline_end_to_end() {
+    reset_ctx();
+    let x = BV::fresh(64, "x");
+    let y = BV::fresh(64, "y");
+    // De Morgan at 64 bits exercises terms, blaster, and CDCL.
+    let goal = (!(x & y)).eq_(!x | !y);
+    assert!(verify(&[], goal).is_proved());
+}
+
+/// ToyRISC (paper §3) through the public API re-exports.
+#[test]
+fn toyrisc_full_walkthrough() {
+    reset_ctx();
+    let report = serval_repro::toyrisc::prove_sign_refinement(SolverConfig::default());
+    assert!(report.all_proved(), "\n{}", report.render());
+    let report =
+        serval_repro::toyrisc::prove_sign_step_consistency(SolverConfig::default());
+    assert!(report.all_proved());
+}
+
+/// A CertiKOS^s monitor call verified at the binary level, exercising
+/// every crate: IR → compiler → assembler → encoder → decoder → RISC-V
+/// verifier → memory model → spec library → SMT → SAT.
+#[test]
+fn certikos_binary_refinement() {
+    use serval_repro::monitors::certikos;
+    let report = certikos::proofs::prove_op(
+        certikos::sys::GET_QUOTA,
+        serval_repro::ir::OptLevel::O2,
+        OptCfg::default(),
+        SolverConfig::default(),
+    );
+    assert!(report.all_proved(), "\n{}", report.render());
+}
+
+/// The JIT checker finds a seeded bug and verifies the fix (paper §7).
+#[test]
+fn jit_checker_round_trip() {
+    use serval_repro::bpf::{AluOp, Insn, Src};
+    use serval_repro::jit::{check_rv64, Rv64Jit, RvBug};
+    let insn = Insn::Alu32 { op: AluOp::Add, src: Src::X, dst: 1, srcr: 2, imm: 0 };
+    let mut buggy = Rv64Jit::fixed();
+    buggy.bugs.insert(RvBug::ZextAdd32);
+    let row = check_rv64(&buggy, insn, SolverConfig::default()).unwrap();
+    assert!(!row.ok, "seeded zero-extension bug must be found");
+    let row = check_rv64(&Rv64Jit::fixed(), insn, SolverConfig::default()).unwrap();
+    assert!(row.ok);
+}
+
+/// Keystone findings through the public API (paper §7).
+#[test]
+fn keystone_findings() {
+    use serval_repro::monitors::keystone;
+    let cfg = SolverConfig::default();
+    assert!(!keystone::prove_no_nested_creation(
+        keystone::KeystoneVariant::AsImplemented,
+        cfg
+    )
+    .all_proved());
+    assert!(keystone::prove_no_nested_creation(keystone::KeystoneVariant::Suggested, cfg)
+        .all_proved());
+    let report = keystone::audit_ub(true, cfg);
+    assert!(report.theorems.iter().any(|t| !t.verdict.is_proved()));
+}
+
+/// A tiny system built and verified through the stack: a counter service
+/// with one trap handler, written in IR, compiled at O2, verified on the
+/// binary against a one-line spec.
+#[test]
+fn custom_monitor_from_scratch() {
+    use serval_repro::core_fw::{Layout, Mem, MemCfg};
+    use serval_repro::ir::ir::{BinOp, FuncBuilder, Module, Term, Val};
+    use serval_repro::ir::{compile, OptLevel};
+    use serval_repro::riscv::{reg, Asm, Interp, Machine};
+
+    reset_ctx();
+    let mut b = FuncBuilder::new("tick", 0);
+    b.block("entry");
+    let old = b.load(Val::Global("counter"), 8);
+    let new = b.bin(BinOp::Add, old, Val::Const(1));
+    b.store(Val::Global("counter"), new, 8);
+    b.term(Term::Ret(old));
+    let module = Module {
+        funcs: vec![b.build()],
+        globals: vec![("counter", 0x8050_0000)],
+    };
+    let mut asm = Asm::new();
+    asm.define_symbol("stack_top", 0x8010_0000);
+    asm.la(reg::SP, "stack_top");
+    asm.call("tick");
+    asm.i(serval_repro::riscv::Insn::Mret);
+    compile(&module, OptLevel::O2, &mut asm);
+    let words = asm.assemble(0x8000_0000);
+    let interp = Interp::from_words(0x8000_0000, &words, 256).unwrap();
+
+    let mut mem = Mem::new(MemCfg::default());
+    mem.add_region(
+        "counter",
+        0x8050_0000,
+        Layout::Struct(vec![("v".into(), Layout::Cell(8))]).instantiate_fresh("counter"),
+    );
+    mem.add_region(
+        "stack",
+        0x8010_0000 - 4096,
+        Layout::Array(512, Box::new(Layout::Cell(8))).instantiate_fresh("stack"),
+    );
+    let mut ctx = SymCtx::new();
+    let mut m = Machine::fresh_at(0x8000_0000, mem, "m");
+    let before = m.mem.read_path("counter", &[PathElem::Field("v")]);
+    let o = interp.run(&mut ctx, &mut m);
+    assert!(o.ok());
+    let after = m.mem.read_path("counter", &[PathElem::Field("v")]);
+    // Spec: the handler returns the old value and increments the counter.
+    assert!(verify(&[], m.reg(reg::A0).eq_(before)).is_proved());
+    assert!(verify(&[], after.eq_(before + BV::lit(64, 1))).is_proved());
+    // And all UB obligations hold.
+    for ob in ctx.take_obligations() {
+        assert!(verify(&[], ob.condition).is_proved(), "{}", ob.label);
+    }
+}
