@@ -1,0 +1,18 @@
+#!/bin/sh
+# CI gate for the Serval reproduction. Everything runs with --offline:
+# the workspace has zero external dependencies (see crates/check for the
+# from-scratch proptest/rand/criterion replacement), and this script is
+# the proof that resolution never reaches for a registry.
+set -eu
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo "== tests (whole workspace, offline) =="
+cargo test -q --workspace --offline
+
+echo "== examples =="
+cargo run --release --offline --example quickstart
+cargo run --release --offline --example bpf_jit_check
+
+echo "CI OK"

@@ -1,70 +1,9 @@
-//! Criterion benchmarks over the substrates: the CDCL SAT solver and the
-//! bit-blasting SMT layer (the parts of the stack the paper delegates to
-//! Z3).
+//! `cargo bench` target for the substrate benches (SAT + SMT), on the
+//! hand-rolled harness in `serval_check::bench`. The `bench_all` binary
+//! runs the same suite and also emits JSON.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use serval_sat::{Lit, SolveResult, Solver, Var};
-use serval_smt::{reset_ctx, verify, BV};
-
-fn php(n: usize, m: usize) -> Solver {
-    let mut s = Solver::new();
-    let p: Vec<Vec<Var>> = (0..n)
-        .map(|_| (0..m).map(|_| s.new_var()).collect())
-        .collect();
-    for row in &p {
-        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
-        s.add_clause(&c);
-    }
-    for j in 0..m {
-        for i1 in 0..n {
-            for i2 in (i1 + 1)..n {
-                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-            }
-        }
-    }
-    s
+fn main() {
+    let mut h = serval_check::bench::Harness::new("solver");
+    serval_bench::suites::solver(&mut h);
+    h.print_summary();
 }
-
-fn bench_sat(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sat");
-    g.sample_size(10);
-    g.bench_function("pigeonhole 7 into 6 (unsat)", |b| {
-        b.iter(|| {
-            let mut s = php(7, 6);
-            assert_eq!(s.solve(), SolveResult::Unsat);
-        })
-    });
-    g.finish();
-}
-
-fn bench_smt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("smt");
-    g.sample_size(10);
-    // (x & y) + (x | y) == x + y: structurally different sides, so the
-    // solver does real work, but adder-only circuits keep it tractable
-    // (multiplier equivalence is classically hard for resolution).
-    g.bench_function("and-or adder identity, 32-bit", |b| {
-        b.iter(|| {
-            reset_ctx();
-            let x = BV::fresh(32, "x");
-            let y = BV::fresh(32, "y");
-            assert!(verify(&[], ((x & y) + (x | y)).eq_(x + y)).is_proved());
-        })
-    });
-    // 8-bit keeps the q*d + r = a goal tractable (it contains a
-    // multiplier, which is the hard case for CDCL).
-    g.bench_function("division relation, 8-bit", |b| {
-        b.iter(|| {
-            reset_ctx();
-            let a = BV::fresh(8, "a");
-            let d = BV::fresh(8, "d");
-            let nz = !d.is_zero();
-            let goal = (a.udiv(d) * d + a.urem(d)).eq_(a);
-            assert!(verify(&[nz], goal).is_proved());
-        })
-    });
-    g.finish();
-}
-
-criterion_group!(benches, bench_sat, bench_smt);
-criterion_main!(benches);

@@ -1,71 +1,10 @@
-//! Criterion benchmarks over the verification pipeline: the ToyRISC
-//! refinement proof (paper §3), a CertiKOS^s monitor-call refinement
-//! (Fig. 11's unit of work), and a JIT-checker query (§7).
+//! `cargo bench` target for the verification-pipeline benches (ToyRISC,
+//! CertiKOS^s, JIT checker), on the hand-rolled harness in
+//! `serval_check::bench`. The `bench_all` binary runs the same suite and
+//! also emits JSON.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use serval_bpf::{AluOp, Insn as Bpf, Src};
-use serval_core::OptCfg;
-use serval_ir::OptLevel;
-use serval_jit::{check_rv64, Rv64Jit};
-use serval_monitors::certikos;
-use serval_smt::solver::SolverConfig;
-use serval_smt::reset_ctx;
-use serval_toyrisc::prove_sign_refinement;
-
-fn bench_toyrisc(c: &mut Criterion) {
-    c.bench_function("toyrisc sign refinement", |b| {
-        b.iter(|| {
-            reset_ctx();
-            let report = prove_sign_refinement(SolverConfig::default());
-            assert!(report.all_proved());
-        })
-    });
+fn main() {
+    let mut h = serval_check::bench::Harness::new("verification");
+    serval_bench::suites::verification(&mut h);
+    h.print_summary();
 }
-
-fn bench_certikos(c: &mut Criterion) {
-    let mut g = c.benchmark_group("certikos");
-    g.sample_size(10);
-    g.bench_function("get_quota refinement (O1)", |b| {
-        b.iter(|| {
-            let report = certikos::proofs::prove_op(
-                certikos::sys::GET_QUOTA,
-                OptLevel::O1,
-                OptCfg::default(),
-                SolverConfig::default(),
-            );
-            assert!(report.all_proved());
-        })
-    });
-    g.finish();
-}
-
-fn bench_jit_checker(c: &mut Criterion) {
-    let mut g = c.benchmark_group("jit-checker");
-    g.sample_size(10);
-    let jit = Rv64Jit::fixed();
-    for (name, insn) in [
-        (
-            "alu64 add X",
-            Bpf::Alu64 { op: AluOp::Add, src: Src::X, dst: 1, srcr: 2, imm: 0 },
-        ),
-        (
-            "alu32 lsh X",
-            Bpf::Alu32 { op: AluOp::Lsh, src: Src::X, dst: 1, srcr: 2, imm: 0 },
-        ),
-        (
-            "alu64 div X",
-            Bpf::Alu64 { op: AluOp::Div, src: Src::X, dst: 1, srcr: 2, imm: 0 },
-        ),
-    ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let row = check_rv64(&jit, insn, SolverConfig::default()).unwrap();
-                assert!(row.ok);
-            })
-        });
-    }
-    g.finish();
-}
-
-criterion_group!(benches, bench_toyrisc, bench_certikos, bench_jit_checker);
-criterion_main!(benches);

@@ -2,6 +2,8 @@
 //! and figure of the paper's evaluation (see EXPERIMENTS.md for the
 //! experiment index and DESIGN.md for the substitutions).
 
+pub mod suites;
+
 use std::path::{Path, PathBuf};
 
 /// Counts non-empty, non-comment lines of Rust source under `dir`

@@ -1,0 +1,101 @@
+//! The benchmark definitions, shared by the `cargo bench` targets and
+//! the `bench_all` binary (which adds JSON emission). Built on
+//! `serval_check::bench` — the from-scratch criterion replacement.
+
+use serval_bpf::{AluOp, Insn as Bpf, Src};
+use serval_check::bench::Harness;
+use serval_core::OptCfg;
+use serval_ir::OptLevel;
+use serval_jit::{check_rv64, Rv64Jit};
+use serval_monitors::certikos;
+use serval_sat::{Lit, SolveResult, Solver, Var};
+use serval_smt::solver::SolverConfig;
+use serval_smt::{reset_ctx, verify, BV};
+use serval_toyrisc::prove_sign_refinement;
+
+fn php(n: usize, m: usize) -> Solver {
+    let mut s = Solver::new();
+    let p: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..m).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    s
+}
+
+/// The substrate benches: CDCL SAT and the bit-blasting SMT layer (the
+/// parts of the stack the paper delegates to Z3).
+pub fn solver(h: &mut Harness) {
+    h.bench("sat/pigeonhole 7 into 6 (unsat)", || {
+        let mut s = php(7, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    });
+    // (x & y) + (x | y) == x + y: structurally different sides, so the
+    // solver does real work, but adder-only circuits keep it tractable
+    // (multiplier equivalence is classically hard for resolution).
+    h.bench("smt/and-or adder identity, 32-bit", || {
+        reset_ctx();
+        let x = BV::fresh(32, "x");
+        let y = BV::fresh(32, "y");
+        assert!(verify(&[], ((x & y) + (x | y)).eq_(x + y)).is_proved());
+    });
+    // 8-bit keeps the q*d + r = a goal tractable (it contains a
+    // multiplier, which is the hard case for CDCL).
+    h.bench("smt/division relation, 8-bit", || {
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let d = BV::fresh(8, "d");
+        let nz = !d.is_zero();
+        let goal = (a.udiv(d) * d + a.urem(d)).eq_(a);
+        assert!(verify(&[nz], goal).is_proved());
+    });
+}
+
+/// The verification-pipeline benches: the ToyRISC refinement proof
+/// (paper §3), a CertiKOS^s monitor-call refinement (Fig. 11's unit of
+/// work), and JIT-checker queries (§7).
+pub fn verification(h: &mut Harness) {
+    h.bench("toyrisc/sign refinement", || {
+        reset_ctx();
+        let report = prove_sign_refinement(SolverConfig::default());
+        assert!(report.all_proved());
+    });
+    h.bench("certikos/get_quota refinement (O1)", || {
+        let report = certikos::proofs::prove_op(
+            certikos::sys::GET_QUOTA,
+            OptLevel::O1,
+            OptCfg::default(),
+            SolverConfig::default(),
+        );
+        assert!(report.all_proved());
+    });
+    let jit = Rv64Jit::fixed();
+    for (name, insn) in [
+        (
+            "jit-checker/alu64 add X",
+            Bpf::Alu64 { op: AluOp::Add, src: Src::X, dst: 1, srcr: 2, imm: 0 },
+        ),
+        (
+            "jit-checker/alu32 lsh X",
+            Bpf::Alu32 { op: AluOp::Lsh, src: Src::X, dst: 1, srcr: 2, imm: 0 },
+        ),
+        (
+            "jit-checker/alu64 div X",
+            Bpf::Alu64 { op: AluOp::Div, src: Src::X, dst: 1, srcr: 2, imm: 0 },
+        ),
+    ] {
+        h.bench(name, || {
+            let row = check_rv64(&jit, insn, SolverConfig::default()).unwrap();
+            assert!(row.ok);
+        });
+    }
+}

@@ -2,7 +2,7 @@
 //! Rust reference, and symbolic whole-program runs.
 
 use crate::*;
-use proptest::prelude::*;
+use serval_check::prelude::*;
 use serval_smt::{reset_ctx, verify, BV};
 use serval_sym::SymCtx;
 

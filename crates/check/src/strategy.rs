@@ -1,0 +1,388 @@
+//! Strategies: composable random-value generators.
+//!
+//! A [`Strategy`] turns draws from a [`DataSource`] into a value. The
+//! surface mirrors the subset of `proptest` the workspace test suites
+//! use — integer ranges, `any::<T>()`, [`Just`], `prop::sample::select`,
+//! `prop::collection::vec`, tuples, `prop_map`/`prop_flat_map`, and
+//! `prop_oneof!` (via [`Union`]) — so migrating a suite is a one-line
+//! import change.
+//!
+//! Every strategy is written so that an all-zero choice stream produces
+//! its simplest value (range start, empty-ish collection, first
+//! `prop_oneof!` arm), which is what makes choice-list shrinking drive
+//! generated values toward minimal counterexamples.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::data::DataSource;
+
+pub trait Strategy {
+    type Value: Debug;
+
+    /// Generates one value, drawing all randomness from `d`.
+    fn generate(&self, d: &mut DataSource) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T: Debug, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// from it (dependent generation).
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!` to mix arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, d: &mut DataSource) -> S::Value {
+        (**self).generate(d)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, d: &mut DataSource) -> S::Value {
+        (**self).generate(d)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Debug, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, d: &mut DataSource) -> T {
+        (self.f)(self.inner.generate(d))
+    }
+}
+
+#[derive(Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, d: &mut DataSource) -> S2::Value {
+        (self.f)(self.inner.generate(d)).generate(d)
+    }
+}
+
+/// Always generates a clone of the given value (`proptest`'s `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _d: &mut DataSource) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice among boxed arms; the backing of `prop_oneof!`.
+/// Shrinks toward the first arm.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Union<T> {
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, d: &mut DataSource) -> T {
+        let i = d.draw(self.arms.len() as u64) as usize;
+        self.arms[i].generate(d)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Integer ranges
+// ---------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, d: &mut DataSource) -> $t {
+                let lo = self.start as i128;
+                let hi = self.end as i128;
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi - lo) as u128;
+                let off = if span > u64::MAX as u128 {
+                    d.draw_full() as u128
+                } else {
+                    d.draw(span as u64) as u128
+                };
+                (lo + off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, d: &mut DataSource) -> $t {
+                let lo = *self.start() as i128;
+                let hi = *self.end() as i128;
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    d.draw_full() as u128
+                } else {
+                    d.draw(span as u64) as u128
+                };
+                (lo + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------
+
+/// Types with a canonical whole-domain generator.
+pub trait Arbitrary: Debug {
+    fn arbitrary(d: &mut DataSource) -> Self;
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+impl<T> Copy for Any<T> {}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, d: &mut DataSource) -> T {
+        T::arbitrary(d)
+    }
+}
+
+/// Uniform generator over all of `T` (`proptest`'s `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(d: &mut DataSource) -> bool {
+        d.draw(2) == 1
+    }
+}
+
+macro_rules! arbitrary_small_int {
+    ($($t:ty => $u:ty, $bound:expr);*;) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(d: &mut DataSource) -> $t {
+                (d.draw($bound) as $u) as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_small_int! {
+    u8 => u8, 1 << 8;
+    i8 => u8, 1 << 8;
+    u16 => u16, 1 << 16;
+    i16 => u16, 1 << 16;
+    u32 => u32, 1 << 32;
+    i32 => u32, 1 << 32;
+}
+
+macro_rules! arbitrary_full_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(d: &mut DataSource) -> $t {
+                d.draw_full() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_full_int!(u64, i64, usize, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(d: &mut DataSource) -> u128 {
+        ((d.draw_full() as u128) << 64) | d.draw_full() as u128
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(d: &mut DataSource) -> i128 {
+        u128::arbitrary(d) as i128
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, d: &mut DataSource) -> Self::Value {
+                ($(self.$idx.generate(d),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(S0.0);
+tuple_strategy!(S0.0, S1.1);
+tuple_strategy!(S0.0, S1.1, S2.2);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6);
+tuple_strategy!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7);
+
+// ---------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------
+
+/// An inclusive length range for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    pub lo: usize,
+    pub hi: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, d: &mut DataSource) -> Vec<S::Value> {
+        let len = if self.size.hi > self.size.lo {
+            self.size.lo + d.draw((self.size.hi - self.size.lo + 1) as u64) as usize
+        } else {
+            self.size.lo
+        };
+        (0..len).map(|_| self.elem.generate(d)).collect()
+    }
+}
+
+pub mod collection {
+    use super::*;
+
+    /// `prop::collection::vec`: a vector of `size` elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+pub mod sample {
+    use super::*;
+
+    #[derive(Clone)]
+    pub struct Select<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, d: &mut DataSource) -> T {
+            let i = d.draw(self.items.len() as u64) as usize;
+            self.items[i].clone()
+        }
+    }
+
+    /// `prop::sample::select`: uniform choice from a fixed list.
+    /// Shrinks toward the first element.
+    pub fn select<T: Clone + Debug>(items: Vec<T>) -> Select<T> {
+        assert!(!items.is_empty(), "select needs at least one item");
+        Select { items }
+    }
+}
+
+pub mod bits {
+    use super::*;
+
+    #[derive(Clone, Copy)]
+    pub struct BitVector {
+        width: u32,
+    }
+
+    impl Strategy for BitVector {
+        type Value = u128;
+        fn generate(&self, d: &mut DataSource) -> u128 {
+            let raw = if self.width > 64 {
+                ((d.draw_full() as u128) << 64) | d.draw_full() as u128
+            } else {
+                d.draw_full() as u128
+            };
+            if self.width >= 128 {
+                raw
+            } else {
+                raw & ((1u128 << self.width) - 1)
+            }
+        }
+    }
+
+    /// A `width`-bit value as a `u128` (masked), for driving the SMT
+    /// layer's bitvector terms at arbitrary widths. Shrinks toward 0.
+    pub fn bv(width: u32) -> BitVector {
+        assert!((1..=128).contains(&width), "bitvector width must be 1..=128");
+        BitVector { width }
+    }
+}

@@ -5,7 +5,7 @@ use crate::insn::*;
 use crate::machine::{csr, Machine};
 use crate::reg::*;
 use crate::{Asm, Interp};
-use proptest::prelude::*;
+use serval_check::prelude::*;
 use serval_core::{Layout, Mem, MemCfg};
 use serval_smt::{reset_ctx, verify, BV};
 use serval_sym::SymCtx;

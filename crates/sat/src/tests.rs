@@ -5,7 +5,7 @@
 //! unsatisfiable instances, with and without assumptions.
 
 use crate::{Lit, SolveResult, Solver, Var};
-use proptest::prelude::*;
+use serval_check::prelude::*;
 
 fn lits(s: &mut Solver, n: usize) -> Vec<Var> {
     (0..n).map(|_| s.new_var()).collect()

@@ -5,7 +5,7 @@ use crate::model::Model;
 use crate::solver::{check, check_with, verify, CheckResult, SolverConfig, VerifyResult};
 use crate::term::with_ctx;
 use crate::{reset_ctx, SBool, BV};
-use proptest::prelude::*;
+use serval_check::prelude::*;
 
 fn proved(assumptions: &[SBool], goal: SBool) -> bool {
     verify(assumptions, goal).is_proved()

@@ -1,7 +1,7 @@
 //! x86-32 verifier tests.
 
 use crate::*;
-use proptest::prelude::*;
+use serval_check::prelude::*;
 use serval_smt::{reset_ctx, verify, BV};
 use serval_sym::SymCtx;
 
