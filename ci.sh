@@ -8,8 +8,11 @@ set -eu
 echo "== build (release, offline) =="
 cargo build --release --offline
 
-echo "== tests (whole workspace, offline) =="
-cargo test -q --workspace --offline
+echo "== tests (whole workspace, offline, SERVAL_JOBS=1) =="
+SERVAL_JOBS=1 cargo test -q --workspace --offline
+
+echo "== tests (whole workspace, offline, SERVAL_JOBS=4) =="
+SERVAL_JOBS=4 cargo test -q --workspace --offline
 
 echo "== examples =="
 cargo run --release --offline --example quickstart

@@ -27,6 +27,7 @@ use std::time::Instant;
 fn main() {
     let budget = SolverConfig {
         conflict_budget: Some(2_000_000),
+        ..SolverConfig::default()
     };
 
     println!("§6.4 ablation (reproduction): disabling symbolic optimizations\n");

@@ -37,4 +37,19 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nwrote {} ({} benchmarks)", out.display(), h.results.len());
+
+    // The engine comparison: sequential vs parallel discharge of the
+    // fig11 subset, plus a warm-cache rerun → BENCH_engine.json next to
+    // the main results file.
+    let engine_report = serval_bench::engine_bench::run();
+    engine_report.print_summary();
+    let engine_out = out
+        .parent()
+        .map(|d| d.join("BENCH_engine.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_engine.json"));
+    if let Err(e) = engine_report.write_json(&engine_out) {
+        eprintln!("failed to write {}: {e}", engine_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", engine_out.display());
 }

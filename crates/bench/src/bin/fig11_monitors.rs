@@ -77,6 +77,15 @@ fn main() {
         "safety (noninterference) proof", certikos_t, komodo_t
     );
     println!();
+    let engine = serval_engine::handle();
+    let (hits, misses) = engine.cache_stats();
+    println!(
+        "engine: {} worker(s) (SERVAL_JOBS), query cache {} hits / {} misses",
+        engine.jobs(),
+        hits,
+        misses
+    );
+    println!();
     println!("paper (seconds, Intel i7-7700K): certikos refinement 92/138/133 (O0/O1/O2),");
     println!("safety 33; komodo refinement 275/309/289, safety 477");
 }

@@ -1,0 +1,164 @@
+//! The engine benchmark: sequential vs parallel discharge of the Fig. 11
+//! CertiKOS^s refinement subset, plus a warm-cache rerun. Emitted as
+//! `BENCH_engine.json` by `bench_all`.
+
+use serval_core::report::ProofReport;
+use serval_core::OptCfg;
+use serval_engine::EngineCfg;
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_smt::solver::SolverConfig;
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed run of the fig11 subset.
+pub struct EngineRun {
+    /// Worker count the engine ran with.
+    pub jobs: usize,
+    /// Wall time of the whole proof (symbolic evaluation + discharge).
+    pub secs: f64,
+    /// Per-theorem `(name, proved)` verdicts.
+    pub verdicts: Vec<(String, bool)>,
+    /// Cache hits during this run.
+    pub cache_hits: u64,
+    /// Cache misses during this run.
+    pub cache_misses: u64,
+}
+
+/// The sequential-vs-parallel comparison plus the warm-cache rerun.
+pub struct EngineBenchReport {
+    /// `SERVAL_JOBS=1` equivalent (fresh engine, cold cache).
+    pub sequential: EngineRun,
+    /// Parallel run (fresh engine, cold cache).
+    pub parallel: EngineRun,
+    /// Rerun on the parallel engine's warm cache.
+    pub warm: EngineRun,
+}
+
+fn verdicts(report: &ProofReport) -> Vec<(String, bool)> {
+    report
+        .theorems
+        .iter()
+        .map(|t| (t.name.clone(), t.verdict.is_proved()))
+        .collect()
+}
+
+/// The workload: the CertiKOS^s refinement proof at `-O1` — the Fig. 11
+/// unit of work whose per-op theorem batches the engine parallelizes.
+fn workload(cfg: SolverConfig) -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg)
+}
+
+fn timed_run(jobs: usize, reuse_engine: bool) -> EngineRun {
+    let engine = if reuse_engine {
+        serval_engine::handle()
+    } else {
+        serval_engine::install(EngineCfg {
+            jobs,
+            portfolio: false,
+            disk_cache: None,
+        })
+    };
+    let (h0, m0) = engine.cache_stats();
+    let t0 = Instant::now();
+    let report = workload(SolverConfig::default());
+    let secs = t0.elapsed().as_secs_f64();
+    let (h1, m1) = engine.cache_stats();
+    EngineRun {
+        jobs: engine.jobs(),
+        secs,
+        verdicts: verdicts(&report),
+        cache_hits: h1 - h0,
+        cache_misses: m1 - m0,
+    }
+}
+
+/// Runs the comparison. The parallel worker count comes from
+/// `SERVAL_JOBS` (default: available parallelism).
+pub fn run() -> EngineBenchReport {
+    let par_jobs = EngineCfg::from_env().jobs.max(2);
+    let sequential = timed_run(1, false);
+    let parallel = timed_run(par_jobs, false);
+    // Same engine again: every query should now hit the in-memory cache.
+    let warm = timed_run(par_jobs, true);
+    // Leave the process-wide engine in its environment-default state.
+    serval_engine::install(EngineCfg::from_env());
+    EngineBenchReport {
+        sequential,
+        parallel,
+        warm,
+    }
+}
+
+impl EngineBenchReport {
+    /// Whether the sequential and parallel runs proved exactly the same
+    /// theorems.
+    pub fn verdicts_equal(&self) -> bool {
+        self.sequential.verdicts == self.parallel.verdicts
+            && self.sequential.verdicts == self.warm.verdicts
+    }
+
+    /// Speedup of the parallel run over the sequential one.
+    pub fn speedup(&self) -> f64 {
+        self.sequential.secs / self.parallel.secs.max(1e-9)
+    }
+
+    /// Warm-run cache hit rate in `[0, 1]`.
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm.cache_hits + self.warm.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn run_json(r: &EngineRun) -> String {
+            format!(
+                "{{\"jobs\": {}, \"secs\": {:.6}, \"theorems\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}",
+                r.jobs,
+                r.secs,
+                r.verdicts.len(),
+                r.cache_hits,
+                r.cache_misses
+            )
+        }
+        format!(
+            "{{\n  \"workload\": \"certikos refinement -O1 (fig11 subset)\",\n  \
+             \"sequential\": {},\n  \"parallel\": {},\n  \"warm\": {},\n  \
+             \"speedup\": {:.3},\n  \"warm_hit_rate\": {:.3},\n  \
+             \"verdicts_equal\": {}\n}}\n",
+            run_json(&self.sequential),
+            run_json(&self.parallel),
+            run_json(&self.warm),
+            self.speedup(),
+            self.warm_hit_rate(),
+            self.verdicts_equal()
+        )
+    }
+
+    /// Writes the JSON report.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!("\nengine: sequential vs parallel (certikos refinement -O1)");
+        println!(
+            "  jobs=1  {:>8.2}s   jobs={} {:>8.2}s   speedup {:.2}x",
+            self.sequential.secs, self.parallel.jobs, self.parallel.secs, self.speedup()
+        );
+        println!(
+            "  warm rerun {:>8.2}s   cache hits {}/{} ({:.0}%)   verdicts equal: {}",
+            self.warm.secs,
+            self.warm.cache_hits,
+            self.warm.cache_hits + self.warm.cache_misses,
+            self.warm_hit_rate() * 100.0,
+            self.verdicts_equal()
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! and figure of the paper's evaluation (see EXPERIMENTS.md for the
 //! experiment index and DESIGN.md for the substitutions).
 
+pub mod engine_bench;
 pub mod suites;
 
 use std::path::{Path, PathBuf};

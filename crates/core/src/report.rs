@@ -1,9 +1,17 @@
 //! Proof reports: named theorems, verdicts, counterexamples, timing.
+//!
+//! Discharge goes through the process-wide [`serval_engine`] instance:
+//! queries are normalized, deduplicated against the cache, and solved on
+//! the engine's thread pool. [`discharge_batch`] is the preferred entry
+//! point — a batch of independent theorems (split-cases handlers, UB
+//! obligations, per-register equalities) is discharged concurrently, in
+//! deterministic order.
 
-use serval_smt::solver::{verify_with, SolverConfig, VerifyResult};
+use serval_engine::{Query, QueryOutcome};
+use serval_smt::solver::{QueryStats, SolverConfig, VerifyResult};
 use serval_smt::{Model, SBool};
 use serval_sym::{Obligation, SymCtx};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// The verdict for one theorem.
 #[derive(Debug)]
@@ -14,6 +22,9 @@ pub enum Verdict {
     Counterexample(Box<Model>, String),
     /// Solver budget exhausted — the paper's "timeout" outcome (§6.4).
     Unknown,
+    /// Solve cancelled cooperatively (portfolio losers never surface
+    /// here; this means the whole query was cancelled).
+    Interrupted,
 }
 
 impl Verdict {
@@ -32,6 +43,10 @@ pub struct TheoremResult {
     pub verdict: Verdict,
     /// Wall time of the solver query.
     pub time: Duration,
+    /// Solver statistics (absent for cache hits and trivial queries).
+    pub stats: Option<QueryStats>,
+    /// Whether the verdict came from the engine's query cache.
+    pub cache_hit: bool,
 }
 
 /// A collection of theorem results for one verification run.
@@ -64,19 +79,46 @@ impl ProofReport {
         self.theorems.extend(other.theorems);
     }
 
-    /// Renders a human-readable summary.
+    /// Aggregated solver statistics over all theorems that solved.
+    pub fn solver_totals(&self) -> QueryStats {
+        let mut total = QueryStats::default();
+        for t in self.theorems.iter().filter_map(|t| t.stats.as_ref()) {
+            total.conflicts += t.conflicts;
+            total.decisions += t.decisions;
+            total.propagations += t.propagations;
+            total.restarts += t.restarts;
+            total.learnts += t.learnts;
+            total.clauses += t.clauses;
+            total.vars += t.vars;
+            total.wall += t.wall;
+        }
+        total
+    }
+
+    /// Number of theorems answered from the query cache.
+    pub fn cache_hits(&self) -> usize {
+        self.theorems.iter().filter(|t| t.cache_hit).count()
+    }
+
+    /// Renders a human-readable summary, including per-theorem solver
+    /// statistics where a solve actually ran.
     pub fn render(&self) -> String {
         let mut out = String::new();
         for t in &self.theorems {
             let status = match &t.verdict {
+                Verdict::Proved if t.cache_hit => "proved (cached)".to_string(),
                 Verdict::Proved => "proved".to_string(),
                 Verdict::Counterexample(_, cex) => format!("FAILED\n{cex}"),
                 Verdict::Unknown => "UNKNOWN (budget exhausted)".to_string(),
+                Verdict::Interrupted => "INTERRUPTED".to_string(),
             };
             out.push_str(&format!(
                 "  [{:>8.2?}] {:<40} {}\n",
                 t.time, t.name, status
             ));
+            if let Some(stats) = &t.stats {
+                out.push_str(&format!("             {}\n", stats.render()));
+            }
         }
         out
     }
@@ -84,6 +126,50 @@ impl ProofReport {
     /// The first failing theorem, if any.
     pub fn first_failure(&self) -> Option<&TheoremResult> {
         self.theorems.iter().find(|t| !t.verdict.is_proved())
+    }
+}
+
+/// One goal of a batch: proved under the context's assumptions plus
+/// `extra`.
+pub struct NamedGoal {
+    /// Theorem name.
+    pub name: String,
+    /// Extra assumptions beyond the context's.
+    pub extra: Vec<SBool>,
+    /// The goal.
+    pub goal: SBool,
+}
+
+impl NamedGoal {
+    /// A goal with no extra assumptions.
+    pub fn new(name: impl Into<String>, goal: SBool) -> NamedGoal {
+        NamedGoal {
+            name: name.into(),
+            extra: Vec::new(),
+            goal,
+        }
+    }
+}
+
+fn outcome_to_theorem(ctx: Option<&SymCtx>, outcome: QueryOutcome) -> TheoremResult {
+    if let (Some(ctx), Some(stats)) = (ctx, outcome.stats.as_ref()) {
+        ctx.profiler.record_solver(stats);
+    }
+    let verdict = match outcome.result {
+        VerifyResult::Proved => Verdict::Proved,
+        VerifyResult::Counterexample(m) => {
+            let rendering = m.render();
+            Verdict::Counterexample(m, rendering)
+        }
+        VerifyResult::Unknown => Verdict::Unknown,
+        VerifyResult::Interrupted => Verdict::Interrupted,
+    };
+    TheoremResult {
+        name: outcome.label,
+        verdict,
+        time: outcome.wall,
+        stats: outcome.stats,
+        cache_hit: outcome.cache_hit,
     }
 }
 
@@ -97,36 +183,139 @@ pub fn discharge(
 ) -> TheoremResult {
     let mut assumptions: Vec<SBool> = ctx.assumptions().to_vec();
     assumptions.extend_from_slice(extra);
-    let start = Instant::now();
-    let verdict = match verify_with(cfg, &assumptions, goal) {
-        VerifyResult::Proved => Verdict::Proved,
-        VerifyResult::Counterexample(m) => {
-            let rendering = m.render();
-            Verdict::Counterexample(m, rendering)
-        }
-        VerifyResult::Unknown => Verdict::Unknown,
-    };
-    TheoremResult {
-        name: name.into(),
-        verdict,
-        time: start.elapsed(),
+    let outcome = serval_engine::handle().submit(Query {
+        label: name.into(),
+        assumptions,
+        goal,
+        cfg,
+    });
+    outcome_to_theorem(Some(ctx), outcome)
+}
+
+/// Discharges a batch of independent goals, sharing the context's
+/// assumptions, concurrently on the engine. Results come back in the
+/// order given.
+pub fn discharge_batch(
+    ctx: &SymCtx,
+    cfg: SolverConfig,
+    goals: Vec<NamedGoal>,
+) -> ProofReport {
+    let base: Vec<SBool> = ctx.assumptions().to_vec();
+    let queries: Vec<Query> = goals
+        .into_iter()
+        .map(|g| {
+            let mut assumptions = base.clone();
+            assumptions.extend(g.extra);
+            Query {
+                label: g.name,
+                assumptions,
+                goal: g.goal,
+                cfg,
+            }
+        })
+        .collect();
+    let outcomes = serval_engine::handle().submit_batch(queries);
+    ProofReport {
+        theorems: outcomes
+            .into_iter()
+            .map(|o| outcome_to_theorem(Some(ctx), o))
+            .collect(),
+    }
+}
+
+/// Discharges a batch of fully explicit queries (each with its own
+/// assumption set), for proofs that build several contexts — e.g. the
+/// per-operation noninterference lemmas.
+pub fn discharge_queries(
+    cfg: SolverConfig,
+    items: Vec<(String, Vec<SBool>, SBool)>,
+) -> ProofReport {
+    let queries: Vec<Query> = items
+        .into_iter()
+        .map(|(label, assumptions, goal)| Query {
+            label,
+            assumptions,
+            goal,
+            cfg,
+        })
+        .collect();
+    let outcomes = serval_engine::handle().submit_batch(queries);
+    ProofReport {
+        theorems: outcomes
+            .into_iter()
+            .map(|o| outcome_to_theorem(None, o))
+            .collect(),
     }
 }
 
 /// Discharges every collected obligation (e.g. `bug_on` checks) in `ctx`,
-/// consuming them.
+/// consuming them — as one concurrent batch.
 pub fn discharge_obligations(
     ctx: &mut SymCtx,
     cfg: SolverConfig,
     prefix: &str,
 ) -> ProofReport {
     let obligations: Vec<Obligation> = ctx.take_obligations();
-    let mut report = ProofReport::default();
-    for ob in obligations {
-        let name = format!("{prefix}{}", ob.label);
-        report
-            .theorems
-            .push(discharge(ctx, cfg, name, &[], ob.condition));
+    let goals: Vec<NamedGoal> = obligations
+        .into_iter()
+        .map(|ob| NamedGoal::new(format!("{prefix}{}", ob.label), ob.condition))
+        .collect();
+    discharge_batch(ctx, cfg, goals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serval_smt::{reset_ctx, BV};
+
+    #[test]
+    fn discharge_routes_through_engine_and_feeds_the_profiler() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let x = BV::fresh(8, "x");
+        ctx.assume(x.ult(BV::lit(8, 10)));
+        let t = discharge(
+            &ctx,
+            SolverConfig::default(),
+            "bounded",
+            &[],
+            x.ult(BV::lit(8, 16)),
+        );
+        assert!(t.verdict.is_proved(), "x < 10 implies x < 16");
+        assert!(t.stats.is_some(), "a real solve must surface its stats");
+        assert!(ctx.profiler.solver_queries() >= 1);
+        assert!(
+            ctx.profiler.render().contains("solver:"),
+            "profiler report must include the solver summary line"
+        );
     }
-    report
+
+    #[test]
+    fn batch_preserves_order_and_reports_totals() {
+        reset_ctx();
+        let mut ctx = SymCtx::new();
+        let x = BV::fresh(8, "x");
+        let y = BV::fresh(8, "y");
+        ctx.assume(x.ult(BV::lit(8, 4)));
+        let report = discharge_batch(
+            &ctx,
+            SolverConfig::default(),
+            vec![
+                NamedGoal::new("first", x.ult(BV::lit(8, 8))),
+                NamedGoal::new("second", ((x & y) + (x | y)).eq_(x + y)),
+                NamedGoal::new("fails", x.eq_(y)),
+            ],
+        );
+        let names: Vec<&str> =
+            report.theorems.iter().map(|t| t.name.as_str()).collect();
+        assert_eq!(names, ["first", "second", "fails"]);
+        assert!(report.theorems[0].verdict.is_proved());
+        assert!(report.theorems[1].verdict.is_proved());
+        assert!(matches!(
+            report.theorems[2].verdict,
+            Verdict::Counterexample(..)
+        ));
+        assert!(report.first_failure().unwrap().name == "fails");
+        assert!(report.solver_totals().vars > 0);
+    }
 }

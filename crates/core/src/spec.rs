@@ -5,7 +5,7 @@
 //! the quantified variables become fresh symbolic constants, so proving the
 //! body valid proves the universally quantified formula.
 
-use crate::report::{discharge, ProofReport};
+use crate::report::{discharge, discharge_batch, NamedGoal, ProofReport};
 use serval_smt::solver::SolverConfig;
 use serval_smt::SBool;
 use serval_sym::{Merge, SymCtx};
@@ -62,29 +62,21 @@ pub fn prove_refinement<R: Refinement>(
     r.run_impl(&mut ctx, &mut impl_state);
     r.run_spec(&mut ctx, &mut spec_state);
 
-    let mut report = ProofReport::default();
-    // 1. UB obligations from symbolic evaluation of the implementation.
-    for ob in ctx.take_obligations() {
-        report.theorems.push(discharge(
-            &ctx,
-            cfg,
-            format!("{name}: {}", ob.label),
-            &[],
-            ob.condition,
-        ));
-    }
+    // All three theorem families are independent, so collect them first
+    // and discharge as one concurrent batch on the engine.
+    let mut goals: Vec<NamedGoal> = ctx
+        .take_obligations()
+        .into_iter()
+        .map(|ob| NamedGoal::new(format!("{name}: {}", ob.label), ob.condition))
+        .collect();
     // 2. RI preservation.
     let ri1 = r.rep_invariant(&impl_state);
-    report
-        .theorems
-        .push(discharge(&ctx, cfg, format!("{name}: RI preserved"), &[], ri1));
+    goals.push(NamedGoal::new(format!("{name}: RI preserved"), ri1));
     // 3. Lock-step commutation through AF.
     let af1 = r.abstraction(&impl_state);
     let eq = r.spec_eq(&af1, &spec_state);
-    report
-        .theorems
-        .push(discharge(&ctx, cfg, format!("{name}: refinement"), &[], eq));
-    report
+    goals.push(NamedGoal::new(format!("{name}: refinement"), eq));
+    discharge_batch(&ctx, cfg, goals)
 }
 
 /// Proves a one-safety property: `invariant(s) ⇒ prop(s)` for all spec

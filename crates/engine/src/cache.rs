@@ -1,0 +1,148 @@
+//! The query cache: an in-memory tier keyed on the query normal form,
+//! plus an optional on-disk tier so repeated fig11/ablation runs skip
+//! already-proven obligations.
+//!
+//! Only definitive verdicts are cached: `Proved`, and `Refuted` with its
+//! portable counterexample. `Unknown`/`Interrupted` depend on budgets
+//! and cancellation, so they are never cached. The disk tier stores
+//! proved keys only, in a length-prefixed binary format under
+//! `target/serval-cache/` (env-gated via `SERVAL_CACHE`); a truncated
+//! tail (e.g. after a crash mid-append) is tolerated on load.
+
+use crate::solve::PortableModel;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A cached definitive verdict.
+#[derive(Clone, Debug)]
+pub enum CachedVerdict {
+    /// The query was proved (assertions unsatisfiable).
+    Proved,
+    /// The query was refuted; the model is over canonical var indices,
+    /// so it applies to any query with the same normal form.
+    Refuted(PortableModel),
+}
+
+const MAGIC: &[u8; 8] = b"SRVCACH1";
+
+/// The two-tier cache.
+pub struct Cache {
+    mem: Mutex<HashMap<Vec<u8>, CachedVerdict>>,
+    disk: Option<PathBuf>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Cache {
+    /// Creates a cache; with `Some(dir)`, proved keys persist to
+    /// `dir/proved.bin` and are preloaded here.
+    pub fn new(disk_dir: Option<PathBuf>) -> Cache {
+        let mut mem = HashMap::new();
+        let disk = disk_dir.map(|d| d.join("proved.bin"));
+        if let Some(path) = &disk {
+            for key in load_proved(path) {
+                mem.insert(key, CachedVerdict::Proved);
+            }
+        }
+        Cache {
+            mem: Mutex::new(mem),
+            disk,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, counting a hit or a miss.
+    pub fn lookup(&self, key: &[u8]) -> Option<CachedVerdict> {
+        let found = self.mem.lock().unwrap().get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Records a definitive verdict; proved keys also go to disk when
+    /// the disk tier is enabled.
+    pub fn insert(&self, key: Vec<u8>, verdict: CachedVerdict) {
+        let fresh = self
+            .mem
+            .lock()
+            .unwrap()
+            .insert(key.clone(), verdict.clone())
+            .is_none();
+        if fresh && matches!(verdict, CachedVerdict::Proved) {
+            if let Some(path) = &self.disk {
+                append_proved(path, &key);
+            }
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.mem.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Loads the proved-key file, stopping at the first malformed record.
+fn load_proved(path: &Path) -> Vec<Vec<u8>> {
+    let Ok(bytes) = std::fs::read(path) else {
+        return Vec::new();
+    };
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Vec::new();
+    }
+    let mut keys = Vec::new();
+    let mut at = MAGIC.len();
+    while at + 4 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 4;
+        if at + len > bytes.len() {
+            break; // truncated tail: keep what we have
+        }
+        keys.push(bytes[at..at + len].to_vec());
+        at += len;
+    }
+    keys
+}
+
+/// Appends one proved key, creating the file (with magic) on first use.
+/// I/O failures only lose persistence, never correctness, so they are
+/// silently ignored.
+fn append_proved(path: &Path, key: &[u8]) {
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
+        return;
+    };
+    let mut record = Vec::with_capacity(key.len() + 12);
+    if fresh {
+        record.extend_from_slice(MAGIC);
+    }
+    record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    record.extend_from_slice(key);
+    let _ = f.write_all(&record);
+}

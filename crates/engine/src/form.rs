@@ -1,0 +1,403 @@
+//! Query normal form: the portable, alpha-invariant serialization of a
+//! verification query.
+//!
+//! Terms live in a *thread-local* hash-consed context (`smt::term`), so a
+//! `TermId` means nothing on another thread. To discharge queries on pool
+//! workers the engine re-serializes the term DAG reachable from the
+//! query's assertion roots into a self-contained [`FormCore`]: nodes in
+//! deterministic postorder, symbolic constants renumbered by first
+//! encounter, uninterpreted functions likewise. The byte serialization of
+//! that core is the **cache key** — two queries that differ only in
+//! variable creation order, variable names, or assumption order produce
+//! identical keys, while any structural difference changes the bytes.
+//!
+//! Soundness: the key *is* the full serialization, so key equality
+//! implies the queries are alpha-equivalent (same proof obligation). The
+//! converse does not quite hold — assumption roots are ordered by a
+//! per-root local key, and two distinct roots with identical local keys
+//! keep their submission order, so symmetric queries may occasionally
+//! miss the cache. A miss is only a wasted solve, never a wrong verdict.
+
+use serval_smt::bv::SBool;
+use serval_smt::solver::SolverConfig;
+use serval_smt::term::{with_ctx, Op, Sort, Term, TermId, UfId};
+use std::collections::HashMap;
+
+/// A verification query: prove `goal` under `assumptions`.
+///
+/// Build it on the thread that owns the terms, then hand it to
+/// [`crate::Engine::submit_batch`].
+pub struct Query {
+    /// Human-readable label (becomes the theorem name in reports).
+    pub label: String,
+    /// Assumptions (path conditions, invariants, ...).
+    pub assumptions: Vec<SBool>,
+    /// The goal to prove.
+    pub goal: SBool,
+    /// Solver configuration (budget + search parameters).
+    pub cfg: SolverConfig,
+}
+
+/// One node of the portable term DAG. `children` index into
+/// [`FormCore::nodes`]; `Op::Var`/`Op::UfApply` payloads are *canonical*
+/// indices, not thread-local ordinals.
+#[derive(Clone, Debug)]
+pub struct FormNode {
+    /// The operator (with canonicalized payload for vars and UFs).
+    pub op: Op,
+    /// Children as indices into the node array (always smaller than the
+    /// node's own index: the array is in postorder).
+    pub children: Vec<u32>,
+    /// The node's sort.
+    pub sort: Sort,
+}
+
+/// The portable normal form of a query: everything a worker thread needs
+/// to rebuild and solve it in a fresh term context.
+#[derive(Clone, Debug)]
+pub struct FormCore {
+    /// Term DAG in deterministic postorder.
+    pub nodes: Vec<FormNode>,
+    /// Assertion roots (assumptions plus negated goal), deduplicated and
+    /// canonically ordered, as indices into `nodes`.
+    pub roots: Vec<u32>,
+    /// Sort of each canonical symbolic constant.
+    pub var_sorts: Vec<Sort>,
+    /// Signature (argument widths, result width) of each canonical UF.
+    pub uf_sigs: Vec<(Vec<u32>, u32)>,
+    /// True when some root is the constant `false`: the query is proved
+    /// without solving (mirrors the `check` fast path).
+    pub trivially_unsat: bool,
+}
+
+/// Where a canonical symbolic constant came from in the submitting
+/// thread, so counterexample models can be translated back.
+#[derive(Clone, Debug)]
+pub struct VarOrigin {
+    /// The original term id (valid only on the submitting thread).
+    pub term: TermId,
+    /// Sort of the constant.
+    pub sort: Sort,
+}
+
+/// Caller-side translation table from canonical indices back to the
+/// submitting thread's term context.
+#[derive(Clone, Debug, Default)]
+pub struct BackMap {
+    /// Canonical var index → original constant.
+    pub vars: Vec<VarOrigin>,
+    /// Canonical UF index → original UF id.
+    pub ufs: Vec<UfId>,
+}
+
+/// A query reduced to its normal form plus the caller-side back map.
+pub struct Prepared {
+    /// The portable core (shared with workers).
+    pub core: FormCore,
+    /// Canonical-index → caller-term translation.
+    pub backmap: BackMap,
+    /// Cache key: the byte serialization of `core`.
+    pub key: Vec<u8>,
+}
+
+/// Extracts the normal form of `assumptions ∧ ¬goal`.
+///
+/// Must run on the thread that owns the terms.
+pub fn prepare(assumptions: &[SBool], goal: SBool) -> Prepared {
+    let negated_goal = !goal;
+    let mut roots: Vec<TermId> = Vec::with_capacity(assumptions.len() + 1);
+    let mut trivially_unsat = false;
+    for a in assumptions.iter().copied().chain([negated_goal]) {
+        if a.is_false() {
+            trivially_unsat = true;
+        }
+        // Constant-true roots constrain nothing; drop them so queries
+        // differing only in vacuous assumptions normalize identically.
+        if !a.is_true() && !roots.contains(&a.0) {
+            roots.push(a.0);
+        }
+    }
+
+    // Order roots by their per-root alpha-invariant key so assumption
+    // order cannot influence the normal form.
+    let mut keyed: Vec<(Vec<u8>, TermId)> =
+        roots.into_iter().map(|r| (local_key(r), r)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+
+    // Global pass: one postorder numbering across all roots, with vars
+    // and UFs renumbered by first encounter.
+    let mut node_of: HashMap<TermId, u32> = HashMap::new();
+    let mut nodes: Vec<FormNode> = Vec::new();
+    let mut var_of: HashMap<u32, u32> = HashMap::new();
+    let mut uf_of: HashMap<u32, u32> = HashMap::new();
+    let mut backmap = BackMap::default();
+    let mut var_sorts: Vec<Sort> = Vec::new();
+    let mut uf_sigs: Vec<(Vec<u32>, u32)> = Vec::new();
+    let mut root_ids: Vec<u32> = Vec::with_capacity(keyed.len());
+    for &(_, root) in &keyed {
+        let mut stack = vec![root];
+        while let Some(&t) = stack.last() {
+            if node_of.contains_key(&t) {
+                stack.pop();
+                continue;
+            }
+            let (op, children, sort) = fetch(t);
+            let pending: Vec<TermId> = children
+                .iter()
+                .copied()
+                .filter(|c| !node_of.contains_key(c))
+                .collect();
+            if !pending.is_empty() {
+                stack.extend(pending);
+                continue;
+            }
+            let op = match op {
+                Op::Var(ord) => {
+                    let k = *var_of.entry(ord).or_insert_with(|| {
+                        backmap.vars.push(VarOrigin { term: t, sort });
+                        var_sorts.push(sort);
+                        (var_sorts.len() - 1) as u32
+                    });
+                    Op::Var(k)
+                }
+                Op::UfApply(uf) => {
+                    let k = *uf_of.entry(uf.0).or_insert_with(|| {
+                        let (args, result) =
+                            with_ctx(|c| (c.uf_sig(uf).args.clone(), c.uf_sig(uf).result));
+                        backmap.ufs.push(uf);
+                        uf_sigs.push((args, result));
+                        (uf_sigs.len() - 1) as u32
+                    });
+                    Op::UfApply(UfId(k))
+                }
+                other => other,
+            };
+            let children: Vec<u32> = children.iter().map(|c| node_of[c]).collect();
+            node_of.insert(t, nodes.len() as u32);
+            nodes.push(FormNode { op, children, sort });
+            stack.pop();
+        }
+        root_ids.push(node_of[&root]);
+    }
+
+    let core = FormCore {
+        nodes,
+        roots: root_ids,
+        var_sorts,
+        uf_sigs,
+        trivially_unsat,
+    };
+    let key = cache_key(&core);
+    Prepared { core, backmap, key }
+}
+
+/// Rebuilds a [`FormCore`] inside the *current* thread's term context.
+pub struct Rebuilt {
+    /// The assertion roots, ready for `smt::check_full`.
+    pub roots: Vec<SBool>,
+    /// Canonical var index → term in this thread's context.
+    pub var_terms: Vec<TermId>,
+    /// Canonical UF index → UF id in this thread's context.
+    pub uf_ids: Vec<UfId>,
+}
+
+/// Materializes the portable form as real terms on the current thread.
+pub fn rebuild(core: &FormCore) -> Rebuilt {
+    with_ctx(|c| {
+        let uf_ids: Vec<UfId> = core
+            .uf_sigs
+            .iter()
+            .enumerate()
+            .map(|(i, (args, result))| c.declare_uf(&format!("uf{i}"), args.clone(), *result))
+            .collect();
+        let mut var_terms: Vec<TermId> = vec![TermId(0); core.var_sorts.len()];
+        let mut ids: Vec<TermId> = Vec::with_capacity(core.nodes.len());
+        for node in &core.nodes {
+            let children: Vec<TermId> =
+                node.children.iter().map(|&i| ids[i as usize]).collect();
+            let id = match node.op {
+                // Each canonical var appears as exactly one node, so this
+                // assigns every `var_terms` slot exactly once.
+                Op::Var(k) => {
+                    let t = c.fresh_var(node.sort, &format!("q{k}"));
+                    var_terms[k as usize] = t;
+                    t
+                }
+                Op::UfApply(UfId(k)) => c.intern(Term {
+                    op: Op::UfApply(uf_ids[k as usize]),
+                    children,
+                    sort: node.sort,
+                }),
+                ref op => c.intern(Term {
+                    op: op.clone(),
+                    children,
+                    sort: node.sort,
+                }),
+            };
+            ids.push(id);
+        }
+        Rebuilt {
+            roots: core.roots.iter().map(|&r| SBool(ids[r as usize])).collect(),
+            var_terms,
+            uf_ids,
+        }
+    })
+}
+
+/// Per-root alpha-invariant key, used only to order assertion roots.
+fn local_key(root: TermId) -> Vec<u8> {
+    let mut local: HashMap<TermId, u32> = HashMap::new();
+    let mut var_of: HashMap<u32, u32> = HashMap::new();
+    let mut uf_of: HashMap<u32, u32> = HashMap::new();
+    let mut out = Vec::new();
+    let mut stack = vec![root];
+    while let Some(&t) = stack.last() {
+        if local.contains_key(&t) {
+            stack.pop();
+            continue;
+        }
+        let (op, children, sort) = fetch(t);
+        let pending: Vec<TermId> = children
+            .iter()
+            .copied()
+            .filter(|c| !local.contains_key(c))
+            .collect();
+        if !pending.is_empty() {
+            stack.extend(pending);
+            continue;
+        }
+        let op = match op {
+            Op::Var(ord) => {
+                let n = var_of.len() as u32;
+                Op::Var(*var_of.entry(ord).or_insert(n))
+            }
+            Op::UfApply(uf) => {
+                let n = uf_of.len() as u32;
+                Op::UfApply(UfId(*uf_of.entry(uf.0).or_insert(n)))
+            }
+            other => other,
+        };
+        let ids: Vec<u32> = children.iter().map(|c| local[c]).collect();
+        encode_node(&op, &ids, sort, &mut out);
+        local.insert(t, local.len() as u32);
+        stack.pop();
+    }
+    out
+}
+
+/// The cache key: a versioned, deterministic byte serialization of the
+/// whole core. The solver configuration is deliberately *not* part of
+/// the key — only definitive verdicts (proved / refuted) are cached, and
+/// those are independent of search parameters.
+pub fn cache_key(core: &FormCore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"SQ1\0");
+    push_u32(&mut out, core.nodes.len() as u32);
+    for n in &core.nodes {
+        encode_node(&n.op, &n.children, n.sort, &mut out);
+    }
+    push_u32(&mut out, core.roots.len() as u32);
+    for &r in &core.roots {
+        push_u32(&mut out, r);
+    }
+    push_u32(&mut out, core.var_sorts.len() as u32);
+    for &s in &core.var_sorts {
+        encode_sort(s, &mut out);
+    }
+    push_u32(&mut out, core.uf_sigs.len() as u32);
+    for (args, result) in &core.uf_sigs {
+        push_u32(&mut out, args.len() as u32);
+        for &a in args {
+            push_u32(&mut out, a);
+        }
+        push_u32(&mut out, *result);
+    }
+    out.push(core.trivially_unsat as u8);
+    out
+}
+
+fn fetch(t: TermId) -> (Op, Vec<TermId>, Sort) {
+    with_ctx(|c| {
+        let n = c.term(t);
+        (n.op.clone(), n.children.clone(), n.sort)
+    })
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Stable operator tags. Appending new operators is fine; renumbering
+/// existing ones invalidates on-disk caches (bump the `SQ` version).
+fn encode_node(op: &Op, children: &[u32], sort: Sort, out: &mut Vec<u8>) {
+    match op {
+        Op::BoolConst(b) => {
+            out.push(0);
+            out.push(*b as u8);
+        }
+        Op::BvConst(v) => {
+            out.push(1);
+            push_u128(out, *v);
+        }
+        Op::Var(k) => {
+            out.push(2);
+            push_u32(out, *k);
+        }
+        Op::Not => out.push(3),
+        Op::And => out.push(4),
+        Op::Or => out.push(5),
+        Op::Xor => out.push(6),
+        Op::Iff => out.push(7),
+        Op::IteBool => out.push(8),
+        Op::Eq => out.push(9),
+        Op::Ult => out.push(10),
+        Op::Ule => out.push(11),
+        Op::Slt => out.push(12),
+        Op::Sle => out.push(13),
+        Op::BvNot => out.push(14),
+        Op::BvNeg => out.push(15),
+        Op::BvAnd => out.push(16),
+        Op::BvOr => out.push(17),
+        Op::BvXor => out.push(18),
+        Op::BvAdd => out.push(19),
+        Op::BvSub => out.push(20),
+        Op::BvMul => out.push(21),
+        Op::BvUdiv => out.push(22),
+        Op::BvUrem => out.push(23),
+        Op::BvShl => out.push(24),
+        Op::BvLshr => out.push(25),
+        Op::BvAshr => out.push(26),
+        Op::Concat => out.push(27),
+        Op::Extract(hi, lo) => {
+            out.push(28);
+            push_u32(out, *hi);
+            push_u32(out, *lo);
+        }
+        Op::ZeroExt => out.push(29),
+        Op::SignExt => out.push(30),
+        Op::IteBv => out.push(31),
+        Op::UfApply(UfId(k)) => {
+            out.push(32);
+            push_u32(out, *k);
+        }
+    }
+    encode_sort(sort, out);
+    push_u32(out, children.len() as u32);
+    for &c in children {
+        push_u32(out, c);
+    }
+}
+
+fn encode_sort(s: Sort, out: &mut Vec<u8>) {
+    match s {
+        Sort::Bool => out.push(0),
+        Sort::BitVec(w) => {
+            out.push(1);
+            push_u32(out, w);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! serval-engine: the parallel proof-discharge engine.
+//!
+//! Serval's workloads are embarrassingly parallel — split-cases factors a
+//! monolithic verification condition into independent per-handler
+//! queries, and the JIT checker emits one query per BPF opcode — but the
+//! term DAG they are phrased over is *thread-local*. This crate bridges
+//! the two: a [`Query`] (assumptions + goal + label) is re-serialized
+//! into a portable, alpha-invariant normal form ([`form`]), solved on a
+//! from-scratch work-stealing thread pool ([`pool`]), memoized in a
+//! two-tier cache keyed on the normal form ([`cache`]), and optionally
+//! raced across several solver configurations with cooperative
+//! cancellation ([`solve`]).
+//!
+//! Results stream back in deterministic submission order with identical
+//! verdicts regardless of worker count, so `SERVAL_JOBS=1` and
+//! `SERVAL_JOBS=32` differ only in wall time.
+//!
+//! Environment knobs (read once, at first use of the global engine):
+//!
+//! | Variable           | Meaning                                            |
+//! |--------------------|----------------------------------------------------|
+//! | `SERVAL_JOBS`      | Worker count (default: available parallelism)      |
+//! | `SERVAL_CACHE`     | `1`/`on` → disk tier under `target/serval-cache/`; a path → disk tier there; unset/`0` → memory tier only |
+//! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query         |
+
+pub mod cache;
+pub mod form;
+pub mod pool;
+pub mod solve;
+
+#[cfg(test)]
+mod tests;
+
+pub use form::Query;
+
+use cache::{Cache, CachedVerdict};
+use form::{prepare, BackMap};
+use pool::Pool;
+use serval_smt::model::Model;
+use serval_smt::solver::{QueryStats, VerifyResult};
+use solve::{solve_one, solve_portfolio, PortableModel, RawOutcome, RawVerdict};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Engine construction parameters.
+#[derive(Clone, Debug)]
+pub struct EngineCfg {
+    /// Worker thread count (clamped to at least 1).
+    pub jobs: usize,
+    /// Race [`solve::portfolio_variants`] per query instead of solving
+    /// each query once.
+    pub portfolio: bool,
+    /// Directory for the on-disk proved-key tier; `None` disables it.
+    pub disk_cache: Option<PathBuf>,
+}
+
+impl Default for EngineCfg {
+    fn default() -> Self {
+        EngineCfg {
+            jobs: default_jobs(),
+            portfolio: false,
+            disk_cache: None,
+        }
+    }
+}
+
+impl EngineCfg {
+    /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, and `SERVAL_CACHE`.
+    pub fn from_env() -> EngineCfg {
+        let jobs = std::env::var("SERVAL_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&j| j >= 1)
+            .unwrap_or_else(default_jobs);
+        let portfolio = std::env::var("SERVAL_PORTFOLIO")
+            .map(|v| matches!(v.trim(), "1" | "on" | "true"))
+            .unwrap_or(false);
+        let disk_cache = match std::env::var("SERVAL_CACHE") {
+            Err(_) => None,
+            Ok(v) => match v.trim() {
+                "" | "0" | "off" | "false" => None,
+                "1" | "on" | "true" => Some(PathBuf::from("target/serval-cache")),
+                path => Some(PathBuf::from(path)),
+            },
+        };
+        EngineCfg {
+            jobs,
+            portfolio,
+            disk_cache,
+        }
+    }
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// The outcome of one discharged query, in submission order.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The label the query was submitted with.
+    pub label: String,
+    /// The verdict, with counterexample models translated back into the
+    /// submitting thread's term context.
+    pub result: VerifyResult,
+    /// Solver statistics (absent for cache hits and trivial queries).
+    pub stats: Option<QueryStats>,
+    /// Wall time of the solve (zero for cache hits and trivial queries).
+    pub wall: Duration,
+    /// Whether the verdict came from the cache.
+    pub cache_hit: bool,
+    /// Which portfolio variant won (0 when portfolio is off).
+    pub variant: usize,
+    /// Panic message if the query died on a worker; the verdict is then
+    /// `Unknown`.
+    pub error: Option<String>,
+}
+
+/// The proof-discharge engine: pool + cache + portfolio switch.
+pub struct Engine {
+    pool: Pool,
+    cache: Cache,
+    portfolio: bool,
+}
+
+impl Engine {
+    /// Builds an engine (spawns the worker threads eagerly).
+    pub fn new(cfg: EngineCfg) -> Engine {
+        Engine {
+            pool: Pool::new(cfg.jobs),
+            cache: Cache::new(cfg.disk_cache),
+            portfolio: cfg.portfolio,
+        }
+    }
+
+    /// Worker thread count.
+    pub fn jobs(&self) -> usize {
+        self.pool.jobs()
+    }
+
+    /// Whether portfolio mode is on.
+    pub fn portfolio(&self) -> bool {
+        self.portfolio
+    }
+
+    /// Cache (hits, misses) since engine construction.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Discharges one query (see [`Engine::submit_batch`]).
+    pub fn submit(&self, query: Query) -> QueryOutcome {
+        self.submit_batch(vec![query])
+            .pop()
+            .expect("one query in, one outcome out")
+    }
+
+    /// Discharges a batch of independent queries, returning outcomes in
+    /// submission order. Must be called from the thread that owns the
+    /// queries' terms; solving itself happens on the pool workers (and
+    /// never mutates the caller's term context).
+    pub fn submit_batch(&self, queries: Vec<Query>) -> Vec<QueryOutcome> {
+        let n = queries.len();
+        let mut slots: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<(usize, BackMap, Vec<u8>)> = Vec::new();
+        let mut tasks: Vec<Box<dyn FnOnce() -> RawOutcome + Send + 'static>> = Vec::new();
+        for (i, q) in queries.into_iter().enumerate() {
+            let prepared = prepare(&q.assumptions, q.goal);
+            if prepared.core.trivially_unsat {
+                slots[i] = Some(QueryOutcome {
+                    label: q.label,
+                    result: VerifyResult::Proved,
+                    stats: None,
+                    wall: Duration::ZERO,
+                    cache_hit: false,
+                    variant: 0,
+                    error: None,
+                });
+                continue;
+            }
+            if let Some(cached) = self.cache.lookup(&prepared.key) {
+                slots[i] = Some(QueryOutcome {
+                    label: q.label,
+                    result: rehydrate(cached, &prepared.backmap),
+                    stats: None,
+                    wall: Duration::ZERO,
+                    cache_hit: true,
+                    variant: 0,
+                    error: None,
+                });
+                continue;
+            }
+            let core = Arc::new(prepared.core);
+            let cfg = q.cfg;
+            let portfolio = self.portfolio;
+            tasks.push(Box::new(move || {
+                if portfolio {
+                    solve_portfolio(&core, cfg, None)
+                } else {
+                    solve_one(&core, cfg, None)
+                }
+            }));
+            pending.push((i, prepared.backmap, prepared.key));
+            slots[i] = Some(QueryOutcome {
+                label: q.label,
+                result: VerifyResult::Unknown,
+                stats: None,
+                wall: Duration::ZERO,
+                cache_hit: false,
+                variant: 0,
+                error: None,
+            });
+        }
+
+        let raw = self.pool.run_batch(tasks);
+        for ((i, backmap, key), outcome) in pending.into_iter().zip(raw) {
+            let slot = slots[i].as_mut().expect("pending slot was initialized");
+            match outcome {
+                Err(msg) => {
+                    slot.result = VerifyResult::Unknown;
+                    slot.error = Some(msg);
+                }
+                Ok(RawOutcome {
+                    verdict,
+                    stats,
+                    variant,
+                }) => {
+                    slot.stats = Some(stats);
+                    slot.wall = stats.wall;
+                    slot.variant = variant;
+                    match verdict {
+                        RawVerdict::Proved => {
+                            self.cache.insert(key, CachedVerdict::Proved);
+                            slot.result = VerifyResult::Proved;
+                        }
+                        RawVerdict::Refuted(pm) => {
+                            slot.result = VerifyResult::Counterexample(Box::new(
+                                portable_to_model(&pm, &backmap),
+                            ));
+                            self.cache.insert(key, CachedVerdict::Refuted(pm));
+                        }
+                        RawVerdict::Unknown => slot.result = VerifyResult::Unknown,
+                        RawVerdict::Interrupted => {
+                            slot.result = VerifyResult::Interrupted
+                        }
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot resolved"))
+            .collect()
+    }
+}
+
+/// Translates a cached verdict into the caller's term context.
+fn rehydrate(cached: CachedVerdict, backmap: &BackMap) -> VerifyResult {
+    match cached {
+        CachedVerdict::Proved => VerifyResult::Proved,
+        CachedVerdict::Refuted(pm) => {
+            VerifyResult::Counterexample(Box::new(portable_to_model(&pm, backmap)))
+        }
+    }
+}
+
+/// Maps a portable model onto the submitting thread's terms.
+fn portable_to_model(pm: &PortableModel, backmap: &BackMap) -> Model {
+    let mut m = Model::default();
+    for &(k, v) in &pm.bvs {
+        m.set_bv(backmap.vars[k as usize].term, v);
+    }
+    for &(k, b) in &pm.bools {
+        m.set_bool(backmap.vars[k as usize].term, b);
+    }
+    for (k, rows) in &pm.ufs {
+        m.uf_tables.insert(
+            backmap.ufs[*k as usize],
+            rows.iter().cloned().collect(),
+        );
+    }
+    m
+}
+
+static GLOBAL: OnceLock<Mutex<Option<Arc<Engine>>>> = OnceLock::new();
+
+fn global_slot() -> &'static Mutex<Option<Arc<Engine>>> {
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// The process-wide engine, created from the environment on first use.
+pub fn handle() -> Arc<Engine> {
+    let mut slot = global_slot().lock().unwrap();
+    if slot.is_none() {
+        *slot = Some(Arc::new(Engine::new(EngineCfg::from_env())));
+    }
+    Arc::clone(slot.as_ref().unwrap())
+}
+
+/// Replaces the process-wide engine (benchmarks use this to compare
+/// worker counts within one process). Returns the new engine.
+pub fn install(cfg: EngineCfg) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(cfg));
+    *global_slot().lock().unwrap() = Some(Arc::clone(&engine));
+    engine
+}

@@ -1,0 +1,183 @@
+//! A from-scratch work-stealing thread pool (std-only).
+//!
+//! Jobs are pushed round-robin onto per-worker deques; an idle worker
+//! first drains its own deque LIFO (cache-friendly), then the shared
+//! injector, then steals FIFO from its siblings, so an imbalanced batch
+//! still keeps every core busy. A `Mutex<usize>`/`Condvar` pair counts
+//! unclaimed jobs and parks idle workers without busy-waiting.
+//!
+//! [`Pool::run_batch`] is the engine's workhorse: it submits a batch,
+//! catches panics per job (a poisoned query fails alone, the pool keeps
+//! draining), and returns results **in submission order** regardless of
+//! completion order or worker count — the basis of the engine's
+//! determinism guarantee.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    injector: Mutex<VecDeque<Job>>,
+    locals: Vec<Mutex<VecDeque<Job>>>,
+    /// Count of queued-but-unclaimed jobs; guards the condvar.
+    ready: Mutex<usize>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin submission cursor.
+    cursor: AtomicUsize,
+}
+
+/// The pool. Dropping it shuts the workers down (pending jobs are still
+/// drained first — see `Drop`).
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Pool {
+        let jobs = jobs.max(1);
+        let shared = Arc::new(Shared {
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect(),
+            ready: Mutex::new(0),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            cursor: AtomicUsize::new(0),
+        });
+        let workers = (0..jobs)
+            .map(|me| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serval-engine-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
+                    .expect("spawn engine worker")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn jobs(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues one job.
+    pub fn submit(&self, job: Job) {
+        let n = self.shared.locals.len();
+        let slot = self.shared.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        self.shared.locals[slot].lock().unwrap().push_back(job);
+        let mut ready = self.shared.ready.lock().unwrap();
+        *ready += 1;
+        drop(ready);
+        self.shared.cv.notify_one();
+    }
+
+    /// Runs a batch of tasks and returns their results in submission
+    /// order. A panicking task yields `Err(panic message)` for its slot
+    /// only; the rest of the batch completes normally.
+    pub fn run_batch<T: Send + 'static>(
+        &self,
+        tasks: Vec<Box<dyn FnOnce() -> T + Send + 'static>>,
+    ) -> Vec<Result<T, String>> {
+        let n = tasks.len();
+        let (tx, rx) = mpsc::channel::<(usize, Result<T, String>)>();
+        for (i, task) in tasks.into_iter().enumerate() {
+            let tx = tx.clone();
+            self.submit(Box::new(move || {
+                let r = catch_unwind(AssertUnwindSafe(task)).map_err(panic_message);
+                let _ = tx.send((i, r));
+            }));
+        }
+        drop(tx);
+        let mut out: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (i, r) = rx.recv().expect("engine worker dropped a batch result");
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|o| o.expect("every batch slot reports exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, me: usize) {
+    loop {
+        if let Some(job) = grab(shared, me) {
+            job();
+            continue;
+        }
+        let mut ready = shared.ready.lock().unwrap();
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                // Drain anything still queued before exiting so a
+                // shutdown never strands submitted work.
+                drop(ready);
+                while let Some(job) = grab(shared, me) {
+                    job();
+                }
+                return;
+            }
+            if *ready > 0 {
+                break;
+            }
+            let (guard, _timeout) = shared
+                .cv
+                .wait_timeout(ready, Duration::from_millis(50))
+                .unwrap();
+            ready = guard;
+        }
+    }
+}
+
+/// Claims one job: own deque LIFO, then injector, then steal FIFO.
+fn grab(shared: &Shared, me: usize) -> Option<Job> {
+    let claim = |job: Option<Job>| -> Option<Job> {
+        if job.is_some() {
+            *shared.ready.lock().unwrap() -= 1;
+        }
+        job
+    };
+    if let Some(j) = claim(shared.locals[me].lock().unwrap().pop_back()) {
+        return Some(j);
+    }
+    if let Some(j) = claim(shared.injector.lock().unwrap().pop_front()) {
+        return Some(j);
+    }
+    for (k, other) in shared.locals.iter().enumerate() {
+        if k == me {
+            continue;
+        }
+        if let Some(j) = claim(other.lock().unwrap().pop_front()) {
+            return Some(j);
+        }
+    }
+    None
+}
+
+fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query panicked".to_string()
+    }
+}

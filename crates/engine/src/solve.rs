@@ -1,0 +1,182 @@
+//! Worker-side solving: rebuild the portable form in the worker's own
+//! term context, discharge it, and translate any model into a portable
+//! shape. Portfolio mode races several solver configurations for one
+//! query and cancels the losers through the CDCL interrupt flag.
+
+use crate::form::{rebuild, FormCore};
+use serval_smt::solver::{check_full, CheckResult, QueryStats, SolverConfig};
+use serval_smt::term::{reset_ctx, Sort};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A model expressed over canonical var/UF indices — valid on any
+/// thread, for any query with the same normal form.
+#[derive(Clone, Debug, Default)]
+pub struct PortableModel {
+    /// Canonical var index → bitvector value.
+    pub bvs: Vec<(u32, u128)>,
+    /// Canonical var index → boolean value.
+    pub bools: Vec<(u32, bool)>,
+    /// Canonical UF index → (argument tuple → result) graph.
+    pub ufs: Vec<(u32, Vec<(Vec<u128>, u128)>)>,
+}
+
+/// Verdict of a worker-side solve, before caller-side translation.
+#[derive(Clone, Debug)]
+pub enum RawVerdict {
+    /// Assertions unsatisfiable: the query's goal is proved.
+    Proved,
+    /// Assertions satisfiable: the goal is refuted by this model.
+    Refuted(PortableModel),
+    /// Budget exhausted.
+    Unknown,
+    /// Cancelled (only surfaces when every portfolio member was).
+    Interrupted,
+}
+
+/// Worker-side solve result.
+#[derive(Clone, Debug)]
+pub struct RawOutcome {
+    /// The verdict.
+    pub verdict: RawVerdict,
+    /// Solver statistics of the winning solve.
+    pub stats: QueryStats,
+    /// Which portfolio variant produced the verdict (0 = base config).
+    pub variant: usize,
+}
+
+/// Solves `core` under one configuration in a fresh term context.
+///
+/// Must run on a thread whose term context is disposable (a pool worker
+/// or a portfolio thread): the context is reset first.
+pub fn solve_one(
+    core: &FormCore,
+    cfg: SolverConfig,
+    cancel: Option<Arc<AtomicBool>>,
+) -> RawOutcome {
+    reset_ctx();
+    let rq = rebuild(core);
+    let out = check_full(cfg, &rq.roots, cancel);
+    let verdict = match out.result {
+        CheckResult::Unsat => RawVerdict::Proved,
+        CheckResult::Unknown => RawVerdict::Unknown,
+        CheckResult::Interrupted => RawVerdict::Interrupted,
+        CheckResult::Sat(model) => {
+            let mut pm = PortableModel::default();
+            for (k, &t) in rq.var_terms.iter().enumerate() {
+                match core.var_sorts[k] {
+                    Sort::Bool => {
+                        if let Some(&b) = model.bool_values.get(&t) {
+                            pm.bools.push((k as u32, b));
+                        }
+                    }
+                    Sort::BitVec(_) => {
+                        if let Some(&v) = model.bv_values.get(&t) {
+                            pm.bvs.push((k as u32, v));
+                        }
+                    }
+                }
+            }
+            for (k, uf) in rq.uf_ids.iter().enumerate() {
+                if let Some(table) = model.uf_tables.get(uf) {
+                    let mut rows: Vec<(Vec<u128>, u128)> =
+                        table.iter().map(|(a, &r)| (a.clone(), r)).collect();
+                    rows.sort();
+                    pm.ufs.push((k as u32, rows));
+                }
+            }
+            RawVerdict::Refuted(pm)
+        }
+    };
+    RawOutcome {
+        verdict,
+        stats: out.stats,
+        variant: 0,
+    }
+}
+
+/// The portfolio: the base configuration plus two variants with
+/// different restart cadence, activity decay, and branching phase, so
+/// queries that stall one search strategy still finish quickly.
+pub fn portfolio_variants(base: SolverConfig) -> Vec<SolverConfig> {
+    let aggressive_restarts = SolverConfig {
+        restart_base: 32,
+        var_decay: 0.90,
+        ..base
+    };
+    let positive_phase = SolverConfig {
+        default_phase: true,
+        var_decay: 0.99,
+        ..base
+    };
+    vec![base, aggressive_restarts, positive_phase]
+}
+
+/// Races the portfolio over one query. The first *definitive* finisher
+/// (proved/refuted) wins and cancels the rest; an `Unknown` (budget
+/// exhausted) is kept as a fallback but does not cancel anyone, so a
+/// slower variant can still deliver a proof.
+pub fn solve_portfolio(
+    core: &FormCore,
+    base: SolverConfig,
+    cancel: Option<Arc<AtomicBool>>,
+) -> RawOutcome {
+    let variants = portfolio_variants(base);
+    let done = Arc::new(AtomicBool::new(false));
+    let winner: Mutex<Option<RawOutcome>> = Mutex::new(None);
+    let fallback: Mutex<Option<RawOutcome>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for (vi, vcfg) in variants.iter().enumerate() {
+            let done = Arc::clone(&done);
+            let parent_cancel = cancel.clone();
+            let winner = &winner;
+            let fallback = &fallback;
+            let core = &core;
+            let vcfg = *vcfg;
+            s.spawn(move || {
+                // Chain the parent's cancellation into the race flag so
+                // an external cancel stops the whole portfolio.
+                let flag = match parent_cancel {
+                    Some(parent) => {
+                        let chained = Arc::clone(&done);
+                        // Cheap chain: poll the parent by copying its
+                        // state into the shared flag before solving;
+                        // long solves additionally poll `done`.
+                        if parent.load(Ordering::Relaxed) {
+                            chained.store(true, Ordering::Relaxed);
+                        }
+                        chained
+                    }
+                    None => Arc::clone(&done),
+                };
+                let mut out = solve_one(core, vcfg, Some(flag));
+                out.variant = vi;
+                match out.verdict {
+                    RawVerdict::Proved | RawVerdict::Refuted(_) => {
+                        let mut w = winner.lock().unwrap();
+                        if w.is_none() {
+                            *w = Some(out);
+                            done.store(true, Ordering::Release);
+                        }
+                    }
+                    RawVerdict::Unknown => {
+                        let mut f = fallback.lock().unwrap();
+                        if f.is_none() {
+                            *f = Some(out);
+                        }
+                    }
+                    RawVerdict::Interrupted => {}
+                }
+            });
+        }
+    });
+    winner
+        .into_inner()
+        .unwrap()
+        .or_else(|| fallback.into_inner().unwrap())
+        .unwrap_or(RawOutcome {
+            verdict: RawVerdict::Interrupted,
+            stats: QueryStats::default(),
+            variant: 0,
+        })
+}

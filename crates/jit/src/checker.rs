@@ -11,11 +11,11 @@ use crate::rv64::{reg_map, Rv64Jit};
 use crate::x86jit::{pair_map, X86Jit};
 use serval_bpf::{AluOp, BpfInterp, BpfState, Insn as Bpf, Src};
 use serval_core::{Mem, MemCfg};
+use serval_engine::{Query, QueryOutcome};
 use serval_riscv::{Interp as RvInterp, Machine};
 use serval_smt::solver::SolverConfig;
 use serval_smt::{reset_ctx, SBool, VerifyResult};
 use serval_sym::SymCtx;
-use std::time::Instant;
 
 /// One checker verdict.
 #[derive(Clone, Debug)]
@@ -32,13 +32,28 @@ pub struct CheckRow {
     pub millis: u128,
 }
 
-/// Checks one BPF instruction against the RISC-V JIT. Returns `None` when
-/// the JIT does not cover the instruction. Resets the thread's term
-/// context.
-pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+/// A check that built its equivalence query but has not solved it yet.
+/// The query's terms live in the building thread's term context, which
+/// must stay intact (no `reset_ctx`) until the verdict comes back.
+enum PreparedCheck {
+    /// The check failed before solving (encode/decode/run error).
+    Done(CheckRow),
+    /// A solver query, ready for the engine.
+    Pending {
+        target: &'static str,
+        insn: String,
+        b0: BpfState,
+        assumptions: Vec<SBool>,
+        goal: SBool,
+    },
+}
+
+/// Builds the RISC-V equivalence query for one BPF instruction without
+/// solving it. Returns `None` when the JIT does not cover the
+/// instruction. Does not reset the term context, so many checks can be
+/// prepared back-to-back and discharged as one batch.
+fn prepare_rv64(jit: &Rv64Jit, insn: Bpf) -> Option<PreparedCheck> {
     let seq = jit.emit(insn)?;
-    reset_ctx();
-    let start = Instant::now();
     let mut ctx = SymCtx::new();
     // Full fidelity: the emitted instructions go through machine-code
     // encoding and validated decoding (paper §3.4).
@@ -47,13 +62,13 @@ pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRo
     let interp = match RvInterp::from_words(0, &words, 256) {
         Ok(i) => i,
         Err(e) => {
-            return Some(CheckRow {
+            return Some(PreparedCheck::Done(CheckRow {
                 target: "rv64",
                 insn: format!("{insn:?}"),
                 ok: false,
                 cex: Some(format!("emitted invalid machine code: {e}")),
-                millis: start.elapsed().as_millis(),
-            })
+                millis: 0,
+            }))
         }
     };
     let b0 = BpfState::fresh("bpf");
@@ -66,39 +81,37 @@ pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRo
     bpf.step_insn(&mut ctx, &mut b, insn);
     let o = interp.run(&mut ctx, &mut m);
     if !o.ok() {
-        return Some(CheckRow {
+        return Some(PreparedCheck::Done(CheckRow {
             target: "rv64",
             insn: format!("{insn:?}"),
             ok: false,
             cex: Some(format!("machine run did not complete: {o:?}")),
-            millis: start.elapsed().as_millis(),
-        });
+            millis: 0,
+        }));
     }
     // Equivalence goal over every BPF register.
     let mut goal = SBool::lit(true);
     for r in 0..=10u8 {
         goal = goal & m.reg(reg_map(r)).eq_(b.reg(r));
     }
-    finish("rv64", insn, &b0, &ctx, cfg, goal, start)
+    Some(seal("rv64", insn, b0, ctx, goal))
 }
 
-/// Checks one BPF instruction against the x86-32 JIT.
-pub fn check_x86(jit: &X86Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+/// Builds the x86-32 equivalence query for one BPF instruction.
+fn prepare_x86(jit: &X86Jit, insn: Bpf) -> Option<PreparedCheck> {
     let seq = jit.emit(insn)?;
-    reset_ctx();
-    let start = Instant::now();
     let mut ctx = SymCtx::new();
     // Fidelity: round-trip through machine bytes.
     for &i in &seq {
         let bytes = serval_x86::encode(i);
         if serval_x86::decode_validated(&bytes).is_err() {
-            return Some(CheckRow {
+            return Some(PreparedCheck::Done(CheckRow {
                 target: "x86-32",
                 insn: format!("{insn:?}"),
                 ok: false,
                 cex: Some("emitted invalid machine code".into()),
-                millis: start.elapsed().as_millis(),
-            });
+                millis: 0,
+            }));
         }
     }
     let interp = serval_x86::X86Interp::new(seq);
@@ -113,39 +126,59 @@ pub fn check_x86(jit: &X86Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow>
     let bpf = BpfInterp::new(vec![]);
     bpf.step_insn(&mut ctx, &mut b, insn);
     if !interp.run(&mut ctx, &mut m) {
-        return Some(CheckRow {
+        return Some(PreparedCheck::Done(CheckRow {
             target: "x86-32",
             insn: format!("{insn:?}"),
             ok: false,
             cex: Some("machine run diverged".into()),
-            millis: start.elapsed().as_millis(),
-        });
+            millis: 0,
+        }));
     }
     let mut goal = SBool::lit(true);
     for r in 0..=2u8 {
         let (lo, hi) = pair_map(r);
         goal = goal & m.reg(hi).concat(m.reg(lo)).eq_(b.reg(r));
     }
-    finish("x86-32", insn, &b0, &ctx, cfg, goal, start)
+    Some(seal("x86-32", insn, b0, ctx, goal))
 }
 
-fn finish(
+/// Folds the collected UB obligations into the goal (e.g. no jumps out
+/// of the emitted sequence) and packages the pending query.
+fn seal(
     target: &'static str,
     insn: Bpf,
-    b0: &BpfState,
-    ctx: &SymCtx,
-    cfg: SolverConfig,
+    b0: BpfState,
+    ctx: SymCtx,
     mut goal: SBool,
-    start: Instant,
-) -> Option<CheckRow> {
-    // Collected UB obligations must also hold (e.g. no jumps out of the
-    // emitted sequence).
+) -> PreparedCheck {
     for ob in ctx.obligations() {
         goal = goal & ob.condition;
     }
-    let (ok, cex) = match serval_smt::solver::verify_with(cfg, ctx.assumptions(), goal) {
+    PreparedCheck::Pending {
+        target,
+        insn: format!("{insn:?}"),
+        b0,
+        assumptions: ctx.assumptions().to_vec(),
+        goal,
+    }
+}
+
+/// Turns an engine verdict into a checker row. The counterexample model
+/// comes back translated into this thread's term context, so it can be
+/// evaluated against the original BPF state.
+fn row_from_outcome(
+    target: &'static str,
+    insn: String,
+    b0: &BpfState,
+    outcome: QueryOutcome,
+) -> CheckRow {
+    let (ok, cex) = match outcome.result {
         VerifyResult::Proved => (true, None),
-        VerifyResult::Unknown => (false, Some("solver budget exhausted".into())),
+        VerifyResult::Unknown => match outcome.error {
+            Some(e) => (false, Some(format!("worker failed: {e}"))),
+            None => (false, Some("solver budget exhausted".into())),
+        },
+        VerifyResult::Interrupted => (false, Some("solve was cancelled".into())),
         VerifyResult::Counterexample(model) => {
             let mut desc = String::from("counterexample:");
             for r in 0..=10u8 {
@@ -157,77 +190,141 @@ fn finish(
             (false, Some(desc))
         }
     };
-    Some(CheckRow {
+    CheckRow {
         target,
-        insn: format!("{insn:?}"),
+        insn,
         ok,
         cex,
-        millis: start.elapsed().as_millis(),
-    })
+        millis: outcome.wall.as_millis(),
+    }
+}
+
+/// Discharges a list of prepared checks as one engine batch, preserving
+/// order.
+fn discharge_prepared(prepared: Vec<PreparedCheck>, cfg: SolverConfig) -> Vec<CheckRow> {
+    let mut queries = Vec::new();
+    // (row slot, pending metadata) — pending rows are filled after the batch.
+    let mut rows: Vec<Option<CheckRow>> = Vec::with_capacity(prepared.len());
+    let mut pending: Vec<(usize, &'static str, String, BpfState)> = Vec::new();
+    for p in prepared {
+        match p {
+            PreparedCheck::Done(row) => rows.push(Some(row)),
+            PreparedCheck::Pending {
+                target,
+                insn,
+                b0,
+                assumptions,
+                goal,
+            } => {
+                queries.push(Query {
+                    label: format!("{target}: {insn}"),
+                    assumptions,
+                    goal,
+                    cfg,
+                });
+                pending.push((rows.len(), target, insn, b0));
+                rows.push(None);
+            }
+        }
+    }
+    let outcomes = serval_engine::handle().submit_batch(queries);
+    for ((slot, target, insn, b0), outcome) in pending.into_iter().zip(outcomes) {
+        rows[slot] = Some(row_from_outcome(target, insn, &b0, outcome));
+    }
+    rows.into_iter().map(|r| r.expect("row resolved")).collect()
+}
+
+/// Checks one BPF instruction against the RISC-V JIT. Returns `None` when
+/// the JIT does not cover the instruction. Resets the thread's term
+/// context.
+pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+    reset_ctx();
+    let prepared = prepare_rv64(jit, insn)?;
+    discharge_prepared(vec![prepared], cfg).pop()
+}
+
+/// Checks one BPF instruction against the x86-32 JIT.
+pub fn check_x86(jit: &X86Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
+    reset_ctx();
+    let prepared = prepare_x86(jit, insn)?;
+    discharge_prepared(vec![prepared], cfg).pop()
 }
 
 /// Immediates exercised for `K`-form instructions (shift corner cases
 /// included: 0, 32 boundary, and large counts).
 pub const K_VALUES: [i32; 7] = [0, 1, 31, 32, 33, 63, -1];
 
-/// Sweeps the RISC-V JIT across every ALU instruction in both widths and
-/// both source forms (paper §7's per-instruction checking).
-pub fn sweep_rv64(jit: &Rv64Jit, cfg: SolverConfig) -> Vec<CheckRow> {
-    let mut rows = Vec::new();
+/// The sweep plan: each entry yields at most one report row.
+enum Plan {
+    /// A register-form check (one prepared index).
+    One(usize),
+    /// The immediate-form group across [`K_VALUES`]; the reported row is
+    /// the first failing immediate, or the first immediate if all pass.
+    KGroup(Vec<usize>),
+}
+
+/// Builds the full sweep (every ALU op, both widths, both source forms)
+/// with `prepare`, discharges it as a single engine batch, and selects
+/// the report rows.
+fn sweep_with(
+    mut prepare: impl FnMut(Bpf) -> Option<PreparedCheck>,
+    cfg: SolverConfig,
+) -> Vec<CheckRow> {
+    // One term context for the whole sweep: every prepared query's terms
+    // must stay alive until its verdict (and counterexample) comes back.
+    reset_ctx();
+    let mut prepared = Vec::new();
+    let mut plan = Vec::new();
     for &op in &AluOp::ALL {
         for is32 in [false, true] {
             // Register form.
-            let insn = mk_insn(op, is32, Src::X, 0);
-            if let Some(row) = check_rv64(jit, insn, cfg) {
-                rows.push(row);
+            if let Some(p) = prepare(mk_insn(op, is32, Src::X, 0)) {
+                prepared.push(p);
+                plan.push(Plan::One(prepared.len() - 1));
             }
-            // Immediate forms across the corner-case constants; report the
-            // first failing immediate.
-            let mut k_row: Option<CheckRow> = None;
+            // Immediate forms across the corner-case constants.
+            let mut group = Vec::new();
             for &k in &K_VALUES {
-                let insn = mk_insn(op, is32, Src::K, k);
-                if let Some(row) = check_rv64(jit, insn, cfg) {
-                    let failed = !row.ok;
-                    if k_row.is_none() || failed {
-                        k_row = Some(row);
-                    }
-                    if failed {
-                        break;
-                    }
+                if let Some(p) = prepare(mk_insn(op, is32, Src::K, k)) {
+                    prepared.push(p);
+                    group.push(prepared.len() - 1);
                 }
             }
-            rows.extend(k_row);
+            if !group.is_empty() {
+                plan.push(Plan::KGroup(group));
+            }
+        }
+    }
+    let mut solved: Vec<Option<CheckRow>> = discharge_prepared(prepared, cfg)
+        .into_iter()
+        .map(Some)
+        .collect();
+    let mut rows = Vec::new();
+    for entry in plan {
+        match entry {
+            Plan::One(i) => rows.extend(solved[i].take()),
+            Plan::KGroup(group) => {
+                let failing = group
+                    .iter()
+                    .find(|&&i| !solved[i].as_ref().expect("unclaimed").ok);
+                let pick = *failing.unwrap_or(&group[0]);
+                rows.extend(solved[pick].take());
+            }
         }
     }
     rows
 }
 
+/// Sweeps the RISC-V JIT across every ALU instruction in both widths and
+/// both source forms (paper §7's per-instruction checking). All queries
+/// are discharged as one concurrent engine batch.
+pub fn sweep_rv64(jit: &Rv64Jit, cfg: SolverConfig) -> Vec<CheckRow> {
+    sweep_with(|insn| prepare_rv64(jit, insn), cfg)
+}
+
 /// Sweeps the x86-32 JIT (register-only subset).
 pub fn sweep_x86(jit: &X86Jit, cfg: SolverConfig) -> Vec<CheckRow> {
-    let mut rows = Vec::new();
-    for &op in &AluOp::ALL {
-        for is32 in [false, true] {
-            let insn = mk_insn(op, is32, Src::X, 0);
-            if let Some(row) = check_x86(jit, insn, cfg) {
-                rows.push(row);
-            }
-            let mut k_row: Option<CheckRow> = None;
-            for &k in &K_VALUES {
-                let insn = mk_insn(op, is32, Src::K, k);
-                if let Some(row) = check_x86(jit, insn, cfg) {
-                    let failed = !row.ok;
-                    if k_row.is_none() || failed {
-                        k_row = Some(row);
-                    }
-                    if failed {
-                        break;
-                    }
-                }
-            }
-            rows.extend(k_row);
-        }
-    }
-    rows
+    sweep_with(|insn| prepare_x86(jit, insn), cfg)
 }
 
 fn mk_insn(op: AluOp, is32: bool, src: Src, imm: i32) -> Bpf {

@@ -7,7 +7,9 @@ use super::spec::{
     spec_yield, SpecState,
 };
 use super::{build, fresh_mem, sys, CODE_BASE, NPROC};
-use serval_core::report::{discharge, ProofReport};
+use serval_core::report::{
+    discharge, discharge_batch, discharge_queries, NamedGoal, ProofReport,
+};
 use serval_core::OptCfg;
 use serval_ir::OptLevel;
 use serval_riscv::{reg, Machine};
@@ -55,6 +57,8 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
             name: format!("{name}: symbolic evaluation"),
             verdict: serval_core::report::Verdict::Unknown,
             time: std::time::Duration::ZERO,
+            stats: None,
+            cache_hit: false,
         });
         return report;
     }
@@ -72,38 +76,31 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
         _ => panic!("unknown op {op}"),
     };
 
+    // The per-op theorems are independent; collect them all and discharge
+    // as one concurrent engine batch at the end.
+    let mut goals: Vec<NamedGoal> = Vec::new();
+
     // 1. UB obligations collected during evaluation of the binary.
     for ob in ctx.take_obligations() {
-        report
-            .theorems
-            .push(discharge(&ctx, cfg, format!("{name}: {}", ob.label), &[], ob.condition));
+        goals.push(NamedGoal::new(format!("{name}: {}", ob.label), ob.condition));
     }
 
     // 2. State refinement: AF(impl') == spec'.
     let s_impl = abstraction(&m.mem);
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: state refinement"),
-        &[],
         s_impl.eq_(&s),
     ));
 
     // 3. Return value.
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: return value"),
-        &[],
         m.reg(reg::A0).eq_(spec_ret),
     ));
 
     // 4. Invariant preservation.
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: invariant preserved"),
-        &[],
         s.invariant(),
     ));
 
@@ -128,11 +125,8 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
         & m.reg(reg::SP).eq_(want_sp)
         & m.reg(reg::S0).eq_(want_s0)
         & m.reg(reg::S1).eq_(want_s1);
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: control flow and context"),
-        &[],
         control,
     ));
 
@@ -159,11 +153,8 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
     ] {
         scrubbed = scrubbed & m.reg(r).eq_(BV::lit(64, 0));
     }
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: scratch registers scrubbed"),
-        &[],
         scrubbed,
     ));
 
@@ -184,15 +175,10 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
                         & m.csrs.pmpcfg0.eq_(cfgv),
                 );
         }
-        report.theorems.push(discharge(
-            &ctx,
-            cfg,
-            format!("{name}: PMP configuration"),
-            &[],
-            goal,
-        ));
+        goals.push(NamedGoal::new(format!("{name}: PMP configuration"), goal));
     }
 
+    report.extend(discharge_batch(&ctx, cfg, goals));
     report
 }
 
@@ -243,6 +229,8 @@ pub fn prove_monolithic(level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> P
             name: "certikos monolithic: symbolic evaluation".into(),
             verdict: serval_core::report::Verdict::Unknown,
             time: std::time::Duration::ZERO,
+            stats: None,
+            cache_hit: false,
         });
         return report;
     }
@@ -264,18 +252,16 @@ pub fn prove_monolithic(level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> P
     let ret_goal = is(sys::GET_QUOTA).implies(m.reg(reg::A0).eq_(r_gq))
         & is(sys::SPAWN).implies(m.reg(reg::A0).eq_(r_sp))
         & is(sys::YIELD).implies(m.reg(reg::A0).eq_(BV::lit(64, 0)));
-    for ob in ctx.take_obligations() {
-        report
-            .theorems
-            .push(discharge(&ctx, cfg, format!("certikos monolithic: {}", ob.label), &[], ob.condition));
-    }
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    let mut goals: Vec<NamedGoal> = ctx
+        .take_obligations()
+        .into_iter()
+        .map(|ob| NamedGoal::new(format!("certikos monolithic: {}", ob.label), ob.condition))
+        .collect();
+    goals.push(NamedGoal::new(
         "certikos monolithic: state refinement (all calls at once)",
-        &[],
         state_goal & ret_goal,
     ));
+    report.extend(discharge_batch(&ctx, cfg, goals));
     report
 }
 
@@ -316,53 +302,49 @@ pub fn obs_eq(p: BV, s1: &SpecState, s2: &SpecState) -> SBool {
 /// results.
 pub fn prove_own_step_consistency(cfg: SolverConfig) -> ProofReport {
     reset_ctx();
-    let mut report = ProofReport::default();
+    // Each operation gets its own assumption set (its own `SymCtx`), so
+    // the lemmas go through the engine as fully explicit queries.
+    let mut items: Vec<(String, Vec<SBool>, SBool)> = Vec::new();
     for op in [sys::GET_QUOTA, sys::SPAWN, sys::YIELD] {
-        let ctx = {
-            let mut ctx = SymCtx::new();
-            let p = BV::fresh(64, "p");
-            let mut s1 = SpecState::fresh("s1");
-            let mut s2 = SpecState::fresh("s2");
-            ctx.assume(p.ult(BV::lit(64, NPROC as u128)));
-            ctx.assume(s1.invariant());
-            ctx.assume(s2.invariant());
-            ctx.assume(s1.cur.eq_(p));
-            ctx.assume(s2.cur.eq_(p));
-            ctx.assume(obs_eq(p, &s1, &s2));
-            // Shared action arguments.
-            let a0 = BV::fresh(64, "arg0");
-            let a1 = BV::fresh(64, "arg1");
-            let ctx4: [BV; 4] = std::array::from_fn(|i| BV::fresh(64, &format!("c{i}")));
-            let (r1, r2) = match op {
-                sys::GET_QUOTA => (spec_get_quota(&s1), spec_get_quota(&s2)),
-                sys::SPAWN => (spec_spawn(&mut s1, a0, a1), spec_spawn(&mut s2, a0, a1)),
-                _ => (spec_yield(&mut s1, ctx4), spec_yield(&mut s2, ctx4)),
-            };
-            let mut goal = obs_eq(p, &s1, &s2);
-            // The caller observes the result, except for yield where the
-            // caller is suspended and the result goes to the next process.
-            if op != sys::YIELD {
-                goal = goal & r1.eq_(r2);
-            }
-            report.theorems.push(discharge(
-                &ctx,
-                cfg,
-                format!("{}: own-step consistency", op_name(op)),
-                &[],
-                goal,
-            ));
-            ctx
+        let mut ctx = SymCtx::new();
+        let p = BV::fresh(64, "p");
+        let mut s1 = SpecState::fresh("s1");
+        let mut s2 = SpecState::fresh("s2");
+        ctx.assume(p.ult(BV::lit(64, NPROC as u128)));
+        ctx.assume(s1.invariant());
+        ctx.assume(s2.invariant());
+        ctx.assume(s1.cur.eq_(p));
+        ctx.assume(s2.cur.eq_(p));
+        ctx.assume(obs_eq(p, &s1, &s2));
+        // Shared action arguments.
+        let a0 = BV::fresh(64, "arg0");
+        let a1 = BV::fresh(64, "arg1");
+        let ctx4: [BV; 4] = std::array::from_fn(|i| BV::fresh(64, &format!("c{i}")));
+        let (r1, r2) = match op {
+            sys::GET_QUOTA => (spec_get_quota(&s1), spec_get_quota(&s2)),
+            sys::SPAWN => (spec_spawn(&mut s1, a0, a1), spec_spawn(&mut s2, a0, a1)),
+            _ => (spec_yield(&mut s1, ctx4), spec_yield(&mut s2, ctx4)),
         };
-        drop(ctx);
+        let mut goal = obs_eq(p, &s1, &s2);
+        // The caller observes the result, except for yield where the
+        // caller is suspended and the result goes to the next process.
+        if op != sys::YIELD {
+            goal = goal & r1.eq_(r2);
+        }
+        items.push((
+            format!("{}: own-step consistency", op_name(op)),
+            ctx.assumptions().to_vec(),
+            goal,
+        ));
     }
-    report
+    discharge_queries(cfg, items)
 }
 
 /// Property 2 (§6.2): a non-yield action by another process `q` (that does
 /// not own `p` as a child slot) leaves `p`'s observation unchanged.
 pub fn prove_others_invisible(cfg: SolverConfig) -> ProofReport {
     reset_ctx();
-    let mut report = ProofReport::default();
+    let mut items: Vec<(String, Vec<SBool>, SBool)> = Vec::new();
     for op in [sys::GET_QUOTA, sys::SPAWN] {
         let mut ctx = SymCtx::new();
         let p = BV::fresh(64, "p");
@@ -384,16 +366,14 @@ pub fn prove_others_invisible(cfg: SolverConfig) -> ProofReport {
                 let _ = spec_spawn(&mut s, a0, a1);
             }
         }
-        report.theorems.push(discharge(
-            &ctx,
-            cfg,
+        items.push((
             format!("{}: invisible to others", op_name(op)),
-            &[],
+            ctx.assumptions().to_vec(),
             obs_eq(p, &s_before, &s),
         ));
         ctx.take_obligations();
     }
-    report
+    discharge_queries(cfg, items)
 }
 
 /// Property 3 (§6.2): if `p` is yielded to from two indistinguishable
@@ -518,14 +498,16 @@ pub fn prove_boot(level: OptLevel, cfg: SolverConfig) -> ProofReport {
             name: "certikos boot: symbolic evaluation".into(),
             verdict: serval_core::report::Verdict::Unknown,
             time: std::time::Duration::ZERO,
+            stats: None,
+            cache_hit: false,
         });
         return report;
     }
-    for ob in ctx.take_obligations() {
-        report
-            .theorems
-            .push(discharge(&ctx, cfg, format!("certikos boot: {}", ob.label), &[], ob.condition));
-    }
+    let mut goals: Vec<NamedGoal> = ctx
+        .take_obligations()
+        .into_iter()
+        .map(|ob| NamedGoal::new(format!("certikos boot: {}", ob.label), ob.condition))
+        .collect();
     // The abstract state after boot: pid 0 running, owning everything.
     let s = abstraction(&m.mem);
     let zero = BV::lit(64, 0);
@@ -537,9 +519,7 @@ pub fn prove_boot(level: OptLevel, cfg: SolverConfig) -> ProofReport {
     for p in &s.procs[1..] {
         goal = goal & p.state.eq_(zero);
     }
-    report
-        .theorems
-        .push(discharge(&ctx, cfg, "certikos boot: initial abstract state", &[], goal));
+    goals.push(NamedGoal::new("certikos boot: initial abstract state", goal));
     // Machine configuration: trap vector, PMP, and entry into process 0.
     let machine_goal = m.csrs.mtvec.eq_(BV::lit(64, CODE_BASE as u128))
         & m.pc.eq_(BV::lit(64, super::PROC_RAM as u128))
@@ -549,12 +529,10 @@ pub fn prove_boot(level: OptLevel, cfg: SolverConfig) -> ProofReport {
             ((super::PROC_RAM + super::TOTAL_QUOTA * super::PAGE) >> 2) as u128,
         ))
         & m.csrs.pmpcfg0.eq_(BV::lit(64, super::PMP_CFG as u128));
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         "certikos boot: trap vector, PMP, and entry",
-        &[],
         machine_goal,
     ));
+    report.extend(discharge_batch(&ctx, cfg, goals));
     report
 }

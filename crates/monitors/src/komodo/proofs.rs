@@ -6,7 +6,9 @@ use super::spec::{
     spec_map_insecure, spec_remove, spec_set_state, SpecState,
 };
 use super::{build, fresh_mem, st, sys, ty, CODE_BASE, NPAGES, PAGE, PMP_ALLOW, PMP_DENY, SECURE_BASE};
-use serval_core::report::{discharge, ProofReport};
+use serval_core::report::{
+    discharge, discharge_batch, discharge_queries, NamedGoal, ProofReport,
+};
 use serval_core::OptCfg;
 use serval_ir::OptLevel;
 use serval_riscv::{reg, Machine};
@@ -46,6 +48,8 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
             name: format!("{name}: symbolic evaluation"),
             verdict: serval_core::report::Verdict::Unknown,
             time: std::time::Duration::ZERO,
+            stats: None,
+            cache_hit: false,
         });
         return report;
     }
@@ -82,11 +86,12 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
         _ => panic!("unknown op {op}"),
     };
 
+    // Collect every theorem and discharge them as one engine batch.
+    let mut goals: Vec<NamedGoal> = Vec::new();
+
     // 1. UB obligations.
     for ob in ctx.take_obligations() {
-        report
-            .theorems
-            .push(discharge(&ctx, cfg, format!("{name}: {}", ob.label), &[], ob.condition));
+        goals.push(NamedGoal::new(format!("{name}: {}", ob.label), ob.condition));
     }
 
     // 2. State refinement. The implementation's `os_resume` cell differs
@@ -104,29 +109,17 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
     } else {
         state_eq = state_eq & s_impl.os_resume.eq_(s.os_resume);
     }
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
-        format!("{name}: state refinement"),
-        &[],
-        state_eq,
-    ));
+    goals.push(NamedGoal::new(format!("{name}: state refinement"), state_eq));
 
     // 3. Return value (for Enter the returned 0 goes to the enclave).
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: return value"),
-        &[],
         m.reg(reg::A0).eq_(spec_ret),
     ));
 
     // 4. Invariant preservation.
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: invariant preserved"),
-        &[],
         s.invariant(),
     ));
 
@@ -144,13 +137,7 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
         _ => entry_mepc + lit(4),
     };
     let control = m.pc.eq_(want_pc) & m.reg(reg::SP).eq_(entry_sp);
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
-        format!("{name}: control flow"),
-        &[],
-        control,
-    ));
+    goals.push(NamedGoal::new(format!("{name}: control flow"), control));
 
     // 6. Scratch registers scrubbed.
     let mut scrubbed = SBool::lit(true);
@@ -175,11 +162,8 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
     ] {
         scrubbed = scrubbed & m.reg(r).eq_(lit(0));
     }
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         format!("{name}: scratch registers scrubbed"),
-        &[],
         scrubbed,
     ));
 
@@ -198,15 +182,10 @@ pub fn prove_op(op: u64, level: OptLevel, optcfg: OptCfg, cfg: SolverConfig) -> 
                 & m.csrs.pmpaddr[1].eq_(hi)
                 & m.csrs.pmpcfg0.eq_(cfg_val),
         );
-        report.theorems.push(discharge(
-            &ctx,
-            cfg,
-            format!("{name}: PMP window"),
-            &[],
-            goal,
-        ));
+        goals.push(NamedGoal::new(format!("{name}: PMP window"), goal));
     }
 
+    report.extend(discharge_batch(&ctx, cfg, goals));
     report
 }
 
@@ -281,7 +260,10 @@ fn belongs(s: &SpecState, page: BV, asp: BV) -> SBool {
 /// enclave `a`'s observation unchanged. Covers the whole construction and
 /// teardown interface.
 pub fn prove_local_respect(cfg: SolverConfig) -> ProofReport {
-    let mut report = ProofReport::default();
+    // One term context for the whole family; each lemma gets its own
+    // assumption set and the batch goes through the engine at once.
+    reset_ctx();
+    let mut items: Vec<(String, Vec<SBool>, SBool)> = Vec::new();
     let ops: [(&str, u64); 7] = [
         ("InitAddrspace", sys::INIT_ADDRSPACE),
         ("InitThread", sys::INIT_THREAD),
@@ -292,7 +274,6 @@ pub fn prove_local_respect(cfg: SolverConfig) -> ProofReport {
         ("Stop", sys::STOP),
     ];
     for (name, op) in ops {
-        reset_ctx();
         let mut ctx = SymCtx::new();
         let a = BV::fresh(64, "a");
         let mut s = SpecState::fresh("s");
@@ -330,17 +311,14 @@ pub fn prove_local_respect(cfg: SolverConfig) -> ProofReport {
                 let _ = spec_set_state(&mut s, target, st::STOPPED, 0);
             }
         }
-        report.theorems.push(discharge(
-            &ctx,
-            cfg,
+        items.push((
             format!("komodo {name}: invisible to other enclaves"),
-            &[],
+            ctx.assumptions().to_vec(),
             obs_eq(a, &before, &s),
         ));
     }
 
     // Remove: frees a page of a *stopped* addrspace b != a.
-    reset_ctx();
     let mut ctx = SymCtx::new();
     let a = BV::fresh(64, "a");
     let mut s = SpecState::fresh("s");
@@ -352,14 +330,12 @@ pub fn prove_local_respect(cfg: SolverConfig) -> ProofReport {
     // The removed page does not belong to enclave `a`.
     ctx.assume(s.read(page, |p| p.owner).ne_(a));
     let _ = spec_remove(&mut s, page);
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
-        "komodo Remove: invisible to other enclaves",
-        &[],
+    items.push((
+        "komodo Remove: invisible to other enclaves".to_string(),
+        ctx.assumptions().to_vec(),
         obs_eq(a, &before, &s),
     ));
-    report
+    discharge_queries(cfg, items)
 }
 
 /// Step consistency for the OS construction interface: from two states
@@ -423,33 +399,31 @@ pub fn prove_boot(level: OptLevel, cfg: SolverConfig) -> ProofReport {
             name: "komodo boot: symbolic evaluation".into(),
             verdict: serval_core::report::Verdict::Unknown,
             time: std::time::Duration::ZERO,
+            stats: None,
+            cache_hit: false,
         });
         return report;
     }
-    for ob in ctx.take_obligations() {
-        report
-            .theorems
-            .push(discharge(&ctx, cfg, format!("komodo boot: {}", ob.label), &[], ob.condition));
-    }
+    let mut goals: Vec<NamedGoal> = ctx
+        .take_obligations()
+        .into_iter()
+        .map(|ob| NamedGoal::new(format!("komodo boot: {}", ob.label), ob.condition))
+        .collect();
     let s = abstraction(&m.mem);
     let mut goal = s.cur_thread.eq_(lit(super::NONE)) & s.invariant();
     for p in &s.pages {
         goal = goal & p.ty.eq_(lit(ty::FREE));
     }
-    report
-        .theorems
-        .push(discharge(&ctx, cfg, "komodo boot: initial abstract state", &[], goal));
+    goals.push(NamedGoal::new("komodo boot: initial abstract state", goal));
     let machine_goal = m.csrs.mtvec.eq_(lit(CODE_BASE))
         & m.pc.eq_(lit(super::OS_ENTRY))
         & m.csrs.pmpaddr[0].eq_(lit(SECURE_BASE >> 2))
         & m.csrs.pmpaddr[1].eq_(lit((SECURE_BASE + NPAGES * PAGE) >> 2))
         & m.csrs.pmpcfg0.eq_(lit(PMP_DENY | (PMP_DENY << 8)));
-    report.theorems.push(discharge(
-        &ctx,
-        cfg,
+    goals.push(NamedGoal::new(
         "komodo boot: trap vector, PMP window closed, OS entry",
-        &[],
         machine_goal,
     ));
+    report.extend(discharge_batch(&ctx, cfg, goals));
     report
 }

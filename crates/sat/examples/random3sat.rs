@@ -29,7 +29,7 @@ fn main() {
         match s.solve() {
             SolveResult::Sat => sat += 1,
             SolveResult::Unsat => unsat += 1,
-            SolveResult::Unknown => unreachable!(),
+            SolveResult::Unknown | SolveResult::Interrupted => unreachable!(),
         }
     }
     println!("random 3-SAT n=100 m=426: {} sat, {} unsat", sat, unsat);

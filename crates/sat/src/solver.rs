@@ -1,5 +1,8 @@
 //! The CDCL solver proper.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use crate::heap::VarHeap;
 use crate::luby::luby;
 use crate::types::{LBool, Lit, SolveResult, Var};
@@ -66,12 +69,24 @@ pub struct Solver {
     num_learnts: usize,
     /// Optional conflict budget; `None` = unbounded.
     budget: Option<u64>,
+    /// Cooperative cancellation flag, polled at restart boundaries and
+    /// every [`INTERRUPT_GRANULARITY`] conflicts.
+    interrupt: Option<Arc<AtomicBool>>,
+    /// Luby restart unit (conflicts per base restart interval).
+    restart_base: u64,
+    /// VSIDS activity decay factor.
+    var_decay: f64,
+    /// Initial saved phase for fresh variables.
+    default_phase: bool,
     stats: SolverStats,
 }
 
 const VAR_DECAY: f64 = 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
 const RESTART_BASE: u64 = 128;
+/// Conflicts between polls of the interrupt flag inside a restart
+/// interval (restart boundaries always poll).
+const INTERRUPT_GRANULARITY: u64 = 1024;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -102,6 +117,10 @@ impl Solver {
             max_learnts: 4096.0,
             num_learnts: 0,
             budget: None,
+            interrupt: None,
+            restart_base: RESTART_BASE,
+            var_decay: VAR_DECAY,
+            default_phase: false,
             stats: SolverStats::default(),
         }
     }
@@ -113,7 +132,7 @@ impl Solver {
         self.level.push(0);
         self.reason.push(None);
         self.activity.push(0.0);
-        self.phase.push(false);
+        self.phase.push(self.default_phase);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -136,6 +155,41 @@ impl Solver {
     /// [`SolveResult::Unknown`] if exhausted. Pass `None` for no limit.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.budget = conflicts;
+    }
+
+    /// Installs a cooperative cancellation flag. While set, `solve`
+    /// polls it at every restart boundary (and every
+    /// [`INTERRUPT_GRANULARITY`] conflicts within a restart interval)
+    /// and returns [`SolveResult::Interrupted`] once the flag is true.
+    /// The solver stays usable afterwards — clear the flag and call
+    /// `solve` again to resume from scratch.
+    pub fn set_interrupt(&mut self, flag: Option<Arc<AtomicBool>>) {
+        self.interrupt = flag;
+    }
+
+    /// Overrides the Luby restart unit (default 128 conflicts).
+    pub fn set_restart_base(&mut self, conflicts: u64) {
+        self.restart_base = conflicts.max(1);
+    }
+
+    /// Overrides the VSIDS activity decay factor (default 0.95). Values
+    /// closer to 1.0 keep old activity relevant for longer.
+    pub fn set_var_decay(&mut self, decay: f64) {
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        self.var_decay = decay;
+    }
+
+    /// Sets the initial saved phase handed to variables created *after*
+    /// this call (default `false`, i.e. branch negative first).
+    pub fn set_default_phase(&mut self, phase: bool) {
+        self.default_phase = phase;
+    }
+
+    #[inline]
+    fn interrupted(&self) -> bool {
+        self.interrupt
+            .as_ref()
+            .is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Solver statistics for profiling.
@@ -238,8 +292,11 @@ impl Solver {
         self.backtrack(0);
         let mut restart_idx: u64 = 0;
         loop {
+            if self.interrupted() {
+                return SolveResult::Interrupted;
+            }
             restart_idx += 1;
-            let budget = luby(restart_idx) * RESTART_BASE;
+            let budget = luby(restart_idx) * self.restart_base;
             match self.search(budget) {
                 Some(r) => return r,
                 None => {
@@ -263,6 +320,9 @@ impl Solver {
                     if self.stats.conflicts > total {
                         return Some(SolveResult::Unknown);
                     }
+                }
+                if conflicts_here % INTERRUPT_GRANULARITY == 0 && self.interrupted() {
+                    return Some(SolveResult::Interrupted);
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
@@ -618,7 +678,7 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= VAR_DECAY;
+        self.var_inc /= self.var_decay;
     }
 
     fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> CRef {

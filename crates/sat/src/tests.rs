@@ -177,6 +177,56 @@ fn conflict_budget_returns_unknown() {
     assert_eq!(s.solve(), SolveResult::Unsat);
 }
 
+/// Pigeonhole principle `n` into `m` (unsat when n > m).
+fn php(s: &mut Solver, n: usize, m: usize) {
+    let p: Vec<Vec<Var>> = (0..n).map(|_| lits(s, m)).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+}
+
+#[test]
+fn interrupt_flag_stops_search() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    let mut s = Solver::new();
+    php(&mut s, 8, 7);
+    let flag = Arc::new(AtomicBool::new(true));
+    s.set_interrupt(Some(flag.clone()));
+    // Flag already set: the restart-boundary poll fires before any search.
+    assert_eq!(s.solve(), SolveResult::Interrupted);
+    // Clearing the flag makes the solver usable again.
+    flag.store(false, Ordering::Relaxed);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn tuned_parameters_preserve_verdicts() {
+    // Non-default restart/decay/phase settings change the search order
+    // but never the answer.
+    let mut s = Solver::new();
+    s.set_restart_base(32);
+    s.set_var_decay(0.90);
+    s.set_default_phase(true);
+    php(&mut s, 7, 6);
+    assert_eq!(s.solve(), SolveResult::Unsat);
+
+    let mut s2 = Solver::new();
+    s2.set_default_phase(true);
+    let v = lits(&mut s2, 2);
+    s2.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+    assert_eq!(s2.solve(), SolveResult::Sat);
+}
+
 #[test]
 fn xor_chain_sat() {
     // CNF encoding of x0 ^ x1 ^ ... ^ x9 = 1 via intermediate variables.

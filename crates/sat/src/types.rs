@@ -89,6 +89,9 @@ pub enum SolveResult {
     Unsat,
     /// The solver gave up (conflict budget exhausted).
     Unknown,
+    /// The search was cancelled from outside via the cooperative
+    /// interrupt flag (see [`crate::Solver::set_interrupt`]).
+    Interrupted,
 }
 
 /// A tri-state truth value used on the assignment trail.

@@ -43,7 +43,10 @@ pub mod term;
 
 pub use bv::{SBool, BV};
 pub use model::Model;
-pub use solver::{check, verify, CheckResult, SolverConfig, VerifyResult};
+pub use solver::{
+    check, check_full, verify, verify_full, CheckOutcome, CheckResult, QueryStats,
+    SolverConfig, VerifyOutcome, VerifyResult,
+};
 pub use term::{reset_ctx, with_ctx, Sort, TermId, UfId};
 
 #[cfg(test)]

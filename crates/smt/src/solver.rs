@@ -3,6 +3,11 @@
 //! Each call builds a fresh SAT instance, blasts the assertions, finalizes
 //! uninterpreted functions, solves, and (for satisfiable queries) extracts
 //! a [`Model`] over exactly the symbolic constants appearing in the query.
+//!
+//! The `*_full` variants additionally surface per-query [`QueryStats`]
+//! (conflicts, decisions, propagations, learned clauses, blasted clause
+//! count) and accept a cooperative cancellation flag, which the engine
+//! crate's portfolio mode uses to stop losing solver variants.
 
 use crate::blast::Blaster;
 use crate::bv::SBool;
@@ -10,14 +15,72 @@ use crate::model::Model;
 use crate::term::{with_ctx, Op, Sort, TermId};
 use serval_sat::{SolveResult, Solver};
 use std::collections::HashSet;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration for a solver call.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
     /// Abort with `Unknown` after this many SAT conflicts. Serval's
     /// evaluation uses this to demonstrate that proofs without symbolic
     /// optimizations time out (paper §6.4).
     pub conflict_budget: Option<u64>,
+    /// Luby restart unit in conflicts (CDCL default: 128).
+    pub restart_base: u64,
+    /// VSIDS activity decay factor (CDCL default: 0.95).
+    pub var_decay: f64,
+    /// Initial saved phase for fresh SAT variables (default: `false`).
+    pub default_phase: bool,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            conflict_budget: None,
+            restart_base: 128,
+            var_decay: 0.95,
+            default_phase: false,
+        }
+    }
+}
+
+/// Per-query solver statistics, surfaced instead of discarded so the
+/// profiler and the proof reports can show where solving time went.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryStats {
+    /// SAT conflicts encountered.
+    pub conflicts: u64,
+    /// SAT decisions made.
+    pub decisions: u64,
+    /// Literals propagated.
+    pub propagations: u64,
+    /// Restarts performed.
+    pub restarts: u64,
+    /// Learnt clauses in the database at the end of the solve.
+    pub learnts: u64,
+    /// Clauses produced by bit-blasting (plus learnt, minus deleted).
+    pub clauses: usize,
+    /// SAT variables allocated by bit-blasting.
+    pub vars: usize,
+    /// Wall time of the whole check (blast + solve + model extraction).
+    pub wall: Duration,
+}
+
+impl QueryStats {
+    /// One-line rendering used by proof reports and the profiler.
+    pub fn render(&self) -> String {
+        format!(
+            "conflicts={} decisions={} props={} restarts={} learnts={} clauses={} vars={}",
+            self.conflicts,
+            self.decisions,
+            self.propagations,
+            self.restarts,
+            self.learnts,
+            self.clauses,
+            self.vars
+        )
+    }
 }
 
 /// Result of a satisfiability check.
@@ -29,6 +92,8 @@ pub enum CheckResult {
     Unsat,
     /// Budget exhausted.
     Unknown,
+    /// Cancelled via the cooperative interrupt flag.
+    Interrupted,
 }
 
 /// Result of a verification query.
@@ -40,6 +105,8 @@ pub enum VerifyResult {
     Counterexample(Box<Model>),
     /// Budget exhausted.
     Unknown,
+    /// Cancelled via the cooperative interrupt flag.
+    Interrupted,
 }
 
 impl VerifyResult {
@@ -49,6 +116,24 @@ impl VerifyResult {
     }
 }
 
+/// A [`CheckResult`] paired with its solve statistics.
+#[derive(Debug)]
+pub struct CheckOutcome {
+    /// The verdict.
+    pub result: CheckResult,
+    /// Statistics of the solve that produced it.
+    pub stats: QueryStats,
+}
+
+/// A [`VerifyResult`] paired with its solve statistics.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// The verdict.
+    pub result: VerifyResult,
+    /// Statistics of the solve that produced it.
+    pub stats: QueryStats,
+}
+
 /// Checks the conjunction of `assertions` for satisfiability.
 pub fn check(assertions: &[SBool]) -> CheckResult {
     check_with(SolverConfig::default(), assertions)
@@ -56,25 +141,53 @@ pub fn check(assertions: &[SBool]) -> CheckResult {
 
 /// [`check`] with an explicit configuration.
 pub fn check_with(cfg: SolverConfig, assertions: &[SBool]) -> CheckResult {
+    check_full(cfg, assertions, None).result
+}
+
+/// [`check`] with an explicit configuration, an optional cooperative
+/// interrupt flag, and full statistics reporting.
+pub fn check_full(
+    cfg: SolverConfig,
+    assertions: &[SBool],
+    interrupt: Option<Arc<AtomicBool>>,
+) -> CheckOutcome {
+    let start = Instant::now();
     let mut sat = Solver::new();
     sat.set_conflict_budget(cfg.conflict_budget);
+    sat.set_restart_base(cfg.restart_base);
+    sat.set_var_decay(cfg.var_decay);
+    sat.set_default_phase(cfg.default_phase);
+    sat.set_interrupt(interrupt);
     let mut blaster = Blaster::new();
+    let mut stats = QueryStats::default();
     for a in assertions {
         // Fast path: a constant-false assertion needs no solving.
         if a.is_false() {
-            return CheckResult::Unsat;
+            stats.wall = start.elapsed();
+            return CheckOutcome { result: CheckResult::Unsat, stats };
         }
         blaster.assert_true(&mut sat, a.0);
     }
     blaster.finalize(&mut sat);
-    match sat.solve() {
+    let result = match sat.solve() {
         SolveResult::Unsat => CheckResult::Unsat,
         SolveResult::Unknown => CheckResult::Unknown,
+        SolveResult::Interrupted => CheckResult::Interrupted,
         SolveResult::Sat => {
             let model = extract_model(&blaster, &sat, assertions.iter().map(|a| a.0));
             CheckResult::Sat(Box::new(model))
         }
-    }
+    };
+    let s = sat.stats();
+    stats.conflicts = s.conflicts;
+    stats.decisions = s.decisions;
+    stats.propagations = s.propagations;
+    stats.restarts = s.restarts;
+    stats.learnts = s.learnts;
+    stats.clauses = sat.num_clauses();
+    stats.vars = sat.num_vars();
+    stats.wall = start.elapsed();
+    CheckOutcome { result, stats }
 }
 
 /// Proves `goal` under `assumptions`: checks that `assumptions ∧ ¬goal` is
@@ -85,13 +198,27 @@ pub fn verify(assumptions: &[SBool], goal: SBool) -> VerifyResult {
 
 /// [`verify`] with an explicit configuration.
 pub fn verify_with(cfg: SolverConfig, assumptions: &[SBool], goal: SBool) -> VerifyResult {
+    verify_full(cfg, assumptions, goal, None).result
+}
+
+/// [`verify`] with an explicit configuration, an optional cooperative
+/// interrupt flag, and full statistics reporting.
+pub fn verify_full(
+    cfg: SolverConfig,
+    assumptions: &[SBool],
+    goal: SBool,
+    interrupt: Option<Arc<AtomicBool>>,
+) -> VerifyOutcome {
     let mut q: Vec<SBool> = assumptions.to_vec();
     q.push(!goal);
-    match check_with(cfg, &q) {
+    let out = check_full(cfg, &q, interrupt);
+    let result = match out.result {
         CheckResult::Unsat => VerifyResult::Proved,
         CheckResult::Sat(m) => VerifyResult::Counterexample(m),
         CheckResult::Unknown => VerifyResult::Unknown,
-    }
+        CheckResult::Interrupted => VerifyResult::Interrupted,
+    };
+    VerifyOutcome { result, stats: out.stats }
 }
 
 /// Builds a [`Model`] for the symbolic constants reachable from `roots`.

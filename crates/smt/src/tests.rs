@@ -222,6 +222,7 @@ fn conflict_budget_gives_unknown() {
     let goal = (x * y).ne_(BV::lit(32, 0x12345677));
     let cfg = SolverConfig {
         conflict_budget: Some(5),
+        ..SolverConfig::default()
     };
     let q = [!goal, x.ugt(BV::lit(32, 1)), y.ugt(BV::lit(32, 1))];
     match check_with(cfg, &q) {

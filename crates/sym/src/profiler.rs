@@ -8,6 +8,8 @@
 //! uses to find the symbolic-pc bottleneck in the ToyRISC verifier.
 
 use serval_smt::with_ctx;
+use serval_smt::QueryStats;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -57,6 +59,15 @@ pub struct Profiler {
     frames: Vec<Frame>,
     total_splits: u64,
     total_merges: u64,
+    // Solver-side totals, recorded through `&self` (discharge only holds
+    // a shared borrow of the context), hence the `Cell`s.
+    solver_queries: Cell<u64>,
+    solver_conflicts: Cell<u64>,
+    solver_decisions: Cell<u64>,
+    solver_propagations: Cell<u64>,
+    solver_learnts: Cell<u64>,
+    solver_clauses: Cell<u64>,
+    solver_wall_ns: Cell<u64>,
 }
 
 impl Default for Profiler {
@@ -73,7 +84,36 @@ impl Profiler {
             frames: Vec::new(),
             total_splits: 0,
             total_merges: 0,
+            solver_queries: Cell::new(0),
+            solver_conflicts: Cell::new(0),
+            solver_decisions: Cell::new(0),
+            solver_propagations: Cell::new(0),
+            solver_learnts: Cell::new(0),
+            solver_clauses: Cell::new(0),
+            solver_wall_ns: Cell::new(0),
         }
+    }
+
+    /// Folds one discharged query's solver statistics into the totals.
+    pub fn record_solver(&self, stats: &QueryStats) {
+        self.solver_queries.set(self.solver_queries.get() + 1);
+        self.solver_conflicts
+            .set(self.solver_conflicts.get() + stats.conflicts);
+        self.solver_decisions
+            .set(self.solver_decisions.get() + stats.decisions);
+        self.solver_propagations
+            .set(self.solver_propagations.get() + stats.propagations);
+        self.solver_learnts
+            .set(self.solver_learnts.get() + stats.learnts);
+        self.solver_clauses
+            .set(self.solver_clauses.get() + stats.clauses as u64);
+        self.solver_wall_ns
+            .set(self.solver_wall_ns.get() + stats.wall.as_nanos() as u64);
+    }
+
+    /// Number of solver queries recorded via [`Profiler::record_solver`].
+    pub fn solver_queries(&self) -> u64 {
+        self.solver_queries.get()
     }
 
     /// Total path splits recorded.
@@ -171,6 +211,19 @@ impl Profiler {
                 row.stats.merges,
                 row.stats.terms_created,
                 row.stats.score()
+            ));
+        }
+        if self.solver_queries.get() > 0 {
+            out.push_str(&format!(
+                "solver: {} queries, {} conflicts, {} decisions, {} propagations, \
+                 {} learned, {} clauses blasted, {:.1} ms\n",
+                self.solver_queries.get(),
+                self.solver_conflicts.get(),
+                self.solver_decisions.get(),
+                self.solver_propagations.get(),
+                self.solver_learnts.get(),
+                self.solver_clauses.get(),
+                self.solver_wall_ns.get() as f64 / 1e6,
             ));
         }
         out
