@@ -130,18 +130,34 @@ fn load_proved(path: &Path) -> Vec<Vec<u8>> {
 /// Appends one proved key, creating the file (with magic) on first use.
 /// I/O failures only lose persistence, never correctness, so they are
 /// silently ignored.
+///
+/// `create_new` decides atomically who writes the magic header: exactly
+/// one opener wins file creation (and prepends MAGIC to its record);
+/// everyone else sees `AlreadyExists` and appends a plain record. Each
+/// record goes out as a single `O_APPEND` write, so concurrent
+/// processes sharing `SERVAL_CACHE` cannot interleave inside a record.
 fn append_proved(path: &Path, key: &[u8]) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let fresh = !path.exists();
-    let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) else {
-        return;
-    };
     let mut record = Vec::with_capacity(key.len() + 12);
-    if fresh {
-        record.extend_from_slice(MAGIC);
-    }
+    let mut f = match std::fs::OpenOptions::new()
+        .create_new(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(f) => {
+            record.extend_from_slice(MAGIC);
+            f
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+            match std::fs::OpenOptions::new().append(true).open(path) {
+                Ok(f) => f,
+                Err(_) => return,
+            }
+        }
+        Err(_) => return,
+    };
     record.extend_from_slice(&(key.len() as u32).to_le_bytes());
     record.extend_from_slice(key);
     let _ = f.write_all(&record);

@@ -316,6 +316,35 @@ pub fn cache_key(core: &FormCore) -> Vec<u8> {
     out
 }
 
+/// Flattens the top-level `And` structure of `goal` into its conjuncts,
+/// in left-to-right order; returns `[goal]` when the goal is not a
+/// conjunction. Splitting is the engine-side counterpart of the paper's
+/// split-cases: proving every conjunct under the same assumptions proves
+/// the conjunction, and a countermodel of any conjunct (which satisfies
+/// the assumptions) refutes it, so the engine can discharge conjuncts as
+/// independent parallel queries and recombine the verdicts.
+///
+/// `cap` bounds the number of conjuncts: once reached, remaining
+/// subtrees are kept whole instead of being descended into.
+///
+/// Must run on the thread that owns the terms.
+pub fn split_goal(goal: SBool, cap: usize) -> Vec<SBool> {
+    let mut out: Vec<SBool> = Vec::new();
+    let mut stack = vec![goal.0];
+    while let Some(t) = stack.pop() {
+        let (op, children, _) = fetch(t);
+        if matches!(op, Op::And) && out.len() + stack.len() + children.len() <= cap {
+            // Reversed push keeps the conjuncts in left-to-right order.
+            for &ch in children.iter().rev() {
+                stack.push(ch);
+            }
+        } else {
+            out.push(SBool(t));
+        }
+    }
+    out
+}
+
 fn fetch(t: TermId) -> (Op, Vec<TermId>, Sort) {
     with_ctx(|c| {
         let n = c.term(t);

@@ -21,7 +21,8 @@
 //! |--------------------|----------------------------------------------------|
 //! | `SERVAL_JOBS`      | Worker count (default: available parallelism)      |
 //! | `SERVAL_CACHE`     | `1`/`on` → disk tier under `target/serval-cache/`; a path → disk tier there; unset/`0` → memory tier only |
-//! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query         |
+//! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query (the pool shrinks to `jobs / 3` so total solver threads stay ≈ `SERVAL_JOBS`). Verdicts stay deterministic, but which variant's counterexample is reported is a timing race — see [`solve::solve_portfolio`]. |
+//! | `SERVAL_SPLIT`     | `0`/`off` → disable goal conjunction splitting (on by default; see [`form::split_goal`]) |
 
 pub mod cache;
 pub mod form;
@@ -37,7 +38,7 @@ use cache::{Cache, CachedVerdict};
 use form::{prepare, BackMap};
 use pool::Pool;
 use serval_smt::model::Model;
-use serval_smt::solver::{QueryStats, VerifyResult};
+use serval_smt::solver::{QueryStats, SolverConfig, VerifyResult};
 use solve::{solve_one, solve_portfolio, PortableModel, RawOutcome, RawVerdict};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -53,6 +54,12 @@ pub struct EngineCfg {
     pub portfolio: bool,
     /// Directory for the on-disk proved-key tier; `None` disables it.
     pub disk_cache: Option<PathBuf>,
+    /// Split conjunction goals into per-conjunct sub-queries discharged
+    /// in parallel (see [`form::split_goal`]). On by default: monitor
+    /// refinement goals are monolithic conjunctions over the whole
+    /// abstract state, and one such goal can otherwise dominate the
+    /// batch's critical path.
+    pub split: bool,
 }
 
 impl Default for EngineCfg {
@@ -61,6 +68,7 @@ impl Default for EngineCfg {
             jobs: default_jobs(),
             portfolio: false,
             disk_cache: None,
+            split: true,
         }
     }
 }
@@ -84,10 +92,14 @@ impl EngineCfg {
                 path => Some(PathBuf::from(path)),
             },
         };
+        let split = std::env::var("SERVAL_SPLIT")
+            .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+            .unwrap_or(true);
         EngineCfg {
             jobs,
             portfolio,
             disk_cache,
+            split,
         }
     }
 }
@@ -119,20 +131,37 @@ pub struct QueryOutcome {
     pub error: Option<String>,
 }
 
+/// Cap on conjuncts produced by goal splitting, to bound per-conjunct
+/// preparation overhead on pathologically wide conjunctions.
+const SPLIT_CAP: usize = 512;
+
 /// The proof-discharge engine: pool + cache + portfolio switch.
 pub struct Engine {
     pool: Pool,
     cache: Cache,
     portfolio: bool,
+    split: bool,
 }
 
 impl Engine {
     /// Builds an engine (spawns the worker threads eagerly).
+    ///
+    /// With portfolio mode on, every pool task spawns one solver thread
+    /// per [`solve::portfolio_variants`] variant, so the pool is shrunk
+    /// by that width (rounding up): total solver threads stay ≈ `jobs`
+    /// instead of oversubscribing the CPU 3x.
     pub fn new(cfg: EngineCfg) -> Engine {
+        let jobs = if cfg.portfolio {
+            let width = solve::portfolio_variants(SolverConfig::default()).len();
+            (cfg.jobs + width - 1) / width
+        } else {
+            cfg.jobs
+        };
         Engine {
-            pool: Pool::new(cfg.jobs),
+            pool: Pool::new(jobs),
             cache: Cache::new(cfg.disk_cache),
             portfolio: cfg.portfolio,
+            split: cfg.split,
         }
     }
 
@@ -162,11 +191,52 @@ impl Engine {
     /// submission order. Must be called from the thread that owns the
     /// queries' terms; solving itself happens on the pool workers (and
     /// never mutates the caller's term context).
+    ///
+    /// With goal splitting on (the default), a query whose goal is a
+    /// conjunction is discharged as one sub-query per conjunct — all
+    /// sub-queries across the whole batch share the pool, so a single
+    /// monolithic goal no longer serializes the batch's critical path.
+    /// The recombined outcome is equivalent: proved iff every conjunct
+    /// proved; refuted with the first refuted conjunct's countermodel
+    /// (which satisfies the shared assumptions, hence refutes the
+    /// conjunction). For split queries `wall` is the parallel critical
+    /// path (max over conjuncts) and `stats` the sum.
     pub fn submit_batch(&self, queries: Vec<Query>) -> Vec<QueryOutcome> {
+        enum Sub {
+            /// Conjunct resolved without solving (trivial, or cached).
+            Ready { verdict: CachedVerdict, backmap: BackMap, hit: bool },
+            /// Conjunct waiting on a pool task.
+            Task { task: usize, backmap: BackMap, key: Vec<u8> },
+        }
+        enum Pending {
+            /// Whole query waiting on one pool task.
+            Unit { slot: usize, backmap: BackMap, key: Vec<u8>, task: usize },
+            /// Split query waiting on its conjuncts.
+            Split { slot: usize, whole_key: Vec<u8>, subs: Vec<Sub> },
+        }
+
+        let debug = std::env::var("SERVAL_ENGINE_DEBUG").is_ok();
+        let t_prep = std::time::Instant::now();
         let n = queries.len();
         let mut slots: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
-        let mut pending: Vec<(usize, BackMap, Vec<u8>)> = Vec::new();
+        let mut pending: Vec<Pending> = Vec::new();
         let mut tasks: Vec<Box<dyn FnOnce() -> RawOutcome + Send + 'static>> = Vec::new();
+        let push_task = |tasks: &mut Vec<Box<dyn FnOnce() -> RawOutcome + Send + 'static>>,
+                             core: form::FormCore,
+                             cfg: serval_smt::solver::SolverConfig|
+         -> usize {
+            let core = Arc::new(core);
+            let portfolio = self.portfolio;
+            tasks.push(Box::new(move || {
+                if portfolio {
+                    solve_portfolio(&core, cfg, None)
+                } else {
+                    solve_one(&core, cfg, None)
+                }
+            }));
+            tasks.len() - 1
+        };
+
         for (i, q) in queries.into_iter().enumerate() {
             let prepared = prepare(&q.assumptions, q.goal);
             if prepared.core.trivially_unsat {
@@ -193,17 +263,50 @@ impl Engine {
                 });
                 continue;
             }
-            let core = Arc::new(prepared.core);
-            let cfg = q.cfg;
-            let portfolio = self.portfolio;
-            tasks.push(Box::new(move || {
-                if portfolio {
-                    solve_portfolio(&core, cfg, None)
-                } else {
-                    solve_one(&core, cfg, None)
+            let conjuncts = if self.split {
+                form::split_goal(q.goal, SPLIT_CAP)
+            } else {
+                vec![q.goal]
+            };
+            if conjuncts.len() > 1 {
+                let mut subs = Vec::with_capacity(conjuncts.len());
+                for c in conjuncts {
+                    let sp = prepare(&q.assumptions, c);
+                    if sp.core.trivially_unsat {
+                        subs.push(Sub::Ready {
+                            verdict: CachedVerdict::Proved,
+                            backmap: sp.backmap,
+                            hit: false,
+                        });
+                    } else if let Some(cached) = self.cache.lookup(&sp.key) {
+                        subs.push(Sub::Ready {
+                            verdict: cached,
+                            backmap: sp.backmap,
+                            hit: true,
+                        });
+                    } else {
+                        let task = push_task(&mut tasks, sp.core, q.cfg);
+                        subs.push(Sub::Task {
+                            task,
+                            backmap: sp.backmap,
+                            key: sp.key,
+                        });
+                    }
                 }
-            }));
-            pending.push((i, prepared.backmap, prepared.key));
+                pending.push(Pending::Split {
+                    slot: i,
+                    whole_key: prepared.key,
+                    subs,
+                });
+            } else {
+                let task = push_task(&mut tasks, prepared.core, q.cfg);
+                pending.push(Pending::Unit {
+                    slot: i,
+                    backmap: prepared.backmap,
+                    key: prepared.key,
+                    task,
+                });
+            }
             slots[i] = Some(QueryOutcome {
                 label: q.label,
                 result: VerifyResult::Unknown,
@@ -215,38 +318,133 @@ impl Engine {
             });
         }
 
-        let raw = self.pool.run_batch(tasks);
-        for ((i, backmap, key), outcome) in pending.into_iter().zip(raw) {
-            let slot = slots[i].as_mut().expect("pending slot was initialized");
-            match outcome {
-                Err(msg) => {
-                    slot.result = VerifyResult::Unknown;
-                    slot.error = Some(msg);
-                }
-                Ok(RawOutcome {
-                    verdict,
-                    stats,
-                    variant,
-                }) => {
-                    slot.stats = Some(stats);
-                    slot.wall = stats.wall;
-                    slot.variant = variant;
-                    match verdict {
-                        RawVerdict::Proved => {
-                            self.cache.insert(key, CachedVerdict::Proved);
-                            slot.result = VerifyResult::Proved;
+        let prep_wall = t_prep.elapsed();
+        let n_tasks = tasks.len();
+        let t_pool = std::time::Instant::now();
+        let mut raw: Vec<Option<Result<RawOutcome, String>>> =
+            self.pool.run_batch(tasks).into_iter().map(Some).collect();
+        if debug {
+            let cpu: Duration = raw
+                .iter()
+                .flatten()
+                .filter_map(|r| r.as_ref().ok())
+                .map(|o| o.stats.wall)
+                .sum();
+            eprintln!(
+                "[engine] batch of {n}: prepare {prep_wall:?}, {n_tasks} tasks solved in {:?} (task wall sum {cpu:?})",
+                t_pool.elapsed()
+            );
+        }
+        for p in pending {
+            match p {
+                Pending::Unit { slot, backmap, key, task } => {
+                    let slot = slots[slot].as_mut().expect("pending slot was initialized");
+                    match raw[task].take().expect("task claimed once") {
+                        Err(msg) => {
+                            slot.result = VerifyResult::Unknown;
+                            slot.error = Some(msg);
                         }
-                        RawVerdict::Refuted(pm) => {
-                            slot.result = VerifyResult::Counterexample(Box::new(
-                                portable_to_model(&pm, &backmap),
-                            ));
-                            self.cache.insert(key, CachedVerdict::Refuted(pm));
-                        }
-                        RawVerdict::Unknown => slot.result = VerifyResult::Unknown,
-                        RawVerdict::Interrupted => {
-                            slot.result = VerifyResult::Interrupted
+                        Ok(RawOutcome { verdict, stats, variant }) => {
+                            slot.stats = Some(stats);
+                            slot.wall = stats.wall;
+                            slot.variant = variant;
+                            match verdict {
+                                RawVerdict::Proved => {
+                                    self.cache.insert(key, CachedVerdict::Proved);
+                                    slot.result = VerifyResult::Proved;
+                                }
+                                RawVerdict::Refuted(pm) => {
+                                    slot.result = VerifyResult::Counterexample(Box::new(
+                                        portable_to_model(&pm, &backmap),
+                                    ));
+                                    self.cache.insert(key, CachedVerdict::Refuted(pm));
+                                }
+                                RawVerdict::Unknown => slot.result = VerifyResult::Unknown,
+                                RawVerdict::Interrupted => {
+                                    slot.result = VerifyResult::Interrupted
+                                }
+                            }
                         }
                     }
+                }
+                Pending::Split { slot, whole_key, subs } => {
+                    let mut agg = QueryStats::default();
+                    let mut solved_any = false;
+                    let mut wall = Duration::ZERO;
+                    let mut all_hit = true;
+                    let mut all_proved = true;
+                    let mut refuted: Option<Model> = None;
+                    let mut any_unknown = false;
+                    let mut error: Option<String> = None;
+                    for sub in subs {
+                        match sub {
+                            Sub::Ready { verdict, backmap, hit } => {
+                                all_hit &= hit;
+                                if let CachedVerdict::Refuted(pm) = verdict {
+                                    all_proved = false;
+                                    if refuted.is_none() {
+                                        refuted = Some(portable_to_model(&pm, &backmap));
+                                    }
+                                }
+                            }
+                            Sub::Task { task, backmap, key } => {
+                                all_hit = false;
+                                match raw[task].take().expect("task claimed once") {
+                                    Err(msg) => {
+                                        all_proved = false;
+                                        any_unknown = true;
+                                        if error.is_none() {
+                                            error = Some(msg);
+                                        }
+                                    }
+                                    Ok(RawOutcome { verdict, stats, .. }) => {
+                                        solved_any = true;
+                                        agg = add_stats(agg, stats);
+                                        wall = wall.max(stats.wall);
+                                        match verdict {
+                                            RawVerdict::Proved => {
+                                                self.cache.insert(key, CachedVerdict::Proved);
+                                            }
+                                            RawVerdict::Refuted(pm) => {
+                                                all_proved = false;
+                                                if refuted.is_none() {
+                                                    refuted = Some(portable_to_model(
+                                                        &pm, &backmap,
+                                                    ));
+                                                }
+                                                self.cache
+                                                    .insert(key, CachedVerdict::Refuted(pm));
+                                            }
+                                            RawVerdict::Unknown => {
+                                                all_proved = false;
+                                                any_unknown = true;
+                                            }
+                                            RawVerdict::Interrupted => {
+                                                all_proved = false;
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let out = slots[slot].as_mut().expect("pending slot was initialized");
+                    out.stats = solved_any.then_some(agg);
+                    out.wall = wall;
+                    out.cache_hit = all_hit;
+                    out.error = error;
+                    out.result = if let Some(model) = refuted {
+                        VerifyResult::Counterexample(Box::new(model))
+                    } else if all_proved {
+                        // The conjunction itself is now a proved key, so
+                        // future runs hit on the whole goal directly.
+                        self.cache.insert(whole_key, CachedVerdict::Proved);
+                        VerifyResult::Proved
+                    } else if any_unknown {
+                        VerifyResult::Unknown
+                    } else {
+                        VerifyResult::Interrupted
+                    };
                 }
             }
         }
@@ -254,6 +452,22 @@ impl Engine {
             .into_iter()
             .map(|s| s.expect("every slot resolved"))
             .collect()
+    }
+}
+
+/// Component-wise sum of two stats blocks (used to aggregate split
+/// sub-queries; `wall` is summed here, the outcome reports critical-path
+/// wall separately).
+fn add_stats(a: QueryStats, b: QueryStats) -> QueryStats {
+    QueryStats {
+        conflicts: a.conflicts + b.conflicts,
+        decisions: a.decisions + b.decisions,
+        propagations: a.propagations + b.propagations,
+        restarts: a.restarts + b.restarts,
+        learnts: a.learnts + b.learnts,
+        clauses: a.clauses + b.clauses,
+        vars: a.vars + b.vars,
+        wall: a.wall + b.wall,
     }
 }
 

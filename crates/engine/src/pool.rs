@@ -6,6 +6,13 @@
 //! still keeps every core busy. A `Mutex<usize>`/`Condvar` pair counts
 //! unclaimed jobs and parks idle workers without busy-waiting.
 //!
+//! Lock ordering: the `ready` counter lock is always acquired *before*
+//! any deque lock, by both [`Pool::submit`] and the worker-side claim
+//! path. That makes the counter an exact count of queued jobs at every
+//! point where it is observed — a claimer can never pop a job whose
+//! increment has not landed yet (which would underflow the counter),
+//! and a submitter can never publish a job a parked worker misses.
+//!
 //! [`Pool::run_batch`] is the engine's workhorse: it submits a batch,
 //! catches panics per job (a poisoned query fails alone, the pool keeps
 //! draining), and returns results **in submission order** regardless of
@@ -73,8 +80,11 @@ impl Pool {
     pub fn submit(&self, job: Job) {
         let n = self.shared.locals.len();
         let slot = self.shared.cursor.fetch_add(1, Ordering::Relaxed) % n;
-        self.shared.locals[slot].lock().unwrap().push_back(job);
+        // Push and increment under the ready lock (ready → deque order,
+        // matching `grab`) so no claimer can pop the job before the
+        // counter accounts for it.
         let mut ready = self.shared.ready.lock().unwrap();
+        self.shared.locals[slot].lock().unwrap().push_back(job);
         *ready += 1;
         drop(ready);
         self.shared.cv.notify_one();
@@ -148,28 +158,34 @@ fn worker_loop(shared: &Shared, me: usize) {
 }
 
 /// Claims one job: own deque LIFO, then injector, then steal FIFO.
+///
+/// Holds the ready lock across the whole claim (ready → deque order,
+/// matching `submit`): while we hold it no push or rival pop can land,
+/// so a nonzero counter guarantees the scan finds a job, and the
+/// decrement pairs exactly with the pop that earned it.
 fn grab(shared: &Shared, me: usize) -> Option<Job> {
-    let claim = |job: Option<Job>| -> Option<Job> {
-        if job.is_some() {
-            *shared.ready.lock().unwrap() -= 1;
-        }
-        job
-    };
-    if let Some(j) = claim(shared.locals[me].lock().unwrap().pop_back()) {
-        return Some(j);
+    let mut ready = shared.ready.lock().unwrap();
+    if *ready == 0 {
+        return None;
     }
-    if let Some(j) = claim(shared.injector.lock().unwrap().pop_front()) {
-        return Some(j);
+    let job = shared.locals[me]
+        .lock()
+        .unwrap()
+        .pop_back()
+        .or_else(|| shared.injector.lock().unwrap().pop_front())
+        .or_else(|| {
+            shared
+                .locals
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != me)
+                .find_map(|(_, other)| other.lock().unwrap().pop_front())
+        });
+    debug_assert!(job.is_some(), "ready counter out of sync with deques");
+    if job.is_some() {
+        *ready -= 1;
     }
-    for (k, other) in shared.locals.iter().enumerate() {
-        if k == me {
-            continue;
-        }
-        if let Some(j) = claim(other.lock().unwrap().pop_front()) {
-            return Some(j);
-        }
-    }
-    None
+    job
 }
 
 fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {

@@ -6,8 +6,9 @@
 use crate::form::{rebuild, FormCore};
 use serval_smt::solver::{check_full, CheckResult, QueryStats, SolverConfig};
 use serval_smt::term::{reset_ctx, Sort};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// A model expressed over canonical var/UF indices — valid on any
 /// thread, for any query with the same normal form.
@@ -116,6 +117,18 @@ pub fn portfolio_variants(base: SolverConfig) -> Vec<SolverConfig> {
 /// (proved/refuted) wins and cancels the rest; an `Unknown` (budget
 /// exhausted) is kept as a fallback but does not cancel anyone, so a
 /// slower variant can still deliver a proof.
+///
+/// An external `cancel` is relayed into the race flag for the whole
+/// duration of the solve (not just sampled at the start), so a cancel
+/// arriving mid-solve interrupts every running variant within a few
+/// milliseconds.
+///
+/// Determinism note: when more than one variant reaches a definitive
+/// verdict, which one wins is a timing race. The *verdict kind*
+/// (proved vs. refuted) is identical across variants, but for refuted
+/// queries the reported counterexample model — and the `variant` stat —
+/// can differ run to run. `SERVAL_PORTFOLIO` therefore preserves
+/// verdict determinism, not model determinism; see DESIGN.md.
 pub fn solve_portfolio(
     core: &FormCore,
     base: SolverConfig,
@@ -123,33 +136,37 @@ pub fn solve_portfolio(
 ) -> RawOutcome {
     let variants = portfolio_variants(base);
     let done = Arc::new(AtomicBool::new(false));
+    let live = AtomicUsize::new(variants.len());
     let winner: Mutex<Option<RawOutcome>> = Mutex::new(None);
     let fallback: Mutex<Option<RawOutcome>> = Mutex::new(None);
     std::thread::scope(|s| {
+        // Relay: copy the parent's cancellation into the shared race
+        // flag until the race is over (a winner set `done`, or every
+        // variant finished). The solvers poll `done` at restart
+        // boundaries, so an external cancel mid-solve stops the whole
+        // portfolio, as the public contract promises.
+        if let Some(parent) = cancel.clone() {
+            let done = Arc::clone(&done);
+            let live = &live;
+            s.spawn(move || {
+                while !done.load(Ordering::Relaxed) && live.load(Ordering::Relaxed) > 0 {
+                    if parent.load(Ordering::Relaxed) {
+                        done.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
         for (vi, vcfg) in variants.iter().enumerate() {
             let done = Arc::clone(&done);
-            let parent_cancel = cancel.clone();
+            let live = &live;
             let winner = &winner;
             let fallback = &fallback;
             let core = &core;
             let vcfg = *vcfg;
             s.spawn(move || {
-                // Chain the parent's cancellation into the race flag so
-                // an external cancel stops the whole portfolio.
-                let flag = match parent_cancel {
-                    Some(parent) => {
-                        let chained = Arc::clone(&done);
-                        // Cheap chain: poll the parent by copying its
-                        // state into the shared flag before solving;
-                        // long solves additionally poll `done`.
-                        if parent.load(Ordering::Relaxed) {
-                            chained.store(true, Ordering::Relaxed);
-                        }
-                        chained
-                    }
-                    None => Arc::clone(&done),
-                };
-                let mut out = solve_one(core, vcfg, Some(flag));
+                let mut out = solve_one(core, vcfg, Some(Arc::clone(&done)));
                 out.variant = vi;
                 match out.verdict {
                     RawVerdict::Proved | RawVerdict::Refuted(_) => {
@@ -167,6 +184,7 @@ pub fn solve_portfolio(
                     }
                     RawVerdict::Interrupted => {}
                 }
+                live.fetch_sub(1, Ordering::Relaxed);
             });
         }
     });

@@ -1,7 +1,7 @@
 //! Engine tests: canonicalization, pool determinism and poisoning,
 //! cache behavior, and end-to-end agreement with direct `smt::verify`.
 
-use crate::form::{cache_key, prepare, Query};
+use crate::form::{cache_key, prepare, split_goal, Query};
 use crate::pool::Pool;
 use crate::{Engine, EngineCfg};
 use serval_check::prelude::*;
@@ -13,6 +13,7 @@ fn local_engine(jobs: usize) -> Engine {
         jobs,
         portfolio: false,
         disk_cache: None,
+        split: true,
     })
 }
 
@@ -319,6 +320,7 @@ fn disk_cache_survives_engine_restarts() {
             jobs: 2,
             portfolio: false,
             disk_cache: Some(dir.clone()),
+            split: true,
         })
     };
     let first = mk_engine();
@@ -344,6 +346,7 @@ fn portfolio_agrees_with_single_config() {
         jobs: 2,
         portfolio: true,
         disk_cache: None,
+        split: true,
     });
     let make = || {
         vec![
@@ -360,6 +363,41 @@ fn portfolio_agrees_with_single_config() {
 }
 
 #[test]
+fn portfolio_external_cancel_interrupts_mid_solve() {
+    use crate::solve::{solve_portfolio, RawVerdict};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let z = BV::fresh(16, "z");
+    // 16-bit multiplicative distributivity is multiplier equivalence
+    // checking: far too hard for the CDCL solver to finish within the
+    // cancellation window (empirically >200k conflicts / >40s), so any
+    // verdict other than Interrupted means the external cancel never
+    // reached the running variants. (Commutativity identities cannot be
+    // used here: the term builder folds them to `true` at construction.)
+    let prepared = prepare(&[], (x * (y + z)).eq_(x * y + x * z));
+    let cancel = Arc::new(AtomicBool::new(false));
+    let killer = {
+        let cancel = Arc::clone(&cancel);
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            cancel.store(true, Ordering::Relaxed);
+        })
+    };
+    let out = solve_portfolio(&prepared.core, SolverConfig::default(), Some(cancel));
+    killer.join().unwrap();
+    assert!(
+        matches!(out.verdict, RawVerdict::Interrupted),
+        "mid-solve cancel must interrupt the portfolio, got {:?}",
+        out.verdict
+    );
+}
+
+#[test]
 fn poisoned_query_surfaces_as_error_not_crash() {
     // A query over a dangling TermId panics on the worker during
     // preparation... preparation happens caller-side, so instead poison
@@ -373,4 +411,75 @@ fn poisoned_query_surfaces_as_error_not_crash() {
     let o = engine.submit(q("healthy", vec![], x.eq_(x)));
     assert!(o.error.is_none());
     assert!(matches!(o.result, VerifyResult::Proved));
+}
+
+// -----------------------------------------------------------------
+// Goal splitting
+// -----------------------------------------------------------------
+
+fn local_engine_unsplit(jobs: usize) -> Engine {
+    Engine::new(EngineCfg {
+        jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: false,
+    })
+}
+
+#[test]
+fn split_goal_flattens_nested_conjunctions() {
+    reset_ctx();
+    let a = SBool::fresh("a");
+    let b = SBool::fresh("b");
+    let c = SBool::fresh("c");
+    let goal = (a & b) & c;
+    assert_eq!(split_goal(goal, 512).len(), 3);
+    // A goal that is not a conjunction stays whole.
+    assert_eq!(split_goal(a, 512).len(), 1);
+    // The cap stops expansion entirely when even the first level would
+    // exceed it.
+    assert_eq!(split_goal(goal, 1).len(), 1);
+}
+
+#[test]
+fn split_and_unsplit_verdicts_agree() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let proved = (x & y).ule(x) & (x | y).uge(x);
+    let refuted = (x & y).ule(x) & x.ult(y);
+    // Guard: the builder must not have folded these to non-conjunctions,
+    // or the test would not exercise the split path at all.
+    assert!(split_goal(proved, 512).len() >= 2);
+    assert!(split_goal(refuted, 512).len() >= 2);
+    for engine in [local_engine(2), local_engine_unsplit(2)] {
+        let out = engine.submit_batch(vec![
+            q("conj-proved", vec![], proved),
+            q("conj-refuted", vec![], refuted),
+        ]);
+        assert!(matches!(out[0].result, VerifyResult::Proved));
+        let VerifyResult::Counterexample(m) = &out[1].result else {
+            panic!("expected counterexample, got {:?}", out[1].result);
+        };
+        // The model from the refuted conjunct must refute the *whole*
+        // conjunction over the caller's terms.
+        assert!(!m.eval_bool(refuted.0), "model must refute the conjunction");
+    }
+}
+
+#[test]
+fn split_conjunction_caches_whole_goal() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let goal = (x & y).ule(x) & (x | y).uge(x);
+    let engine = local_engine(2);
+    let cold = engine.submit_batch(vec![q("conj", vec![], goal)]);
+    assert!(matches!(cold[0].result, VerifyResult::Proved));
+    assert!(!cold[0].cache_hit);
+    // All conjuncts proved → the whole-goal key is inserted, so a rerun
+    // is a single cache hit rather than a re-split.
+    let warm = engine.submit_batch(vec![q("conj", vec![], goal)]);
+    assert!(warm[0].cache_hit, "whole conjunction must hit on rerun");
+    assert!(matches!(warm[0].result, VerifyResult::Proved));
 }

@@ -16,6 +16,7 @@ use serval_riscv::{Interp as RvInterp, Machine};
 use serval_smt::solver::SolverConfig;
 use serval_smt::{reset_ctx, SBool, VerifyResult};
 use serval_sym::SymCtx;
+use std::time::Instant;
 
 /// One checker verdict.
 #[derive(Clone, Debug)]
@@ -28,7 +29,9 @@ pub struct CheckRow {
     pub ok: bool,
     /// Counterexample description when not ok.
     pub cex: Option<String>,
-    /// Wall time of the check.
+    /// End-to-end wall time of the check: symbolic evaluation (query
+    /// construction) plus solving. The solve component is zero for
+    /// cache hits, so warm-cache rows show only the preparation time.
     pub millis: u128,
 }
 
@@ -239,15 +242,23 @@ fn discharge_prepared(prepared: Vec<PreparedCheck>, cfg: SolverConfig) -> Vec<Ch
 /// context.
 pub fn check_rv64(jit: &Rv64Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
     reset_ctx();
+    let t = Instant::now();
     let prepared = prepare_rv64(jit, insn)?;
-    discharge_prepared(vec![prepared], cfg).pop()
+    let prep = t.elapsed().as_millis();
+    let mut row = discharge_prepared(vec![prepared], cfg).pop()?;
+    row.millis += prep;
+    Some(row)
 }
 
 /// Checks one BPF instruction against the x86-32 JIT.
 pub fn check_x86(jit: &X86Jit, insn: Bpf, cfg: SolverConfig) -> Option<CheckRow> {
     reset_ctx();
+    let t = Instant::now();
     let prepared = prepare_x86(jit, insn)?;
-    discharge_prepared(vec![prepared], cfg).pop()
+    let prep = t.elapsed().as_millis();
+    let mut row = discharge_prepared(vec![prepared], cfg).pop()?;
+    row.millis += prep;
+    Some(row)
 }
 
 /// Immediates exercised for `K`-form instructions (shift corner cases
@@ -274,19 +285,26 @@ fn sweep_with(
     // must stay alive until its verdict (and counterexample) comes back.
     reset_ctx();
     let mut prepared = Vec::new();
+    // Per-check symbolic-evaluation wall time, folded into each row's
+    // `millis` after solving so rows report end-to-end check time.
+    let mut prep_ms: Vec<u128> = Vec::new();
     let mut plan = Vec::new();
     for &op in &AluOp::ALL {
         for is32 in [false, true] {
             // Register form.
+            let t = Instant::now();
             if let Some(p) = prepare(mk_insn(op, is32, Src::X, 0)) {
                 prepared.push(p);
+                prep_ms.push(t.elapsed().as_millis());
                 plan.push(Plan::One(prepared.len() - 1));
             }
             // Immediate forms across the corner-case constants.
             let mut group = Vec::new();
             for &k in &K_VALUES {
+                let t = Instant::now();
                 if let Some(p) = prepare(mk_insn(op, is32, Src::K, k)) {
                     prepared.push(p);
+                    prep_ms.push(t.elapsed().as_millis());
                     group.push(prepared.len() - 1);
                 }
             }
@@ -297,7 +315,11 @@ fn sweep_with(
     }
     let mut solved: Vec<Option<CheckRow>> = discharge_prepared(prepared, cfg)
         .into_iter()
-        .map(Some)
+        .zip(prep_ms)
+        .map(|(mut row, prep)| {
+            row.millis += prep;
+            Some(row)
+        })
         .collect();
     let mut rows = Vec::new();
     for entry in plan {
