@@ -14,6 +14,12 @@ SERVAL_JOBS=1 cargo test -q --workspace --offline
 echo "== tests (whole workspace, offline, SERVAL_JOBS=4) =="
 SERVAL_JOBS=4 cargo test -q --workspace --offline
 
+echo "== tests (engine + core, incremental sessions off) =="
+SERVAL_INCREMENTAL=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, incremental sessions on) =="
+SERVAL_INCREMENTAL=1 cargo test -q --offline -p serval-engine -p serval-core
+
 echo "== examples =="
 cargo run --release --offline --example quickstart
 cargo run --release --offline --example bpf_jit_check

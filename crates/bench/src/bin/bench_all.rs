@@ -52,4 +52,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", engine_out.display());
+
+    // Fresh-per-sub-query vs incremental sessions on the same workload
+    // → BENCH_incremental.json.
+    let inc_report = serval_bench::incremental_bench::run();
+    inc_report.print_summary();
+    let inc_out = out
+        .parent()
+        .map(|d| d.join("BENCH_incremental.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_incremental.json"));
+    if let Err(e) = inc_report.write_json(&inc_out) {
+        eprintln!("failed to write {}: {e}", inc_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", inc_out.display());
 }

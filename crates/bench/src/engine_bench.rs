@@ -62,6 +62,7 @@ fn timed_run(jobs: usize, reuse_engine: bool) -> EngineRun {
             portfolio: false,
             disk_cache: None,
             split: true,
+            incremental: true,
         })
     };
     let (h0, m0) = engine.cache_stats();

@@ -3,6 +3,7 @@
 //! experiment index and DESIGN.md for the substitutions).
 
 pub mod engine_bench;
+pub mod incremental_bench;
 pub mod suites;
 
 use std::path::{Path, PathBuf};

@@ -58,6 +58,20 @@ pub fn solver(h: &mut Harness) {
         let goal = (a.udiv(d) * d + a.urem(d)).eq_(a);
         assert!(verify(&[nz], goal).is_proved());
     });
+    // Division by a constant power of two folds to shift/mask at build
+    // time — no divider circuit is blasted at all. This bench regresses
+    // if those rewrites break.
+    h.bench("smt/division by constant, 8-bit", || {
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let goal = (0..8u32)
+            .map(|k| {
+                let d = BV::lit(8, 1u128 << k);
+                (a.udiv(d) * d + a.urem(d)).eq_(a)
+            })
+            .fold(serval_smt::SBool::lit(true), |acc, g| acc & g);
+        assert!(verify(&[], goal).is_proved());
+    });
 }
 
 /// The verification-pipeline benches: the ToyRISC refinement proof

@@ -90,6 +90,12 @@ impl ProofReport {
             total.learnts += t.learnts;
             total.clauses += t.clauses;
             total.vars += t.vars;
+            total.reused_clauses += t.reused_clauses;
+            total.reused_vars += t.reused_vars;
+            total.reused_learnts += t.reused_learnts;
+            // Count of theorems discharged inside a live session, not a
+            // positional sum (per-theorem it is a 1-based position).
+            total.session_goals += (t.session_goals > 0) as u64;
             total.wall += t.wall;
         }
         total

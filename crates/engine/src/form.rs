@@ -20,7 +20,7 @@
 
 use serval_smt::bv::SBool;
 use serval_smt::solver::SolverConfig;
-use serval_smt::term::{with_ctx, Op, Sort, Term, TermId, UfId};
+use serval_smt::term::{with_ctx, Ctx, Op, Sort, Term, TermId, UfId};
 use std::collections::HashMap;
 
 /// A verification query: prove `goal` under `assumptions`.
@@ -100,44 +100,28 @@ pub struct Prepared {
     pub key: Vec<u8>,
 }
 
-/// Extracts the normal form of `assumptions ∧ ¬goal`.
-///
-/// Must run on the thread that owns the terms.
-pub fn prepare(assumptions: &[SBool], goal: SBool) -> Prepared {
-    let negated_goal = !goal;
-    let mut roots: Vec<TermId> = Vec::with_capacity(assumptions.len() + 1);
-    let mut trivially_unsat = false;
-    for a in assumptions.iter().copied().chain([negated_goal]) {
-        if a.is_false() {
-            trivially_unsat = true;
-        }
-        // Constant-true roots constrain nothing; drop them so queries
-        // differing only in vacuous assumptions normalize identically.
-        if !a.is_true() && !roots.contains(&a.0) {
-            roots.push(a.0);
-        }
-    }
+/// Postorder-normalization state shared by [`prepare`] (one root set) and
+/// [`prepare_session`] (base roots plus a stream of negated-goal roots):
+/// one global numbering across every root fed in, with vars and UFs
+/// renumbered by first encounter.
+#[derive(Default)]
+struct Normalizer {
+    node_of: HashMap<TermId, u32>,
+    nodes: Vec<FormNode>,
+    var_of: HashMap<u32, u32>,
+    uf_of: HashMap<u32, u32>,
+    backmap: BackMap,
+    var_sorts: Vec<Sort>,
+    uf_sigs: Vec<(Vec<u32>, u32)>,
+}
 
-    // Order roots by their per-root alpha-invariant key so assumption
-    // order cannot influence the normal form.
-    let mut keyed: Vec<(Vec<u8>, TermId)> =
-        roots.into_iter().map(|r| (local_key(r), r)).collect();
-    keyed.sort_by(|a, b| a.0.cmp(&b.0));
-
-    // Global pass: one postorder numbering across all roots, with vars
-    // and UFs renumbered by first encounter.
-    let mut node_of: HashMap<TermId, u32> = HashMap::new();
-    let mut nodes: Vec<FormNode> = Vec::new();
-    let mut var_of: HashMap<u32, u32> = HashMap::new();
-    let mut uf_of: HashMap<u32, u32> = HashMap::new();
-    let mut backmap = BackMap::default();
-    let mut var_sorts: Vec<Sort> = Vec::new();
-    let mut uf_sigs: Vec<(Vec<u32>, u32)> = Vec::new();
-    let mut root_ids: Vec<u32> = Vec::with_capacity(keyed.len());
-    for &(_, root) in &keyed {
+impl Normalizer {
+    /// Serializes the DAG under `root` (skipping already-numbered nodes)
+    /// and returns the root's node index.
+    fn add_root(&mut self, root: TermId) -> u32 {
         let mut stack = vec![root];
         while let Some(&t) = stack.last() {
-            if node_of.contains_key(&t) {
+            if self.node_of.contains_key(&t) {
                 stack.pop();
                 continue;
             }
@@ -145,7 +129,7 @@ pub fn prepare(assumptions: &[SBool], goal: SBool) -> Prepared {
             let pending: Vec<TermId> = children
                 .iter()
                 .copied()
-                .filter(|c| !node_of.contains_key(c))
+                .filter(|c| !self.node_of.contains_key(c))
                 .collect();
             if !pending.is_empty() {
                 stack.extend(pending);
@@ -153,42 +137,141 @@ pub fn prepare(assumptions: &[SBool], goal: SBool) -> Prepared {
             }
             let op = match op {
                 Op::Var(ord) => {
-                    let k = *var_of.entry(ord).or_insert_with(|| {
-                        backmap.vars.push(VarOrigin { term: t, sort });
-                        var_sorts.push(sort);
-                        (var_sorts.len() - 1) as u32
-                    });
+                    let k = match self.var_of.get(&ord) {
+                        Some(&k) => k,
+                        None => {
+                            let k = self.var_sorts.len() as u32;
+                            self.backmap.vars.push(VarOrigin { term: t, sort });
+                            self.var_sorts.push(sort);
+                            self.var_of.insert(ord, k);
+                            k
+                        }
+                    };
                     Op::Var(k)
                 }
                 Op::UfApply(uf) => {
-                    let k = *uf_of.entry(uf.0).or_insert_with(|| {
-                        let (args, result) =
-                            with_ctx(|c| (c.uf_sig(uf).args.clone(), c.uf_sig(uf).result));
-                        backmap.ufs.push(uf);
-                        uf_sigs.push((args, result));
-                        (uf_sigs.len() - 1) as u32
-                    });
+                    let k = match self.uf_of.get(&uf.0) {
+                        Some(&k) => k,
+                        None => {
+                            let k = self.uf_sigs.len() as u32;
+                            let (args, result) =
+                                with_ctx(|c| (c.uf_sig(uf).args.clone(), c.uf_sig(uf).result));
+                            self.backmap.ufs.push(uf);
+                            self.uf_sigs.push((args, result));
+                            self.uf_of.insert(uf.0, k);
+                            k
+                        }
+                    };
                     Op::UfApply(UfId(k))
                 }
                 other => other,
             };
-            let children: Vec<u32> = children.iter().map(|c| node_of[c]).collect();
-            node_of.insert(t, nodes.len() as u32);
-            nodes.push(FormNode { op, children, sort });
+            let children: Vec<u32> = children.iter().map(|c| self.node_of[c]).collect();
+            self.node_of.insert(t, self.nodes.len() as u32);
+            self.nodes.push(FormNode { op, children, sort });
             stack.pop();
         }
-        root_ids.push(node_of[&root]);
+        self.node_of[&root]
     }
+}
 
+/// Deduplicates the non-trivial roots in `roots` and orders them by their
+/// per-root alpha-invariant key, so submission order cannot influence the
+/// normal form.
+fn canonical_roots(roots: impl Iterator<Item = SBool>) -> Vec<TermId> {
+    let mut uniq: Vec<TermId> = Vec::new();
+    for a in roots {
+        // Constant-true roots constrain nothing; drop them so queries
+        // differing only in vacuous assumptions normalize identically.
+        if !a.is_true() && !uniq.contains(&a.0) {
+            uniq.push(a.0);
+        }
+    }
+    let mut keyed: Vec<(Vec<u8>, TermId)> =
+        uniq.into_iter().map(|r| (local_key(r), r)).collect();
+    keyed.sort_by(|a, b| a.0.cmp(&b.0));
+    keyed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Extracts the normal form of `assumptions ∧ ¬goal`.
+///
+/// Must run on the thread that owns the terms.
+pub fn prepare(assumptions: &[SBool], goal: SBool) -> Prepared {
+    let negated_goal = !goal;
+    let all = || assumptions.iter().copied().chain([negated_goal]);
+    let trivially_unsat = all().any(|a| a.is_false());
+    let mut nz = Normalizer::default();
+    let root_ids: Vec<u32> = canonical_roots(all())
+        .into_iter()
+        .map(|r| nz.add_root(r))
+        .collect();
     let core = FormCore {
-        nodes,
+        nodes: nz.nodes,
         roots: root_ids,
-        var_sorts,
-        uf_sigs,
+        var_sorts: nz.var_sorts,
+        uf_sigs: nz.uf_sigs,
         trivially_unsat,
     };
     let key = cache_key(&core);
-    Prepared { core, backmap, key }
+    Prepared { core, backmap: nz.backmap, key }
+}
+
+/// The portable normal form of an incremental discharge session: the
+/// shared assumption set (as canonically ordered base roots) plus one
+/// *negated-goal* root per goal, all sharing a single node array so the
+/// worker materializes every term exactly once.
+#[derive(Clone, Debug)]
+pub struct SessionCore {
+    /// Term DAG in deterministic postorder (base roots first).
+    pub nodes: Vec<FormNode>,
+    /// Shared assumption roots, deduplicated and canonically ordered.
+    pub base_roots: Vec<u32>,
+    /// One entry per goal, in submission order: the node index of the
+    /// goal's *negation* (what the session solver asserts behind the
+    /// goal's activation literal).
+    pub goal_roots: Vec<u32>,
+    /// Sort of each canonical symbolic constant.
+    pub var_sorts: Vec<Sort>,
+    /// Signature (argument widths, result width) of each canonical UF.
+    pub uf_sigs: Vec<(Vec<u32>, u32)>,
+}
+
+/// A session reduced to its portable core plus the caller-side back map.
+///
+/// There is deliberately no cache key here: sessions are never cached as
+/// a unit — the engine consults the two-tier cache per sub-query (using
+/// each sub-query's own [`Prepared::key`]) before deciding what reaches
+/// a session at all.
+pub struct SessionPrepared {
+    /// The portable core (shared with the worker).
+    pub core: SessionCore,
+    /// Canonical-index → caller-term translation, covering every var and
+    /// UF reachable from the base *or any* goal.
+    pub backmap: BackMap,
+}
+
+/// Extracts the portable form of a session: `assumptions` shared by all
+/// of `goals` (each goal is negated here, on the caller thread, so the
+/// worker can assert it directly).
+///
+/// Must run on the thread that owns the terms.
+pub fn prepare_session(assumptions: &[SBool], goals: &[SBool]) -> SessionPrepared {
+    let mut nz = Normalizer::default();
+    let base_roots: Vec<u32> = canonical_roots(assumptions.iter().copied())
+        .into_iter()
+        .map(|r| nz.add_root(r))
+        .collect();
+    let goal_roots: Vec<u32> = goals.iter().map(|&g| nz.add_root((!g).0)).collect();
+    SessionPrepared {
+        core: SessionCore {
+            nodes: nz.nodes,
+            base_roots,
+            goal_roots,
+            var_sorts: nz.var_sorts,
+            uf_sigs: nz.uf_sigs,
+        },
+        backmap: nz.backmap,
+    }
 }
 
 /// Rebuilds a [`FormCore`] inside the *current* thread's term context.
@@ -201,43 +284,85 @@ pub struct Rebuilt {
     pub uf_ids: Vec<UfId>,
 }
 
+/// Interns a portable node array into `c`, declaring canonical UFs and
+/// vars along the way. Returns (node index → term, var terms, UF ids).
+fn materialize(
+    c: &mut Ctx,
+    nodes: &[FormNode],
+    var_sorts: &[Sort],
+    uf_sigs: &[(Vec<u32>, u32)],
+) -> (Vec<TermId>, Vec<TermId>, Vec<UfId>) {
+    let uf_ids: Vec<UfId> = uf_sigs
+        .iter()
+        .enumerate()
+        .map(|(i, (args, result))| c.declare_uf(&format!("uf{i}"), args.clone(), *result))
+        .collect();
+    let mut var_terms: Vec<TermId> = vec![TermId(0); var_sorts.len()];
+    let mut ids: Vec<TermId> = Vec::with_capacity(nodes.len());
+    for node in nodes {
+        let children: Vec<TermId> = node.children.iter().map(|&i| ids[i as usize]).collect();
+        let id = match node.op {
+            // Each canonical var appears as exactly one node, so this
+            // assigns every `var_terms` slot exactly once.
+            Op::Var(k) => {
+                let t = c.fresh_var(node.sort, &format!("q{k}"));
+                var_terms[k as usize] = t;
+                t
+            }
+            Op::UfApply(UfId(k)) => c.intern(Term {
+                op: Op::UfApply(uf_ids[k as usize]),
+                children,
+                sort: node.sort,
+            }),
+            ref op => c.intern(Term {
+                op: op.clone(),
+                children,
+                sort: node.sort,
+            }),
+        };
+        ids.push(id);
+    }
+    (ids, var_terms, uf_ids)
+}
+
 /// Materializes the portable form as real terms on the current thread.
 pub fn rebuild(core: &FormCore) -> Rebuilt {
     with_ctx(|c| {
-        let uf_ids: Vec<UfId> = core
-            .uf_sigs
-            .iter()
-            .enumerate()
-            .map(|(i, (args, result))| c.declare_uf(&format!("uf{i}"), args.clone(), *result))
-            .collect();
-        let mut var_terms: Vec<TermId> = vec![TermId(0); core.var_sorts.len()];
-        let mut ids: Vec<TermId> = Vec::with_capacity(core.nodes.len());
-        for node in &core.nodes {
-            let children: Vec<TermId> =
-                node.children.iter().map(|&i| ids[i as usize]).collect();
-            let id = match node.op {
-                // Each canonical var appears as exactly one node, so this
-                // assigns every `var_terms` slot exactly once.
-                Op::Var(k) => {
-                    let t = c.fresh_var(node.sort, &format!("q{k}"));
-                    var_terms[k as usize] = t;
-                    t
-                }
-                Op::UfApply(UfId(k)) => c.intern(Term {
-                    op: Op::UfApply(uf_ids[k as usize]),
-                    children,
-                    sort: node.sort,
-                }),
-                ref op => c.intern(Term {
-                    op: op.clone(),
-                    children,
-                    sort: node.sort,
-                }),
-            };
-            ids.push(id);
-        }
+        let (ids, var_terms, uf_ids) =
+            materialize(c, &core.nodes, &core.var_sorts, &core.uf_sigs);
         Rebuilt {
             roots: core.roots.iter().map(|&r| SBool(ids[r as usize])).collect(),
+            var_terms,
+            uf_ids,
+        }
+    })
+}
+
+/// A [`SessionCore`] rebuilt inside the current thread's term context.
+pub struct SessionRebuilt {
+    /// The shared assumptions, ready for [`serval_smt::Session::assume`].
+    pub base: Vec<SBool>,
+    /// The *negated* goals, in submission order, ready for
+    /// [`serval_smt::Session::solve_negated`].
+    pub neg_goals: Vec<SBool>,
+    /// Canonical var index → term in this thread's context.
+    pub var_terms: Vec<TermId>,
+    /// Canonical UF index → UF id in this thread's context.
+    pub uf_ids: Vec<UfId>,
+}
+
+/// Materializes a session core as real terms on the current thread.
+pub fn rebuild_session(core: &SessionCore) -> SessionRebuilt {
+    with_ctx(|c| {
+        let (ids, var_terms, uf_ids) =
+            materialize(c, &core.nodes, &core.var_sorts, &core.uf_sigs);
+        SessionRebuilt {
+            base: core.base_roots.iter().map(|&r| SBool(ids[r as usize])).collect(),
+            neg_goals: core
+                .goal_roots
+                .iter()
+                .map(|&r| SBool(ids[r as usize]))
+                .collect(),
             var_terms,
             uf_ids,
         }

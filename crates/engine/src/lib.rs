@@ -23,6 +23,7 @@
 //! | `SERVAL_CACHE`     | `1`/`on` → disk tier under `target/serval-cache/`; a path → disk tier there; unset/`0` → memory tier only |
 //! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query (the pool shrinks to `jobs / 3` so total solver threads stay ≈ `SERVAL_JOBS`). Verdicts stay deterministic, but which variant's counterexample is reported is a timing race — see [`solve::solve_portfolio`]. |
 //! | `SERVAL_SPLIT`     | `0`/`off` → disable goal conjunction splitting (on by default; see [`form::split_goal`]) |
+//! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
 
 pub mod cache;
 pub mod form;
@@ -35,11 +36,14 @@ mod tests;
 pub use form::Query;
 
 use cache::{Cache, CachedVerdict};
-use form::{prepare, BackMap};
+use form::{prepare, prepare_session, BackMap};
 use pool::Pool;
+use serval_smt::bv::SBool;
 use serval_smt::model::Model;
 use serval_smt::solver::{QueryStats, SolverConfig, VerifyResult};
-use solve::{solve_one, solve_portfolio, PortableModel, RawOutcome, RawVerdict};
+use serval_smt::term::TermId;
+use solve::{solve_one, solve_portfolio, solve_session, PortableModel, RawOutcome, RawVerdict};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
@@ -60,6 +64,13 @@ pub struct EngineCfg {
     /// abstract state, and one such goal can otherwise dominate the
     /// batch's critical path.
     pub split: bool,
+    /// Discharge sub-queries that share an assumption set in one live
+    /// incremental solver session instead of one fresh solver each (see
+    /// [`solve::solve_session`]). On by default; has no effect when
+    /// `portfolio` is on, since a portfolio races *independent* solvers
+    /// per query. Verdicts are identical either way — sessions only
+    /// change how much encoding and search work is re-done.
+    pub incremental: bool,
 }
 
 impl Default for EngineCfg {
@@ -69,12 +80,14 @@ impl Default for EngineCfg {
             portfolio: false,
             disk_cache: None,
             split: true,
+            incremental: true,
         }
     }
 }
 
 impl EngineCfg {
-    /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, and `SERVAL_CACHE`.
+    /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, `SERVAL_CACHE`,
+    /// `SERVAL_SPLIT`, and `SERVAL_INCREMENTAL`.
     pub fn from_env() -> EngineCfg {
         let jobs = std::env::var("SERVAL_JOBS")
             .ok()
@@ -95,11 +108,15 @@ impl EngineCfg {
         let split = std::env::var("SERVAL_SPLIT")
             .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
             .unwrap_or(true);
+        let incremental = std::env::var("SERVAL_INCREMENTAL")
+            .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+            .unwrap_or(true);
         EngineCfg {
             jobs,
             portfolio,
             disk_cache,
             split,
+            incremental,
         }
     }
 }
@@ -141,6 +158,7 @@ pub struct Engine {
     cache: Cache,
     portfolio: bool,
     split: bool,
+    incremental: bool,
 }
 
 impl Engine {
@@ -162,6 +180,7 @@ impl Engine {
             cache: Cache::new(cfg.disk_cache),
             portfolio: cfg.portfolio,
             split: cfg.split,
+            incremental: cfg.incremental,
         }
     }
 
@@ -173,6 +192,12 @@ impl Engine {
     /// Whether portfolio mode is on.
     pub fn portfolio(&self) -> bool {
         self.portfolio
+    }
+
+    /// Whether incremental discharge sessions are in use (configured on
+    /// *and* not preempted by portfolio mode).
+    pub fn incremental(&self) -> bool {
+        self.incremental && !self.portfolio
     }
 
     /// Cache (hits, misses) since engine construction.
@@ -202,17 +227,32 @@ impl Engine {
     /// conjunction). For split queries `wall` is the parallel critical
     /// path (max over conjuncts) and `stats` the sum.
     pub fn submit_batch(&self, queries: Vec<Query>) -> Vec<QueryOutcome> {
+        /// Where a sub-query's verdict will come from: its own fresh
+        /// pool task, or one goal slot of a shared session task.
+        #[derive(Clone, Copy)]
+        enum Work {
+            Fresh(usize),
+            Session { group: usize, goal: usize },
+        }
         enum Sub {
             /// Conjunct resolved without solving (trivial, or cached).
             Ready { verdict: CachedVerdict, backmap: BackMap, hit: bool },
-            /// Conjunct waiting on a pool task.
-            Task { task: usize, backmap: BackMap, key: Vec<u8> },
+            /// Conjunct waiting on solver work.
+            Wait { work: Work, backmap: BackMap, key: Vec<u8> },
         }
         enum Pending {
-            /// Whole query waiting on one pool task.
-            Unit { slot: usize, backmap: BackMap, key: Vec<u8>, task: usize },
+            /// Whole query waiting on solver work.
+            Unit { slot: usize, work: Work, backmap: BackMap, key: Vec<u8> },
             /// Split query waiting on its conjuncts.
             Split { slot: usize, whole_key: Vec<u8>, subs: Vec<Sub> },
+        }
+        /// One incremental session under construction: sub-queries that
+        /// share an assumption set (and solver config), accumulated
+        /// during the batch walk and scheduled as a single pool task.
+        struct Group {
+            asms: Vec<SBool>,
+            goals: Vec<SBool>,
+            cfg: SolverConfig,
         }
 
         let debug = std::env::var("SERVAL_ENGINE_DEBUG").is_ok();
@@ -220,21 +260,64 @@ impl Engine {
         let n = queries.len();
         let mut slots: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
         let mut pending: Vec<Pending> = Vec::new();
-        let mut tasks: Vec<Box<dyn FnOnce() -> RawOutcome + Send + 'static>> = Vec::new();
-        let push_task = |tasks: &mut Vec<Box<dyn FnOnce() -> RawOutcome + Send + 'static>>,
+        let mut tasks: Vec<Box<dyn FnOnce() -> Vec<RawOutcome> + Send + 'static>> = Vec::new();
+        let push_task = |tasks: &mut Vec<Box<dyn FnOnce() -> Vec<RawOutcome> + Send + 'static>>,
                              core: form::FormCore,
-                             cfg: serval_smt::solver::SolverConfig|
+                             cfg: SolverConfig|
          -> usize {
             let core = Arc::new(core);
             let portfolio = self.portfolio;
             tasks.push(Box::new(move || {
-                if portfolio {
+                vec![if portfolio {
                     solve_portfolio(&core, cfg, None)
                 } else {
                     solve_one(&core, cfg, None)
-                }
+                }]
             }));
             tasks.len() - 1
+        };
+
+        // Sessions group sub-queries by their *exact* assumption set:
+        // terms are hash-consed, so within one batch structural equality
+        // of assumptions is `TermId` equality, and the sorted dedup'd id
+        // vector identifies the set regardless of submission order.
+        // (Alpha-equivalent-but-distinct sets stay in separate groups —
+        // a missed grouping costs reuse, never correctness.) The solver
+        // config is part of the key so a budgeted query is never solved
+        // under another query's budget.
+        let use_session = self.incremental();
+        let mut groups: Vec<Group> = Vec::new();
+        let mut group_index: HashMap<(Vec<TermId>, String), usize> = HashMap::new();
+        let enqueue = |groups: &mut Vec<Group>,
+                       group_index: &mut HashMap<(Vec<TermId>, String), usize>,
+                       assumptions: &[SBool],
+                       goal: SBool,
+                       cfg: SolverConfig|
+         -> Work {
+            let mut ids: Vec<TermId> = Vec::with_capacity(assumptions.len());
+            for a in assumptions {
+                if !a.is_true() && !ids.contains(&a.0) {
+                    ids.push(a.0);
+                }
+            }
+            ids.sort_unstable_by_key(|t| t.0);
+            let key = (ids, format!("{cfg:?}"));
+            let g = match group_index.get(&key) {
+                Some(&g) => g,
+                None => {
+                    let g = groups.len();
+                    groups.push(Group {
+                        asms: key.0.iter().map(|&t| SBool(t)).collect(),
+                        goals: Vec::new(),
+                        cfg,
+                    });
+                    group_index.insert(key, g);
+                    g
+                }
+            };
+            let goal_idx = groups[g].goals.len();
+            groups[g].goals.push(goal);
+            Work::Session { group: g, goal: goal_idx }
         };
 
         for (i, q) in queries.into_iter().enumerate() {
@@ -285,9 +368,13 @@ impl Engine {
                             hit: true,
                         });
                     } else {
-                        let task = push_task(&mut tasks, sp.core, q.cfg);
-                        subs.push(Sub::Task {
-                            task,
+                        let work = if use_session {
+                            enqueue(&mut groups, &mut group_index, &q.assumptions, c, q.cfg)
+                        } else {
+                            Work::Fresh(push_task(&mut tasks, sp.core, q.cfg))
+                        };
+                        subs.push(Sub::Wait {
+                            work,
                             backmap: sp.backmap,
                             key: sp.key,
                         });
@@ -299,12 +386,16 @@ impl Engine {
                     subs,
                 });
             } else {
-                let task = push_task(&mut tasks, prepared.core, q.cfg);
+                let work = if use_session {
+                    enqueue(&mut groups, &mut group_index, &q.assumptions, q.goal, q.cfg)
+                } else {
+                    Work::Fresh(push_task(&mut tasks, prepared.core, q.cfg))
+                };
                 pending.push(Pending::Unit {
                     slot: i,
+                    work,
                     backmap: prepared.backmap,
                     key: prepared.key,
-                    task,
                 });
             }
             slots[i] = Some(QueryOutcome {
@@ -318,33 +409,58 @@ impl Engine {
             });
         }
 
+        // Schedule one pool task per session group. The group's portable
+        // core is prepared caller-side (it owns the terms); the worker
+        // rebuilds it once and answers every goal on one live solver.
+        let mut group_tasks: Vec<usize> = Vec::with_capacity(groups.len());
+        let mut group_backmaps: Vec<BackMap> = Vec::with_capacity(groups.len());
+        for g in &groups {
+            let sp = prepare_session(&g.asms, &g.goals);
+            group_backmaps.push(sp.backmap);
+            let core = Arc::new(sp.core);
+            let cfg = g.cfg;
+            tasks.push(Box::new(move || solve_session(&core, cfg, None)));
+            group_tasks.push(tasks.len() - 1);
+        }
+
         let prep_wall = t_prep.elapsed();
         let n_tasks = tasks.len();
+        let n_groups = groups.len();
         let t_pool = std::time::Instant::now();
-        let mut raw: Vec<Option<Result<RawOutcome, String>>> =
-            self.pool.run_batch(tasks).into_iter().map(Some).collect();
+        let raw: Vec<Result<Vec<RawOutcome>, String>> = self.pool.run_batch(tasks);
         if debug {
             let cpu: Duration = raw
                 .iter()
-                .flatten()
                 .filter_map(|r| r.as_ref().ok())
+                .flatten()
                 .map(|o| o.stats.wall)
                 .sum();
             eprintln!(
-                "[engine] batch of {n}: prepare {prep_wall:?}, {n_tasks} tasks solved in {:?} (task wall sum {cpu:?})",
+                "[engine] batch of {n}: prepare {prep_wall:?}, {n_tasks} tasks ({n_groups} sessions) solved in {:?} (task wall sum {cpu:?})",
                 t_pool.elapsed()
             );
         }
+        // Maps a sub-query's `Work` onto (pool task, outcome index within
+        // the task, session group if any — whose backmap the countermodel
+        // is numbered in).
+        let locate = |work: Work| -> (usize, usize, Option<usize>) {
+            match work {
+                Work::Fresh(t) => (t, 0, None),
+                Work::Session { group, goal } => (group_tasks[group], goal, Some(group)),
+            }
+        };
         for p in pending {
             match p {
-                Pending::Unit { slot, backmap, key, task } => {
+                Pending::Unit { slot, work, backmap, key } => {
                     let slot = slots[slot].as_mut().expect("pending slot was initialized");
-                    match raw[task].take().expect("task claimed once") {
+                    let (task, idx, sgroup) = locate(work);
+                    match &raw[task] {
                         Err(msg) => {
                             slot.result = VerifyResult::Unknown;
-                            slot.error = Some(msg);
+                            slot.error = Some(msg.clone());
                         }
-                        Ok(RawOutcome { verdict, stats, variant }) => {
+                        Ok(outs) => {
+                            let RawOutcome { verdict, stats, variant } = outs[idx].clone();
                             slot.stats = Some(stats);
                             slot.wall = stats.wall;
                             slot.variant = variant;
@@ -354,6 +470,14 @@ impl Engine {
                                     slot.result = VerifyResult::Proved;
                                 }
                                 RawVerdict::Refuted(pm) => {
+                                    let pm = match sgroup {
+                                        Some(g) => remap_portable(
+                                            &pm,
+                                            &group_backmaps[g],
+                                            &backmap,
+                                        ),
+                                        None => pm,
+                                    };
                                     slot.result = VerifyResult::Counterexample(Box::new(
                                         portable_to_model(&pm, &backmap),
                                     ));
@@ -387,17 +511,20 @@ impl Engine {
                                     }
                                 }
                             }
-                            Sub::Task { task, backmap, key } => {
+                            Sub::Wait { work, backmap, key } => {
                                 all_hit = false;
-                                match raw[task].take().expect("task claimed once") {
+                                let (task, idx, sgroup) = locate(work);
+                                match &raw[task] {
                                     Err(msg) => {
                                         all_proved = false;
                                         any_unknown = true;
                                         if error.is_none() {
-                                            error = Some(msg);
+                                            error = Some(msg.clone());
                                         }
                                     }
-                                    Ok(RawOutcome { verdict, stats, .. }) => {
+                                    Ok(outs) => {
+                                        let RawOutcome { verdict, stats, .. } =
+                                            outs[idx].clone();
                                         solved_any = true;
                                         agg = add_stats(agg, stats);
                                         wall = wall.max(stats.wall);
@@ -406,6 +533,14 @@ impl Engine {
                                                 self.cache.insert(key, CachedVerdict::Proved);
                                             }
                                             RawVerdict::Refuted(pm) => {
+                                                let pm = match sgroup {
+                                                    Some(g) => remap_portable(
+                                                        &pm,
+                                                        &group_backmaps[g],
+                                                        &backmap,
+                                                    ),
+                                                    None => pm,
+                                                };
                                                 all_proved = false;
                                                 if refuted.is_none() {
                                                     refuted = Some(portable_to_model(
@@ -467,8 +602,61 @@ fn add_stats(a: QueryStats, b: QueryStats) -> QueryStats {
         learnts: a.learnts + b.learnts,
         clauses: a.clauses + b.clauses,
         vars: a.vars + b.vars,
+        reused_clauses: a.reused_clauses + b.reused_clauses,
+        reused_vars: a.reused_vars + b.reused_vars,
+        reused_learnts: a.reused_learnts + b.reused_learnts,
+        // Deepest session position among the aggregated sub-queries: a
+        // rough "how incremental was this" indicator, not a sum.
+        session_goals: a.session_goals.max(b.session_goals),
         wall: a.wall + b.wall,
     }
+}
+
+/// Renumbers a portable model from one back map's canonical indices to
+/// another's, matching vars and UFs through their caller-side identity
+/// (both maps were built on the submitting thread, over the same terms).
+///
+/// Session countermodels need this: the model a session worker returns
+/// is numbered in the session core's first-encounter order (across the
+/// base and *every* goal), while the per-sub-query cache key and caller
+/// translation use the sub-query's own normal form. Vars of the session
+/// not reachable from this sub-query are dropped; extra UF rows (from
+/// sibling goals' applications) are kept — they come from one consistent
+/// SAT model, so they agree with the sub-query's own applications.
+fn remap_portable(pm: &PortableModel, from: &BackMap, to: &BackMap) -> PortableModel {
+    let bvs: HashMap<u32, u128> = pm.bvs.iter().copied().collect();
+    let bools: HashMap<u32, bool> = pm.bools.iter().copied().collect();
+    let from_var: HashMap<TermId, u32> = from
+        .vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v.term, i as u32))
+        .collect();
+    let mut out = PortableModel::default();
+    for (k, origin) in to.vars.iter().enumerate() {
+        if let Some(&fi) = from_var.get(&origin.term) {
+            if let Some(&v) = bvs.get(&fi) {
+                out.bvs.push((k as u32, v));
+            }
+            if let Some(&b) = bools.get(&fi) {
+                out.bools.push((k as u32, b));
+            }
+        }
+    }
+    let from_uf: HashMap<serval_smt::term::UfId, u32> = from
+        .ufs
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (u, i as u32))
+        .collect();
+    for (k, uf) in to.ufs.iter().enumerate() {
+        if let Some(fi) = from_uf.get(uf) {
+            if let Some((_, rows)) = pm.ufs.iter().find(|(i, _)| i == fi) {
+                out.ufs.push((k as u32, rows.clone()));
+            }
+        }
+    }
+    out
 }
 
 /// Translates a cached verdict into the caller's term context.

@@ -3,9 +3,11 @@
 //! shape. Portfolio mode races several solver configurations for one
 //! query and cancels the losers through the CDCL interrupt flag.
 
-use crate::form::{rebuild, FormCore};
+use crate::form::{rebuild, rebuild_session, FormCore, SessionCore};
+use serval_smt::model::Model;
+use serval_smt::session::Session;
 use serval_smt::solver::{check_full, CheckResult, QueryStats, SolverConfig};
-use serval_smt::term::{reset_ctx, Sort};
+use serval_smt::term::{reset_ctx, Sort, TermId, UfId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
@@ -62,38 +64,113 @@ pub fn solve_one(
         CheckResult::Unsat => RawVerdict::Proved,
         CheckResult::Unknown => RawVerdict::Unknown,
         CheckResult::Interrupted => RawVerdict::Interrupted,
-        CheckResult::Sat(model) => {
-            let mut pm = PortableModel::default();
-            for (k, &t) in rq.var_terms.iter().enumerate() {
-                match core.var_sorts[k] {
-                    Sort::Bool => {
-                        if let Some(&b) = model.bool_values.get(&t) {
-                            pm.bools.push((k as u32, b));
-                        }
-                    }
-                    Sort::BitVec(_) => {
-                        if let Some(&v) = model.bv_values.get(&t) {
-                            pm.bvs.push((k as u32, v));
-                        }
-                    }
-                }
-            }
-            for (k, uf) in rq.uf_ids.iter().enumerate() {
-                if let Some(table) = model.uf_tables.get(uf) {
-                    let mut rows: Vec<(Vec<u128>, u128)> =
-                        table.iter().map(|(a, &r)| (a.clone(), r)).collect();
-                    rows.sort();
-                    pm.ufs.push((k as u32, rows));
-                }
-            }
-            RawVerdict::Refuted(pm)
-        }
+        CheckResult::Sat(model) => RawVerdict::Refuted(portable_of_model(
+            &model,
+            &core.var_sorts,
+            &rq.var_terms,
+            &rq.uf_ids,
+        )),
     };
     RawOutcome {
         verdict,
         stats: out.stats,
         variant: 0,
     }
+}
+
+/// Projects a worker-side [`Model`] onto canonical var/UF indices so it
+/// survives the trip back to the submitting thread.
+fn portable_of_model(
+    model: &Model,
+    var_sorts: &[Sort],
+    var_terms: &[TermId],
+    uf_ids: &[UfId],
+) -> PortableModel {
+    let mut pm = PortableModel::default();
+    for (k, &t) in var_terms.iter().enumerate() {
+        match var_sorts[k] {
+            Sort::Bool => {
+                if let Some(&b) = model.bool_values.get(&t) {
+                    pm.bools.push((k as u32, b));
+                }
+            }
+            Sort::BitVec(_) => {
+                if let Some(&v) = model.bv_values.get(&t) {
+                    pm.bvs.push((k as u32, v));
+                }
+            }
+        }
+    }
+    for (k, uf) in uf_ids.iter().enumerate() {
+        if let Some(table) = model.uf_tables.get(uf) {
+            let mut rows: Vec<(Vec<u128>, u128)> =
+                table.iter().map(|(a, &r)| (a.clone(), r)).collect();
+            rows.sort();
+            pm.ufs.push((k as u32, rows));
+        }
+    }
+    pm
+}
+
+/// Discharges a whole session core on one live solver: the shared
+/// assumptions are asserted (and blasted) once, then every goal is
+/// answered in submission order with per-goal activation literals (see
+/// [`serval_smt::Session`]). Returns one outcome per goal, in order.
+///
+/// If a goal is interrupted, the remaining goals are reported
+/// [`RawVerdict::Interrupted`] without solving: the cancel flag is
+/// sticky, so re-asking the dead solver would only burn time.
+///
+/// Must run on a thread whose term context is disposable (a pool
+/// worker): the context is reset first.
+pub fn solve_session(
+    core: &SessionCore,
+    cfg: SolverConfig,
+    cancel: Option<Arc<AtomicBool>>,
+) -> Vec<RawOutcome> {
+    reset_ctx();
+    let rq = rebuild_session(core);
+    let mut session = Session::new(cfg, cancel);
+    for &a in &rq.base {
+        session.assume(a);
+    }
+    // Announcing the goal stream up front lets the session *retire*
+    // terms after their last use — purging dead goals' gate clauses
+    // keeps long sessions' watch lists near the live-cone size.
+    session.plan_goals(&rq.neg_goals);
+    let mut out = Vec::with_capacity(rq.neg_goals.len());
+    let mut dead = false;
+    for &ng in &rq.neg_goals {
+        if dead {
+            out.push(RawOutcome {
+                verdict: RawVerdict::Interrupted,
+                stats: QueryStats::default(),
+                variant: 0,
+            });
+            continue;
+        }
+        let so = session.solve_negated(ng);
+        let verdict = match so.result {
+            CheckResult::Unsat => RawVerdict::Proved,
+            CheckResult::Unknown => RawVerdict::Unknown,
+            CheckResult::Interrupted => {
+                dead = true;
+                RawVerdict::Interrupted
+            }
+            CheckResult::Sat(model) => RawVerdict::Refuted(portable_of_model(
+                &model,
+                &core.var_sorts,
+                &rq.var_terms,
+                &rq.uf_ids,
+            )),
+        };
+        out.push(RawOutcome {
+            verdict,
+            stats: so.stats,
+            variant: 0,
+        });
+    }
+    out
 }
 
 /// The portfolio: the base configuration plus two variants with

@@ -14,6 +14,19 @@ fn local_engine(jobs: usize) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: true,
+        incremental: true,
+    })
+}
+
+/// Like [`local_engine`] but with incremental sessions off: one fresh
+/// solver per sub-query, the pre-session behavior.
+fn local_engine_fresh(jobs: usize) -> Engine {
+    Engine::new(EngineCfg {
+        jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental: false,
     })
 }
 
@@ -321,6 +334,7 @@ fn disk_cache_survives_engine_restarts() {
             portfolio: false,
             disk_cache: Some(dir.clone()),
             split: true,
+            incremental: true,
         })
     };
     let first = mk_engine();
@@ -347,6 +361,7 @@ fn portfolio_agrees_with_single_config() {
         portfolio: true,
         disk_cache: None,
         split: true,
+        incremental: true,
     });
     let make = || {
         vec![
@@ -423,6 +438,7 @@ fn local_engine_unsplit(jobs: usize) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: false,
+        incremental: true,
     })
 }
 
@@ -464,6 +480,154 @@ fn split_and_unsplit_verdicts_agree() {
         // The model from the refuted conjunct must refute the *whole*
         // conjunction over the caller's terms.
         assert!(!m.eval_bool(refuted.0), "model must refute the conjunction");
+    }
+}
+
+// -----------------------------------------------------------------
+// Incremental discharge sessions
+// -----------------------------------------------------------------
+
+#[test]
+fn incremental_and_fresh_engines_agree() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let asms = vec![x.ult(BV::lit(16, 1000)), y.uge(BV::lit(16, 4))];
+    let queries = || {
+        vec![
+            q("p-shared-1", asms.clone(), (x & y).ule(x)),
+            q("r-shared", asms.clone(), x.ult(y)),
+            q("p-shared-2", asms.clone(), x.ule(x | y)),
+            q("p-alone", vec![y.ult(BV::lit(16, 9))], y.ule(BV::lit(16, 8))),
+            q(
+                "conj-shared",
+                asms.clone(),
+                (x & y).ule(x) & x.ult(BV::lit(16, 1001)) & y.uge(BV::lit(16, 3)),
+            ),
+            q("r-conj", asms.clone(), (x | y).uge(x) & x.eq_(y)),
+        ]
+    };
+    let inc = local_engine(2).submit_batch(queries());
+    let fresh = local_engine_fresh(2).submit_batch(queries());
+    for (a, b) in inc.iter().zip(&fresh) {
+        assert_eq!(
+            a.result.is_proved(),
+            b.result.is_proved(),
+            "verdict mismatch on {}",
+            a.label
+        );
+    }
+    // Session countermodels must be real counterexamples over the
+    // *caller's* terms: they refute the goal while satisfying every
+    // shared assumption.
+    let VerifyResult::Counterexample(m) = &inc[1].result else {
+        panic!("expected counterexample, got {:?}", inc[1].result);
+    };
+    assert!(!m.eval_bool(x.ult(y).0), "model must refute the goal");
+    for a in &asms {
+        assert!(m.eval_bool(a.0), "model must satisfy the assumptions");
+    }
+}
+
+#[test]
+fn session_countermodel_translation_handles_index_skew() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let z = BV::fresh(16, "z");
+    let asms = vec![x.ult(BV::lit(16, 50))];
+    // The first goal drags `y` into the session's canonical numbering
+    // before `z`; the second goal's own normal form contains only x and
+    // z, so its canonical indices differ from the session's — exactly
+    // the skew `remap_portable` has to fix.
+    let g1 = (x + y).uge(x); // refuted by wraparound (large y)
+    let g2 = x.ult(z); // refuted by z <= x
+    let out = local_engine(1).submit_batch(vec![
+        q("g1", asms.clone(), g1),
+        q("g2", asms.clone(), g2),
+    ]);
+    let VerifyResult::Counterexample(m) = &out[1].result else {
+        panic!("expected counterexample, got {:?}", out[1].result);
+    };
+    assert!(!m.eval_bool(g2.0), "translated model must refute g2");
+    assert!(m.eval_bool(asms[0].0), "translated model must satisfy the base");
+    // Both goals shared one session (same assumption set): the second
+    // goal must report its position and carry reused encoding.
+    let s2 = out[1].stats.expect("solved sub-query has stats");
+    assert_eq!(s2.session_goals, 2, "g2 must be the session's second goal");
+    assert!(s2.reused_vars > 0, "g2 must reuse the base encoding");
+}
+
+#[test]
+fn incremental_warm_rerun_hits_cache() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let asms = vec![x.ult(y)];
+    let goal = (x & y).ule(x) & x.ule(y);
+    assert!(split_goal(goal, 512).len() >= 2);
+    let engine = local_engine(2);
+    let cold = engine.submit_batch(vec![q("conj", asms.clone(), goal)]);
+    assert!(matches!(cold[0].result, VerifyResult::Proved));
+    assert!(!cold[0].cache_hit);
+    // Each proved sub-query inserted its own key, so the rerun resolves
+    // from the cache without building a session at all.
+    let warm = engine.submit_batch(vec![q("conj", asms.clone(), goal)]);
+    assert!(warm[0].cache_hit, "rerun must hit the cache");
+    assert!(matches!(warm[0].result, VerifyResult::Proved));
+    let (hits, _) = engine.cache_stats();
+    assert!(hits > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random batches of queries over random shared assumption sets:
+    /// the incremental engine and the fresh-per-query engine must agree
+    /// on every verdict, and every incremental countermodel must refute
+    /// its goal while satisfying the shared assumptions.
+    #[test]
+    fn prop_incremental_matches_fresh_engine(
+        c0 in any::<u8>(),
+        c1 in any::<u8>(),
+        picks in prop::collection::vec(any::<u8>(), 1..5),
+    ) {
+        reset_ctx();
+        let x = BV::fresh(16, "x");
+        let y = BV::fresh(16, "y");
+        // Always-satisfiable assumption set with random constants.
+        let asms = vec![
+            x.ult(BV::lit(16, 1 + c0 as u128)),
+            y.uge(BV::lit(16, (c1 % 16) as u128)),
+        ];
+        let menu = |p: u8| -> SBool {
+            match p % 6 {
+                0 => (x & y).ule(x),
+                1 => x.ult(y),
+                2 => (x | y).uge(y),
+                3 => x.eq_(y),
+                4 => (x ^ y).eq_((x | y) & !(x & y)),
+                _ => (x + y).uge(x),
+            }
+        };
+        let queries = || -> Vec<Query> {
+            picks
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| q(&format!("q{i}"), asms.clone(), menu(p)))
+                .collect()
+        };
+        let inc = local_engine(2).submit_batch(queries());
+        let fresh = local_engine_fresh(2).submit_batch(queries());
+        for ((a, b), &p) in inc.iter().zip(&fresh).zip(&picks) {
+            prop_assert_eq!(a.result.is_proved(), b.result.is_proved());
+            if let VerifyResult::Counterexample(m) = &a.result {
+                prop_assert!(!m.eval_bool(menu(p).0));
+                for asm in &asms {
+                    prop_assert!(m.eval_bool(asm.0));
+                }
+            }
+        }
     }
 }
 

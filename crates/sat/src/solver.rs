@@ -12,11 +12,26 @@ type CRef = u32;
 
 /// A clause. Learnt clauses carry an LBD ("glue") score used by database
 /// reduction; original clauses are never deleted.
+/// Clause metadata; the literals live in the solver's flat `lit_arena`
+/// at `[start, start + len)`. One shared arena (instead of a `Vec<Lit>`
+/// per clause) keeps the literal blocks of clauses allocated together
+/// physically adjacent, and lets `compact_deleted` defragment storage
+/// after incremental sessions retire whole goals — per-clause heap
+/// allocations would scatter surviving clauses across freed blocks and
+/// cache-miss every propagation.
 struct Clause {
-    lits: Vec<Lit>,
+    start: u32,
+    len: u32,
     learnt: bool,
     lbd: u32,
     deleted: bool,
+}
+
+impl Clause {
+    #[inline]
+    fn range(&self) -> std::ops::Range<usize> {
+        self.start as usize..(self.start + self.len) as usize
+    }
 }
 
 /// A watcher entry: the watched clause plus a "blocker" literal that lets
@@ -46,6 +61,8 @@ pub struct SolverStats {
 /// A CDCL SAT solver. See the crate documentation for an overview.
 pub struct Solver {
     clauses: Vec<Clause>,
+    /// Flat literal storage for all clauses; see [`Clause`].
+    lit_arena: Vec<Lit>,
     watches: Vec<Vec<Watch>>,
     assign: Vec<LBool>,
     level: Vec<u32>,
@@ -78,15 +95,27 @@ pub struct Solver {
     var_decay: f64,
     /// Initial saved phase for fresh variables.
     default_phase: bool,
+    /// When set, VSIDS decisions are restricted to variables whose entry
+    /// is `true` (variables past the end are out of scope). Incremental
+    /// sessions use this to keep the search inside the cone of the
+    /// current goal, skipping retired goals' dead gate variables.
+    decision_scope: Option<Vec<bool>>,
     stats: SolverStats,
 }
 
 const VAR_DECAY: f64 = 0.95;
 const RESCALE_LIMIT: f64 = 1e100;
+/// Initial learnt-clause budget; `reduce_db` fires when the live learnt
+/// count exceeds the budget, which then grows geometrically.
+const INITIAL_MAX_LEARNTS: f64 = 4096.0;
 const RESTART_BASE: u64 = 128;
 /// Conflicts between polls of the interrupt flag inside a restart
 /// interval (restart boundaries always poll).
 const INTERRUPT_GRANULARITY: u64 = 1024;
+/// Clauses between polls of the interrupt flag inside database sweeps
+/// (`reduce_db`, `simplify`). Sessions grow large learnt databases, and
+/// a portfolio cancel must not wait out a full O(clauses) sweep.
+const SWEEP_GRANULARITY: usize = 4096;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -99,6 +128,7 @@ impl Solver {
     pub fn new() -> Solver {
         Solver {
             clauses: Vec::new(),
+            lit_arena: Vec::new(),
             watches: Vec::new(),
             assign: Vec::new(),
             level: Vec::new(),
@@ -114,13 +144,14 @@ impl Solver {
             ok: true,
             assumptions: Vec::new(),
             conflict_core: Vec::new(),
-            max_learnts: 4096.0,
+            max_learnts: INITIAL_MAX_LEARNTS,
             num_learnts: 0,
             budget: None,
             interrupt: None,
             restart_base: RESTART_BASE,
             var_decay: VAR_DECAY,
             default_phase: false,
+            decision_scope: None,
             stats: SolverStats::default(),
         }
     }
@@ -155,6 +186,33 @@ impl Solver {
     /// [`SolveResult::Unknown`] if exhausted. Pass `None` for no limit.
     pub fn set_conflict_budget(&mut self, conflicts: Option<u64>) {
         self.budget = conflicts;
+    }
+
+    /// Restricts VSIDS decisions to variables whose `scope` entry is
+    /// `true` (variables at or past `scope.len()` are out of scope);
+    /// `None` removes the restriction. Assumptions are always honoured
+    /// regardless of scope, and propagation still assigns out-of-scope
+    /// variables.
+    ///
+    /// This is only sound when every clause over out-of-scope variables
+    /// is *extendable*: satisfiable by some completion of any conflict-
+    /// free assignment of the in-scope variables (e.g. Tseitin gate
+    /// definitions whose outputs are functionally determined, or guard
+    /// clauses already satisfied at level 0). Incremental sessions
+    /// guarantee this by scoping to the cone of the live goal plus the
+    /// shared base; retired goals' gates are exactly such extensions.
+    /// `Sat` then means "every in-scope variable assigned, no conflict",
+    /// which under that contract extends to a total model.
+    pub fn set_decision_scope(&mut self, scope: Option<Vec<bool>>) {
+        self.decision_scope = scope;
+        // Variables popped and skipped under an earlier scope are gone
+        // from the order heap; re-offer every unassigned variable so the
+        // new scope starts complete (insert is a no-op for present vars).
+        for i in 0..self.assign.len() {
+            if self.assign[i] == LBool::Undef {
+                self.order.insert(Var(i as u32), &self.activity);
+            }
+        }
     }
 
     /// Installs a cooperative cancellation flag. While set, `solve`
@@ -237,6 +295,166 @@ impl Solver {
                 self.attach_new_clause(out, false);
                 true
             }
+        }
+    }
+
+    /// Retires an activation literal: hard-asserts `!act` at level 0 and
+    /// sweeps the now-satisfied clauses out of the database. Used by
+    /// incremental sessions — a goal guarded by `{!act, g}` is solved
+    /// under the assumption `act`; once answered, retracting `act`
+    /// permanently satisfies the guard clause (and any learnt clause
+    /// mentioning `!act`), so later goals never revisit it.
+    ///
+    /// Returns `false` if the clause set became unsatisfiable (which can
+    /// only happen if `act` was already forced true at level 0).
+    pub fn retract(&mut self, act: Lit) -> bool {
+        let ok = self.add_clause(&[!act]);
+        self.simplify();
+        ok
+    }
+
+    /// Resets the learnt-clause growth budget to its initial value.
+    /// Incremental sessions call this at goal boundaries: within one
+    /// search the budget grows geometrically so hard proofs can keep
+    /// more clauses, but carrying the inflated budget across dozens of
+    /// goals lets retained learnts pile up on the shared base cone and
+    /// tax every later propagation. After a reset the next goal trims
+    /// the carried database back down on its first `reduce_db`, keeping
+    /// the lowest-LBD survivors that cross-goal reuse actually wants.
+    pub fn reset_learnt_budget(&mut self) {
+        self.max_learnts = INITIAL_MAX_LEARNTS;
+    }
+
+    /// Removes clauses satisfied at decision level 0 from the database.
+    /// Safe at any time: the solver backtracks to level 0 first (wiping
+    /// any Sat model trail). Polls the cooperative-interrupt flag every
+    /// [`SWEEP_GRANULARITY`] clauses and bails early when set — an
+    /// incomplete sweep leaves extra satisfied clauses behind, which is
+    /// only a missed cleanup, never unsound.
+    pub fn simplify(&mut self) {
+        self.backtrack(0);
+        if !self.ok {
+            return;
+        }
+        if self.propagate().is_some() {
+            self.ok = false;
+            return;
+        }
+        // Level-0 assignments are permanent facts: their reason clauses
+        // are never needed again (conflict analysis skips level 0), so
+        // clear them before deleting clauses they might point into.
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = None;
+        }
+        for ci in 0..self.clauses.len() {
+            if ci % SWEEP_GRANULARITY == 0 && self.interrupted() {
+                return;
+            }
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            let satisfied = self.lit_arena[self.clauses[ci].range()]
+                .iter()
+                .any(|&l| value_of(&self.assign, l) == LBool::True);
+            if satisfied {
+                let c = &mut self.clauses[ci];
+                c.deleted = true;
+                if c.learnt {
+                    self.num_learnts -= 1;
+                }
+            }
+        }
+        self.compact_deleted();
+    }
+
+    /// Deletes every clause mentioning a variable marked in `garbage`
+    /// (variables past the end are not garbage). Used by incremental
+    /// sessions to retire a dead goal's gate clauses outright.
+    ///
+    /// # Soundness contract
+    ///
+    /// Callers may only mark variables whose remaining clauses are
+    /// *conservative extensions* of the rest: Tseitin gates of retired
+    /// goals (functionally determined by their inputs, referenced by no
+    /// future goal) qualify — any model of the surviving clause set
+    /// extends over them, so deleting the clauses (including learnts
+    /// that mention the variables, which may have been derived *from*
+    /// those gates) changes no future verdict.
+    pub fn purge_vars(&mut self, garbage: &[bool]) {
+        self.backtrack(0);
+        if !self.ok {
+            return;
+        }
+        for i in 0..self.trail.len() {
+            self.reason[self.trail[i].var().index()] = None;
+        }
+        for ci in 0..self.clauses.len() {
+            if ci % SWEEP_GRANULARITY == 0 && self.interrupted() {
+                // Bail early on cancellation: an incomplete purge only
+                // leaves extra (conservative) clauses behind.
+                return;
+            }
+            if self.clauses[ci].deleted {
+                continue;
+            }
+            let hit = self.lit_arena[self.clauses[ci].range()]
+                .iter()
+                .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false));
+            if hit {
+                let c = &mut self.clauses[ci];
+                c.deleted = true;
+                if c.learnt {
+                    self.num_learnts -= 1;
+                }
+            }
+        }
+        self.compact_deleted();
+    }
+
+    /// Physically removes deleted clauses: live clauses (and their
+    /// literal blocks in the arena) slide down into the freed slots and
+    /// every watcher is remapped to the new clause index. Deleted
+    /// clauses are normally dropped from watch lists lazily in
+    /// propagate, but a long incremental session retires whole goals at
+    /// a time — leaving their slots in place scatters the surviving
+    /// clauses across dead storage, and every later propagation
+    /// cache-misses on the gaps. Only callable at level 0 with all
+    /// reasons cleared (backtrack(0) clears reasons for unassigned
+    /// vars; the callers clear the level-0 trail's), so watch lists
+    /// hold the only clause references left to remap.
+    fn compact_deleted(&mut self) {
+        let mut remap: Vec<CRef> = vec![CRef::MAX; self.clauses.len()];
+        let mut next = 0usize;
+        let mut arena_next = 0usize;
+        for ci in 0..self.clauses.len() {
+            if !self.clauses[ci].deleted {
+                remap[ci] = next as CRef;
+                // Clause arena starts are monotone in clause index
+                // (attach order, preserved by compaction), so the
+                // destination never overruns the source.
+                let r = self.clauses[ci].range();
+                debug_assert!(arena_next <= r.start);
+                let len = r.len();
+                self.lit_arena.copy_within(r, arena_next);
+                self.clauses[ci].start = arena_next as u32;
+                arena_next += len;
+                if next != ci {
+                    self.clauses.swap(next, ci);
+                }
+                next += 1;
+            }
+        }
+        self.clauses.truncate(next);
+        self.lit_arena.truncate(arena_next);
+        for ws in &mut self.watches {
+            ws.retain_mut(|w| {
+                let nc = remap[w.cref as usize];
+                if nc == CRef::MAX {
+                    return false;
+                }
+                w.cref = nc;
+                true
+            });
         }
     }
 
@@ -382,6 +600,13 @@ impl Solver {
         }
         // Then VSIDS.
         while let Some(v) = self.order.pop(&self.activity) {
+            // Out-of-scope variables are dropped for the rest of this
+            // solve (set_decision_scope re-offers them to the heap).
+            if let Some(scope) = &self.decision_scope {
+                if !scope.get(v.index()).copied().unwrap_or(false) {
+                    continue;
+                }
+            }
             if self.assign[v.index()] == LBool::Undef {
                 let lit = Lit::new(v, !self.phase[v.index()]);
                 self.trail_lim.push(self.trail.len());
@@ -415,18 +640,19 @@ impl Solver {
                     continue;
                 }
                 let cref = w.cref;
-                let clause = &mut self.clauses[cref as usize];
+                let clause = &self.clauses[cref as usize];
                 if clause.deleted {
                     ws.swap_remove(i);
                     continue;
                 }
+                let lits = &mut self.lit_arena[clause.range()];
                 // Normalize: watched literals are lits[0] and lits[1]; put
                 // the false literal in position 1.
-                if clause.lits[0] == false_lit {
-                    clause.lits.swap(0, 1);
+                if lits[0] == false_lit {
+                    lits.swap(0, 1);
                 }
-                debug_assert_eq!(clause.lits[1], false_lit);
-                let first = clause.lits[0];
+                debug_assert_eq!(lits[1], false_lit);
+                let first = lits[0];
                 if first != w.blocker
                     && value_of(&self.assign, first) == LBool::True
                 {
@@ -438,11 +664,11 @@ impl Solver {
                     continue;
                 }
                 // Look for a new literal to watch.
-                for k in 2..clause.lits.len() {
-                    let l = clause.lits[k];
+                for k in 2..lits.len() {
+                    let l = lits[k];
                     if value_of(&self.assign, l) != LBool::False {
-                        clause.lits.swap(1, k);
-                        let new_watch = clause.lits[1];
+                        lits.swap(1, k);
+                        let new_watch = lits[1];
                         self.watches[new_watch.index()].push(Watch {
                             cref,
                             blocker: first,
@@ -531,7 +757,8 @@ impl Solver {
         loop {
             {
                 let start = if p.is_some() { 1 } else { 0 };
-                let clause_lits = self.clauses[cref as usize].lits[start..].to_vec();
+                let range = self.clauses[cref as usize].range();
+                let clause_lits = self.lit_arena[range][start..].to_vec();
                 for q in clause_lits {
                     let v = q.var();
                     if !self.seen[v.index()] && self.level[v.index()] > 0 {
@@ -615,9 +842,11 @@ impl Solver {
         let v = l.var();
         match self.reason[v.index()] {
             None => false,
-            Some(cref) => self.clauses[cref as usize].lits.iter().all(|&q| {
-                q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
-            }),
+            Some(cref) => self.lit_arena[self.clauses[cref as usize].range()]
+                .iter()
+                .all(|&q| {
+                    q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
+                }),
         }
     }
 
@@ -640,7 +869,9 @@ impl Solver {
             }
             match self.reason[v.index()] {
                 Some(cref) => {
-                    for &q in &self.clauses[cref as usize].lits {
+                    let range = self.clauses[cref as usize].range();
+                    for k in range {
+                        let q = self.lit_arena[k];
                         let qv = q.var();
                         if qv != v && !self.seen[qv.index()] && self.level[qv.index()] > 0 {
                             self.seen[qv.index()] = true;
@@ -691,8 +922,11 @@ impl Solver {
         if learnt {
             self.num_learnts += 1;
         }
+        let start = self.lit_arena.len() as u32;
+        self.lit_arena.extend_from_slice(&lits);
         self.clauses.push(Clause {
-            lits,
+            start,
+            len: lits.len() as u32,
             learnt,
             lbd: 0,
             deleted: false,
@@ -702,6 +936,15 @@ impl Solver {
 
     /// Deletes roughly half of the learnt clauses, preferring high LBD.
     /// Clauses that are the reason for a current assignment are kept.
+    ///
+    /// Activation-literal aware: learnt clauses already satisfied at
+    /// level 0 (typically via a retracted activation literal, see
+    /// [`Solver::retract`]) are dead weight from retired goals — they
+    /// are deleted outright, before and not counted against the LBD
+    /// halving, so retired-goal garbage cannot crowd out live learnts.
+    ///
+    /// Polls the cooperative-interrupt flag every [`SWEEP_GRANULARITY`]
+    /// clauses; an interrupted sweep just reduces less.
     fn reduce_db(&mut self) {
         let locked: Vec<bool> = {
             let mut locked = vec![false; self.clauses.len()];
@@ -712,12 +955,25 @@ impl Solver {
             }
             locked
         };
-        let mut learnt_refs: Vec<CRef> = (0..self.clauses.len() as CRef)
-            .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                cl.learnt && !cl.deleted && !locked[c as usize] && cl.lits.len() > 2
-            })
-            .collect();
+        let mut learnt_refs: Vec<CRef> = Vec::new();
+        for c in 0..self.clauses.len() {
+            if c % SWEEP_GRANULARITY == 0 && self.interrupted() {
+                return;
+            }
+            let cl = &self.clauses[c];
+            if !cl.learnt || cl.deleted || locked[c] {
+                continue;
+            }
+            let dead = self.lit_arena[cl.range()].iter().any(|&l| {
+                value_of(&self.assign, l) == LBool::True && self.level[l.var().index()] == 0
+            });
+            if dead {
+                self.clauses[c].deleted = true;
+                self.num_learnts -= 1;
+            } else if cl.len > 2 {
+                learnt_refs.push(c as CRef);
+            }
+        }
         learnt_refs.sort_by_key(|&c| std::cmp::Reverse(self.clauses[c as usize].lbd));
         let to_delete = learnt_refs.len() / 2;
         for &c in &learnt_refs[..to_delete] {

@@ -397,3 +397,137 @@ fn solve_reuses_learnt_clauses() {
     // *new* conflicts than the first full search).
     assert!(s.stats().conflicts <= conflicts_first * 2);
 }
+
+// ---------------------------------------------------------------------
+// Activation literals: retract + simplify
+// ---------------------------------------------------------------------
+
+#[test]
+fn retract_retires_a_guarded_goal() {
+    // Guard two contradictory "goals" behind activation literals: each
+    // is individually satisfiable under its own activation, and
+    // retracting one must not constrain the other.
+    let mut s = Solver::new();
+    let x = Lit::pos(s.new_var());
+    let act1 = Lit::pos(s.new_var());
+    let act2 = Lit::pos(s.new_var());
+    s.add_clause(&[!act1, x]); // goal 1: x
+    s.add_clause(&[!act2, !x]); // goal 2: !x
+    assert_eq!(s.solve_assuming(&[act1]), SolveResult::Sat);
+    assert_eq!(s.value_lit(x), Some(true));
+    assert!(s.retract(act1));
+    assert_eq!(s.solve_assuming(&[act2]), SolveResult::Sat);
+    assert_eq!(s.value_lit(x), Some(false));
+    assert!(s.retract(act2));
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn retract_sweeps_satisfied_clauses() {
+    let mut s = Solver::new();
+    let vs = lits(&mut s, 4);
+    let act = Lit::pos(s.new_var());
+    // A few clauses only reachable through the activation literal.
+    s.add_clause(&[!act, Lit::pos(vs[0]), Lit::pos(vs[1])]);
+    s.add_clause(&[!act, Lit::neg(vs[2]), Lit::pos(vs[3])]);
+    // One clause independent of the activation literal.
+    s.add_clause(&[Lit::pos(vs[0]), Lit::neg(vs[1])]);
+    let before = s.num_clauses();
+    assert_eq!(s.solve_assuming(&[act]), SolveResult::Sat);
+    assert!(s.retract(act));
+    // The guarded clauses are satisfied by !act at level 0 and swept.
+    assert!(s.num_clauses() < before, "simplify must sweep retired clauses");
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn simplify_preserves_verdicts() {
+    // Pigeonhole 4-into-3 stays unsat through a simplify call.
+    let mut s = Solver::new();
+    let n = 4;
+    let m = 3;
+    let p: Vec<Vec<Var>> = (0..n).map(|_| lits(&mut s, m)).collect();
+    for row in &p {
+        let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    s.simplify();
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solving a random batch of guarded goals one by one, retracting
+    /// each activation literal after its answer, yields exactly the
+    /// verdicts of solving each goal in a fresh solver over the same
+    /// base clauses.
+    #[test]
+    fn prop_retract_matches_fresh_solvers(
+        base in prop::collection::vec(prop::collection::vec(any::<i8>(), 1..4), 0..12),
+        goals in prop::collection::vec(prop::collection::vec(any::<i8>(), 1..4), 1..6),
+    ) {
+        let nvars = 6u32;
+        let to_lits = |raw: &[i8], s: &Solver| -> Vec<Lit> {
+            raw.iter()
+                .map(|&x| {
+                    let v = Var((x.unsigned_abs() as u32) % nvars);
+                    debug_assert!((v.index() as usize) < s.num_vars());
+                    if x < 0 { Lit::neg(v) } else { Lit::pos(v) }
+                })
+                .collect()
+        };
+
+        // Incremental run: one solver, goals guarded + retracted.
+        let mut inc = Solver::new();
+        for _ in 0..nvars {
+            inc.new_var();
+        }
+        let mut base_ok = true;
+        for c in &base {
+            let cl = to_lits(c, &inc);
+            base_ok &= inc.add_clause(&cl);
+        }
+        let mut incremental: Vec<bool> = Vec::new();
+        for g in &goals {
+            let cl = to_lits(g, &inc);
+            let act = Lit::pos(inc.new_var());
+            let mut guarded = vec![!act];
+            guarded.extend(cl);
+            inc.add_clause(&guarded);
+            let r = inc.solve_assuming(&[act]);
+            incremental.push(r == SolveResult::Sat);
+            inc.retract(act);
+        }
+
+        // Fresh run: one solver per goal.
+        for (i, g) in goals.iter().enumerate() {
+            let mut fresh = Solver::new();
+            for _ in 0..nvars {
+                fresh.new_var();
+            }
+            let mut ok = true;
+            for c in &base {
+                let cl = to_lits(c, &fresh);
+                ok &= fresh.add_clause(&cl);
+            }
+            let cl = to_lits(g, &fresh);
+            ok &= fresh.add_clause(&cl);
+            let expect = ok && fresh.solve() == SolveResult::Sat;
+            prop_assert_eq!(
+                incremental[i],
+                expect,
+                "goal {} diverged (base_ok={})",
+                i,
+                base_ok
+            );
+        }
+    }
+}

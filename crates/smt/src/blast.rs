@@ -13,7 +13,7 @@
 use crate::term::{mask, Op, Sort, TermId, UfId};
 use crate::with_ctx;
 use serval_sat::{Lit, Solver};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Incremental bit-blaster writing clauses into a [`serval_sat::Solver`].
 pub struct Blaster {
@@ -21,10 +21,26 @@ pub struct Blaster {
     bv_map: HashMap<TermId, Vec<Lit>>,
     lit_true: Option<Lit>,
     /// Per-UF list of `(argument bits, result bits)` for Ackermann.
-    uf_apps: HashMap<UfId, Vec<(Vec<Vec<Lit>>, Vec<Lit>)>>,
+    uf_apps: HashMap<UfId, Vec<(TermId, Vec<Vec<Lit>>, Vec<Lit>)>>,
     /// Number of congruence pairs already emitted per UF (supports
     /// incremental finalize).
     uf_done: HashMap<UfId, usize>,
+    /// Memoized restoring-division circuits, keyed by the operand term
+    /// pair: `udiv` and `urem` of the same operands (the ubiquitous
+    /// `q*b + r == a` pattern) share one gate instead of blasting two.
+    divrem: HashMap<(TermId, TermId), (Vec<Lit>, Vec<Lit>)>,
+    /// Per-term SAT-variable range `[lo, hi)` allocated while encoding
+    /// that term (children excluded — they are encoded first). Feeds
+    /// [`Blaster::mark_cone_vars`], the decision-scope computation for
+    /// incremental sessions.
+    var_range: HashMap<TermId, (u32, u32)>,
+    /// Terms whose encodings share SAT variables: `bvudiv`/`bvurem` of
+    /// the same operands share one divider circuit, allocated inside the
+    /// *first* encoder's variable range. A session must not purge one
+    /// partner's variables while another is still live.
+    coupled: HashMap<TermId, Vec<TermId>>,
+    /// First term to encode each `divrem` circuit (the range owner).
+    divrem_owner: HashMap<(TermId, TermId), TermId>,
 }
 
 impl Default for Blaster {
@@ -42,6 +58,78 @@ impl Blaster {
             lit_true: None,
             uf_apps: HashMap::new(),
             uf_done: HashMap::new(),
+            divrem: HashMap::new(),
+            var_range: HashMap::new(),
+            coupled: HashMap::new(),
+            divrem_owner: HashMap::new(),
+        }
+    }
+
+    /// Terms that share allocated SAT variables with `t` (see
+    /// [`Blaster::coupled`]); empty for almost every term.
+    pub fn coupled_terms(&self, t: TermId) -> &[TermId] {
+        self.coupled.get(&t).map_or(&[], Vec::as_slice)
+    }
+
+    /// Marks the SAT variables allocated while encoding exactly `t`
+    /// (children excluded). Returns whether anything was marked.
+    pub fn mark_term_vars(&self, t: TermId, mask: &mut [bool]) -> bool {
+        let Some(&(lo, hi)) = self.var_range.get(&t) else {
+            return false;
+        };
+        let hi = (hi as usize).min(mask.len());
+        for m in &mut mask[(lo as usize).min(hi)..hi] {
+            *m = true;
+        }
+        hi > lo as usize
+    }
+
+    /// Marks in `mask` every SAT variable allocated while encoding a
+    /// term reachable from `roots`; `visited` carries the walk's memo so
+    /// a session can seed it with the base cone once and extend it per
+    /// goal. Variables past `mask.len()` are ignored.
+    ///
+    /// Auxiliary variables not tied to a term (Ackermann congruence
+    /// circuits, the constant-true literal, activation literals) are
+    /// deliberately left unmarked: they are either assigned at level 0
+    /// or functionally determined by unit propagation once their inputs
+    /// are, so the decision scope never needs to branch on them.
+    pub fn mark_cone_vars(
+        &self,
+        roots: impl Iterator<Item = TermId>,
+        visited: &mut HashSet<TermId>,
+        mask: &mut [bool],
+    ) {
+        self.mark_cone_vars_skipping(roots, visited, &HashSet::new(), mask)
+    }
+
+    /// [`Blaster::mark_cone_vars`] with a read-only `skip` set: terms in
+    /// `skip` are treated as already visited without mutating it. Lets a
+    /// session walk each goal's cone against the (large, fixed) base
+    /// cone without cloning the base memo per goal.
+    pub fn mark_cone_vars_skipping(
+        &self,
+        roots: impl Iterator<Item = TermId>,
+        visited: &mut HashSet<TermId>,
+        skip: &HashSet<TermId>,
+        mask: &mut [bool],
+    ) {
+        let mut stack: Vec<TermId> = roots
+            .filter(|&t| !skip.contains(&t) && visited.insert(t))
+            .collect();
+        while let Some(t) = stack.pop() {
+            if let Some(&(lo, hi)) = self.var_range.get(&t) {
+                for i in (lo as usize)..(hi as usize).min(mask.len()) {
+                    mask[i] = true;
+                }
+            }
+            with_ctx(|c| {
+                for &ch in &c.term(t).children {
+                    if !skip.contains(&ch) && visited.insert(ch) {
+                        stack.push(ch);
+                    }
+                }
+            });
         }
     }
 
@@ -84,17 +172,17 @@ impl Blaster {
     fn congruence(
         &mut self,
         sat: &mut Solver,
-        a: &(Vec<Vec<Lit>>, Vec<Lit>),
-        b: &(Vec<Vec<Lit>>, Vec<Lit>),
+        a: &(TermId, Vec<Vec<Lit>>, Vec<Lit>),
+        b: &(TermId, Vec<Vec<Lit>>, Vec<Lit>),
     ) {
         // all_eq literal: conjunction of per-argument equalities.
         let mut arg_eqs = Vec::new();
-        for (x, y) in a.0.iter().zip(&b.0) {
+        for (x, y) in a.1.iter().zip(&b.1) {
             arg_eqs.push(self.eq_gate(sat, x, y));
         }
         let all_eq = self.and_many(sat, &arg_eqs);
         // all_eq → result bits equal.
-        for (&r1, &r2) in a.1.iter().zip(&b.1) {
+        for (&r1, &r2) in a.2.iter().zip(&b.2) {
             sat.add_clause(&[!all_eq, !r1, r2]);
             sat.add_clause(&[!all_eq, r1, !r2]);
         }
@@ -135,16 +223,21 @@ impl Blaster {
             let n = c.term(t);
             (n.op.clone(), n.children.clone(), n.sort)
         });
+        let lo = sat.num_vars() as u32;
         match sort {
             Sort::Bool => {
                 let l = self.encode_bool(sat, &op, &children);
                 self.bool_map.insert(t, l);
             }
             Sort::BitVec(w) => {
-                let bits = self.encode_bv(sat, &op, &children, w);
+                let bits = self.encode_bv(sat, t, &op, &children, w);
                 debug_assert_eq!(bits.len(), w as usize);
                 self.bv_map.insert(t, bits);
             }
+        }
+        let hi = sat.num_vars() as u32;
+        if hi > lo {
+            self.var_range.insert(t, (lo, hi));
         }
     }
 
@@ -215,7 +308,14 @@ impl Blaster {
         }
     }
 
-    fn encode_bv(&mut self, sat: &mut Solver, op: &Op, ch: &[TermId], w: u32) -> Vec<Lit> {
+    fn encode_bv(
+        &mut self,
+        sat: &mut Solver,
+        t: TermId,
+        op: &Op,
+        ch: &[TermId],
+        w: u32,
+    ) -> Vec<Lit> {
         let w = w as usize;
         match op {
             Op::BvConst(v) => {
@@ -248,9 +348,8 @@ impl Blaster {
                 self.mul_gate(sat, &a, &b)
             }
             Op::BvUdiv => {
-                let a = self.bv_map[&ch[0]].clone();
                 let b = self.bv_map[&ch[1]].clone();
-                let (q, _r) = self.divrem_gate(sat, &a, &b);
+                let (q, _r) = self.divrem_of(sat, t, ch[0], ch[1]);
                 // Division by zero yields all ones.
                 let bz = self.is_zero_gate(sat, &b);
                 let tl = self.true_lit(sat);
@@ -260,7 +359,7 @@ impl Blaster {
             Op::BvUrem => {
                 let a = self.bv_map[&ch[0]].clone();
                 let b = self.bv_map[&ch[1]].clone();
-                let (_q, r) = self.divrem_gate(sat, &a, &b);
+                let (_q, r) = self.divrem_of(sat, t, ch[0], ch[1]);
                 // Remainder by zero yields the dividend.
                 let bz = self.is_zero_gate(sat, &b);
                 self.mux_bits(sat, bz, &a, &r)
@@ -312,7 +411,7 @@ impl Blaster {
                 self.uf_apps
                     .entry(*uf)
                     .or_default()
-                    .push((args, result.clone()));
+                    .push((t, args, result.clone()));
                 result
             }
             _ => unreachable!("not a bv op: {op:?}"),
@@ -502,6 +601,35 @@ impl Blaster {
             .collect()
     }
 
+    /// The memoized division circuit for operand terms `(ta, tb)`: the
+    /// quotient and remainder of `bvudiv`/`bvurem` are two outputs of
+    /// one [`Blaster::divrem_gate`], so encoding both of the same
+    /// operand pair costs one circuit, not two.
+    fn divrem_of(
+        &mut self,
+        sat: &mut Solver,
+        t: TermId,
+        ta: TermId,
+        tb: TermId,
+    ) -> (Vec<Lit>, Vec<Lit>) {
+        if let Some(qr) = self.divrem.get(&(ta, tb)) {
+            // `t` reuses the circuit allocated inside the owner's range:
+            // record the coupling so retirement waits for both.
+            let owner = self.divrem_owner[&(ta, tb)];
+            if owner != t {
+                self.coupled.entry(owner).or_default().push(t);
+                self.coupled.entry(t).or_default().push(owner);
+            }
+            return qr.clone();
+        }
+        let a = self.bv_map[&ta].clone();
+        let b = self.bv_map[&tb].clone();
+        let qr = self.divrem_gate(sat, &a, &b);
+        self.divrem.insert((ta, tb), qr.clone());
+        self.divrem_owner.insert((ta, tb), t);
+        qr
+    }
+
     /// Restoring division: returns `(quotient, remainder)` for `b != 0`;
     /// the caller muxes in the division-by-zero semantics.
     fn divrem_gate(&mut self, sat: &mut Solver, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Vec<Lit>) {
@@ -611,9 +739,16 @@ impl Blaster {
         Some(sat.value_lit(*l).unwrap_or(false))
     }
 
-    /// All UF applications blasted so far, with their current model values:
-    /// `(uf, arg values, result value)`. Used to build model UF tables.
-    pub fn read_uf_apps(&self, sat: &Solver) -> Vec<(UfId, Vec<u128>, u128)> {
+    /// The UF applications among `live` terms, with their current model
+    /// values: `(uf, arg values, result value)`. Used to build model UF
+    /// tables; restricting to the extraction cone matters for sessions,
+    /// where a retired goal's application can be left partially assigned
+    /// by the decision scope and must not contribute a phantom table row.
+    pub fn read_uf_apps(
+        &self,
+        sat: &Solver,
+        live: &HashSet<TermId>,
+    ) -> Vec<(UfId, Vec<u128>, u128)> {
         let read = |bits: &[Lit]| {
             let mut v = 0u128;
             for (i, &l) in bits.iter().enumerate() {
@@ -625,8 +760,10 @@ impl Blaster {
         };
         let mut out = Vec::new();
         for (&uf, apps) in &self.uf_apps {
-            for (args, result) in apps {
-                out.push((uf, args.iter().map(|a| read(a)).collect(), read(result)));
+            for (t, args, result) in apps {
+                if live.contains(t) {
+                    out.push((uf, args.iter().map(|a| read(a)).collect(), read(result)));
+                }
             }
         }
         out

@@ -482,17 +482,37 @@ pub fn bvxor(a: TermId, b: TermId) -> TermId {
 }
 
 /// Unsigned division; division by zero yields all-ones (SMT-LIB semantics).
+///
+/// Constant divisors avoid the restoring `divrem_gate` entirely:
+/// `x div 0` → all-ones, `x div 1` → `x`, `x div 2^k` → `x >> k`. (The
+/// signed variants are derived from this one, so they inherit the
+/// rewrites through the `|divisor|` path.)
 pub fn bvudiv(a: TermId, b: TermId) -> TermId {
-    if as_bv_const(b) == Some(1) {
-        return a;
+    let w = width_of(a);
+    match as_bv_const(b) {
+        Some(0) => return bv_const(w, u128::MAX),
+        Some(1) => return a,
+        Some(d) if d.is_power_of_two() => {
+            return bvlshr(a, bv_const(w, d.trailing_zeros() as u128));
+        }
+        _ => {}
     }
     bv_binop_raw(Op::BvUdiv, a, b)
 }
 
 /// Unsigned remainder; remainder by zero yields the dividend.
+///
+/// Constant divisors fold like [`bvudiv`]: `x rem 0` → `x`,
+/// `x rem 1` → `0`, `x rem 2^k` → `x & (2^k - 1)`.
 pub fn bvurem(a: TermId, b: TermId) -> TermId {
-    if as_bv_const(b) == Some(1) {
-        return bv_const(width_of(a), 0);
+    let w = width_of(a);
+    match as_bv_const(b) {
+        Some(0) => return a,
+        Some(1) => return bv_const(w, 0),
+        Some(d) if d.is_power_of_two() => {
+            return bvand(a, bv_const(w, d - 1));
+        }
+        _ => {}
     }
     bv_binop_raw(Op::BvUrem, a, b)
 }

@@ -20,6 +20,9 @@
 //! - [`model`]: satisfying assignments mapped back to term-level values
 //!   (counterexamples, paper §3.1).
 //! - [`solver`]: `check` / `verify` entry points.
+//! - [`session`]: incremental discharge sessions — one live solver and
+//!   blaster answering a stream of goals under a shared assumption set,
+//!   with per-goal activation literals and learnt-clause reuse.
 //!
 //! # Examples
 //!
@@ -38,11 +41,13 @@ pub mod build;
 pub mod bv;
 pub mod model;
 pub mod semantics;
+pub mod session;
 pub mod solver;
 pub mod term;
 
 pub use bv::{SBool, BV};
 pub use model::Model;
+pub use session::{Session, SessionOutcome};
 pub use solver::{
     check, check_full, verify, verify_full, CheckOutcome, CheckResult, QueryStats,
     SolverConfig, VerifyOutcome, VerifyResult,

@@ -1,0 +1,357 @@
+//! Incremental discharge sessions.
+//!
+//! A [`Session`] owns one [`Solver`] and one [`Blaster`] for its whole
+//! lifetime. The shared assumption set is asserted (and blasted) exactly
+//! once; each goal's *negation* is then blasted behind a fresh activation
+//! literal and solved with `solve_assuming([act])`:
+//!
+//! ```text
+//! base clauses             (asserted once, before the first goal)
+//! { !act_k, ¬goal_k }      (the guard: the only clause containing act_k)
+//! solve_assuming([act_k])  Unsat ⇔ base ∧ ¬goal_k unsat ⇔ goal_k proved
+//! retract(act_k)           unit !act_k retires the goal
+//! ```
+//!
+//! Soundness of clause retention: every clause the blaster emits is
+//! either (a) a Tseitin gate definition — a full bidirectional
+//! equivalence, i.e. a conservative extension naming a subcircuit, valid
+//! regardless of which goal introduced it; (b) an Ackermann congruence
+//! constraint — a valid fact of QF_UFBV; or (c) a goal guard
+//! `{!act_k, g_k}`, the only clause containing `act_k` at all. Since
+//! `act_k` occurs in exactly one clause and only *negatively* elsewhere
+//! after retraction, resolution can only ever produce learnt clauses in
+//! which `act_k` occurs negatively — so asserting `!act_k` satisfies (and
+//! lets the simplifier sweep) every learnt clause that depended on goal
+//! `k`, and clauses *not* mentioning `act_k` are consequences of the base
+//! and gate definitions alone, valid for every later goal. Therefore
+//! `solve_assuming([act_k])` answers Unsat iff `base ∧ ¬goal_k` is unsat:
+//! exactly the fresh-solver verdict.
+//!
+//! Per-goal [`QueryStats`] report the *delta* encoding work (new SAT
+//! vars/clauses blasted for this goal) plus reuse counters (vars/clauses/
+//! learnts carried over from earlier goals). The first goal's delta
+//! includes the base-assumption encoding, so summing deltas over a
+//! session gives its true total encoding cost — directly comparable to
+//! the sum of fresh per-query totals.
+
+use crate::blast::Blaster;
+use crate::bv::SBool;
+use crate::solver::{extract_model, CheckResult, QueryStats, SolverConfig};
+use crate::term::TermId;
+use serval_sat::{Lit, SolveResult, Solver, SolverStats};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One goal's verdict and statistics within a session.
+#[derive(Debug)]
+pub struct SessionOutcome {
+    /// The verdict for `base ∧ ¬goal` (Unsat = goal proved, Sat = goal
+    /// refuted with the live session's countermodel).
+    pub result: CheckResult,
+    /// Per-goal delta statistics with session reuse counters.
+    pub stats: QueryStats,
+}
+
+/// An incremental discharge session: one live solver + blaster answering
+/// a stream of goals that share an assumption set.
+pub struct Session {
+    cfg: SolverConfig,
+    sat: Solver,
+    blaster: Blaster,
+    /// Assumptions queued until the first goal (`assume` before solving).
+    base: Vec<SBool>,
+    /// Asserted base roots, kept for countermodel extraction.
+    base_roots: Vec<TermId>,
+    base_asserted: bool,
+    /// Term-walk memo covering the base cone; cloned and extended with
+    /// each goal's cone to build that goal's decision scope.
+    base_visited: HashSet<TermId>,
+    /// Decision-scope mask for the base cone's SAT variables.
+    base_mask: Vec<bool>,
+    /// Negated-goal roots announced via [`Session::plan_goals`], waiting
+    /// for the base cone to be computed before building the plan.
+    planned: Option<Vec<TermId>>,
+    /// The retirement plan, built lazily on the first goal.
+    plan: Option<Plan>,
+    goals: u64,
+}
+
+/// The session's retirement plan: which terms die after which goal.
+struct Plan {
+    /// The announced goal sequence; purging is disabled on the first
+    /// mismatch with the goals actually solved (safe fallback — a term
+    /// that was purged must never be referenced again).
+    roots: Vec<TermId>,
+    /// `last_use[t]` = index of the last announced goal whose cone
+    /// contains `t` (base-cone terms are excluded entirely).
+    last_use: HashMap<TermId, usize>,
+    /// `expiry[i]` = terms whose last use is goal `i`.
+    expiry: Vec<Vec<TermId>>,
+}
+
+impl Session {
+    /// Creates a session. `interrupt` is the cooperative cancellation
+    /// flag, polled inside solving *and* database sweeps.
+    pub fn new(cfg: SolverConfig, interrupt: Option<Arc<AtomicBool>>) -> Session {
+        let mut sat = Solver::new();
+        sat.set_restart_base(cfg.restart_base);
+        sat.set_var_decay(cfg.var_decay);
+        sat.set_default_phase(cfg.default_phase);
+        sat.set_interrupt(interrupt);
+        Session {
+            cfg,
+            sat,
+            blaster: Blaster::new(),
+            base: Vec::new(),
+            base_roots: Vec::new(),
+            base_asserted: false,
+            base_visited: HashSet::new(),
+            base_mask: Vec::new(),
+            planned: None,
+            plan: None,
+            goals: 0,
+        }
+    }
+
+    /// Adds a shared assumption. Must be called before the first goal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a goal has already been solved: the base is asserted
+    /// permanently and cannot grow afterwards without changing the
+    /// meaning of earlier verdicts.
+    pub fn assume(&mut self, a: SBool) {
+        assert!(
+            !self.base_asserted,
+            "session assumptions must precede the first goal"
+        );
+        self.base.push(a);
+    }
+
+    /// Number of goals discharged so far.
+    pub fn goals_discharged(&self) -> u64 {
+        self.goals
+    }
+
+    /// Announces the full (already negated) goal sequence up front,
+    /// enabling goal *retirement*: after the last goal whose cone uses a
+    /// term, that term's gate clauses are purged from the solver
+    /// (`Solver::purge_vars`), so a long session's clause database and
+    /// watch lists hold only the base, the live suffix, and useful
+    /// learnts — instead of every goal ever answered. Without a plan the
+    /// session is still correct, just slower on long goal streams.
+    ///
+    /// The subsequent `solve_negated` calls must present exactly these
+    /// goals in order; on the first mismatch the plan is discarded and
+    /// purging stops (already-purged terms must not be re-solved — they
+    /// are gone from the solver but not from the blaster's memo).
+    pub fn plan_goals(&mut self, neg_goals: &[SBool]) {
+        assert!(self.plan.is_none() && self.goals == 0, "plan before solving");
+        self.planned = Some(neg_goals.iter().map(|g| g.0).collect());
+    }
+
+    /// Builds the retirement plan once the base cone is known.
+    fn build_plan(&mut self, roots: Vec<TermId>) {
+        let mut last_use: HashMap<TermId, usize> = HashMap::new();
+        let mut stack: Vec<TermId> = Vec::new();
+        for (i, &r) in roots.iter().enumerate() {
+            // Walk goal i's cone, overwriting earlier last-use entries;
+            // base-cone terms never expire.
+            let mut seen: HashSet<TermId> = HashSet::new();
+            if !self.base_visited.contains(&r) && seen.insert(r) {
+                stack.push(r);
+            }
+            while let Some(t) = stack.pop() {
+                last_use.insert(t, i);
+                crate::with_ctx(|c| {
+                    for &ch in &c.term(t).children {
+                        if !self.base_visited.contains(&ch) && seen.insert(ch) {
+                            stack.push(ch);
+                        }
+                    }
+                });
+            }
+        }
+        let mut expiry: Vec<Vec<TermId>> = vec![Vec::new(); roots.len()];
+        for (&t, &i) in &last_use {
+            expiry[i].push(t);
+        }
+        self.plan = Some(Plan {
+            roots,
+            last_use,
+            expiry,
+        });
+    }
+
+    /// Purges terms whose last planned use was the goal just answered.
+    fn purge_expired(&mut self) {
+        let Some(plan) = &mut self.plan else { return };
+        let i = (self.goals - 1) as usize;
+        if i >= plan.expiry.len() {
+            return;
+        }
+        let bucket = std::mem::take(&mut plan.expiry[i]);
+        if bucket.is_empty() {
+            return;
+        }
+        let mut mask = vec![false; self.sat.num_vars()];
+        let mut any = false;
+        for t in bucket {
+            // A term sharing allocated variables with a still-live term
+            // (udiv/urem of one divider circuit) is re-bucketed to the
+            // partner's expiry instead.
+            let defer_to = self
+                .blaster
+                .coupled_terms(t)
+                .iter()
+                .filter_map(|c| plan.last_use.get(c))
+                .copied()
+                .max()
+                .filter(|&m| m > i);
+            if let Some(m) = defer_to {
+                plan.expiry[m].push(t);
+            } else {
+                any |= self.blaster.mark_term_vars(t, &mut mask);
+            }
+        }
+        if any {
+            self.sat.purge_vars(&mask);
+        }
+    }
+
+    /// Discharges `goal`: answers for `base ∧ ¬goal`, i.e. `Unsat` means
+    /// the goal is proved under the assumptions.
+    pub fn solve_goal(&mut self, goal: SBool) -> SessionOutcome {
+        self.solve_negated(!goal)
+    }
+
+    /// Like [`Session::solve_goal`], but takes the *already negated*
+    /// goal (the engine's session cores store `¬goal` roots directly).
+    pub fn solve_negated(&mut self, neg_goal: SBool) -> SessionOutcome {
+        let start = Instant::now();
+        let reused_vars = self.sat.num_vars();
+        let reused_clauses = self.sat.num_clauses();
+        let prev = self.sat.stats();
+        if !self.base_asserted {
+            // Deliberately *not* short-circuiting a constant-false base
+            // assumption: asserting it makes the solver permanently
+            // unsat, which answers every goal `Unsat` — the same verdict
+            // the fresh path's fast-path returns, with no special case.
+            for a in std::mem::take(&mut self.base) {
+                self.blaster.assert_true(&mut self.sat, a.0);
+                self.base_roots.push(a.0);
+            }
+            self.base_asserted = true;
+            self.base_mask = vec![false; self.sat.num_vars()];
+            self.blaster.mark_cone_vars(
+                self.base_roots.iter().copied(),
+                &mut self.base_visited,
+                &mut self.base_mask,
+            );
+            if let Some(roots) = self.planned.take() {
+                self.build_plan(roots);
+            }
+        }
+        // An off-plan goal disables retirement for the rest of the
+        // session: purged terms must never be solved again.
+        if let Some(plan) = &self.plan {
+            if plan.roots.get(self.goals as usize) != Some(&neg_goal.0) {
+                self.plan = None;
+            }
+        }
+        self.goals += 1;
+
+        let result = if neg_goal.is_false() {
+            // Mirrors `check_full`'s constant-false fast path.
+            CheckResult::Unsat
+        } else {
+            let g = self.blaster.lit_of(&mut self.sat, neg_goal.0);
+            self.blaster.finalize(&mut self.sat);
+            let act = Lit::pos(self.sat.new_var());
+            self.sat.add_clause(&[!act, g]);
+            // Scope VSIDS decisions to the base + this goal's cone:
+            // retired goals leave their (conservative-extension) gate
+            // clauses behind, and without scoping the search wanders
+            // through those dead variables — the cost grows with every
+            // goal the session has already answered. Out-of-scope
+            // clauses are dead guards (satisfied at level 0) or gates
+            // functionally determined by their inputs, so Sat over the
+            // scope extends to a total model; see
+            // `Solver::set_decision_scope` for the contract.
+            let mut mask = self.base_mask.clone();
+            mask.resize(self.sat.num_vars(), false);
+            let mut visited = HashSet::new();
+            self.blaster.mark_cone_vars_skipping(
+                std::iter::once(neg_goal.0),
+                &mut visited,
+                &self.base_visited,
+                &mut mask,
+            );
+            self.sat.set_decision_scope(Some(mask));
+            // The budget is per *goal*: the solver's budget check is
+            // against cumulative conflicts, so rebase it each time.
+            self.sat
+                .set_conflict_budget(self.cfg.conflict_budget.map(|b| prev.conflicts + b));
+            match self.sat.solve_assuming(&[act]) {
+                SolveResult::Unsat => {
+                    self.sat.retract(act);
+                    CheckResult::Unsat
+                }
+                SolveResult::Unknown => {
+                    self.sat.retract(act);
+                    CheckResult::Unknown
+                }
+                SolveResult::Interrupted => CheckResult::Interrupted,
+                SolveResult::Sat => {
+                    // Extract the countermodel from the live trail
+                    // *before* retracting (retraction backtracks to
+                    // level 0, wiping the model).
+                    let roots: Vec<TermId> = self
+                        .base_roots
+                        .iter()
+                        .copied()
+                        .chain([neg_goal.0])
+                        .collect();
+                    let model =
+                        extract_model(&self.blaster, &self.sat, roots.into_iter());
+                    self.sat.retract(act);
+                    CheckResult::Sat(Box::new(model))
+                }
+            }
+        };
+        if !matches!(result, CheckResult::Interrupted) {
+            self.purge_expired();
+            // The learnt budget grew to fit *this* goal's search; don't
+            // let the inflated ceiling carry over, or retained learnts
+            // accumulate across the whole session and tax every later
+            // propagation. The next goal re-trims via reduce_db.
+            self.sat.reset_learnt_budget();
+        }
+
+        let now = self.sat.stats();
+        let stats = QueryStats {
+            conflicts: now.conflicts - prev.conflicts,
+            decisions: now.decisions - prev.decisions,
+            propagations: now.propagations - prev.propagations,
+            restarts: now.restarts - prev.restarts,
+            learnts: now.learnts,
+            // `num_clauses` can shrink below the pre-goal count when the
+            // retraction sweep deletes more than this goal added.
+            clauses: self.sat.num_clauses().saturating_sub(reused_clauses),
+            vars: self.sat.num_vars() - reused_vars,
+            reused_clauses,
+            reused_vars,
+            reused_learnts: prev.learnts,
+            session_goals: self.goals,
+            wall: start.elapsed(),
+        };
+        SessionOutcome { result, stats }
+    }
+
+    /// Cumulative solver statistics for the whole session.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.sat.stats()
+    }
+}

@@ -60,9 +60,22 @@ pub struct QueryStats {
     /// Learnt clauses in the database at the end of the solve.
     pub learnts: u64,
     /// Clauses produced by bit-blasting (plus learnt, minus deleted).
+    /// For session goals this is the *newly encoded* delta for the goal,
+    /// not the solver's running total (see `reused_clauses`).
     pub clauses: usize,
-    /// SAT variables allocated by bit-blasting.
+    /// SAT variables allocated by bit-blasting. For session goals this
+    /// is the delta, like `clauses`.
     pub vars: usize,
+    /// Clauses carried over from earlier goals in the same incremental
+    /// session (0 for a fresh per-query solve).
+    pub reused_clauses: usize,
+    /// SAT variables carried over from earlier goals in the same session.
+    pub reused_vars: usize,
+    /// Learnt clauses retained from earlier goals in the same session.
+    pub reused_learnts: u64,
+    /// 1-based position of this goal within its session; 0 for a fresh
+    /// per-query solve.
+    pub session_goals: u64,
     /// Wall time of the whole check (blast + solve + model extraction).
     pub wall: Duration,
 }
@@ -70,7 +83,7 @@ pub struct QueryStats {
 impl QueryStats {
     /// One-line rendering used by proof reports and the profiler.
     pub fn render(&self) -> String {
-        format!(
+        let mut line = format!(
             "conflicts={} decisions={} props={} restarts={} learnts={} clauses={} vars={}",
             self.conflicts,
             self.decisions,
@@ -79,7 +92,14 @@ impl QueryStats {
             self.learnts,
             self.clauses,
             self.vars
-        )
+        );
+        if self.session_goals > 0 {
+            line.push_str(&format!(
+                " session_goal={} reused_clauses={} reused_vars={} reused_learnts={}",
+                self.session_goals, self.reused_clauses, self.reused_vars, self.reused_learnts
+            ));
+        }
+        line
     }
 }
 
@@ -222,7 +242,7 @@ pub fn verify_full(
 }
 
 /// Builds a [`Model`] for the symbolic constants reachable from `roots`.
-fn extract_model(
+pub(crate) fn extract_model(
     blaster: &Blaster,
     sat: &Solver,
     roots: impl Iterator<Item = TermId>,
@@ -255,8 +275,9 @@ fn extract_model(
         }
         stack.extend(children);
     }
-    // UF interpretations from the Ackermann expansion.
-    for (uf, args, result) in blaster.read_uf_apps(sat) {
+    // UF interpretations from the Ackermann expansion (cone apps only —
+    // in a session, retired goals' apps may be only partially assigned).
+    for (uf, args, result) in blaster.read_uf_apps(sat, &seen) {
         model.uf_tables.entry(uf).or_default().insert(args, result);
     }
     model

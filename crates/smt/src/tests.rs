@@ -426,3 +426,307 @@ fn unsat_from_contradictory_assumptions() {
     let asm = [x.ult(BV::lit(8, 4)), x.ugt(BV::lit(8, 9))];
     assert!(proved(&asm, x.eq_(BV::lit(8, 0xee))));
 }
+
+// ---------------------------------------------------------------------
+// Constant-divisor rewrites
+// ---------------------------------------------------------------------
+
+#[test]
+fn division_by_constant_short_circuits() {
+    reset_ctx();
+    let a = BV::fresh(8, "a");
+    let z = BV::lit(8, 0);
+    // SMT-LIB: x div 0 = all-ones, x rem 0 = x.
+    assert_eq!(a.udiv(z), BV::lit(8, 0xff));
+    assert_eq!(a.urem(z), a);
+    assert_eq!(a.udiv(BV::lit(8, 1)), a);
+    assert_eq!(a.urem(BV::lit(8, 1)), BV::lit(8, 0));
+    // Power-of-two divisors become shifts/masks, never a division circuit.
+    assert_eq!(a.udiv(BV::lit(8, 8)), a.lshr(BV::lit(8, 3)));
+    assert_eq!(a.urem(BV::lit(8, 8)), a & BV::lit(8, 7));
+    assert_eq!(a.udiv(BV::lit(8, 128)), a.lshr(BV::lit(8, 7)));
+    assert_eq!(a.urem(BV::lit(8, 2)), a & BV::lit(8, 1));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For every concrete (x, d) the symbolic `x op d` with a *constant*
+    /// divisor — which may take the shift/mask rewrite, the short
+    /// circuit, or the full division circuit — must agree with the
+    /// constant-folded semantics of the same operation.
+    #[test]
+    fn prop_const_divisor_matches_concrete_semantics(
+        x in any::<u8>(),
+        d in any::<u8>(),
+        which in any::<u8>(),
+    ) {
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let db = BV::lit(8, d as u128);
+        let xc = BV::lit(8, x as u128);
+        let pin = a.eq_(xc);
+        // The constant-constant fold is the semantics oracle.
+        let (sym, oracle) = match which % 4 {
+            0 => (a.udiv(db), xc.udiv(db)),
+            1 => (a.urem(db), xc.urem(db)),
+            2 => (a.sdiv(db), xc.sdiv(db)),
+            _ => (a.srem(db), xc.srem(db)),
+        };
+        let expected = oracle.as_const().expect("const operands must fold");
+        prop_assert!(
+            verify(&[pin], sym.eq_(BV::lit(8, expected))).is_proved(),
+            "x={x} d={d} op={} expected {expected:#x}",
+            which % 4
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Incremental discharge sessions
+// ---------------------------------------------------------------------
+
+use crate::session::Session;
+use crate::solver::CheckOutcome;
+
+fn fresh_check(assumptions: &[SBool], goal: SBool) -> CheckOutcome {
+    let mut q: Vec<SBool> = assumptions.to_vec();
+    q.push(!goal);
+    crate::solver::check_full(SolverConfig::default(), &q, None)
+}
+
+#[test]
+fn session_basic_stream_of_goals() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let mut s = Session::new(SolverConfig::default(), None);
+    s.assume(x.ult(y));
+    // Proved goal.
+    let out = s.solve_goal(x.ule(y));
+    assert!(matches!(out.result, CheckResult::Unsat));
+    assert_eq!(out.stats.session_goals, 1);
+    assert_eq!(out.stats.reused_vars, 0, "goal 1 pays for the base encoding");
+    // Refuted goal, model from the live session.
+    let out = s.solve_goal(y.ule(x));
+    assert_eq!(out.stats.session_goals, 2);
+    assert!(out.stats.reused_vars > 0, "goal 2 reuses the base encoding");
+    let CheckResult::Sat(m) = out.result else {
+        panic!("expected refutation, got {:?}", out.result);
+    };
+    assert!(m.eval_bool(x.ult(y).0), "model must satisfy the assumption");
+    assert!(!m.eval_bool(y.ule(x).0), "model must refute the goal");
+    // A later proved goal is unaffected by the refuted one.
+    let out = s.solve_goal(x.ne_(y));
+    assert!(matches!(out.result, CheckResult::Unsat));
+    assert_eq!(s.goals_discharged(), 3);
+}
+
+#[test]
+fn session_retirement_does_not_leak_between_goals() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let mut s = Session::new(SolverConfig::default(), None);
+    s.assume(x.ult(BV::lit(8, 100)));
+    // Goal 1: proved.
+    assert!(matches!(
+        s.solve_goal(x.ult(BV::lit(8, 200))).result,
+        CheckResult::Unsat
+    ));
+    // Goal 2: refuted; its negation pins x == 5 while active.
+    assert!(matches!(
+        s.solve_goal(x.ne_(BV::lit(8, 5))).result,
+        CheckResult::Sat(_)
+    ));
+    // Goal 3: refuted *only* by x == 6. If retiring goal 2 leaked its
+    // negation (x == 5) into the clause set, this would flip to Unsat.
+    let out = s.solve_goal(x.ne_(BV::lit(8, 6)));
+    let CheckResult::Sat(m) = out.result else {
+        panic!("goal 3 must stay refuted after goal 2 retired, got {:?}", out.result);
+    };
+    assert_eq!(m.eval_bv(x.0), 6, "the only countermodel is x = 6");
+    // Goal 4: still proved, with everything retired.
+    assert!(matches!(
+        s.solve_goal(x.ule(BV::lit(8, 99))).result,
+        CheckResult::Unsat
+    ));
+}
+
+/// Plan-driven purging with a shared divider circuit: `x udiv y` and
+/// `x urem y` (non-constant divisor) share one restoring-divider
+/// encoding, so retiring the udiv goal must *defer* until the urem
+/// goal expires — purging the shared circuit early would leave the
+/// later goal underconstrained and flip its verdict.
+#[test]
+fn session_purging_defers_coupled_divrem_circuits() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let q = x.udiv(y);
+    let r = x.urem(y);
+    let assumptions = vec![
+        x.eq_(BV::lit(8, 23)),
+        y.eq_(BV::lit(8, 5)),
+        BV::fresh(8, "pad").ult(BV::lit(8, 7)),
+    ];
+    let goals = vec![
+        q.eq_(BV::lit(8, 4)),  // uses the divider; proved
+        r.eq_(BV::lit(8, 3)),  // reuses the same circuit; proved
+        r.eq_(BV::lit(8, 2)),  // refuted: needs the circuit still live
+        x.ult(BV::lit(8, 200)), // divider fully expired by now
+    ];
+    let mut s = Session::new(SolverConfig::default(), None);
+    for &a in &assumptions {
+        s.assume(a);
+    }
+    let neg: Vec<SBool> = goals.iter().map(|&g| !g).collect();
+    s.plan_goals(&neg);
+    for (i, &g) in goals.iter().enumerate() {
+        let out = s.solve_goal(g);
+        let fresh = fresh_check(&assumptions, g);
+        match (&out.result, &fresh.result) {
+            (CheckResult::Unsat, CheckResult::Unsat) => {}
+            (CheckResult::Sat(m), CheckResult::Sat(_)) => {
+                assert!(!m.eval_bool(g.0), "goal {i}: model must refute the goal");
+                for &a in &assumptions {
+                    assert!(m.eval_bool(a.0), "goal {i}: model violates an assumption");
+                }
+            }
+            (sv, fv) => panic!("goal {i}: session {sv:?} vs fresh {fv:?}"),
+        }
+    }
+}
+
+/// A goal that deviates from the announced plan discards the plan
+/// (purging stops) but must still be answered correctly, as must every
+/// goal after it.
+#[test]
+fn session_off_plan_goal_disables_purging_but_stays_sound() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let mut s = Session::new(SolverConfig::default(), None);
+    s.assume(x.ult(BV::lit(8, 50)));
+    let planned = vec![x.ult(BV::lit(8, 60)), x.ult(BV::lit(8, 70))];
+    let neg: Vec<SBool> = planned.iter().map(|&g| !g).collect();
+    s.plan_goals(&neg);
+    // First goal on-plan: proved (and goal-1-only terms purged).
+    assert!(matches!(
+        s.solve_goal(planned[0]).result,
+        CheckResult::Unsat
+    ));
+    // Off-plan goal: refuted, with a model.
+    let out = s.solve_goal(x.ne_(BV::lit(8, 9)));
+    let CheckResult::Sat(m) = out.result else {
+        panic!("off-plan goal must be refuted");
+    };
+    assert_eq!(m.eval_bv(x.0), 9);
+    // The originally planned second goal still answers correctly.
+    assert!(matches!(
+        s.solve_goal(planned[1]).result,
+        CheckResult::Unsat
+    ));
+}
+
+#[test]
+fn session_with_unsat_base_proves_everything() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let mut s = Session::new(SolverConfig::default(), None);
+    s.assume(x.ult(BV::lit(8, 4)));
+    s.assume(x.ugt(BV::lit(8, 9)));
+    // Vacuous truth, exactly like the fresh path.
+    assert!(matches!(s.solve_goal(x.eq_(BV::lit(8, 77))).result, CheckResult::Unsat));
+    assert!(matches!(s.solve_goal(x.ne_(x)).result, CheckResult::Unsat));
+}
+
+#[test]
+fn session_handles_uninterpreted_functions() {
+    reset_ctx();
+    let f = with_ctx(|c| c.declare_uf("f", vec![8], 8));
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let fx = BV(crate::build::uf_apply(f, &[x.0]));
+    let fy = BV(crate::build::uf_apply(f, &[y.0]));
+    let mut s = Session::new(SolverConfig::default(), None);
+    s.assume(x.eq_(y));
+    // Congruence must hold even though the second application is only
+    // blasted (and its Ackermann pairs only emitted) at goal time.
+    assert!(matches!(s.solve_goal(fx.eq_(fy)).result, CheckResult::Unsat));
+    // And a fresh application introduced by a later goal still gets its
+    // congruence constraints against the existing ones.
+    let z = BV::fresh(8, "z");
+    let fz = BV(crate::build::uf_apply(f, &[z.0]));
+    let out = s.solve_goal(z.eq_(x).implies(fz.eq_(fx)));
+    assert!(matches!(out.result, CheckResult::Unsat));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Session discharge must return exactly the fresh-solver verdict
+    /// for every goal in a random batch sharing a random assumption
+    /// set; refuted-goal countermodels from the live session must
+    /// re-evaluate (via the term semantics) to: all assumptions true,
+    /// goal false.
+    #[test]
+    fn prop_session_verdicts_match_fresh_solvers(
+        asm_ops in prop::collection::vec(any::<u8>(), 1..8),
+        goal_ops in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..12), 1..5),
+        bound in any::<u8>(),
+        flip in any::<u8>(),
+    ) {
+        reset_ctx();
+        let vars = [BV::fresh(8, "x"), BV::fresh(8, "y"), BV::fresh(8, "z")];
+        // A random (often satisfiable, sometimes not) assumption set.
+        let t = build_term(&asm_ops, &vars);
+        let assumptions = vec![
+            t.ule(BV::lit(8, (bound as u128).max(1))),
+            vars[0].ult(BV::lit(8, 0xc0)),
+        ];
+        let goals: Vec<SBool> = goal_ops
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let lhs = build_term(ops, &vars);
+                let rhs = build_term(&[ops[0].wrapping_add(i as u8).wrapping_add(1)], &vars);
+                if (flip.wrapping_add(i as u8)) % 2 == 0 {
+                    lhs.eq_(rhs)
+                } else {
+                    lhs.ule(rhs)
+                }
+            })
+            .collect();
+
+        let mut session = Session::new(SolverConfig::default(), None);
+        for &a in &assumptions {
+            session.assume(a);
+        }
+        // Announce the stream so the property also exercises goal
+        // retirement (plan-driven purging), exactly as the engine does.
+        let neg: Vec<SBool> = goals.iter().map(|&g| !g).collect();
+        session.plan_goals(&neg);
+        for (i, &g) in goals.iter().enumerate() {
+            let out = session.solve_goal(g);
+            prop_assert_eq!(out.stats.session_goals, i as u64 + 1);
+            let fresh = fresh_check(&assumptions, g);
+            match (&out.result, &fresh.result) {
+                (CheckResult::Unsat, CheckResult::Unsat) => {}
+                (CheckResult::Sat(m), CheckResult::Sat(_)) => {
+                    for &a in &assumptions {
+                        prop_assert!(
+                            m.eval_bool(a.0),
+                            "goal {}: session model violates an assumption", i
+                        );
+                    }
+                    prop_assert!(
+                        !m.eval_bool(g.0),
+                        "goal {}: session model does not refute the goal", i
+                    );
+                }
+                (s, f) => {
+                    prop_assert!(false, "goal {}: session {:?} vs fresh {:?}", i, s, f);
+                }
+            }
+        }
+    }
+}

@@ -67,6 +67,9 @@ pub struct Profiler {
     solver_propagations: Cell<u64>,
     solver_learnts: Cell<u64>,
     solver_clauses: Cell<u64>,
+    solver_reused_clauses: Cell<u64>,
+    solver_reused_learnts: Cell<u64>,
+    solver_session_goals: Cell<u64>,
     solver_wall_ns: Cell<u64>,
 }
 
@@ -90,6 +93,9 @@ impl Profiler {
             solver_propagations: Cell::new(0),
             solver_learnts: Cell::new(0),
             solver_clauses: Cell::new(0),
+            solver_reused_clauses: Cell::new(0),
+            solver_reused_learnts: Cell::new(0),
+            solver_session_goals: Cell::new(0),
             solver_wall_ns: Cell::new(0),
         }
     }
@@ -107,6 +113,14 @@ impl Profiler {
             .set(self.solver_learnts.get() + stats.learnts);
         self.solver_clauses
             .set(self.solver_clauses.get() + stats.clauses as u64);
+        self.solver_reused_clauses
+            .set(self.solver_reused_clauses.get() + stats.reused_clauses as u64);
+        self.solver_reused_learnts
+            .set(self.solver_reused_learnts.get() + stats.reused_learnts);
+        if stats.session_goals > 0 {
+            self.solver_session_goals
+                .set(self.solver_session_goals.get() + 1);
+        }
         self.solver_wall_ns
             .set(self.solver_wall_ns.get() + stats.wall.as_nanos() as u64);
     }
@@ -225,6 +239,16 @@ impl Profiler {
                 self.solver_clauses.get(),
                 self.solver_wall_ns.get() as f64 / 1e6,
             ));
+            if self.solver_session_goals.get() > 0 {
+                out.push_str(&format!(
+                    "incremental: {} of {} queries in live sessions, \
+                     {} clauses and {} learnts reused\n",
+                    self.solver_session_goals.get(),
+                    self.solver_queries.get(),
+                    self.solver_reused_clauses.get(),
+                    self.solver_reused_learnts.get(),
+                ));
+            }
         }
         out
     }
