@@ -20,6 +20,12 @@ SERVAL_INCREMENTAL=0 cargo test -q --offline -p serval-engine -p serval-core
 echo "== tests (engine + core, incremental sessions on) =="
 SERVAL_INCREMENTAL=1 cargo test -q --offline -p serval-engine -p serval-core
 
+echo "== tests (engine + core, presolve off) =="
+SERVAL_PRESOLVE=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, presolve on) =="
+SERVAL_PRESOLVE=1 cargo test -q --offline -p serval-engine -p serval-core
+
 echo "== examples =="
 cargo run --release --offline --example quickstart
 cargo run --release --offline --example bpf_jit_check

@@ -66,4 +66,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", inc_out.display());
+
+    // Raw vs presolved queries on the same workload
+    // → BENCH_presolve.json.
+    let pre_report = serval_bench::presolve_bench::run();
+    pre_report.print_summary();
+    let pre_out = out
+        .parent()
+        .map(|d| d.join("BENCH_presolve.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_presolve.json"));
+    if let Err(e) = pre_report.write_json(&pre_out) {
+        eprintln!("failed to write {}: {e}", pre_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", pre_out.display());
 }

@@ -22,6 +22,7 @@ fn main() {
             disk_cache: None,
             split: true,
             incremental,
+            presolve: serval_smt::presolve::env_enabled(),
         });
         let t0 = Instant::now();
         let report = certikos::proofs::prove_refinement(

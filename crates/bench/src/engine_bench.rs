@@ -63,6 +63,7 @@ fn timed_run(jobs: usize, reuse_engine: bool) -> EngineRun {
             disk_cache: None,
             split: true,
             incremental: true,
+            presolve: serval_smt::presolve::env_enabled(),
         })
     };
     let (h0, m0) = engine.cache_stats();

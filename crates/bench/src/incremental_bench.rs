@@ -59,6 +59,7 @@ fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
             disk_cache: None,
             split: true,
             incremental,
+            presolve: serval_smt::presolve::env_enabled(),
         })
     };
     let (h0, m0) = engine.cache_stats();

@@ -4,6 +4,7 @@
 
 pub mod engine_bench;
 pub mod incremental_bench;
+pub mod presolve_bench;
 pub mod suites;
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,219 @@
+//! The word-level presolve benchmark: raw queries vs presolved queries
+//! on the CertiKOS^s `-O1` split refinement workload. Emitted as
+//! `BENCH_presolve.json` by `bench_all` (same schema conventions as
+//! `BENCH_incremental.json`).
+//!
+//! Both sides run the fresh-solver-per-sub-query discharge mode: that
+//! is where presolve's full pipeline applies (sessions deliberately
+//! disable cone-of-influence splitting to keep their grouping stable),
+//! so the encoded-size comparison isolates the presolve effect.
+
+use serval_core::report::ProofReport;
+use serval_core::OptCfg;
+use serval_engine::EngineCfg;
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_smt::solver::SolverConfig;
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed run of the refinement workload.
+pub struct PresolveRun {
+    /// Wall time of the whole proof (symbolic evaluation + discharge).
+    pub secs: f64,
+    /// Per-theorem `(name, proved)` verdicts.
+    pub verdicts: Vec<(String, bool)>,
+    /// Total SAT variables encoded across all solved queries.
+    pub sat_vars: usize,
+    /// Total SAT clauses encoded across all solved queries.
+    pub sat_clauses: usize,
+    /// Term-DAG nodes in the queries before presolve (0 when off).
+    pub terms_in: u64,
+    /// Term-DAG nodes after presolve (0 when off).
+    pub terms_out: u64,
+    /// Cache hits during this run.
+    pub cache_hits: u64,
+    /// Cache misses during this run.
+    pub cache_misses: u64,
+}
+
+/// Presolve off vs on, each cold (new engine) and warm (cache rerun).
+pub struct PresolveBenchReport {
+    /// `SERVAL_PRESOLVE=0` equivalent, cold cache.
+    pub off_cold: PresolveRun,
+    /// Rerun on the raw engine's warm cache.
+    pub off_warm: PresolveRun,
+    /// Word-level presolve (the default), cold cache.
+    pub on_cold: PresolveRun,
+    /// Rerun on the presolving engine's warm cache.
+    pub on_warm: PresolveRun,
+}
+
+fn workload() -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), SolverConfig::default())
+}
+
+fn run_once(presolve: bool, reuse_engine: bool) -> PresolveRun {
+    let engine = if reuse_engine {
+        serval_engine::handle()
+    } else {
+        serval_engine::install(EngineCfg {
+            jobs: EngineCfg::from_env().jobs,
+            portfolio: false,
+            disk_cache: None,
+            split: true,
+            incremental: false,
+            presolve,
+        })
+    };
+    let (h0, m0) = engine.cache_stats();
+    let t0 = Instant::now();
+    let report = workload();
+    let secs = t0.elapsed().as_secs_f64();
+    let (h1, m1) = engine.cache_stats();
+    let totals = report.solver_totals();
+    PresolveRun {
+        secs,
+        verdicts: report
+            .theorems
+            .iter()
+            .map(|t| (t.name.clone(), t.verdict.is_proved()))
+            .collect(),
+        sat_vars: totals.vars,
+        sat_clauses: totals.clauses,
+        terms_in: totals.presolve_terms_in as u64,
+        terms_out: totals.presolve_terms_out as u64,
+        cache_hits: h1 - h0,
+        cache_misses: m1 - m0,
+    }
+}
+
+/// Best-of-N cold run (each sample on a freshly installed engine, so
+/// every sample really is cold) — the min-of-N convention the other
+/// benchmark harnesses in this crate use.
+fn run_cold(presolve: bool, samples: usize) -> PresolveRun {
+    let mut best = run_once(presolve, false);
+    for _ in 1..samples {
+        let r = run_once(presolve, false);
+        if r.secs < best.secs {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Runs the four-way comparison.
+pub fn run() -> PresolveBenchReport {
+    let samples: usize = std::env::var("SERVAL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    // Each warm run reuses the engine installed by that mode's final
+    // cold sample, so its cache is genuinely warm.
+    let off_cold = run_cold(false, samples);
+    let off_warm = run_once(false, true);
+    let on_cold = run_cold(true, samples);
+    let on_warm = run_once(true, true);
+    // Leave the process-wide engine in its environment-default state.
+    serval_engine::install(EngineCfg::from_env());
+    PresolveBenchReport {
+        off_cold,
+        off_warm,
+        on_cold,
+        on_warm,
+    }
+}
+
+impl PresolveBenchReport {
+    /// Whether all four runs proved exactly the same theorems.
+    pub fn verdicts_equal(&self) -> bool {
+        self.off_cold.verdicts == self.on_cold.verdicts
+            && self.off_cold.verdicts == self.off_warm.verdicts
+            && self.off_cold.verdicts == self.on_warm.verdicts
+    }
+
+    /// Cold-run speedup of presolved queries over raw queries.
+    pub fn cold_speedup(&self) -> f64 {
+        self.off_cold.secs / self.on_cold.secs.max(1e-9)
+    }
+
+    /// Fraction of the raw encoding (SAT vars + clauses) presolve
+    /// eliminates: `1 - on/off`.
+    pub fn encoded_reduction(&self) -> f64 {
+        let off = self.off_cold.sat_vars + self.off_cold.sat_clauses;
+        let on = self.on_cold.sat_vars + self.on_cold.sat_clauses;
+        if off == 0 {
+            0.0
+        } else {
+            1.0 - on as f64 / off as f64
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn run_json(r: &PresolveRun) -> String {
+            format!(
+                "{{\"secs\": {:.6}, \"theorems\": {}, \"sat_vars\": {}, \
+                 \"sat_clauses\": {}, \"terms_in\": {}, \"terms_out\": {}, \
+                 \"cache_hits\": {}, \"cache_misses\": {}}}",
+                r.secs,
+                r.verdicts.len(),
+                r.sat_vars,
+                r.sat_clauses,
+                r.terms_in,
+                r.terms_out,
+                r.cache_hits,
+                r.cache_misses
+            )
+        }
+        format!(
+            "{{\n  \"workload\": \"certikos refinement -O1 (split sub-queries, fresh solvers)\",\n  \
+             \"off_cold\": {},\n  \"on_cold\": {},\n  \
+             \"off_warm\": {},\n  \"on_warm\": {},\n  \
+             \"cold_speedup\": {:.3},\n  \"encoded_reduction\": {:.3},\n  \
+             \"verdicts_equal\": {}\n}}\n",
+            run_json(&self.off_cold),
+            run_json(&self.on_cold),
+            run_json(&self.off_warm),
+            run_json(&self.on_warm),
+            self.cold_speedup(),
+            self.encoded_reduction(),
+            self.verdicts_equal()
+        )
+    }
+
+    /// Writes the JSON report.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!("\npresolve: raw vs presolved (certikos refinement -O1, fresh solvers)");
+        println!(
+            "  cold   raw {:>8.2}s   presolved {:>8.2}s   speedup {:.2}x",
+            self.off_cold.secs,
+            self.on_cold.secs,
+            self.cold_speedup()
+        );
+        println!(
+            "  encoded  raw {} vars / {} clauses   presolved {} vars / {} clauses ({:.0}% smaller)",
+            self.off_cold.sat_vars,
+            self.off_cold.sat_clauses,
+            self.on_cold.sat_vars,
+            self.on_cold.sat_clauses,
+            self.encoded_reduction() * 100.0
+        );
+        println!(
+            "  terms  {} -> {} across presolved queries",
+            self.on_cold.terms_in, self.on_cold.terms_out
+        );
+        println!(
+            "  warm   raw {:>8.2}s   presolved {:>8.2}s   verdicts equal: {}",
+            self.off_warm.secs,
+            self.on_warm.secs,
+            self.verdicts_equal()
+        );
+    }
+}

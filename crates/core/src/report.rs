@@ -96,6 +96,10 @@ impl ProofReport {
             // Count of theorems discharged inside a live session, not a
             // positional sum (per-theorem it is a 1-based position).
             total.session_goals += (t.session_goals > 0) as u64;
+            total.presolve_terms_in += t.presolve_terms_in;
+            total.presolve_terms_out += t.presolve_terms_out;
+            total.presolve_vars_in += t.presolve_vars_in;
+            total.presolve_vars_out += t.presolve_vars_out;
             total.wall += t.wall;
         }
         total
@@ -280,14 +284,17 @@ mod tests {
         let mut ctx = SymCtx::new();
         let x = BV::fresh(8, "x");
         ctx.assume(x.ult(BV::lit(8, 10)));
+        // The goal needs the assumption *relationally* (x + 1 cannot
+        // wrap because x < 10), so word-level presolve cannot fold it
+        // away and a real solve must run.
         let t = discharge(
             &ctx,
             SolverConfig::default(),
             "bounded",
             &[],
-            x.ult(BV::lit(8, 16)),
+            x.ult(x + BV::lit(8, 1)),
         );
-        assert!(t.verdict.is_proved(), "x < 10 implies x < 16");
+        assert!(t.verdict.is_proved(), "x < 10 implies x < x + 1");
         assert!(t.stats.is_some(), "a real solve must surface its stats");
         assert!(ctx.profiler.solver_queries() >= 1);
         assert!(

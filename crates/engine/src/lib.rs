@@ -24,6 +24,7 @@
 //! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query (the pool shrinks to `jobs / 3` so total solver threads stay ≈ `SERVAL_JOBS`). Verdicts stay deterministic, but which variant's counterexample is reported is a timing race — see [`solve::solve_portfolio`]. |
 //! | `SERVAL_SPLIT`     | `0`/`off` → disable goal conjunction splitting (on by default; see [`form::split_goal`]) |
 //! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
+//! | `SERVAL_PRESOLVE`  | `0`/`off` → disable word-level presolve, handing the solver the raw obligation DAG (on by default; each query's assumption base is otherwise simplified once — equality substitution, known-bits/interval folding, cone-of-influence reduction — and the cache keys on the *simplified* normal form; see [`serval_smt::presolve`]). |
 
 pub mod cache;
 pub mod form;
@@ -40,11 +41,13 @@ use form::{prepare, prepare_session, BackMap};
 use pool::Pool;
 use serval_smt::bv::SBool;
 use serval_smt::model::Model;
-use serval_smt::solver::{QueryStats, SolverConfig, VerifyResult};
+use serval_smt::presolve;
+use serval_smt::solver::{CheckResult, QueryStats, SolverConfig, VerifyResult};
 use serval_smt::term::TermId;
 use solve::{solve_one, solve_portfolio, solve_session, PortableModel, RawOutcome, RawVerdict};
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::rc::Rc;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -71,6 +74,12 @@ pub struct EngineCfg {
     /// per query. Verdicts are identical either way — sessions only
     /// change how much encoding and search work is re-done.
     pub incremental: bool,
+    /// Run the word-level presolve pipeline ([`serval_smt::presolve`])
+    /// on each query before normalization and blasting: the assumption
+    /// base is simplified once per distinct assumption set, every goal
+    /// is rewritten against it, and the verdict cache keys on the
+    /// simplified normal form. On by default.
+    pub presolve: bool,
 }
 
 impl Default for EngineCfg {
@@ -81,13 +90,14 @@ impl Default for EngineCfg {
             disk_cache: None,
             split: true,
             incremental: true,
+            presolve: true,
         }
     }
 }
 
 impl EngineCfg {
     /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, `SERVAL_CACHE`,
-    /// `SERVAL_SPLIT`, and `SERVAL_INCREMENTAL`.
+    /// `SERVAL_SPLIT`, `SERVAL_INCREMENTAL`, and `SERVAL_PRESOLVE`.
     pub fn from_env() -> EngineCfg {
         let jobs = std::env::var("SERVAL_JOBS")
             .ok()
@@ -111,12 +121,14 @@ impl EngineCfg {
         let incremental = std::env::var("SERVAL_INCREMENTAL")
             .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
             .unwrap_or(true);
+        let presolve = serval_smt::presolve::env_enabled();
         EngineCfg {
             jobs,
             portfolio,
             disk_cache,
             split,
             incremental,
+            presolve,
         }
     }
 }
@@ -159,6 +171,7 @@ pub struct Engine {
     portfolio: bool,
     split: bool,
     incremental: bool,
+    presolve: bool,
 }
 
 impl Engine {
@@ -181,6 +194,7 @@ impl Engine {
             portfolio: cfg.portfolio,
             split: cfg.split,
             incremental: cfg.incremental,
+            presolve: cfg.presolve,
         }
     }
 
@@ -198,6 +212,11 @@ impl Engine {
     /// *and* not preempted by portfolio mode).
     pub fn incremental(&self) -> bool {
         self.incremental && !self.portfolio
+    }
+
+    /// Whether word-level presolve is on.
+    pub fn presolve(&self) -> bool {
+        self.presolve
     }
 
     /// Cache (hits, misses) since engine construction.
@@ -255,10 +274,90 @@ impl Engine {
             cfg: SolverConfig,
         }
 
+        /// Presolve bookkeeping for one slot: what the finalization pass
+        /// needs to fix up the outcome (counts onto stats, dropped-cone
+        /// side-check and model completion onto counterexamples).
+        struct PresolveInfo {
+            base: Rc<presolve::BaseSimp>,
+            /// Assumptions split off by cone-of-influence reduction
+            /// (always empty in session mode — sessions key on the full
+            /// base so grouping and cache keys stay consistent).
+            dropped: Vec<SBool>,
+            cfg: SolverConfig,
+            pre: presolve::Counts,
+            post: presolve::Counts,
+        }
+
         let debug = std::env::var("SERVAL_ENGINE_DEBUG").is_ok();
         let t_prep = std::time::Instant::now();
         let n = queries.len();
         let mut slots: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
+
+        // Word-level presolve: simplify each query before normalization,
+        // so everything downstream — cache keys, splitting, session
+        // grouping, blasting — sees the shrunken form. The base is
+        // presolved once per distinct assumption set and shared across
+        // the batch (certikos-style batches phrase hundreds of queries
+        // over a handful of invariant sets).
+        let mut presolve_infos: Vec<Option<PresolveInfo>> = (0..n).map(|_| None).collect();
+        let queries: Vec<Query> = if self.presolve {
+            type BaseEntry = (Rc<presolve::BaseSimp>, presolve::GoalCache);
+            let mut bases: HashMap<Vec<TermId>, BaseEntry> = HashMap::new();
+            queries
+                .into_iter()
+                .enumerate()
+                .map(|(i, mut q)| {
+                    let pre = presolve::measure(
+                        q.assumptions.iter().map(|a| a.0).chain([q.goal.0]),
+                    );
+                    let mut key: Vec<TermId> = q.assumptions.iter().map(|a| a.0).collect();
+                    key.sort_unstable_by_key(|t| t.0);
+                    key.dedup();
+                    let entry = bases.entry(key).or_insert_with(|| {
+                        (
+                            Rc::new(presolve::presolve_base(&q.assumptions)),
+                            presolve::GoalCache::default(),
+                        )
+                    });
+                    let (base, cache) = (&entry.0, &mut entry.1);
+                    let goal = presolve::simplify_goal_cached(base, q.goal, cache);
+                    if debug {
+                        let g_pre = presolve::measure([q.goal.0].into_iter());
+                        let g_post = presolve::measure([goal.0].into_iter());
+                        eprintln!(
+                            "[presolve] {:<44} bindings={} goal terms {} -> {} changed={}",
+                            q.label,
+                            base.bindings.len(),
+                            g_pre.terms,
+                            g_post.terms,
+                            goal.0 != q.goal.0
+                        );
+                    }
+                    let (kept, dropped) = if self.incremental() {
+                        // Sessions share one live solver across the whole
+                        // base; dropping per-goal disconnected assumptions
+                        // would fracture the grouping.
+                        (base.roots.clone(), Vec::new())
+                    } else {
+                        presolve::cone_split(&base.roots, goal)
+                    };
+                    let post =
+                        presolve::measure(kept.iter().map(|a| a.0).chain([goal.0]));
+                    presolve_infos[i] = Some(PresolveInfo {
+                        base: Rc::clone(base),
+                        dropped,
+                        cfg: q.cfg,
+                        pre,
+                        post,
+                    });
+                    q.assumptions = kept;
+                    q.goal = goal;
+                    q
+                })
+                .collect()
+        } else {
+            queries
+        };
         let mut pending: Vec<Pending> = Vec::new();
         let mut tasks: Vec<Box<dyn FnOnce() -> Vec<RawOutcome> + Send + 'static>> = Vec::new();
         let push_task = |tasks: &mut Vec<Box<dyn FnOnce() -> Vec<RawOutcome> + Send + 'static>>,
@@ -583,6 +682,54 @@ impl Engine {
                 }
             }
         }
+        // Presolve finalization: attach the shrink counts to whatever
+        // stats the solve produced, and repair counterexamples. A
+        // countermodel of the *reduced* query (solver result or cache
+        // hit alike) only refutes the original once (a) the assumptions
+        // cone-of-influence dropped are themselves satisfiable — their
+        // model merges in over disjoint variables — and (b) the
+        // variables presolve eliminated are re-derived from their
+        // bindings. If the dropped partition is unsatisfiable the
+        // original base is contradictory, so the verdict flips to
+        // Proved no matter what the reduced query said.
+        for (slot, info) in slots.iter_mut().zip(presolve_infos.iter()) {
+            let Some(info) = info else { continue };
+            let out = slot.as_mut().expect("every slot resolved");
+            if let Some(stats) = &mut out.stats {
+                stats.presolve_terms_in = info.pre.terms;
+                stats.presolve_terms_out = info.post.terms;
+                stats.presolve_vars_in = info.pre.vars;
+                stats.presolve_vars_out = info.post.vars;
+            }
+            if !matches!(out.result, VerifyResult::Counterexample(_)) {
+                continue;
+            }
+            if !info.dropped.is_empty() {
+                match serval_smt::check_full(info.cfg, &info.dropped, None).result {
+                    CheckResult::Sat(dm) => {
+                        if let VerifyResult::Counterexample(m) = &mut out.result {
+                            // Disjoint by construction: the partitions
+                            // share no variables and no UFs.
+                            m.bv_values.extend(dm.bv_values);
+                            m.bool_values.extend(dm.bool_values);
+                            m.uf_tables.extend(dm.uf_tables);
+                        }
+                    }
+                    CheckResult::Unsat => {
+                        out.result = VerifyResult::Proved;
+                        continue;
+                    }
+                    CheckResult::Unknown | CheckResult::Interrupted => {
+                        out.result = VerifyResult::Unknown;
+                        continue;
+                    }
+                }
+            }
+            if let VerifyResult::Counterexample(m) = &mut out.result {
+                presolve::complete_model(m, &info.base.bindings);
+            }
+        }
+
         slots
             .into_iter()
             .map(|s| s.expect("every slot resolved"))
@@ -608,6 +755,10 @@ fn add_stats(a: QueryStats, b: QueryStats) -> QueryStats {
         // Deepest session position among the aggregated sub-queries: a
         // rough "how incremental was this" indicator, not a sum.
         session_goals: a.session_goals.max(b.session_goals),
+        presolve_terms_in: a.presolve_terms_in + b.presolve_terms_in,
+        presolve_terms_out: a.presolve_terms_out + b.presolve_terms_out,
+        presolve_vars_in: a.presolve_vars_in + b.presolve_vars_in,
+        presolve_vars_out: a.presolve_vars_out + b.presolve_vars_out,
         wall: a.wall + b.wall,
     }
 }

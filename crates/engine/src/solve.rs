@@ -131,6 +131,9 @@ pub fn solve_session(
     reset_ctx();
     let rq = rebuild_session(core);
     let mut session = Session::new(cfg, cancel);
+    // The engine presolves queries caller-side, before forming session
+    // cores; presolving the rebuilt core again would be wasted work.
+    session.set_presolve(false);
     for &a in &rq.base {
         session.assume(a);
     }

@@ -15,6 +15,7 @@ fn local_engine(jobs: usize) -> Engine {
         disk_cache: None,
         split: true,
         incremental: true,
+        presolve: true,
     })
 }
 
@@ -27,6 +28,7 @@ fn local_engine_fresh(jobs: usize) -> Engine {
         disk_cache: None,
         split: true,
         incremental: false,
+        presolve: true,
     })
 }
 
@@ -335,6 +337,7 @@ fn disk_cache_survives_engine_restarts() {
             disk_cache: Some(dir.clone()),
             split: true,
             incremental: true,
+            presolve: true,
         })
     };
     let first = mk_engine();
@@ -362,6 +365,7 @@ fn portfolio_agrees_with_single_config() {
         disk_cache: None,
         split: true,
         incremental: true,
+        presolve: true,
     });
     let make = || {
         vec![
@@ -439,6 +443,7 @@ fn local_engine_unsplit(jobs: usize) -> Engine {
         disk_cache: None,
         split: false,
         incremental: true,
+        presolve: true,
     })
 }
 
@@ -646,4 +651,154 @@ fn split_conjunction_caches_whole_goal() {
     let warm = engine.submit_batch(vec![q("conj", vec![], goal)]);
     assert!(warm[0].cache_hit, "whole conjunction must hit on rerun");
     assert!(matches!(warm[0].result, VerifyResult::Proved));
+}
+
+// -----------------------------------------------------------------
+// Word-level presolve
+// -----------------------------------------------------------------
+
+/// Engine with presolve disabled, in either discharge mode.
+fn local_engine_raw(jobs: usize, incremental: bool) -> Engine {
+    Engine::new(EngineCfg {
+        jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental,
+        presolve: false,
+    })
+}
+
+#[test]
+fn presolve_terminates_on_substitution_cycles() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let one = BV::lit(16, 1);
+    // `x = y + 1` and `y = x + 1` form a substitution cycle; chasing it
+    // naively never terminates. The set is contradictory mod 2^16
+    // (subtracting gives 1 = -1), so any goal proves vacuously.
+    let asms = vec![x.eq_(y + one), y.eq_(x + one)];
+    let out = local_engine(1).submit_batch(vec![q("cycle", asms, x.ult(y))]);
+    assert!(matches!(out[0].result, VerifyResult::Proved));
+
+    // A benign cycle: `x = y` and `y = x`. The goal restates one of the
+    // assumptions, so it must prove — and presolve must not loop while
+    // orienting the equalities.
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let asms = vec![x.eq_(y), y.eq_(x)];
+    let out = local_engine(1).submit_batch(vec![q("benign", asms, x.eq_(y))]);
+    assert!(matches!(out[0].result, VerifyResult::Proved));
+}
+
+#[test]
+fn coi_keeps_uf_linked_assumptions() {
+    reset_ctx();
+    // The goal needs the assumption through a *function application*,
+    // not a shared variable: cone-of-influence reduction must treat two
+    // applications of the same UF as connected.
+    let f = serval_smt::with_ctx(|c| c.declare_uf("f", vec![8], 8));
+    let f0 = BV(serval_smt::build::uf_apply(f, &[BV::lit(8, 0).0]));
+    let asms = vec![f0.eq_(BV::lit(8, 5))];
+    let goal = f0.ult(BV::lit(8, 6));
+    // Fresh mode exercises cone_split (sessions keep every root).
+    let out = local_engine_fresh(1).submit_batch(vec![q("uf", asms, goal)]);
+    assert!(
+        matches!(out[0].result, VerifyResult::Proved),
+        "f(0) = 5 must stay in the cone of f(0) < 6, got {:?}",
+        out[0].result
+    );
+}
+
+#[test]
+fn dropped_contradictory_partition_flips_refuted() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let w = BV::fresh(16, "w");
+    // `w = w + 1` is unsatisfiable but shares no variables with the
+    // goal, so cone-of-influence reduction drops it. The raw query is
+    // vacuously proved; the reduced query alone would refute. The
+    // engine's dropped-partition side-solve must restore the verdict.
+    let asms = vec![x.ult(BV::lit(16, 10)), w.eq_(w + BV::lit(16, 1))];
+    let goal = x.ult(BV::lit(16, 5));
+    let out = local_engine_fresh(1).submit_batch(vec![q("vacuous", asms.clone(), goal)]);
+    assert!(
+        matches!(out[0].result, VerifyResult::Proved),
+        "contradictory dropped partition must flip Refuted to Proved, got {:?}",
+        out[0].result
+    );
+    // Sanity: without the contradiction the same goal really refutes.
+    let out = local_engine_fresh(1).submit_batch(vec![q(
+        "refutes",
+        vec![asms[0]],
+        goal,
+    )]);
+    assert!(matches!(out[0].result, VerifyResult::Counterexample(_)));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Presolve must be invisible in verdicts: for random batches over
+    /// random assumption sets, the presolving engine and the raw engine
+    /// agree on every outcome in both discharge modes, and every
+    /// countermodel from the presolving engine evaluates correctly over
+    /// the *original* (unsimplified) terms.
+    #[test]
+    fn prop_presolve_matches_raw(
+        c0 in any::<u8>(),
+        c1 in any::<u8>(),
+        picks in prop::collection::vec(any::<u8>(), 1..5),
+    ) {
+        reset_ctx();
+        let x = BV::fresh(16, "x");
+        let y = BV::fresh(16, "y");
+        let z = BV::fresh(16, "z");
+        let asms = vec![
+            x.ult(BV::lit(16, 1 + c0 as u128)),
+            y.eq_(x + BV::lit(16, (c1 % 16) as u128)),
+        ];
+        let menu = |p: u8| -> SBool {
+            match p % 6 {
+                0 => (x & y).ule(x),
+                1 => x.ult(y),
+                2 => y.uge(x),
+                3 => x.eq_(z),
+                4 => (x ^ y).eq_((x | y) & !(x & y)),
+                _ => z.ult(BV::lit(16, 3)),
+            }
+        };
+        let queries = || -> Vec<Query> {
+            picks
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| q(&format!("q{i}"), asms.clone(), menu(p)))
+                .collect()
+        };
+        for incremental in [false, true] {
+            let on = if incremental {
+                local_engine(2).submit_batch(queries())
+            } else {
+                local_engine_fresh(2).submit_batch(queries())
+            };
+            let raw = local_engine_raw(2, incremental).submit_batch(queries());
+            for ((a, b), &p) in on.iter().zip(&raw).zip(&picks) {
+                prop_assert_eq!(
+                    a.result.is_proved(),
+                    b.result.is_proved(),
+                    "incremental={} goal {}",
+                    incremental,
+                    p % 6
+                );
+                if let VerifyResult::Counterexample(m) = &a.result {
+                    prop_assert!(!m.eval_bool(menu(p).0));
+                    for asm in &asms {
+                        prop_assert!(m.eval_bool(asm.0));
+                    }
+                }
+            }
+        }
+    }
 }

@@ -37,6 +37,11 @@ impl Clause {
 /// A watcher entry: the watched clause plus a "blocker" literal that lets
 /// propagation skip the clause without touching its memory when the blocker
 /// is already true.
+/// One-bit-per-level Bloom filter entry used by clause minimization.
+fn abstract_level(level: u32) -> u32 {
+    1u32 << (level & 31)
+}
+
 #[derive(Clone, Copy)]
 struct Watch {
     cref: CRef,
@@ -56,6 +61,8 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnts: u64,
+    /// Literals dropped from learnt clauses by recursive minimization.
+    pub minimized_lits: u64,
 }
 
 /// A CDCL SAT solver. See the crate documentation for an overview.
@@ -794,12 +801,24 @@ impl Solver {
         }
         learnt[0] = !p.unwrap();
 
-        // Clause minimization: drop literals implied by the rest.
-        let kept: Vec<Lit> = learnt[1..]
+        // Clause minimization: drop literals whose negations are implied
+        // by the rest of the clause, following reason chains recursively
+        // (MiniSat's ccmin-mode=2). Removed literals stay marked, so a
+        // later literal may be subsumed through an earlier removed one.
+        let abstract_levels = learnt[1..]
             .iter()
-            .copied()
-            .filter(|&l| !self.redundant(l))
-            .collect();
+            .fold(0u32, |acc, l| acc | abstract_level(self.level[l.var().index()]));
+        let mut kept: Vec<Lit> = Vec::with_capacity(learnt.len() - 1);
+        for i in 1..learnt.len() {
+            let l = learnt[i];
+            if self.reason[l.var().index()].is_some()
+                && self.lit_redundant(l, abstract_levels, &mut marked)
+            {
+                self.stats.minimized_lits += 1;
+            } else {
+                kept.push(l);
+            }
+        }
         learnt.truncate(1);
         learnt.extend(kept);
 
@@ -835,19 +854,45 @@ impl Solver {
         (learnt, back_level, lbd)
     }
 
-    /// Whether learnt-clause literal `l` is redundant: its reason clause's
-    /// literals are all already in the learnt clause (seen) or at level 0.
-    /// One-step (non-recursive) minimization — sound and cheap.
-    fn redundant(&self, l: Lit) -> bool {
-        let v = l.var();
-        match self.reason[v.index()] {
-            None => false,
-            Some(cref) => self.lit_arena[self.clauses[cref as usize].range()]
-                .iter()
-                .all(|&q| {
-                    q.var() == v || self.seen[q.var().index()] || self.level[q.var().index()] == 0
-                }),
+    /// Whether learnt-clause literal `l` is redundant: following reason
+    /// chains, every path from `l` bottoms out in literals already in the
+    /// clause (seen) or fixed at level 0. Iterative DFS over the
+    /// implication graph; `abstract_levels` is a 32-bit Bloom filter of
+    /// the clause's decision levels — a reason literal from a level with
+    /// no clause literal can never be subsumed, so the walk fails fast.
+    ///
+    /// Literals proven redundant along the way are marked `seen` (and
+    /// recorded in `marked` for end-of-analysis cleanup) so overlapping
+    /// chains are walked once; on failure the marks added by this call
+    /// are rolled back.
+    fn lit_redundant(&mut self, l: Lit, abstract_levels: u32, marked: &mut Vec<Var>) -> bool {
+        let top = marked.len();
+        let mut stack: Vec<Lit> = vec![l];
+        while let Some(p) = stack.pop() {
+            let cref = self.reason[p.var().index()]
+                .expect("only literals with reasons are pushed");
+            let range = self.clauses[cref as usize].range();
+            let clause_lits = self.lit_arena[range].to_vec();
+            for q in clause_lits {
+                let v = q.var();
+                if v == p.var() || self.seen[v.index()] || self.level[v.index()] == 0 {
+                    continue;
+                }
+                if self.reason[v.index()].is_none()
+                    || abstract_level(self.level[v.index()]) & abstract_levels == 0
+                {
+                    for &u in &marked[top..] {
+                        self.seen[u.index()] = false;
+                    }
+                    marked.truncate(top);
+                    return false;
+                }
+                self.seen[v.index()] = true;
+                marked.push(v);
+                stack.push(q);
+            }
         }
+        true
     }
 
     /// Builds the unsat core when assumption `failed` is falsified by the

@@ -531,3 +531,36 @@ proptest! {
         }
     }
 }
+
+#[test]
+fn pigeonhole_unsat_exercises_recursive_minimization() {
+    // PHP(n+1, n): n+1 pigeons into n holes. Famously unsat with long
+    // resolution proofs, so conflict analysis runs hot — a good workload
+    // for recursive learnt-clause minimization.
+    let n = 5;
+    let mut s = Solver::new();
+    let var = |p: usize, h: usize| -> usize { p * n + h };
+    let vars = lits(&mut s, (n + 1) * n);
+    for p in 0..=n {
+        let holes: Vec<Lit> = (0..n).map(|h| Lit::pos(vars[var(p, h)])).collect();
+        assert!(s.add_clause(&holes));
+    }
+    for h in 0..n {
+        for p1 in 0..=n {
+            for p2 in (p1 + 1)..=n {
+                assert!(s.add_clause(&[
+                    Lit::neg(vars[var(p1, h)]),
+                    Lit::neg(vars[var(p2, h)]),
+                ]));
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    let stats = s.stats();
+    assert!(stats.conflicts > 0, "PHP must conflict");
+    assert!(
+        stats.minimized_lits > 0,
+        "recursive minimization should drop literals on PHP ({} conflicts)",
+        stats.conflicts
+    );
+}

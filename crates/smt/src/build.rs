@@ -542,8 +542,19 @@ pub fn bvsrem(a: TermId, b: TermId) -> TermId {
 }
 
 fn shift(op: Op, a: TermId, b: TermId) -> TermId {
-    if as_bv_const(b) == Some(0) {
-        return a;
+    if let Some(k) = as_bv_const(b) {
+        if k == 0 {
+            return a;
+        }
+        // Oversized amounts shift everything out: zero for logical
+        // shifts, a sign-bit fill for arithmetic right shift.
+        let w = width_of(a);
+        if k >= w as u128 {
+            return match op {
+                Op::BvAshr => sext(w, extract(w - 1, w - 1, a)),
+                _ => bv_const(w, 0),
+            };
+        }
     }
     bv_binop_raw(op, a, b)
 }
@@ -624,6 +635,8 @@ pub fn extract(hi: u32, lo: u32, a: TermId) -> TermId {
             if lo >= wi {
                 return bv_const(w, 0);
             }
+            // Partial overlap: the kept high bits are all zero.
+            return zext(w, extract(wi - 1, lo, ch[0]));
         }
         (Op::SignExt, ch) => {
             let wi = width_of(ch[0]);

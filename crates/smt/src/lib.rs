@@ -23,6 +23,10 @@
 //! - [`session`]: incremental discharge sessions — one live solver and
 //!   blaster answering a stream of goals under a shared assumption set,
 //!   with per-goal activation literals and learnt-clause reuse.
+//! - [`presolve`]: a word-level query-simplification pipeline (equality
+//!   substitution, known-bits/interval dataflow, assumption-guided
+//!   constant propagation, cone-of-influence reduction) run on
+//!   `(assumptions, goal)` queries before normalization and blasting.
 //!
 //! # Examples
 //!
@@ -40,6 +44,7 @@ pub mod blast;
 pub mod build;
 pub mod bv;
 pub mod model;
+pub mod presolve;
 pub mod semantics;
 pub mod session;
 pub mod solver;

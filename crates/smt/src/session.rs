@@ -36,6 +36,7 @@
 
 use crate::blast::Blaster;
 use crate::bv::SBool;
+use crate::presolve::{self, BaseSimp};
 use crate::solver::{extract_model, CheckResult, QueryStats, SolverConfig};
 use crate::term::TermId;
 use serval_sat::{Lit, SolveResult, Solver, SolverStats};
@@ -75,6 +76,14 @@ pub struct Session {
     planned: Option<Vec<TermId>>,
     /// The retirement plan, built lazily on the first goal.
     plan: Option<Plan>,
+    /// Whether the base is presolved once and each goal simplified
+    /// against it before blasting (see [`crate::presolve`]).
+    presolve: bool,
+    /// The presolved base environment, built at base-assert time.
+    simp: Option<BaseSimp>,
+    /// Goal-rewrite caches shared across the session's goals (they
+    /// share the base environment, so rewrites are reusable verbatim).
+    goal_cache: presolve::GoalCache,
     goals: u64,
 }
 
@@ -111,8 +120,28 @@ impl Session {
             base_mask: Vec::new(),
             planned: None,
             plan: None,
+            presolve: presolve::env_enabled(),
+            simp: None,
+            goal_cache: presolve::GoalCache::default(),
             goals: 0,
         }
+    }
+
+    /// Enables or disables word-level presolve for this session. The
+    /// engine turns it off — it presolves queries itself, before forming
+    /// session cores, so presolving again here would be wasted work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base is already asserted (the simplified base is
+    /// what got blasted; changing the setting afterwards would desync
+    /// plan cones and goal rewrites from the solver's clauses).
+    pub fn set_presolve(&mut self, on: bool) {
+        assert!(
+            !self.base_asserted,
+            "set_presolve must precede the first goal"
+        );
+        self.presolve = on;
     }
 
     /// Adds a shared assumption. Must be called before the first goal.
@@ -153,10 +182,19 @@ impl Session {
     }
 
     /// Builds the retirement plan once the base cone is known.
+    ///
+    /// `roots` are the goals as *announced* (pre-presolve) — the on-plan
+    /// check in [`Session::solve_negated`] compares against what callers
+    /// present. The cones walked are those of the terms actually
+    /// blasted, i.e. the presolved forms when presolve is on.
     fn build_plan(&mut self, roots: Vec<TermId>) {
+        let eff: Vec<TermId> = roots
+            .iter()
+            .map(|&r| self.effective_goal(SBool(r)).0)
+            .collect();
         let mut last_use: HashMap<TermId, usize> = HashMap::new();
         let mut stack: Vec<TermId> = Vec::new();
-        for (i, &r) in roots.iter().enumerate() {
+        for (i, &r) in eff.iter().enumerate() {
             // Walk goal i's cone, overwriting earlier last-use entries;
             // base-cone terms never expire.
             let mut seen: HashSet<TermId> = HashSet::new();
@@ -183,6 +221,17 @@ impl Session {
             last_use,
             expiry,
         });
+    }
+
+    /// The form of a (negated) goal actually blasted: its presolved
+    /// rewrite when presolve is on, the goal itself otherwise.
+    fn effective_goal(&mut self, g: SBool) -> SBool {
+        match &self.simp {
+            Some(simp) if self.presolve => {
+                presolve::simplify_goal_cached(simp, g, &mut self.goal_cache)
+            }
+            _ => g,
+        }
     }
 
     /// Purges terms whose last planned use was the goal just answered.
@@ -235,11 +284,23 @@ impl Session {
         let reused_clauses = self.sat.num_clauses();
         let prev = self.sat.stats();
         if !self.base_asserted {
+            let base = std::mem::take(&mut self.base);
+            let base = if self.presolve {
+                // Presolve the shared base once; the simplified roots
+                // are what gets blasted, and each goal is rewritten
+                // against the same environment before encoding.
+                let simp = presolve::presolve_base(&base);
+                let roots = simp.roots.clone();
+                self.simp = Some(simp);
+                roots
+            } else {
+                base
+            };
             // Deliberately *not* short-circuiting a constant-false base
             // assumption: asserting it makes the solver permanently
             // unsat, which answers every goal `Unsat` — the same verdict
             // the fresh path's fast-path returns, with no special case.
-            for a in std::mem::take(&mut self.base) {
+            for a in base {
                 self.blaster.assert_true(&mut self.sat, a.0);
                 self.base_roots.push(a.0);
             }
@@ -262,6 +323,10 @@ impl Session {
             }
         }
         self.goals += 1;
+
+        // The plan was checked against the goal as presented; what gets
+        // blasted is its presolved form.
+        let neg_goal = self.effective_goal(neg_goal);
 
         let result = if neg_goal.is_false() {
             // Mirrors `check_full`'s constant-false fast path.
@@ -314,8 +379,12 @@ impl Session {
                         .copied()
                         .chain([neg_goal.0])
                         .collect();
-                    let model =
+                    let mut model =
                         extract_model(&self.blaster, &self.sat, roots.into_iter());
+                    if let Some(simp) = &self.simp {
+                        // Re-derive the variables presolve eliminated.
+                        presolve::complete_model(&mut model, &simp.bindings);
+                    }
                     self.sat.retract(act);
                     CheckResult::Sat(Box::new(model))
                 }
@@ -345,6 +414,10 @@ impl Session {
             reused_vars,
             reused_learnts: prev.learnts,
             session_goals: self.goals,
+            presolve_terms_in: 0,
+            presolve_terms_out: 0,
+            presolve_vars_in: 0,
+            presolve_vars_out: 0,
             wall: start.elapsed(),
         };
         SessionOutcome { result, stats }

@@ -76,6 +76,14 @@ pub struct QueryStats {
     /// 1-based position of this goal within its session; 0 for a fresh
     /// per-query solve.
     pub session_goals: u64,
+    /// Term-DAG nodes in the query before presolve (0 = presolve off).
+    pub presolve_terms_in: usize,
+    /// Term-DAG nodes in the query after presolve.
+    pub presolve_terms_out: usize,
+    /// Symbolic constants in the query before presolve.
+    pub presolve_vars_in: usize,
+    /// Symbolic constants in the query after presolve.
+    pub presolve_vars_out: usize,
     /// Wall time of the whole check (blast + solve + model extraction).
     pub wall: Duration,
 }
@@ -97,6 +105,15 @@ impl QueryStats {
             line.push_str(&format!(
                 " session_goal={} reused_clauses={} reused_vars={} reused_learnts={}",
                 self.session_goals, self.reused_clauses, self.reused_vars, self.reused_learnts
+            ));
+        }
+        if self.presolve_terms_in > 0 {
+            line.push_str(&format!(
+                " presolve_terms={}->{} presolve_vars={}->{}",
+                self.presolve_terms_in,
+                self.presolve_terms_out,
+                self.presolve_vars_in,
+                self.presolve_vars_out
             ));
         }
         line

@@ -730,3 +730,81 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Builder identities agree with the concrete operator semantics on
+    /// every pinned input: `x ^ x`, `x & x`, `x | x`, `~~x`, and
+    /// oversized shift amounts. Each property pins a symbolic variable
+    /// to a concrete value and proves the built term equal to the value
+    /// computed by [`crate::semantics`] — so a rewrite that fires in the
+    /// builder is checked against the semantics it claims to preserve.
+    #[test]
+    fn prop_xor_self_matches_semantics(x in any::<u8>()) {
+        use crate::semantics;
+        use crate::term::Op;
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let pin = a.eq_(BV::lit(8, x as u128));
+        let want = semantics::binop_const(&Op::BvXor, 8, x as u128, x as u128);
+        prop_assert!(proved(&[pin], (a ^ a).eq_(BV::lit(8, want))));
+    }
+
+    #[test]
+    fn prop_and_self_matches_semantics(x in any::<u8>()) {
+        use crate::semantics;
+        use crate::term::Op;
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let pin = a.eq_(BV::lit(8, x as u128));
+        let want = semantics::binop_const(&Op::BvAnd, 8, x as u128, x as u128);
+        prop_assert!(proved(&[pin], (a & a).eq_(BV::lit(8, want))));
+    }
+
+    #[test]
+    fn prop_or_self_matches_semantics(x in any::<u8>()) {
+        use crate::semantics;
+        use crate::term::Op;
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let pin = a.eq_(BV::lit(8, x as u128));
+        let want = semantics::binop_const(&Op::BvOr, 8, x as u128, x as u128);
+        prop_assert!(proved(&[pin], (a | a).eq_(BV::lit(8, want))));
+    }
+
+    #[test]
+    fn prop_double_negation_matches_semantics(x in any::<u8>()) {
+        use crate::semantics;
+        use crate::term::Op;
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let pin = a.eq_(BV::lit(8, x as u128));
+        let inner = semantics::unop_const(&Op::BvNot, 8, x as u128);
+        let want = semantics::unop_const(&Op::BvNot, 8, inner);
+        prop_assert!(proved(&[pin], (!!a).eq_(BV::lit(8, want))));
+    }
+
+    /// Shift amounts at or beyond the width fold in the builder; the
+    /// result must match the semantics' oversized-shift convention
+    /// (zero for logical shifts, sign fill for arithmetic).
+    #[test]
+    fn prop_oversized_shift_matches_semantics(x in any::<u8>(), k in 8u32..=255, which in 0u8..3) {
+        use crate::semantics;
+        use crate::term::Op;
+        reset_ctx();
+        let a = BV::fresh(8, "a");
+        let pin = a.eq_(BV::lit(8, x as u128));
+        let amt = BV::lit(8, k as u128);
+        let (sym, op) = match which {
+            0 => (a.shl(amt), Op::BvShl),
+            1 => (a.lshr(amt), Op::BvLshr),
+            _ => (a.ashr(amt), Op::BvAshr),
+        };
+        let want = semantics::binop_const(&op, 8, x as u128, k as u128);
+        prop_assert!(
+            proved(&[pin], sym.eq_(BV::lit(8, want))),
+            "x={x} k={k} op={op:?} want={want:#x}"
+        );
+    }
+}

@@ -70,6 +70,8 @@ pub struct Profiler {
     solver_reused_clauses: Cell<u64>,
     solver_reused_learnts: Cell<u64>,
     solver_session_goals: Cell<u64>,
+    solver_presolve_terms_in: Cell<u64>,
+    solver_presolve_terms_out: Cell<u64>,
     solver_wall_ns: Cell<u64>,
 }
 
@@ -96,6 +98,8 @@ impl Profiler {
             solver_reused_clauses: Cell::new(0),
             solver_reused_learnts: Cell::new(0),
             solver_session_goals: Cell::new(0),
+            solver_presolve_terms_in: Cell::new(0),
+            solver_presolve_terms_out: Cell::new(0),
             solver_wall_ns: Cell::new(0),
         }
     }
@@ -121,6 +125,10 @@ impl Profiler {
             self.solver_session_goals
                 .set(self.solver_session_goals.get() + 1);
         }
+        self.solver_presolve_terms_in
+            .set(self.solver_presolve_terms_in.get() + stats.presolve_terms_in as u64);
+        self.solver_presolve_terms_out
+            .set(self.solver_presolve_terms_out.get() + stats.presolve_terms_out as u64);
         self.solver_wall_ns
             .set(self.solver_wall_ns.get() + stats.wall.as_nanos() as u64);
     }
@@ -247,6 +255,16 @@ impl Profiler {
                     self.solver_queries.get(),
                     self.solver_reused_clauses.get(),
                     self.solver_reused_learnts.get(),
+                ));
+            }
+            if self.solver_presolve_terms_in.get() > 0 {
+                let tin = self.solver_presolve_terms_in.get();
+                let tout = self.solver_presolve_terms_out.get();
+                out.push_str(&format!(
+                    "presolve: {} terms in -> {} out ({:.0}% shrink)\n",
+                    tin,
+                    tout,
+                    (1.0 - tout as f64 / tin as f64) * 100.0,
                 ));
             }
         }
