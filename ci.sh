@@ -26,6 +26,12 @@ SERVAL_PRESOLVE=0 cargo test -q --offline -p serval-engine -p serval-core
 echo "== tests (engine + core, presolve on) =="
 SERVAL_PRESOLVE=1 cargo test -q --offline -p serval-engine -p serval-core
 
+echo "== tests (engine + core, proof certificates off) =="
+SERVAL_CERT=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, proof certificates on) =="
+SERVAL_CERT=1 cargo test -q --offline -p serval-engine -p serval-core
+
 echo "== examples =="
 cargo run --release --offline --example quickstart
 cargo run --release --offline --example bpf_jit_check

@@ -80,4 +80,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", pre_out.display());
+
+    // Uncertified vs certified discharge on the same workload
+    // → BENCH_cert.json.
+    let cert_report = serval_bench::cert_bench::run();
+    cert_report.print_summary();
+    let cert_out = out
+        .parent()
+        .map(|d| d.join("BENCH_cert.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_cert.json"));
+    if let Err(e) = cert_report.write_json(&cert_out) {
+        eprintln!("failed to write {}: {e}", cert_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", cert_out.display());
 }

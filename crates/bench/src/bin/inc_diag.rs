@@ -23,6 +23,7 @@ fn main() {
             split: true,
             incremental,
             presolve: serval_smt::presolve::env_enabled(),
+            cert: EngineCfg::from_env().cert,
         });
         let t0 = Instant::now();
         let report = certikos::proofs::prove_refinement(

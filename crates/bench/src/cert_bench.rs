@@ -1,0 +1,179 @@
+//! The certification benchmark: uncertified vs certified discharge of
+//! the CertiKOS^s `-O1` split refinement workload. Emitted as
+//! `BENCH_cert.json` by `bench_all`.
+//!
+//! `SERVAL_CERT` (on by default) makes every solver `Unsat` present a
+//! DRAT-style proof to the independent `serval-drat` checker before it
+//! may become `Proved`. This harness measures what that trust costs:
+//! cold wall time with certification off vs on, the checker's share of
+//! it, and — the point of the exercise — that the verdicts are
+//! identical and every certified run's proofs were actually accepted.
+
+use serval_core::report::ProofReport;
+use serval_core::OptCfg;
+use serval_engine::EngineCfg;
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_smt::solver::SolverConfig;
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed cold run of the refinement workload.
+pub struct CertRun {
+    /// Wall time of the whole proof (symbolic evaluation + discharge).
+    pub secs: f64,
+    /// Per-theorem `(name, proved)` verdicts.
+    pub verdicts: Vec<(String, bool)>,
+    /// Proof steps fed to the checker across all solved queries.
+    pub cert_steps: u64,
+    /// Wall time spent inside the checker across all solved queries.
+    pub cert_secs: f64,
+    /// Certificates the engine checked and accepted during this run.
+    pub certs_checked: u64,
+    /// Certificates the engine rejected (verdicts demoted to Unknown).
+    pub certs_rejected: u64,
+}
+
+/// Certification off vs on, both cold.
+pub struct CertBenchReport {
+    /// `SERVAL_CERT=0` equivalent: solver verdicts taken on faith.
+    pub off: CertRun,
+    /// Certified discharge (the default).
+    pub on: CertRun,
+}
+
+fn workload() -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), SolverConfig::default())
+}
+
+fn run_once(cert: bool) -> CertRun {
+    let engine = serval_engine::install(EngineCfg {
+        jobs: EngineCfg::from_env().jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental: true,
+        presolve: serval_smt::presolve::env_enabled(),
+        cert,
+    });
+    let (c0, r0) = engine.cert_counts();
+    let t0 = Instant::now();
+    let report = workload();
+    let secs = t0.elapsed().as_secs_f64();
+    let (c1, r1) = engine.cert_counts();
+    let totals = report.solver_totals();
+    CertRun {
+        secs,
+        verdicts: report
+            .theorems
+            .iter()
+            .map(|t| (t.name.clone(), t.verdict.is_proved()))
+            .collect(),
+        cert_steps: totals.cert_steps,
+        cert_secs: totals.cert_wall.as_secs_f64(),
+        certs_checked: c1 - c0,
+        certs_rejected: r1 - r0,
+    }
+}
+
+/// Best-of-N cold run (each sample on a freshly installed engine) — the
+/// min-of-N convention the other harnesses in this crate use.
+fn run_cold(cert: bool, samples: usize) -> CertRun {
+    let mut best = run_once(cert);
+    for _ in 1..samples {
+        let r = run_once(cert);
+        if r.secs < best.secs {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Runs the comparison.
+pub fn run() -> CertBenchReport {
+    let samples: usize = std::env::var("SERVAL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let off = run_cold(false, samples);
+    let on = run_cold(true, samples);
+    // Leave the process-wide engine in its environment-default state.
+    serval_engine::install(EngineCfg::from_env());
+    CertBenchReport { off, on }
+}
+
+impl CertBenchReport {
+    /// Whether both runs proved exactly the same theorems (per-theorem,
+    /// in order).
+    pub fn verdicts_equal(&self) -> bool {
+        self.off.verdicts == self.on.verdicts
+    }
+
+    /// Certified cold wall over uncertified cold wall — the price of
+    /// not trusting the solver (budgeted at ≤ 2x).
+    pub fn overhead_ratio(&self) -> f64 {
+        self.on.secs / self.off.secs.max(1e-9)
+    }
+
+    /// Mean checker wall per checked certificate, in seconds.
+    pub fn check_secs_per_query(&self) -> f64 {
+        if self.on.certs_checked == 0 {
+            0.0
+        } else {
+            self.on.cert_secs / self.on.certs_checked as f64
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn run_json(r: &CertRun) -> String {
+            format!(
+                "{{\"secs\": {:.6}, \"theorems\": {}, \"cert_steps\": {}, \
+                 \"cert_secs\": {:.6}, \"certs_checked\": {}, \"certs_rejected\": {}}}",
+                r.secs,
+                r.verdicts.len(),
+                r.cert_steps,
+                r.cert_secs,
+                r.certs_checked,
+                r.certs_rejected
+            )
+        }
+        format!(
+            "{{\n  \"workload\": \"certikos refinement -O1 (split sub-queries)\",\n  \
+             \"uncertified\": {},\n  \"certified\": {},\n  \
+             \"overhead_ratio\": {:.3},\n  \"check_secs_per_query\": {:.6},\n  \
+             \"verdicts_equal\": {}\n}}\n",
+            run_json(&self.off),
+            run_json(&self.on),
+            self.overhead_ratio(),
+            self.check_secs_per_query(),
+            self.verdicts_equal()
+        )
+    }
+
+    /// Writes the JSON report.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!("\ncert: uncertified vs certified (certikos refinement -O1)");
+        println!(
+            "  cold   uncertified {:>8.2}s   certified {:>8.2}s   overhead {:.2}x",
+            self.off.secs,
+            self.on.secs,
+            self.overhead_ratio()
+        );
+        println!(
+            "  checker: {} certificates accepted, {} rejected, {} steps, {:.3}s total ({:.1}ms/query)",
+            self.on.certs_checked,
+            self.on.certs_rejected,
+            self.on.cert_steps,
+            self.on.cert_secs,
+            self.check_secs_per_query() * 1e3
+        );
+        println!("  verdicts equal: {}", self.verdicts_equal());
+    }
+}

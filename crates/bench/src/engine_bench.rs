@@ -64,6 +64,7 @@ fn timed_run(jobs: usize, reuse_engine: bool) -> EngineRun {
             split: true,
             incremental: true,
             presolve: serval_smt::presolve::env_enabled(),
+            cert: EngineCfg::from_env().cert,
         })
     };
     let (h0, m0) = engine.cache_stats();

@@ -60,6 +60,7 @@ fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
             split: true,
             incremental,
             presolve: serval_smt::presolve::env_enabled(),
+            cert: EngineCfg::from_env().cert,
         })
     };
     let (h0, m0) = engine.cache_stats();

@@ -2,6 +2,7 @@
 //! and figure of the paper's evaluation (see EXPERIMENTS.md for the
 //! experiment index and DESIGN.md for the substitutions).
 
+pub mod cert_bench;
 pub mod engine_bench;
 pub mod incremental_bench;
 pub mod presolve_bench;
@@ -58,4 +59,171 @@ pub fn print_table(title: &str, rows: &[(String, String)]) {
         println!("  {a:<w$}  {b}");
     }
     println!();
+}
+
+#[cfg(test)]
+mod tests {
+    //! Regression tests for the harnesses' `verdicts_equal` checks:
+    //! they must compare per-theorem verdict vectors in submission
+    //! order, so flipping a single theorem's verdict — totals unchanged
+    //! — must be detected.
+
+    fn verdicts(flip: Option<usize>) -> Vec<(String, bool)> {
+        (0..4)
+            .map(|i| (format!("thm{i}"), Some(i) != flip))
+            .collect()
+    }
+
+    #[test]
+    fn engine_bench_detects_single_flipped_verdict() {
+        use crate::engine_bench::{EngineBenchReport, EngineRun};
+        let run = |flip: Option<usize>| EngineRun {
+            jobs: 1,
+            secs: 1.0,
+            verdicts: verdicts(flip),
+            cache_hits: 0,
+            cache_misses: 4,
+        };
+        let ok = EngineBenchReport {
+            cores: 1,
+            sequential: run(None),
+            parallel: run(None),
+            warm: run(None),
+        };
+        assert!(ok.verdicts_equal());
+        for field in 0..3 {
+            let mut bad = EngineBenchReport {
+                cores: 1,
+                sequential: run(None),
+                parallel: run(None),
+                warm: run(None),
+            };
+            let target = match field {
+                0 => &mut bad.sequential,
+                1 => &mut bad.parallel,
+                _ => &mut bad.warm,
+            };
+            target.verdicts = verdicts(Some(2));
+            assert!(
+                !bad.verdicts_equal(),
+                "flipping one verdict in run {field} must be detected"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_bench_detects_single_flipped_verdict() {
+        use crate::incremental_bench::{IncRun, IncrementalBenchReport};
+        let run = |flip: Option<usize>| IncRun {
+            secs: 1.0,
+            verdicts: verdicts(flip),
+            sat_vars: 0,
+            sat_clauses: 0,
+            reused_clauses: 0,
+            session_theorems: 0,
+            cache_hits: 0,
+            cache_misses: 4,
+        };
+        let ok = IncrementalBenchReport {
+            fresh_cold: run(None),
+            fresh_warm: run(None),
+            session_cold: run(None),
+            session_warm: run(None),
+        };
+        assert!(ok.verdicts_equal());
+        let bad = IncrementalBenchReport {
+            fresh_cold: run(None),
+            fresh_warm: run(None),
+            session_cold: run(Some(1)),
+            session_warm: run(None),
+        };
+        assert!(!bad.verdicts_equal());
+    }
+
+    #[test]
+    fn presolve_bench_detects_single_flipped_verdict() {
+        use crate::presolve_bench::{PresolveBenchReport, PresolveRun};
+        let run = |flip: Option<usize>| PresolveRun {
+            secs: 1.0,
+            verdicts: verdicts(flip),
+            sat_vars: 0,
+            sat_clauses: 0,
+            terms_in: 0,
+            terms_out: 0,
+            cache_hits: 0,
+            cache_misses: 4,
+            queries: 4,
+            trivial: 0,
+        };
+        let ok = PresolveBenchReport {
+            off_cold: run(None),
+            off_warm: run(None),
+            on_cold: run(None),
+            on_warm: run(None),
+        };
+        assert!(ok.verdicts_equal());
+        let bad = PresolveBenchReport {
+            off_cold: run(None),
+            off_warm: run(None),
+            on_cold: run(None),
+            on_warm: run(Some(3)),
+        };
+        assert!(!bad.verdicts_equal());
+    }
+
+    #[test]
+    fn presolve_bench_warm_hit_rate_excludes_trivial_queries() {
+        use crate::presolve_bench::PresolveRun;
+        // 76 nontrivial lookups all hit in raw mode; presolve folds 50
+        // more queries to trivial, so its warm rerun reports only 26
+        // hits — but both are full coverage of the queries that looked.
+        let raw = PresolveRun {
+            secs: 1.0,
+            verdicts: verdicts(None),
+            sat_vars: 0,
+            sat_clauses: 0,
+            terms_in: 0,
+            terms_out: 0,
+            cache_hits: 76,
+            cache_misses: 0,
+            queries: 1179,
+            trivial: 1103,
+        };
+        assert!((raw.hit_rate() - 1.0).abs() < 1e-9);
+        let pre = PresolveRun {
+            cache_hits: 26,
+            trivial: 1153,
+            ..raw
+        };
+        assert!((pre.hit_rate() - 1.0).abs() < 1e-9);
+        // A genuinely missing hit shows up as a sub-1.0 rate.
+        let short = PresolveRun {
+            cache_hits: 25,
+            ..pre
+        };
+        assert!(short.hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn cert_bench_detects_single_flipped_verdict() {
+        use crate::cert_bench::{CertBenchReport, CertRun};
+        let run = |flip: Option<usize>| CertRun {
+            secs: 1.0,
+            verdicts: verdicts(flip),
+            cert_steps: 0,
+            cert_secs: 0.0,
+            certs_checked: 0,
+            certs_rejected: 0,
+        };
+        let ok = CertBenchReport {
+            off: run(None),
+            on: run(None),
+        };
+        assert!(ok.verdicts_equal());
+        let bad = CertBenchReport {
+            off: run(None),
+            on: run(Some(0)),
+        };
+        assert!(!bad.verdicts_equal());
+    }
 }

@@ -1,0 +1,437 @@
+//! An independent checker for the SAT solver's proof certificates.
+//!
+//! `serval-sat` can log every clause it adds, derives, or deletes as a
+//! [`ProofStep`] (see `serval_sat::Solver::set_proof_logging`). This crate
+//! replays such a log against its *own* clause database and unit
+//! propagation — sharing no solver data structures — and accepts it only
+//! if every `Derived` clause follows by **reverse unit propagation**
+//! (RUP): assert the negation of the clause's literals, propagate, and
+//! require a conflict. A log that ends in a derived clause containing
+//! only negated assumption literals (the empty clause when there are no
+//! assumptions) is a *certificate* of unsatisfiability: the checker's
+//! acceptance depends only on the logged `Input` clauses, so a buggy
+//! solver cannot smuggle an unsound refutation past it.
+//!
+//! Conventions (mirroring drat-trim):
+//!
+//! - `Input` clauses are taken on faith; they define the formula the
+//!   certificate refutes.
+//! - `Derived` clauses are checked by RUP *before* being added. The empty
+//!   derived clause is accepted exactly when the database is already
+//!   contradictory.
+//! - `Delete` steps must name a live clause (matched as a sorted literal
+//!   multiset — watch-list reordering inside the solver does not change
+//!   the multiset); deleting a clause that was never added, or was
+//!   already deleted, is tamper evidence and rejected.
+//! - Unit propagation already performed persists across deletions, so
+//!   deletions only ever make later RUP checks harder, never unsound.
+//!
+//! The checker is incremental: `serval-engine`'s session mode feeds one
+//! live [`Checker`] the per-goal proof deltas of an incremental SAT
+//! session, calling [`Checker::take_conclusion`] after each goal.
+
+use serval_sat::{Lit, ProofStep};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Why a proof log was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A `Delete` step named a clause that is not live in the database.
+    DeleteMissing {
+        /// 0-based index of the offending step within the log.
+        step: usize,
+    },
+    /// A `Derived` clause did not follow by reverse unit propagation.
+    NotImplied {
+        /// 0-based index of the offending step within the log.
+        step: usize,
+    },
+    /// The log contained no `Derived` step to serve as its conclusion.
+    NoConclusion,
+    /// The final derived clause contains a literal that is not a negated
+    /// assumption (for a refutation without assumptions: is non-empty).
+    BadConclusion,
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::DeleteMissing { step } => {
+                write!(f, "proof step {step}: deleted clause is not in the database")
+            }
+            CheckError::NotImplied { step } => {
+                write!(f, "proof step {step}: clause not implied (RUP check failed)")
+            }
+            CheckError::NoConclusion => write!(f, "proof has no derived conclusion"),
+            CheckError::BadConclusion => {
+                write!(f, "proof conclusion is not over the negated assumptions")
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+struct ClauseMeta {
+    start: usize,
+    len: usize,
+    deleted: bool,
+}
+
+impl ClauseMeta {
+    fn range(&self) -> Range<usize> {
+        self.start..self.start + self.len
+    }
+}
+
+/// An incremental RUP proof checker.
+#[derive(Default)]
+pub struct Checker {
+    /// Flat literal arena; clauses index into it.
+    lits: Vec<Lit>,
+    clauses: Vec<ClauseMeta>,
+    /// Sorted-literal multiset → live clause ids, for `Delete` matching.
+    by_key: HashMap<Box<[Lit]>, Vec<u32>>,
+    /// Two-watched-literal scheme, indexed by `Lit::index()`.
+    watches: Vec<Vec<u32>>,
+    /// Assignment per variable: 0 undef, 1 true, -1 false.
+    assign: Vec<i8>,
+    trail: Vec<Lit>,
+    qhead: usize,
+    /// Set once the database is contradictory; never cleared.
+    contradiction: bool,
+    /// The most recent `Derived` clause (normalized), if any.
+    last_derived: Option<Vec<Lit>>,
+    steps: u64,
+}
+
+impl Checker {
+    /// A fresh checker with an empty database.
+    pub fn new() -> Checker {
+        Checker::default()
+    }
+
+    /// Applies one proof step. Errors leave the checker poisoned for the
+    /// caller to discard — partial state after a rejection is unspecified.
+    pub fn apply(&mut self, step: &ProofStep) -> Result<(), CheckError> {
+        let idx = self.steps as usize;
+        self.steps += 1;
+        match step {
+            ProofStep::Input(lits) => {
+                self.add(lits);
+                Ok(())
+            }
+            ProofStep::Derived(lits) => {
+                if !self.rup(lits) {
+                    return Err(CheckError::NotImplied { step: idx });
+                }
+                self.add(lits);
+                let mut norm = lits.clone();
+                norm.sort_unstable();
+                norm.dedup();
+                self.last_derived = Some(norm);
+                Ok(())
+            }
+            ProofStep::Delete(lits) => self.delete(lits, idx),
+        }
+    }
+
+    /// Number of proof steps applied so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the database has been refuted outright.
+    pub fn contradiction(&self) -> bool {
+        self.contradiction
+    }
+
+    /// Takes (and clears) the most recent derived clause. A session
+    /// caller invokes this once per goal so a goal that derives nothing
+    /// cannot inherit the previous goal's conclusion.
+    pub fn take_conclusion(&mut self) -> Option<Vec<Lit>> {
+        self.last_derived.take()
+    }
+
+    // ------------------------------------------------------------------
+    // Database
+    // ------------------------------------------------------------------
+
+    fn ensure_capacity(&mut self, lits: &[Lit]) {
+        let mut max_var = 0usize;
+        for l in lits {
+            max_var = max_var.max(l.var().index() + 1);
+        }
+        if self.assign.len() < max_var {
+            self.assign.resize(max_var, 0);
+            self.watches.resize(max_var * 2, Vec::new());
+        }
+    }
+
+    /// Adds a clause persistently (no implication check — callers check
+    /// `Derived` clauses first). Satisfied and tautological clauses are
+    /// stored inert (matchable by `Delete`, never propagating); unit
+    /// clauses propagate persistently.
+    fn add(&mut self, lits_in: &[Lit]) {
+        let mut norm: Vec<Lit> = lits_in.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        let taut = norm.windows(2).any(|w| w[1] == !w[0]);
+        self.ensure_capacity(&norm);
+        let cid = self.clauses.len() as u32;
+        let start = self.lits.len();
+        self.lits.extend_from_slice(&norm);
+        self.clauses.push(ClauseMeta { start, len: norm.len(), deleted: false });
+        self.by_key
+            .entry(norm.clone().into_boxed_slice())
+            .or_default()
+            .push(cid);
+        if taut || self.contradiction {
+            return;
+        }
+        if norm.iter().any(|&l| self.value(l) == 1) {
+            return; // satisfied by persistent facts: inert
+        }
+        let non_false: Vec<usize> = (0..norm.len())
+            .filter(|&i| self.value(norm[i]) != -1)
+            .collect();
+        match non_false.len() {
+            0 => self.contradiction = true, // includes the empty clause
+            1 => {
+                let l = norm[non_false[0]];
+                self.enqueue(l);
+                if self.propagate() {
+                    self.contradiction = true;
+                }
+            }
+            _ => {
+                // Watch two non-false literals (swapped into slots 0, 1).
+                let r = self.clauses[cid as usize].range();
+                let lits = &mut self.lits[r];
+                lits.swap(0, non_false[0]);
+                let second = (1..lits.len())
+                    .find(|&i| value_of(&self.assign, lits[i]) != -1)
+                    .expect("second non-false literal");
+                lits.swap(1, second);
+                let (w0, w1) = (lits[0], lits[1]);
+                self.watches[w0.index()].push(cid);
+                self.watches[w1.index()].push(cid);
+            }
+        }
+    }
+
+    fn delete(&mut self, lits_in: &[Lit], step: usize) -> Result<(), CheckError> {
+        let mut norm: Vec<Lit> = lits_in.to_vec();
+        norm.sort_unstable();
+        norm.dedup();
+        let Some(ids) = self.by_key.get_mut(norm.as_slice()) else {
+            return Err(CheckError::DeleteMissing { step });
+        };
+        let Some(cid) = ids.pop() else {
+            return Err(CheckError::DeleteMissing { step });
+        };
+        if ids.is_empty() {
+            self.by_key.remove(norm.as_slice());
+        }
+        self.clauses[cid as usize].deleted = true;
+        // Watch lists drop deleted clauses lazily in propagate; persistent
+        // facts already derived stay in force (drat-trim convention).
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Propagation and RUP
+    // ------------------------------------------------------------------
+
+    #[inline]
+    fn value(&self, l: Lit) -> i8 {
+        value_of(&self.assign, l)
+    }
+
+    fn enqueue(&mut self, l: Lit) {
+        self.assign[l.var().index()] = if l.is_neg() { -1 } else { 1 };
+        self.trail.push(l);
+    }
+
+    /// Propagates to fixpoint from `qhead`. Returns `true` on conflict
+    /// (an all-false clause).
+    fn propagate(&mut self) -> bool {
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            let false_lit = !p;
+            let mut ws = std::mem::take(&mut self.watches[false_lit.index()]);
+            let mut i = 0;
+            let mut conflict = false;
+            while i < ws.len() {
+                let cid = ws[i] as usize;
+                if self.clauses[cid].deleted {
+                    ws.swap_remove(i);
+                    continue;
+                }
+                let r = self.clauses[cid].range();
+                let (first, relocated) = {
+                    let lits = &mut self.lits[r];
+                    if lits[0] == false_lit {
+                        lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(lits[1], false_lit);
+                    let first = lits[0];
+                    if value_of(&self.assign, first) == 1 {
+                        (first, None)
+                    } else {
+                        let mut moved = None;
+                        for k in 2..lits.len() {
+                            if value_of(&self.assign, lits[k]) != -1 {
+                                lits.swap(1, k);
+                                moved = Some(lits[1]);
+                                break;
+                            }
+                        }
+                        (first, moved)
+                    }
+                };
+                if self.value(first) == 1 {
+                    i += 1;
+                    continue;
+                }
+                if let Some(new_watch) = relocated {
+                    self.watches[new_watch.index()].push(ws[i] as u32);
+                    ws.swap_remove(i);
+                    continue;
+                }
+                match self.value(first) {
+                    0 => {
+                        self.enqueue(first);
+                        i += 1;
+                    }
+                    _ => {
+                        conflict = true;
+                        break;
+                    }
+                }
+            }
+            self.watches[false_lit.index()] = ws;
+            if conflict {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reverse-unit-propagation check: is `lits` implied by the current
+    /// database? Temporary assignments are undone before returning.
+    fn rup(&mut self, lits: &[Lit]) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        self.ensure_capacity(lits);
+        let checkpoint = self.trail.len();
+        debug_assert_eq!(self.qhead, checkpoint);
+        let mut implied = false;
+        for &l in lits {
+            match self.value(l) {
+                // Satisfied under the forced assignment (also covers
+                // tautologies: the earlier negation-enqueue of the
+                // complementary literal makes this one true).
+                1 => {
+                    implied = true;
+                    break;
+                }
+                -1 => {}
+                _ => self.enqueue(!l),
+            }
+        }
+        if !implied {
+            // If every literal was already false, no new assignment was
+            // made and propagation cannot surface a fresh conflict; that
+            // state only arises from a contradictory database, which the
+            // contradiction flag already covers. Reject (sound side).
+            implied = self.trail.len() > checkpoint && self.propagate();
+        }
+        for i in checkpoint..self.trail.len() {
+            self.assign[self.trail[i].var().index()] = 0;
+        }
+        self.trail.truncate(checkpoint);
+        self.qhead = checkpoint;
+        implied
+    }
+}
+
+#[inline]
+fn value_of(assign: &[i8], l: Lit) -> i8 {
+    let a = assign[l.var().index()];
+    if l.is_neg() {
+        -a
+    } else {
+        a
+    }
+}
+
+/// Checks a complete refutation log: applies every step, then requires a
+/// conclusion whose literals are all negated `assumptions` (the empty
+/// clause when `assumptions` is empty).
+pub fn check_refutation(steps: &[ProofStep], assumptions: &[Lit]) -> Result<(), CheckError> {
+    let mut ck = Checker::new();
+    for s in steps {
+        ck.apply(s)?;
+    }
+    match ck.take_conclusion() {
+        None => Err(CheckError::NoConclusion),
+        Some(conc) if conclusion_covers(&conc, assumptions) => Ok(()),
+        Some(_) => Err(CheckError::BadConclusion),
+    }
+}
+
+/// Whether every literal of `conclusion` is the negation of one of
+/// `assumptions`.
+pub fn conclusion_covers(conclusion: &[Lit], assumptions: &[Lit]) -> bool {
+    conclusion.iter().all(|&l| assumptions.iter().any(|&a| l == !a))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a-64 fingerprint of a proof log (order-sensitive). Certificate
+/// hashes stored in the engine's verdict cache use this; 0 never occurs,
+/// so callers can use 0 for "no certificate".
+pub fn hash_steps(steps: &[ProofStep]) -> u64 {
+    hash_steps_seeded(FNV_OFFSET, steps)
+}
+
+/// [`hash_steps`] with an explicit seed, for chaining per-goal deltas of
+/// an incremental session into one running certificate hash.
+pub fn hash_steps_seeded(seed: u64, steps: &[ProofStep]) -> u64 {
+    #[inline]
+    fn byte(h: u64, b: u8) -> u64 {
+        (h ^ b as u64).wrapping_mul(FNV_PRIME)
+    }
+    fn word(mut h: u64, w: u32) -> u64 {
+        for b in w.to_le_bytes() {
+            h = byte(h, b);
+        }
+        h
+    }
+    let mut h = seed;
+    for s in steps {
+        let (tag, lits) = match s {
+            ProofStep::Input(l) => (1u8, l),
+            ProofStep::Derived(l) => (2u8, l),
+            ProofStep::Delete(l) => (3u8, l),
+        };
+        h = byte(h, tag);
+        h = word(h, lits.len() as u32);
+        for l in lits {
+            h = word(h, l.0);
+        }
+    }
+    // Never collide with the "no certificate" sentinel.
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,187 @@
+//! Checker tests: end-to-end certificates from the real solver, plus an
+//! adversarial proof-mutation suite asserting that tampered logs are
+//! rejected.
+
+use crate::{check_refutation, conclusion_covers, hash_steps, hash_steps_seeded, CheckError,
+            Checker};
+use serval_sat::{Lit, ProofStep, SolveResult, Solver, Var};
+
+/// Solves the pigeonhole formula PHP(holes+1, holes) with proof logging
+/// and returns the certificate.
+fn php_certificate(holes: usize) -> Vec<ProofStep> {
+    let pigeons = holes + 1;
+    let mut s = Solver::new();
+    s.set_proof_logging(true);
+    let v: Vec<Vec<Var>> = (0..pigeons)
+        .map(|_| (0..holes).map(|_| s.new_var()).collect())
+        .collect();
+    for p in &v {
+        let c: Vec<Lit> = p.iter().map(|&x| Lit::pos(x)).collect();
+        s.add_clause(&c);
+    }
+    for j in 0..holes {
+        for i in 0..pigeons {
+            for k in i + 1..pigeons {
+                s.add_clause(&[Lit::neg(v[i][j]), Lit::neg(v[k][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(), SolveResult::Unsat);
+    s.take_proof()
+}
+
+/// A two-goal incremental gadget: each goal's gate clauses force a
+/// contradiction under its activation literal; retracting the first goal
+/// sweeps its satisfied gate clauses, producing `Delete` steps.
+fn session_gadget() -> (Solver, Lit, Lit) {
+    let mut s = Solver::new();
+    s.set_proof_logging(true);
+    let x = s.new_var();
+    let y = s.new_var();
+    let act1 = Lit::pos(s.new_var());
+    let act2 = Lit::pos(s.new_var());
+    s.add_clause(&[!act1, Lit::pos(x)]);
+    s.add_clause(&[!act1, Lit::neg(x)]);
+    s.add_clause(&[!act2, Lit::pos(y)]);
+    s.add_clause(&[!act2, Lit::neg(y)]);
+    (s, act1, act2)
+}
+
+#[test]
+fn pigeonhole_certificate_accepted() {
+    let proof = php_certificate(4);
+    assert!(proof.iter().any(|s| matches!(s, ProofStep::Derived(_))));
+    assert!(matches!(proof.last(), Some(ProofStep::Derived(l)) if l.is_empty()));
+    check_refutation(&proof, &[]).unwrap();
+}
+
+#[test]
+fn empty_input_clause_is_a_refutation() {
+    let proof = vec![ProofStep::Input(vec![]), ProofStep::Derived(vec![])];
+    check_refutation(&proof, &[]).unwrap();
+}
+
+#[test]
+fn mutation_dropped_step_rejected() {
+    let mut proof = php_certificate(3);
+    // Drop the concluding empty clause: the log no longer ends in a
+    // refutation.
+    proof.pop();
+    assert!(check_refutation(&proof, &[]).is_err());
+}
+
+#[test]
+fn mutation_flipped_literal_rejected() {
+    let mut proof = php_certificate(3);
+    // Flip the first literal of every non-empty derived clause; the
+    // corrupted lemmas no longer follow by unit propagation.
+    for s in &mut proof {
+        if let ProofStep::Derived(l) = s {
+            if let Some(first) = l.first_mut() {
+                *first = !*first;
+            }
+        }
+    }
+    assert!(check_refutation(&proof, &[]).is_err());
+}
+
+#[test]
+fn mutation_truncated_log_rejected() {
+    let mut proof = php_certificate(3);
+    proof.truncate(proof.len() / 2);
+    assert!(check_refutation(&proof, &[]).is_err());
+}
+
+#[test]
+fn mutation_reordered_deletion_rejected() {
+    let (mut s, act1, act2) = session_gadget();
+    assert_eq!(s.solve_assuming(&[act1]), SolveResult::Unsat);
+    s.retract(act1);
+    assert_eq!(s.solve_assuming(&[act2]), SolveResult::Unsat);
+    let mut proof = s.take_proof();
+    let del = proof
+        .iter()
+        .position(|st| matches!(st, ProofStep::Delete(_)))
+        .expect("retract should sweep satisfied gate clauses");
+    // Move the deletion before the clause ever existed.
+    let step = proof.remove(del);
+    proof.insert(0, step);
+    assert!(matches!(
+        check_refutation(&proof, &[act2]),
+        Err(CheckError::DeleteMissing { step: 0 })
+    ));
+}
+
+#[test]
+fn delete_of_unknown_clause_rejected() {
+    let mut ck = Checker::new();
+    ck.apply(&ProofStep::Input(vec![Lit::pos(Var(0))])).unwrap();
+    let err = ck.apply(&ProofStep::Delete(vec![Lit::neg(Var(0))]));
+    assert!(matches!(err, Err(CheckError::DeleteMissing { step: 1 })));
+}
+
+#[test]
+fn underived_clause_rejected() {
+    // {a, b} alone does not imply {a}.
+    let mut ck = Checker::new();
+    ck.apply(&ProofStep::Input(vec![Lit::pos(Var(0)), Lit::pos(Var(1))]))
+        .unwrap();
+    let err = ck.apply(&ProofStep::Derived(vec![Lit::pos(Var(0))]));
+    assert!(matches!(err, Err(CheckError::NotImplied { step: 1 })));
+}
+
+#[test]
+fn session_deltas_check_incrementally() {
+    let (mut s, act1, act2) = session_gadget();
+    let mut ck = Checker::new();
+
+    assert_eq!(s.solve_assuming(&[act1]), SolveResult::Unsat);
+    for st in &s.take_proof() {
+        ck.apply(st).unwrap();
+    }
+    let c1 = ck.take_conclusion().expect("goal 1 conclusion");
+    assert!(conclusion_covers(&c1, &[act1]));
+
+    s.retract(act1);
+    assert_eq!(s.solve_assuming(&[act2]), SolveResult::Unsat);
+    let delta = s.take_proof();
+    // The retraction swept goal 1's satisfied gate clauses.
+    assert!(delta.iter().any(|st| matches!(st, ProofStep::Delete(_))));
+    for st in &delta {
+        ck.apply(st).unwrap();
+    }
+    let c2 = ck.take_conclusion().expect("goal 2 conclusion");
+    assert!(conclusion_covers(&c2, &[act2]));
+}
+
+#[test]
+fn conclusion_covers_subset_only() {
+    let a = Lit::pos(Var(0));
+    let b = Lit::pos(Var(1));
+    assert!(conclusion_covers(&[], &[]));
+    assert!(conclusion_covers(&[!a], &[a, b]));
+    assert!(conclusion_covers(&[!a, !b], &[a, b]));
+    assert!(!conclusion_covers(&[a], &[a, b]));
+    assert!(!conclusion_covers(&[!a], &[b]));
+    assert!(!conclusion_covers(&[!a], &[]));
+}
+
+#[test]
+fn hashes_are_stable_and_tamper_sensitive() {
+    let proof = php_certificate(3);
+    let h1 = hash_steps(&proof);
+    let h2 = hash_steps(&proof);
+    assert_eq!(h1, h2);
+    assert_ne!(h1, 0, "0 is reserved for `no certificate`");
+
+    let mut flipped = proof.clone();
+    if let Some(ProofStep::Input(l)) = flipped.first_mut() {
+        l[0] = !l[0];
+    }
+    assert_ne!(hash_steps(&flipped), h1);
+
+    // Chained (session) hashing distinguishes delta order.
+    let (a, b) = proof.split_at(proof.len() / 2);
+    let chained = hash_steps_seeded(hash_steps(a), b);
+    assert_ne!(chained, hash_steps(b));
+}

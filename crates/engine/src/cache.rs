@@ -2,12 +2,24 @@
 //! plus an optional on-disk tier so repeated fig11/ablation runs skip
 //! already-proven obligations.
 //!
-//! Only definitive verdicts are cached: `Proved`, and `Refuted` with its
+//! Only definitive verdicts are cached: `Proved` (with the fingerprint
+//! of its checker-accepted proof certificate), and `Refuted` with its
 //! portable counterexample. `Unknown`/`Interrupted` depend on budgets
 //! and cancellation, so they are never cached. The disk tier stores
-//! proved keys only, in a length-prefixed binary format under
-//! `target/serval-cache/` (env-gated via `SERVAL_CACHE`); a truncated
-//! tail (e.g. after a crash mid-append) is tolerated on load.
+//! proved keys only, in a checksummed length-prefixed binary format
+//! under `target/serval-cache/` (env-gated via `SERVAL_CACHE`).
+//!
+//! A warm hit is treated as a *claim*, not a fact: every disk record
+//! carries a checksum verified on load — a truncated or bit-flipped
+//! record (crash mid-append, disk rot) evicts that record and the tail
+//! behind it, turning corruption into a re-solve instead of a panic or
+//! a silently wrong verdict. When the engine runs certified
+//! (`SERVAL_CERT`), records whose stored certificate fingerprint is 0
+//! (written by an uncertified run) are dropped on load for the same
+//! reason: a hit must never launder an unchecked verdict into a
+//! certified one. Callers evict entries that fail their own semantic
+//! revalidation (e.g. a cached countermodel that no longer evaluates
+//! false on the goal) via [`Cache::evict`].
 
 use crate::solve::PortableModel;
 use std::collections::HashMap;
@@ -20,36 +32,49 @@ use std::sync::Mutex;
 #[derive(Clone, Debug)]
 pub enum CachedVerdict {
     /// The query was proved (assertions unsatisfiable).
-    Proved,
+    Proved {
+        /// Fingerprint of the checker-accepted certificate backing the
+        /// verdict (`serval_drat::hash_steps`); 0 = proved uncertified.
+        cert: u64,
+    },
     /// The query was refuted; the model is over canonical var indices,
     /// so it applies to any query with the same normal form.
     Refuted(PortableModel),
 }
 
-const MAGIC: &[u8; 8] = b"SRVCACH1";
+const MAGIC: &[u8; 8] = b"SRVCACH2";
 
 /// The two-tier cache.
 pub struct Cache {
     mem: Mutex<HashMap<Vec<u8>, CachedVerdict>>,
     disk: Option<PathBuf>,
+    /// Drop proved records without a certificate fingerprint on load.
+    require_cert: bool,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
 impl Cache {
     /// Creates a cache; with `Some(dir)`, proved keys persist to
-    /// `dir/proved.bin` and are preloaded here.
-    pub fn new(disk_dir: Option<PathBuf>) -> Cache {
+    /// `dir/proved.bin` and are preloaded here. With `require_cert`,
+    /// disk records lacking a certificate fingerprint are ignored.
+    pub fn new(disk_dir: Option<PathBuf>, require_cert: bool) -> Cache {
         let mut mem = HashMap::new();
         let disk = disk_dir.map(|d| d.join("proved.bin"));
         if let Some(path) = &disk {
-            for key in load_proved(path) {
-                mem.insert(key, CachedVerdict::Proved);
+            // Later records win: a key re-proven (e.g. after an evict)
+            // overwrites its earlier duplicate here.
+            for (key, cert) in load_proved(path) {
+                if require_cert && cert == 0 {
+                    continue;
+                }
+                mem.insert(key, CachedVerdict::Proved { cert });
             }
         }
         Cache {
             mem: Mutex::new(mem),
             disk,
+            require_cert,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -70,18 +95,34 @@ impl Cache {
         }
     }
 
+    /// Removes `key` after its cached verdict failed revalidation,
+    /// reclassifying the hit its lookup just counted as a miss (the
+    /// caller falls through to a fresh solve). The disk tier is
+    /// append-only; the re-solve's insert appends a superseding record,
+    /// and load's later-record-wins rule retires the bad one.
+    pub fn evict(&self, key: &[u8]) {
+        if self.mem.lock().unwrap().remove(key).is_some() {
+            self.hits.fetch_sub(1, Ordering::Relaxed);
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     /// Records a definitive verdict; proved keys also go to disk when
     /// the disk tier is enabled.
     pub fn insert(&self, key: Vec<u8>, verdict: CachedVerdict) {
+        let cert = match &verdict {
+            CachedVerdict::Proved { cert } => Some(*cert),
+            CachedVerdict::Refuted(_) => None,
+        };
         let fresh = self
             .mem
             .lock()
             .unwrap()
-            .insert(key.clone(), verdict.clone())
+            .insert(key.clone(), verdict)
             .is_none();
-        if fresh && matches!(verdict, CachedVerdict::Proved) {
+        if let (true, Some(cert)) = (fresh, cert) {
             if let Some(path) = &self.disk {
-                append_proved(path, &key);
+                append_proved(path, &key, cert);
             }
         }
     }
@@ -92,6 +133,11 @@ impl Cache {
             self.hits.load(Ordering::Relaxed),
             self.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Whether proved entries must carry a certificate fingerprint.
+    pub fn requires_cert(&self) -> bool {
+        self.require_cert
     }
 
     /// Number of cached entries.
@@ -105,42 +151,87 @@ impl Cache {
     }
 }
 
-/// Loads the proved-key file, stopping at the first malformed record.
-fn load_proved(path: &Path) -> Vec<Vec<u8>> {
+/// FNV-1a-64 over a record's payload, the per-record integrity check.
+fn checksum(len_le: [u8; 4], key: &[u8], cert_le: [u8; 8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&len_le);
+    eat(key);
+    eat(&cert_le);
+    h
+}
+
+/// Loads the proved-key file: `(key, cert_fingerprint)` pairs.
+///
+/// A wrong or missing header means the file is not ours (or hopelessly
+/// damaged): it is deleted outright. A record that fails its framing or
+/// checksum is corruption mid-file: the file is truncated back to the
+/// last good record, evicting the bad tail, and loading stops — the
+/// affected queries simply re-solve and re-append.
+fn load_proved(path: &Path) -> Vec<(Vec<u8>, u64)> {
     let Ok(bytes) = std::fs::read(path) else {
         return Vec::new();
     };
     if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        if !bytes.is_empty() {
+            let _ = std::fs::remove_file(path);
+        }
         return Vec::new();
     }
-    let mut keys = Vec::new();
+    let mut entries = Vec::new();
     let mut at = MAGIC.len();
-    while at + 4 <= bytes.len() {
-        let len = u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap()) as usize;
-        at += 4;
-        if at + len > bytes.len() {
-            break; // truncated tail: keep what we have
+    let mut last_good = at;
+    loop {
+        if at == bytes.len() {
+            return entries; // clean end
         }
-        keys.push(bytes[at..at + len].to_vec());
-        at += len;
+        let ok = (|| {
+            let len_le: [u8; 4] = bytes.get(at..at + 4)?.try_into().ok()?;
+            let len = u32::from_le_bytes(len_le) as usize;
+            let key = bytes.get(at + 4..at + 4 + len)?;
+            let cert_le: [u8; 8] = bytes.get(at + 4 + len..at + 12 + len)?.try_into().ok()?;
+            let sum_le: [u8; 8] = bytes.get(at + 12 + len..at + 20 + len)?.try_into().ok()?;
+            if u64::from_le_bytes(sum_le) != checksum(len_le, key, cert_le) {
+                return None;
+            }
+            entries.push((key.to_vec(), u64::from_le_bytes(cert_le)));
+            Some(at + 20 + len)
+        })();
+        match ok {
+            Some(next) => {
+                at = next;
+                last_good = next;
+            }
+            None => {
+                // Corrupt record: evict it (and the unreachable tail).
+                let _ = std::fs::OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .and_then(|f| f.set_len(last_good as u64));
+                return entries;
+            }
+        }
     }
-    keys
 }
 
-/// Appends one proved key, creating the file (with magic) on first use.
-/// I/O failures only lose persistence, never correctness, so they are
-/// silently ignored.
+/// Appends one proved record, creating the file (with magic) on first
+/// use. I/O failures only lose persistence, never correctness, so they
+/// are silently ignored.
 ///
 /// `create_new` decides atomically who writes the magic header: exactly
 /// one opener wins file creation (and prepends MAGIC to its record);
 /// everyone else sees `AlreadyExists` and appends a plain record. Each
 /// record goes out as a single `O_APPEND` write, so concurrent
 /// processes sharing `SERVAL_CACHE` cannot interleave inside a record.
-fn append_proved(path: &Path, key: &[u8]) {
+fn append_proved(path: &Path, key: &[u8], cert: u64) {
     if let Some(dir) = path.parent() {
         let _ = std::fs::create_dir_all(dir);
     }
-    let mut record = Vec::with_capacity(key.len() + 12);
+    let mut record = Vec::with_capacity(key.len() + 28);
     let mut f = match std::fs::OpenOptions::new()
         .create_new(true)
         .append(true)
@@ -158,7 +249,12 @@ fn append_proved(path: &Path, key: &[u8]) {
         }
         Err(_) => return,
     };
-    record.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    let len_le = (key.len() as u32).to_le_bytes();
+    let cert_le = cert.to_le_bytes();
+    let sum_le = checksum(len_le, key, cert_le).to_le_bytes();
+    record.extend_from_slice(&len_le);
     record.extend_from_slice(key);
+    record.extend_from_slice(&cert_le);
+    record.extend_from_slice(&sum_le);
     let _ = f.write_all(&record);
 }

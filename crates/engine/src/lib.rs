@@ -25,6 +25,7 @@
 //! | `SERVAL_SPLIT`     | `0`/`off` → disable goal conjunction splitting (on by default; see [`form::split_goal`]) |
 //! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
 //! | `SERVAL_PRESOLVE`  | `0`/`off` → disable word-level presolve, handing the solver the raw obligation DAG (on by default; each query's assumption base is otherwise simplified once — equality substitution, known-bits/interval folding, cone-of-influence reduction — and the cache keys on the *simplified* normal form; see [`serval_smt::presolve`]). |
+//! | `SERVAL_CERT`      | `0`/`off` → disable proof certificates (on by default: every solver `Unsat` must present a DRAT-style proof accepted by the independent `serval-drat` checker before it becomes `Proved`; cached `Proved` entries carry the certificate fingerprint and uncertified disk records are ignored; cached `Refuted` hits re-evaluate their stored countermodel against the term semantics and are evicted on mismatch). |
 
 pub mod cache;
 pub mod form;
@@ -39,6 +40,7 @@ pub use form::Query;
 use cache::{Cache, CachedVerdict};
 use form::{prepare, prepare_session, BackMap};
 use pool::Pool;
+use serval_sat::ProofStep;
 use serval_smt::bv::SBool;
 use serval_smt::model::Model;
 use serval_smt::presolve;
@@ -48,6 +50,7 @@ use solve::{solve_one, solve_portfolio, solve_session, PortableModel, RawOutcome
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
@@ -80,6 +83,10 @@ pub struct EngineCfg {
     /// is rewritten against it, and the verdict cache keys on the
     /// simplified normal form. On by default.
     pub presolve: bool,
+    /// Require a checker-accepted DRAT proof certificate before any
+    /// solver `Unsat` becomes `Proved`, and revalidate cached verdicts
+    /// at hit time (see the `SERVAL_CERT` row above). On by default.
+    pub cert: bool,
 }
 
 impl Default for EngineCfg {
@@ -91,13 +98,15 @@ impl Default for EngineCfg {
             split: true,
             incremental: true,
             presolve: true,
+            cert: true,
         }
     }
 }
 
 impl EngineCfg {
     /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, `SERVAL_CACHE`,
-    /// `SERVAL_SPLIT`, `SERVAL_INCREMENTAL`, and `SERVAL_PRESOLVE`.
+    /// `SERVAL_SPLIT`, `SERVAL_INCREMENTAL`, `SERVAL_PRESOLVE`, and
+    /// `SERVAL_CERT`.
     pub fn from_env() -> EngineCfg {
         let jobs = std::env::var("SERVAL_JOBS")
             .ok()
@@ -122,6 +131,9 @@ impl EngineCfg {
             .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
             .unwrap_or(true);
         let presolve = serval_smt::presolve::env_enabled();
+        let cert = std::env::var("SERVAL_CERT")
+            .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+            .unwrap_or(true);
         EngineCfg {
             jobs,
             portfolio,
@@ -129,6 +141,7 @@ impl EngineCfg {
             split,
             incremental,
             presolve,
+            cert,
         }
     }
 }
@@ -155,8 +168,13 @@ pub struct QueryOutcome {
     pub cache_hit: bool,
     /// Which portfolio variant won (0 when portfolio is off).
     pub variant: usize,
-    /// Panic message if the query died on a worker; the verdict is then
-    /// `Unknown`.
+    /// Fingerprint of the checker-accepted proof certificate backing a
+    /// `Proved` verdict (for split queries: the chained fingerprint over
+    /// the per-conjunct certificates). `None` when certification is off
+    /// or the verdict is not `Proved`.
+    pub cert: Option<u64>,
+    /// Panic message if the query died on a worker, or the reason a
+    /// certificate was rejected; the verdict is then `Unknown`.
     pub error: Option<String>,
 }
 
@@ -172,6 +190,18 @@ pub struct Engine {
     split: bool,
     incremental: bool,
     presolve: bool,
+    cert: bool,
+    /// Queries submitted (before trivial/cache short-circuits).
+    submitted: AtomicU64,
+    /// Queries answered `Proved` without solving *or* cache lookup
+    /// because preparation found them trivially unsatisfiable. Cache
+    /// accounting must exclude these: `hits + misses = submitted -
+    /// trivial` on every warm rerun.
+    trivial: AtomicU64,
+    /// Certificates checked and accepted.
+    certs_checked: AtomicU64,
+    /// Certificates rejected (verdict demoted to `Unknown`).
+    certs_rejected: AtomicU64,
 }
 
 impl Engine {
@@ -190,11 +220,16 @@ impl Engine {
         };
         Engine {
             pool: Pool::new(jobs),
-            cache: Cache::new(cfg.disk_cache),
+            cache: Cache::new(cfg.disk_cache, cfg.cert),
             portfolio: cfg.portfolio,
             split: cfg.split,
             incremental: cfg.incremental,
             presolve: cfg.presolve,
+            cert: cfg.cert,
+            submitted: AtomicU64::new(0),
+            trivial: AtomicU64::new(0),
+            certs_checked: AtomicU64::new(0),
+            certs_rejected: AtomicU64::new(0),
         }
     }
 
@@ -219,9 +254,41 @@ impl Engine {
         self.presolve
     }
 
+    /// Whether proof certificates are required.
+    pub fn cert(&self) -> bool {
+        self.cert
+    }
+
     /// Cache (hits, misses) since engine construction.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.stats()
+    }
+
+    /// (submitted, trivially-proved) query counts since construction.
+    /// Trivially-proved queries never consult the cache, so the warm-run
+    /// invariant is `hits = submitted - trivial` (and `misses = 0`).
+    pub fn query_counts(&self) -> (u64, u64) {
+        (
+            self.submitted.load(Ordering::Relaxed),
+            self.trivial.load(Ordering::Relaxed),
+        )
+    }
+
+    /// (accepted, rejected) certificate counts since construction.
+    pub fn cert_counts(&self) -> (u64, u64) {
+        (
+            self.certs_checked.load(Ordering::Relaxed),
+            self.certs_rejected.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Tallies one raw outcome's certificate fate.
+    fn count_cert(&self, cert_hash: u64, cert_error: &Option<String>) {
+        if cert_error.is_some() {
+            self.certs_rejected.fetch_add(1, Ordering::Relaxed);
+        } else if cert_hash != 0 {
+            self.certs_checked.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Discharges one query (see [`Engine::submit_batch`]).
@@ -291,6 +358,7 @@ impl Engine {
         let debug = std::env::var("SERVAL_ENGINE_DEBUG").is_ok();
         let t_prep = std::time::Instant::now();
         let n = queries.len();
+        self.submitted.fetch_add(n as u64, Ordering::Relaxed);
         let mut slots: Vec<Option<QueryOutcome>> = (0..n).map(|_| None).collect();
 
         // Word-level presolve: simplify each query before normalization,
@@ -366,11 +434,12 @@ impl Engine {
          -> usize {
             let core = Arc::new(core);
             let portfolio = self.portfolio;
+            let cert = self.cert;
             tasks.push(Box::new(move || {
                 vec![if portfolio {
-                    solve_portfolio(&core, cfg, None)
+                    solve_portfolio(&core, cfg, None, cert)
                 } else {
-                    solve_one(&core, cfg, None)
+                    solve_one(&core, cfg, None, cert)
                 }]
             }));
             tasks.len() - 1
@@ -422,6 +491,12 @@ impl Engine {
         for (i, q) in queries.into_iter().enumerate() {
             let prepared = prepare(&q.assumptions, q.goal);
             if prepared.core.trivially_unsat {
+                // Never consults the cache, so cache accounting must not
+                // count it (see [`Engine::query_counts`]). Even this fast
+                // path's certificate is checker-backed: the canonical
+                // two-step refutation of a formula containing the empty
+                // clause.
+                self.trivial.fetch_add(1, Ordering::Relaxed);
                 slots[i] = Some(QueryOutcome {
                     label: q.label,
                     result: VerifyResult::Proved,
@@ -429,11 +504,29 @@ impl Engine {
                     wall: Duration::ZERO,
                     cache_hit: false,
                     variant: 0,
+                    cert: self.cert.then(trivial_cert_hash),
                     error: None,
                 });
                 continue;
             }
-            if let Some(cached) = self.cache.lookup(&prepared.key) {
+            let mut cached = self.cache.lookup(&prepared.key);
+            if self.cert {
+                // A warm `Refuted` hit is a claim: re-evaluate the stored
+                // countermodel against the term semantics, and evict the
+                // entry (falling through to a fresh solve) if it no
+                // longer refutes this query.
+                if let Some(CachedVerdict::Refuted(pm)) = &cached {
+                    if !countermodel_valid(pm, &prepared.backmap, &q.assumptions, q.goal) {
+                        self.cache.evict(&prepared.key);
+                        cached = None;
+                    }
+                }
+            }
+            if let Some(cached) = cached {
+                let cert = match &cached {
+                    CachedVerdict::Proved { cert } => (*cert != 0).then_some(*cert),
+                    CachedVerdict::Refuted(_) => None,
+                };
                 slots[i] = Some(QueryOutcome {
                     label: q.label,
                     result: rehydrate(cached, &prepared.backmap),
@@ -441,6 +534,7 @@ impl Engine {
                     wall: Duration::ZERO,
                     cache_hit: true,
                     variant: 0,
+                    cert,
                     error: None,
                 });
                 continue;
@@ -456,11 +550,24 @@ impl Engine {
                     let sp = prepare(&q.assumptions, c);
                     if sp.core.trivially_unsat {
                         subs.push(Sub::Ready {
-                            verdict: CachedVerdict::Proved,
+                            verdict: CachedVerdict::Proved {
+                                cert: if self.cert { trivial_cert_hash() } else { 0 },
+                            },
                             backmap: sp.backmap,
                             hit: false,
                         });
-                    } else if let Some(cached) = self.cache.lookup(&sp.key) {
+                        continue;
+                    }
+                    let mut cached = self.cache.lookup(&sp.key);
+                    if self.cert {
+                        if let Some(CachedVerdict::Refuted(pm)) = &cached {
+                            if !countermodel_valid(pm, &sp.backmap, &q.assumptions, c) {
+                                self.cache.evict(&sp.key);
+                                cached = None;
+                            }
+                        }
+                    }
+                    if let Some(cached) = cached {
                         subs.push(Sub::Ready {
                             verdict: cached,
                             backmap: sp.backmap,
@@ -504,6 +611,7 @@ impl Engine {
                 wall: Duration::ZERO,
                 cache_hit: false,
                 variant: 0,
+                cert: None,
                 error: None,
             });
         }
@@ -518,7 +626,8 @@ impl Engine {
             group_backmaps.push(sp.backmap);
             let core = Arc::new(sp.core);
             let cfg = g.cfg;
-            tasks.push(Box::new(move || solve_session(&core, cfg, None)));
+            let cert = self.cert;
+            tasks.push(Box::new(move || solve_session(&core, cfg, None, cert)));
             group_tasks.push(tasks.len() - 1);
         }
 
@@ -559,13 +668,17 @@ impl Engine {
                             slot.error = Some(msg.clone());
                         }
                         Ok(outs) => {
-                            let RawOutcome { verdict, stats, variant } = outs[idx].clone();
+                            let RawOutcome { verdict, stats, variant, cert_hash, cert_error } =
+                                outs[idx].clone();
                             slot.stats = Some(stats);
                             slot.wall = stats.wall;
                             slot.variant = variant;
+                            self.count_cert(cert_hash, &cert_error);
                             match verdict {
                                 RawVerdict::Proved => {
-                                    self.cache.insert(key, CachedVerdict::Proved);
+                                    self.cache
+                                        .insert(key, CachedVerdict::Proved { cert: cert_hash });
+                                    slot.cert = (cert_hash != 0).then_some(cert_hash);
                                     slot.result = VerifyResult::Proved;
                                 }
                                 RawVerdict::Refuted(pm) => {
@@ -582,7 +695,12 @@ impl Engine {
                                     ));
                                     self.cache.insert(key, CachedVerdict::Refuted(pm));
                                 }
-                                RawVerdict::Unknown => slot.result = VerifyResult::Unknown,
+                                RawVerdict::Unknown => {
+                                    slot.result = VerifyResult::Unknown;
+                                    if slot.error.is_none() {
+                                        slot.error = cert_error;
+                                    }
+                                }
                                 RawVerdict::Interrupted => {
                                     slot.result = VerifyResult::Interrupted
                                 }
@@ -599,14 +717,18 @@ impl Engine {
                     let mut refuted: Option<Model> = None;
                     let mut any_unknown = false;
                     let mut error: Option<String> = None;
+                    let mut sub_certs: Vec<u64> = Vec::new();
                     for sub in subs {
                         match sub {
                             Sub::Ready { verdict, backmap, hit } => {
                                 all_hit &= hit;
-                                if let CachedVerdict::Refuted(pm) = verdict {
-                                    all_proved = false;
-                                    if refuted.is_none() {
-                                        refuted = Some(portable_to_model(&pm, &backmap));
+                                match verdict {
+                                    CachedVerdict::Proved { cert } => sub_certs.push(cert),
+                                    CachedVerdict::Refuted(pm) => {
+                                        all_proved = false;
+                                        if refuted.is_none() {
+                                            refuted = Some(portable_to_model(&pm, &backmap));
+                                        }
                                     }
                                 }
                             }
@@ -622,14 +744,24 @@ impl Engine {
                                         }
                                     }
                                     Ok(outs) => {
-                                        let RawOutcome { verdict, stats, .. } =
-                                            outs[idx].clone();
+                                        let RawOutcome {
+                                            verdict,
+                                            stats,
+                                            cert_hash,
+                                            cert_error,
+                                            ..
+                                        } = outs[idx].clone();
                                         solved_any = true;
                                         agg = add_stats(agg, stats);
                                         wall = wall.max(stats.wall);
+                                        self.count_cert(cert_hash, &cert_error);
                                         match verdict {
                                             RawVerdict::Proved => {
-                                                self.cache.insert(key, CachedVerdict::Proved);
+                                                self.cache.insert(
+                                                    key,
+                                                    CachedVerdict::Proved { cert: cert_hash },
+                                                );
+                                                sub_certs.push(cert_hash);
                                             }
                                             RawVerdict::Refuted(pm) => {
                                                 let pm = match sgroup {
@@ -652,6 +784,9 @@ impl Engine {
                                             RawVerdict::Unknown => {
                                                 all_proved = false;
                                                 any_unknown = true;
+                                                if error.is_none() {
+                                                    error = cert_error;
+                                                }
                                             }
                                             RawVerdict::Interrupted => {
                                                 all_proved = false;
@@ -671,8 +806,18 @@ impl Engine {
                         VerifyResult::Counterexample(Box::new(model))
                     } else if all_proved {
                         // The conjunction itself is now a proved key, so
-                        // future runs hit on the whole goal directly.
-                        self.cache.insert(whole_key, CachedVerdict::Proved);
+                        // future runs hit on the whole goal directly. Its
+                        // certificate is the chained fingerprint over the
+                        // per-conjunct certificates — nonzero only when
+                        // every conjunct was itself certified.
+                        let combined = if self.cert && sub_certs.iter().all(|&h| h != 0) {
+                            combine_cert_hashes(&sub_certs)
+                        } else {
+                            0
+                        };
+                        self.cache
+                            .insert(whole_key, CachedVerdict::Proved { cert: combined });
+                        out.cert = (combined != 0).then_some(combined);
                         VerifyResult::Proved
                     } else if any_unknown {
                         VerifyResult::Unknown
@@ -759,8 +904,57 @@ fn add_stats(a: QueryStats, b: QueryStats) -> QueryStats {
         presolve_terms_out: a.presolve_terms_out + b.presolve_terms_out,
         presolve_vars_in: a.presolve_vars_in + b.presolve_vars_in,
         presolve_vars_out: a.presolve_vars_out + b.presolve_vars_out,
+        cert_steps: a.cert_steps + b.cert_steps,
+        cert_wall: a.cert_wall + b.cert_wall,
         wall: a.wall + b.wall,
     }
+}
+
+/// Fingerprint of the canonical two-step refutation `[Input([]),
+/// Derived([])]` attached to trivially-unsat fast-path verdicts. The
+/// steps are run through the real checker once per process, so even the
+/// fast path's certificate is checker-backed (and its hash agrees with
+/// the solver layer's own const-false short-circuit).
+fn trivial_cert_hash() -> u64 {
+    static HASH: OnceLock<u64> = OnceLock::new();
+    *HASH.get_or_init(|| {
+        let steps = [ProofStep::Input(Vec::new()), ProofStep::Derived(Vec::new())];
+        serval_drat::check_refutation(&steps, &[])
+            .expect("the canonical trivial refutation always checks");
+        serval_drat::hash_steps(&steps)
+    })
+}
+
+/// Chains per-conjunct certificate fingerprints into one fingerprint for
+/// the whole split goal (FNV-1a over the hashes in conjunct order; 0 is
+/// reserved for "uncertified", so a zero digest is nudged to 1).
+fn combine_cert_hashes(hashes: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for x in hashes {
+        for b in x.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Re-evaluates a cached countermodel against the query it claims to
+/// refute: every assumption must evaluate true and the goal false under
+/// the stored assignment (missing variables default like the solver's
+/// don't-cares). A cache entry failing this check is corrupt or stale
+/// and must be evicted, never returned.
+fn countermodel_valid(
+    pm: &PortableModel,
+    backmap: &BackMap,
+    assumptions: &[SBool],
+    goal: SBool,
+) -> bool {
+    let m = portable_to_model(pm, backmap);
+    assumptions.iter().all(|a| m.eval_bool(a.0)) && !m.eval_bool(goal.0)
 }
 
 /// Renumbers a portable model from one back map's canonical indices to
@@ -813,7 +1007,7 @@ fn remap_portable(pm: &PortableModel, from: &BackMap, to: &BackMap) -> PortableM
 /// Translates a cached verdict into the caller's term context.
 fn rehydrate(cached: CachedVerdict, backmap: &BackMap) -> VerifyResult {
     match cached {
-        CachedVerdict::Proved => VerifyResult::Proved,
+        CachedVerdict::Proved { .. } => VerifyResult::Proved,
         CachedVerdict::Refuted(pm) => {
             VerifyResult::Counterexample(Box::new(portable_to_model(&pm, backmap)))
         }

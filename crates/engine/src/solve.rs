@@ -6,11 +6,11 @@
 use crate::form::{rebuild, rebuild_session, FormCore, SessionCore};
 use serval_smt::model::Model;
 use serval_smt::session::Session;
-use serval_smt::solver::{check_full, CheckResult, QueryStats, SolverConfig};
+use serval_smt::solver::{check_full, check_full_proof, CheckResult, QueryStats, SolverConfig};
 use serval_smt::term::{reset_ctx, Sort, TermId, UfId};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A model expressed over canonical var/UF indices — valid on any
 /// thread, for any query with the same normal form.
@@ -46,9 +46,20 @@ pub struct RawOutcome {
     pub stats: QueryStats,
     /// Which portfolio variant produced the verdict (0 = base config).
     pub variant: usize,
+    /// Fingerprint of the checker-accepted proof certificate backing a
+    /// `Proved` verdict (0 = uncertified).
+    pub cert_hash: u64,
+    /// Why certificate checking demoted a solver `Unsat` to `Unknown`,
+    /// if it did.
+    pub cert_error: Option<String>,
 }
 
 /// Solves `core` under one configuration in a fresh term context.
+///
+/// With `cert` on, the solver logs a DRAT-style proof and an `Unsat`
+/// answer is upgraded to `Proved` only after the independent checker
+/// (`serval-drat`) accepts the certificate; a rejected certificate
+/// demotes the verdict to `Unknown` and reports why in `cert_error`.
 ///
 /// Must run on a thread whose term context is disposable (a pool worker
 /// or a portfolio thread): the context is reset first.
@@ -56,11 +67,29 @@ pub fn solve_one(
     core: &FormCore,
     cfg: SolverConfig,
     cancel: Option<Arc<AtomicBool>>,
+    cert: bool,
 ) -> RawOutcome {
     reset_ctx();
     let rq = rebuild(core);
-    let out = check_full(cfg, &rq.roots, cancel);
+    let out = if cert {
+        check_full_proof(cfg, &rq.roots, cancel)
+    } else {
+        check_full(cfg, &rq.roots, cancel)
+    };
+    let mut stats = out.stats;
+    let mut cert_hash = 0u64;
+    let mut cert_error: Option<String> = None;
+    if let (CheckResult::Unsat, Some(proof)) = (&out.result, &out.proof) {
+        let t0 = Instant::now();
+        match serval_drat::check_refutation(proof, &[]) {
+            Ok(()) => cert_hash = serval_drat::hash_steps(proof),
+            Err(e) => cert_error = Some(e.to_string()),
+        }
+        stats.cert_steps = proof.len() as u64;
+        stats.cert_wall = t0.elapsed();
+    }
     let verdict = match out.result {
+        CheckResult::Unsat if cert_error.is_some() => RawVerdict::Unknown,
         CheckResult::Unsat => RawVerdict::Proved,
         CheckResult::Unknown => RawVerdict::Unknown,
         CheckResult::Interrupted => RawVerdict::Interrupted,
@@ -71,11 +100,7 @@ pub fn solve_one(
             &rq.uf_ids,
         )),
     };
-    RawOutcome {
-        verdict,
-        stats: out.stats,
-        variant: 0,
-    }
+    RawOutcome { verdict, stats, variant: 0, cert_hash, cert_error }
 }
 
 /// Projects a worker-side [`Model`] onto canonical var/UF indices so it
@@ -121,12 +146,23 @@ fn portable_of_model(
 /// [`RawVerdict::Interrupted`] without solving: the cancel flag is
 /// sticky, so re-asking the dead solver would only burn time.
 ///
+/// With `cert` on, one live `serval-drat` checker consumes each goal's
+/// proof-log delta in order: the checker's clause database mirrors the
+/// session solver's (modulo clauses it keeps longer), so a goal's
+/// `Unsat` is upgraded to `Proved` only if its delta checks out *and*
+/// concludes in a clause over the goal's negated activation literal.
+/// A single rejected step poisons certification for every later goal
+/// (the databases have diverged) — their `Unsat` answers demote to
+/// `Unknown` with the sticky error. Each goal's `cert_hash` chains over
+/// all deltas so far, fingerprinting the whole prefix its proof rests on.
+///
 /// Must run on a thread whose term context is disposable (a pool
 /// worker): the context is reset first.
 pub fn solve_session(
     core: &SessionCore,
     cfg: SolverConfig,
     cancel: Option<Arc<AtomicBool>>,
+    cert: bool,
 ) -> Vec<RawOutcome> {
     reset_ctx();
     let rq = rebuild_session(core);
@@ -134,6 +170,7 @@ pub fn solve_session(
     // The engine presolves queries caller-side, before forming session
     // cores; presolving the rebuilt core again would be wasted work.
     session.set_presolve(false);
+    session.set_proof_logging(cert);
     for &a in &rq.base {
         session.assume(a);
     }
@@ -141,6 +178,9 @@ pub fn solve_session(
     // terms after their last use — purging dead goals' gate clauses
     // keeps long sessions' watch lists near the live-cone size.
     session.plan_goals(&rq.neg_goals);
+    let mut checker = serval_drat::Checker::new();
+    let mut checker_err: Option<String> = None;
+    let mut running_hash = serval_drat::hash_steps(&[]);
     let mut out = Vec::with_capacity(rq.neg_goals.len());
     let mut dead = false;
     for &ng in &rq.neg_goals {
@@ -149,11 +189,50 @@ pub fn solve_session(
                 verdict: RawVerdict::Interrupted,
                 stats: QueryStats::default(),
                 variant: 0,
+                cert_hash: 0,
+                cert_error: None,
             });
             continue;
         }
         let so = session.solve_negated(ng);
+        let mut stats = so.stats;
+        let mut cert_hash = 0u64;
+        let mut cert_error: Option<String> = None;
+        if let Some(proof) = &so.proof {
+            let t0 = Instant::now();
+            if checker_err.is_none() {
+                for st in &proof.steps {
+                    if let Err(e) = checker.apply(st) {
+                        checker_err = Some(e.to_string());
+                        break;
+                    }
+                }
+            }
+            // Every goal drains the conclusion, so a goal that derives
+            // nothing cannot inherit its predecessor's.
+            let conclusion = checker.take_conclusion();
+            running_hash = serval_drat::hash_steps_seeded(running_hash, &proof.steps);
+            if matches!(so.result, CheckResult::Unsat) {
+                match (&checker_err, proof.act) {
+                    (Some(e), _) => cert_error = Some(e.clone()),
+                    // Constant-false goal: no derived conclusion needed.
+                    (None, None) => cert_hash = running_hash,
+                    (None, Some(act)) => match conclusion {
+                        Some(conc) if serval_drat::conclusion_covers(&conc, &[act]) => {
+                            cert_hash = running_hash;
+                        }
+                        _ => {
+                            cert_error =
+                                Some("session goal concluded no clause over !act".to_string());
+                        }
+                    },
+                }
+            }
+            stats.cert_steps = proof.steps.len() as u64;
+            stats.cert_wall = t0.elapsed();
+        }
         let verdict = match so.result {
+            CheckResult::Unsat if cert_error.is_some() => RawVerdict::Unknown,
             CheckResult::Unsat => RawVerdict::Proved,
             CheckResult::Unknown => RawVerdict::Unknown,
             CheckResult::Interrupted => {
@@ -167,11 +246,7 @@ pub fn solve_session(
                 &rq.uf_ids,
             )),
         };
-        out.push(RawOutcome {
-            verdict,
-            stats: so.stats,
-            variant: 0,
-        });
+        out.push(RawOutcome { verdict, stats, variant: 0, cert_hash, cert_error });
     }
     out
 }
@@ -213,6 +288,7 @@ pub fn solve_portfolio(
     core: &FormCore,
     base: SolverConfig,
     cancel: Option<Arc<AtomicBool>>,
+    cert: bool,
 ) -> RawOutcome {
     let variants = portfolio_variants(base);
     let done = Arc::new(AtomicBool::new(false));
@@ -246,7 +322,9 @@ pub fn solve_portfolio(
             let core = &core;
             let vcfg = *vcfg;
             s.spawn(move || {
-                let mut out = solve_one(core, vcfg, Some(Arc::clone(&done)));
+                // Certificate checking runs inside solve_one, so a
+                // variant only wins the race with a *checked* proof.
+                let mut out = solve_one(core, vcfg, Some(Arc::clone(&done)), cert);
                 out.variant = vi;
                 match out.verdict {
                     RawVerdict::Proved | RawVerdict::Refuted(_) => {
@@ -276,5 +354,7 @@ pub fn solve_portfolio(
             verdict: RawVerdict::Interrupted,
             stats: QueryStats::default(),
             variant: 0,
+            cert_hash: 0,
+            cert_error: None,
         })
 }

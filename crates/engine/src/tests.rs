@@ -16,6 +16,7 @@ fn local_engine(jobs: usize) -> Engine {
         split: true,
         incremental: true,
         presolve: true,
+        cert: true,
     })
 }
 
@@ -29,6 +30,7 @@ fn local_engine_fresh(jobs: usize) -> Engine {
         split: true,
         incremental: false,
         presolve: true,
+        cert: true,
     })
 }
 
@@ -338,6 +340,7 @@ fn disk_cache_survives_engine_restarts() {
             split: true,
             incremental: true,
             presolve: true,
+            cert: true,
         })
     };
     let first = mk_engine();
@@ -353,6 +356,319 @@ fn disk_cache_survives_engine_restarts() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Unique scratch dir for a disk-cache test.
+fn scratch_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "serval-engine-test-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn corrupted_disk_cache_is_a_miss_not_a_panic() {
+    reset_ctx();
+    let dir = scratch_dir("corrupt");
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let mk_engine = || {
+        Engine::new(EngineCfg {
+            jobs: 1,
+            portfolio: false,
+            disk_cache: Some(dir.clone()),
+            split: true,
+            incremental: true,
+            presolve: true,
+            cert: true,
+        })
+    };
+    let goal = (x & y).ule(x);
+    let o = mk_engine().submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    let path = dir.join("proved.bin");
+    let pristine = std::fs::read(&path).expect("proved key persisted");
+    assert!(pristine.len() > 8, "file must hold magic + a record");
+
+    // Truncated record (crash mid-append): load must drop it and the
+    // query must re-solve to the same verdict — never panic.
+    std::fs::write(&path, &pristine[..pristine.len() - 3]).unwrap();
+    let engine = mk_engine();
+    let o = engine.submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(!o.cache_hit, "truncated record must be a miss");
+    drop(engine); // its re-solve re-appended the record
+
+    // Bit-flipped record body: the checksum catches it, same outcome.
+    let mut flipped = std::fs::read(&path).unwrap();
+    let mid = 8 + (flipped.len() - 8) / 2;
+    flipped[mid] ^= 0x40;
+    std::fs::write(&path, &flipped).unwrap();
+    let o = mk_engine().submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(!o.cache_hit, "bit-flipped record must be a miss");
+
+    // Garbage header: not our file — deleted and rebuilt from scratch.
+    std::fs::write(&path, b"not a serval cache file").unwrap();
+    let o = mk_engine().submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(!o.cache_hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn uncertified_disk_records_are_ignored_by_certified_engines() {
+    reset_ctx();
+    let dir = scratch_dir("uncert");
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let mk_engine = |cert: bool| {
+        Engine::new(EngineCfg {
+            jobs: 1,
+            portfolio: false,
+            disk_cache: Some(dir.clone()),
+            split: true,
+            incremental: true,
+            presolve: true,
+            cert,
+        })
+    };
+    let goal = ((x & y) + (x | y)).eq_(x + y);
+    let o = mk_engine(false).submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(o.cert.is_none(), "uncertified run carries no fingerprint");
+
+    // A certified engine must not launder the unchecked record into a
+    // certified verdict: the warm "hit" is dropped on load, the query
+    // re-solves, and the outcome now carries a certificate.
+    let o = mk_engine(true).submit(q("p", vec![], goal));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(!o.cache_hit, "uncertified record must not hit a certified engine");
+    assert!(o.cert.is_some(), "re-solve must produce a certificate");
+
+    // And the certified re-append is visible to the next certified run.
+    let o = mk_engine(true).submit(q("p", vec![], goal));
+    assert!(o.cache_hit);
+    assert!(o.cert.is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_refuted_entry_is_evicted_and_resolved() {
+    use crate::cache::CachedVerdict;
+    use crate::form::prepare;
+    use crate::solve::PortableModel;
+
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    // Presolve off so the key computed here matches the engine's (the
+    // engine keys on the presolved form).
+    let engine = local_engine_raw(1, true);
+    // Provable goal; poison its cache slot with a bogus "countermodel".
+    let goal = (x & y).ule(x);
+    let prepared = prepare(&[], goal);
+    let mut bogus = PortableModel::default();
+    for (i, _) in prepared.backmap.vars.iter().enumerate() {
+        bogus.bvs.push((i as u32, 7));
+    }
+    engine
+        .cache
+        .insert(prepared.key.clone(), CachedVerdict::Refuted(bogus));
+    // The hit revalidates the stored model against the term semantics,
+    // finds it does not refute the goal, evicts, and re-solves.
+    let o = engine.submit(q("p", vec![], goal));
+    assert!(
+        matches!(o.result, VerifyResult::Proved),
+        "poisoned Refuted entry must not surface, got {:?}",
+        o.result
+    );
+    assert!(!o.cache_hit, "the eviction reclassifies the hit as a miss");
+    assert!(o.cert.is_some(), "the re-solve is certified");
+    // The poisoned entry is gone: the slot now holds the proved verdict.
+    let o = engine.submit(q("p", vec![], goal));
+    assert!(o.cache_hit);
+    assert!(matches!(o.result, VerifyResult::Proved));
+}
+
+#[test]
+fn genuine_refuted_entries_survive_revalidation() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let engine = local_engine(1);
+    let goal = x.ule(y);
+    let cold = engine.submit(q("r", vec![], goal));
+    assert!(matches!(cold.result, VerifyResult::Counterexample(_)));
+    // The genuine countermodel passes revalidation and hits.
+    let warm = engine.submit(q("r", vec![], goal));
+    assert!(warm.cache_hit, "a valid Refuted entry must still hit");
+    let VerifyResult::Counterexample(m) = &warm.result else {
+        panic!("expected counterexample, got {:?}", warm.result);
+    };
+    assert!(!m.eval_bool(goal.0));
+}
+
+// -----------------------------------------------------------------
+// Proof certificates
+// -----------------------------------------------------------------
+
+/// Engine over the full cfg matrix axis used by the cert tests.
+fn cert_matrix_engine(incremental: bool, split: bool, presolve: bool, cert: bool) -> Engine {
+    Engine::new(EngineCfg {
+        jobs: 2,
+        portfolio: false,
+        disk_cache: None,
+        split,
+        incremental,
+        presolve,
+        cert,
+    })
+}
+
+#[test]
+fn proved_outcomes_carry_certificates() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let engine = local_engine(2);
+    // Presolve-resistant identities, so the proofs come from real solves.
+    let unit = ((x & y) + (x | y)).eq_(x + y);
+    let conj = unit & (x ^ y).eq_((x | y) & !(x & y));
+    assert!(split_goal(conj, 512).len() >= 2);
+    let out = engine.submit_batch(vec![
+        q("unit", vec![], unit),
+        q("conj", vec![], conj),
+        q("refuted", vec![], x.eq_(y)),
+    ]);
+    assert!(matches!(out[0].result, VerifyResult::Proved));
+    assert!(out[0].cert.is_some(), "unit proof must carry a certificate");
+    assert!(matches!(out[1].result, VerifyResult::Proved));
+    assert!(out[1].cert.is_some(), "split proof must carry a combined certificate");
+    assert!(out[2].cert.is_none(), "refuted outcomes carry none");
+    let (checked, rejected) = engine.cert_counts();
+    assert!(checked > 0, "certificates must actually have been checked");
+    assert_eq!(rejected, 0);
+    // Checker work is visible in the stats.
+    let s = out[0].stats.expect("solved query has stats");
+    assert!(s.cert_steps > 0, "proof log must be non-empty");
+}
+
+#[test]
+fn cert_on_and_off_verdicts_agree_across_the_matrix() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let asms = vec![x.ult(BV::lit(16, 1000)), y.uge(BV::lit(16, 4))];
+    let queries = || {
+        vec![
+            q("p-unit", asms.clone(), (x & y).ule(x)),
+            q("r-unit", asms.clone(), x.ult(y)),
+            q(
+                "p-conj",
+                asms.clone(),
+                (x & y).ule(x) & x.ult(BV::lit(16, 1001)) & y.uge(BV::lit(16, 3)),
+            ),
+            q("r-conj", asms.clone(), (x | y).uge(x) & x.eq_(y)),
+            q("p-alone", vec![y.ult(BV::lit(16, 9))], y.ule(BV::lit(16, 8))),
+            q("p-trivial", vec![x.ult(BV::lit(16, 0))], x.eq_(y)),
+        ]
+    };
+    for incremental in [false, true] {
+        for split in [false, true] {
+            for presolve in [false, true] {
+                let on = cert_matrix_engine(incremental, split, presolve, true)
+                    .submit_batch(queries());
+                let off = cert_matrix_engine(incremental, split, presolve, false)
+                    .submit_batch(queries());
+                for (a, b) in on.iter().zip(&off) {
+                    assert_eq!(
+                        a.result.is_proved(),
+                        b.result.is_proved(),
+                        "cert on/off verdict mismatch on {} (incremental={incremental}, \
+                         split={split}, presolve={presolve})",
+                        a.label
+                    );
+                    assert!(
+                        a.error.is_none(),
+                        "certified {} unexpectedly errored: {:?}",
+                        a.label,
+                        a.error
+                    );
+                    if a.result.is_proved() {
+                        assert!(a.cert.is_some(), "{} lacks a certificate", a.label);
+                        assert!(b.cert.is_none(), "{} certified with cert off", b.label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random query batches across the full discharge-mode matrix
+    /// (session/fresh × split/unsplit × presolve on/off): certification
+    /// must be invisible in verdicts — `SERVAL_CERT=1` and `=0` agree on
+    /// every outcome — and every certified `Proved` must actually carry
+    /// a checker-accepted certificate.
+    #[test]
+    fn prop_cert_on_off_verdicts_agree(
+        c0 in any::<u8>(),
+        c1 in any::<u8>(),
+        picks in prop::collection::vec(any::<u8>(), 1..4),
+    ) {
+        reset_ctx();
+        let x = BV::fresh(16, "x");
+        let y = BV::fresh(16, "y");
+        let asms = vec![
+            x.ult(BV::lit(16, 1 + c0 as u128)),
+            y.uge(BV::lit(16, (c1 % 16) as u128)),
+        ];
+        let menu = |p: u8| -> SBool {
+            match p % 6 {
+                0 => ((x & y) + (x | y)).eq_(x + y),
+                1 => x.ult(y),
+                2 => (x ^ y).eq_((x | y) & !(x & y)),
+                3 => x.eq_(y),
+                4 => (x & y).ule(x) & x.ule(x | y),
+                _ => (x + y).uge(x),
+            }
+        };
+        let queries = || -> Vec<Query> {
+            picks
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| q(&format!("q{i}"), asms.clone(), menu(p)))
+                .collect()
+        };
+        for incremental in [false, true] {
+            for split in [false, true] {
+                for presolve in [false, true] {
+                    let on = cert_matrix_engine(incremental, split, presolve, true)
+                        .submit_batch(queries());
+                    let off = cert_matrix_engine(incremental, split, presolve, false)
+                        .submit_batch(queries());
+                    for (a, b) in on.iter().zip(&off) {
+                        prop_assert_eq!(
+                            a.result.is_proved(),
+                            b.result.is_proved(),
+                            "cert on/off mismatch on {} (incremental={}, split={}, presolve={})",
+                            &a.label, incremental, split, presolve
+                        );
+                        prop_assert!(a.error.is_none());
+                        if a.result.is_proved() {
+                            prop_assert!(a.cert.is_some());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn portfolio_agrees_with_single_config() {
     reset_ctx();
@@ -366,6 +682,7 @@ fn portfolio_agrees_with_single_config() {
         split: true,
         incremental: true,
         presolve: true,
+        cert: true,
     });
     let make = || {
         vec![
@@ -407,7 +724,7 @@ fn portfolio_external_cancel_interrupts_mid_solve() {
             cancel.store(true, Ordering::Relaxed);
         })
     };
-    let out = solve_portfolio(&prepared.core, SolverConfig::default(), Some(cancel));
+    let out = solve_portfolio(&prepared.core, SolverConfig::default(), Some(cancel), false);
     killer.join().unwrap();
     assert!(
         matches!(out.verdict, RawVerdict::Interrupted),
@@ -444,6 +761,7 @@ fn local_engine_unsplit(jobs: usize) -> Engine {
         split: false,
         incremental: true,
         presolve: true,
+        cert: true,
     })
 }
 
@@ -666,6 +984,7 @@ fn local_engine_raw(jobs: usize, incremental: bool) -> Engine {
         split: true,
         incremental,
         presolve: false,
+        cert: true,
     })
 }
 

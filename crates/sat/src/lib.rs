@@ -33,9 +33,11 @@
 
 mod heap;
 mod luby;
+mod proof;
 mod solver;
 mod types;
 
+pub use proof::ProofStep;
 pub use solver::{Solver, SolverStats};
 pub use types::{Lit, SolveResult, Var};
 

@@ -1,0 +1,52 @@
+//! DRAT-style proof logging types.
+//!
+//! When proof logging is enabled (see [`crate::Solver::set_proof_logging`]),
+//! the solver records every clause it adds, derives, or deletes as a
+//! [`ProofStep`]. An `Unsat` answer is then backed by a *certificate*: the
+//! ordered step log, ending in a derived clause that contains only negated
+//! assumption literals (the empty clause when solving without assumptions).
+//! The `serval-drat` crate checks such certificates by reverse unit
+//! propagation, independently of the solver's own data structures.
+//!
+//! The logging discipline mirrors drat-trim's input conventions:
+//!
+//! - `Input` steps are taken on faith — they *are* the formula whose
+//!   unsatisfiability the certificate claims. This includes activation-
+//!   literal retraction units (`!act` asserted by [`crate::Solver::retract`]):
+//!   an incremental session's per-goal claim is phrased over the inputs
+//!   logged so far, so the retraction unit is part of the formula for
+//!   every later goal.
+//! - `Derived` steps must each be implied by the clauses currently in the
+//!   checker's database (reverse unit propagation); this covers learnt
+//!   clauses (including ccmin-2-minimized ones), input clauses strengthened
+//!   by level-0 literal elimination, assumption-core conflict clauses, and
+//!   the empty clause.
+//! - `Delete` steps must name a clause previously added and not yet
+//!   deleted; the checker drops it. Unit propagation already performed
+//!   stays in force (the drat-trim convention), so deletions can only make
+//!   later `Derived` checks *harder*, never unsound.
+
+use crate::types::Lit;
+
+/// One entry in a solver's proof log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProofStep {
+    /// A clause asserted from outside (part of the formula being refuted).
+    /// The empty input clause encodes a constant-false assertion.
+    Input(Vec<Lit>),
+    /// A clause the solver claims follows from the database (checked by
+    /// reverse unit propagation).
+    Derived(Vec<Lit>),
+    /// A clause removed from the database (`simplify`, `purge_vars`,
+    /// `reduce_db` sweeps).
+    Delete(Vec<Lit>),
+}
+
+impl ProofStep {
+    /// The step's literals, regardless of kind.
+    pub fn lits(&self) -> &[Lit] {
+        match self {
+            ProofStep::Input(l) | ProofStep::Derived(l) | ProofStep::Delete(l) => l,
+        }
+    }
+}

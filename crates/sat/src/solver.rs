@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::heap::VarHeap;
 use crate::luby::luby;
+use crate::proof::ProofStep;
 use crate::types::{LBool, Lit, SolveResult, Var};
 
 /// Reference to a clause in the solver's arena.
@@ -107,6 +108,9 @@ pub struct Solver {
     /// sessions use this to keep the search inside the cone of the
     /// current goal, skipping retired goals' dead gate variables.
     decision_scope: Option<Vec<bool>>,
+    /// DRAT-style proof log; `None` = logging off (see
+    /// [`Solver::set_proof_logging`]).
+    proof: Option<Vec<ProofStep>>,
     stats: SolverStats,
 }
 
@@ -159,6 +163,7 @@ impl Solver {
             var_decay: VAR_DECAY,
             default_phase: false,
             decision_scope: None,
+            proof: None,
             stats: SolverStats::default(),
         }
     }
@@ -264,6 +269,42 @@ impl Solver {
         s
     }
 
+    /// Enables or disables DRAT-style proof logging. Must be enabled
+    /// *before* the first `add_clause` — input clauses added while
+    /// logging is off are missing from the log, and certificates built
+    /// from it would claim unsatisfiability of the wrong formula.
+    /// Enabling clears any previous log.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        self.proof = if on { Some(Vec::new()) } else { None };
+    }
+
+    /// Whether proof logging is on.
+    pub fn proof_logging(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Drains the proof steps logged since the last call (empty when
+    /// logging is off). Incremental sessions drain once per goal, so the
+    /// per-goal delta ends exactly at that goal's concluding clause.
+    pub fn take_proof(&mut self) -> Vec<ProofStep> {
+        self.proof.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    #[inline]
+    fn log(&mut self, step: ProofStep) {
+        if let Some(p) = &mut self.proof {
+            p.push(step);
+        }
+    }
+
+    /// Logs the deletion of clause `ci` (caller marks it deleted).
+    fn log_delete(&mut self, ci: usize) {
+        if self.proof.is_some() {
+            let lits = self.lit_arena[self.clauses[ci].range()].to_vec();
+            self.log(ProofStep::Delete(lits));
+        }
+    }
+
     /// Adds a clause. Returns `false` if the clause set became trivially
     /// unsatisfiable (all further solving returns `Unsat`).
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
@@ -275,18 +316,30 @@ impl Solver {
         let mut c: Vec<Lit> = lits.to_vec();
         c.sort_unstable();
         c.dedup();
-        // Drop literals already false at level 0; detect tautologies and
-        // clauses already satisfied at level 0.
-        let mut out = Vec::with_capacity(c.len());
-        for (i, &l) in c.iter().enumerate() {
-            if i + 1 < c.len() && c[i + 1] == !l {
-                return true; // tautology: l and !l adjacent after sort
+        // Tautologies constrain nothing and are not logged.
+        for i in 0..c.len() {
+            if i + 1 < c.len() && c[i + 1] == !c[i] {
+                return true; // l and !l adjacent after sort
             }
+        }
+        // The clause as given (post sort/dedup) is part of the formula;
+        // the level-0 strengthening below is re-derived by the checker
+        // from the logged level-0 units.
+        if self.proof.is_some() {
+            self.log(ProofStep::Input(c.clone()));
+        }
+        // Drop literals already false at level 0; detect clauses already
+        // satisfied at level 0.
+        let mut out = Vec::with_capacity(c.len());
+        for &l in &c {
             match self.value_lbool(l) {
                 LBool::True => return true,
                 LBool::False => {}
                 LBool::Undef => out.push(l),
             }
+        }
+        if self.proof.is_some() && out != c {
+            self.log(ProofStep::Derived(out.clone()));
         }
         match out.len() {
             0 => {
@@ -296,6 +349,9 @@ impl Solver {
             1 => {
                 self.unchecked_enqueue(out[0], None);
                 self.ok = self.propagate().is_none();
+                if !self.ok {
+                    self.log(ProofStep::Derived(Vec::new()));
+                }
                 self.ok
             }
             _ => {
@@ -345,6 +401,7 @@ impl Solver {
         }
         if self.propagate().is_some() {
             self.ok = false;
+            self.log(ProofStep::Derived(Vec::new()));
             return;
         }
         // Level-0 assignments are permanent facts: their reason clauses
@@ -364,6 +421,7 @@ impl Solver {
                 .iter()
                 .any(|&l| value_of(&self.assign, l) == LBool::True);
             if satisfied {
+                self.log_delete(ci);
                 let c = &mut self.clauses[ci];
                 c.deleted = true;
                 if c.learnt {
@@ -408,6 +466,7 @@ impl Solver {
                 .iter()
                 .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false));
             if hit {
+                self.log_delete(ci);
                 let c = &mut self.clauses[ci];
                 c.deleted = true;
                 if c.learnt {
@@ -477,6 +536,10 @@ impl Solver {
     pub fn solve_assuming(&mut self, assumptions: &[Lit]) -> SolveResult {
         self.conflict_core.clear();
         if !self.ok {
+            // The empty clause was already derived in an earlier call;
+            // re-log it so this call's proof delta still ends in the
+            // concluding clause (trivially accepted by the checker).
+            self.log(ProofStep::Derived(Vec::new()));
             return SolveResult::Unsat;
         }
         self.assumptions = assumptions.to_vec();
@@ -551,9 +614,13 @@ impl Solver {
                 }
                 if self.decision_level() == 0 {
                     self.ok = false;
+                    self.log(ProofStep::Derived(Vec::new()));
                     return Some(SolveResult::Unsat);
                 }
                 let (learnt, back_level, lbd) = self.analyze(confl);
+                if self.proof.is_some() {
+                    self.log(ProofStep::Derived(learnt.clone()));
+                }
                 self.backtrack(back_level);
                 if learnt.len() == 1 {
                     debug_assert_eq!(self.decision_level(), 0);
@@ -578,6 +645,14 @@ impl Solver {
                     Decision::Sat => return Some(SolveResult::Sat),
                     Decision::AssumptionConflict(l) => {
                         self.analyze_final(l);
+                        if self.proof.is_some() {
+                            // The conflict core A ⊆ assumptions was refuted:
+                            // the clause {!a : a ∈ A} is implied by the
+                            // database and concludes this solve's proof.
+                            let core: Vec<Lit> =
+                                self.conflict_core.iter().map(|&a| !a).collect();
+                            self.log(ProofStep::Derived(core));
+                        }
                         return Some(SolveResult::Unsat);
                     }
                     Decision::Took => {}
@@ -1013,6 +1088,7 @@ impl Solver {
                 value_of(&self.assign, l) == LBool::True && self.level[l.var().index()] == 0
             });
             if dead {
+                self.log_delete(c);
                 self.clauses[c].deleted = true;
                 self.num_learnts -= 1;
             } else if cl.len > 2 {
@@ -1022,6 +1098,7 @@ impl Solver {
         learnt_refs.sort_by_key(|&c| std::cmp::Reverse(self.clauses[c as usize].lbd));
         let to_delete = learnt_refs.len() / 2;
         for &c in &learnt_refs[..to_delete] {
+            self.log_delete(c as usize);
             self.clauses[c as usize].deleted = true;
             self.num_learnts -= 1;
         }

@@ -52,10 +52,10 @@ pub mod term;
 
 pub use bv::{SBool, BV};
 pub use model::Model;
-pub use session::{Session, SessionOutcome};
+pub use session::{Session, SessionOutcome, SessionProof};
 pub use solver::{
-    check, check_full, verify, verify_full, CheckOutcome, CheckResult, QueryStats,
-    SolverConfig, VerifyOutcome, VerifyResult,
+    check, check_full, check_full_proof, verify, verify_full, CheckOutcome, CheckResult,
+    QueryStats, SolverConfig, VerifyOutcome, VerifyResult,
 };
 pub use term::{reset_ctx, with_ctx, Sort, TermId, UfId};
 

@@ -39,7 +39,7 @@ use crate::bv::SBool;
 use crate::presolve::{self, BaseSimp};
 use crate::solver::{extract_model, CheckResult, QueryStats, SolverConfig};
 use crate::term::TermId;
-use serval_sat::{Lit, SolveResult, Solver, SolverStats};
+use serval_sat::{Lit, ProofStep, SolveResult, Solver, SolverStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -53,6 +53,27 @@ pub struct SessionOutcome {
     pub result: CheckResult,
     /// Per-goal delta statistics with session reuse counters.
     pub stats: QueryStats,
+    /// This goal's proof-log delta, when logging is on (see
+    /// [`Session::set_proof_logging`]).
+    pub proof: Option<SessionProof>,
+}
+
+/// One goal's slice of the session's proof log.
+///
+/// The delta is drained *before* the goal's activation literal is
+/// retracted, so on `Unsat` it ends in the goal's concluding clause —
+/// a derived clause over `{!act}` (or the empty clause if the base
+/// itself was refuted). The retraction unit and any sweep deletions
+/// land at the *start* of the next goal's delta, keeping an incremental
+/// checker's database in sync across the whole session.
+#[derive(Debug)]
+pub struct SessionProof {
+    /// Proof steps logged since the previous goal's delta was drained.
+    pub steps: Vec<ProofStep>,
+    /// The goal's activation literal. `None` for the constant-false
+    /// fast path, where the verdict needs no derived conclusion (the
+    /// delta still carries any pending base-encoding steps).
+    pub act: Option<Lit>,
 }
 
 /// An incremental discharge session: one live solver + blaster answering
@@ -142,6 +163,21 @@ impl Session {
             "set_presolve must precede the first goal"
         );
         self.presolve = on;
+    }
+
+    /// Enables or disables DRAT-style proof logging for the whole
+    /// session. Must precede the first goal: the base encoding has to
+    /// be in the log for any goal's certificate to mean anything.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base is already asserted.
+    pub fn set_proof_logging(&mut self, on: bool) {
+        assert!(
+            !self.base_asserted,
+            "set_proof_logging must precede the first goal"
+        );
+        self.sat.set_proof_logging(on);
     }
 
     /// Adds a shared assumption. Must be called before the first goal.
@@ -328,9 +364,12 @@ impl Session {
         // blasted is its presolved form.
         let neg_goal = self.effective_goal(neg_goal);
 
-        let result = if neg_goal.is_false() {
-            // Mirrors `check_full`'s constant-false fast path.
-            CheckResult::Unsat
+        let (result, proof) = if neg_goal.is_false() {
+            // Mirrors `check_full`'s constant-false fast path. The delta
+            // (base encoding, prior retraction/purge steps) still needs
+            // draining so an incremental checker stays in sync; `act:
+            // None` marks the verdict as needing no derived conclusion.
+            (CheckResult::Unsat, self.capture_proof(None))
         } else {
             let g = self.blaster.lit_of(&mut self.sat, neg_goal.0);
             self.blaster.finalize(&mut self.sat);
@@ -359,7 +398,13 @@ impl Session {
             // against cumulative conflicts, so rebase it each time.
             self.sat
                 .set_conflict_budget(self.cfg.conflict_budget.map(|b| prev.conflicts + b));
-            match self.sat.solve_assuming(&[act]) {
+            let sr = self.sat.solve_assuming(&[act]);
+            // Drain the proof delta *before* retraction: on Unsat the
+            // delta then ends in this goal's concluding clause, and the
+            // retraction unit + sweep deletions flow into the next
+            // goal's delta instead.
+            let proof = self.capture_proof(Some(act));
+            let result = match sr {
                 SolveResult::Unsat => {
                     self.sat.retract(act);
                     CheckResult::Unsat
@@ -388,7 +433,8 @@ impl Session {
                     self.sat.retract(act);
                     CheckResult::Sat(Box::new(model))
                 }
-            }
+            };
+            (result, proof)
         };
         if !matches!(result, CheckResult::Interrupted) {
             self.purge_expired();
@@ -418,9 +464,18 @@ impl Session {
             presolve_terms_out: 0,
             presolve_vars_in: 0,
             presolve_vars_out: 0,
+            cert_steps: 0,
+            cert_wall: std::time::Duration::ZERO,
             wall: start.elapsed(),
         };
-        SessionOutcome { result, stats }
+        SessionOutcome { result, stats, proof }
+    }
+
+    fn capture_proof(&mut self, act: Option<Lit>) -> Option<SessionProof> {
+        if !self.sat.proof_logging() {
+            return None;
+        }
+        Some(SessionProof { steps: self.sat.take_proof(), act })
     }
 
     /// Cumulative solver statistics for the whole session.

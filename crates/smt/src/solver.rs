@@ -13,7 +13,7 @@ use crate::blast::Blaster;
 use crate::bv::SBool;
 use crate::model::Model;
 use crate::term::{with_ctx, Op, Sort, TermId};
-use serval_sat::{SolveResult, Solver};
+use serval_sat::{ProofStep, SolveResult, Solver};
 use std::collections::HashSet;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -84,6 +84,10 @@ pub struct QueryStats {
     pub presolve_vars_in: usize,
     /// Symbolic constants in the query after presolve.
     pub presolve_vars_out: usize,
+    /// Proof-certificate steps checked for this query (0 = uncertified).
+    pub cert_steps: u64,
+    /// Wall time spent in the independent certificate checker.
+    pub cert_wall: Duration,
     /// Wall time of the whole check (blast + solve + model extraction).
     pub wall: Duration,
 }
@@ -114,6 +118,13 @@ impl QueryStats {
                 self.presolve_terms_out,
                 self.presolve_vars_in,
                 self.presolve_vars_out
+            ));
+        }
+        if self.cert_steps > 0 {
+            line.push_str(&format!(
+                " cert_steps={} cert_ms={}",
+                self.cert_steps,
+                self.cert_wall.as_millis()
             ));
         }
         line
@@ -160,6 +171,9 @@ pub struct CheckOutcome {
     pub result: CheckResult,
     /// Statistics of the solve that produced it.
     pub stats: QueryStats,
+    /// DRAT-style proof log backing an `Unsat` verdict; present only
+    /// when the check ran via [`check_full_proof`].
+    pub proof: Option<Vec<ProofStep>>,
 }
 
 /// A [`VerifyResult`] paired with its solve statistics.
@@ -188,8 +202,28 @@ pub fn check_full(
     assertions: &[SBool],
     interrupt: Option<Arc<AtomicBool>>,
 ) -> CheckOutcome {
+    check_full_impl(cfg, assertions, interrupt, false)
+}
+
+/// [`check_full`] with DRAT-style proof logging: an `Unsat` outcome
+/// carries the certificate steps (see `serval-drat` for the checker).
+pub fn check_full_proof(
+    cfg: SolverConfig,
+    assertions: &[SBool],
+    interrupt: Option<Arc<AtomicBool>>,
+) -> CheckOutcome {
+    check_full_impl(cfg, assertions, interrupt, true)
+}
+
+fn check_full_impl(
+    cfg: SolverConfig,
+    assertions: &[SBool],
+    interrupt: Option<Arc<AtomicBool>>,
+    log_proof: bool,
+) -> CheckOutcome {
     let start = Instant::now();
     let mut sat = Solver::new();
+    sat.set_proof_logging(log_proof);
     sat.set_conflict_budget(cfg.conflict_budget);
     sat.set_restart_base(cfg.restart_base);
     sat.set_var_decay(cfg.var_decay);
@@ -198,10 +232,14 @@ pub fn check_full(
     let mut blaster = Blaster::new();
     let mut stats = QueryStats::default();
     for a in assertions {
-        // Fast path: a constant-false assertion needs no solving.
+        // Fast path: a constant-false assertion needs no solving. The
+        // synthesized certificate states exactly that: the formula
+        // contains the empty clause, which refutes it outright.
         if a.is_false() {
             stats.wall = start.elapsed();
-            return CheckOutcome { result: CheckResult::Unsat, stats };
+            let proof = log_proof
+                .then(|| vec![ProofStep::Input(Vec::new()), ProofStep::Derived(Vec::new())]);
+            return CheckOutcome { result: CheckResult::Unsat, stats, proof };
         }
         blaster.assert_true(&mut sat, a.0);
     }
@@ -215,6 +253,7 @@ pub fn check_full(
             CheckResult::Sat(Box::new(model))
         }
     };
+    let proof = (log_proof && matches!(result, CheckResult::Unsat)).then(|| sat.take_proof());
     let s = sat.stats();
     stats.conflicts = s.conflicts;
     stats.decisions = s.decisions;
@@ -224,7 +263,7 @@ pub fn check_full(
     stats.clauses = sat.num_clauses();
     stats.vars = sat.num_vars();
     stats.wall = start.elapsed();
-    CheckOutcome { result, stats }
+    CheckOutcome { result, stats, proof }
 }
 
 /// Proves `goal` under `assumptions`: checks that `assumptions ∧ ¬goal` is
