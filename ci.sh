@@ -32,6 +32,15 @@ SERVAL_CERT=0 cargo test -q --offline -p serval-engine -p serval-core
 echo "== tests (engine + core, proof certificates on) =="
 SERVAL_CERT=1 cargo test -q --offline -p serval-engine -p serval-core
 
+# Deterministic simulation: the pinned regression-seed corpus runs as
+# part of the workspace tests above; this block additionally sweeps
+# fresh hostile schedules (seeded scheduler + buggify + IO faults). Any
+# failure prints the offending seed and the replay command, and the
+# sweep exits nonzero.
+echo "== deterministic simulation (500-seed hostile sweep) =="
+SERVAL_BUGGIFY=1 SERVAL_SIM_SWEEP=500 \
+  cargo run --release --offline -p serval-sim --bin sim_sweep
+
 echo "== examples =="
 cargo run --release --offline --example quickstart
 cargo run --release --offline --example bpf_jit_check

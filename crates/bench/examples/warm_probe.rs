@@ -1,0 +1,7 @@
+//! Quick warm-path probe: runs the presolve and incremental harnesses
+//! once each and prints their summaries (the warm rows are the point).
+fn main() {
+    std::env::set_var("SERVAL_BENCH_SAMPLES", "1");
+    serval_bench::presolve_bench::run().print_summary();
+    serval_bench::incremental_bench::run().print_summary();
+}

@@ -10,6 +10,67 @@ pub mod suites;
 
 use std::path::{Path, PathBuf};
 
+/// Cache-accounting deltas for one benchmark run — the *shared* code
+/// path every harness uses to report warm-rerun coverage, so cold and
+/// warm rows mean the same thing in every `BENCH_*.json`.
+///
+/// The invariant the warm rows pin down: trivially-discharged queries
+/// never consult the cache, so a genuinely warm rerun has
+/// `hits = queries - trivial` and `misses = 0` — a [`hit_rate`] of 1.0
+/// regardless of discharge mode ([`CacheRow::hit_rate`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Cache hits during the run.
+    pub hits: u64,
+    /// Cache misses during the run.
+    pub misses: u64,
+    /// Queries submitted to the engine during the run.
+    pub queries: u64,
+    /// Queries discharged trivially during preparation (these never
+    /// consult the cache, so hit-rate accounting excludes them).
+    pub trivial: u64,
+}
+
+impl CacheRow {
+    /// Snapshots the engine's cumulative counters; subtract two
+    /// snapshots with [`CacheRow::since`] to get one run's row.
+    pub fn snapshot(engine: &serval_engine::Engine) -> CacheRow {
+        let (hits, misses) = engine.cache_stats();
+        let (queries, trivial) = engine.query_counts();
+        CacheRow { hits, misses, queries, trivial }
+    }
+
+    /// The counters this snapshot added on top of `start`.
+    pub fn since(&self, start: &CacheRow) -> CacheRow {
+        CacheRow {
+            hits: self.hits - start.hits,
+            misses: self.misses - start.misses,
+            queries: self.queries - start.queries,
+            trivial: self.trivial - start.trivial,
+        }
+    }
+
+    /// Cache coverage over the queries that actually consult the cache
+    /// (`queries - trivial`); 1.0 when nothing looked anything up.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.queries.saturating_sub(self.trivial);
+        if lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// The row's JSON fields (no braces), spliced into a run object so
+    /// every harness emits identical key names.
+    pub fn json_fields(&self) -> String {
+        format!(
+            "\"cache_hits\": {}, \"cache_misses\": {}, \"queries\": {}, \"trivial\": {}",
+            self.hits, self.misses, self.queries, self.trivial
+        )
+    }
+}
+
 /// Counts non-empty, non-comment lines of Rust source under `dir`
 /// (the Fig. 7 metric applied to this reproduction).
 pub fn count_loc(dir: &Path) -> usize {
@@ -121,8 +182,7 @@ mod tests {
             sat_clauses: 0,
             reused_clauses: 0,
             session_theorems: 0,
-            cache_hits: 0,
-            cache_misses: 4,
+            cache: crate::CacheRow { hits: 0, misses: 4, queries: 4, trivial: 0 },
         };
         let ok = IncrementalBenchReport {
             fresh_cold: run(None),
@@ -150,10 +210,7 @@ mod tests {
             sat_clauses: 0,
             terms_in: 0,
             terms_out: 0,
-            cache_hits: 0,
-            cache_misses: 4,
-            queries: 4,
-            trivial: 0,
+            cache: crate::CacheRow { hits: 0, misses: 4, queries: 4, trivial: 0 },
         };
         let ok = PresolveBenchReport {
             off_cold: run(None),
@@ -172,36 +229,20 @@ mod tests {
     }
 
     #[test]
-    fn presolve_bench_warm_hit_rate_excludes_trivial_queries() {
-        use crate::presolve_bench::PresolveRun;
-        // 76 nontrivial lookups all hit in raw mode; presolve folds 50
-        // more queries to trivial, so its warm rerun reports only 26
-        // hits — but both are full coverage of the queries that looked.
-        let raw = PresolveRun {
-            secs: 1.0,
-            verdicts: verdicts(None),
-            sat_vars: 0,
-            sat_clauses: 0,
-            terms_in: 0,
-            terms_out: 0,
-            cache_hits: 76,
-            cache_misses: 0,
-            queries: 1179,
-            trivial: 1103,
-        };
-        assert!((raw.hit_rate() - 1.0).abs() < 1e-9);
-        let pre = PresolveRun {
-            cache_hits: 26,
-            trivial: 1153,
-            ..raw
-        };
-        assert!((pre.hit_rate() - 1.0).abs() < 1e-9);
+    fn warm_hit_rate_excludes_trivial_queries() {
+        use crate::CacheRow;
+        // 76 nontrivial lookups all hit: full warm coverage. With the
+        // raw-key warm layer, `trivial` counts only raw-trivial queries,
+        // so both presolve modes report the same row for the same batch.
+        let warm = CacheRow { hits: 76, misses: 0, queries: 1179, trivial: 1103 };
+        assert!((warm.hit_rate() - 1.0).abs() < 1e-9);
         // A genuinely missing hit shows up as a sub-1.0 rate.
-        let short = PresolveRun {
-            cache_hits: 25,
-            ..pre
-        };
+        let short = CacheRow { hits: 75, ..warm };
         assert!(short.hit_rate() < 1.0);
+        // Delta arithmetic: cumulative snapshots subtract field-wise.
+        let start = CacheRow { hits: 10, misses: 20, queries: 50, trivial: 5 };
+        let end = CacheRow { hits: 86, misses: 20, queries: 1229, trivial: 1108 };
+        assert_eq!(end.since(&start), warm);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! disable cone-of-influence splitting to keep their grouping stable),
 //! so the encoded-size comparison isolates the presolve effect.
 
+use crate::CacheRow;
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
 use serval_engine::EngineCfg;
@@ -31,18 +32,12 @@ pub struct PresolveRun {
     pub terms_in: u64,
     /// Term-DAG nodes after presolve (0 when off).
     pub terms_out: u64,
-    /// Cache hits during this run.
-    pub cache_hits: u64,
-    /// Cache misses during this run.
-    pub cache_misses: u64,
-    /// Queries submitted to the engine during this run.
-    pub queries: u64,
-    /// Queries proved trivially unsatisfiable during preparation. These
-    /// never consult the cache, so they must be excluded from hit-rate
-    /// accounting — presolve folds *more* queries to trivial, which is
-    /// why its warm reruns report fewer raw hits than the raw mode's
-    /// despite covering the same batch.
-    pub trivial: u64,
+    /// Cache accounting for this run (shared row; see [`CacheRow`]).
+    /// `trivial` counts only queries whose *raw* form was trivially
+    /// unsatisfiable: with the raw-key warm layer, queries presolve
+    /// folds to trivial still consult the cache (and hit warm), so both
+    /// presolve modes report the same warm coverage over the same batch.
+    pub cache: CacheRow,
 }
 
 /// Presolve off vs on, each cold (new engine) and warm (cache rerun).
@@ -75,13 +70,11 @@ fn run_once(presolve: bool, reuse_engine: bool) -> PresolveRun {
             cert: EngineCfg::from_env().cert,
         })
     };
-    let (h0, m0) = engine.cache_stats();
-    let (q0, tr0) = engine.query_counts();
+    let before = CacheRow::snapshot(&engine);
     let t0 = Instant::now();
     let report = workload();
     let secs = t0.elapsed().as_secs_f64();
-    let (h1, m1) = engine.cache_stats();
-    let (q1, tr1) = engine.query_counts();
+    let cache = CacheRow::snapshot(&engine).since(&before);
     let totals = report.solver_totals();
     PresolveRun {
         secs,
@@ -94,25 +87,16 @@ fn run_once(presolve: bool, reuse_engine: bool) -> PresolveRun {
         sat_clauses: totals.clauses,
         terms_in: totals.presolve_terms_in as u64,
         terms_out: totals.presolve_terms_out as u64,
-        cache_hits: h1 - h0,
-        cache_misses: m1 - m0,
-        queries: q1 - q0,
-        trivial: tr1 - tr0,
+        cache,
     }
 }
 
 impl PresolveRun {
-    /// Warm-run cache coverage: hits over the queries that actually
-    /// consult the cache (`submitted - trivial`). A genuinely warm rerun
-    /// scores 1.0 with zero misses — in *both* presolve modes, even
-    /// though their raw hit counts differ (see [`PresolveRun::trivial`]).
+    /// Warm-run cache coverage (delegates to the shared row): a
+    /// genuinely warm rerun scores 1.0 with zero misses, in *both*
+    /// presolve modes (see [`PresolveRun::cache`]).
     pub fn hit_rate(&self) -> f64 {
-        let lookups = self.queries.saturating_sub(self.trivial);
-        if lookups == 0 {
-            1.0
-        } else {
-            self.cache_hits as f64 / lookups as f64
-        }
+        self.cache.hit_rate()
     }
 }
 
@@ -189,19 +173,14 @@ impl PresolveBenchReport {
         fn run_json(r: &PresolveRun) -> String {
             format!(
                 "{{\"secs\": {:.6}, \"theorems\": {}, \"sat_vars\": {}, \
-                 \"sat_clauses\": {}, \"terms_in\": {}, \"terms_out\": {}, \
-                 \"cache_hits\": {}, \"cache_misses\": {}, \
-                 \"queries\": {}, \"trivial\": {}}}",
+                 \"sat_clauses\": {}, \"terms_in\": {}, \"terms_out\": {}, {}}}",
                 r.secs,
                 r.verdicts.len(),
                 r.sat_vars,
                 r.sat_clauses,
                 r.terms_in,
                 r.terms_out,
-                r.cache_hits,
-                r.cache_misses,
-                r.queries,
-                r.trivial
+                r.cache.json_fields()
             )
         }
         format!(
@@ -256,10 +235,10 @@ impl PresolveBenchReport {
         );
         println!(
             "  warm coverage  raw {}/{} hits   presolved {}/{} hits   rate {:.2}",
-            self.off_warm.cache_hits,
-            self.off_warm.queries - self.off_warm.trivial,
-            self.on_warm.cache_hits,
-            self.on_warm.queries - self.on_warm.trivial,
+            self.off_warm.cache.hits,
+            self.off_warm.cache.queries - self.off_warm.cache.trivial,
+            self.on_warm.cache.hits,
+            self.on_warm.cache.queries - self.on_warm.cache.trivial,
             self.warm_hit_rate()
         );
     }

@@ -47,6 +47,7 @@ pub mod bench;
 pub mod data;
 pub mod rng;
 pub mod runner;
+pub mod sim;
 pub mod strategy;
 
 #[cfg(test)]

@@ -1,4 +1,5 @@
-//! A from-scratch work-stealing thread pool (std-only).
+//! A from-scratch work-stealing thread pool (std-only), with a pluggable
+//! executor seam for deterministic simulation.
 //!
 //! Jobs are pushed round-robin onto per-worker deques; an idle worker
 //! first drains its own deque LIFO (cache-friendly), then the shared
@@ -13,12 +14,34 @@
 //! increment has not landed yet (which would underflow the counter),
 //! and a submitter can never publish a job a parked worker misses.
 //!
+//! ## The executor seam
+//!
+//! The queue discipline above ([`Shared`]: submit, grab, steal, the
+//! ready counter) is one body of code with **two drivers**:
+//!
+//! - **Threads** (production): `jobs` OS workers loop over
+//!   [`grab`]/park, racing each other for real.
+//! - **Sim** (active when a [`serval_check::sim`] context is installed
+//!   at construction): no workers race. A single scheduler loop draws
+//!   *which virtual worker steps next* from the sim's seeded decision
+//!   stream, claims through the very same [`grab`] path (so the
+//!   lock-order and counter invariants are exercised, not bypassed),
+//!   and executes the claimed job to completion on one dedicated runner
+//!   thread — dedicated so the job's `reset_ctx()` cannot destroy the
+//!   submitting thread's term context. Every step is appended to the
+//!   sim trace: same seed ⇒ same claim order ⇒ same trace.
+//!
+//! Buggify points ([`serval_check::sim::buggify`]) sit on the shared
+//! paths — submit-to-injector and steal-first claim reordering — so a
+//! hostile sim run visits queue states a healthy schedule never would.
+//!
 //! [`Pool::run_batch`] is the engine's workhorse: it submits a batch,
 //! catches panics per job (a poisoned query fails alone, the pool keeps
 //! draining), and returns results **in submission order** regardless of
 //! completion order or worker count — the basis of the engine's
 //! determinism guarantee.
 
+use serval_check::sim;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -40,15 +63,37 @@ struct Shared {
     cursor: AtomicUsize,
 }
 
+/// How the shared queue discipline is driven: racing OS threads, or the
+/// sim's single-threaded seeded scheduler.
+enum Exec {
+    Threads(Vec<JoinHandle<()>>),
+    Sim(SimExec),
+}
+
+/// The simulated executor: a runner thread that executes one chosen job
+/// at a time, and a worker count for the scheduler to draw from.
+struct SimExec {
+    workers: usize,
+    /// Jobs chosen by the scheduler go down this channel...
+    run_tx: Mutex<Option<mpsc::Sender<Job>>>,
+    /// ...and completion comes back here before the next step is chosen,
+    /// so job execution is strictly serialized.
+    done_rx: Mutex<mpsc::Receiver<()>>,
+    runner: Mutex<Option<JoinHandle<()>>>,
+}
+
 /// The pool. Dropping it shuts the workers down (pending jobs are still
 /// drained first — see `Drop`).
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    exec: Exec,
 }
 
 impl Pool {
-    /// Spawns a pool with `jobs` workers (clamped to at least 1).
+    /// Spawns a pool with `jobs` workers (clamped to at least 1). If a
+    /// simulation context is active, no workers are spawned: the pool
+    /// becomes a deterministic single-threaded executor over the same
+    /// queue discipline, scheduled by the sim's seed.
     pub fn new(jobs: usize) -> Pool {
         let jobs = jobs.max(1);
         let shared = Arc::new(Shared {
@@ -59,6 +104,30 @@ impl Pool {
             shutdown: AtomicBool::new(false),
             cursor: AtomicUsize::new(0),
         });
+        if sim::active() {
+            let (run_tx, run_rx) = mpsc::channel::<Job>();
+            let (done_tx, done_rx) = mpsc::channel::<()>();
+            let runner = std::thread::Builder::new()
+                .name("serval-sim-runner".to_string())
+                .spawn(move || {
+                    for job in run_rx {
+                        job();
+                        if done_tx.send(()).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn sim runner");
+            return Pool {
+                shared,
+                exec: Exec::Sim(SimExec {
+                    workers: jobs,
+                    run_tx: Mutex::new(Some(run_tx)),
+                    done_rx: Mutex::new(done_rx),
+                    runner: Mutex::new(Some(runner)),
+                }),
+            };
+        }
         let workers = (0..jobs)
             .map(|me| {
                 let shared = Arc::clone(&shared);
@@ -68,23 +137,42 @@ impl Pool {
                     .expect("spawn engine worker")
             })
             .collect();
-        Pool { shared, workers }
+        Pool { shared, exec: Exec::Threads(workers) }
     }
 
-    /// Number of worker threads.
+    /// Number of (possibly virtual) worker slots.
     pub fn jobs(&self) -> usize {
-        self.workers.len()
+        match &self.exec {
+            Exec::Threads(w) => w.len(),
+            Exec::Sim(s) => s.workers,
+        }
     }
 
-    /// Enqueues one job.
+    /// Whether this pool is the simulated executor.
+    pub fn simulated(&self) -> bool {
+        matches!(self.exec, Exec::Sim(_))
+    }
+
+    /// Enqueues one job. Under simulation the job is only queued; it
+    /// runs when the scheduler drives the queue (see [`Pool::drain_sim`]
+    /// and [`Pool::run_batch`]).
     pub fn submit(&self, job: Job) {
         let n = self.shared.locals.len();
         let slot = self.shared.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        // Rare-branch injection: a submitter that cannot reach its local
+        // deque (imagine contention backoff) publishes to the shared
+        // injector instead — legal under the claim order, and it forces
+        // the injector path to carry real traffic in hostile sims.
+        let to_injector = sim::buggify("pool-submit-injector");
         // Push and increment under the ready lock (ready → deque order,
         // matching `grab`) so no claimer can pop the job before the
         // counter accounts for it.
         let mut ready = self.shared.ready.lock().unwrap();
-        self.shared.locals[slot].lock().unwrap().push_back(job);
+        if to_injector {
+            self.shared.injector.lock().unwrap().push_back(job);
+        } else {
+            self.shared.locals[slot].lock().unwrap().push_back(job);
+        }
         *ready += 1;
         drop(ready);
         self.shared.cv.notify_one();
@@ -107,6 +195,11 @@ impl Pool {
             }));
         }
         drop(tx);
+        if let Exec::Sim(s) = &self.exec {
+            // The scheduler IS this call: drive the queue until every
+            // submitted job (ours and any stragglers) has executed.
+            drive_sim(&self.shared, s);
+        }
         let mut out: Vec<Option<Result<T, String>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (i, r) = rx.recv().expect("engine worker dropped a batch result");
@@ -116,21 +209,68 @@ impl Pool {
             .map(|o| o.expect("every batch slot reports exactly once"))
             .collect()
     }
+
+    /// Executes everything currently queued (simulated pools only; a
+    /// no-op for threaded pools, whose workers drain on their own).
+    pub fn drain_sim(&self) {
+        if let Exec::Sim(s) = &self.exec {
+            drive_sim(&self.shared, s);
+        }
+    }
+}
+
+/// The sim scheduler: while jobs are queued, draw a virtual worker from
+/// the decision stream, claim through the shared [`grab`] path, and run
+/// the job to completion on the runner thread. Strict alternation
+/// (choose → run → wait) keeps every draw — scheduling, buggify, IO
+/// fault — in a seed-determined total order.
+fn drive_sim(shared: &Shared, s: &SimExec) {
+    loop {
+        if *shared.ready.lock().unwrap() == 0 {
+            return;
+        }
+        let me = sim::choose(shared.locals.len());
+        let Some((job, source)) = grab(shared, me) else {
+            return;
+        };
+        sim::trace_step(me, source);
+        let tx = s.run_tx.lock().unwrap();
+        let tx = tx.as_ref().expect("sim runner alive while pool alive");
+        tx.send(job).expect("sim runner accepts jobs");
+        s.done_rx
+            .lock()
+            .unwrap()
+            .recv()
+            .expect("sim runner reports completion");
+    }
 }
 
 impl Drop for Pool {
     fn drop(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
-        self.shared.cv.notify_all();
-        for w in self.workers.drain(..) {
-            let _ = w.join();
+        match &mut self.exec {
+            Exec::Threads(workers) => {
+                self.shared.cv.notify_all();
+                for w in workers.drain(..) {
+                    let _ = w.join();
+                }
+            }
+            Exec::Sim(s) => {
+                // Parity with the threaded drop: drain queued jobs
+                // first, then retire the runner.
+                drive_sim(&self.shared, s);
+                drop(s.run_tx.lock().unwrap().take());
+                if let Some(h) = s.runner.lock().unwrap().take() {
+                    let _ = h.join();
+                }
+            }
         }
     }
 }
 
 fn worker_loop(shared: &Shared, me: usize) {
     loop {
-        if let Some(job) = grab(shared, me) {
+        if let Some((job, _source)) = grab(shared, me) {
             job();
             continue;
         }
@@ -140,7 +280,7 @@ fn worker_loop(shared: &Shared, me: usize) {
                 // Drain anything still queued before exiting so a
                 // shutdown never strands submitted work.
                 drop(ready);
-                while let Some(job) = grab(shared, me) {
+                while let Some((job, _)) = grab(shared, me) {
                     job();
                 }
                 return;
@@ -158,34 +298,63 @@ fn worker_loop(shared: &Shared, me: usize) {
 }
 
 /// Claims one job: own deque LIFO, then injector, then steal FIFO.
+/// Returns where the job came from, for the sim trace.
 ///
 /// Holds the ready lock across the whole claim (ready → deque order,
 /// matching `submit`): while we hold it no push or rival pop can land,
 /// so a nonzero counter guarantees the scan finds a job, and the
 /// decrement pairs exactly with the pop that earned it.
-fn grab(shared: &Shared, me: usize) -> Option<Job> {
+fn grab(shared: &Shared, me: usize) -> Option<(Job, &'static str)> {
     let mut ready = shared.ready.lock().unwrap();
     if *ready == 0 {
         return None;
     }
-    let job = shared.locals[me]
-        .lock()
-        .unwrap()
-        .pop_back()
-        .or_else(|| shared.injector.lock().unwrap().pop_front())
-        .or_else(|| {
-            shared
-                .locals
-                .iter()
-                .enumerate()
-                .filter(|&(k, _)| k != me)
-                .find_map(|(_, other)| other.lock().unwrap().pop_front())
-        });
+    // Rare-branch injection: a claimer that loses its own deque's lock
+    // race (in a real pool, a sibling mid-steal) scans in steal-first
+    // order. Same set of deques, different order — the counter
+    // invariant must hold either way.
+    let steal_first = sim::buggify("pool-claim-steal-first");
+    let own = |src: &mut Option<&'static str>| {
+        let j = shared.locals[me].lock().unwrap().pop_back();
+        if j.is_some() {
+            *src = Some("own");
+        }
+        j
+    };
+    let injector = |src: &mut Option<&'static str>| {
+        let j = shared.injector.lock().unwrap().pop_front();
+        if j.is_some() {
+            *src = Some("injector");
+        }
+        j
+    };
+    let steal = |src: &mut Option<&'static str>| {
+        let j = shared
+            .locals
+            .iter()
+            .enumerate()
+            .filter(|&(k, _)| k != me)
+            .find_map(|(_, other)| other.lock().unwrap().pop_front());
+        if j.is_some() {
+            *src = Some("steal");
+        }
+        j
+    };
+    let mut source = None;
+    let job = if steal_first {
+        injector(&mut source)
+            .or_else(|| steal(&mut source))
+            .or_else(|| own(&mut source))
+    } else {
+        own(&mut source)
+            .or_else(|| injector(&mut source))
+            .or_else(|| steal(&mut source))
+    };
     debug_assert!(job.is_some(), "ready counter out of sync with deques");
     if job.is_some() {
         *ready -= 1;
     }
-    job
+    job.map(|j| (j, source.expect("claimed job has a source")))
 }
 
 fn panic_message(e: Box<dyn std::any::Any + Send>) -> String {

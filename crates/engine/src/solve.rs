@@ -4,6 +4,7 @@
 //! query and cancels the losers through the CDCL interrupt flag.
 
 use crate::form::{rebuild, rebuild_session, FormCore, SessionCore};
+use serval_check::sim;
 use serval_smt::model::Model;
 use serval_smt::session::Session;
 use serval_smt::solver::{check_full, check_full_proof, CheckResult, QueryStats, SolverConfig};
@@ -71,11 +72,20 @@ pub fn solve_one(
 ) -> RawOutcome {
     reset_ctx();
     let rq = rebuild(core);
-    let out = if cert {
+    let mut out = if cert {
         check_full_proof(cfg, &rq.roots, cancel)
     } else {
         check_full(cfg, &rq.roots, cancel)
     };
+    // Buggify: hand the checker a truncated proof (as a flaky solver or
+    // a torn proof log would). The only acceptable outcome is a rejected
+    // certificate demoting the verdict to `Unknown` — never a `Proved`
+    // without a checked proof, and never a panic.
+    if matches!(out.result, CheckResult::Unsat) && sim::buggify("cert-corrupt-proof") {
+        if let Some(proof) = &mut out.proof {
+            proof.pop();
+        }
+    }
     let mut stats = out.stats;
     let mut cert_hash = 0u64;
     let mut cert_error: Option<String> = None;
@@ -291,6 +301,9 @@ pub fn solve_portfolio(
     cert: bool,
 ) -> RawOutcome {
     let variants = portfolio_variants(base);
+    if sim::active() {
+        return solve_portfolio_sim(core, &variants, cert);
+    }
     let done = Arc::new(AtomicBool::new(false));
     let live = AtomicUsize::new(variants.len());
     let winner: Mutex<Option<RawOutcome>> = Mutex::new(None);
@@ -357,4 +370,52 @@ pub fn solve_portfolio(
             cert_hash: 0,
             cert_error: None,
         })
+}
+
+/// The portfolio under simulation: no racing threads (the sim owns all
+/// scheduling), so the variants run *sequentially* in a seed-chosen
+/// order and the first definitive verdict wins. The contract is the
+/// same as the threaded race's — the verdict *kind* is
+/// variant-independent — but here the winning variant, its model, and
+/// the schedule trace are pure functions of the seed. Buggify can
+/// "cancel" a definitive finisher just before it claims the win,
+/// exercising the fallback path the real race only hits under
+/// contention.
+fn solve_portfolio_sim(core: &FormCore, variants: &[SolverConfig], cert: bool) -> RawOutcome {
+    let mut order: Vec<usize> = (0..variants.len()).collect();
+    // Seeded Fisher–Yates: the visit order is part of the schedule.
+    for i in (1..order.len()).rev() {
+        order.swap(i, sim::choose(i + 1));
+    }
+    let mut fallback: Option<RawOutcome> = None;
+    for &vi in &order {
+        sim::mark(format!("portfolio-variant-{vi}"));
+        let mut out = solve_one(core, variants[vi], None, cert);
+        out.variant = vi;
+        match out.verdict {
+            RawVerdict::Proved | RawVerdict::Refuted(_) => {
+                if sim::buggify("portfolio-drop-winner") {
+                    // The simulated race lost this finisher (cancelled
+                    // before it took the winner lock); another variant
+                    // has to carry the query, or it degrades to the
+                    // fallback — never to a wrong verdict.
+                    continue;
+                }
+                return out;
+            }
+            RawVerdict::Unknown => {
+                if fallback.is_none() {
+                    fallback = Some(out);
+                }
+            }
+            RawVerdict::Interrupted => {}
+        }
+    }
+    fallback.unwrap_or(RawOutcome {
+        verdict: RawVerdict::Interrupted,
+        stats: QueryStats::default(),
+        variant: 0,
+        cert_hash: 0,
+        cert_error: None,
+    })
 }

@@ -367,6 +367,25 @@ fn scratch_dir(tag: &str) -> std::path::PathBuf {
     dir
 }
 
+/// The unique segment file currently holding a record (older segments
+/// are truncated back to their bare header by corruption recovery).
+fn record_segment(dir: &std::path::Path) -> std::path::PathBuf {
+    let mut candidates: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .expect("cache dir exists")
+        .flatten()
+        .filter(|e| {
+            let n = e.file_name();
+            let n = n.to_string_lossy().to_string();
+            n.starts_with("seg-")
+                && n.ends_with(".bin")
+                && e.metadata().map(|m| m.len() > 8).unwrap_or(false)
+        })
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(candidates.len(), 1, "exactly one segment holds the record");
+    candidates.pop().unwrap()
+}
+
 #[test]
 fn corrupted_disk_cache_is_a_miss_not_a_panic() {
     reset_ctx();
@@ -387,7 +406,7 @@ fn corrupted_disk_cache_is_a_miss_not_a_panic() {
     let goal = (x & y).ule(x);
     let o = mk_engine().submit(q("p", vec![], goal));
     assert!(matches!(o.result, VerifyResult::Proved));
-    let path = dir.join("proved.bin");
+    let path = record_segment(&dir);
     let pristine = std::fs::read(&path).expect("proved key persisted");
     assert!(pristine.len() > 8, "file must hold magic + a record");
 
@@ -398,9 +417,10 @@ fn corrupted_disk_cache_is_a_miss_not_a_panic() {
     let o = engine.submit(q("p", vec![], goal));
     assert!(matches!(o.result, VerifyResult::Proved));
     assert!(!o.cache_hit, "truncated record must be a miss");
-    drop(engine); // its re-solve re-appended the record
+    drop(engine); // its re-solve appended the record to a fresh segment
 
     // Bit-flipped record body: the checksum catches it, same outcome.
+    let path = record_segment(&dir);
     let mut flipped = std::fs::read(&path).unwrap();
     let mid = 8 + (flipped.len() - 8) / 2;
     flipped[mid] ^= 0x40;
@@ -410,11 +430,40 @@ fn corrupted_disk_cache_is_a_miss_not_a_panic() {
     assert!(!o.cache_hit, "bit-flipped record must be a miss");
 
     // Garbage header: not our file — deleted and rebuilt from scratch.
+    let path = record_segment(&dir);
     std::fs::write(&path, b"not a serval cache file").unwrap();
     let o = mk_engine().submit(q("p", vec![], goal));
     assert!(matches!(o.result, VerifyResult::Proved));
     assert!(!o.cache_hit);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn poisoned_cache_lock_fails_alone() {
+    // A query that panics while holding the cache's memory-tier lock
+    // must not take every later query down with it: the map is intact
+    // (at worst missing one insert), so the lock is recovered, not
+    // propagated. Before the fix, the `.unwrap()` on the poisoned lock
+    // panicked *every* subsequent lookup on *every* worker.
+    reset_ctx();
+    let engine = local_engine(2);
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let o = engine.submit(q("warm", vec![], (x & y).ule(x)));
+    assert!(matches!(o.result, VerifyResult::Proved));
+
+    engine.cache().poison_mem_for_test();
+
+    // Warm hit through the poisoned lock.
+    let o = engine.submit(q("warm", vec![], (x & y).ule(x)));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    assert!(o.cache_hit, "warm hit must survive a poisoned lock");
+    // Fresh solve + insert through the poisoned lock.
+    let cold = ((x & y) + (x | y)).eq_(x + y);
+    let o = engine.submit(q("cold", vec![], cold));
+    assert!(matches!(o.result, VerifyResult::Proved));
+    let o = engine.submit(q("cold-again", vec![], cold));
+    assert!(o.cache_hit, "insert must land despite the poisoned lock");
 }
 
 #[test]

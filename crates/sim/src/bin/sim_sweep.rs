@@ -1,0 +1,108 @@
+//! Seed sweep over the deterministic-simulation scenarios.
+//!
+//! Environment contract:
+//!
+//! - `SERVAL_SIM_SEED=<n>`   — replay exactly one seed (prints the full
+//!   report per scenario) instead of sweeping.
+//! - `SERVAL_SIM_SCENARIO=<name>` — restrict to one scenario.
+//! - `SERVAL_SIM_SWEEP=<n>`  — number of seeds per scenario (default 200).
+//! - `SERVAL_BUGGIFY=0|1`    — arm buggify + IO faults (default 1: the
+//!   sweep's whole point is hostile schedules).
+//!
+//! Every failure prints the offending seed and the exact replay command,
+//! then the process exits nonzero. Every 16th seed is run twice to hold
+//! the determinism contract: same seed ⇒ identical trace hash + summary.
+
+use serval_check::sim::SimConfig;
+use serval_sim::{run_scenario, SCENARIOS};
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok())
+}
+
+fn main() {
+    // The oracles report bugs by panicking inside run_scenario's
+    // catch_unwind; the default hook would spray a backtrace per caught
+    // panic. The failure report carries the message and trace tail.
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let hostile = env_u64("SERVAL_BUGGIFY").map_or(true, |v| v != 0);
+    let cfg_for = |seed: u64| {
+        if hostile {
+            SimConfig::hostile(seed)
+        } else {
+            SimConfig::plain(seed)
+        }
+    };
+    let scenario_filter = std::env::var("SERVAL_SIM_SCENARIO").ok();
+    let scenarios: Vec<&str> = SCENARIOS
+        .iter()
+        .copied()
+        .filter(|s| scenario_filter.as_deref().map_or(true, |f| f == *s))
+        .collect();
+    if scenarios.is_empty() {
+        eprintln!(
+            "SERVAL_SIM_SCENARIO={:?} matches no scenario (known: {SCENARIOS:?})",
+            scenario_filter.unwrap_or_default()
+        );
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+
+    if let Some(seed) = env_u64("SERVAL_SIM_SEED") {
+        for name in &scenarios {
+            match run_scenario(name, cfg_for(seed)) {
+                Ok(r) => println!(
+                    "{name} seed={seed} trace_hash={:#018x} vtime={}ns events={} :: {}",
+                    r.trace_hash, r.vtime, r.events, r.summary
+                ),
+                Err(f) => {
+                    eprintln!("{f}");
+                    failures += 1;
+                }
+            }
+        }
+    } else {
+        let sweep = env_u64("SERVAL_SIM_SWEEP").unwrap_or(200);
+        for name in &scenarios {
+            let mut ran = 0u64;
+            for seed in 0..sweep {
+                match run_scenario(name, cfg_for(seed)) {
+                    Ok(r) => {
+                        // Determinism spot-check: replay a sample of the
+                        // seeds and demand identical traces + summaries.
+                        if seed % 16 == 0 {
+                            let again = run_scenario(name, cfg_for(seed))
+                                .expect("replay of a passing seed must pass");
+                            if again.trace_hash != r.trace_hash || again.summary != r.summary {
+                                eprintln!(
+                                    "SCENARIO {name} NONDETERMINISTIC at seed {seed}: \
+                                     {:#018x} :: {} vs {:#018x} :: {}\n  \
+                                     replay with SERVAL_SIM_SEED={seed} SERVAL_SIM_SCENARIO={name}",
+                                    r.trace_hash, r.summary, again.trace_hash, again.summary
+                                );
+                                failures += 1;
+                            }
+                        }
+                    }
+                    Err(f) => {
+                        eprintln!("{f}");
+                        failures += 1;
+                    }
+                }
+                ran += 1;
+            }
+            println!(
+                "{name}: {ran} seeds ({}), {} failure(s) so far",
+                if hostile { "hostile" } else { "plain" },
+                failures
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("sim sweep: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}

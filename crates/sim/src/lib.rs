@@ -1,0 +1,497 @@
+//! serval-sim: deterministic simulation scenarios for the concurrent
+//! engine.
+//!
+//! FoundationDB-style testing: each scenario exercises one concurrent
+//! subsystem — the work-stealing pool, the batch engine, the portfolio
+//! race, the shared disk cache, the certificate checker — under a
+//! [`sim`] context that owns scheduling, time, and IO failure. A
+//! scenario is a pure function of its seed: the schedule trace and the
+//! verdict summary are bit-identical across same-seed runs, so any
+//! failing schedule is a *replayable seed*, not a heisenbug.
+//!
+//! Two knobs per run ([`SimConfig`]): `buggify` arms the rare-branch
+//! hooks planted in production code (lock-order edges, fallback paths,
+//! purge skips, proof corruption), and `io_faults` arms torn/flipped/
+//! crashed disk writes in the verdict cache. The oracles here are
+//! written for *both* modes:
+//!
+//! - **Safety (always)**: never a wrong definitive verdict — a valid
+//!   theorem must not come back `Refuted`, an invalid one must not come
+//!   back `Proved`, a reloaded cache record must never carry a wrong
+//!   certificate, and nothing may panic.
+//! - **Liveness (plain runs only)**: with no faults armed, every query
+//!   resolves definitively, warm reruns hit on every non-trivial query
+//!   with zero misses, and no disk record is lost.
+//!
+//! The `sim_sweep` binary drives thousands of seeds per scenario;
+//! `tests/sim_regressions.rs` pins one named seed per bug this harness
+//! has caught, plus the same-seed determinism contract.
+
+use serval_check::sim::{self, SimConfig, TraceEvent};
+use serval_engine::cache::{Cache, CachedVerdict};
+use serval_engine::pool::Pool;
+use serval_engine::{Engine, EngineCfg, Query};
+use serval_smt::solver::{SolverConfig, VerifyResult};
+use serval_smt::{reset_ctx, SBool, BV};
+
+/// Every scenario, in sweep order.
+pub const SCENARIOS: &[&str] = &[
+    "pool_determinism",
+    "engine_batch",
+    "portfolio_cancel",
+    "cache_writers",
+    "cert_demotion",
+];
+
+/// What a completed scenario run observed.
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub name: String,
+    /// The seed the run was driven by.
+    pub seed: u64,
+    /// FNV fingerprint of the schedule trace (the determinism oracle:
+    /// same seed ⇒ same hash).
+    pub trace_hash: u64,
+    /// Final virtual time, nanoseconds.
+    pub vtime: u64,
+    /// Number of trace events.
+    pub events: usize,
+    /// Scenario-defined behavior summary (verdict letters, counters);
+    /// also covered by the determinism contract.
+    pub summary: String,
+    /// The full schedule trace, so regression tests can assert that a
+    /// pinned seed really exercises the fault it was pinned for.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl ScenarioReport {
+    /// Whether the trace contains a fired buggify point named `point`.
+    pub fn fired(&self, point: &str) -> bool {
+        self.trace
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Buggify { point: p, .. } if *p == point))
+    }
+
+    /// Whether the trace contains an injected IO fault of kind `kind`
+    /// (`torn`, `flip`, `crash`, or `lost-rename`).
+    pub fn injected(&self, kind: &str) -> bool {
+        self.trace
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::IoFault { kind: k, .. } if *k == kind))
+    }
+
+    /// Whether any worker claimed a job from `source` (`own`,
+    /// `injector`, or `steal`).
+    pub fn claimed_from(&self, source: &str) -> bool {
+        self.trace
+            .iter()
+            .any(|ev| matches!(ev, TraceEvent::Step { source: s, .. } if *s == source))
+    }
+}
+
+/// A scenario that panicked: the replayable bug report.
+#[derive(Clone, Debug)]
+pub struct ScenarioFailure {
+    /// Scenario name.
+    pub name: String,
+    /// The offending seed — rerunning with it replays the failure.
+    pub seed: u64,
+    /// The panic message (usually an oracle assertion).
+    pub message: String,
+    /// The tail of the schedule trace leading up to the failure.
+    pub trace_tail: Vec<TraceEvent>,
+}
+
+impl std::fmt::Display for ScenarioFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "scenario {} FAILED at seed {}: {}",
+            self.name, self.seed, self.message
+        )?;
+        writeln!(f, "  schedule tail:")?;
+        for ev in &self.trace_tail {
+            writeln!(f, "    {ev:?}")?;
+        }
+        write!(
+            f,
+            "  replay: SERVAL_SIM_SEED={} SERVAL_SIM_SCENARIO={} cargo run -p serval-sim --bin sim_sweep",
+            self.seed, self.name
+        )
+    }
+}
+
+/// Runs one scenario under a fresh sim context. The context is always
+/// torn down, even when the scenario's oracle panics — the panic becomes
+/// an [`ScenarioFailure`] carrying the seed and the trace tail.
+pub fn run_scenario(name: &str, cfg: SimConfig) -> Result<ScenarioReport, ScenarioFailure> {
+    let body: fn(&SimConfig) -> String = match name {
+        "pool_determinism" => pool_determinism,
+        "engine_batch" => engine_batch,
+        "portfolio_cancel" => portfolio_cancel,
+        "cache_writers" => cache_writers,
+        "cert_demotion" => cert_demotion,
+        _ => panic!("unknown scenario {name:?} (known: {SCENARIOS:?})"),
+    };
+    let seed = cfg.seed;
+    sim::begin(cfg.clone());
+    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&cfg)));
+    let report = sim::end();
+    match out {
+        Ok(summary) => Ok(ScenarioReport {
+            name: name.to_string(),
+            seed,
+            trace_hash: report.trace_hash(),
+            vtime: report.vtime,
+            events: report.trace.len(),
+            summary,
+            trace: report.trace,
+        }),
+        Err(p) => Err(ScenarioFailure {
+            name: name.to_string(),
+            seed,
+            message: panic_text(p),
+            trace_tail: report
+                .trace
+                .iter()
+                .rev()
+                .take(12)
+                .rev()
+                .cloned()
+                .collect(),
+        }),
+    }
+}
+
+fn panic_text(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "scenario panicked".to_string()
+    }
+}
+
+fn q(label: &str, assumptions: Vec<SBool>, goal: SBool) -> Query {
+    Query {
+        label: label.to_string(),
+        assumptions,
+        goal,
+        cfg: SolverConfig::default(),
+    }
+}
+
+/// One letter per verdict, the compact summary alphabet.
+fn letter(r: &VerifyResult) -> char {
+    match r {
+        VerifyResult::Proved => 'P',
+        VerifyResult::Counterexample(_) => 'R',
+        VerifyResult::Unknown => 'U',
+        VerifyResult::Interrupted => 'I',
+    }
+}
+
+/// The shared verdict oracle: a *wrong* definitive verdict is fatal in
+/// every mode; a non-definitive verdict (`Unknown`/`Interrupted`) is
+/// fatal only in plain runs, where nothing can legitimately degrade. A
+/// reported counterexample must actually refute the caller's query.
+fn check_verdicts(
+    outcomes: &[serval_engine::QueryOutcome],
+    oracle: &[(Vec<SBool>, SBool, bool)],
+    cfg: &SimConfig,
+) {
+    assert_eq!(outcomes.len(), oracle.len());
+    let faulty = cfg.buggify || cfg.io_faults;
+    for (o, (assumptions, goal, valid)) in outcomes.iter().zip(oracle) {
+        match &o.result {
+            VerifyResult::Proved => {
+                assert!(
+                    *valid,
+                    "{}: invalid theorem came back Proved — wrong verdict",
+                    o.label
+                );
+            }
+            VerifyResult::Counterexample(m) => {
+                assert!(
+                    !*valid,
+                    "{}: valid theorem came back Refuted — wrong verdict",
+                    o.label
+                );
+                assert!(
+                    assumptions.iter().all(|a| m.eval_bool(a.0)) && !m.eval_bool(goal.0),
+                    "{}: reported countermodel does not refute the query",
+                    o.label
+                );
+            }
+            VerifyResult::Unknown | VerifyResult::Interrupted => {
+                assert!(
+                    faulty,
+                    "{}: non-definitive verdict {:?} in a fault-free run",
+                    o.label, o.result
+                );
+            }
+        }
+    }
+}
+
+// -----------------------------------------------------------------
+// Scenarios
+// -----------------------------------------------------------------
+
+/// The work-stealing pool under a seeded scheduler: whatever order the
+/// virtual workers claim jobs in (own/injector/steal, reordered by
+/// buggify), results must come back in submission order, twice in a row
+/// on the same pool.
+fn pool_determinism(_cfg: &SimConfig) -> String {
+    let pool = Pool::new(4);
+    assert!(pool.simulated(), "pool must take the sim executor under a sim context");
+    for (round, n) in [(0usize, 16usize), (1, 5)] {
+        sim::mark(format!("pool-batch-{round}"));
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..n)
+            .map(|i| {
+                let b: Box<dyn FnOnce() -> usize + Send> = Box::new(move || i);
+                b
+            })
+            .collect();
+        let results: Vec<usize> = pool
+            .run_batch(tasks)
+            .into_iter()
+            .map(|r| r.expect("no task panics in this scenario"))
+            .collect();
+        assert_eq!(
+            results,
+            (0..n).collect::<Vec<_>>(),
+            "batch results must arrive in submission order"
+        );
+    }
+    "two batches in submission order".to_string()
+}
+
+/// The full engine pipeline (presolve, split, sessions, cache, certs)
+/// on a mixed batch with a known verdict oracle, plus the warm-rerun
+/// accounting invariant: `hits = submitted - trivial`, `misses = 0`.
+fn engine_batch(cfg: &SimConfig) -> String {
+    reset_ctx();
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let z = BV::fresh(32, "z");
+    let engine = Engine::new(EngineCfg {
+        jobs: 3,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental: true,
+        presolve: true,
+        cert: true,
+    });
+    // (assumptions, goal, is-valid-theorem)
+    let oracle: Vec<(Vec<SBool>, SBool, bool)> = vec![
+        (vec![], (x & y).ule(x), true),
+        (vec![], (x + y).eq_(y + x), true),
+        (vec![], x.ule(y), false),
+        (vec![x.ult(y), y.ult(z)], x.ult(z), true),
+        (vec![], (x & y).ule(x) & ((x & y) + (x | y)).eq_(x + y), true),
+    ];
+    let make = || -> Vec<Query> {
+        oracle
+            .iter()
+            .enumerate()
+            .map(|(i, (a, g, _))| q(&format!("q{i}"), a.clone(), *g))
+            .collect()
+    };
+    sim::mark("cold");
+    let cold = engine.submit_batch(make());
+    check_verdicts(&cold, &oracle, cfg);
+    let (h0, m0) = engine.cache_stats();
+    let (s0, t0) = engine.query_counts();
+    sim::mark("warm");
+    let warm = engine.submit_batch(make());
+    check_verdicts(&warm, &oracle, cfg);
+    let (h1, m1) = engine.cache_stats();
+    let (s1, t1) = engine.query_counts();
+    let (wh, wm, ws, wt) = (h1 - h0, m1 - m0, s1 - s0, t1 - t0);
+    // Definitive cold and warm verdicts must agree (a degraded Unknown
+    // in one run may resolve in the other; that is not a disagreement).
+    for (c, w) in cold.iter().zip(&warm) {
+        let (lc, lw) = (letter(&c.result), letter(&w.result));
+        if "PR".contains(lc) && "PR".contains(lw) {
+            assert_eq!(lc, lw, "{}: cold {lc} vs warm {lw}", c.label);
+        }
+    }
+    if !cfg.buggify && !cfg.io_faults {
+        // The batch accounting invariant, on a genuinely warm cache.
+        assert_eq!(wm, 0, "warm rerun must not miss");
+        assert_eq!(wh, ws - wt, "warm hits must cover every non-trivial query");
+        for w in &warm {
+            assert!(
+                w.cache_hit || matches!(w.result, VerifyResult::Proved if w.stats.is_none()),
+                "{}: warm outcome neither a cache hit nor trivial",
+                w.label
+            );
+        }
+    }
+    let cold_s: String = cold.iter().map(|o| letter(&o.result)).collect();
+    let warm_s: String = warm.iter().map(|o| letter(&o.result)).collect();
+    format!("cold={cold_s} warm={warm_s} acct={wh}h/{wm}m/{ws}q/{wt}t")
+}
+
+/// The portfolio race under simulation: sequential seed-ordered
+/// variants, first definitive verdict wins, buggify may "cancel" a
+/// winner. The verdict may degrade, never flip.
+fn portfolio_cancel(cfg: &SimConfig) -> String {
+    reset_ctx();
+    let x = BV::fresh(24, "x");
+    let y = BV::fresh(24, "y");
+    let engine = Engine::new(EngineCfg {
+        jobs: 3,
+        portfolio: true,
+        disk_cache: None,
+        split: true,
+        incremental: true, // preempted by portfolio
+        presolve: true,
+        cert: true,
+    });
+    assert!(!engine.incremental(), "portfolio preempts sessions");
+    let oracle: Vec<(Vec<SBool>, SBool, bool)> = vec![
+        (vec![], (x ^ y).eq_(y ^ x), true),
+        (vec![], x.ule(x | y), true),
+        (vec![], x.ult(y), false),
+    ];
+    let queries: Vec<Query> = oracle
+        .iter()
+        .enumerate()
+        .map(|(i, (a, g, _))| q(&format!("pf{i}"), a.clone(), *g))
+        .collect();
+    let out = engine.submit_batch(queries);
+    check_verdicts(&out, &oracle, cfg);
+    let verdicts: String = out.iter().map(|o| letter(&o.result)).collect();
+    let variants: String = out
+        .iter()
+        .map(|o| char::from_digit(o.variant as u32 % 10, 10).unwrap())
+        .collect();
+    format!("verdicts={verdicts} variants={variants}")
+}
+
+/// Two cache instances sharing one directory under hostile IO (torn
+/// appends, bit flips, crash-kills-IO, lost renames): whatever subset of
+/// records survives a reload, none may carry a wrong certificate, the
+/// loader must not panic, and with faults off nothing may be lost.
+fn cache_writers(cfg: &SimConfig) -> String {
+    let dir = std::env::temp_dir().join(format!(
+        "serval-sim-cachew-{}-{}",
+        std::process::id(),
+        cfg.seed
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let a = Cache::new(Some(dir.clone()), false);
+    let b = Cache::new(Some(dir.clone()), false);
+    let mut expected: Vec<(Vec<u8>, u64)> = Vec::new();
+    for i in 0..40u64 {
+        let key = format!("sim-key-{i:03}").into_bytes();
+        let cert = 0x5157_0000 + i;
+        let writer = if sim::choose(2) == 0 { &a } else { &b };
+        writer.insert(key.clone(), CachedVerdict::Proved { cert });
+        expected.push((key, cert));
+    }
+    // A simulated crash may have killed this "process"'s IO mid-run;
+    // the next generation reboots on the same disk and reloads.
+    sim::io::revive();
+    sim::mark("reload");
+    let reloaded = Cache::new(Some(dir.clone()), false);
+    let mut survived = 0usize;
+    for (key, cert) in &expected {
+        match reloaded.probe(key) {
+            Some(CachedVerdict::Proved { cert: c }) => {
+                assert_eq!(
+                    c, *cert,
+                    "reloaded record for {:?} carries a wrong certificate",
+                    String::from_utf8_lossy(key)
+                );
+                survived += 1;
+            }
+            Some(CachedVerdict::Refuted(_)) => {
+                panic!("proved-only disk tier produced a Refuted entry")
+            }
+            None => {}
+        }
+    }
+    assert!(
+        reloaded.len() <= expected.len(),
+        "reload invented records: {} loaded from {} written",
+        reloaded.len(),
+        expected.len()
+    );
+    if !cfg.io_faults {
+        assert_eq!(
+            survived,
+            expected.len(),
+            "fault-free run must persist every record"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    format!("wrote={} survived={survived}", expected.len())
+}
+
+/// Certificate demotion: with buggify able to corrupt proofs before the
+/// checker sees them, a solver `Unsat` must come back `Proved` *with a
+/// checked certificate* or demote to `Unknown` with the rejection
+/// reason — never an unchecked `Proved`, never a flip to `Refuted`.
+fn cert_demotion(cfg: &SimConfig) -> String {
+    reset_ctx();
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let z = BV::fresh(32, "z");
+    let engine = Engine::new(EngineCfg {
+        jobs: 2,
+        portfolio: false,
+        disk_cache: None,
+        split: false,
+        incremental: false, // fresh solver per query: the corrupt-proof path
+        presolve: true,
+        cert: true,
+    });
+    let oracle: Vec<(Vec<SBool>, SBool, bool)> = vec![
+        (vec![], (x & y).ule(x), true),
+        (vec![], (x | y).ule(x | y), true),
+        (vec![], ((x ^ y) ^ y).eq_(x), true),
+        (vec![], (x + (y + z)).eq_((x + y) + z), true),
+    ];
+    let queries: Vec<Query> = oracle
+        .iter()
+        .enumerate()
+        .map(|(i, (a, g, _))| q(&format!("cert{i}"), a.clone(), *g))
+        .collect();
+    let out = engine.submit_batch(queries);
+    check_verdicts(&out, &oracle, cfg);
+    let mut proved = 0usize;
+    let mut demoted = 0usize;
+    for o in &out {
+        match &o.result {
+            VerifyResult::Proved => {
+                assert!(
+                    o.cert.is_some(),
+                    "{}: certified engine reported Proved without a certificate",
+                    o.label
+                );
+                proved += 1;
+            }
+            VerifyResult::Unknown => {
+                assert!(
+                    o.error.is_some(),
+                    "{}: demoted verdict must carry the rejection reason",
+                    o.label
+                );
+                demoted += 1;
+            }
+            _ => {}
+        }
+    }
+    let (_accepted, rejected) = engine.cert_counts();
+    assert_eq!(
+        rejected as usize, demoted,
+        "every rejected certificate is exactly one demoted outcome"
+    );
+    format!("proved={proved} demoted={demoted}")
+}

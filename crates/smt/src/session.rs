@@ -39,6 +39,7 @@ use crate::bv::SBool;
 use crate::presolve::{self, BaseSimp};
 use crate::solver::{extract_model, CheckResult, QueryStats, SolverConfig};
 use crate::term::TermId;
+use serval_check::sim;
 use serval_sat::{Lit, ProofStep, SolveResult, Solver, SolverStats};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::AtomicBool;
@@ -272,6 +273,14 @@ impl Session {
 
     /// Purges terms whose last planned use was the goal just answered.
     fn purge_expired(&mut self) {
+        // Buggify: miss this purge round, as a deferred retirement
+        // under memory pressure would. Purging is purely an
+        // optimization (retired gate clauses are conservative
+        // extensions either way), so every later goal's verdict must be
+        // identical with or without it — the sim sweep pins that.
+        if sim::buggify("session-skip-purge") {
+            return;
+        }
         let Some(plan) = &mut self.plan else { return };
         let i = (self.goals - 1) as usize;
         if i >= plan.expiry.len() {
