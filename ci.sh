@@ -41,8 +41,28 @@ echo "== deterministic simulation (500-seed hostile sweep) =="
 SERVAL_BUGGIFY=1 SERVAL_SIM_SWEEP=500 \
   cargo run --release --offline -p serval-sim --bin sim_sweep
 
+# Verification service: start servald on an ephemeral loopback port,
+# then discharge the whole certikos -O1 refinement through serval-cli
+# and compare against an in-process run. `parity` exits nonzero on any
+# verdict mismatch or if fewer than 2 shards did work. The net_batch
+# scenario is already covered by the hostile sweep above.
+echo "== verification service (loopback smoke) =="
+rm -f target/servald.addr
+./target/release/servald --addr 127.0.0.1:0 --addr-file target/servald.addr --shards 2 &
+SERVALD_PID=$!
+trap 'kill "$SERVALD_PID" 2>/dev/null || true' EXIT
+i=0
+while [ ! -s target/servald.addr ] && [ "$i" -lt 100 ]; do
+  i=$((i + 1))
+  sleep 0.1
+done
+[ -s target/servald.addr ] || { echo "servald never wrote its address"; exit 1; }
+SERVAL_ADDR="$(cat target/servald.addr)" ./target/release/serval-cli parity o1
+kill "$SERVALD_PID"
+
 echo "== examples =="
 cargo run --release --offline --example quickstart
 cargo run --release --offline --example bpf_jit_check
+cargo run --release --offline --example remote_probe
 
 echo "CI OK"

@@ -94,4 +94,18 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {}", cert_out.display());
+
+    // In-process vs loopback-server discharge on the same workload
+    // → BENCH_net.json.
+    let net_report = serval_bench::net_bench::run();
+    net_report.print_summary();
+    let net_out = out
+        .parent()
+        .map(|d| d.join("BENCH_net.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_net.json"));
+    if let Err(e) = net_report.write_json(&net_out) {
+        eprintln!("failed to write {}: {e}", net_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", net_out.display());
 }

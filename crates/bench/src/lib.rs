@@ -5,6 +5,7 @@
 pub mod cert_bench;
 pub mod engine_bench;
 pub mod incremental_bench;
+pub mod net_bench;
 pub mod presolve_bench;
 pub mod suites;
 
@@ -226,6 +227,35 @@ mod tests {
             on_warm: run(Some(3)),
         };
         assert!(!bad.verdicts_equal());
+    }
+
+    #[test]
+    fn net_bench_detects_single_flipped_verdict() {
+        use crate::net_bench::{NetBenchReport, NetRun, ProbeStats};
+        let run = |flip: Option<usize>| NetRun { secs: 1.0, verdicts: verdicts(flip) };
+        let report = |flip: [Option<usize>; 3]| NetBenchReport {
+            shards: 2,
+            shard_jobs: 1,
+            local: run(flip[0]),
+            remote_cold: run(flip[1]),
+            remote_warm: run(flip[2]),
+            shard_rows: Vec::new(),
+            hot_hits: 0,
+            warm_hit_rate: 1.0,
+            shards_exercised: 2,
+            bytes_sent: 0,
+            bytes_received: 0,
+            probe: ProbeStats { queries: 0, qps: 0.0, p50_micros: 0, p95_micros: 0 },
+        };
+        assert!(report([None, None, None]).verdicts_equal());
+        for slot in 0..3 {
+            let mut flips = [None, None, None];
+            flips[slot] = Some(2);
+            assert!(
+                !report(flips).verdicts_equal(),
+                "flipping one verdict in run {slot} must be detected"
+            );
+        }
     }
 
     #[test]

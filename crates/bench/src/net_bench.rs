@@ -1,0 +1,293 @@
+//! The verification-service benchmark: the CertiKOS^s `-O1` refinement
+//! workload discharged in-process vs through a loopback `servald`, plus
+//! a small-query latency probe. Emitted as `BENCH_net.json` by
+//! `bench_all`.
+//!
+//! Three timed runs of the same workload: `local` (in-process engine,
+//! the baseline), `remote_cold` (every obligation serialized, routed
+//! across the server's shards, solved, and shipped back), and
+//! `remote_warm` (same server again, so shard verdict-cache partitions
+//! and the hot tier answer). The headline honesty check is
+//! `verdicts_equal`: the wire must change *nothing* about what is
+//! proved. On a 1-CPU container the interesting numbers are the wire
+//! overhead ratio, the warm hit rate through the server, and the
+//! per-shard work spread — not parallel speedup.
+
+use serval_core::report::ProofReport;
+use serval_core::OptCfg;
+use serval_engine::{Discharge, EngineCfg};
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_net::service::NetCfg;
+use serval_net::wire::ShardStatsRow;
+use serval_net::{Client, RemoteEngine, Server};
+use serval_smt::solver::SolverConfig;
+use serval_smt::{reset_ctx, BV};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One timed run of the refinement workload.
+pub struct NetRun {
+    /// Wall time (symbolic evaluation + discharge).
+    pub secs: f64,
+    /// Per-theorem `(name, proved)` verdicts.
+    pub verdicts: Vec<(String, bool)>,
+}
+
+/// The small-query latency probe (one query per frame, round-trip).
+pub struct ProbeStats {
+    /// Queries probed.
+    pub queries: usize,
+    /// Round-trips per second over the probe loop.
+    pub qps: f64,
+    /// Median round-trip, microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile round-trip, microseconds.
+    pub p95_micros: u64,
+}
+
+/// In-process vs loopback-server discharge.
+pub struct NetBenchReport {
+    /// Shards the server ran.
+    pub shards: usize,
+    /// Workers per shard.
+    pub shard_jobs: usize,
+    /// In-process baseline.
+    pub local: NetRun,
+    /// First run through the server (cold shard caches).
+    pub remote_cold: NetRun,
+    /// Second run through the same server (warm shard caches + hot tier).
+    pub remote_warm: NetRun,
+    /// Per-shard stats after both remote runs.
+    pub shard_rows: Vec<ShardStatsRow>,
+    /// Hot-tier hits across both remote runs.
+    pub hot_hits: u64,
+    /// (shard hits + hot hits) / (shard queued + hot hits) during the
+    /// warm run only.
+    pub warm_hit_rate: f64,
+    /// Shards that did work (`queued > 0`).
+    pub shards_exercised: usize,
+    /// Wire payload bytes sent / received across both remote runs.
+    pub bytes_sent: u64,
+    /// See `bytes_sent`.
+    pub bytes_received: u64,
+    /// The latency probe.
+    pub probe: ProbeStats,
+}
+
+fn workload() -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), SolverConfig::default())
+}
+
+fn verdicts_of(report: &ProofReport) -> Vec<(String, bool)> {
+    report
+        .theorems
+        .iter()
+        .map(|t| (t.name.clone(), t.verdict.is_proved()))
+        .collect()
+}
+
+fn timed_run() -> NetRun {
+    let t0 = Instant::now();
+    let report = workload();
+    NetRun { secs: t0.elapsed().as_secs_f64(), verdicts: verdicts_of(&report) }
+}
+
+/// 200 distinct single-query round trips against the running server;
+/// distinct forms, so each probe pays serialize + route + solve + reply.
+fn probe_latency(addr: &str) -> ProbeStats {
+    let mut client = Client::connect(addr).expect("probe client must connect");
+    let queries = 200usize;
+    let mut micros: Vec<u64> = Vec::with_capacity(queries);
+    let t0 = Instant::now();
+    for i in 0..queries {
+        reset_ctx();
+        let x = BV::fresh(32, "x");
+        let k = BV::lit(32, i as u128 + 1);
+        let q = serval_engine::Query {
+            label: format!("probe/{i}"),
+            assumptions: vec![],
+            goal: (x & k).ule(x | k),
+            cfg: SolverConfig::default(),
+        };
+        let t = Instant::now();
+        let out = client.submit_batch(vec![q]).expect("probe batch must succeed");
+        micros.push(t.elapsed().as_micros() as u64);
+        assert!(
+            matches!(out[0].result, serval_smt::solver::VerifyResult::Proved),
+            "probe tautology {i} came back {:?}",
+            out[0].result
+        );
+    }
+    let total = t0.elapsed().as_secs_f64();
+    micros.sort_unstable();
+    ProbeStats {
+        queries,
+        qps: queries as f64 / total.max(1e-9),
+        p50_micros: micros[queries / 2],
+        p95_micros: micros[queries * 95 / 100],
+    }
+}
+
+/// Runs the comparison: local baseline, then cold + warm through one
+/// loopback server, then the latency probe against the same (now warm)
+/// server.
+pub fn run() -> NetBenchReport {
+    // Local baseline on a fresh in-process engine.
+    serval_engine::clear_discharger();
+    serval_engine::install(EngineCfg { disk_cache: None, ..EngineCfg::from_env() });
+    let local = timed_run();
+
+    // One loopback server for both remote runs: at least 2 shards so the
+    // routing/reassembly machinery is actually exercised.
+    let mut cfg = NetCfg::from_env();
+    cfg.shards = cfg.shards.max(2);
+    cfg.engine.disk_cache = None;
+    let shards = cfg.shards;
+    let server = Server::bind("127.0.0.1:0", cfg).expect("loopback bind must succeed");
+    let addr = server.local_addr().to_string();
+    let shard_jobs = server.core().shard_jobs();
+
+    let remote = Arc::new(RemoteEngine::connect(&addr).expect("bench client must connect"));
+    serval_engine::install_discharger(Arc::clone(&remote) as Arc<dyn Discharge>);
+    let remote_cold = timed_run();
+    let after_cold = server.core().stats();
+    let remote_warm = timed_run();
+    serval_engine::clear_discharger();
+    let stats = server.core().stats();
+    let (bytes_sent, bytes_received) = remote.bytes();
+
+    let probe = probe_latency(&addr);
+    server.shutdown();
+
+    // Warm-run deltas: how much of the rerun the server answered from
+    // its shard cache partitions and the hot tier.
+    let row_sum = |rows: &[ShardStatsRow], f: fn(&ShardStatsRow) -> u64| -> u64 {
+        rows.iter().map(f).sum()
+    };
+    let warm_hits = row_sum(&stats.shards, |r| r.hits) - row_sum(&after_cold.shards, |r| r.hits)
+        + (stats.hot_hits - after_cold.hot_hits);
+    let warm_routed = row_sum(&stats.shards, |r| r.queued)
+        - row_sum(&after_cold.shards, |r| r.queued)
+        + (stats.hot_hits - after_cold.hot_hits);
+    let warm_hit_rate = if warm_routed == 0 { 0.0 } else { warm_hits as f64 / warm_routed as f64 };
+    let shards_exercised = stats.shards.iter().filter(|r| r.queued > 0).count();
+
+    // Leave the process-wide engine in its environment-default state.
+    serval_engine::install(EngineCfg::from_env());
+    NetBenchReport {
+        shards,
+        shard_jobs,
+        local,
+        remote_cold,
+        remote_warm,
+        shard_rows: stats.shards,
+        hot_hits: stats.hot_hits,
+        warm_hit_rate,
+        shards_exercised,
+        bytes_sent,
+        bytes_received,
+        probe,
+    }
+}
+
+impl NetBenchReport {
+    /// Whether all three runs proved exactly the same theorems
+    /// (per-theorem, in order).
+    pub fn verdicts_equal(&self) -> bool {
+        self.local.verdicts == self.remote_cold.verdicts
+            && self.local.verdicts == self.remote_warm.verdicts
+    }
+
+    /// Remote cold wall over local wall — what the wire costs.
+    pub fn overhead_ratio(&self) -> f64 {
+        self.remote_cold.secs / self.local.secs.max(1e-9)
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn run_json(r: &NetRun) -> String {
+            format!("{{\"secs\": {:.6}, \"theorems\": {}}}", r.secs, r.verdicts.len())
+        }
+        let rows: Vec<String> = self
+            .shard_rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"shard\": {}, \"queued\": {}, \"solved\": {}, \"hits\": {}, \
+                     \"cert_checked\": {}}}",
+                    r.shard, r.queued, r.solved, r.hits, r.cert_checked
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"workload\": \"certikos refinement -O1 via loopback servald\",\n  \
+             \"shards\": {},\n  \"shard_jobs\": {},\n  \
+             \"local\": {},\n  \"remote_cold\": {},\n  \"remote_warm\": {},\n  \
+             \"overhead_ratio\": {:.3},\n  \"warm_hit_rate\": {:.4},\n  \
+             \"hot_hits\": {},\n  \"shards_exercised\": {},\n  \
+             \"bytes_sent\": {},\n  \"bytes_received\": {},\n  \
+             \"probe\": {{\"queries\": {}, \"qps\": {:.1}, \"p50_micros\": {}, \
+             \"p95_micros\": {}}},\n  \
+             \"per_shard\": [{}],\n  \"verdicts_equal\": {}\n}}\n",
+            self.shards,
+            self.shard_jobs,
+            run_json(&self.local),
+            run_json(&self.remote_cold),
+            run_json(&self.remote_warm),
+            self.overhead_ratio(),
+            self.warm_hit_rate,
+            self.hot_hits,
+            self.shards_exercised,
+            self.bytes_sent,
+            self.bytes_received,
+            self.probe.queries,
+            self.probe.qps,
+            self.probe.p50_micros,
+            self.probe.p95_micros,
+            rows.join(", "),
+            self.verdicts_equal()
+        )
+    }
+
+    /// Writes the JSON report.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!(
+            "\nnet: in-process vs loopback servald (certikos refinement -O1, {} shards x {} workers)",
+            self.shards, self.shard_jobs
+        );
+        println!(
+            "  local {:>8.2}s   remote cold {:>8.2}s ({:.2}x)   remote warm {:>8.2}s",
+            self.local.secs,
+            self.remote_cold.secs,
+            self.overhead_ratio(),
+            self.remote_warm.secs
+        );
+        println!(
+            "  warm hit rate {:.1}%   hot hits {}   shards exercised {}/{}   wire {} B out / {} B in",
+            self.warm_hit_rate * 100.0,
+            self.hot_hits,
+            self.shards_exercised,
+            self.shards,
+            self.bytes_sent,
+            self.bytes_received
+        );
+        for r in &self.shard_rows {
+            println!(
+                "    shard {}: queued {}, solved {}, hits {}, certs {}",
+                r.shard, r.queued, r.solved, r.hits, r.cert_checked
+            );
+        }
+        println!(
+            "  probe: {} round-trips, {:.0} qps, p50 {}us, p95 {}us",
+            self.probe.queries, self.probe.qps, self.probe.p50_micros, self.probe.p95_micros
+        );
+        println!("  verdicts equal: {}", self.verdicts_equal());
+    }
+}

@@ -195,7 +195,7 @@ pub fn discharge(
 ) -> TheoremResult {
     let mut assumptions: Vec<SBool> = ctx.assumptions().to_vec();
     assumptions.extend_from_slice(extra);
-    let outcome = serval_engine::handle().submit(Query {
+    let outcome = serval_engine::discharger().submit(Query {
         label: name.into(),
         assumptions,
         goal,
@@ -226,7 +226,7 @@ pub fn discharge_batch(
             }
         })
         .collect();
-    let outcomes = serval_engine::handle().submit_batch(queries);
+    let outcomes = serval_engine::discharger().submit_batch(queries);
     ProofReport {
         theorems: outcomes
             .into_iter()
@@ -251,7 +251,7 @@ pub fn discharge_queries(
             cfg,
         })
         .collect();
-    let outcomes = serval_engine::handle().submit_batch(queries);
+    let outcomes = serval_engine::discharger().submit_batch(queries);
     ProofReport {
         theorems: outcomes
             .into_iter()

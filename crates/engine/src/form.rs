@@ -41,7 +41,7 @@ pub struct Query {
 /// One node of the portable term DAG. `children` index into
 /// [`FormCore::nodes`]; `Op::Var`/`Op::UfApply` payloads are *canonical*
 /// indices, not thread-local ordinals.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FormNode {
     /// The operator (with canonicalized payload for vars and UFs).
     pub op: Op,
@@ -468,6 +468,457 @@ pub fn split_goal(goal: SBool, cap: usize) -> Vec<SBool> {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Wire form: the network-portable serialization of a query.
+//
+// The cache form above merges `assumptions ∧ ¬goal` into one root set,
+// which is exactly what a solver wants but loses the assumption/goal
+// distinction a *server* needs: the receiving engine re-runs the full
+// presolve/split/session pipeline, and those stages treat the goal
+// specially. The wire core therefore keeps assumption roots and the
+// (un-negated) goal root separate, and `wire_bytes`/`wire_from_bytes`
+// give it a versioned, *validated* byte encoding — the decoder must
+// survive arbitrary adversarial bytes, because it sits behind a TCP
+// socket, so every structural invariant the builders establish
+// (arities, sorts, widths, postorder child indices, var/UF consistency)
+// is re-checked before a single term is interned.
+// ---------------------------------------------------------------------------
+
+/// The network-portable form of a query: assumption roots plus the
+/// un-negated goal root over one shared postorder node array. The byte
+/// encoding ([`wire_bytes`]) is alpha-invariant for the same reason the
+/// cache key is, so servers can key routing and hot-query detection on
+/// the raw frame bytes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireCore {
+    /// Term DAG in deterministic postorder.
+    pub nodes: Vec<FormNode>,
+    /// Assumption roots (deduplicated, canonically ordered).
+    pub asm_roots: Vec<u32>,
+    /// The goal root (NOT negated — the server's engine negates it).
+    pub goal_root: u32,
+    /// Sort of each canonical symbolic constant.
+    pub var_sorts: Vec<Sort>,
+    /// Signature (argument widths, result width) of each canonical UF.
+    pub uf_sigs: Vec<(Vec<u32>, u32)>,
+}
+
+/// A query reduced to wire form plus the client-side back map.
+pub struct WirePrepared {
+    /// The portable core.
+    pub core: WireCore,
+    /// Canonical-index → caller-term translation (for countermodels).
+    pub backmap: BackMap,
+}
+
+/// Extracts the wire form of `(assumptions, goal)`.
+///
+/// Must run on the thread that owns the terms.
+pub fn prepare_wire(assumptions: &[SBool], goal: SBool) -> WirePrepared {
+    let mut nz = Normalizer::default();
+    let asm_roots: Vec<u32> = canonical_roots(assumptions.iter().copied())
+        .into_iter()
+        .map(|r| nz.add_root(r))
+        .collect();
+    let goal_root = nz.add_root(goal.0);
+    WirePrepared {
+        core: WireCore {
+            nodes: nz.nodes,
+            asm_roots,
+            goal_root,
+            var_sorts: nz.var_sorts,
+            uf_sigs: nz.uf_sigs,
+        },
+        backmap: nz.backmap,
+    }
+}
+
+/// A [`WireCore`] rebuilt inside the current thread's term context.
+pub struct WireRebuilt {
+    /// The assumptions, as real terms.
+    pub assumptions: Vec<SBool>,
+    /// The goal, as a real term.
+    pub goal: SBool,
+    /// Canonical-index → this-thread translation, so a server can
+    /// project solver models back onto the *wire* numbering before
+    /// shipping them to the client.
+    pub backmap: BackMap,
+}
+
+/// Materializes a wire core as real terms on the current thread.
+pub fn rebuild_wire(core: &WireCore) -> WireRebuilt {
+    with_ctx(|c| {
+        let (ids, var_terms, uf_ids) =
+            materialize(c, &core.nodes, &core.var_sorts, &core.uf_sigs);
+        let backmap = BackMap {
+            vars: var_terms
+                .iter()
+                .zip(&core.var_sorts)
+                .map(|(&term, &sort)| VarOrigin { term, sort })
+                .collect(),
+            ufs: uf_ids,
+        };
+        WireRebuilt {
+            assumptions: core.asm_roots.iter().map(|&r| SBool(ids[r as usize])).collect(),
+            goal: SBool(ids[core.goal_root as usize]),
+            backmap,
+        }
+    })
+}
+
+/// Wire encoding version tag. Bump when the node encoding changes.
+const WIRE_MAGIC: &[u8; 4] = b"SW1\0";
+
+/// Serializes a wire core. Layout (all integers little-endian):
+/// magic, var sorts, UF signatures, nodes, assumption roots, goal root —
+/// declarations before nodes so [`wire_from_bytes`] validates in one
+/// pass.
+pub fn wire_bytes(core: &WireCore) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(WIRE_MAGIC);
+    push_u32(&mut out, core.var_sorts.len() as u32);
+    for &s in &core.var_sorts {
+        encode_sort(s, &mut out);
+    }
+    push_u32(&mut out, core.uf_sigs.len() as u32);
+    for (args, result) in &core.uf_sigs {
+        push_u32(&mut out, args.len() as u32);
+        for &a in args {
+            push_u32(&mut out, a);
+        }
+        push_u32(&mut out, *result);
+    }
+    push_u32(&mut out, core.nodes.len() as u32);
+    for n in &core.nodes {
+        encode_node(&n.op, &n.children, n.sort, &mut out);
+    }
+    push_u32(&mut out, core.asm_roots.len() as u32);
+    for &r in &core.asm_roots {
+        push_u32(&mut out, r);
+    }
+    push_u32(&mut out, core.goal_root);
+    out
+}
+
+/// Little-endian cursor over untrusted bytes. Every read is
+/// bounds-checked; element counts are validated against the remaining
+/// byte budget before any allocation, so a hostile length field cannot
+/// force an oversized reservation.
+struct Rd<'a> {
+    b: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn u8(&mut self) -> Result<u8, &'static str> {
+        let v = *self.b.get(self.at).ok_or("truncated")?;
+        self.at += 1;
+        Ok(v)
+    }
+    fn u32(&mut self) -> Result<u32, &'static str> {
+        let s = self.b.get(self.at..self.at + 4).ok_or("truncated")?;
+        self.at += 4;
+        Ok(u32::from_le_bytes(s.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Result<u128, &'static str> {
+        let s = self.b.get(self.at..self.at + 16).ok_or("truncated")?;
+        self.at += 16;
+        Ok(u128::from_le_bytes(s.try_into().unwrap()))
+    }
+    /// Reads a count whose elements occupy at least `min_elem` bytes
+    /// each, rejecting counts the remaining buffer cannot possibly hold.
+    fn count(&mut self, min_elem: usize) -> Result<usize, &'static str> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_elem) > self.b.len() - self.at {
+            return Err("count overruns buffer");
+        }
+        Ok(n)
+    }
+    fn sort(&mut self) -> Result<Sort, &'static str> {
+        match self.u8()? {
+            0 => Ok(Sort::Bool),
+            1 => {
+                let w = self.u32()?;
+                if !(1..=128).contains(&w) {
+                    return Err("bitvector width out of range");
+                }
+                Ok(Sort::BitVec(w))
+            }
+            _ => Err("unknown sort tag"),
+        }
+    }
+}
+
+fn bv_width(s: Sort) -> Result<u32, &'static str> {
+    match s {
+        Sort::BitVec(w) => Ok(w),
+        Sort::Bool => Err("expected bitvector sort"),
+    }
+}
+
+/// Checks one decoded node against the invariants the term builders
+/// establish: arity, child sorts, and result sort per operator.
+fn check_node(
+    op: &Op,
+    children: &[u32],
+    sort: Sort,
+    sorts: &[Sort],
+    var_sorts: &[Sort],
+    uf_sigs: &[(Vec<u32>, u32)],
+) -> Result<(), &'static str> {
+    let child = |i: usize| -> Sort { sorts[children[i] as usize] };
+    let arity = |n: usize| -> Result<(), &'static str> {
+        if children.len() == n {
+            Ok(())
+        } else {
+            Err("operator arity mismatch")
+        }
+    };
+    match op {
+        Op::BoolConst(_) => {
+            arity(0)?;
+            if sort != Sort::Bool {
+                return Err("bool constant must have Bool sort");
+            }
+        }
+        Op::BvConst(v) => {
+            arity(0)?;
+            let w = bv_width(sort)?;
+            if w < 128 && *v >> w != 0 {
+                return Err("bitvector constant exceeds its width");
+            }
+        }
+        Op::Var(k) => {
+            arity(0)?;
+            let vs = var_sorts.get(*k as usize).ok_or("var index out of range")?;
+            if *vs != sort {
+                return Err("var sort mismatch");
+            }
+        }
+        Op::Not => {
+            arity(1)?;
+            if sort != Sort::Bool || child(0) != Sort::Bool {
+                return Err("Not must be Bool over Bool");
+            }
+        }
+        Op::And | Op::Or => {
+            if children.len() < 2 {
+                return Err("And/Or needs at least two children");
+            }
+            if sort != Sort::Bool || (0..children.len()).any(|i| child(i) != Sort::Bool) {
+                return Err("And/Or must be Bool over Bools");
+            }
+        }
+        Op::Xor | Op::Iff => {
+            arity(2)?;
+            if sort != Sort::Bool || child(0) != Sort::Bool || child(1) != Sort::Bool {
+                return Err("Xor/Iff must be Bool over Bools");
+            }
+        }
+        Op::IteBool => {
+            arity(3)?;
+            if sort != Sort::Bool
+                || child(0) != Sort::Bool
+                || child(1) != Sort::Bool
+                || child(2) != Sort::Bool
+            {
+                return Err("IteBool must be Bool over Bools");
+            }
+        }
+        Op::Eq | Op::Ult | Op::Ule | Op::Slt | Op::Sle => {
+            arity(2)?;
+            let w0 = bv_width(child(0))?;
+            let w1 = bv_width(child(1))?;
+            if sort != Sort::Bool || w0 != w1 {
+                return Err("predicate needs same-width bitvector children");
+            }
+        }
+        Op::BvNot | Op::BvNeg => {
+            arity(1)?;
+            if bv_width(sort)? != bv_width(child(0))? {
+                return Err("unary bitvector op width mismatch");
+            }
+        }
+        Op::BvAnd
+        | Op::BvOr
+        | Op::BvXor
+        | Op::BvAdd
+        | Op::BvSub
+        | Op::BvMul
+        | Op::BvUdiv
+        | Op::BvUrem
+        | Op::BvShl
+        | Op::BvLshr
+        | Op::BvAshr => {
+            arity(2)?;
+            let w = bv_width(sort)?;
+            if bv_width(child(0))? != w || bv_width(child(1))? != w {
+                return Err("binary bitvector op width mismatch");
+            }
+        }
+        Op::Concat => {
+            arity(2)?;
+            let w = bv_width(child(0))?
+                .checked_add(bv_width(child(1))?)
+                .ok_or("concat width overflow")?;
+            if w > 128 || bv_width(sort)? != w {
+                return Err("concat width mismatch");
+            }
+        }
+        Op::Extract(hi, lo) => {
+            arity(1)?;
+            let w = bv_width(child(0))?;
+            if lo > hi || *hi >= w || bv_width(sort)? != hi - lo + 1 {
+                return Err("extract range invalid");
+            }
+        }
+        Op::ZeroExt | Op::SignExt => {
+            arity(1)?;
+            if bv_width(sort)? < bv_width(child(0))? {
+                return Err("extension narrows its operand");
+            }
+        }
+        Op::IteBv => {
+            arity(3)?;
+            let w = bv_width(sort)?;
+            if child(0) != Sort::Bool || bv_width(child(1))? != w || bv_width(child(2))? != w {
+                return Err("IteBv must be Bool-guarded same-width bitvectors");
+            }
+        }
+        Op::UfApply(UfId(k)) => {
+            let (args, result) =
+                uf_sigs.get(*k as usize).ok_or("UF index out of range")?;
+            if children.len() != args.len() {
+                return Err("UF arity mismatch");
+            }
+            for (i, &aw) in args.iter().enumerate() {
+                if bv_width(child(i))? != aw {
+                    return Err("UF argument width mismatch");
+                }
+            }
+            if bv_width(sort)? != *result {
+                return Err("UF result width mismatch");
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decodes and fully validates a wire core from untrusted bytes.
+///
+/// Success means the core satisfies every invariant `materialize`
+/// assumes: postorder child indices, in-range var/UF references with
+/// consistent sorts, builder-legal arities and widths, Bool roots. On
+/// any violation the *whole* core is rejected — no partial decode.
+pub fn wire_from_bytes(bytes: &[u8]) -> Result<WireCore, &'static str> {
+    if bytes.len() < 4 || &bytes[..4] != WIRE_MAGIC {
+        return Err("bad wire magic");
+    }
+    let mut rd = Rd { b: bytes, at: 4 };
+    let n_vars = rd.count(1)?;
+    let mut var_sorts = Vec::with_capacity(n_vars);
+    for _ in 0..n_vars {
+        var_sorts.push(rd.sort()?);
+    }
+    let n_ufs = rd.count(8)?;
+    let mut uf_sigs = Vec::with_capacity(n_ufs);
+    for _ in 0..n_ufs {
+        let n_args = rd.count(4)?;
+        let mut args = Vec::with_capacity(n_args);
+        for _ in 0..n_args {
+            let w = rd.u32()?;
+            if !(1..=128).contains(&w) {
+                return Err("UF argument width out of range");
+            }
+            args.push(w);
+        }
+        let result = rd.u32()?;
+        if !(1..=128).contains(&result) {
+            return Err("UF result width out of range");
+        }
+        uf_sigs.push((args, result));
+    }
+    let n_nodes = rd.count(6)?;
+    let mut nodes: Vec<FormNode> = Vec::with_capacity(n_nodes);
+    let mut sorts: Vec<Sort> = Vec::with_capacity(n_nodes);
+    for idx in 0..n_nodes {
+        let op = match rd.u8()? {
+            0 => match rd.u8()? {
+                0 => Op::BoolConst(false),
+                1 => Op::BoolConst(true),
+                _ => return Err("bool constant payload invalid"),
+            },
+            1 => Op::BvConst(rd.u128()?),
+            2 => Op::Var(rd.u32()?),
+            3 => Op::Not,
+            4 => Op::And,
+            5 => Op::Or,
+            6 => Op::Xor,
+            7 => Op::Iff,
+            8 => Op::IteBool,
+            9 => Op::Eq,
+            10 => Op::Ult,
+            11 => Op::Ule,
+            12 => Op::Slt,
+            13 => Op::Sle,
+            14 => Op::BvNot,
+            15 => Op::BvNeg,
+            16 => Op::BvAnd,
+            17 => Op::BvOr,
+            18 => Op::BvXor,
+            19 => Op::BvAdd,
+            20 => Op::BvSub,
+            21 => Op::BvMul,
+            22 => Op::BvUdiv,
+            23 => Op::BvUrem,
+            24 => Op::BvShl,
+            25 => Op::BvLshr,
+            26 => Op::BvAshr,
+            27 => Op::Concat,
+            28 => {
+                let hi = rd.u32()?;
+                let lo = rd.u32()?;
+                Op::Extract(hi, lo)
+            }
+            29 => Op::ZeroExt,
+            30 => Op::SignExt,
+            31 => Op::IteBv,
+            32 => Op::UfApply(UfId(rd.u32()?)),
+            _ => return Err("unknown operator tag"),
+        };
+        let sort = rd.sort()?;
+        let n_children = rd.count(4)?;
+        let mut children = Vec::with_capacity(n_children);
+        for _ in 0..n_children {
+            let c = rd.u32()?;
+            if c as usize >= idx {
+                return Err("child index breaks postorder");
+            }
+            children.push(c);
+        }
+        check_node(&op, &children, sort, &sorts, &var_sorts, &uf_sigs)?;
+        sorts.push(sort);
+        nodes.push(FormNode { op, children, sort });
+    }
+    let n_asm = rd.count(4)?;
+    let mut asm_roots = Vec::with_capacity(n_asm);
+    for _ in 0..n_asm {
+        let r = rd.u32()?;
+        if sorts.get(r as usize) != Some(&Sort::Bool) {
+            return Err("assumption root must be an in-range Bool node");
+        }
+        asm_roots.push(r);
+    }
+    let goal_root = rd.u32()?;
+    if sorts.get(goal_root as usize) != Some(&Sort::Bool) {
+        return Err("goal root must be an in-range Bool node");
+    }
+    if rd.at != bytes.len() {
+        return Err("trailing garbage after wire core");
+    }
+    Ok(WireCore { nodes, asm_roots, goal_root, var_sorts, uf_sigs })
 }
 
 fn fetch(t: TermId) -> (Op, Vec<TermId>, Sort) {

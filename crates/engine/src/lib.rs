@@ -1132,7 +1132,7 @@ fn remap_portable(pm: &PortableModel, from: &BackMap, to: &BackMap) -> PortableM
 /// model entries the map doesn't reach are don't-cares and stay out. UF
 /// rows are sorted so the portable form (and hence the cache bytes) is
 /// deterministic.
-fn portable_of_caller_model(m: &Model, backmap: &BackMap) -> PortableModel {
+pub fn portable_of_caller_model(m: &Model, backmap: &BackMap) -> PortableModel {
     let mut pm = PortableModel::default();
     for (k, origin) in backmap.vars.iter().enumerate() {
         if let Some(&v) = m.bv_values.get(&origin.term) {
@@ -1164,7 +1164,7 @@ fn rehydrate(cached: CachedVerdict, backmap: &BackMap) -> VerifyResult {
 }
 
 /// Maps a portable model onto the submitting thread's terms.
-fn portable_to_model(pm: &PortableModel, backmap: &BackMap) -> Model {
+pub fn portable_to_model(pm: &PortableModel, backmap: &BackMap) -> Model {
     let mut m = Model::default();
     for &(k, v) in &pm.bvs {
         m.set_bv(backmap.vars[k as usize].term, v);
@@ -1202,4 +1202,65 @@ pub fn install(cfg: EngineCfg) -> Arc<Engine> {
     let engine = Arc::new(Engine::new(cfg));
     *global_slot().lock().unwrap() = Some(Arc::clone(&engine));
     engine
+}
+
+/// The discharge seam: anything that can resolve a batch of queries into
+/// submission-order outcomes. [`Engine`] is the in-process
+/// implementation; `serval-net`'s `RemoteEngine` forwards the batch to a
+/// `servald` server over TCP. Consumers (`serval_core::report`) go
+/// through [`discharger`], so whole workloads can be redirected over the
+/// network without touching the proof code.
+pub trait Discharge: Send + Sync {
+    /// Discharges a batch, returning outcomes in submission order. Must
+    /// be called from the thread that owns the queries' terms.
+    fn submit_batch(&self, queries: Vec<Query>) -> Vec<QueryOutcome>;
+
+    /// Discharges one query.
+    fn submit(&self, query: Query) -> QueryOutcome {
+        self.submit_batch(vec![query])
+            .pop()
+            .expect("one query in, one outcome out")
+    }
+
+    /// Human-readable description for reports and diagnostics.
+    fn describe(&self) -> String {
+        "in-process engine".to_string()
+    }
+}
+
+impl Discharge for Engine {
+    fn submit_batch(&self, queries: Vec<Query>) -> Vec<QueryOutcome> {
+        Engine::submit_batch(self, queries)
+    }
+
+    fn submit(&self, query: Query) -> QueryOutcome {
+        Engine::submit(self, query)
+    }
+}
+
+static DISCHARGER: OnceLock<Mutex<Option<Arc<dyn Discharge>>>> = OnceLock::new();
+
+fn discharger_slot() -> &'static Mutex<Option<Arc<dyn Discharge>>> {
+    DISCHARGER.get_or_init(|| Mutex::new(None))
+}
+
+/// The process-wide discharger: the installed override if any, otherwise
+/// the global in-process engine ([`handle`]).
+pub fn discharger() -> Arc<dyn Discharge> {
+    if let Some(d) = discharger_slot().lock().unwrap().as_ref() {
+        return Arc::clone(d);
+    }
+    handle()
+}
+
+/// Routes all subsequent [`discharger`] calls to `d` (e.g. a remote
+/// engine). Returns the previous override, if any.
+pub fn install_discharger(d: Arc<dyn Discharge>) -> Option<Arc<dyn Discharge>> {
+    discharger_slot().lock().unwrap().replace(d)
+}
+
+/// Removes the discharger override; [`discharger`] falls back to the
+/// in-process engine.
+pub fn clear_discharger() -> Option<Arc<dyn Discharge>> {
+    discharger_slot().lock().unwrap().take()
 }

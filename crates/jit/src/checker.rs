@@ -230,7 +230,7 @@ fn discharge_prepared(prepared: Vec<PreparedCheck>, cfg: SolverConfig) -> Vec<Ch
             }
         }
     }
-    let outcomes = serval_engine::handle().submit_batch(queries);
+    let outcomes = serval_engine::discharger().submit_batch(queries);
     for ((slot, target, insn, b0), outcome) in pending.into_iter().zip(outcomes) {
         rows[slot] = Some(row_from_outcome(target, insn, &b0, outcome));
     }

@@ -1,0 +1,131 @@
+//! Hot-query detection and the replicated hot tier.
+//!
+//! Shard routing pins each normal form to one shard, which is what makes
+//! cache partitioning work — but it also means a query every client
+//! submits (a common invariant lemma, a shared precondition) funnels its
+//! whole load through one shard. The hot tier is the escape valve: a
+//! repeat-key counter tracks how often each normal form is *submitted*,
+//! and once a form crosses the threshold its definitive verdict is
+//! promoted into a tier shared by (replicated across) all shards, where
+//! any of them — and the dispatch path itself, before routing — can
+//! answer it without touching the home shard.
+//!
+//! Only definitive, already-earned verdicts are promoted (`Proved` keeps
+//! its certificate fingerprint, `Refuted` its countermodel), so the tier
+//! can never invent an answer — at worst the `net-hot-skip` buggify
+//! point suppresses a promotion and the home shard keeps answering from
+//! its own cache. Both maps are size-capped; at the cap, new keys simply
+//! stop being counted/promoted (degraded detection, never unsoundness).
+
+use crate::fnv64;
+use crate::wire::WireVerdict;
+use serval_check::sim;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Cap on tracked repeat counters.
+const MAX_COUNTS: usize = 1 << 20;
+/// Cap on promoted entries.
+const MAX_ENTRIES: usize = 1 << 16;
+
+/// A promoted verdict.
+#[derive(Clone, Debug)]
+pub struct HotEntry {
+    /// The definitive verdict (`Proved` or `Refuted` only).
+    pub verdict: WireVerdict,
+    /// Certificate fingerprint for proved entries (0 = uncertified).
+    pub cert: u64,
+}
+
+/// The replicated hot tier. One instance is shared by every shard.
+pub struct HotTier {
+    threshold: u32,
+    /// Normal-form hash → submission count. Keyed on the 64-bit hash
+    /// (not the bytes) to keep the counter map cheap; a hash collision
+    /// can only *promote early*, and promotion stores the full bytes, so
+    /// collisions never produce a wrong answer.
+    counts: Mutex<HashMap<u64, u32>>,
+    /// Full normal-form bytes → promoted verdict.
+    entries: Mutex<HashMap<Vec<u8>, HotEntry>>,
+    hits: AtomicU64,
+}
+
+impl HotTier {
+    /// A tier promoting after `threshold` submissions; 0 disables it.
+    pub fn new(threshold: u32) -> HotTier {
+        HotTier {
+            threshold,
+            counts: Mutex::new(HashMap::new()),
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one submission of `core_bytes`; returns true when the
+    /// form has crossed the promotion threshold.
+    pub fn note(&self, core_bytes: &[u8]) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        let mut counts = self.counts.lock().unwrap_or_else(|p| p.into_inner());
+        let h = fnv64(core_bytes);
+        if let Some(c) = counts.get_mut(&h) {
+            *c = c.saturating_add(1);
+            return *c >= self.threshold;
+        }
+        if counts.len() < MAX_COUNTS {
+            counts.insert(h, 1);
+            return 1 >= self.threshold;
+        }
+        false
+    }
+
+    /// Looks up a promoted verdict (counts as a hot hit on success).
+    pub fn get(&self, core_bytes: &[u8]) -> Option<HotEntry> {
+        if self.threshold == 0 {
+            return None;
+        }
+        let entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        let hit = entries.get(core_bytes).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Promotes a definitive verdict for a form that [`HotTier::note`]
+    /// reported hot. Non-definitive verdicts and the `net-hot-skip`
+    /// buggify point (degraded detection is soundness-preserving) are
+    /// ignored.
+    pub fn promote(&self, core_bytes: &[u8], verdict: &WireVerdict, cert: u64) {
+        if self.threshold == 0
+            || matches!(verdict, WireVerdict::Unknown | WireVerdict::Interrupted)
+            || sim::buggify("net-hot-skip")
+        {
+            return;
+        }
+        let mut entries = self.entries.lock().unwrap_or_else(|p| p.into_inner());
+        if entries.len() >= MAX_ENTRIES && !entries.contains_key(core_bytes) {
+            return;
+        }
+        entries
+            .entry(core_bytes.to_vec())
+            .or_insert_with(|| HotEntry { verdict: verdict.clone(), cert });
+    }
+
+    /// Hot hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Promoted entry count.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap_or_else(|p| p.into_inner()).len()
+    }
+
+    /// Whether nothing has been promoted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

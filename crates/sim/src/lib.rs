@@ -41,6 +41,7 @@ pub const SCENARIOS: &[&str] = &[
     "portfolio_cancel",
     "cache_writers",
     "cert_demotion",
+    "net_batch",
 ];
 
 /// What a completed scenario run observed.
@@ -132,6 +133,7 @@ pub fn run_scenario(name: &str, cfg: SimConfig) -> Result<ScenarioReport, Scenar
         "portfolio_cancel" => portfolio_cancel,
         "cache_writers" => cache_writers,
         "cert_demotion" => cert_demotion,
+        "net_batch" => net_batch,
         _ => panic!("unknown scenario {name:?} (known: {SCENARIOS:?})"),
     };
     let seed = cfg.seed;
@@ -494,4 +496,226 @@ fn cert_demotion(cfg: &SimConfig) -> String {
         "every rejected certificate is exactly one demoted outcome"
     );
     format!("proved={proved} demoted={demoted}")
+}
+
+/// The networked discharge service end to end, minus sockets: three
+/// in-memory clients stream chunked query batches through the real wire
+/// codec (frame writer → `FrameReader` → `ServerCore::handle_payload`)
+/// against one sharded core. The query set is fixed — only scheduling
+/// varies with the seed — so plain-mode routing and hot-tier behavior
+/// are invariants, not probabilities:
+///
+/// - Three forms are submitted verbatim by all three clients; with the
+///   hot threshold at 2, the third submission of each must be served by
+///   the replicated hot tier.
+/// - Two forms per client pin `x` to a client-unique constant and claim
+///   false, so the only countermodel carries that constant: a lost,
+///   duplicated, misrouted, or reordered batch entry is caught by the
+///   countermodel oracle, not just by labels.
+/// - The `net-frame-drop` buggify point makes the transport drop a
+///   frame (the client retransmits it, preserving per-connection
+///   order); `net-slow-client` stalls client 2 until the others have
+///   fully drained — whose completion is then asserted, so a slow
+///   client provably never blocks the rest. `net-route-rehash` and
+///   `net-hot-skip` fire inside the core itself.
+fn net_batch(cfg: &SimConfig) -> String {
+    use serval_engine::form::{self, BackMap};
+    use serval_net::client::outcome_of_wire;
+    use serval_net::service::{NetCfg, ServerCore};
+    use serval_net::wire::{self as nwire, Msg, WireQuery};
+    use std::collections::VecDeque;
+
+    reset_ctx();
+    let mut ncfg = NetCfg::default();
+    ncfg.shards = 3;
+    ncfg.hot_threshold = 2;
+    ncfg.engine.jobs = 2;
+    ncfg.engine.disk_cache = None;
+    let core = ServerCore::new(ncfg);
+
+    // A hostile frame first: it must earn an Error reply plus a close
+    // verdict, and leave the server fit to serve everything below.
+    let (reply, close) = core.handle_payload(b"\x99garbage frame");
+    assert!(close, "garbage frame must close the connection");
+    assert!(
+        matches!(nwire::decode_msg(&reply), Ok(Msg::Error { .. })),
+        "garbage frame must be answered with an Error message"
+    );
+
+    let x = BV::fresh(32, "x");
+    let y = BV::fresh(32, "y");
+    let shared: Vec<(Vec<SBool>, SBool, bool)> = vec![
+        (vec![], (x & y).ule(x), true),
+        (vec![], (x + y).eq_(y + x), true),
+        (vec![], x.ule(y), false),
+    ];
+    let oracles: Vec<Vec<(Vec<SBool>, SBool, bool)>> = (0..3u32)
+        .map(|c| {
+            let kc = BV::lit(32, 0xABC0 + u128::from(c));
+            vec![
+                shared[0].clone(),
+                (
+                    vec![x.eq_(BV::lit(32, u128::from(1000 + 100 * c)))],
+                    SBool::lit(false),
+                    false,
+                ),
+                shared[1].clone(),
+                (
+                    vec![x.eq_(BV::lit(32, u128::from(7 + 100 * c)))],
+                    SBool::lit(false),
+                    false,
+                ),
+                shared[2].clone(),
+                (vec![], ((x ^ kc) ^ kc).eq_(x), true),
+            ]
+        })
+        .collect();
+
+    // Serialize each client's batch into chunked Batch frames, then push
+    // the frames through the byte-stream codec in seed-sized slices (as
+    // a TCP reader would see them) before delivery.
+    let mut labels: Vec<Vec<String>> = Vec::new();
+    let mut backmaps: Vec<Vec<BackMap>> = Vec::new();
+    let mut queues: Vec<VecDeque<(u64, Vec<u8>, usize)>> = Vec::new();
+    for (c, oracle) in oracles.iter().enumerate() {
+        let mut wire_queries = Vec::new();
+        let mut my_labels = Vec::new();
+        let mut my_backmaps = Vec::new();
+        for (i, (assumptions, goal, _)) in oracle.iter().enumerate() {
+            let label = format!("net-c{c}q{i}");
+            let wp = form::prepare_wire(assumptions, *goal);
+            wire_queries.push(WireQuery {
+                label: label.clone(),
+                cfg: SolverConfig::default(),
+                core_bytes: form::wire_bytes(&wp.core),
+            });
+            my_labels.push(label);
+            my_backmaps.push(wp.backmap);
+        }
+        let chunk = sim::choose(3) + 1;
+        let mut frames: VecDeque<(u64, Vec<u8>, usize)> = VecDeque::new();
+        let mut queries = wire_queries.into_iter().peekable();
+        let mut id = (c as u64) << 32;
+        while queries.peek().is_some() {
+            let batch: Vec<WireQuery> = queries.by_ref().take(chunk).collect();
+            let n = batch.len();
+            id += 1;
+            frames.push_back((id, nwire::encode_msg(&Msg::Batch { id, queries: batch }), n));
+        }
+        let mut stream = Vec::new();
+        for (_, payload, _) in &frames {
+            nwire::write_frame(&mut stream, payload).expect("in-memory write cannot fail");
+        }
+        let mut reader = nwire::FrameReader::new(nwire::DEFAULT_MAX_FRAME);
+        let mut reassembled = Vec::new();
+        let mut at = 0;
+        while at < stream.len() {
+            let end = (at + sim::choose(9) + 1).min(stream.len());
+            reader.push(&stream[at..end]);
+            at = end;
+            while let Some(f) = reader.next_frame().expect("own frames must reassemble") {
+                reassembled.push(f);
+            }
+        }
+        assert_eq!(
+            reassembled,
+            frames.iter().map(|(_, p, _)| p.clone()).collect::<Vec<_>>(),
+            "byte-chunked reassembly must reproduce the frames exactly"
+        );
+        labels.push(my_labels);
+        backmaps.push(my_backmaps);
+        queues.push(frames);
+    }
+
+    // Deliver frames interleaved under the seeded scheduler. Client 2
+    // may be "slow" (stalled until the others drain); a frame may be
+    // "dropped" (retransmitted in place, bounded per client so the run
+    // terminates).
+    let slow = sim::buggify("net-slow-client");
+    let mut outcomes: Vec<Vec<serval_engine::QueryOutcome>> =
+        (0..3).map(|_| Vec::new()).collect();
+    let mut drops = [0usize; 3];
+    let mut slow_checked = false;
+    sim::mark("net-deliver");
+    loop {
+        let mut ready: Vec<usize> = (0..3).filter(|&c| !queues[c].is_empty()).collect();
+        if ready.is_empty() {
+            break;
+        }
+        if slow && ready.len() > 1 {
+            ready.retain(|&c| c != 2);
+        }
+        let pick = ready[sim::choose(ready.len())];
+        if slow && pick == 2 && !slow_checked {
+            // The slow client is only scheduled once everyone else is
+            // done — and they must actually be done, with full,
+            // submission-ordered outcome vectors: a stalled connection
+            // never blocks other clients.
+            slow_checked = true;
+            for c in 0..2 {
+                assert_eq!(
+                    outcomes[c].len(),
+                    oracles[c].len(),
+                    "client {c} incomplete while the slow client stalls"
+                );
+            }
+        }
+        if drops[pick] < 2 && sim::buggify("net-frame-drop") {
+            drops[pick] += 1;
+            continue;
+        }
+        let (id, payload, expect) = queues[pick].pop_front().expect("ready implies nonempty");
+        let (reply, close) = core.handle_payload(&payload);
+        assert!(!close, "a well-formed batch must not close the connection");
+        match nwire::decode_msg(&reply).expect("reply must decode") {
+            Msg::BatchReply { id: rid, results, stats } => {
+                assert_eq!(rid, id, "reply id must echo the batch frame id");
+                assert_eq!(results.len(), expect, "one outcome per query, always");
+                assert_eq!(stats.shards.len(), 3, "stats must carry every shard's row");
+                let at = outcomes[pick].len();
+                for (j, out) in results.into_iter().enumerate() {
+                    outcomes[pick].push(outcome_of_wire(
+                        labels[pick][at + j].clone(),
+                        out,
+                        &backmaps[pick][at + j],
+                    ));
+                }
+            }
+            other => panic!("expected BatchReply, got {other:?}"),
+        }
+    }
+
+    // Verdict safety + submission order, per client.
+    let mut verdicts = Vec::new();
+    for c in 0..3 {
+        assert_eq!(outcomes[c].len(), oracles[c].len(), "client {c} lost outcomes");
+        for (i, o) in outcomes[c].iter().enumerate() {
+            assert_eq!(o.label, labels[c][i], "client {c} outcomes out of submission order");
+        }
+        check_verdicts(&outcomes[c], &oracles[c], cfg);
+        verdicts.push(outcomes[c].iter().map(|o| letter(&o.result)).collect::<String>());
+    }
+
+    let stats = core.stats();
+    assert!(stats.protocol_errors >= 1, "the garbage probe must be counted");
+    let exercised = stats.shards.iter().filter(|row| row.queued > 0).count();
+    if !cfg.buggify && !cfg.io_faults {
+        assert!(
+            exercised >= 2,
+            "fixed query set must spread across at least 2 of 3 shards, got {exercised}"
+        );
+        assert!(
+            stats.hot_hits >= 1 && stats.hot_entries >= 1,
+            "three submissions over threshold 2 must produce hot-tier service: {stats:?}"
+        );
+    }
+    format!(
+        "c0={} c1={} c2={} shards={exercised} hot={}h/{}e drops={}",
+        verdicts[0],
+        verdicts[1],
+        verdicts[2],
+        stats.hot_hits,
+        stats.hot_entries,
+        drops[0] + drops[1] + drops[2],
+    )
 }
