@@ -26,6 +26,15 @@ SERVAL_PRESOLVE=0 cargo test -q --offline -p serval-engine -p serval-core
 echo "== tests (engine + core, presolve on) =="
 SERVAL_PRESOLVE=1 cargo test -q --offline -p serval-engine -p serval-core
 
+echo "== tests (engine + core, SAT inprocessing off) =="
+SERVAL_INPROCESS=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, SAT inprocessing on) =="
+SERVAL_INPROCESS=1 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, polarity-aware CNF off) =="
+SERVAL_POLARITY=0 cargo test -q --offline -p serval-engine -p serval-core
+
 echo "== tests (engine + core, proof certificates off) =="
 SERVAL_CERT=0 cargo test -q --offline -p serval-engine -p serval-core
 

@@ -81,6 +81,20 @@ fn main() {
     }
     println!("wrote {}", pre_out.display());
 
+    // Plain CDCL vs inprocessing + polarity-aware CNF on the same
+    // workload → BENCH_sat.json.
+    let sat_report = serval_bench::sat_bench::run();
+    sat_report.print_summary();
+    let sat_out = out
+        .parent()
+        .map(|d| d.join("BENCH_sat.json"))
+        .unwrap_or_else(|| PathBuf::from("BENCH_sat.json"));
+    if let Err(e) = sat_report.write_json(&sat_out) {
+        eprintln!("failed to write {}: {e}", sat_out.display());
+        std::process::exit(1);
+    }
+    println!("wrote {}", sat_out.display());
+
     // Uncertified vs certified discharge on the same workload
     // → BENCH_cert.json.
     let cert_report = serval_bench::cert_bench::run();

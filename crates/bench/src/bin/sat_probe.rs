@@ -1,0 +1,61 @@
+//! Quick config-matrix probe for the core-solver work: one cold run of
+//! the certikos `-O1` refinement per invocation, with the discharge
+//! mode and solver features picked by environment variables, printing
+//! wall time and the solver totals on one line. A developer tool for
+//! iterating on inprocessing heuristics without waiting for the full
+//! best-of-N `bench_all` comparison.
+//!
+//! ```sh
+//! P_INC=0 P_INP=1 P_POL=1 cargo run --release -p serval-bench --bin sat_probe
+//! ```
+
+use serval_core::OptCfg;
+use serval_engine::EngineCfg;
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_smt::solver::SolverConfig;
+use std::time::Instant;
+
+fn flag(name: &str, default: bool) -> bool {
+    std::env::var(name).map(|v| v.trim() == "1").unwrap_or(default)
+}
+
+fn main() {
+    let inc = flag("P_INC", true);
+    let inp = flag("P_INP", true);
+    let pol = flag("P_POL", true);
+    serval_engine::install(EngineCfg {
+        jobs: EngineCfg::from_env().jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental: inc,
+        presolve: serval_smt::presolve::env_enabled(),
+        cert: EngineCfg::from_env().cert,
+    });
+    let cfg = SolverConfig { inprocess: inp, polarity: pol, ..SolverConfig::default() };
+    let t0 = Instant::now();
+    let report =
+        certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    let t = report.solver_totals();
+    println!(
+        "inc={} inp={} pol={} wall={:.2}s proved={}/{} conflicts={} props={} \
+         vars={} clauses={} elim={} sub={} str={} res={} cert_wall={:.2}s",
+        inc as u8,
+        inp as u8,
+        pol as u8,
+        secs,
+        report.theorems.iter().filter(|t| t.verdict.is_proved()).count(),
+        report.theorems.len(),
+        t.conflicts,
+        t.propagations,
+        t.vars,
+        t.clauses,
+        t.eliminated_vars,
+        t.subsumed,
+        t.strengthened,
+        t.resolvents,
+        t.cert_wall.as_secs_f64(),
+    );
+}

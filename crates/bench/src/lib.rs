@@ -7,6 +7,7 @@ pub mod engine_bench;
 pub mod incremental_bench;
 pub mod net_bench;
 pub mod presolve_bench;
+pub mod sat_bench;
 pub mod suites;
 
 use std::path::{Path, PathBuf};
@@ -273,6 +274,35 @@ mod tests {
         let start = CacheRow { hits: 10, misses: 20, queries: 50, trivial: 5 };
         let end = CacheRow { hits: 86, misses: 20, queries: 1229, trivial: 1108 };
         assert_eq!(end.since(&start), warm);
+    }
+
+    #[test]
+    fn sat_bench_detects_single_flipped_verdict() {
+        use crate::sat_bench::{SatBenchReport, SatRun};
+        let run = |flip: Option<usize>| SatRun {
+            secs: 1.0,
+            verdicts: verdicts(flip),
+            sat_vars: 0,
+            sat_clauses: 0,
+            eliminated_vars: 0,
+            subsumed: 0,
+            strengthened: 0,
+            resolvents: 0,
+            conflicts: 0,
+            propagations: 0,
+            certs_checked: 0,
+            certs_rejected: 0,
+        };
+        let ok = SatBenchReport {
+            off_cold: run(None),
+            on_cold: run(None),
+        };
+        assert!(ok.verdicts_equal());
+        let bad = SatBenchReport {
+            off_cold: run(None),
+            on_cold: run(Some(2)),
+        };
+        assert!(!bad.verdicts_equal());
     }
 
     #[test]

@@ -1,0 +1,242 @@
+//! The core-solver benchmark: plain CDCL vs inprocessing + polarity-aware
+//! CNF on the CertiKOS^s `-O1` split refinement workload. Emitted as
+//! `BENCH_sat.json` by `bench_all`.
+//!
+//! The "off" side pins `SolverConfig { inprocess: false, polarity: false }`
+//! — the solver exactly as it behaved before the inprocessing PR — while
+//! the "on" side pins both features on, so the comparison is meaningful
+//! regardless of the `SERVAL_INPROCESS` / `SERVAL_POLARITY` environment.
+//!
+//! Both sides run fresh-solver-per-sub-query discharge (`incremental:
+//! false`): that is the path where the full inprocessing pipeline
+//! applies. Incremental sessions deliberately restrict inprocessing to
+//! subsumption — variable elimination would break the extendability of
+//! out-of-scope clauses that later goals reuse (see
+//! `Solver::decision_scope`) — so a session-mode comparison would
+//! measure only the polarity-aware encoding. Everything else (presolve,
+//! certification) runs in its default configuration on both sides.
+
+use serval_core::report::ProofReport;
+use serval_core::OptCfg;
+use serval_engine::EngineCfg;
+use serval_ir::OptLevel;
+use serval_monitors::certikos;
+use serval_smt::solver::SolverConfig;
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed cold run of the refinement workload.
+pub struct SatRun {
+    /// Wall time of the whole proof (symbolic evaluation + discharge).
+    pub secs: f64,
+    /// Per-theorem `(name, proved)` verdicts.
+    pub verdicts: Vec<(String, bool)>,
+    /// Total SAT variables encoded across all solved queries.
+    pub sat_vars: usize,
+    /// Total SAT clauses encoded across all solved queries.
+    pub sat_clauses: usize,
+    /// Variables removed by bounded variable elimination (net of
+    /// reintroduction), summed over all solved queries.
+    pub eliminated_vars: u64,
+    /// Clauses deleted by backward subsumption.
+    pub subsumed: u64,
+    /// Clauses strengthened by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Resolvent clauses added by variable elimination.
+    pub resolvents: u64,
+    /// Conflicts across all solved queries (search effort).
+    pub conflicts: u64,
+    /// Propagations across all solved queries.
+    pub propagations: u64,
+    /// Certificates the engine checked and accepted during this run.
+    pub certs_checked: u64,
+    /// Certificates the engine rejected (verdicts demoted to Unknown).
+    pub certs_rejected: u64,
+}
+
+/// Inprocessing + polarity-aware CNF off vs on, both cold.
+pub struct SatBenchReport {
+    /// `SERVAL_INPROCESS=0 SERVAL_POLARITY=0` equivalent — the solver as
+    /// it stood before inprocessing landed.
+    pub off_cold: SatRun,
+    /// Inprocessing and polarity-aware encoding (the defaults).
+    pub on_cold: SatRun,
+}
+
+fn workload(cfg: SolverConfig) -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg)
+}
+
+fn run_once(inprocess: bool) -> SatRun {
+    let engine = serval_engine::install(EngineCfg {
+        jobs: EngineCfg::from_env().jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        incremental: false,
+        presolve: serval_smt::presolve::env_enabled(),
+        cert: EngineCfg::from_env().cert,
+    });
+    let cfg = SolverConfig {
+        inprocess,
+        polarity: inprocess,
+        ..SolverConfig::default()
+    };
+    let (c0, r0) = engine.cert_counts();
+    let t0 = Instant::now();
+    let report = workload(cfg);
+    let secs = t0.elapsed().as_secs_f64();
+    let (c1, r1) = engine.cert_counts();
+    let totals = report.solver_totals();
+    SatRun {
+        secs,
+        verdicts: report
+            .theorems
+            .iter()
+            .map(|t| (t.name.clone(), t.verdict.is_proved()))
+            .collect(),
+        sat_vars: totals.vars,
+        sat_clauses: totals.clauses,
+        eliminated_vars: totals.eliminated_vars,
+        subsumed: totals.subsumed,
+        strengthened: totals.strengthened,
+        resolvents: totals.resolvents,
+        conflicts: totals.conflicts,
+        propagations: totals.propagations,
+        certs_checked: c1 - c0,
+        certs_rejected: r1 - r0,
+    }
+}
+
+/// Best-of-N cold run (each sample on a freshly installed engine) — the
+/// min-of-N convention the other harnesses in this crate use.
+fn run_cold(inprocess: bool, samples: usize) -> SatRun {
+    let mut best = run_once(inprocess);
+    for _ in 1..samples {
+        let r = run_once(inprocess);
+        if r.secs < best.secs {
+            best = r;
+        }
+    }
+    best
+}
+
+/// Runs the comparison.
+pub fn run() -> SatBenchReport {
+    let samples: usize = std::env::var("SERVAL_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let off_cold = run_cold(false, samples);
+    let on_cold = run_cold(true, samples);
+    // Leave the process-wide engine in its environment-default state.
+    serval_engine::install(EngineCfg::from_env());
+    SatBenchReport { off_cold, on_cold }
+}
+
+impl SatBenchReport {
+    /// Whether both runs proved exactly the same theorems (per-theorem,
+    /// in order) — inprocessing is an equisatisfiable rewrite, so any
+    /// difference is a bug.
+    pub fn verdicts_equal(&self) -> bool {
+        self.off_cold.verdicts == self.on_cold.verdicts
+    }
+
+    /// Cold-run speedup of the inprocessing solver over the plain one
+    /// (the issue's target is ≥ 1.5x).
+    pub fn cold_speedup(&self) -> f64 {
+        self.off_cold.secs / self.on_cold.secs.max(1e-9)
+    }
+
+    /// Fraction of the plain encoding (SAT vars + clauses) the
+    /// polarity-aware blaster avoids emitting: `1 - on/off`.
+    pub fn encoded_reduction(&self) -> f64 {
+        let off = self.off_cold.sat_vars + self.off_cold.sat_clauses;
+        let on = self.on_cold.sat_vars + self.on_cold.sat_clauses;
+        if off == 0 {
+            0.0
+        } else {
+            1.0 - on as f64 / off as f64
+        }
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> String {
+        fn run_json(r: &SatRun) -> String {
+            format!(
+                "{{\"secs\": {:.6}, \"theorems\": {}, \"sat_vars\": {}, \
+                 \"sat_clauses\": {}, \"eliminated_vars\": {}, \"subsumed\": {}, \
+                 \"strengthened\": {}, \"resolvents\": {}, \"conflicts\": {}, \
+                 \"propagations\": {}, \"certs_checked\": {}, \"certs_rejected\": {}}}",
+                r.secs,
+                r.verdicts.len(),
+                r.sat_vars,
+                r.sat_clauses,
+                r.eliminated_vars,
+                r.subsumed,
+                r.strengthened,
+                r.resolvents,
+                r.conflicts,
+                r.propagations,
+                r.certs_checked,
+                r.certs_rejected
+            )
+        }
+        format!(
+            "{{\n  \"workload\": \"certikos refinement -O1 (split sub-queries)\",\n  \
+             \"off_cold\": {},\n  \"on_cold\": {},\n  \
+             \"cold_speedup\": {:.3},\n  \"encoded_reduction\": {:.3},\n  \
+             \"verdicts_equal\": {}\n}}\n",
+            run_json(&self.off_cold),
+            run_json(&self.on_cold),
+            self.cold_speedup(),
+            self.encoded_reduction(),
+            self.verdicts_equal()
+        )
+    }
+
+    /// Writes the JSON report.
+    pub fn write_json(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Prints a human-readable summary.
+    pub fn print_summary(&self) {
+        println!("\nsat: plain vs inprocessing+polarity (certikos refinement -O1)");
+        println!(
+            "  cold   plain {:>8.2}s   inprocessed {:>8.2}s   speedup {:.2}x",
+            self.off_cold.secs,
+            self.on_cold.secs,
+            self.cold_speedup()
+        );
+        println!(
+            "  encoded  plain {} vars / {} clauses   polarity-aware {} vars / {} clauses ({:.0}% smaller)",
+            self.off_cold.sat_vars,
+            self.off_cold.sat_clauses,
+            self.on_cold.sat_vars,
+            self.on_cold.sat_clauses,
+            self.encoded_reduction() * 100.0
+        );
+        println!(
+            "  inprocess: {} vars eliminated ({} resolvents), {} clauses subsumed, {} strengthened",
+            self.on_cold.eliminated_vars,
+            self.on_cold.resolvents,
+            self.on_cold.subsumed,
+            self.on_cold.strengthened
+        );
+        println!(
+            "  search   plain {} conflicts / {} props   inprocessed {} conflicts / {} props",
+            self.off_cold.conflicts,
+            self.off_cold.propagations,
+            self.on_cold.conflicts,
+            self.on_cold.propagations
+        );
+        println!(
+            "  certs: {} accepted, {} rejected   verdicts equal: {}",
+            self.on_cold.certs_checked,
+            self.on_cold.certs_rejected,
+            self.verdicts_equal()
+        );
+    }
+}

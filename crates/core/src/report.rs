@@ -100,6 +100,10 @@ impl ProofReport {
             total.presolve_terms_out += t.presolve_terms_out;
             total.presolve_vars_in += t.presolve_vars_in;
             total.presolve_vars_out += t.presolve_vars_out;
+            total.eliminated_vars += t.eliminated_vars;
+            total.subsumed += t.subsumed;
+            total.strengthened += t.strengthened;
+            total.resolvents += t.resolvents;
             total.cert_steps += t.cert_steps;
             total.cert_wall += t.cert_wall;
             total.wall += t.wall;

@@ -78,10 +78,58 @@ struct ClauseMeta {
     deleted: bool,
 }
 
+/// Live clause ids sharing one literal-set fingerprint. Almost every
+/// bucket holds exactly one id, so the first lives inline and only
+/// genuine duplicates (or collisions) allocate.
+struct Bucket {
+    first: u32,
+    rest: Vec<u32>,
+}
+
 impl ClauseMeta {
     fn range(&self) -> Range<usize> {
         self.start..self.start + self.len
     }
+}
+
+/// A pass-through hasher for keys that are already FNV fingerprints
+/// ([`fp_lits`]) — re-hashing them through SipHash would only burn
+/// time on the checker's hottest path (one map touch per clause add
+/// and delete).
+#[derive(Clone, Copy, Default)]
+struct FpBuild;
+
+struct FpHasher(u64);
+
+impl std::hash::Hasher for FpHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("fingerprint keys are hashed via write_u64");
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+impl std::hash::BuildHasher for FpBuild {
+    type Hasher = FpHasher;
+    fn build_hasher(&self) -> FpHasher {
+        FpHasher(0)
+    }
+}
+
+/// FNV-1a-64 fingerprint of a normalized (sorted, deduped) literal
+/// slice, used to bucket clauses for `Delete` matching.
+fn fp_lits(lits: &[Lit]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for l in lits {
+        for b in l.0.to_le_bytes() {
+            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
 }
 
 /// An incremental RUP proof checker.
@@ -90,8 +138,12 @@ pub struct Checker {
     /// Flat literal arena; clauses index into it.
     lits: Vec<Lit>,
     clauses: Vec<ClauseMeta>,
-    /// Sorted-literal multiset → live clause ids, for `Delete` matching.
-    by_key: HashMap<Box<[Lit]>, Vec<u32>>,
+    /// Literal-set fingerprint → live clause ids, for `Delete`
+    /// matching. Matches are verified against the actual literals, so
+    /// a fingerprint collision can never delete the wrong clause.
+    by_key: HashMap<u64, Bucket, FpBuild>,
+    /// Reusable normalization buffer (sort + dedup scratch).
+    scratch: Vec<Lit>,
     /// Two-watched-literal scheme, indexed by `Lit::index()`.
     watches: Vec<Vec<u32>>,
     /// Assignment per variable: 0 undef, 1 true, -1 false.
@@ -172,34 +224,59 @@ impl Checker {
     /// `Derived` clauses first). Satisfied and tautological clauses are
     /// stored inert (matchable by `Delete`, never propagating); unit
     /// clauses propagate persistently.
-    fn add(&mut self, lits_in: &[Lit]) {
-        let mut norm: Vec<Lit> = lits_in.to_vec();
+    /// Normalizes `lits_in` into the reusable scratch buffer and takes
+    /// it (callers put it back via `self.scratch = ...`).
+    fn normalize(&mut self, lits_in: &[Lit]) -> Vec<Lit> {
+        let mut norm = std::mem::take(&mut self.scratch);
+        norm.clear();
+        norm.extend_from_slice(lits_in);
         norm.sort_unstable();
         norm.dedup();
+        norm
+    }
+
+    fn add(&mut self, lits_in: &[Lit]) {
+        let norm = self.normalize(lits_in);
         let taut = norm.windows(2).any(|w| w[1] == !w[0]);
         self.ensure_capacity(&norm);
         let cid = self.clauses.len() as u32;
         let start = self.lits.len();
         self.lits.extend_from_slice(&norm);
         self.clauses.push(ClauseMeta { start, len: norm.len(), deleted: false });
-        self.by_key
-            .entry(norm.clone().into_boxed_slice())
-            .or_default()
-            .push(cid);
+        match self.by_key.entry(fp_lits(&norm)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(Bucket { first: cid, rest: Vec::new() });
+            }
+            std::collections::hash_map::Entry::Occupied(e) => {
+                e.into_mut().rest.push(cid);
+            }
+        }
         if taut || self.contradiction {
+            self.scratch = norm;
             return;
         }
         if norm.iter().any(|&l| self.value(l) == 1) {
-            return; // satisfied by persistent facts: inert
+            self.scratch = norm; // satisfied by persistent facts: inert
+            return;
         }
-        let non_false: Vec<usize> = (0..norm.len())
-            .filter(|&i| self.value(norm[i]) != -1)
-            .collect();
-        match non_false.len() {
+        // First two non-false literal positions, if they exist.
+        let mut non_false = [0usize; 2];
+        let mut found = 0usize;
+        for (i, &l) in norm.iter().enumerate() {
+            if value_of(&self.assign, l) != -1 {
+                non_false[found] = i;
+                found += 1;
+                if found == 2 {
+                    break;
+                }
+            }
+        }
+        let unit = norm.get(non_false[0]).copied();
+        self.scratch = norm;
+        match found {
             0 => self.contradiction = true, // includes the empty clause
             1 => {
-                let l = norm[non_false[0]];
-                self.enqueue(l);
+                self.enqueue(unit.expect("non-empty clause"));
                 if self.propagate() {
                     self.contradiction = true;
                 }
@@ -221,18 +298,40 @@ impl Checker {
     }
 
     fn delete(&mut self, lits_in: &[Lit], step: usize) -> Result<(), CheckError> {
-        let mut norm: Vec<Lit> = lits_in.to_vec();
-        norm.sort_unstable();
-        norm.dedup();
-        let Some(ids) = self.by_key.get_mut(norm.as_slice()) else {
-            return Err(CheckError::DeleteMissing { step });
-        };
-        let Some(cid) = ids.pop() else {
-            return Err(CheckError::DeleteMissing { step });
-        };
-        if ids.is_empty() {
-            self.by_key.remove(norm.as_slice());
+        let norm = self.normalize(lits_in);
+        let key = fp_lits(&norm);
+        let mut deleted: Option<u32> = None;
+        let mut emptied = false;
+        if let Some(bucket) = self.by_key.get_mut(&key) {
+            // Verify the literal set exactly within the bucket (watch
+            // handling permutes stored clauses, so compare as sets —
+            // both sides are deduped, so length + membership suffices).
+            let matches = |meta: ClauseMeta, lits: &[Lit]| {
+                let stored = &lits[meta.range()];
+                stored.len() == norm.len() && norm.iter().all(|l| stored.contains(l))
+            };
+            // Most-recent first, mirroring the old LIFO pop.
+            for i in (0..bucket.rest.len()).rev() {
+                if matches(self.clauses[bucket.rest[i] as usize], &self.lits) {
+                    deleted = Some(bucket.rest.swap_remove(i));
+                    break;
+                }
+            }
+            if deleted.is_none() && matches(self.clauses[bucket.first as usize], &self.lits) {
+                deleted = Some(bucket.first);
+                match bucket.rest.pop() {
+                    Some(next) => bucket.first = next,
+                    None => emptied = true,
+                }
+            }
         }
+        if emptied {
+            self.by_key.remove(&key);
+        }
+        self.scratch = norm;
+        let Some(cid) = deleted else {
+            return Err(CheckError::DeleteMissing { step });
+        };
         self.clauses[cid as usize].deleted = true;
         // Watch lists drop deleted clauses lazily in propagate; persistent
         // facts already derived stay in force (drat-trim convention).

@@ -35,6 +35,10 @@ fn php_certificate(holes: usize) -> Vec<ProofStep> {
 /// sweeps its satisfied gate clauses, producing `Delete` steps.
 fn session_gadget() -> (Solver, Lit, Lit) {
     let mut s = Solver::new();
+    // This gadget pins down retraction's Delete steps; inprocessing
+    // would discharge the tiny two-clause goals by resolution first and
+    // move the deletions into the first delta.
+    s.set_inprocess(false, false);
     s.set_proof_logging(true);
     let x = s.new_var();
     let y = s.new_var();
@@ -152,6 +156,137 @@ fn session_deltas_check_incrementally() {
     }
     let c2 = ck.take_conclusion().expect("goal 2 conclusion");
     assert!(conclusion_covers(&c2, &[act2]));
+}
+
+// ---------------------------------------------------------------------
+// Inprocessing certificates: elimination resolvents in the proof stream
+// ---------------------------------------------------------------------
+
+/// An elimination whose parents share a non-pivot literal: resolving
+/// `{v, a, b}` against `{!v, a, c}` on `v` gives `{a, b, c}`, which the
+/// live parents cannot simulate under unit propagation (both stay
+/// two-free when only `b` and `c` are false) — so the solver must log
+/// it as a `Derived` step. `a`, `b`, `c` are frozen so `v` is the only
+/// elimination candidate. The later contradiction over `{a, b, c}`
+/// makes the combined log a refutation that *uses* the resolvent.
+/// Returns the log and the index of the logged resolvent.
+fn elimination_certificate() -> (Vec<ProofStep>, usize) {
+    let mut s = Solver::new();
+    s.set_proof_logging(true);
+    let v = s.new_var();
+    let shared: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+    let (a, b, c) = (shared[0], shared[1], shared[2]);
+    for u in &shared {
+        s.freeze_var(*u);
+    }
+    s.add_clause(&[Lit::pos(v), Lit::pos(a), Lit::pos(b)]);
+    s.add_clause(&[Lit::neg(v), Lit::pos(a), Lit::pos(c)]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    let mut proof = s.take_proof();
+    let resolvent_at = proof
+        .iter()
+        .position(|st| matches!(st, ProofStep::Derived(l) if l.len() >= 2))
+        .expect("a shared-literal resolvent must be logged");
+    // Refute through the resolvent: with a and b false the checker's
+    // only path to c is the Derived {a, b, c}.
+    assert!(s.add_clause(&[Lit::neg(a)]));
+    assert!(s.add_clause(&[Lit::neg(b)]));
+    assert!(!s.add_clause(&[Lit::neg(c)]));
+    proof.extend(s.take_proof());
+    assert!(matches!(proof.last(), Some(ProofStep::Derived(l)) if l.is_empty()));
+    (proof, resolvent_at)
+}
+
+#[test]
+fn elimination_certificate_accepted() {
+    let (proof, _) = elimination_certificate();
+    assert!(
+        !proof.iter().any(|st| matches!(st, ProofStep::Delete(_))),
+        "parent deletions must be elided from the proof"
+    );
+    check_refutation(&proof, &[]).unwrap();
+}
+
+/// The complement of `elimination_certificate`: an implication chain
+/// whose elimination resolvents all have disjoint parents. None of them
+/// may appear in the log — the live parents simulate them — and the
+/// refutation must still replay.
+#[test]
+fn elided_elimination_certificate_accepted() {
+    let mut s = Solver::new();
+    s.set_proof_logging(true);
+    let v: Vec<Var> = (0..16).map(|_| s.new_var()).collect();
+    for i in 0..15 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[15])]);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.stats().eliminated_vars > 0, "the chain must be eliminated");
+    let mut proof = s.take_proof();
+    assert!(
+        !proof
+            .iter()
+            .any(|st| matches!(st, ProofStep::Derived(l) if l.len() >= 2)),
+        "disjoint-parent resolvents must be elided from the proof"
+    );
+    // !x15 forces the whole (reintroduced) chain false, conflicting
+    // with {x0, x15} at level 0; the conclusion is logged by add_clause.
+    assert!(!s.add_clause(&[Lit::neg(v[15])]));
+    proof.extend(s.take_proof());
+    assert!(matches!(proof.last(), Some(ProofStep::Derived(l)) if l.is_empty()));
+    check_refutation(&proof, &[]).unwrap();
+}
+
+#[test]
+fn mutation_tampered_resolvent_rejected() {
+    let (mut proof, at) = elimination_certificate();
+    let ProofStep::Derived(l) = &mut proof[at] else {
+        unreachable!("elimination_certificate returned a non-Derived index")
+    };
+    l[0] = !l[0];
+    // Flipping a literal makes the resolvent satisfiable together with
+    // its parents, so RUP at its position finds no conflict.
+    assert!(matches!(
+        check_refutation(&proof, &[]),
+        Err(CheckError::NotImplied { .. } | CheckError::DeleteMissing { .. })
+    ));
+}
+
+mod inprocessed_replay {
+    use super::*;
+    use serval_check::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Every UNSAT verdict from an inprocessing solver on random
+        /// CNF must come with a certificate the checker accepts.
+        #[test]
+        fn prop_inprocessed_unsat_proofs_replay(
+            cnf in prop::collection::vec(
+                prop::collection::vec((0..8usize, any::<bool>()), 1..=4),
+                1..40
+            )
+        ) {
+            let mut s = Solver::new();
+            s.set_proof_logging(true);
+            let vars: Vec<Var> = (0..8).map(|_| s.new_var()).collect();
+            for clause in &cnf {
+                let c: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, neg)| Lit::new(vars[v], neg))
+                    .collect();
+                s.add_clause(&c);
+            }
+            if s.solve() == SolveResult::Unsat {
+                let proof = s.take_proof();
+                prop_assert!(
+                    check_refutation(&proof, &[]).is_ok(),
+                    "inprocessed refutation rejected"
+                );
+            }
+        }
+    }
 }
 
 #[test]

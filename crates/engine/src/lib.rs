@@ -26,6 +26,8 @@
 //! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
 //! | `SERVAL_PRESOLVE`  | `0`/`off` → disable word-level presolve, handing the solver the raw obligation DAG (on by default; each query's assumption base is otherwise simplified once — equality substitution, known-bits/interval folding, cone-of-influence reduction — and the cache keys on the *simplified* normal form; see [`serval_smt::presolve`]). |
 //! | `SERVAL_CERT`      | `0`/`off` → disable proof certificates (on by default: every solver `Unsat` must present a DRAT-style proof accepted by the independent `serval-drat` checker before it becomes `Proved`; cached `Proved` entries carry the certificate fingerprint and uncertified disk records are ignored; cached `Refuted` hits re-evaluate their stored countermodel against the term semantics and are evicted on mismatch). |
+//! | `SERVAL_INPROCESS` | `0`/`off` → disable SatELite-style SAT inprocessing (on by default: backward subsumption, self-subsuming resolution, and — for fresh solves — bounded variable elimination at level-0 boundaries, every step DRAT-logged so `SERVAL_CERT=1` still accepts the proofs; see [`serval_sat`]). |
+//! | `SERVAL_POLARITY`  | `0`/`off` → disable Plaisted–Greenbaum polarity-aware CNF encoding (on by default: gate definition clauses are emitted only in the implication direction the formula actually uses; see [`serval_smt::solver::SolverConfig`]). |
 
 pub mod cache;
 pub mod form;
@@ -1024,6 +1026,10 @@ fn add_stats(a: QueryStats, b: QueryStats) -> QueryStats {
         presolve_terms_out: a.presolve_terms_out + b.presolve_terms_out,
         presolve_vars_in: a.presolve_vars_in + b.presolve_vars_in,
         presolve_vars_out: a.presolve_vars_out + b.presolve_vars_out,
+        eliminated_vars: a.eliminated_vars + b.eliminated_vars,
+        subsumed: a.subsumed + b.subsumed,
+        strengthened: a.strengthened + b.strengthened,
+        resolvents: a.resolvents + b.resolvents,
         cert_steps: a.cert_steps + b.cert_steps,
         cert_wall: a.cert_wall + b.cert_wall,
         wall: a.wall + b.wall,

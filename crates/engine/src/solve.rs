@@ -261,21 +261,25 @@ pub fn solve_session(
     out
 }
 
-/// The portfolio: the base configuration plus two variants with
-/// different restart cadence, activity decay, and branching phase, so
-/// queries that stall one search strategy still finish quickly.
+/// The portfolio: the base configuration (Luby restarts) plus two
+/// variants diversifying the restart series, rephasing policy, activity
+/// decay, and branching phase, so queries that stall one search strategy
+/// still finish quickly.
 pub fn portfolio_variants(base: SolverConfig) -> Vec<SolverConfig> {
-    let aggressive_restarts = SolverConfig {
+    let geometric_inverting = SolverConfig {
+        restart_geometric: true,
+        rephase: serval_smt::Rephase::Invert,
         restart_base: 32,
         var_decay: 0.90,
         ..base
     };
-    let positive_phase = SolverConfig {
+    let positive_resetting = SolverConfig {
         default_phase: true,
+        rephase: serval_smt::Rephase::Reset,
         var_decay: 0.99,
         ..base
     };
-    vec![base, aggressive_restarts, positive_phase]
+    vec![base, geometric_inverting, positive_resetting]
 }
 
 /// Races the portfolio over one query. The first *definitive* finisher

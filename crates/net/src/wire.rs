@@ -17,12 +17,16 @@
 
 use serval_engine::solve::PortableModel;
 use serval_smt::solver::{QueryStats, SolverConfig};
+use serval_smt::Rephase;
 use std::io::{Read, Write};
 use std::time::Duration;
 
 /// Protocol version, exchanged in `Hello`/`HelloAck`. Bump on any
 /// incompatible change to the message or core encodings.
-pub const PROTO_VERSION: u32 = 1;
+///
+/// v2: `SolverConfig` gained restart/rephase/inprocess/polarity fields
+/// and `QueryStats` gained the four inprocessing counters.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Default bound on a single frame's payload. Large enough for a whole
 /// certikos refinement batch chunk, small enough that a hostile length
@@ -427,6 +431,14 @@ fn push_cfg(out: &mut Vec<u8>, cfg: &SolverConfig) {
     push_u64(out, cfg.restart_base);
     push_u64(out, cfg.var_decay.to_bits());
     out.push(cfg.default_phase as u8);
+    out.push(cfg.restart_geometric as u8);
+    out.push(match cfg.rephase {
+        Rephase::Off => 0,
+        Rephase::Invert => 1,
+        Rephase::Reset => 2,
+    });
+    out.push(cfg.inprocess as u8);
+    out.push(cfg.polarity as u8);
 }
 
 fn read_cfg(rd: &mut Rd) -> Result<SolverConfig, WireError> {
@@ -441,7 +453,25 @@ fn read_cfg(rd: &mut Rd) -> Result<SolverConfig, WireError> {
         return Err(WireError::Garbage("var_decay out of range"));
     }
     let default_phase = rd.bool()?;
-    Ok(SolverConfig { conflict_budget, restart_base, var_decay, default_phase })
+    let restart_geometric = rd.bool()?;
+    let rephase = match rd.u8()? {
+        0 => Rephase::Off,
+        1 => Rephase::Invert,
+        2 => Rephase::Reset,
+        _ => return Err(WireError::Garbage("bad rephase tag")),
+    };
+    let inprocess = rd.bool()?;
+    let polarity = rd.bool()?;
+    Ok(SolverConfig {
+        conflict_budget,
+        restart_base,
+        var_decay,
+        default_phase,
+        restart_geometric,
+        rephase,
+        inprocess,
+        polarity,
+    })
 }
 
 fn push_stats(out: &mut Vec<u8>, s: &QueryStats) {
@@ -461,6 +491,10 @@ fn push_stats(out: &mut Vec<u8>, s: &QueryStats) {
         s.presolve_terms_out as u64,
         s.presolve_vars_in as u64,
         s.presolve_vars_out as u64,
+        s.eliminated_vars,
+        s.subsumed,
+        s.strengthened,
+        s.resolvents,
         s.cert_steps,
         s.cert_wall.as_micros() as u64,
         s.wall.as_micros() as u64,
@@ -470,7 +504,7 @@ fn push_stats(out: &mut Vec<u8>, s: &QueryStats) {
 }
 
 fn read_stats(rd: &mut Rd) -> Result<QueryStats, WireError> {
-    let mut v = [0u64; 18];
+    let mut v = [0u64; 22];
     for slot in &mut v {
         *slot = rd.u64()?;
     }
@@ -490,9 +524,13 @@ fn read_stats(rd: &mut Rd) -> Result<QueryStats, WireError> {
         presolve_terms_out: v[12] as usize,
         presolve_vars_in: v[13] as usize,
         presolve_vars_out: v[14] as usize,
-        cert_steps: v[15],
-        cert_wall: Duration::from_micros(v[16]),
-        wall: Duration::from_micros(v[17]),
+        eliminated_vars: v[15],
+        subsumed: v[16],
+        strengthened: v[17],
+        resolvents: v[18],
+        cert_steps: v[19],
+        cert_wall: Duration::from_micros(v[20]),
+        wall: Duration::from_micros(v[21]),
     })
 }
 

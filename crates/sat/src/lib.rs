@@ -11,9 +11,14 @@
 //! - two-watched-literal unit propagation,
 //! - first-UIP conflict analysis with clause minimization,
 //! - exponential VSIDS variable activities with a binary-heap order,
-//! - phase saving,
-//! - Luby-sequence restarts,
-//! - LBD ("glue")-based learnt-clause database reduction, and
+//! - phase saving (with optional restart-boundary rephasing),
+//! - Luby-sequence restarts (or a geometric series, for portfolio
+//!   diversity),
+//! - LBD ("glue")-based learnt-clause database reduction,
+//! - SatELite-style inprocessing at level-0 boundaries — backward
+//!   subsumption, self-subsuming resolution, and bounded variable
+//!   elimination with model reconstruction — every step logged to the
+//!   DRAT proof so certified mode survives it, and
 //! - incremental solving under assumptions with final-conflict (core)
 //!   extraction.
 //!
@@ -38,7 +43,7 @@ mod solver;
 mod types;
 
 pub use proof::ProofStep;
-pub use solver::{Solver, SolverStats};
+pub use solver::{Rephase, Solver, SolverStats};
 pub use types::{Lit, SolveResult, Var};
 
 #[cfg(test)]

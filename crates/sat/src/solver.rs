@@ -8,6 +8,12 @@ use crate::luby::luby;
 use crate::proof::ProofStep;
 use crate::types::{LBool, Lit, SolveResult, Var};
 
+/// SatELite-style inprocessing (subsumption, self-subsuming resolution,
+/// bounded variable elimination). A child module of `solver` so it can
+/// work directly on the private clause arena and watch lists.
+#[path = "inprocess.rs"]
+mod inprocess;
+
 /// Reference to a clause in the solver's arena.
 type CRef = u32;
 
@@ -26,6 +32,47 @@ struct Clause {
     learnt: bool,
     lbd: u32,
     deleted: bool,
+    /// Whether the proof log knows about this clause. Variable
+    /// elimination adds most resolvents *without* logging them (see
+    /// `inprocess.rs`: their parents stay live in the checker and
+    /// simulate them under unit propagation); deletions of such clauses
+    /// must not be logged either, or the checker would reject the
+    /// `Delete` of a clause it never saw.
+    in_proof: bool,
+}
+
+/// The original clauses of one eliminated variable, snapshotted for
+/// model reconstruction and reintroduction — flattened into one literal
+/// vector with clause-end offsets, because a `Vec` per stored clause
+/// would dominate the allocation cost of elimination-heavy rounds.
+struct StoredClauses {
+    lits: Vec<Lit>,
+    ends: Vec<u32>,
+}
+
+impl StoredClauses {
+    fn new() -> StoredClauses {
+        StoredClauses { lits: Vec::new(), ends: Vec::new() }
+    }
+
+    fn push(&mut self, clause: &[Lit]) {
+        self.lits.extend_from_slice(clause);
+        self.ends.push(self.lits.len() as u32);
+    }
+
+    /// The stored clauses, in insertion order.
+    fn iter(&self) -> impl Iterator<Item = &[Lit]> + '_ {
+        self.ends.iter().scan(0usize, move |start, &end| {
+            let s = *start;
+            *start = end as usize;
+            Some(&self.lits[s..end as usize])
+        })
+    }
+
+    /// Every literal of every stored clause.
+    fn all_lits(&self) -> impl Iterator<Item = &Lit> + '_ {
+        self.lits.iter()
+    }
 }
 
 impl Clause {
@@ -64,6 +111,31 @@ pub struct SolverStats {
     pub learnts: u64,
     /// Literals dropped from learnt clauses by recursive minimization.
     pub minimized_lits: u64,
+    /// Variables removed by bounded variable elimination (net of any
+    /// later reintroductions; see [`Solver::set_inprocess`]).
+    pub eliminated_vars: u64,
+    /// Clauses deleted by backward subsumption.
+    pub subsumed: u64,
+    /// Literals removed by self-subsuming resolution (strengthening).
+    pub strengthened: u64,
+    /// Resolvent clauses added by variable elimination.
+    pub resolvents: u64,
+}
+
+/// Restart-boundary phase policy (see [`Solver::set_rephase`]): what to
+/// do to the saved phases every [`REPHASE_PERIOD`] restarts. The
+/// portfolio races these modes so its variants search genuinely
+/// different assignments, not just differently-paced copies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Rephase {
+    /// Keep saved phases untouched (classic phase saving).
+    #[default]
+    Off,
+    /// Invert every saved phase, sending the search to the complement
+    /// of the assignment it has been circling.
+    Invert,
+    /// Reset every saved phase to the solver's default phase.
+    Reset,
 }
 
 /// A CDCL SAT solver. See the crate documentation for an overview.
@@ -112,6 +184,42 @@ pub struct Solver {
     /// [`Solver::set_proof_logging`]).
     proof: Option<Vec<ProofStep>>,
     stats: SolverStats,
+    /// Whether inprocessing (subsumption + self-subsuming resolution)
+    /// runs at solve start and restart boundaries.
+    inprocess_on: bool,
+    /// Whether inprocessing may also run bounded variable elimination.
+    /// Incremental sessions turn this off: future goals re-reference
+    /// memoized gate literals, and the frozen decision-scope cone covers
+    /// the whole live formula anyway.
+    inprocess_bve: bool,
+    /// Cumulative-conflict threshold for the next inprocessing round.
+    inprocess_next: u64,
+    /// Set when a variable-elimination pass ran to completion with the
+    /// current clause set. Search never adds *original* clauses, so
+    /// elimination opportunities only reappear when the embedder adds a
+    /// clause (which clears this); until then later rounds skip the
+    /// full-variable BVE scan and run subsumption only.
+    bve_saturated: bool,
+    /// Variables that must never be eliminated (assumption variables
+    /// and anything the caller pinned via [`Solver::freeze_var`]).
+    frozen: Vec<bool>,
+    /// Variables currently eliminated by BVE: never decided, absent
+    /// from every live clause, re-added on demand (see
+    /// [`Solver::reintroduce_vars`]).
+    elim: Vec<bool>,
+    /// Model-reconstruction stack: for each eliminated variable, in
+    /// elimination order, the original clauses that mentioned it.
+    elim_stack: Vec<(Var, StoredClauses)>,
+    /// Post-`Sat` values for eliminated variables, recomputed per solve
+    /// by replaying `elim_stack` in reverse (SatELite-style model
+    /// extension); consulted by [`Solver::value`] when `assign` is
+    /// undefined.
+    model_overlay: Vec<LBool>,
+    /// Geometric restarts instead of Luby (see
+    /// [`Solver::set_restart_geometric`]).
+    restart_geometric: bool,
+    /// Restart-boundary phase policy.
+    rephase: Rephase,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -127,6 +235,15 @@ const INTERRUPT_GRANULARITY: u64 = 1024;
 /// (`reduce_db`, `simplify`). Sessions grow large learnt databases, and
 /// a portfolio cancel must not wait out a full O(clauses) sweep.
 const SWEEP_GRANULARITY: usize = 4096;
+/// Conflicts between inprocessing rounds. The first round runs at solve
+/// start (threshold 0); later rounds wait for this much new search so a
+/// stream of easy incremental goals is not taxed with repeated sweeps.
+const INPROCESS_INTERVAL: u64 = 4000;
+/// Restarts between applications of the [`Rephase`] policy.
+const REPHASE_PERIOD: u64 = 10;
+/// Geometric restart growth factor (per restart, starting from
+/// `restart_base`), the classic MiniSat-style alternative to Luby.
+const GEOMETRIC_FACTOR: f64 = 1.2;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -165,6 +282,16 @@ impl Solver {
             decision_scope: None,
             proof: None,
             stats: SolverStats::default(),
+            inprocess_on: true,
+            inprocess_bve: true,
+            inprocess_next: 0,
+            bve_saturated: false,
+            frozen: Vec::new(),
+            elim: Vec::new(),
+            elim_stack: Vec::new(),
+            model_overlay: Vec::new(),
+            restart_geometric: false,
+            rephase: Rephase::Off,
         }
     }
 
@@ -177,6 +304,9 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(self.default_phase);
         self.seen.push(false);
+        self.frozen.push(false);
+        self.elim.push(false);
+        self.model_overlay.push(LBool::Undef);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.grow(self.assign.len());
@@ -255,6 +385,36 @@ impl Solver {
         self.default_phase = phase;
     }
 
+    /// Enables or disables inprocessing (default: on, with BVE). With
+    /// `bve` false the rounds run subsumption and self-subsuming
+    /// resolution only — both equivalence-preserving, safe under any
+    /// use pattern. Incremental sessions pass `bve: false`: future
+    /// goals re-reference memoized gate literals, so eliminating
+    /// variables would only churn through reintroduction.
+    pub fn set_inprocess(&mut self, enabled: bool, bve: bool) {
+        self.inprocess_on = enabled;
+        self.inprocess_bve = bve;
+    }
+
+    /// Pins `v` against bounded variable elimination. Assumption
+    /// variables and decision-scope cones are frozen automatically at
+    /// each inprocessing round; callers freeze anything else a future
+    /// query will re-reference (activation literals, memoized gates).
+    pub fn freeze_var(&mut self, v: Var) {
+        self.frozen[v.index()] = true;
+    }
+
+    /// Switches restarts from Luby (the default) to a geometric series
+    /// growing by [`GEOMETRIC_FACTOR`] per restart.
+    pub fn set_restart_geometric(&mut self, on: bool) {
+        self.restart_geometric = on;
+    }
+
+    /// Sets the restart-boundary phase policy (default [`Rephase::Off`]).
+    pub fn set_rephase(&mut self, mode: Rephase) {
+        self.rephase = mode;
+    }
+
     #[inline]
     fn interrupted(&self) -> bool {
         self.interrupt
@@ -298,8 +458,9 @@ impl Solver {
     }
 
     /// Logs the deletion of clause `ci` (caller marks it deleted).
+    /// No-op for clauses the proof log never saw (unlogged resolvents).
     fn log_delete(&mut self, ci: usize) {
-        if self.proof.is_some() {
+        if self.proof.is_some() && self.clauses[ci].in_proof {
             let lits = self.lit_arena[self.clauses[ci].range()].to_vec();
             self.log(ProofStep::Delete(lits));
         }
@@ -310,6 +471,15 @@ impl Solver {
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
         // A previous Sat answer leaves the model trail in place; clear it.
         self.backtrack(0);
+        if !self.ok {
+            return false;
+        }
+        // A fresh original clause reopens elimination opportunities.
+        self.bve_saturated = false;
+        // A clause over an eliminated variable reactivates it: its
+        // original defining clauses come back first, so the new clause
+        // constrains the variable the caller thinks it is constraining.
+        self.reintroduce_touched(lits);
         if !self.ok {
             return false;
         }
@@ -355,7 +525,7 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(out, false);
+                self.attach_new_clause(&out, false);
                 true
             }
         }
@@ -474,6 +644,15 @@ impl Solver {
                 }
             }
         }
+        // Purged variables are never referenced again (caller contract
+        // above), so reconstruction entries whose stored clauses mention
+        // one are dead weight; the eliminated variables themselves stay
+        // eliminated — a model may assign them freely.
+        self.elim_stack.retain(|(_, stored)| {
+            !stored
+                .all_lits()
+                .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false))
+        });
         self.compact_deleted();
     }
 
@@ -542,9 +721,21 @@ impl Solver {
             self.log(ProofStep::Derived(Vec::new()));
             return SolveResult::Unsat;
         }
+        // An assumption over an eliminated variable reactivates it (its
+        // defining clauses are gone from the database, so assuming it
+        // would otherwise constrain nothing).
+        self.reintroduce_touched(assumptions);
+        if !self.ok {
+            self.log(ProofStep::Derived(Vec::new()));
+            return SolveResult::Unsat;
+        }
         self.assumptions = assumptions.to_vec();
         let result = self.search_loop();
-        if result != SolveResult::Sat {
+        if result == SolveResult::Sat {
+            // Extend the model over eliminated variables before the
+            // caller reads it.
+            self.reconstruct_model();
+        } else {
             self.backtrack(0);
         }
         // On Sat, keep the trail so `value` reads the full model; the next
@@ -558,9 +749,15 @@ impl Solver {
         &self.conflict_core
     }
 
-    /// The model value of `v` after a `Sat` answer.
+    /// The model value of `v` after a `Sat` answer. Eliminated
+    /// variables read from the reconstruction overlay (see
+    /// [`Solver::reconstruct_model`][Self::solve_assuming]).
     pub fn value(&self, v: Var) -> Option<bool> {
-        match self.assign[v.index()] {
+        let raw = match self.assign[v.index()] {
+            LBool::Undef => self.model_overlay[v.index()],
+            assigned => assigned,
+        };
+        match raw {
             LBool::True => Some(true),
             LBool::False => Some(false),
             LBool::Undef => None,
@@ -578,19 +775,65 @@ impl Solver {
 
     fn search_loop(&mut self) -> SolveResult {
         self.backtrack(0);
+        self.maybe_inprocess();
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
         let mut restart_idx: u64 = 0;
         loop {
             if self.interrupted() {
                 return SolveResult::Interrupted;
             }
             restart_idx += 1;
-            let budget = luby(restart_idx) * self.restart_base;
+            let budget = if self.restart_geometric {
+                // f64→u64 casts saturate, so overflow after many
+                // restarts just means "no further restarts".
+                (self.restart_base as f64 * GEOMETRIC_FACTOR.powi(restart_idx as i32 - 1))
+                    as u64
+            } else {
+                luby(restart_idx) * self.restart_base
+            };
             match self.search(budget) {
                 Some(r) => return r,
                 None => {
                     // Restart: keep learnt clauses and saved phases.
                     self.stats.restarts += 1;
                     self.backtrack(0);
+                    if restart_idx % REPHASE_PERIOD == 0 {
+                        self.apply_rephase();
+                    }
+                    self.maybe_inprocess();
+                    if !self.ok {
+                        return SolveResult::Unsat;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Runs an inprocessing round at this level-0 boundary if enough
+    /// conflicts have accumulated since the last one. On `false` return
+    /// of `ok` the round itself logged the concluding empty clause.
+    fn maybe_inprocess(&mut self) {
+        if self.inprocess_on && self.ok && self.stats.conflicts >= self.inprocess_next {
+            self.inprocess();
+            self.inprocess_next = self.stats.conflicts + INPROCESS_INTERVAL;
+        }
+    }
+
+    /// Applies the [`Rephase`] policy to every saved phase.
+    fn apply_rephase(&mut self) {
+        match self.rephase {
+            Rephase::Off => {}
+            Rephase::Invert => {
+                for p in &mut self.phase {
+                    *p = !*p;
+                }
+            }
+            Rephase::Reset => {
+                let d = self.default_phase;
+                for p in &mut self.phase {
+                    *p = d;
                 }
             }
         }
@@ -627,7 +870,7 @@ impl Solver {
                     self.unchecked_enqueue(learnt[0], None);
                 } else {
                     let first = learnt[0];
-                    let cref = self.attach_new_clause(learnt, true);
+                    let cref = self.attach_new_clause(&learnt, true);
                     self.clauses[cref as usize].lbd = lbd;
                     self.unchecked_enqueue(first, Some(cref));
                 }
@@ -682,6 +925,12 @@ impl Solver {
         }
         // Then VSIDS.
         while let Some(v) = self.order.pop(&self.activity) {
+            // Eliminated variables are absent from every live clause;
+            // deciding them would only pad the trail (reintroduction
+            // re-offers them to the heap).
+            if self.elim[v.index()] {
+                continue;
+            }
             // Out-of-scope variables are dropped for the rest of this
             // solve (set_decision_scope re-offers them to the heap).
             if let Some(scope) = &self.decision_scope {
@@ -1032,7 +1281,7 @@ impl Solver {
         self.var_inc /= self.var_decay;
     }
 
-    fn attach_new_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> CRef {
+    fn attach_new_clause(&mut self, lits: &[Lit], learnt: bool) -> CRef {
         debug_assert!(lits.len() >= 2);
         let cref = self.clauses.len() as CRef;
         let w0 = lits[0];
@@ -1043,13 +1292,14 @@ impl Solver {
             self.num_learnts += 1;
         }
         let start = self.lit_arena.len() as u32;
-        self.lit_arena.extend_from_slice(&lits);
+        self.lit_arena.extend_from_slice(lits);
         self.clauses.push(Clause {
             start,
             len: lits.len() as u32,
             learnt,
             lbd: 0,
             deleted: false,
+            in_proof: true,
         });
         cref
     }

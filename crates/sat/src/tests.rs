@@ -532,6 +532,212 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------
+// Inprocessing: subsumption, variable elimination, model reconstruction
+// ---------------------------------------------------------------------
+
+#[test]
+fn inprocessing_chain_eliminates_and_reconstructs() {
+    // Interior variables of an implication chain have one positive and
+    // one negative occurrence each — prime BVE fodder. The Sat model
+    // must still satisfy every *original* clause via reconstruction.
+    let mut s = Solver::new();
+    let v = lits(&mut s, 30);
+    let mut orig: Vec<Vec<Lit>> = Vec::new();
+    for i in 0..29 {
+        orig.push(vec![Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    orig.push(vec![Lit::pos(v[0]), Lit::pos(v[29])]);
+    for c in &orig {
+        assert!(s.add_clause(c));
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(
+        s.stats().eliminated_vars > 0,
+        "chain interior variables should be eliminated"
+    );
+    for c in &orig {
+        assert!(
+            c.iter().any(|&l| s.value_lit(l) == Some(true)),
+            "reconstructed model violates {c:?}"
+        );
+    }
+}
+
+#[test]
+fn frozen_vars_survive_elimination() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 10);
+    for i in 0..9 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    for &x in &v {
+        s.freeze_var(x);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(s.stats().eliminated_vars, 0);
+}
+
+#[test]
+fn eliminated_vars_reintroduced_by_later_clauses() {
+    // Solve once (eliminating the chain), then constrain eliminated
+    // variables directly: unsatisfiability through the chain is only
+    // detectable if the deleted defining clauses transitively return.
+    let mut s = Solver::new();
+    let v = lits(&mut s, 20);
+    for i in 0..19 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.stats().eliminated_vars > 0);
+    assert!(s.add_clause(&[Lit::pos(v[0])]));
+    // The unit x0 re-propagates the reintroduced chain at level 0, so
+    // adding !x19 conflicts immediately — add_clause reports it.
+    assert!(!s.add_clause(&[Lit::neg(v[19])]));
+    assert_eq!(s.solve(), SolveResult::Unsat);
+}
+
+#[test]
+fn assumptions_reintroduce_eliminated_vars() {
+    let mut s = Solver::new();
+    let v = lits(&mut s, 12);
+    for i in 0..11 {
+        s.add_clause(&[Lit::neg(v[i]), Lit::pos(v[i + 1])]);
+    }
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert_eq!(
+        s.solve_assuming(&[Lit::pos(v[0]), Lit::neg(v[11])]),
+        SolveResult::Unsat
+    );
+    assert_eq!(s.solve(), SolveResult::Sat);
+}
+
+#[test]
+fn subsumption_shrinks_database() {
+    // {a} ∪ {a, b, c...} pairs: the short clauses should subsume the
+    // long ones during the first inprocessing round.
+    let mut s = Solver::new();
+    let v = lits(&mut s, 8);
+    for i in 0..4 {
+        s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 4])]);
+        s.add_clause(&[Lit::pos(v[i]), Lit::pos(v[i + 4]), Lit::pos(v[(i + 1) % 4])]);
+    }
+    // Keep BVE out of the picture so the counter isolates subsumption.
+    s.set_inprocess(true, false);
+    assert_eq!(s.solve(), SolveResult::Sat);
+    assert!(s.stats().subsumed > 0, "long clauses should be subsumed");
+}
+
+#[test]
+fn restart_and_rephase_variants_preserve_verdicts() {
+    use crate::Rephase;
+    for (geom, rephase) in [
+        (true, Rephase::Off),
+        (false, Rephase::Invert),
+        (true, Rephase::Reset),
+    ] {
+        let mut s = Solver::new();
+        s.set_restart_geometric(geom);
+        s.set_rephase(rephase);
+        s.set_restart_base(8); // many restarts, so rephasing fires
+        php(&mut s, 6, 5);
+        assert_eq!(
+            s.solve(),
+            SolveResult::Unsat,
+            "geom={geom} rephase={rephase:?}"
+        );
+        let mut s2 = Solver::new();
+        s2.set_restart_geometric(geom);
+        s2.set_rephase(rephase);
+        let v = lits(&mut s2, 3);
+        s2.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+        s2.add_clause(&[Lit::neg(v[1]), Lit::pos(v[2])]);
+        assert_eq!(s2.solve(), SolveResult::Sat);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The inprocessing solver (subsumption + SSR + BVE) must agree
+    /// with the plain solver on random CNF, and its models —
+    /// reconstructed over eliminated variables — must satisfy the
+    /// *original* clauses.
+    #[test]
+    fn prop_inprocessed_matches_plain(
+        cnf in prop::collection::vec(clause_strategy(10), 1..50)
+    ) {
+        let nvars = 10;
+        let build = |inprocess: bool| -> (Solver, Vec<Var>, bool) {
+            let mut s = Solver::new();
+            s.set_inprocess(inprocess, inprocess);
+            let vars = lits(&mut s, nvars);
+            let mut ok = true;
+            for clause in &cnf {
+                let c: Vec<Lit> = clause
+                    .iter()
+                    .map(|&(v, neg)| Lit::new(vars[v], neg))
+                    .collect();
+                ok &= s.add_clause(&c);
+            }
+            (s, vars, ok)
+        };
+        let (mut plain, _, ok_p) = build(false);
+        let (mut inp, vars, ok_i) = build(true);
+        prop_assert_eq!(ok_p, ok_i);
+        let rp = if ok_p { plain.solve() } else { SolveResult::Unsat };
+        let ri = if ok_i { inp.solve() } else { SolveResult::Unsat };
+        prop_assert_eq!(rp, ri);
+        if ri == SolveResult::Sat {
+            for clause in &cnf {
+                let sat = clause
+                    .iter()
+                    .any(|&(v, neg)| inp.value(vars[v]).unwrap_or(false) != neg);
+                prop_assert!(sat, "reconstructed model violates {:?}", clause);
+            }
+        }
+        // A second solve (inprocessing re-runs on the shrunk database)
+        // must agree with the first.
+        if ok_i {
+            prop_assert_eq!(inp.solve(), ri);
+        }
+    }
+
+    /// Assumptions over eliminated variables must pull them back in
+    /// with exactly fresh-solver semantics.
+    #[test]
+    fn prop_inprocessed_assumptions_match_brute_force(
+        cnf in prop::collection::vec(clause_strategy(6), 1..25),
+        asm in prop::collection::vec((0..6usize, any::<bool>()), 0..3)
+    ) {
+        let nvars = 6;
+        let mut s = Solver::new();
+        s.set_inprocess(true, true);
+        let vars = lits(&mut s, nvars);
+        let mut ok = true;
+        for clause in &cnf {
+            let c: Vec<Lit> = clause
+                .iter()
+                .map(|&(v, neg)| Lit::new(vars[v], neg))
+                .collect();
+            ok &= s.add_clause(&c);
+        }
+        // A plain solve first, so BVE has a chance to eliminate the
+        // variables the assumptions are about to mention.
+        if ok {
+            s.solve();
+        }
+        let mut full = cnf.clone();
+        for &(v, neg) in &asm {
+            full.push(vec![(v, neg)]);
+        }
+        let expected = brute_force_sat(nvars, &full);
+        let asml: Vec<Lit> = asm.iter().map(|&(v, neg)| Lit::new(vars[v], neg)).collect();
+        let got = if ok { s.solve_assuming(&asml) } else { SolveResult::Unsat };
+        prop_assert_eq!(got == SolveResult::Sat, expected);
+    }
+}
+
 #[test]
 fn pigeonhole_unsat_exercises_recursive_minimization() {
     // PHP(n+1, n): n+1 pigeons into n holes. Famously unsat with long

@@ -11,8 +11,9 @@
 //!
 //! Two knobs per run ([`SimConfig`]): `buggify` arms the rare-branch
 //! hooks planted in production code (lock-order edges, fallback paths,
-//! purge skips, proof corruption), and `io_faults` arms torn/flipped/
-//! crashed disk writes in the verdict cache. The oracles here are
+//! purge skips, SAT-inprocessing skips, proof corruption), and
+//! `io_faults` arms torn/flipped/crashed disk writes in the verdict
+//! cache. The oracles here are
 //! written for *both* modes:
 //!
 //! - **Safety (always)**: never a wrong definitive verdict — a valid

@@ -116,17 +116,17 @@ fn corrupted_proofs_demote_to_unknown() {
 }
 
 /// Regression: dropping the portfolio's first definitive finisher
-/// ("portfolio-drop-winner") may cost a verdict, never flip one. Seed 4
+/// ("portfolio-drop-winner") may cost a verdict, never flip one. Seed 2
 /// drops a winner and a later variant still recovers every verdict;
 /// seed 7 degrades one query to Unknown.
 #[test]
 fn dropped_portfolio_winner_degrades_but_never_flips() {
-    let recovered = run("portfolio_cancel", SimConfig::hostile(4));
+    let recovered = run("portfolio_cancel", SimConfig::hostile(2));
     assert!(
         recovered.fired("portfolio-drop-winner"),
         "pinned seed no longer drops a winner"
     );
-    assert_eq!(recovered.summary, "verdicts=PPR variants=201");
+    assert_eq!(recovered.summary, "verdicts=PPR variants=001");
 
     let degraded = run("portfolio_cancel", SimConfig::hostile(7));
     assert!(degraded.fired("cert-corrupt-proof"));
@@ -158,5 +158,21 @@ fn warm_accounting_survives_hostile_schedule() {
     assert!(r.fired("session-skip-purge"), "pinned seed no longer skips a purge");
     assert!(r.fired("pool-claim-steal-first"));
     assert!(r.fired("pool-submit-injector"));
+    assert_eq!(r.summary, "cold=PPRPP warm=PPRPP acct=4h/0m/5q/1t");
+}
+
+/// Regression: degraded SAT inprocessing ("inprocess-skip" turns the
+/// maintenance round into a no-op) must never flip a verdict —
+/// inprocessing is an equisatisfiable rewrite, so the full engine
+/// pipeline must land the same cold and warm verdicts with or without
+/// it. Seed 2 skips inprocessing *and* a session purge in one run.
+#[test]
+fn skipped_inprocessing_never_flips_a_verdict() {
+    let r = run("engine_batch", SimConfig::hostile(2));
+    assert!(
+        r.fired("inprocess-skip"),
+        "pinned seed no longer skips inprocessing"
+    );
+    assert!(r.fired("session-skip-purge"));
     assert_eq!(r.summary, "cold=PPRPP warm=PPRPP acct=4h/0m/5q/1t");
 }

@@ -9,11 +9,40 @@
 //! syntactically distinct application gets fresh result literals, and for
 //! every pair of applications of the same function a congruence constraint
 //! `args equal → results equal` is added in [`Blaster::finalize`].
+//!
+//! # Polarity-aware encoding (Plaisted–Greenbaum)
+//!
+//! With [`Blaster::set_polarity`] enabled, gate definition clauses are not
+//! written to the solver eagerly. Each gate registers two clause buckets:
+//! *forward* (clauses containing the negated output, constraining the
+//! definition when the output is true) and *backward* (clauses containing
+//! the positive output). A use of the output literal in some emitted
+//! clause pulls in only the bucket for that polarity, and the literals of
+//! the emitted clauses are themselves uses, so exactly the reachable
+//! polarity cone materializes. Single-polarity gates — the common case in
+//! verification-condition CNF, where the root is asserted one way — emit
+//! half their clauses, and gates of unreachable polarity emit nothing.
+//!
+//! Satisfying assignments of the reduced CNF still extend to the full
+//! Tseitin encoding: an unemitted direction only ever relaxes a gate
+//! output, which can be fixed by evaluating the gate's semantics over its
+//! (fully constrained) inputs.
 
 use crate::term::{mask, Op, Sort, TermId, UfId};
 use crate::with_ctx;
-use serval_sat::{Lit, Solver};
+use serval_sat::{Lit, Solver, Var};
 use std::collections::{HashMap, HashSet};
+
+/// Pending definition clauses of one Tseitin gate, bucketed by the output
+/// polarity that needs them (see the module docs).
+struct Gate {
+    /// Clauses containing the *negated* output: `out → definition`.
+    fwd: Vec<Vec<Lit>>,
+    /// Clauses containing the *positive* output: `definition → out`.
+    bwd: Vec<Vec<Lit>>,
+    /// Bit 1: fwd emitted; bit 2: bwd emitted.
+    emitted: u8,
+}
 
 /// Incremental bit-blaster writing clauses into a [`serval_sat::Solver`].
 pub struct Blaster {
@@ -41,6 +70,11 @@ pub struct Blaster {
     coupled: HashMap<TermId, Vec<TermId>>,
     /// First term to encode each `divrem` circuit (the range owner).
     divrem_owner: HashMap<(TermId, TermId), TermId>,
+    /// Plaisted–Greenbaum registry: gate output var → pending definition
+    /// clauses. Only populated when `polarity` is on.
+    gates: HashMap<Var, Gate>,
+    /// Whether to defer gate clauses by polarity (see the module docs).
+    polarity: bool,
 }
 
 impl Default for Blaster {
@@ -62,7 +96,86 @@ impl Blaster {
             var_range: HashMap::new(),
             coupled: HashMap::new(),
             divrem_owner: HashMap::new(),
+            gates: HashMap::new(),
+            polarity: false,
         }
+    }
+
+    /// Enables or disables Plaisted–Greenbaum polarity-aware encoding.
+    /// Must be called before the first term is blasted; toggling
+    /// mid-encoding would strand already-registered gate buckets.
+    pub fn set_polarity(&mut self, on: bool) {
+        debug_assert!(
+            self.bool_map.is_empty() && self.bv_map.is_empty(),
+            "set_polarity after encoding started"
+        );
+        self.polarity = on;
+    }
+
+    /// Registers (or, with polarity analysis off, immediately emits) the
+    /// definition clauses of a gate with output variable `out`.
+    fn define_gate(&mut self, sat: &mut Solver, out: Var, clauses: &[&[Lit]]) {
+        if !self.polarity {
+            for c in clauses {
+                sat.add_clause(c);
+            }
+            return;
+        }
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        for c in clauses {
+            let negated_out = c.iter().any(|l| l.var() == out && l.is_neg());
+            if negated_out {
+                fwd.push(c.to_vec());
+            } else {
+                bwd.push(c.to_vec());
+            }
+        }
+        self.gates.insert(out, Gate { fwd, bwd, emitted: 0 });
+    }
+
+    /// Records that literal `l` occurs in an emitted clause, flushing the
+    /// matching definition bucket of its gate (and, transitively, of every
+    /// gate whose output appears in those clauses). A no-op for input
+    /// variables and with polarity analysis off.
+    pub fn use_lit(&mut self, sat: &mut Solver, l: Lit) {
+        if !self.polarity {
+            return;
+        }
+        let mut work = vec![l];
+        while let Some(l) = work.pop() {
+            let v = l.var();
+            let Some(gate) = self.gates.get_mut(&v) else {
+                continue;
+            };
+            let bit = if l.is_neg() { 2 } else { 1 };
+            if gate.emitted & bit != 0 {
+                continue;
+            }
+            gate.emitted |= bit;
+            let bucket = if l.is_neg() {
+                std::mem::take(&mut gate.bwd)
+            } else {
+                std::mem::take(&mut gate.fwd)
+            };
+            for c in bucket {
+                sat.add_clause(&c);
+                for &x in &c {
+                    if x.var() != v {
+                        work.push(x);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds a non-definition clause (an assertion, guard, or congruence
+    /// constraint), first flushing the gate directions its literals need.
+    fn emit_clause(&mut self, sat: &mut Solver, lits: &[Lit]) {
+        for &l in lits {
+            self.use_lit(sat, l);
+        }
+        sat.add_clause(lits);
     }
 
     /// Terms that share allocated SAT variables with `t` (see
@@ -136,7 +249,7 @@ impl Blaster {
     /// Asserts boolean term `t` (adds clauses making it true).
     pub fn assert_true(&mut self, sat: &mut Solver, t: TermId) {
         let l = self.lit_of(sat, t);
-        sat.add_clause(&[l]);
+        self.emit_clause(sat, &[l]);
     }
 
     /// The literal encoding boolean term `t`.
@@ -183,8 +296,8 @@ impl Blaster {
         let all_eq = self.and_many(sat, &arg_eqs);
         // all_eq → result bits equal.
         for (&r1, &r2) in a.2.iter().zip(&b.2) {
-            sat.add_clause(&[!all_eq, !r1, r2]);
-            sat.add_clause(&[!all_eq, r1, !r2]);
+            self.emit_clause(sat, &[!all_eq, !r1, r2]);
+            self.emit_clause(sat, &[!all_eq, r1, !r2]);
         }
     }
 
@@ -458,9 +571,7 @@ impl Blaster {
             return !self.true_lit(sat);
         }
         let c = Lit::pos(sat.new_var());
-        sat.add_clause(&[!c, a]);
-        sat.add_clause(&[!c, b]);
-        sat.add_clause(&[c, !a, !b]);
+        self.define_gate(sat, c.var(), &[&[!c, a], &[!c, b], &[c, !a, !b]]);
         c
     }
 
@@ -484,10 +595,11 @@ impl Blaster {
             return self.true_lit(sat);
         }
         let c = Lit::pos(sat.new_var());
-        sat.add_clause(&[!c, a, b]);
-        sat.add_clause(&[!c, !a, !b]);
-        sat.add_clause(&[c, !a, b]);
-        sat.add_clause(&[c, a, !b]);
+        self.define_gate(
+            sat,
+            c.var(),
+            &[&[!c, a, b], &[!c, !a, !b], &[c, !a, b], &[c, a, !b]],
+        );
         c
     }
 
@@ -501,10 +613,11 @@ impl Blaster {
             return t;
         }
         let o = Lit::pos(sat.new_var());
-        sat.add_clause(&[!c, !t, o]);
-        sat.add_clause(&[!c, t, !o]);
-        sat.add_clause(&[c, !e, o]);
-        sat.add_clause(&[c, e, !o]);
+        self.define_gate(
+            sat,
+            o.var(),
+            &[&[!c, !t, o], &[!c, t, !o], &[c, !e, o], &[c, e, !o]],
+        );
         o
     }
 

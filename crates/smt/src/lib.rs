@@ -52,6 +52,7 @@ pub mod term;
 
 pub use bv::{SBool, BV};
 pub use model::Model;
+pub use serval_sat::Rephase;
 pub use session::{Session, SessionOutcome, SessionProof};
 pub use solver::{
     check, check_full, check_full_proof, verify, verify_full, CheckOutcome, CheckResult,

@@ -13,9 +13,11 @@
 //! ```
 //!
 //! Soundness of clause retention: every clause the blaster emits is
-//! either (a) a Tseitin gate definition — a full bidirectional
-//! equivalence, i.e. a conservative extension naming a subcircuit, valid
-//! regardless of which goal introduced it; (b) an Ackermann congruence
+//! either (a) a Tseitin gate definition — a conservative extension naming
+//! a subcircuit, valid regardless of which goal introduced it (with
+//! polarity-aware encoding possibly only one implication direction, which
+//! is *weaker*, hence still conservative; a model over the reduced CNF
+//! extends by evaluating each gate over its inputs); (b) an Ackermann congruence
 //! constraint — a valid fact of QF_UFBV; or (c) a goal guard
 //! `{!act_k, g_k}`, the only clause containing `act_k` at all. Since
 //! `act_k` occurs in exactly one clause and only *negatively* elsewhere
@@ -130,11 +132,22 @@ impl Session {
         sat.set_restart_base(cfg.restart_base);
         sat.set_var_decay(cfg.var_decay);
         sat.set_default_phase(cfg.default_phase);
+        sat.set_restart_geometric(cfg.restart_geometric);
+        sat.set_rephase(cfg.rephase);
+        // Subsumption/strengthening only for sessions: variable
+        // elimination is off because goals arrive incrementally and every
+        // new clause over an eliminated variable would force its
+        // reintroduction — churn, not progress. The `inprocess-skip`
+        // buggify degrades inprocessing to a no-op; verdicts must not
+        // change (the sim sweep pins that).
+        sat.set_inprocess(cfg.inprocess && !sim::buggify("inprocess-skip"), false);
         sat.set_interrupt(interrupt);
+        let mut blaster = Blaster::new();
+        blaster.set_polarity(cfg.polarity);
         Session {
             cfg,
             sat,
-            blaster: Blaster::new(),
+            blaster,
             base: Vec::new(),
             base_roots: Vec::new(),
             base_asserted: false,
@@ -382,7 +395,13 @@ impl Session {
         } else {
             let g = self.blaster.lit_of(&mut self.sat, neg_goal.0);
             self.blaster.finalize(&mut self.sat);
+            // The guard uses `g` positively; flush the gate definitions
+            // that polarity-aware encoding deferred for that direction.
+            self.blaster.use_lit(&mut self.sat, g);
             let act = Lit::pos(self.sat.new_var());
+            // Never eliminate an activation literal: retraction must
+            // keep meaning "assert the unit !act".
+            self.sat.freeze_var(act.var());
             self.sat.add_clause(&[!act, g]);
             // Scope VSIDS decisions to the base + this goal's cone:
             // retired goals leave their (conservative-extension) gate
@@ -390,9 +409,10 @@ impl Session {
             // through those dead variables — the cost grows with every
             // goal the session has already answered. Out-of-scope
             // clauses are dead guards (satisfied at level 0) or gates
-            // functionally determined by their inputs, so Sat over the
-            // scope extends to a total model; see
-            // `Solver::set_decision_scope` for the contract.
+            // functionally determined by their inputs (with polarity
+            // encoding, possibly constrained in one direction only —
+            // weaker still), so Sat over the scope extends to a total
+            // model; see `Solver::set_decision_scope` for the contract.
             let mut mask = self.base_mask.clone();
             mask.resize(self.sat.num_vars(), false);
             let mut visited = HashSet::new();
@@ -473,6 +493,12 @@ impl Session {
             presolve_terms_out: 0,
             presolve_vars_in: 0,
             presolve_vars_out: 0,
+            // `eliminated_vars` is a net counter (reintroduction decrements
+            // it), so the per-goal delta can be negative; clamp at zero.
+            eliminated_vars: now.eliminated_vars.saturating_sub(prev.eliminated_vars),
+            subsumed: now.subsumed - prev.subsumed,
+            strengthened: now.strengthened - prev.strengthened,
+            resolvents: now.resolvents - prev.resolvents,
             cert_steps: 0,
             cert_wall: std::time::Duration::ZERO,
             wall: start.elapsed(),

@@ -13,11 +13,27 @@ use crate::blast::Blaster;
 use crate::bv::SBool;
 use crate::model::Model;
 use crate::term::{with_ctx, Op, Sort, TermId};
-use serval_sat::{ProofStep, SolveResult, Solver};
+use serval_check::sim;
+use serval_sat::{ProofStep, Rephase, SolveResult, Solver};
 use std::collections::HashSet;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Whether `SERVAL_INPROCESS` enables SAT inprocessing (default: on).
+pub fn inprocess_env_enabled() -> bool {
+    std::env::var("SERVAL_INPROCESS")
+        .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+        .unwrap_or(true)
+}
+
+/// Whether `SERVAL_POLARITY` enables Plaisted–Greenbaum polarity-aware
+/// CNF encoding (default: on).
+pub fn polarity_env_enabled() -> bool {
+    std::env::var("SERVAL_POLARITY")
+        .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+        .unwrap_or(true)
+}
 
 /// Configuration for a solver call.
 #[derive(Clone, Copy, Debug)]
@@ -32,6 +48,17 @@ pub struct SolverConfig {
     pub var_decay: f64,
     /// Initial saved phase for fresh SAT variables (default: `false`).
     pub default_phase: bool,
+    /// Geometric restart series instead of Luby (portfolio diversity;
+    /// default: `false`).
+    pub restart_geometric: bool,
+    /// Restart-boundary rephasing policy (default: [`Rephase::Off`]).
+    pub rephase: Rephase,
+    /// SatELite-style SAT inprocessing (default: `SERVAL_INPROCESS`,
+    /// which is on unless set to `0`/`off`/`false`).
+    pub inprocess: bool,
+    /// Plaisted–Greenbaum polarity-aware CNF (default: `SERVAL_POLARITY`,
+    /// which is on unless set to `0`/`off`/`false`).
+    pub polarity: bool,
 }
 
 impl Default for SolverConfig {
@@ -41,6 +68,10 @@ impl Default for SolverConfig {
             restart_base: 128,
             var_decay: 0.95,
             default_phase: false,
+            restart_geometric: false,
+            rephase: Rephase::Off,
+            inprocess: inprocess_env_enabled(),
+            polarity: polarity_env_enabled(),
         }
     }
 }
@@ -84,6 +115,15 @@ pub struct QueryStats {
     pub presolve_vars_in: usize,
     /// Symbolic constants in the query after presolve.
     pub presolve_vars_out: usize,
+    /// Variables removed by bounded variable elimination (net of
+    /// reintroductions; 0 = inprocessing off or nothing eliminated).
+    pub eliminated_vars: u64,
+    /// Clauses deleted by backward subsumption.
+    pub subsumed: u64,
+    /// Clauses shortened by self-subsuming resolution.
+    pub strengthened: u64,
+    /// Resolvents added by variable elimination.
+    pub resolvents: u64,
     /// Proof-certificate steps checked for this query (0 = uncertified).
     pub cert_steps: u64,
     /// Wall time spent in the independent certificate checker.
@@ -118,6 +158,12 @@ impl QueryStats {
                 self.presolve_terms_out,
                 self.presolve_vars_in,
                 self.presolve_vars_out
+            ));
+        }
+        if self.eliminated_vars + self.subsumed + self.strengthened + self.resolvents > 0 {
+            line.push_str(&format!(
+                " elim_vars={} subsumed={} strengthened={} resolvents={}",
+                self.eliminated_vars, self.subsumed, self.strengthened, self.resolvents
             ));
         }
         if self.cert_steps > 0 {
@@ -228,8 +274,16 @@ fn check_full_impl(
     sat.set_restart_base(cfg.restart_base);
     sat.set_var_decay(cfg.var_decay);
     sat.set_default_phase(cfg.default_phase);
+    sat.set_restart_geometric(cfg.restart_geometric);
+    sat.set_rephase(cfg.rephase);
+    // Buggify: degrade inprocessing to a no-op, as a skipped maintenance
+    // round under pressure would. Inprocessing is an equisatisfiable
+    // rewrite, so every verdict must be identical with or without it —
+    // the sim sweep pins that.
+    sat.set_inprocess(cfg.inprocess && !sim::buggify("inprocess-skip"), true);
     sat.set_interrupt(interrupt);
     let mut blaster = Blaster::new();
+    blaster.set_polarity(cfg.polarity);
     let mut stats = QueryStats::default();
     for a in assertions {
         // Fast path: a constant-false assertion needs no solving. The
@@ -262,6 +316,10 @@ fn check_full_impl(
     stats.learnts = s.learnts;
     stats.clauses = sat.num_clauses();
     stats.vars = sat.num_vars();
+    stats.eliminated_vars = s.eliminated_vars;
+    stats.subsumed = s.subsumed;
+    stats.strengthened = s.strengthened;
+    stats.resolvents = s.resolvents;
     stats.wall = start.elapsed();
     CheckOutcome { result, stats, proof }
 }

@@ -72,6 +72,10 @@ pub struct Profiler {
     solver_session_goals: Cell<u64>,
     solver_presolve_terms_in: Cell<u64>,
     solver_presolve_terms_out: Cell<u64>,
+    solver_eliminated_vars: Cell<u64>,
+    solver_subsumed: Cell<u64>,
+    solver_strengthened: Cell<u64>,
+    solver_resolvents: Cell<u64>,
     solver_wall_ns: Cell<u64>,
 }
 
@@ -100,6 +104,10 @@ impl Profiler {
             solver_session_goals: Cell::new(0),
             solver_presolve_terms_in: Cell::new(0),
             solver_presolve_terms_out: Cell::new(0),
+            solver_eliminated_vars: Cell::new(0),
+            solver_subsumed: Cell::new(0),
+            solver_strengthened: Cell::new(0),
+            solver_resolvents: Cell::new(0),
             solver_wall_ns: Cell::new(0),
         }
     }
@@ -129,6 +137,14 @@ impl Profiler {
             .set(self.solver_presolve_terms_in.get() + stats.presolve_terms_in as u64);
         self.solver_presolve_terms_out
             .set(self.solver_presolve_terms_out.get() + stats.presolve_terms_out as u64);
+        self.solver_eliminated_vars
+            .set(self.solver_eliminated_vars.get() + stats.eliminated_vars);
+        self.solver_subsumed
+            .set(self.solver_subsumed.get() + stats.subsumed);
+        self.solver_strengthened
+            .set(self.solver_strengthened.get() + stats.strengthened);
+        self.solver_resolvents
+            .set(self.solver_resolvents.get() + stats.resolvents);
         self.solver_wall_ns
             .set(self.solver_wall_ns.get() + stats.wall.as_nanos() as u64);
     }
@@ -265,6 +281,20 @@ impl Profiler {
                     tin,
                     tout,
                     (1.0 - tout as f64 / tin as f64) * 100.0,
+                ));
+            }
+            let inproc = self.solver_eliminated_vars.get()
+                + self.solver_subsumed.get()
+                + self.solver_strengthened.get()
+                + self.solver_resolvents.get();
+            if inproc > 0 {
+                out.push_str(&format!(
+                    "inprocess: {} vars eliminated ({} resolvents), \
+                     {} clauses subsumed, {} strengthened\n",
+                    self.solver_eliminated_vars.get(),
+                    self.solver_resolvents.get(),
+                    self.solver_subsumed.get(),
+                    self.solver_strengthened.get(),
                 ));
             }
         }
