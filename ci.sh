@@ -41,6 +41,18 @@ SERVAL_CERT=0 cargo test -q --offline -p serval-engine -p serval-core
 echo "== tests (engine + core, proof certificates on) =="
 SERVAL_CERT=1 cargo test -q --offline -p serval-engine -p serval-core
 
+echo "== tests (engine + core, session inprocessing off) =="
+SERVAL_SESSION_INPROCESS=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, session inprocessing on) =="
+SERVAL_SESSION_INPROCESS=1 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, certified, LRAT hints off) =="
+SERVAL_CERT=1 SERVAL_LRAT=0 cargo test -q --offline -p serval-engine -p serval-core
+
+echo "== tests (engine + core, certified, LRAT hints on) =="
+SERVAL_CERT=1 SERVAL_LRAT=1 cargo test -q --offline -p serval-engine -p serval-core
+
 # Deterministic simulation: the pinned regression-seed corpus runs as
 # part of the workspace tests above; this block additionally sweeps
 # fresh hostile schedules (seeded scheduler + buggify + IO faults). Any

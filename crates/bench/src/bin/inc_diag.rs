@@ -8,7 +8,7 @@
 //! artifact.
 
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -21,7 +21,7 @@ fn main() {
             portfolio: false,
             disk_cache: None,
             split: true,
-            incremental,
+            mode: if incremental { DischargeMode::Session } else { DischargeMode::Fresh },
             presolve: serval_smt::presolve::env_enabled(),
             cert: EngineCfg::from_env().cert,
         });
@@ -34,7 +34,7 @@ fn main() {
         let secs = t0.elapsed().as_secs_f64();
         let t = report.solver_totals();
         println!(
-            "incremental={incremental}: {secs:.2}s conflicts={} decisions={} props={} restarts={} learnts={} vars={} clauses={} reused_clauses={} session={}",
+            "incremental={incremental}: {secs:.2}s conflicts={} decisions={} props={} restarts={} learnts={} vars={} clauses={} reused_clauses={} session={} elim={} res={}",
             t.conflicts,
             t.decisions,
             t.propagations,
@@ -43,7 +43,9 @@ fn main() {
             t.vars,
             t.clauses,
             t.reused_clauses,
-            t.session_goals
+            t.session_goals,
+            t.eliminated_vars,
+            t.resolvents
         );
         let mut rows: Vec<_> = report
             .theorems

@@ -1,16 +1,26 @@
-//! Quick config-matrix probe for the core-solver work: one cold run of
-//! the certikos `-O1` refinement per invocation, with the discharge
-//! mode and solver features picked by environment variables, printing
-//! wall time and the solver totals on one line. A developer tool for
+//! Quick config-matrix probe for the core-solver work: cold runs of
+//! the certikos `-O1` refinement with the discharge mode and solver
+//! features picked by environment variables, printing wall time and
+//! the solver totals on one line per leg. A developer tool for
 //! iterating on inprocessing heuristics without waiting for the full
 //! best-of-N `bench_all` comparison.
+//!
+//! One-shot (leg picked by env):
 //!
 //! ```sh
 //! P_INC=0 P_INP=1 P_POL=1 cargo run --release -p serval-bench --bin sat_probe
 //! ```
+//!
+//! Whole session×inprocess×polarity matrix from one binary — fresh and
+//! session discharge legs, plus session-BVE off/on isolation legs on
+//! the sessioned inprocessing rows:
+//!
+//! ```sh
+//! cargo run --release -p serval-bench --bin sat_probe -- --session
+//! ```
 
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -20,31 +30,34 @@ fn flag(name: &str, default: bool) -> bool {
     std::env::var(name).map(|v| v.trim() == "1").unwrap_or(default)
 }
 
-fn main() {
-    let inc = flag("P_INC", true);
-    let inp = flag("P_INP", true);
-    let pol = flag("P_POL", true);
+/// One cold refinement run under the given discharge/solver leg.
+fn probe(inc: bool, inp: bool, pol: bool, sbve: bool) {
     serval_engine::install(EngineCfg {
         jobs: EngineCfg::from_env().jobs,
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: inc,
+        mode: if inc { DischargeMode::Session } else { DischargeMode::Fresh },
         presolve: serval_smt::presolve::env_enabled(),
         cert: EngineCfg::from_env().cert,
     });
-    let cfg = SolverConfig { inprocess: inp, polarity: pol, ..SolverConfig::default() };
+    let cfg = SolverConfig {
+        inprocess: inp,
+        polarity: pol,
+        session_bve: sbve,
+        ..SolverConfig::default()
+    };
     let t0 = Instant::now();
-    let report =
-        certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg);
+    let report = certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg);
     let secs = t0.elapsed().as_secs_f64();
     let t = report.solver_totals();
     println!(
-        "inc={} inp={} pol={} wall={:.2}s proved={}/{} conflicts={} props={} \
+        "inc={} inp={} pol={} sbve={} wall={:.2}s proved={}/{} conflicts={} props={} \
          vars={} clauses={} elim={} sub={} str={} res={} cert_wall={:.2}s",
         inc as u8,
         inp as u8,
         pol as u8,
+        sbve as u8,
         secs,
         report.theorems.iter().filter(|t| t.verdict.is_proved()).count(),
         report.theorems.len(),
@@ -58,4 +71,31 @@ fn main() {
         t.resolvents,
         t.cert_wall.as_secs_f64(),
     );
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--session") {
+        // The full discharge-mode matrix. Session BVE only exists on
+        // the sessioned inprocessing legs, where it gets an off/on
+        // pair; everywhere else it rides along with `inp` (it is
+        // inert without sessions or inprocessing).
+        for inc in [false, true] {
+            for inp in [false, true] {
+                for pol in [false, true] {
+                    if inc && inp {
+                        probe(inc, inp, pol, false);
+                        probe(inc, inp, pol, true);
+                    } else {
+                        probe(inc, inp, pol, inp);
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let inc = flag("P_INC", true);
+    let inp = flag("P_INP", true);
+    let pol = flag("P_POL", true);
+    let sbve = flag("P_SBVE", inp);
+    probe(inc, inp, pol, sbve);
 }

@@ -8,10 +8,15 @@
 //! cold wall time with certification off vs on, the checker's share of
 //! it, and — the point of the exercise — that the verdicts are
 //! identical and every certified run's proofs were actually accepted.
+//! Certified discharge is measured twice: with LRAT antecedent hints
+//! (`SERVAL_LRAT`, the default — the checker verifies hinted steps by
+//! a guided walk) and without (`SERVAL_LRAT=0` — full reverse unit
+//! propagation on every derived step), so the JSON pins what the hints
+//! reclaim.
 
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -34,31 +39,34 @@ pub struct CertRun {
     pub certs_rejected: u64,
 }
 
-/// Certification off vs on, both cold.
+/// Certification off vs on (unhinted and hinted), all cold.
 pub struct CertBenchReport {
     /// `SERVAL_CERT=0` equivalent: solver verdicts taken on faith.
     pub off: CertRun,
-    /// Certified discharge (the default).
+    /// Certified discharge with LRAT hints stripped (`SERVAL_LRAT=0`
+    /// equivalent): every derived step checked by full RUP.
+    pub on_unhinted: CertRun,
+    /// Certified discharge with LRAT hints (the default).
     pub on: CertRun,
 }
 
-fn workload() -> ProofReport {
-    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), SolverConfig::default())
+fn workload(cfg: SolverConfig) -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg)
 }
 
-fn run_once(cert: bool) -> CertRun {
+fn run_once(cert: bool, lrat: bool) -> CertRun {
     let engine = serval_engine::install(EngineCfg {
         jobs: EngineCfg::from_env().jobs,
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: true,
+        mode: DischargeMode::Session,
         presolve: serval_smt::presolve::env_enabled(),
         cert,
     });
     let (c0, r0) = engine.cert_counts();
     let t0 = Instant::now();
-    let report = workload();
+    let report = workload(SolverConfig { lrat, ..SolverConfig::default() });
     let secs = t0.elapsed().as_secs_f64();
     let (c1, r1) = engine.cert_counts();
     let totals = report.solver_totals();
@@ -76,52 +84,77 @@ fn run_once(cert: bool) -> CertRun {
     }
 }
 
-/// Best-of-N cold run (each sample on a freshly installed engine) — the
-/// min-of-N convention the other harnesses in this crate use.
-fn run_cold(cert: bool, samples: usize) -> CertRun {
-    let mut best = run_once(cert);
-    for _ in 1..samples {
-        let r = run_once(cert);
-        if r.secs < best.secs {
-            best = r;
-        }
+/// Keeps the faster of the stored run and `r` (min-of-N convention).
+fn keep_min(slot: &mut Option<CertRun>, r: CertRun) {
+    match slot {
+        Some(best) if best.secs <= r.secs => {}
+        _ => *slot = Some(r),
     }
-    best
 }
 
-/// Runs the comparison.
+/// Runs the comparison. Samples are *interleaved* across the three
+/// configurations (off, unhinted, hinted — one of each per round, each
+/// on a freshly installed engine) rather than leg-by-leg: the ratios
+/// are between numbers measured seconds apart, so slow drift over the
+/// process lifetime (allocator state, page cache) lands on every leg
+/// equally instead of taxing whichever leg runs last.
 pub fn run() -> CertBenchReport {
     let samples: usize = std::env::var("SERVAL_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(3)
         .max(1);
-    let off = run_cold(false, samples);
-    let on = run_cold(true, samples);
+    let (mut off, mut on_unhinted, mut on) = (None, None, None);
+    for _ in 0..samples {
+        keep_min(&mut off, run_once(false, true));
+        keep_min(&mut on_unhinted, run_once(true, false));
+        keep_min(&mut on, run_once(true, true));
+    }
     // Leave the process-wide engine in its environment-default state.
     serval_engine::install(EngineCfg::from_env());
-    CertBenchReport { off, on }
+    CertBenchReport {
+        off: off.expect("samples >= 1"),
+        on_unhinted: on_unhinted.expect("samples >= 1"),
+        on: on.expect("samples >= 1"),
+    }
 }
 
 impl CertBenchReport {
-    /// Whether both runs proved exactly the same theorems (per-theorem,
+    /// Whether all runs proved exactly the same theorems (per-theorem,
     /// in order).
     pub fn verdicts_equal(&self) -> bool {
         self.off.verdicts == self.on.verdicts
+            && self.off.verdicts == self.on_unhinted.verdicts
     }
 
-    /// Certified cold wall over uncertified cold wall — the price of
-    /// not trusting the solver (budgeted at ≤ 2x).
+    /// Certified (hinted, the default) cold wall over uncertified cold
+    /// wall — the price of not trusting the solver (budgeted at ≤ 2x,
+    /// targeted at ≤ 1.15x with hints).
     pub fn overhead_ratio(&self) -> f64 {
         self.on.secs / self.off.secs.max(1e-9)
     }
 
-    /// Mean checker wall per checked certificate, in seconds.
+    /// Unhinted certified cold wall over uncertified cold wall — what
+    /// certification cost before LRAT hints.
+    pub fn overhead_ratio_unhinted(&self) -> f64 {
+        self.on_unhinted.secs / self.off.secs.max(1e-9)
+    }
+
+    /// Mean checker wall per checked certificate with hints, in seconds.
     pub fn check_secs_per_query(&self) -> f64 {
         if self.on.certs_checked == 0 {
             0.0
         } else {
             self.on.cert_secs / self.on.certs_checked as f64
+        }
+    }
+
+    /// Mean checker wall per checked certificate without hints.
+    pub fn check_secs_per_query_unhinted(&self) -> f64 {
+        if self.on_unhinted.certs_checked == 0 {
+            0.0
+        } else {
+            self.on_unhinted.cert_secs / self.on_unhinted.certs_checked as f64
         }
     }
 
@@ -141,13 +174,18 @@ impl CertBenchReport {
         }
         format!(
             "{{\n  \"workload\": \"certikos refinement -O1 (split sub-queries)\",\n  \
-             \"uncertified\": {},\n  \"certified\": {},\n  \
-             \"overhead_ratio\": {:.3},\n  \"check_secs_per_query\": {:.6},\n  \
+             \"uncertified\": {},\n  \"certified_unhinted\": {},\n  \"certified\": {},\n  \
+             \"overhead_ratio\": {:.3},\n  \"overhead_ratio_unhinted\": {:.3},\n  \
+             \"check_secs_per_query\": {:.6},\n  \
+             \"check_secs_per_query_unhinted\": {:.6},\n  \
              \"verdicts_equal\": {}\n}}\n",
             run_json(&self.off),
+            run_json(&self.on_unhinted),
             run_json(&self.on),
             self.overhead_ratio(),
+            self.overhead_ratio_unhinted(),
             self.check_secs_per_query(),
+            self.check_secs_per_query_unhinted(),
             self.verdicts_equal()
         )
     }
@@ -161,18 +199,22 @@ impl CertBenchReport {
     pub fn print_summary(&self) {
         println!("\ncert: uncertified vs certified (certikos refinement -O1)");
         println!(
-            "  cold   uncertified {:>8.2}s   certified {:>8.2}s   overhead {:.2}x",
-            self.off.secs,
-            self.on.secs,
+            "  cold   uncertified {:>8.2}s   certified(unhinted) {:>8.2}s   certified {:>8.2}s",
+            self.off.secs, self.on_unhinted.secs, self.on.secs,
+        );
+        println!(
+            "  overhead   unhinted {:.2}x   hinted {:.2}x",
+            self.overhead_ratio_unhinted(),
             self.overhead_ratio()
         );
         println!(
-            "  checker: {} certificates accepted, {} rejected, {} steps, {:.3}s total ({:.1}ms/query)",
+            "  checker: {} certificates accepted, {} rejected, {} steps, {:.3}s total ({:.1}ms/query hinted vs {:.1}ms unhinted)",
             self.on.certs_checked,
             self.on.certs_rejected,
             self.on.cert_steps,
             self.on.cert_secs,
-            self.check_secs_per_query() * 1e3
+            self.check_secs_per_query() * 1e3,
+            self.check_secs_per_query_unhinted() * 1e3
         );
         println!("  verdicts equal: {}", self.verdicts_equal());
     }

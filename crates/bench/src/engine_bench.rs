@@ -4,7 +4,7 @@
 
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -62,7 +62,7 @@ fn timed_run(jobs: usize, reuse_engine: bool) -> EngineRun {
             portfolio: false,
             disk_cache: None,
             split: true,
-            incremental: true,
+            mode: DischargeMode::Session,
             presolve: serval_smt::presolve::env_enabled(),
             cert: EngineCfg::from_env().cert,
         })

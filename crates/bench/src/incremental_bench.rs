@@ -2,11 +2,18 @@
 //! one live session per shared assumption set, on the CertiKOS^s `-O1`
 //! split refinement workload. Emitted as `BENCH_incremental.json` by
 //! `bench_all` (same schema conventions as `BENCH_engine.json`).
+//!
+//! Four discharge configurations are compared: fresh solvers, sessions
+//! *without* plan-scoped elimination (the pre-elimination session, kept
+//! as the historical baseline), sessions with plan-scoped elimination
+//! (the default — the `session_inprocess` row), and adaptive
+//! `SERVAL_MODE=auto` (the `mode_auto` row, which also reports how the
+//! reuse predictor split the assumption groups).
 
 use crate::CacheRow;
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -28,27 +35,40 @@ pub struct IncRun {
     pub reused_clauses: usize,
     /// Theorems discharged inside a live session.
     pub session_theorems: u64,
+    /// Assumption groups discharged as live sessions during the run.
+    pub mode_session: u64,
+    /// Assumption groups discharged with fresh per-goal solvers.
+    pub mode_fresh: u64,
     /// Cache accounting for this run (shared row; see [`CacheRow`]).
     pub cache: CacheRow,
 }
 
-/// Fresh vs session, each cold (new engine) and warm (cache rerun).
+/// The discharge configurations compared, each cold (new engine) and —
+/// for the fresh/session/inprocess legs — warm (cache rerun).
 pub struct IncrementalBenchReport {
     /// `SERVAL_INCREMENTAL=0` equivalent, cold cache.
     pub fresh_cold: IncRun,
     /// Rerun on the fresh engine's warm cache.
     pub fresh_warm: IncRun,
-    /// Incremental sessions (the default), cold cache.
+    /// Sessions with plan-scoped elimination off
+    /// (`SERVAL_SESSION_INPROCESS=0`): the pre-elimination session.
     pub session_cold: IncRun,
-    /// Rerun on the session engine's warm cache.
+    /// Rerun on that engine's warm cache.
     pub session_warm: IncRun,
+    /// Sessions with plan-scoped elimination on (the default config).
+    pub inproc_cold: IncRun,
+    /// Rerun on that engine's warm cache.
+    pub inproc_warm: IncRun,
+    /// `SERVAL_MODE=auto`, cold cache: the reuse predictor picks
+    /// session vs fresh per assumption group.
+    pub auto_cold: IncRun,
 }
 
-fn workload() -> ProofReport {
-    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), SolverConfig::default())
+fn workload(cfg: SolverConfig) -> ProofReport {
+    certikos::proofs::prove_refinement(OptLevel::O1, OptCfg::default(), cfg)
 }
 
-fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
+fn run_once(mode: DischargeMode, session_bve: bool, reuse_engine: bool) -> IncRun {
     let engine = if reuse_engine {
         serval_engine::handle()
     } else {
@@ -57,16 +77,18 @@ fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
             portfolio: false,
             disk_cache: None,
             split: true,
-            incremental,
+            mode,
             presolve: serval_smt::presolve::env_enabled(),
             cert: EngineCfg::from_env().cert,
         })
     };
     let before = CacheRow::snapshot(&engine);
+    let (ms0, mf0) = engine.mode_counts();
     let t0 = Instant::now();
-    let report = workload();
+    let report = workload(SolverConfig { session_bve, ..SolverConfig::default() });
     let secs = t0.elapsed().as_secs_f64();
     let cache = CacheRow::snapshot(&engine).since(&before);
+    let (ms1, mf1) = engine.mode_counts();
     let totals = report.solver_totals();
     IncRun {
         secs,
@@ -79,6 +101,8 @@ fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
         sat_clauses: totals.clauses,
         reused_clauses: totals.reused_clauses,
         session_theorems: totals.session_goals,
+        mode_session: ms1 - ms0,
+        mode_fresh: mf1 - mf0,
         cache,
     }
 }
@@ -87,10 +111,10 @@ fn run_once(incremental: bool, reuse_engine: bool) -> IncRun {
 /// every sample really is cold). Wall noise on a shared single-core
 /// host swamps a single measurement; min-of-N is the same convention
 /// the `serval-check` bench harness uses.
-fn run_cold(incremental: bool, samples: usize) -> IncRun {
-    let mut best = run_once(incremental, false);
+fn run_cold(mode: DischargeMode, session_bve: bool, samples: usize) -> IncRun {
+    let mut best = run_once(mode, session_bve, false);
     for _ in 1..samples {
-        let r = run_once(incremental, false);
+        let r = run_once(mode, session_bve, false);
         if r.secs < best.secs {
             best = r;
         }
@@ -98,7 +122,7 @@ fn run_cold(incremental: bool, samples: usize) -> IncRun {
     best
 }
 
-/// Runs the four-way comparison.
+/// Runs the comparison.
 pub fn run() -> IncrementalBenchReport {
     let samples: usize = std::env::var("SERVAL_BENCH_SAMPLES")
         .ok()
@@ -107,10 +131,13 @@ pub fn run() -> IncrementalBenchReport {
         .max(1);
     // Each warm run reuses the engine installed by that mode's final
     // cold sample, so its cache is genuinely warm.
-    let fresh_cold = run_cold(false, samples);
-    let fresh_warm = run_once(false, true);
-    let session_cold = run_cold(true, samples);
-    let session_warm = run_once(true, true);
+    let fresh_cold = run_cold(DischargeMode::Fresh, true, samples);
+    let fresh_warm = run_once(DischargeMode::Fresh, true, true);
+    let session_cold = run_cold(DischargeMode::Session, false, samples);
+    let session_warm = run_once(DischargeMode::Session, false, true);
+    let inproc_cold = run_cold(DischargeMode::Session, true, samples);
+    let inproc_warm = run_once(DischargeMode::Session, true, true);
+    let auto_cold = run_cold(DischargeMode::Auto, true, samples);
     // Leave the process-wide engine in its environment-default state.
     serval_engine::install(EngineCfg::from_env());
     IncrementalBenchReport {
@@ -118,28 +145,56 @@ pub fn run() -> IncrementalBenchReport {
         fresh_warm,
         session_cold,
         session_warm,
+        inproc_cold,
+        inproc_warm,
+        auto_cold,
     }
 }
 
 impl IncrementalBenchReport {
-    /// Whether all four runs proved exactly the same theorems.
+    /// Whether every run proved exactly the same theorems.
     pub fn verdicts_equal(&self) -> bool {
-        self.fresh_cold.verdicts == self.session_cold.verdicts
-            && self.fresh_cold.verdicts == self.fresh_warm.verdicts
-            && self.fresh_cold.verdicts == self.session_warm.verdicts
+        let base = &self.fresh_cold.verdicts;
+        [
+            &self.fresh_warm,
+            &self.session_cold,
+            &self.session_warm,
+            &self.inproc_cold,
+            &self.inproc_warm,
+            &self.auto_cold,
+        ]
+        .iter()
+        .all(|r| &r.verdicts == base)
     }
 
-    /// Cold-run speedup of sessions over fresh solvers.
+    /// Cold-run speedup of default sessions (plan-scoped elimination
+    /// on) over fresh solvers — the headline number the
+    /// `SERVAL_INCREMENTAL` default follows.
     pub fn cold_speedup(&self) -> f64 {
+        self.fresh_cold.secs / self.inproc_cold.secs.max(1e-9)
+    }
+
+    /// Cold-run speedup of the *pre-elimination* session over fresh
+    /// solvers (the historical baseline elimination reclaimed).
+    pub fn cold_speedup_noelim(&self) -> f64 {
         self.fresh_cold.secs / self.session_cold.secs.max(1e-9)
     }
 
-    /// The worse of the two warm runs' cache coverage — asserting the
+    /// Cold-run speedup of adaptive mode over fresh solvers.
+    pub fn auto_speedup(&self) -> f64 {
+        self.fresh_cold.secs / self.auto_cold.secs.max(1e-9)
+    }
+
+    /// The worst of the warm runs' cache coverage — asserting the
     /// same batch invariant as the presolve harness, through the same
     /// [`CacheRow`] code path: a genuinely warm rerun covers every
-    /// non-trivial query in either discharge mode.
+    /// non-trivial query in every discharge mode.
     pub fn warm_hit_rate(&self) -> f64 {
-        self.fresh_warm.cache.hit_rate().min(self.session_warm.cache.hit_rate())
+        self.fresh_warm
+            .cache
+            .hit_rate()
+            .min(self.session_warm.cache.hit_rate())
+            .min(self.inproc_warm.cache.hit_rate())
     }
 
     /// Fraction of the fresh encoding work (SAT vars) sessions avoid.
@@ -147,7 +202,7 @@ impl IncrementalBenchReport {
         if self.fresh_cold.sat_vars == 0 {
             1.0
         } else {
-            self.session_cold.sat_vars as f64 / self.fresh_cold.sat_vars as f64
+            self.inproc_cold.sat_vars as f64 / self.fresh_cold.sat_vars as f64
         }
     }
 
@@ -157,28 +212,39 @@ impl IncrementalBenchReport {
             format!(
                 "{{\"secs\": {:.6}, \"theorems\": {}, \"sat_vars\": {}, \
                  \"sat_clauses\": {}, \"reused_clauses\": {}, \
-                 \"session_theorems\": {}, {}}}",
+                 \"session_theorems\": {}, \"mode_session\": {}, \
+                 \"mode_fresh\": {}, {}}}",
                 r.secs,
                 r.verdicts.len(),
                 r.sat_vars,
                 r.sat_clauses,
                 r.reused_clauses,
                 r.session_theorems,
+                r.mode_session,
+                r.mode_fresh,
                 r.cache.json_fields()
             )
         }
         format!(
             "{{\n  \"workload\": \"certikos refinement -O1 (split sub-queries)\",\n  \
              \"fresh_cold\": {},\n  \"session_cold\": {},\n  \
+             \"session_inprocess\": {},\n  \"mode_auto\": {},\n  \
              \"fresh_warm\": {},\n  \"session_warm\": {},\n  \
-             \"cold_speedup\": {:.3},\n  \"encoded_vars_ratio\": {:.3},\n  \
+             \"session_inprocess_warm\": {},\n  \
+             \"cold_speedup\": {:.3},\n  \"cold_speedup_noelim\": {:.3},\n  \
+             \"auto_speedup\": {:.3},\n  \"encoded_vars_ratio\": {:.3},\n  \
              \"warm_hit_rate\": {:.3},\n  \
              \"verdicts_equal\": {}\n}}\n",
             run_json(&self.fresh_cold),
             run_json(&self.session_cold),
+            run_json(&self.inproc_cold),
+            run_json(&self.auto_cold),
             run_json(&self.fresh_warm),
             run_json(&self.session_warm),
+            run_json(&self.inproc_warm),
             self.cold_speedup(),
+            self.cold_speedup_noelim(),
+            self.auto_speedup(),
             self.encoded_vars_ratio(),
             self.warm_hit_rate(),
             self.verdicts_equal()
@@ -194,35 +260,46 @@ impl IncrementalBenchReport {
     pub fn print_summary(&self) {
         println!("\nincremental: fresh vs session (certikos refinement -O1)");
         println!(
-            "  cold   fresh {:>8.2}s   session {:>8.2}s   speedup {:.2}x",
+            "  cold   fresh {:>8.2}s   session(no-elim) {:>8.2}s   session {:>8.2}s   auto {:>8.2}s",
             self.fresh_cold.secs,
             self.session_cold.secs,
-            self.cold_speedup()
+            self.inproc_cold.secs,
+            self.auto_cold.secs,
+        );
+        println!(
+            "  speedup vs fresh   session(no-elim) {:.2}x   session {:.2}x   auto {:.2}x",
+            self.cold_speedup_noelim(),
+            self.cold_speedup(),
+            self.auto_speedup()
         );
         println!(
             "  encoded  fresh {} vars / {} clauses   session {} vars / {} clauses ({:.0}% of fresh vars)",
             self.fresh_cold.sat_vars,
             self.fresh_cold.sat_clauses,
-            self.session_cold.sat_vars,
-            self.session_cold.sat_clauses,
+            self.inproc_cold.sat_vars,
+            self.inproc_cold.sat_clauses,
             self.encoded_vars_ratio() * 100.0
         );
         println!(
             "  session discharged {} theorems incrementally, reusing {} clauses",
-            self.session_cold.session_theorems, self.session_cold.reused_clauses
+            self.inproc_cold.session_theorems, self.inproc_cold.reused_clauses
+        );
+        println!(
+            "  auto split {} session groups / {} fresh groups",
+            self.auto_cold.mode_session, self.auto_cold.mode_fresh
         );
         println!(
             "  warm   fresh {:>8.2}s   session {:>8.2}s   verdicts equal: {}",
             self.fresh_warm.secs,
-            self.session_warm.secs,
+            self.inproc_warm.secs,
             self.verdicts_equal()
         );
         println!(
             "  warm coverage  fresh {}/{} hits   session {}/{} hits   rate {:.2}",
             self.fresh_warm.cache.hits,
             self.fresh_warm.cache.queries - self.fresh_warm.cache.trivial,
-            self.session_warm.cache.hits,
-            self.session_warm.cache.queries - self.session_warm.cache.trivial,
+            self.inproc_warm.cache.hits,
+            self.inproc_warm.cache.queries - self.inproc_warm.cache.trivial,
             self.warm_hit_rate()
         );
     }

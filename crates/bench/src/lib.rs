@@ -184,22 +184,26 @@ mod tests {
             sat_clauses: 0,
             reused_clauses: 0,
             session_theorems: 0,
+            mode_session: 0,
+            mode_fresh: 0,
             cache: crate::CacheRow { hits: 0, misses: 4, queries: 4, trivial: 0 },
         };
-        let ok = IncrementalBenchReport {
+        let report = |flip_slot: Option<usize>| IncrementalBenchReport {
             fresh_cold: run(None),
-            fresh_warm: run(None),
-            session_cold: run(None),
-            session_warm: run(None),
+            fresh_warm: run((flip_slot == Some(0)).then_some(1)),
+            session_cold: run((flip_slot == Some(1)).then_some(1)),
+            session_warm: run((flip_slot == Some(2)).then_some(1)),
+            inproc_cold: run((flip_slot == Some(3)).then_some(1)),
+            inproc_warm: run((flip_slot == Some(4)).then_some(1)),
+            auto_cold: run((flip_slot == Some(5)).then_some(1)),
         };
-        assert!(ok.verdicts_equal());
-        let bad = IncrementalBenchReport {
-            fresh_cold: run(None),
-            fresh_warm: run(None),
-            session_cold: run(Some(1)),
-            session_warm: run(None),
-        };
-        assert!(!bad.verdicts_equal());
+        assert!(report(None).verdicts_equal());
+        for slot in 0..6 {
+            assert!(
+                !report(Some(slot)).verdicts_equal(),
+                "flipping one verdict in run {slot} must be detected"
+            );
+        }
     }
 
     #[test]
@@ -318,13 +322,21 @@ mod tests {
         };
         let ok = CertBenchReport {
             off: run(None),
+            on_unhinted: run(None),
             on: run(None),
         };
         assert!(ok.verdicts_equal());
         let bad = CertBenchReport {
             off: run(None),
+            on_unhinted: run(None),
             on: run(Some(0)),
         };
         assert!(!bad.verdicts_equal());
+        let bad_unhinted = CertBenchReport {
+            off: run(None),
+            on_unhinted: run(Some(2)),
+            on: run(None),
+        };
+        assert!(!bad_unhinted.verdicts_equal());
     }
 }

@@ -216,8 +216,14 @@ impl NetBenchReport {
             .map(|r| {
                 format!(
                     "{{\"shard\": {}, \"queued\": {}, \"solved\": {}, \"hits\": {}, \
-                     \"cert_checked\": {}}}",
-                    r.shard, r.queued, r.solved, r.hits, r.cert_checked
+                     \"cert_checked\": {}, \"mode_session\": {}, \"mode_fresh\": {}}}",
+                    r.shard,
+                    r.queued,
+                    r.solved,
+                    r.hits,
+                    r.cert_checked,
+                    r.mode_session,
+                    r.mode_fresh
                 )
             })
             .collect();
@@ -280,8 +286,8 @@ impl NetBenchReport {
         );
         for r in &self.shard_rows {
             println!(
-                "    shard {}: queued {}, solved {}, hits {}, certs {}",
-                r.shard, r.queued, r.solved, r.hits, r.cert_checked
+                "    shard {}: queued {}, solved {}, hits {}, certs {}, sessions {}, fresh {}",
+                r.shard, r.queued, r.solved, r.hits, r.cert_checked, r.mode_session, r.mode_fresh
             );
         }
         println!(

@@ -11,7 +11,7 @@
 use crate::CacheRow;
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -65,7 +65,7 @@ fn run_once(presolve: bool, reuse_engine: bool) -> PresolveRun {
             portfolio: false,
             disk_cache: None,
             split: true,
-            incremental: false,
+            mode: DischargeMode::Fresh,
             presolve,
             cert: EngineCfg::from_env().cert,
         })

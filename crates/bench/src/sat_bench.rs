@@ -18,7 +18,7 @@
 
 use serval_core::report::ProofReport;
 use serval_core::OptCfg;
-use serval_engine::EngineCfg;
+use serval_engine::{DischargeMode, EngineCfg};
 use serval_ir::OptLevel;
 use serval_monitors::certikos;
 use serval_smt::solver::SolverConfig;
@@ -73,7 +73,7 @@ fn run_once(inprocess: bool) -> SatRun {
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: false,
+        mode: DischargeMode::Fresh,
         presolve: serval_smt::presolve::env_enabled(),
         cert: EngineCfg::from_env().cert,
     });

@@ -120,14 +120,16 @@ impl std::hash::BuildHasher for FpBuild {
     }
 }
 
-/// FNV-1a-64 fingerprint of a normalized (sorted, deduped) literal
-/// slice, used to bucket clauses for `Delete` matching.
+/// FNV-style fingerprint of a normalized (sorted, deduped) literal
+/// slice, used only to bucket clauses for `Delete` matching (never
+/// persisted — certificate hashes are [`hash_steps`]). One multiply
+/// per literal: this runs once per clause add and delete, and bucket
+/// hits verify the actual literal set, so hash quality only affects
+/// bucket collision rate.
 fn fp_lits(lits: &[Lit]) -> u64 {
     let mut h = FNV_OFFSET;
     for l in lits {
-        for b in l.0.to_le_bytes() {
-            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-        }
+        h = (h ^ l.0 as u64).wrapping_mul(FNV_PRIME);
     }
     h
 }
@@ -152,9 +154,20 @@ pub struct Checker {
     qhead: usize,
     /// Set once the database is contradictory; never cleared.
     contradiction: bool,
-    /// The most recent `Derived` clause (normalized), if any.
-    last_derived: Option<Vec<Lit>>,
+    /// Clause id of the most recent `Derived` clause, if any. Stored as
+    /// an id (the literal set lives in the arena) so the per-step cost
+    /// is a register write; [`Checker::take_conclusion`] materializes
+    /// it once per goal.
+    last_derived: Option<u32>,
     steps: u64,
+    /// When set, a hinted step whose hinted walk fails is rejected
+    /// outright instead of falling back to full RUP (see
+    /// [`Checker::set_strict_hints`]).
+    strict_hints: bool,
+    /// Hinted steps whose antecedent walk succeeded.
+    hinted_ok: u64,
+    /// Hinted steps that fell back to full RUP (lenient mode only).
+    hint_fallbacks: u64,
 }
 
 impl Checker {
@@ -177,15 +190,53 @@ impl Checker {
                 if !self.rup(lits) {
                     return Err(CheckError::NotImplied { step: idx });
                 }
-                self.add(lits);
-                let mut norm = lits.clone();
-                norm.sort_unstable();
-                norm.dedup();
-                self.last_derived = Some(norm);
+                let cid = self.add(lits);
+                self.last_derived = Some(cid);
+                Ok(())
+            }
+            ProofStep::DerivedHinted(lits, hints) => {
+                // The hinted walk is an indexed replay of the claimed
+                // propagation chain — far cheaper than watch-driven
+                // RUP, and sound by construction: every literal it
+                // assigns is forced by the negated clause plus live
+                // database clauses, so reaching a falsified clause is a
+                // genuine implication regardless of where the hints
+                // came from. A failed walk therefore only ever costs
+                // acceptance: lenient checking falls back to full RUP
+                // (absent-or-wrong hints change nothing), strict
+                // checking treats it as tamper evidence and rejects.
+                let ok = if self.hinted_rup(lits, hints) {
+                    self.hinted_ok += 1;
+                    true
+                } else if self.strict_hints {
+                    false
+                } else {
+                    self.hint_fallbacks += 1;
+                    self.rup(lits)
+                };
+                if !ok {
+                    return Err(CheckError::NotImplied { step: idx });
+                }
+                let cid = self.add(lits);
+                self.last_derived = Some(cid);
                 Ok(())
             }
             ProofStep::Delete(lits) => self.delete(lits, idx),
         }
+    }
+
+    /// In strict mode, a hinted step must check by its hinted walk
+    /// alone — a wrong hint rejects the certificate instead of falling
+    /// back to full RUP. Default: lenient (fall back), so hints can
+    /// never make a previously-accepted certificate fail.
+    pub fn set_strict_hints(&mut self, on: bool) {
+        self.strict_hints = on;
+    }
+
+    /// `(hinted steps verified by their walk, hinted steps that fell
+    /// back to full RUP)` so far.
+    pub fn hint_stats(&self) -> (u64, u64) {
+        (self.hinted_ok, self.hint_fallbacks)
     }
 
     /// Number of proof steps applied so far.
@@ -198,11 +249,17 @@ impl Checker {
         self.contradiction
     }
 
-    /// Takes (and clears) the most recent derived clause. A session
-    /// caller invokes this once per goal so a goal that derives nothing
-    /// cannot inherit the previous goal's conclusion.
+    /// Takes (and clears) the most recent derived clause, normalized.
+    /// A session caller invokes this once per goal so a goal that
+    /// derives nothing cannot inherit the previous goal's conclusion.
     pub fn take_conclusion(&mut self) -> Option<Vec<Lit>> {
-        self.last_derived.take()
+        let cid = self.last_derived.take()?;
+        // The arena stores the clause deduped but watch handling may
+        // have permuted it; re-sort the copy so callers get the same
+        // normalized form as before.
+        let mut lits = self.lits[self.clauses[cid as usize].range()].to_vec();
+        lits.sort_unstable();
+        Some(lits)
     }
 
     // ------------------------------------------------------------------
@@ -235,7 +292,7 @@ impl Checker {
         norm
     }
 
-    fn add(&mut self, lits_in: &[Lit]) {
+    fn add(&mut self, lits_in: &[Lit]) -> u32 {
         let norm = self.normalize(lits_in);
         let taut = norm.windows(2).any(|w| w[1] == !w[0]);
         self.ensure_capacity(&norm);
@@ -253,21 +310,24 @@ impl Checker {
         }
         if taut || self.contradiction {
             self.scratch = norm;
-            return;
+            return cid;
         }
-        if norm.iter().any(|&l| self.value(l) == 1) {
-            self.scratch = norm; // satisfied by persistent facts: inert
-            return;
-        }
-        // First two non-false literal positions, if they exist.
+        // One scan: bail if satisfied by persistent facts (stored
+        // inert), else record the first two non-false positions.
         let mut non_false = [0usize; 2];
         let mut found = 0usize;
         for (i, &l) in norm.iter().enumerate() {
-            if value_of(&self.assign, l) != -1 {
-                non_false[found] = i;
-                found += 1;
-                if found == 2 {
-                    break;
+            match value_of(&self.assign, l) {
+                1 => {
+                    self.scratch = norm; // satisfied: inert
+                    return cid;
+                }
+                -1 => {}
+                _ => {
+                    if found < 2 {
+                        non_false[found] = i;
+                        found += 1;
+                    }
                 }
             }
         }
@@ -295,6 +355,7 @@ impl Checker {
                 self.watches[w1.index()].push(cid);
             }
         }
+        cid
     }
 
     fn delete(&mut self, lits_in: &[Lit], step: usize) -> Result<(), CheckError> {
@@ -455,6 +516,73 @@ impl Checker {
         self.qhead = checkpoint;
         implied
     }
+
+    /// LRAT-style hinted implication check: assert the negation of
+    /// `lits`, then walk `hints` in order — each named clause should be
+    /// unit (assign its last free literal) or falsified (conflict:
+    /// implication established). Hints naming out-of-range or deleted
+    /// clauses end the walk unsuccessfully; hints that are satisfied or
+    /// leave two literals free are skipped. Every assignment made is
+    /// forced by the negated clause and live database clauses, so a
+    /// `true` return is a sound implication no matter what the hints
+    /// were; `false` only means "not established by this walk".
+    /// Temporary assignments are undone before returning.
+    fn hinted_rup(&mut self, lits: &[Lit], hints: &[u32]) -> bool {
+        if self.contradiction {
+            return true;
+        }
+        self.ensure_capacity(lits);
+        let checkpoint = self.trail.len();
+        debug_assert_eq!(self.qhead, checkpoint);
+        let mut implied = false;
+        for &l in lits {
+            match self.value(l) {
+                1 => {
+                    implied = true;
+                    break;
+                }
+                -1 => {}
+                _ => self.enqueue(!l),
+            }
+        }
+        if !implied {
+            'walk: for &h in hints {
+                let Some(&meta) = self.clauses.get(h as usize) else {
+                    break;
+                };
+                if meta.deleted {
+                    break;
+                }
+                let mut free: Option<Lit> = None;
+                for k in meta.range() {
+                    let l = self.lits[k];
+                    match value_of(&self.assign, l) {
+                        1 => continue 'walk, // satisfied: useless hint
+                        -1 => {}
+                        _ => {
+                            if free.is_some() {
+                                continue 'walk; // two free literals
+                            }
+                            free = Some(l);
+                        }
+                    }
+                }
+                match free {
+                    None => {
+                        implied = true; // falsified: conflict reached
+                        break;
+                    }
+                    Some(l) => self.enqueue(l),
+                }
+            }
+        }
+        for i in checkpoint..self.trail.len() {
+            self.assign[self.trail[i].var().index()] = 0;
+        }
+        self.trail.truncate(checkpoint);
+        self.qhead = checkpoint;
+        implied
+    }
 }
 
 #[inline]
@@ -501,15 +629,19 @@ pub fn hash_steps(steps: &[ProofStep]) -> u64 {
 /// [`hash_steps`] with an explicit seed, for chaining per-goal deltas of
 /// an incremental session into one running certificate hash.
 pub fn hash_steps_seeded(seed: u64, steps: &[ProofStep]) -> u64 {
+    // FNV-1a over u32 units rather than bytes: one xor-multiply per
+    // literal/hint. This fingerprint guards against corruption and
+    // accidental replacement (bucket hits re-replay the proof), not
+    // adversaries, and it hashes every literal of every step of every
+    // certificate — at half a million steps per workload the byte-wise
+    // variant was a measurable slice of certified-discharge overhead.
     #[inline]
     fn byte(h: u64, b: u8) -> u64 {
         (h ^ b as u64).wrapping_mul(FNV_PRIME)
     }
-    fn word(mut h: u64, w: u32) -> u64 {
-        for b in w.to_le_bytes() {
-            h = byte(h, b);
-        }
-        h
+    #[inline]
+    fn word(h: u64, w: u32) -> u64 {
+        (h ^ w as u64).wrapping_mul(FNV_PRIME)
     }
     let mut h = seed;
     for s in steps {
@@ -517,11 +649,20 @@ pub fn hash_steps_seeded(seed: u64, steps: &[ProofStep]) -> u64 {
             ProofStep::Input(l) => (1u8, l),
             ProofStep::Derived(l) => (2u8, l),
             ProofStep::Delete(l) => (3u8, l),
+            ProofStep::DerivedHinted(l, _) => (4u8, l),
         };
         h = byte(h, tag);
         h = word(h, lits.len() as u32);
         for l in lits {
             h = word(h, l.0);
+        }
+        // Hints are part of the certificate: a fingerprint match must
+        // mean the cached proof replays identically, hints included.
+        if let ProofStep::DerivedHinted(_, hints) = s {
+            h = word(h, hints.len() as u32);
+            for &id in hints {
+                h = word(h, id);
+            }
         }
     }
     // Never collide with the "no certificate" sentinel.

@@ -80,7 +80,7 @@ fn mutation_flipped_literal_rejected() {
     // Flip the first literal of every non-empty derived clause; the
     // corrupted lemmas no longer follow by unit propagation.
     for s in &mut proof {
-        if let ProofStep::Derived(l) = s {
+        if let ProofStep::Derived(l) | ProofStep::DerivedHinted(l, _) = s {
             if let Some(first) = l.first_mut() {
                 *first = !*first;
             }
@@ -185,7 +185,9 @@ fn elimination_certificate() -> (Vec<ProofStep>, usize) {
     let mut proof = s.take_proof();
     let resolvent_at = proof
         .iter()
-        .position(|st| matches!(st, ProofStep::Derived(l) if l.len() >= 2))
+        .position(|st| {
+            matches!(st, ProofStep::Derived(l) | ProofStep::DerivedHinted(l, _) if l.len() >= 2)
+        })
         .expect("a shared-literal resolvent must be logged");
     // Refute through the resolvent: with a and b false the checker's
     // only path to c is the Derived {a, b, c}.
@@ -224,9 +226,9 @@ fn elided_elimination_certificate_accepted() {
     assert!(s.stats().eliminated_vars > 0, "the chain must be eliminated");
     let mut proof = s.take_proof();
     assert!(
-        !proof
-            .iter()
-            .any(|st| matches!(st, ProofStep::Derived(l) if l.len() >= 2)),
+        !proof.iter().any(|st| {
+            matches!(st, ProofStep::Derived(l) | ProofStep::DerivedHinted(l, _) if l.len() >= 2)
+        }),
         "disjoint-parent resolvents must be elided from the proof"
     );
     // !x15 forces the whole (reintroduced) chain false, conflicting
@@ -240,7 +242,7 @@ fn elided_elimination_certificate_accepted() {
 #[test]
 fn mutation_tampered_resolvent_rejected() {
     let (mut proof, at) = elimination_certificate();
-    let ProofStep::Derived(l) = &mut proof[at] else {
+    let (ProofStep::Derived(l) | ProofStep::DerivedHinted(l, _)) = &mut proof[at] else {
         unreachable!("elimination_certificate returned a non-Derived index")
     };
     l[0] = !l[0];
@@ -250,6 +252,133 @@ fn mutation_tampered_resolvent_rejected() {
         check_refutation(&proof, &[]),
         Err(CheckError::NotImplied { .. } | CheckError::DeleteMissing { .. })
     ));
+}
+
+// ---------------------------------------------------------------------
+// LRAT hints: fast-path acceptance, tamper rejection, fallback
+// ---------------------------------------------------------------------
+
+/// Index of the first hinted step with a non-empty hint list, or a
+/// panic — the solver must produce hinted steps on PHP.
+fn first_hinted(proof: &[ProofStep]) -> usize {
+    proof
+        .iter()
+        .position(|st| matches!(st, ProofStep::DerivedHinted(_, h) if !h.is_empty()))
+        .expect("PHP certificates must carry hinted derivations")
+}
+
+#[test]
+fn php_certificate_checks_on_the_hinted_fast_path() {
+    let proof = php_certificate(4);
+    first_hinted(&proof);
+    let mut ck = Checker::new();
+    for st in &proof {
+        ck.apply(st).unwrap();
+    }
+    assert!(ck.take_conclusion().is_some(), "PHP log must conclude");
+    let (hinted_ok, fallbacks) = ck.hint_stats();
+    assert!(hinted_ok > 0, "hints must drive the fast path");
+    assert_eq!(fallbacks, 0, "solver-produced hints must never miss");
+}
+
+/// Hints are a performance contract, not a soundness one: a lenient
+/// checker treats a wrecked hint list as "no hints" and re-derives the
+/// step by full RUP — same verdict, counted as a fallback.
+#[test]
+fn tampered_hints_fall_back_to_full_rup() {
+    let mut proof = php_certificate(4);
+    for st in &mut proof {
+        if let ProofStep::DerivedHinted(_, hints) = st {
+            // Out-of-range ids: the hinted walk dies immediately.
+            for h in hints.iter_mut() {
+                *h = h.wrapping_add(100_000);
+            }
+        }
+    }
+    let mut ck = Checker::new();
+    for st in &proof {
+        ck.apply(st).unwrap();
+    }
+    assert!(ck.take_conclusion().is_some());
+    let (_, fallbacks) = ck.hint_stats();
+    assert!(fallbacks > 0, "wrecked hints must be counted as fallbacks");
+}
+
+/// Strict mode turns that same fallback into a rejection: a tampered
+/// hint list is a rejected certificate, never a silently slower one.
+#[test]
+fn tampered_hints_rejected_in_strict_mode() {
+    let mut proof = php_certificate(4);
+    let at = first_hinted(&proof);
+    if let ProofStep::DerivedHinted(_, hints) = &mut proof[at] {
+        hints[0] = hints[0].wrapping_add(100_000);
+    }
+    let mut ck = Checker::new();
+    ck.set_strict_hints(true);
+    let err = proof.iter().try_for_each(|st| ck.apply(st));
+    assert!(
+        matches!(err, Err(CheckError::NotImplied { step }) if step == at),
+        "strict mode must reject at the tampered step, got {err:?}"
+    );
+}
+
+/// Reordering a hint list also breaks the unit-propagation replay
+/// (each hint must become unit in order); lenient mode falls back,
+/// strict mode rejects.
+#[test]
+fn reordered_hints_rejected_in_strict_mode() {
+    let mut proof = php_certificate(3);
+    // Find a hinted step whose reversal actually changes the order.
+    let at = proof
+        .iter()
+        .position(|st| matches!(st, ProofStep::DerivedHinted(_, h) if h.len() >= 2 && h[0] != h[h.len() - 1]))
+        .expect("PHP must produce a multi-hint derivation");
+    if let ProofStep::DerivedHinted(_, hints) = &mut proof[at] {
+        hints.reverse();
+    }
+    let mut lenient = Checker::new();
+    for st in &proof {
+        lenient.apply(st).unwrap();
+    }
+    assert!(lenient.hint_stats().1 > 0, "reversal must force a fallback");
+    let mut strict = Checker::new();
+    strict.set_strict_hints(true);
+    let err = proof.iter().try_for_each(|st| strict.apply(st));
+    assert!(matches!(err, Err(CheckError::NotImplied { step }) if step == at));
+}
+
+/// No hint list can force acceptance of a clause that does not follow:
+/// every literal the hinted walk enqueues is genuinely implied, so a
+/// fabricated derivation fails the walk *and* the full-RUP fallback.
+#[test]
+fn hints_cannot_launder_an_underived_clause() {
+    let a = Lit::pos(Var(0));
+    let b = Lit::pos(Var(1));
+    for strict in [false, true] {
+        let mut ck = Checker::new();
+        ck.set_strict_hints(strict);
+        ck.apply(&ProofStep::Input(vec![a, b])).unwrap();
+        // {a, b} alone does not imply {a}, whatever the hints claim.
+        let err = ck.apply(&ProofStep::DerivedHinted(vec![a], vec![0]));
+        assert!(
+            matches!(err, Err(CheckError::NotImplied { step: 1 })),
+            "strict={strict}: fabricated hints must not launder the step, got {err:?}"
+        );
+    }
+}
+
+/// Hints are part of the certificate fingerprint: the same clause
+/// stream with different hints hashes differently, so a cached verdict
+/// cannot be replayed under a doctored hint list.
+#[test]
+fn hint_lists_are_hashed_into_the_fingerprint() {
+    let proof = php_certificate(3);
+    let at = first_hinted(&proof);
+    let mut doctored = proof.clone();
+    if let ProofStep::DerivedHinted(_, hints) = &mut doctored[at] {
+        hints[0] = hints[0].wrapping_add(1);
+    }
+    assert_ne!(hash_steps(&proof), hash_steps(&doctored));
 }
 
 mod inprocessed_replay {

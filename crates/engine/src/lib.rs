@@ -23,7 +23,8 @@
 //! | `SERVAL_CACHE`     | `1`/`on` → disk tier under `target/serval-cache/`; a path → disk tier there; unset/`0` → memory tier only |
 //! | `SERVAL_PORTFOLIO` | `1`/`on` → race 3 solver configs per query (the pool shrinks to `jobs / 3` so total solver threads stay ≈ `SERVAL_JOBS`). Verdicts stay deterministic, but which variant's counterexample is reported is a timing race — see [`solve::solve_portfolio`]. |
 //! | `SERVAL_SPLIT`     | `0`/`off` → disable goal conjunction splitting (on by default; see [`form::split_goal`]) |
-//! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
+//! | `SERVAL_INCREMENTAL` | `0`/`off` → disable incremental discharge sessions, falling back to one fresh solver per sub-query (on by default — the measured winner now that inprocessing runs under live sessions; sub-queries sharing an assumption set are otherwise solved in one live session — see [`solve::solve_session`]). Ignored when `SERVAL_PORTFOLIO` is on: a portfolio race needs independent solvers. |
+//! | `SERVAL_MODE`      | `fresh` / `session` / `auto` — names the discharge mode outright and overrides `SERVAL_INCREMENTAL`. `auto` decides per assumption group from predicted reuse (group size × shared-base cone ratio); see [`DischargeMode`]. |
 //! | `SERVAL_PRESOLVE`  | `0`/`off` → disable word-level presolve, handing the solver the raw obligation DAG (on by default; each query's assumption base is otherwise simplified once — equality substitution, known-bits/interval folding, cone-of-influence reduction — and the cache keys on the *simplified* normal form; see [`serval_smt::presolve`]). |
 //! | `SERVAL_CERT`      | `0`/`off` → disable proof certificates (on by default: every solver `Unsat` must present a DRAT-style proof accepted by the independent `serval-drat` checker before it becomes `Proved`; cached `Proved` entries carry the certificate fingerprint and uncertified disk records are ignored; cached `Refuted` hits re-evaluate their stored countermodel against the term semantics and are evicted on mismatch). |
 //! | `SERVAL_INPROCESS` | `0`/`off` → disable SatELite-style SAT inprocessing (on by default: backward subsumption, self-subsuming resolution, and — for fresh solves — bounded variable elimination at level-0 boundaries, every step DRAT-logged so `SERVAL_CERT=1` still accepts the proofs; see [`serval_sat`]). |
@@ -56,6 +57,33 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 
+/// How solver work is discharged for sub-queries that share an
+/// assumption set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DischargeMode {
+    /// One fresh solver per sub-query.
+    Fresh,
+    /// One live incremental session per assumption group (see
+    /// [`solve::solve_session`]).
+    Session,
+    /// Pick per assumption group from predicted reuse. A group of `n`
+    /// goals whose shared base is a fraction `r` of the group's whole
+    /// encoding cone saves roughly `(n - 1) · r` of the work fresh
+    /// discharge would redo; the group is sessioned when that score
+    /// clears [`AUTO_SESSION_THRESHOLD`]. Small groups over thin bases
+    /// (where session bookkeeping outweighs reuse) fall back to fresh
+    /// solvers. The decision is a pure function of the batch's terms,
+    /// so same batch ⇒ same mode choices.
+    Auto,
+}
+
+/// Minimum predicted-reuse score (`(group size - 1) × shared-base cone
+/// ratio`) for [`DischargeMode::Auto`] to discharge a group as a
+/// session. `0.5` means: a two-goal group sessions only when at least
+/// half its encoding cone is the shared base; single-goal groups
+/// (score 0) always go fresh.
+pub const AUTO_SESSION_THRESHOLD: f64 = 0.5;
+
 /// Engine construction parameters.
 #[derive(Clone, Debug)]
 pub struct EngineCfg {
@@ -72,13 +100,16 @@ pub struct EngineCfg {
     /// abstract state, and one such goal can otherwise dominate the
     /// batch's critical path.
     pub split: bool,
-    /// Discharge sub-queries that share an assumption set in one live
-    /// incremental solver session instead of one fresh solver each (see
-    /// [`solve::solve_session`]). On by default; has no effect when
-    /// `portfolio` is on, since a portfolio races *independent* solvers
-    /// per query. Verdicts are identical either way — sessions only
-    /// change how much encoding and search work is re-done.
-    pub incremental: bool,
+    /// Whether sub-queries sharing an assumption set are discharged in
+    /// one live incremental session, one fresh solver each, or decided
+    /// per group ([`DischargeMode::Auto`]). Defaults to `Session` — the
+    /// measured winner on the certikos refinement workload now that
+    /// inprocessing runs under live sessions (see
+    /// `BENCH_incremental.json`). Has no effect when `portfolio` is on,
+    /// since a portfolio races *independent* solvers per query.
+    /// Verdicts are identical in every mode — the mode only changes how
+    /// much encoding and search work is re-done.
+    pub mode: DischargeMode,
     /// Run the word-level presolve pipeline ([`serval_smt::presolve`])
     /// on each query before normalization and blasting: the assumption
     /// base is simplified once per distinct assumption set, every goal
@@ -98,7 +129,7 @@ impl Default for EngineCfg {
             portfolio: false,
             disk_cache: None,
             split: true,
-            incremental: true,
+            mode: DischargeMode::Session,
             presolve: true,
             cert: true,
         }
@@ -107,8 +138,8 @@ impl Default for EngineCfg {
 
 impl EngineCfg {
     /// Reads `SERVAL_JOBS`, `SERVAL_PORTFOLIO`, `SERVAL_CACHE`,
-    /// `SERVAL_SPLIT`, `SERVAL_INCREMENTAL`, `SERVAL_PRESOLVE`, and
-    /// `SERVAL_CERT`.
+    /// `SERVAL_SPLIT`, `SERVAL_MODE`, `SERVAL_INCREMENTAL`,
+    /// `SERVAL_PRESOLVE`, and `SERVAL_CERT`.
     pub fn from_env() -> EngineCfg {
         let jobs = std::env::var("SERVAL_JOBS")
             .ok()
@@ -132,6 +163,20 @@ impl EngineCfg {
         let incremental = std::env::var("SERVAL_INCREMENTAL")
             .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
             .unwrap_or(true);
+        // `SERVAL_MODE` names the discharge mode outright and wins;
+        // otherwise the boolean `SERVAL_INCREMENTAL` keeps its meaning
+        // (on → sessions, off → fresh solvers).
+        let mode = match std::env::var("SERVAL_MODE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "fresh" => DischargeMode::Fresh,
+                "session" | "incremental" => DischargeMode::Session,
+                "auto" => DischargeMode::Auto,
+                _ if incremental => DischargeMode::Session,
+                _ => DischargeMode::Fresh,
+            },
+            Err(_) if incremental => DischargeMode::Session,
+            Err(_) => DischargeMode::Fresh,
+        };
         let presolve = serval_smt::presolve::env_enabled();
         let cert = std::env::var("SERVAL_CERT")
             .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
@@ -141,7 +186,7 @@ impl EngineCfg {
             portfolio,
             disk_cache,
             split,
-            incremental,
+            mode,
             presolve,
             cert,
         }
@@ -152,6 +197,26 @@ fn default_jobs() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
+}
+
+/// Predicted-reuse score for one assumption group under
+/// [`DischargeMode::Auto`]: `(group size - 1) × shared-base cone
+/// ratio`. The base ratio is how much of the group's whole encoding
+/// cone (assumptions + every goal, term-counted on the hash-consed DAG)
+/// is the shared assumption base — the part a session encodes once and
+/// fresh discharge re-encodes per goal. Deterministic: term counts are
+/// a pure function of the batch.
+fn session_score(asms: &[SBool], goals: &[SBool]) -> f64 {
+    if goals.len() < 2 {
+        return 0.0;
+    }
+    let base = presolve::measure(asms.iter().map(|a| a.0)).terms;
+    let total =
+        presolve::measure(asms.iter().map(|a| a.0).chain(goals.iter().map(|g| g.0))).terms;
+    if total == 0 {
+        return 0.0;
+    }
+    (goals.len() - 1) as f64 * (base as f64 / total as f64)
 }
 
 /// The outcome of one discharged query, in submission order.
@@ -190,7 +255,7 @@ pub struct Engine {
     cache: Cache,
     portfolio: bool,
     split: bool,
-    incremental: bool,
+    mode: DischargeMode,
     presolve: bool,
     cert: bool,
     /// Queries submitted (before trivial/cache short-circuits).
@@ -204,6 +269,10 @@ pub struct Engine {
     certs_checked: AtomicU64,
     /// Certificates rejected (verdict demoted to `Unknown`).
     certs_rejected: AtomicU64,
+    /// Assumption groups discharged as live sessions.
+    groups_session: AtomicU64,
+    /// Assumption groups `Auto` sent to fresh solvers instead.
+    groups_fresh: AtomicU64,
 }
 
 impl Engine {
@@ -225,13 +294,15 @@ impl Engine {
             cache: Cache::new(cfg.disk_cache, cfg.cert),
             portfolio: cfg.portfolio,
             split: cfg.split,
-            incremental: cfg.incremental,
+            mode: cfg.mode,
             presolve: cfg.presolve,
             cert: cfg.cert,
             submitted: AtomicU64::new(0),
             trivial: AtomicU64::new(0),
             certs_checked: AtomicU64::new(0),
             certs_rejected: AtomicU64::new(0),
+            groups_session: AtomicU64::new(0),
+            groups_fresh: AtomicU64::new(0),
         }
     }
 
@@ -245,10 +316,31 @@ impl Engine {
         self.portfolio
     }
 
-    /// Whether incremental discharge sessions are in use (configured on
-    /// *and* not preempted by portfolio mode).
+    /// Whether incremental discharge sessions are in use (mode is
+    /// `Session` or `Auto` *and* not preempted by portfolio mode).
     pub fn incremental(&self) -> bool {
-        self.incremental && !self.portfolio
+        self.mode != DischargeMode::Fresh && !self.portfolio
+    }
+
+    /// The effective discharge mode (portfolio preempts sessions, so it
+    /// resolves to `Fresh` regardless of the configured mode).
+    pub fn mode(&self) -> DischargeMode {
+        if self.portfolio {
+            DischargeMode::Fresh
+        } else {
+            self.mode
+        }
+    }
+
+    /// (session-discharged, fresh-discharged) assumption-group counts
+    /// since construction. Under `Session` mode every group counts as a
+    /// session; under `Auto` the split shows what the reuse predictor
+    /// actually chose.
+    pub fn mode_counts(&self) -> (u64, u64) {
+        (
+            self.groups_session.load(Ordering::Relaxed),
+            self.groups_fresh.load(Ordering::Relaxed),
+        )
     }
 
     /// Whether word-level presolve is on.
@@ -716,19 +808,45 @@ impl Engine {
             });
         }
 
-        // Schedule one pool task per session group. The group's portable
-        // core is prepared caller-side (it owns the terms); the worker
-        // rebuilds it once and answers every goal on one live solver.
-        let mut group_tasks: Vec<usize> = Vec::with_capacity(groups.len());
-        let mut group_backmaps: Vec<BackMap> = Vec::with_capacity(groups.len());
+        // Schedule pool work per assumption group. In `Session` mode
+        // every group becomes one task: the group's portable core is
+        // prepared caller-side (it owns the terms) and the worker
+        // rebuilds it once, answering every goal on one live solver. In
+        // `Auto` mode the reuse predictor decides per group — a group
+        // whose predicted reuse is too thin is discharged as one fresh
+        // solver task per goal instead (same verdicts, no session
+        // bookkeeping). `group_tasks[g]` holds the single session task
+        // or the per-goal fresh tasks; `group_backmaps[g]` the matching
+        // backmap(s) for countermodel renumbering.
+        let adaptive = self.mode() == DischargeMode::Auto;
+        let mut group_tasks: Vec<Vec<usize>> = Vec::with_capacity(groups.len());
+        let mut group_backmaps: Vec<Vec<BackMap>> = Vec::with_capacity(groups.len());
+        let mut group_sessioned: Vec<bool> = Vec::with_capacity(groups.len());
         for g in &groups {
-            let sp = prepare_session(&g.asms, &g.goals);
-            group_backmaps.push(sp.backmap);
-            let core = Arc::new(sp.core);
-            let cfg = g.cfg;
-            let cert = self.cert;
-            tasks.push(Box::new(move || solve_session(&core, cfg, None, cert)));
-            group_tasks.push(tasks.len() - 1);
+            let as_session =
+                !adaptive || session_score(&g.asms, &g.goals) >= AUTO_SESSION_THRESHOLD;
+            if as_session {
+                let sp = prepare_session(&g.asms, &g.goals);
+                group_backmaps.push(vec![sp.backmap]);
+                let core = Arc::new(sp.core);
+                let cfg = g.cfg;
+                let cert = self.cert;
+                tasks.push(Box::new(move || solve_session(&core, cfg, None, cert)));
+                group_tasks.push(vec![tasks.len() - 1]);
+                self.groups_session.fetch_add(1, Ordering::Relaxed);
+            } else {
+                let mut ts = Vec::with_capacity(g.goals.len());
+                let mut bms = Vec::with_capacity(g.goals.len());
+                for &goal in &g.goals {
+                    let sp = prepare(&g.asms, goal);
+                    bms.push(sp.backmap);
+                    ts.push(push_task(&mut tasks, sp.core, g.cfg));
+                }
+                group_tasks.push(ts);
+                group_backmaps.push(bms);
+                self.groups_fresh.fetch_add(1, Ordering::Relaxed);
+            }
+            group_sessioned.push(as_session);
         }
 
         let prep_wall = t_prep.elapsed();
@@ -748,13 +866,22 @@ impl Engine {
                 t_pool.elapsed()
             );
         }
-        // Maps a sub-query's `Work` onto (pool task, outcome index within
-        // the task, session group if any — whose backmap the countermodel
-        // is numbered in).
-        let locate = |work: Work| -> (usize, usize, Option<usize>) {
+        // Maps a sub-query's `Work` onto (pool task, outcome index
+        // within the task, group backmap if any — the numbering the
+        // countermodel comes back in). A sessioned group is one task
+        // answering every goal under the group backmap; a fresh-
+        // discharged group is one single-outcome task per goal, each
+        // with its own backmap.
+        let locate = |work: Work| -> (usize, usize, Option<(usize, usize)>) {
             match work {
                 Work::Fresh(t) => (t, 0, None),
-                Work::Session { group, goal } => (group_tasks[group], goal, Some(group)),
+                Work::Session { group, goal } => {
+                    if group_sessioned[group] {
+                        (group_tasks[group][0], goal, Some((group, 0)))
+                    } else {
+                        (group_tasks[group][goal], 0, Some((group, goal)))
+                    }
+                }
             }
         };
         for p in pending {
@@ -783,9 +910,9 @@ impl Engine {
                                 }
                                 RawVerdict::Refuted(pm) => {
                                     let pm = match sgroup {
-                                        Some(g) => remap_portable(
+                                        Some((g, b)) => remap_portable(
                                             &pm,
-                                            &group_backmaps[g],
+                                            &group_backmaps[g][b],
                                             &backmap,
                                         ),
                                         None => pm,
@@ -865,9 +992,9 @@ impl Engine {
                                             }
                                             RawVerdict::Refuted(pm) => {
                                                 let pm = match sgroup {
-                                                    Some(g) => remap_portable(
+                                                    Some((g, b)) => remap_portable(
                                                         &pm,
-                                                        &group_backmaps[g],
+                                                        &group_backmaps[g][b],
                                                         &backmap,
                                                     ),
                                                     None => pm,

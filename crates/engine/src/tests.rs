@@ -3,7 +3,7 @@
 
 use crate::form::{cache_key, prepare, split_goal, Query};
 use crate::pool::Pool;
-use crate::{Engine, EngineCfg};
+use crate::{DischargeMode, Engine, EngineCfg};
 use serval_check::prelude::*;
 use serval_smt::solver::{SolverConfig, VerifyResult};
 use serval_smt::{reset_ctx, verify, SBool, BV};
@@ -14,7 +14,7 @@ fn local_engine(jobs: usize) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: true,
+        mode: DischargeMode::Session,
         presolve: true,
         cert: true,
     })
@@ -28,7 +28,21 @@ fn local_engine_fresh(jobs: usize) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: false,
+        mode: DischargeMode::Fresh,
+        presolve: true,
+        cert: true,
+    })
+}
+
+/// Like [`local_engine`] but with adaptive discharge: the engine picks
+/// session vs fresh per assumption group from the predicted-reuse score.
+fn local_engine_auto(jobs: usize) -> Engine {
+    Engine::new(EngineCfg {
+        jobs,
+        portfolio: false,
+        disk_cache: None,
+        split: true,
+        mode: DischargeMode::Auto,
         presolve: true,
         cert: true,
     })
@@ -338,7 +352,7 @@ fn disk_cache_survives_engine_restarts() {
             portfolio: false,
             disk_cache: Some(dir.clone()),
             split: true,
-            incremental: true,
+            mode: DischargeMode::Session,
             presolve: true,
             cert: true,
         })
@@ -398,7 +412,7 @@ fn corrupted_disk_cache_is_a_miss_not_a_panic() {
             portfolio: false,
             disk_cache: Some(dir.clone()),
             split: true,
-            incremental: true,
+            mode: DischargeMode::Session,
             presolve: true,
             cert: true,
         })
@@ -478,7 +492,7 @@ fn uncertified_disk_records_are_ignored_by_certified_engines() {
             portfolio: false,
             disk_cache: Some(dir.clone()),
             split: true,
-            incremental: true,
+            mode: DischargeMode::Session,
             presolve: true,
             cert,
         })
@@ -570,7 +584,7 @@ fn cert_matrix_engine(incremental: bool, split: bool, presolve: bool, cert: bool
         portfolio: false,
         disk_cache: None,
         split,
-        incremental,
+        mode: if incremental { DischargeMode::Session } else { DischargeMode::Fresh },
         presolve,
         cert,
     })
@@ -729,7 +743,7 @@ fn portfolio_agrees_with_single_config() {
         portfolio: true,
         disk_cache: None,
         split: true,
-        incremental: true,
+        mode: DischargeMode::Session,
         presolve: true,
         cert: true,
     });
@@ -808,7 +822,7 @@ fn local_engine_unsplit(jobs: usize) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: false,
-        incremental: true,
+        mode: DischargeMode::Session,
         presolve: true,
         cert: true,
     })
@@ -897,6 +911,73 @@ fn incremental_and_fresh_engines_agree() {
     };
     assert!(!m.eval_bool(x.ult(y).0), "model must refute the goal");
     for a in &asms {
+        assert!(m.eval_bool(a.0), "model must satisfy the assumptions");
+    }
+}
+
+#[test]
+fn adaptive_mode_is_deterministic_and_splits_by_reuse() {
+    reset_ctx();
+    let x = BV::fresh(16, "x");
+    let y = BV::fresh(16, "y");
+    let z = BV::fresh(16, "z");
+    // Rich group: a fat shared base (the assumption cone dominates the
+    // group's whole encoding) amortized over three small goals, so the
+    // predicted-reuse score `(3 - 1) × base/total` clears the auto
+    // threshold and the group is sessioned.
+    let rich_asms = vec![
+        ((x * y) + (y * z)).ult((x | y | z) * BV::lit(16, 3)),
+        ((x ^ y) & (y ^ z)).ule(x + y + z),
+        x.ult(BV::lit(16, 500)),
+    ];
+    // Thin group: a single goal scores 0 and always goes fresh.
+    let queries = || {
+        vec![
+            q("rich-1", rich_asms.clone(), x.ule(x | y)),
+            q("rich-2", rich_asms.clone(), (x & y).ule(x)),
+            q("rich-3", rich_asms.clone(), x.ult(y)),
+            q("thin", vec![], z.ule(z | BV::lit(16, 1))),
+        ]
+    };
+    let auto_a = local_engine_auto(2);
+    let auto_b = local_engine_auto(2);
+    let out_a = auto_a.submit_batch(queries());
+    let out_b = auto_b.submit_batch(queries());
+    // Same batch ⇒ same mode choices: the score is a pure function of
+    // the batch's terms, independent of scheduling.
+    assert_eq!(auto_a.mode_counts(), auto_b.mode_counts());
+    let (sessions, fresh) = auto_a.mode_counts();
+    assert_eq!(
+        (sessions, fresh),
+        (1, 1),
+        "auto must session the rich group and fresh-solve the thin one"
+    );
+    // A pure Session engine counts every group as a session; verdicts
+    // must nonetheless agree query-for-query with the adaptive runs.
+    let session_engine = local_engine(2);
+    let out_s = session_engine.submit_batch(queries());
+    assert_eq!(session_engine.mode_counts(), (2, 0));
+    for ((a, b), s) in out_a.iter().zip(&out_b).zip(&out_s) {
+        assert_eq!(
+            a.result.is_proved(),
+            b.result.is_proved(),
+            "auto runs disagree on {}",
+            a.label
+        );
+        assert_eq!(
+            a.result.is_proved(),
+            s.result.is_proved(),
+            "auto and session disagree on {}",
+            a.label
+        );
+    }
+    // The rich group's counterexample (x < y is refutable) must still be
+    // a real countermodel over the caller's terms.
+    let VerifyResult::Counterexample(m) = &out_a[2].result else {
+        panic!("expected counterexample, got {:?}", out_a[2].result);
+    };
+    assert!(!m.eval_bool(x.ult(y).0), "model must refute the goal");
+    for a in &rich_asms {
         assert!(m.eval_bool(a.0), "model must satisfy the assumptions");
     }
 }
@@ -1031,7 +1112,7 @@ fn local_engine_raw(jobs: usize, incremental: bool) -> Engine {
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental,
+        mode: if incremental { DischargeMode::Session } else { DischargeMode::Fresh },
         presolve: false,
         cert: true,
     })

@@ -114,11 +114,17 @@ fn stats(addr: &str) -> i32 {
 }
 
 fn print_stats(stats: &ServerStats) {
-    println!("  shard    queued    solved      hits  cert-checked");
+    println!("  shard    queued    solved      hits  cert-checked  sessions  fresh-groups");
     for row in &stats.shards {
         println!(
-            "  {:>5} {:>9} {:>9} {:>9} {:>13}",
-            row.shard, row.queued, row.solved, row.hits, row.cert_checked
+            "  {:>5} {:>9} {:>9} {:>9} {:>13} {:>9} {:>13}",
+            row.shard,
+            row.queued,
+            row.solved,
+            row.hits,
+            row.cert_checked,
+            row.mode_session,
+            row.mode_fresh
         );
     }
     println!(

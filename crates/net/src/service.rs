@@ -119,12 +119,15 @@ impl Shard {
 
     /// Current stats row.
     pub fn stats_row(&self) -> ShardStatsRow {
+        let (mode_session, mode_fresh) = self.engine.mode_counts();
         ShardStatsRow {
             shard: self.index as u32,
             queued: self.counters.queued.load(Ordering::Relaxed),
             solved: self.counters.solved.load(Ordering::Relaxed),
             hits: self.counters.hits.load(Ordering::Relaxed),
             cert_checked: self.engine.cert_counts().0,
+            mode_session,
+            mode_fresh,
         }
     }
 

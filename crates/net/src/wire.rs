@@ -26,7 +26,10 @@ use std::time::Duration;
 ///
 /// v2: `SolverConfig` gained restart/rephase/inprocess/polarity fields
 /// and `QueryStats` gained the four inprocessing counters.
-pub const PROTO_VERSION: u32 = 2;
+///
+/// v3: `SolverConfig` gained `session_bve` and `lrat`; `ShardStatsRow`
+/// gained the discharge-mode counters.
+pub const PROTO_VERSION: u32 = 3;
 
 /// Default bound on a single frame's payload. Large enough for a whole
 /// certikos refinement batch chunk, small enough that a hostile length
@@ -140,6 +143,12 @@ pub struct ShardStatsRow {
     pub hits: u64,
     /// Proof certificates checked by this shard's engine.
     pub cert_checked: u64,
+    /// Assumption groups this shard's engine discharged as live
+    /// sessions vs fresh solvers (the discharge-mode split; see
+    /// `serval_engine::DischargeMode`).
+    pub mode_session: u64,
+    /// See [`ShardStatsRow::mode_session`].
+    pub mode_fresh: u64,
 }
 
 /// Server-wide stats snapshot.
@@ -439,6 +448,8 @@ fn push_cfg(out: &mut Vec<u8>, cfg: &SolverConfig) {
     });
     out.push(cfg.inprocess as u8);
     out.push(cfg.polarity as u8);
+    out.push(cfg.session_bve as u8);
+    out.push(cfg.lrat as u8);
 }
 
 fn read_cfg(rd: &mut Rd) -> Result<SolverConfig, WireError> {
@@ -462,6 +473,8 @@ fn read_cfg(rd: &mut Rd) -> Result<SolverConfig, WireError> {
     };
     let inprocess = rd.bool()?;
     let polarity = rd.bool()?;
+    let session_bve = rd.bool()?;
+    let lrat = rd.bool()?;
     Ok(SolverConfig {
         conflict_budget,
         restart_base,
@@ -471,6 +484,8 @@ fn read_cfg(rd: &mut Rd) -> Result<SolverConfig, WireError> {
         rephase,
         inprocess,
         polarity,
+        session_bve,
+        lrat,
     })
 }
 
@@ -655,6 +670,8 @@ fn push_server_stats(out: &mut Vec<u8>, s: &ServerStats) {
         push_u64(out, row.solved);
         push_u64(out, row.hits);
         push_u64(out, row.cert_checked);
+        push_u64(out, row.mode_session);
+        push_u64(out, row.mode_fresh);
     }
     push_u64(out, s.hot_hits);
     push_u64(out, s.hot_entries);
@@ -663,7 +680,7 @@ fn push_server_stats(out: &mut Vec<u8>, s: &ServerStats) {
 }
 
 fn read_server_stats(rd: &mut Rd) -> Result<ServerStats, WireError> {
-    let n = rd.count(36)?;
+    let n = rd.count(52)?;
     let mut shards = Vec::with_capacity(n);
     for _ in 0..n {
         shards.push(ShardStatsRow {
@@ -672,6 +689,8 @@ fn read_server_stats(rd: &mut Rd) -> Result<ServerStats, WireError> {
             solved: rd.u64()?,
             hits: rd.u64()?,
             cert_checked: rd.u64()?,
+            mode_session: rd.u64()?,
+            mode_fresh: rd.u64()?,
         });
     }
     Ok(ServerStats {

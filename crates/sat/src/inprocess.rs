@@ -54,6 +54,10 @@ const SUBSUME_CAND_CAP: usize = 600;
 /// Clauses between interrupt polls in the subsumption sweep (heavier
 /// per-clause work than the plain database sweeps).
 const SUBSUME_POLL: usize = 256;
+/// Longest stored hint expansion for an elided resolvent (see
+/// `Solver::elided_expansion`); deeper elimination cascades go
+/// unexpanded and conflicts touching them fall back to unhinted steps.
+const ELIDED_HINT_MAX: usize = 128;
 
 /// Occurrence lists (indexed by `Lit::index`) and per-clause variable
 /// signatures built by the scan phase. Only *original* (non-learnt)
@@ -160,9 +164,16 @@ impl Solver {
     /// the new clause is RUP while the old one is live. A one-literal
     /// result enqueues the unit and deletes the clause; an empty result
     /// concludes the proof. Returns `false` when `ok` dropped.
-    fn rewrite_clause(&mut self, ci: usize, mut new: Vec<Lit>) -> bool {
+    ///
+    /// `antecedents` names the clauses whose unit propagations justify
+    /// `new` (ordered: the falsified clause last), used as the LRAT
+    /// hint when every antecedent is in the proof.
+    fn rewrite_clause(&mut self, ci: usize, mut new: Vec<Lit>, antecedents: &[CRef]) -> bool {
         new.sort_unstable();
-        self.log(ProofStep::Derived(new.clone()));
+        match self.antecedent_hints(antecedents) {
+            Some(hints) => self.log(ProofStep::DerivedHinted(new.clone(), hints)),
+            None => self.log(ProofStep::Derived(new.clone())),
+        }
         if new.is_empty() {
             self.ok = false;
             return false;
@@ -191,10 +202,71 @@ impl Solver {
                 // The derivation above put the new literal set in the
                 // proof, even if the old clause was an unlogged
                 // resolvent — its future deletion must be logged.
-                self.clauses[ci].in_proof = true;
+                self.clauses[ci].proof_id = self.last_proof_id();
                 true
             }
         }
+    }
+
+    /// Maps antecedent clause refs to their proof-log ids for an LRAT
+    /// hint; an antecedent that was never logged (an elided elimination
+    /// resolvent) is spliced into its stored parent expansion. `None`
+    /// when hints are off or an elided antecedent has no expansion
+    /// either — the step still RUP-checks from that resolvent's live
+    /// parents, just not by the direct walk.
+    fn antecedent_hints(&self, antecedents: &[CRef]) -> Option<Vec<u32>> {
+        if !self.lrat || self.proof.is_none() || antecedents.is_empty() {
+            return None;
+        }
+        let mut ids = Vec::with_capacity(antecedents.len());
+        for &c in antecedents {
+            match self.clauses[c as usize].proof_id {
+                NO_PROOF_ID => ids.extend_from_slice(self.elided_hints.get(&c)?),
+                pid => ids.push(pid),
+            }
+        }
+        Some(ids)
+    }
+
+    /// Hint expansion for an elided resolvent of `parents = [P, N]` on
+    /// some pivot `v` (`v ∈ P`, `!v ∈ N`): checker clause ids whose
+    /// in-order walk simulates the resolvent's unit propagation from
+    /// its live parents. The resolvent `A ∪ B` (with `P = {v} ∪ A`,
+    /// `N = {!v} ∪ B`) is unit on `l` exactly when all its other
+    /// literals are false; then the parent *not* containing `l` is unit
+    /// on the pivot, and the other parent — once the pivot resolves —
+    /// unit on `l`. Emitting `[P, N, P]` covers both cases because the
+    /// checker's hinted walk skips hints that are satisfied or leave
+    /// two literals free (`Checker::hinted_rup`). Elided parents
+    /// recurse into their own stored expansions; `None` when a parent
+    /// chain is unexpandable or the splice would exceed
+    /// [`ELIDED_HINT_MAX`] (conflicts consulting the resolvent then log
+    /// an unhinted `Derived` instead).
+    fn elided_expansion(&self, parents: &[CRef; 2]) -> Option<Vec<u32>> {
+        let one;
+        let p: &[u32] = match self.clauses[parents[0] as usize].proof_id {
+            NO_PROOF_ID => self.elided_hints.get(&parents[0])?,
+            pid => {
+                one = [pid];
+                &one
+            }
+        };
+        let two;
+        let n: &[u32] = match self.clauses[parents[1] as usize].proof_id {
+            NO_PROOF_ID => self.elided_hints.get(&parents[1])?,
+            pid => {
+                two = [pid];
+                &two
+            }
+        };
+        if p.len() * 2 + n.len() > ELIDED_HINT_MAX {
+            return None;
+        }
+        let mut out = Vec::with_capacity(p.len() * 2 + n.len());
+        out.extend_from_slice(p);
+        out.extend_from_slice(n);
+        out.extend_from_slice(p);
+        Some(out)
     }
 
     /// Phase 1: level-0 cleanup plus occurrence/signature construction.
@@ -230,7 +302,10 @@ impl Solver {
                     .copied()
                     .filter(|&l| value_of(&self.assign, l) == LBool::Undef)
                     .collect();
-                if !self.rewrite_clause(ci, live) {
+                // Hint: the old clause itself — its stripped literals
+                // are false by the checker's persistent level-0 facts,
+                // so asserting the new clause's negation falsifies it.
+                if !self.rewrite_clause(ci, live, &[ci as CRef]) {
                     return false;
                 }
                 if self.clauses[ci].deleted {
@@ -313,7 +388,10 @@ impl Solver {
                             .copied()
                             .filter(|&l| l != !la)
                             .collect();
-                            if !self.rewrite_clause(cj, new) {
+                            // Hint: under the strengthened clause's
+                            // negation, `ci` is unit on `la` and `cj`
+                            // is then falsified.
+                            if !self.rewrite_clause(cj, new, &[ci as CRef, cj as CRef]) {
                                 return;
                             }
                             self.stats.strengthened += 1;
@@ -480,10 +558,25 @@ impl Solver {
         for &a in &self.assumptions {
             frozen_now[a.var().index()] = true;
         }
-        if let Some(scope) = &self.decision_scope {
+        if let Some(elig) = &self.eliminable {
+            // An explicit eliminability mask replaces the decision-scope
+            // auto-freeze: the embedder has pre-computed exactly which
+            // variables no future clause can mention (sessions derive
+            // this from their retirement plan), so even in-scope
+            // variables may be eliminated. Soundness is unchanged —
+            // `pick_branch` skips eliminated variables, `Sat` models
+            // extend via `reconstruct_model`, and a mask mistake only
+            // costs a reintroduction round trip.
+            for (i, f) in frozen_now.iter_mut().enumerate() {
+                if !elig.get(i).copied().unwrap_or(false) {
+                    *f = true;
+                }
+            }
+        } else if let Some(scope) = &self.decision_scope {
             // In-scope variables carry the goal's meaning; out-of-scope
             // clauses must stay extendable, which elimination could
-            // break — sessions run with BVE off anyway.
+            // break — without an eliminability mask, scope is frozen
+            // wholesale.
             for (i, &in_scope) in scope.iter().enumerate() {
                 if in_scope {
                     frozen_now[i] = true;
@@ -497,6 +590,7 @@ impl Solver {
         let mut res_lits: Vec<Lit> = Vec::new();
         let mut res_ends: Vec<u32> = Vec::new();
         let mut res_shared: Vec<bool> = Vec::new();
+        let mut res_parents: Vec<(CRef, CRef)> = Vec::new();
         for vi in 0..self.assign.len() {
             if vi % 64 == 0 && self.interrupted() {
                 return false;
@@ -519,6 +613,7 @@ impl Solver {
             res_lits.clear();
             res_ends.clear();
             res_shared.clear();
+            res_parents.clear();
             let mut blown = false;
             'pairs: for &p in &pos_refs {
                 for &n in &neg_refs {
@@ -532,6 +627,7 @@ impl Solver {
                         }
                         res_ends.push(res_lits.len() as u32);
                         res_shared.push(shared);
+                        res_parents.push((p, n));
                         if res_ends.len() > limit {
                             blown = true;
                             break 'pairs;
@@ -564,6 +660,10 @@ impl Solver {
                 let re = res_ends[i] as usize;
                 let r = &res_lits[rs..re];
                 let shared = res_shared[i];
+                // Hint for a logged resolvent: under its negation the
+                // positive parent is unit on the pivot, the negative
+                // parent then falsified.
+                let parents = [res_parents[i].0, res_parents[i].1];
                 rs = re;
                 self.stats.resolvents += 1;
                 match r.len() {
@@ -575,7 +675,10 @@ impl Solver {
                         return false;
                     }
                     1 => {
-                        self.log(ProofStep::Derived(r.to_vec()));
+                        match self.antecedent_hints(&parents) {
+                            Some(h) => self.log(ProofStep::DerivedHinted(r.to_vec(), h)),
+                            None => self.log(ProofStep::Derived(r.to_vec())),
+                        }
                         match value_of(&self.assign, r[0]) {
                             LBool::True => {}
                             LBool::False => {
@@ -587,9 +690,15 @@ impl Solver {
                         }
                     }
                     _ => {
-                        if shared {
-                            self.log(ProofStep::Derived(r.to_vec()));
-                        }
+                        let pid = if shared {
+                            match self.antecedent_hints(&parents) {
+                                Some(h) => self.log(ProofStep::DerivedHinted(r.to_vec(), h)),
+                                None => self.log(ProofStep::Derived(r.to_vec())),
+                            }
+                            self.last_proof_id()
+                        } else {
+                            NO_PROOF_ID
+                        };
                         let cref = self.clauses.len() as CRef;
                         let mut s = 0u64;
                         for &l in r {
@@ -598,7 +707,15 @@ impl Solver {
                         }
                         let attached = self.attach_new_clause(r, false);
                         debug_assert_eq!(attached, cref);
-                        self.clauses[cref as usize].in_proof = shared;
+                        self.clauses[cref as usize].proof_id = pid;
+                        // An elided resolvent is invisible to the
+                        // checker; store the parent expansion that lets
+                        // hinted walks see through it.
+                        if pid == NO_PROOF_ID && self.lrat && self.proof.is_some() {
+                            if let Some(exp) = self.elided_expansion(&parents) {
+                                self.elided_hints.insert(cref, exp);
+                            }
+                        }
                         debug_assert_eq!(cref as usize, st.sig.len());
                         st.sig.push(s);
                     }

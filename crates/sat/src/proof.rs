@@ -37,6 +37,18 @@ pub enum ProofStep {
     /// A clause the solver claims follows from the database (checked by
     /// reverse unit propagation).
     Derived(Vec<Lit>),
+    /// Like [`ProofStep::Derived`], but carrying LRAT-style antecedent
+    /// hints: the ids of the clauses whose unit propagations, taken in
+    /// order under the negated clause, end in a conflict. Ids are
+    /// 0-based counts of *added* steps (`Input` and either `Derived`
+    /// kind; `Delete` does not count) since logging began — exactly the
+    /// order a replaying checker numbers its database. Hints are a
+    /// performance contract, not a soundness one: a checker may verify
+    /// the step by the hinted walk alone (indexed lookup instead of
+    /// watch-driven propagation) and must fall back to full reverse
+    /// unit propagation — or reject — when a hint is absent or wrong,
+    /// so a bad hint can only ever cost acceptance, never soundness.
+    DerivedHinted(Vec<Lit>, Vec<u32>),
     /// A clause removed from the database (`simplify`, `purge_vars`,
     /// `reduce_db` sweeps).
     Delete(Vec<Lit>),
@@ -46,7 +58,10 @@ impl ProofStep {
     /// The step's literals, regardless of kind.
     pub fn lits(&self) -> &[Lit] {
         match self {
-            ProofStep::Input(l) | ProofStep::Derived(l) | ProofStep::Delete(l) => l,
+            ProofStep::Input(l)
+            | ProofStep::Derived(l)
+            | ProofStep::DerivedHinted(l, _)
+            | ProofStep::Delete(l) => l,
         }
     }
 }

@@ -1,5 +1,6 @@
 //! The CDCL solver proper.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -32,14 +33,22 @@ struct Clause {
     learnt: bool,
     lbd: u32,
     deleted: bool,
-    /// Whether the proof log knows about this clause. Variable
-    /// elimination adds most resolvents *without* logging them (see
-    /// `inprocess.rs`: their parents stay live in the checker and
-    /// simulate them under unit propagation); deletions of such clauses
-    /// must not be logged either, or the checker would reject the
-    /// `Delete` of a clause it never saw.
-    in_proof: bool,
+    /// The clause's id in the proof checker's database — the 0-based
+    /// count of added proof steps at the moment this clause's current
+    /// literal content was logged — or [`NO_PROOF_ID`] when the log
+    /// never saw it. Variable elimination adds most resolvents
+    /// *without* logging them (see `inprocess.rs`: their parents stay
+    /// live in the checker and simulate them under unit propagation);
+    /// deletions of such clauses must not be logged either, or the
+    /// checker would reject the `Delete` of a clause it never saw.
+    /// Logged clauses' ids are what LRAT-style antecedent hints are
+    /// made of (see [`crate::ProofStep::DerivedHinted`]).
+    proof_id: u32,
 }
+
+/// Sentinel for [`Clause::proof_id`]: the proof log never saw this
+/// clause (logging off, or an elided elimination resolvent).
+const NO_PROOF_ID: u32 = u32::MAX;
 
 /// The original clauses of one eliminated variable, snapshotted for
 /// model reconstruction and reintroduction — flattened into one literal
@@ -180,9 +189,43 @@ pub struct Solver {
     /// sessions use this to keep the search inside the cone of the
     /// current goal, skipping retired goals' dead gate variables.
     decision_scope: Option<Vec<bool>>,
+    /// When set, bounded variable elimination is restricted to variables
+    /// whose entry is `true` (variables past the end are not
+    /// eliminable), *replacing* the decision-scope auto-freeze.
+    /// Incremental sessions compute this mask from their retirement
+    /// plan: a variable is eliminable once no future goal's encoding
+    /// can mention its literals (see `Session::solve_negated`).
+    eliminable: Option<Vec<bool>>,
     /// DRAT-style proof log; `None` = logging off (see
     /// [`Solver::set_proof_logging`]).
     proof: Option<Vec<ProofStep>>,
+    /// Count of *added* steps (`Input`/`Derived`) in the proof log since
+    /// logging began — the next added step's checker clause id. `Delete`
+    /// steps do not count. Not reset by `take_proof`: an incremental
+    /// session's checker replays every delta into one database, so ids
+    /// keep counting across goals.
+    proof_adds: u32,
+    /// Whether learnt-clause `Derived` steps carry LRAT-style antecedent
+    /// hints (see [`Solver::set_lrat_hints`]).
+    lrat: bool,
+    /// True while the current `analyze` call is collecting antecedents
+    /// (proof logging on + `lrat`).
+    collect_hints: bool,
+    /// Antecedents of the learnt clause currently being analyzed:
+    /// `(trail position of the implied literal, reason clause)` pairs,
+    /// sorted ascending before emission so the checker's hinted walk
+    /// makes each antecedent unit in turn.
+    hint_buf: Vec<(u32, CRef)>,
+    /// Trail position each variable was (last) assigned at; only read
+    /// for currently-assigned variables during hint collection.
+    trail_pos: Vec<u32>,
+    /// Hint expansions for *elided* elimination resolvents (clauses with
+    /// no proof id of their own): checker ids of the resolvent's live
+    /// parents, ordered `[P, N, P]` so the checker's skip-tolerant
+    /// hinted walk propagates whatever the resolvent would propagate
+    /// (see `Solver::elided_expansion`). Keyed by clause ref; remapped
+    /// on compaction, entries for deleted clauses dropped there.
+    elided_hints: HashMap<CRef, Vec<u32>>,
     stats: SolverStats,
     /// Whether inprocessing (subsumption + self-subsuming resolution)
     /// runs at solve start and restart boundaries.
@@ -280,7 +323,14 @@ impl Solver {
             var_decay: VAR_DECAY,
             default_phase: false,
             decision_scope: None,
+            eliminable: None,
             proof: None,
+            proof_adds: 0,
+            lrat: true,
+            collect_hints: false,
+            hint_buf: Vec::new(),
+            trail_pos: Vec::new(),
+            elided_hints: HashMap::new(),
             stats: SolverStats::default(),
             inprocess_on: true,
             inprocess_bve: true,
@@ -304,6 +354,7 @@ impl Solver {
         self.activity.push(0.0);
         self.phase.push(self.default_phase);
         self.seen.push(false);
+        self.trail_pos.push(0);
         self.frozen.push(false);
         self.elim.push(false);
         self.model_overlay.push(LBool::Undef);
@@ -404,6 +455,28 @@ impl Solver {
         self.frozen[v.index()] = true;
     }
 
+    /// Restricts bounded variable elimination to variables whose `mask`
+    /// entry is `true` (variables at or past `mask.len()` are not
+    /// eliminable); `None` removes the restriction. While a mask is
+    /// installed it *replaces* the decision-scope auto-freeze — the
+    /// caller is asserting it knows exactly which variables can never
+    /// be re-mentioned — so in-scope variables with a `true` entry
+    /// become eliminable. [`Solver::freeze_var`] pins and assumption
+    /// variables always win over the mask. Installing a mask re-opens
+    /// elimination (clears the saturation latch): the new mask may
+    /// permit variables the previous pass skipped.
+    ///
+    /// Eliminating a variable the embedder later re-mentions is safe —
+    /// `add_clause`/`solve_assuming` transparently reintroduce its
+    /// stored clauses first — but each such round trip is churn, so the
+    /// mask should only admit variables with no planned future use.
+    pub fn set_eliminable(&mut self, mask: Option<Vec<bool>>) {
+        self.eliminable = mask;
+        if self.eliminable.is_some() {
+            self.bve_saturated = false;
+        }
+    }
+
     /// Switches restarts from Luby (the default) to a geometric series
     /// growing by [`GEOMETRIC_FACTOR`] per restart.
     pub fn set_restart_geometric(&mut self, on: bool) {
@@ -436,6 +509,19 @@ impl Solver {
     /// Enabling clears any previous log.
     pub fn set_proof_logging(&mut self, on: bool) {
         self.proof = if on { Some(Vec::new()) } else { None };
+        self.proof_adds = 0;
+        // Stored expansions name checker ids of the old log.
+        self.elided_hints.clear();
+    }
+
+    /// Enables or disables LRAT-style antecedent hints on learnt-clause
+    /// proof steps (default: on; only effective while proof logging is
+    /// on). Hints let the checker verify each learnt clause by an
+    /// indexed walk over its antecedents instead of full watched-literal
+    /// unit propagation; they never change which certificates are
+    /// *accepted* by a fallback-checking verifier, only how fast.
+    pub fn set_lrat_hints(&mut self, on: bool) {
+        self.lrat = on;
     }
 
     /// Whether proof logging is on.
@@ -453,6 +539,9 @@ impl Solver {
     #[inline]
     fn log(&mut self, step: ProofStep) {
         if let Some(p) = &mut self.proof {
+            if !matches!(step, ProofStep::Delete(_)) {
+                self.proof_adds += 1;
+            }
             p.push(step);
         }
     }
@@ -460,9 +549,20 @@ impl Solver {
     /// Logs the deletion of clause `ci` (caller marks it deleted).
     /// No-op for clauses the proof log never saw (unlogged resolvents).
     fn log_delete(&mut self, ci: usize) {
-        if self.proof.is_some() && self.clauses[ci].in_proof {
+        if self.proof.is_some() && self.clauses[ci].proof_id != NO_PROOF_ID {
             let lits = self.lit_arena[self.clauses[ci].range()].to_vec();
             self.log(ProofStep::Delete(lits));
+        }
+    }
+
+    /// The checker clause id of the most recently logged added step
+    /// (`Input`/`Derived`); only meaningful right after such a `log`.
+    #[inline]
+    fn last_proof_id(&self) -> u32 {
+        if self.proof.is_some() {
+            self.proof_adds - 1
+        } else {
+            NO_PROOF_ID
         }
     }
 
@@ -509,7 +609,23 @@ impl Solver {
             }
         }
         if self.proof.is_some() && out != c {
-            self.log(ProofStep::Derived(out.clone()));
+            if out.is_empty() {
+                // The conclusion of a refutation stays a plain
+                // `Derived([])` — the checker accepts it from its
+                // contradiction flag, and downstream consumers match
+                // the unhinted form.
+                self.log(ProofStep::Derived(out.clone()));
+            } else {
+                // The one antecedent is the Input step just logged:
+                // after the checker negates `out`, the input's
+                // remaining literals are exactly the level-0-false
+                // ones it already holds persistently, so the clause is
+                // falsified outright and the hinted walk concludes in
+                // one indexed lookup (a full RUP pass re-derives the
+                // same thing if the hint ever misses).
+                let input_id = self.last_proof_id();
+                self.log(ProofStep::DerivedHinted(out.clone(), vec![input_id]));
+            }
         }
         match out.len() {
             0 => {
@@ -525,7 +641,12 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_new_clause(&out, false);
+                let cref = self.attach_new_clause(&out, false);
+                // The clause content in the database is `out` — the id
+                // of the step that introduced those exact literals
+                // (the strengthened `Derived` when one was logged,
+                // otherwise the `Input` itself).
+                self.clauses[cref as usize].proof_id = self.last_proof_id();
                 true
             }
         }
@@ -644,15 +765,54 @@ impl Solver {
                 }
             }
         }
-        // Purged variables are never referenced again (caller contract
-        // above), so reconstruction entries whose stored clauses mention
-        // one are dead weight; the eliminated variables themselves stay
-        // eliminated — a model may assign them freely.
-        self.elim_stack.retain(|(_, stored)| {
+        // An eliminated variable whose stored clauses mention garbage
+        // cannot be reconstructed once those clauses' variables lose
+        // their values — and with session-scoped elimination the
+        // variable may be a *base* gate that later countermodels still
+        // read (and that other reconstruction entries chain through).
+        // Reintroduce such variables (always sound; their garbage-
+        // mentioning parents come back and are deleted by the sweep
+        // below on the next purge — or already were by the sweep above,
+        // which is exactly the conservative deletion this function's
+        // contract licenses), rather than dropping the entry and
+        // leaving a permanently unreconstructable hole.
+        let stranded: Vec<Lit> = self
+            .elim_stack
+            .iter()
+            .filter(|(_, stored)| {
+                stored
+                    .all_lits()
+                    .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false))
+            })
+            .map(|&(v, _)| Lit::pos(v))
+            .collect();
+        if !stranded.is_empty() {
+            self.reintroduce_touched(&stranded);
+            // The returning parents may themselves mention garbage:
+            // delete those immediately (they are exactly the clauses
+            // the purge contract covers).
+            for ci in 0..self.clauses.len() {
+                if self.clauses[ci].deleted {
+                    continue;
+                }
+                let hit = self.lit_arena[self.clauses[ci].range()]
+                    .iter()
+                    .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false));
+                if hit {
+                    self.log_delete(ci);
+                    let c = &mut self.clauses[ci];
+                    c.deleted = true;
+                    if c.learnt {
+                        self.num_learnts -= 1;
+                    }
+                }
+            }
+        }
+        debug_assert!(self.elim_stack.iter().all(|(_, stored)| {
             !stored
                 .all_lits()
                 .any(|l| garbage.get(l.var().index()).copied().unwrap_or(false))
-        });
+        }));
         self.compact_deleted();
     }
 
@@ -691,6 +851,15 @@ impl Solver {
         }
         self.clauses.truncate(next);
         self.lit_arena.truncate(arena_next);
+        if !self.elided_hints.is_empty() {
+            self.elided_hints = std::mem::take(&mut self.elided_hints)
+                .into_iter()
+                .filter_map(|(c, exp)| {
+                    let nc = remap[c as usize];
+                    (nc != CRef::MAX).then_some((nc, exp))
+                })
+                .collect();
+        }
         for ws in &mut self.watches {
             ws.retain_mut(|w| {
                 let nc = remap[w.cref as usize];
@@ -862,7 +1031,12 @@ impl Solver {
                 }
                 let (learnt, back_level, lbd) = self.analyze(confl);
                 if self.proof.is_some() {
-                    self.log(ProofStep::Derived(learnt.clone()));
+                    match self.take_hints(confl) {
+                        Some(hints) => {
+                            self.log(ProofStep::DerivedHinted(learnt.clone(), hints))
+                        }
+                        None => self.log(ProofStep::Derived(learnt.clone())),
+                    }
                 }
                 self.backtrack(back_level);
                 if learnt.len() == 1 {
@@ -872,6 +1046,7 @@ impl Solver {
                     let first = learnt[0];
                     let cref = self.attach_new_clause(&learnt, true);
                     self.clauses[cref as usize].lbd = lbd;
+                    self.clauses[cref as usize].proof_id = self.last_proof_id();
                     self.unchecked_enqueue(first, Some(cref));
                 }
                 self.decay_activities();
@@ -1048,6 +1223,7 @@ impl Solver {
         self.level[v.index()] = self.decision_level();
         self.reason[v.index()] = from;
         self.phase[v.index()] = !l.is_neg();
+        self.trail_pos[v.index()] = self.trail.len() as u32;
         self.trail.push(l);
     }
 
@@ -1085,6 +1261,11 @@ impl Solver {
         let mut p: Option<Lit> = None;
         let mut idx = self.trail.len();
         let mut cref = confl;
+        // Collect the resolution antecedents (every reason clause this
+        // analysis consults) for the learnt clause's LRAT hint; see
+        // `take_hints`.
+        self.collect_hints = self.lrat && self.proof.is_some();
+        self.hint_buf.clear();
         loop {
             {
                 let start = if p.is_some() { 1 } else { 0 };
@@ -1121,6 +1302,9 @@ impl Solver {
             }
             cref = self.reason[lit.var().index()]
                 .expect("non-decision literal at conflict level must have a reason");
+            if self.collect_hints {
+                self.hint_buf.push((idx as u32, cref));
+            }
             p = Some(lit);
         }
         learnt[0] = !p.unwrap();
@@ -1178,6 +1362,47 @@ impl Solver {
         (learnt, back_level, lbd)
     }
 
+    /// Converts the antecedents collected by the last `analyze` call
+    /// into an LRAT hint: checker clause ids ordered so that, with the
+    /// learnt clause's negation asserted, each antecedent in turn is
+    /// unit (ascending trail position of its implied literal) and the
+    /// conflict clause — last — is falsified. An antecedent unknown to
+    /// the proof log (an elided elimination resolvent) is spliced into
+    /// its stored parent expansion, which simulates it under the
+    /// checker's skip-tolerant walk; returns `None` only when an elided
+    /// antecedent has no expansion either (the step is then logged
+    /// unhinted rather than with a hint the checker would only fall
+    /// back from).
+    fn take_hints(&mut self, confl: CRef) -> Option<Vec<u32>> {
+        if !self.collect_hints {
+            return None;
+        }
+        self.collect_hints = false;
+        let mut buf = std::mem::take(&mut self.hint_buf);
+        buf.sort_unstable_by_key(|&(pos, _)| pos);
+        let mut ids: Vec<u32> = Vec::with_capacity(buf.len() + 1);
+        let mut ok = true;
+        for &(_, cref) in buf.iter().chain(std::iter::once(&(u32::MAX, confl))) {
+            match self.clauses[cref as usize].proof_id {
+                NO_PROOF_ID => match self.elided_hints.get(&cref) {
+                    Some(exp) => ids.extend_from_slice(exp),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                },
+                pid => ids.push(pid),
+            }
+        }
+        buf.clear();
+        self.hint_buf = buf;
+        if ok {
+            Some(ids)
+        } else {
+            None
+        }
+    }
+
     /// Whether learnt-clause literal `l` is redundant: following reason
     /// chains, every path from `l` bottoms out in literals already in the
     /// clause (seen) or fixed at level 0. Iterative DFS over the
@@ -1191,10 +1416,17 @@ impl Solver {
     /// are rolled back.
     fn lit_redundant(&mut self, l: Lit, abstract_levels: u32, marked: &mut Vec<Var>) -> bool {
         let top = marked.len();
+        let hint_top = self.hint_buf.len();
         let mut stack: Vec<Lit> = vec![l];
         while let Some(p) = stack.pop() {
             let cref = self.reason[p.var().index()]
                 .expect("only literals with reasons are pushed");
+            if self.collect_hints {
+                // The dropped literal's implication chain is part of the
+                // learnt clause's derivation: the checker's hinted walk
+                // re-propagates it (recorded only if this call succeeds).
+                self.hint_buf.push((self.trail_pos[p.var().index()], cref));
+            }
             let range = self.clauses[cref as usize].range();
             let clause_lits = self.lit_arena[range].to_vec();
             for q in clause_lits {
@@ -1209,6 +1441,7 @@ impl Solver {
                         self.seen[u.index()] = false;
                     }
                     marked.truncate(top);
+                    self.hint_buf.truncate(hint_top);
                     return false;
                 }
                 self.seen[v.index()] = true;
@@ -1299,7 +1532,7 @@ impl Solver {
             learnt,
             lbd: 0,
             deleted: false,
-            in_proof: true,
+            proof_id: NO_PROOF_ID,
         });
         cref
     }

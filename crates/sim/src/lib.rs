@@ -31,7 +31,7 @@
 use serval_check::sim::{self, SimConfig, TraceEvent};
 use serval_engine::cache::{Cache, CachedVerdict};
 use serval_engine::pool::Pool;
-use serval_engine::{Engine, EngineCfg, Query};
+use serval_engine::{DischargeMode, Engine, EngineCfg, Query};
 use serval_smt::solver::{SolverConfig, VerifyResult};
 use serval_smt::{reset_ctx, SBool, BV};
 
@@ -285,7 +285,7 @@ fn engine_batch(cfg: &SimConfig) -> String {
         portfolio: false,
         disk_cache: None,
         split: true,
-        incremental: true,
+        mode: DischargeMode::Session,
         presolve: true,
         cert: true,
     });
@@ -352,7 +352,7 @@ fn portfolio_cancel(cfg: &SimConfig) -> String {
         portfolio: true,
         disk_cache: None,
         split: true,
-        incremental: true, // preempted by portfolio
+        mode: DischargeMode::Session, // preempted by portfolio
         presolve: true,
         cert: true,
     });
@@ -451,7 +451,7 @@ fn cert_demotion(cfg: &SimConfig) -> String {
         portfolio: false,
         disk_cache: None,
         split: false,
-        incremental: false, // fresh solver per query: the corrupt-proof path
+        mode: DischargeMode::Fresh, // fresh solver per query: the corrupt-proof path
         presolve: true,
         cert: true,
     });

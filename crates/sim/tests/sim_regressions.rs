@@ -104,10 +104,10 @@ fn skipped_truncation_still_rejects_bad_records() {
 /// Regression: a corrupted proof certificate (buggify pops the final
 /// proof step) must demote the verdict to Unknown with the rejection
 /// reason — never surface as an unchecked Proved, never flip to
-/// Refuted. Seed 9 corrupts two of four proofs.
+/// Refuted. Seed 19 corrupts two of four proofs.
 #[test]
 fn corrupted_proofs_demote_to_unknown() {
-    let r = run("cert_demotion", SimConfig::hostile(9));
+    let r = run("cert_demotion", SimConfig::hostile(19));
     assert!(
         r.fired("cert-corrupt-proof"),
         "pinned seed no longer corrupts a proof"
@@ -118,7 +118,8 @@ fn corrupted_proofs_demote_to_unknown() {
 /// Regression: dropping the portfolio's first definitive finisher
 /// ("portfolio-drop-winner") may cost a verdict, never flip one. Seed 2
 /// drops a winner and a later variant still recovers every verdict;
-/// seed 7 degrades one query to Unknown.
+/// seed 17 corrupts a proof (with hints also stripped) and degrades one
+/// query to Unknown.
 #[test]
 fn dropped_portfolio_winner_degrades_but_never_flips() {
     let recovered = run("portfolio_cancel", SimConfig::hostile(2));
@@ -128,9 +129,10 @@ fn dropped_portfolio_winner_degrades_but_never_flips() {
     );
     assert_eq!(recovered.summary, "verdicts=PPR variants=001");
 
-    let degraded = run("portfolio_cancel", SimConfig::hostile(7));
+    let degraded = run("portfolio_cancel", SimConfig::hostile(17));
     assert!(degraded.fired("cert-corrupt-proof"));
-    assert_eq!(degraded.summary, "verdicts=PUR variants=101");
+    assert!(degraded.fired("lrat-drop-hint"));
+    assert_eq!(degraded.summary, "verdicts=PUR variants=210");
 }
 
 /// Regression: buggified queue discipline (submit diverted to the
@@ -174,5 +176,35 @@ fn skipped_inprocessing_never_flips_a_verdict() {
         "pinned seed no longer skips inprocessing"
     );
     assert!(r.fired("session-skip-purge"));
+    assert_eq!(r.summary, "cold=PPRPP warm=PPRPP acct=4h/0m/5q/1t");
+}
+
+/// Regression: degraded session elimination ("session-eliminate-skip"
+/// turns plan-scoped BVE into subsumption-only maintenance) must never
+/// flip a verdict — eliminated clauses are retraction-safe rewrites of
+/// the plan's own cone, so skipping the whole pass only costs speed.
+/// Seed 5 skips elimination inside the cold run's live session.
+#[test]
+fn skipped_session_elimination_never_flips_a_verdict() {
+    let r = run("engine_batch", SimConfig::hostile(5));
+    assert!(
+        r.fired("session-eliminate-skip"),
+        "pinned seed no longer skips session elimination"
+    );
+    assert_eq!(r.summary, "cold=PPRPP warm=PPRPP acct=4h/0m/5q/1t");
+}
+
+/// Regression: stripping the LRAT hints off every proof step (as a
+/// solver version skew would) must leave all verdicts intact with zero
+/// certificate rejections — hints are a checker fast path, and the
+/// lenient checker falls back to full RUP on every de-hinted step. A
+/// demotion would surface as a `U` in the summary.
+#[test]
+fn dropped_lrat_hints_fall_back_without_losing_verdicts() {
+    let r = run("engine_batch", SimConfig::hostile(1));
+    assert!(
+        r.fired("lrat-drop-hint"),
+        "pinned seed no longer strips LRAT hints"
+    );
     assert_eq!(r.summary, "cold=PPRPP warm=PPRPP acct=4h/0m/5q/1t");
 }

@@ -184,6 +184,30 @@ impl Blaster {
         self.coupled.get(&t).map_or(&[], Vec::as_slice)
     }
 
+    /// Forgets a purged term's encoding: the memoized literals, the
+    /// variable range, and any division circuit the term owns are
+    /// dropped, so a later re-mention re-encodes the term with fresh
+    /// variables instead of handing out gate literals whose defining
+    /// clauses were purged (which would leave the goal unconstrained).
+    /// Ackermann application records and polarity gate buckets are
+    /// deliberately kept: re-emitting them only ever adds conservative
+    /// constraints over now-unconstrained variables.
+    pub fn forget_term(&mut self, t: TermId) {
+        self.bool_map.remove(&t);
+        self.bv_map.remove(&t);
+        self.var_range.remove(&t);
+        self.coupled.remove(&t);
+        let owned: Vec<(TermId, TermId)> = self
+            .divrem_owner
+            .iter()
+            .filter_map(|(&k, &o)| (o == t).then_some(k))
+            .collect();
+        for k in owned {
+            self.divrem.remove(&k);
+            self.divrem_owner.remove(&k);
+        }
+    }
+
     /// Marks the SAT variables allocated while encoding exactly `t`
     /// (children excluded). Returns whether anything was marked.
     pub fn mark_term_vars(&self, t: TermId, mask: &mut [bool]) -> bool {

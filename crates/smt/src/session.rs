@@ -122,6 +122,15 @@ struct Plan {
     last_use: HashMap<TermId, usize>,
     /// `expiry[i]` = terms whose last use is goal `i`.
     expiry: Vec<Vec<TermId>>,
+    /// `mention_until[t]` = index of the last goal whose *encoding*
+    /// re-mentions already-blasted term `t`'s literals: `t` is a direct
+    /// child of a term first blasted at that goal (or is that goal's
+    /// root, mentioned by the guard clause). After it, `t`'s variables
+    /// can never appear in a newly emitted clause through the memo, so
+    /// they become eliminable (see [`Session::solve_negated`]). Terms
+    /// never re-mentioned (base interior gates, dead cone interiors)
+    /// have no entry and are eliminable from the first goal on.
+    mention_until: HashMap<TermId, usize>,
 }
 
 impl Session {
@@ -134,13 +143,20 @@ impl Session {
         sat.set_default_phase(cfg.default_phase);
         sat.set_restart_geometric(cfg.restart_geometric);
         sat.set_rephase(cfg.rephase);
-        // Subsumption/strengthening only for sessions: variable
-        // elimination is off because goals arrive incrementally and every
-        // new clause over an eliminated variable would force its
-        // reintroduction — churn, not progress. The `inprocess-skip`
-        // buggify degrades inprocessing to a no-op; verdicts must not
-        // change (the sim sweep pins that).
-        sat.set_inprocess(cfg.inprocess && !sim::buggify("inprocess-skip"), false);
+        // Sessions run full inprocessing, but variable elimination is
+        // *plan-scoped*: an eliminability mask derived from the
+        // retirement plan admits only variables no future goal's
+        // encoding can mention (see `solve_negated`), so elimination
+        // shrinks the shared base and retired cones without churning
+        // through reintroduction. The `inprocess-skip` buggify degrades
+        // inprocessing to a no-op and `session-eliminate-skip` degrades
+        // it to subsumption-only (the pre-elimination behaviour);
+        // verdicts must not change either way (the sim sweep pins both).
+        sat.set_inprocess(
+            cfg.inprocess && !sim::buggify("inprocess-skip"),
+            cfg.session_bve && !sim::buggify("session-eliminate-skip"),
+        );
+        sat.set_lrat_hints(cfg.lrat);
         sat.set_interrupt(interrupt);
         let mut blaster = Blaster::new();
         blaster.set_polarity(cfg.polarity);
@@ -224,8 +240,9 @@ impl Session {
     ///
     /// The subsequent `solve_negated` calls must present exactly these
     /// goals in order; on the first mismatch the plan is discarded and
-    /// purging stops (already-purged terms must not be re-solved — they
-    /// are gone from the solver but not from the blaster's memo).
+    /// purging stops. Already-purged terms *may* be re-solved: purging
+    /// evicts them from the blaster's memo too, so a re-mention
+    /// re-encodes them with fresh variables.
     pub fn plan_goals(&mut self, neg_goals: &[SBool]) {
         assert!(self.plan.is_none() && self.goals == 0, "plan before solving");
         self.planned = Some(neg_goals.iter().map(|g| g.0).collect());
@@ -266,10 +283,47 @@ impl Session {
         for (&t, &i) in &last_use {
             expiry[i].push(t);
         }
+        // Mention analysis for plan-scoped variable elimination: replay
+        // the announced goal sequence against the blaster's memoization
+        // discipline. Blasting goal i encodes exactly the terms of its
+        // cone not yet encoded; the literals such a *new* term's gate
+        // clauses mention belong to the term itself and to its direct
+        // children — so an already-encoded term is re-mentioned at goal
+        // i iff it is a direct child of a new term (or goal i's root,
+        // which the guard clause mentions). Anything else — base
+        // interior gates, retired cone interiors — can only come back
+        // through Ackermann congruence or a polarity-bucket flush, both
+        // of which enter through `add_clause` and therefore transparently
+        // reintroduce any eliminated variable they touch.
+        let mut mention_until: HashMap<TermId, usize> = HashMap::new();
+        let mut encoded: HashSet<TermId> = self.base_visited.clone();
+        let mut walk: Vec<TermId> = Vec::new();
+        for (i, &r) in eff.iter().enumerate() {
+            // (A mention recorded at a term's own blast goal is
+            // equivalent to no entry: the eliminability mask is built
+            // after that goal's encoding, so `until == i` never keeps.)
+            if encoded.insert(r) {
+                walk.push(r);
+            } else {
+                mention_until.insert(r, i);
+            }
+            while let Some(t) = walk.pop() {
+                crate::with_ctx(|c| {
+                    for &ch in &c.term(t).children {
+                        if encoded.insert(ch) {
+                            walk.push(ch);
+                        } else {
+                            mention_until.insert(ch, i);
+                        }
+                    }
+                });
+            }
+        }
         self.plan = Some(Plan {
             roots,
             last_use,
             expiry,
+            mention_until,
         });
     }
 
@@ -321,6 +375,11 @@ impl Session {
                 plan.expiry[m].push(t);
             } else {
                 any |= self.blaster.mark_term_vars(t, &mut mask);
+                // Drop the blaster's memo entry along with the solver
+                // clauses: an off-plan re-mention of this term then
+                // re-encodes it with fresh variables instead of
+                // referencing purged gates (see `Blaster::forget_term`).
+                self.blaster.forget_term(t);
             }
         }
         if any {
@@ -374,7 +433,8 @@ impl Session {
             }
         }
         // An off-plan goal disables retirement for the rest of the
-        // session: purged terms must never be solved again.
+        // session; anything already purged re-encodes fresh on
+        // re-mention (the purge evicted the blaster memo too).
         if let Some(plan) = &self.plan {
             if plan.roots.get(self.goals as usize) != Some(&neg_goal.0) {
                 self.plan = None;
@@ -423,6 +483,34 @@ impl Session {
                 &mut mask,
             );
             self.sat.set_decision_scope(Some(mask));
+            // Plan-scoped eliminability: a variable becomes eliminable
+            // once no future goal's encoding can mention its literals
+            // (`mention_until` ≤ the goal just blasted). This admits the
+            // base cone's interior — the big win: those gate variables
+            // are eliminated once and stay eliminated for the whole
+            // session — while keeping the shared surface (terms future
+            // goals re-reference) intact. Frozen variables (activation
+            // literals) and assumptions stay pinned regardless of the
+            // mask. Without a plan the solver falls back to freezing
+            // the whole decision scope, which still lets retraction-
+            // retired cones be eliminated. Either way, a variable the
+            // mask wrongly admits (an Ackermann congruence partner, a
+            // late polarity-bucket flush) is transparently reintroduced
+            // by `add_clause` — a retraction-safe round trip, never an
+            // unsound verdict.
+            if self.cfg.inprocess && self.cfg.session_bve {
+                let i = (self.goals - 1) as usize;
+                let elig = self.plan.as_ref().map(|plan| {
+                    let mut keep = vec![false; self.sat.num_vars()];
+                    for (&t, &until) in &plan.mention_until {
+                        if until > i {
+                            self.blaster.mark_term_vars(t, &mut keep);
+                        }
+                    }
+                    keep.iter().map(|&k| !k).collect()
+                });
+                self.sat.set_eliminable(elig);
+            }
             // The budget is per *goal*: the solver's budget check is
             // against cumulative conflicts, so rebase it each time.
             self.sat
@@ -510,7 +598,9 @@ impl Session {
         if !self.sat.proof_logging() {
             return None;
         }
-        Some(SessionProof { steps: self.sat.take_proof(), act })
+        let mut steps = self.sat.take_proof();
+        crate::solver::buggify_drop_hints(&mut steps);
+        Some(SessionProof { steps, act })
     }
 
     /// Cumulative solver statistics for the whole session.

@@ -35,6 +35,26 @@ pub fn polarity_env_enabled() -> bool {
         .unwrap_or(true)
 }
 
+/// Whether `SERVAL_SESSION_INPROCESS` lets incremental sessions run
+/// plan-scoped bounded variable elimination (default: on). With it off,
+/// sessions restrict inprocessing to subsumption/strengthening, the
+/// pre-PR-10 behaviour.
+pub fn session_inprocess_env_enabled() -> bool {
+    std::env::var("SERVAL_SESSION_INPROCESS")
+        .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+        .unwrap_or(true)
+}
+
+/// Whether `SERVAL_LRAT` puts LRAT-style antecedent hints on proof
+/// steps (default: on). Hints only change how fast the certificate
+/// checker verifies derived clauses, never which certificates a
+/// fallback-checking verifier accepts.
+pub fn lrat_env_enabled() -> bool {
+    std::env::var("SERVAL_LRAT")
+        .map(|v| !matches!(v.trim(), "0" | "off" | "false"))
+        .unwrap_or(true)
+}
+
 /// Configuration for a solver call.
 #[derive(Clone, Copy, Debug)]
 pub struct SolverConfig {
@@ -59,6 +79,15 @@ pub struct SolverConfig {
     /// Plaisted–Greenbaum polarity-aware CNF (default: `SERVAL_POLARITY`,
     /// which is on unless set to `0`/`off`/`false`).
     pub polarity: bool,
+    /// Plan-scoped variable elimination inside incremental sessions
+    /// (default: `SERVAL_SESSION_INPROCESS`, on unless set to
+    /// `0`/`off`/`false`). Ignored by fresh per-query solves, which
+    /// always eliminate when `inprocess` is on.
+    pub session_bve: bool,
+    /// LRAT-style antecedent hints on logged proof steps (default:
+    /// `SERVAL_LRAT`, on unless set to `0`/`off`/`false`). Only
+    /// meaningful with proof logging on.
+    pub lrat: bool,
 }
 
 impl Default for SolverConfig {
@@ -72,6 +101,8 @@ impl Default for SolverConfig {
             rephase: Rephase::Off,
             inprocess: inprocess_env_enabled(),
             polarity: polarity_env_enabled(),
+            session_bve: session_inprocess_env_enabled(),
+            lrat: lrat_env_enabled(),
         }
     }
 }
@@ -261,6 +292,21 @@ pub fn check_full_proof(
     check_full_impl(cfg, assertions, interrupt, true)
 }
 
+/// Buggify: strip the LRAT hints off every hinted proof step, as a
+/// solver version skew or torn hint encoding would. Hints are a
+/// performance contract only — the checker must fall back to full RUP
+/// and accept the certificate with identical verdicts; the sim sweep
+/// pins that.
+pub(crate) fn buggify_drop_hints(steps: &mut [ProofStep]) {
+    if sim::buggify("lrat-drop-hint") {
+        for s in steps.iter_mut() {
+            if let ProofStep::DerivedHinted(lits, _) = s {
+                *s = ProofStep::Derived(std::mem::take(lits));
+            }
+        }
+    }
+}
+
 fn check_full_impl(
     cfg: SolverConfig,
     assertions: &[SBool],
@@ -281,6 +327,7 @@ fn check_full_impl(
     // rewrite, so every verdict must be identical with or without it —
     // the sim sweep pins that.
     sat.set_inprocess(cfg.inprocess && !sim::buggify("inprocess-skip"), true);
+    sat.set_lrat_hints(cfg.lrat);
     sat.set_interrupt(interrupt);
     let mut blaster = Blaster::new();
     blaster.set_polarity(cfg.polarity);
@@ -307,7 +354,11 @@ fn check_full_impl(
             CheckResult::Sat(Box::new(model))
         }
     };
-    let proof = (log_proof && matches!(result, CheckResult::Unsat)).then(|| sat.take_proof());
+    let proof = (log_proof && matches!(result, CheckResult::Unsat)).then(|| {
+        let mut steps = sat.take_proof();
+        buggify_drop_hints(&mut steps);
+        steps
+    });
     let s = sat.stats();
     stats.conflicts = s.conflicts;
     stats.decisions = s.decisions;

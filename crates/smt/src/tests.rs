@@ -731,6 +731,133 @@ proptest! {
     }
 }
 
+/// A deterministic purge → retract → re-mention stream with plan-scoped
+/// elimination forced on. The plan announces only the first two goals,
+/// so after goal 2 the session purges goal-local structure and may
+/// eliminate any variable the plan says is never mentioned again; the
+/// off-plan repeats and strengthened variants that follow re-mention
+/// exactly that retired structure, forcing the reintroduction path.
+/// Verdicts must match fresh solvers throughout.
+#[test]
+fn session_elimination_remention_after_purge_stays_sound() {
+    reset_ctx();
+    let x = BV::fresh(8, "x");
+    let y = BV::fresh(8, "y");
+    let assumptions = vec![x.ult(BV::lit(8, 50)), y.ult(BV::lit(8, 50))];
+    let planned = vec![
+        (x * y).ult(BV::lit(8, 0xff)).implies(x.ult(BV::lit(8, 60))), // proved
+        (x + y).ult(BV::lit(8, 100)),                                 // proved
+    ];
+    let cfg = SolverConfig { inprocess: true, session_bve: true, ..SolverConfig::default() };
+    let mut s = Session::new(cfg, None);
+    for &a in &assumptions {
+        s.assume(a);
+    }
+    let neg: Vec<SBool> = planned.iter().map(|&g| !g).collect();
+    s.plan_goals(&neg);
+    for &g in &planned {
+        assert!(matches!(s.solve_goal(g).result, CheckResult::Unsat));
+    }
+    // Off-plan re-mention: repeat goal 0 verbatim (its multiplier
+    // circuit retired with the plan), then a strengthened variant of
+    // goal 1 that is refutable, then goal 0 once more.
+    let out = s.solve_goal(planned[0]);
+    assert!(matches!(out.result, CheckResult::Unsat), "re-mentioned goal 0 must stay proved");
+    let strengthened = (x + y).ult(BV::lit(8, 40));
+    let out = s.solve_goal(strengthened);
+    let CheckResult::Sat(m) = out.result else {
+        panic!("strengthened goal must be refuted, got {:?}", out.result);
+    };
+    for &a in &assumptions {
+        assert!(m.eval_bool(a.0), "countermodel violates an assumption");
+    }
+    assert!(!m.eval_bool(strengthened.0), "countermodel does not refute the goal");
+    assert!(matches!(s.solve_goal(planned[0]).result, CheckResult::Unsat));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Retraction safety for plan-scoped elimination: a session stream
+    /// that purges retired goals and then *re-mentions* them — verbatim
+    /// repeats and strengthened conjunction variants arriving off-plan,
+    /// after the plan said their terms would never be mentioned again —
+    /// must match fresh solvers verdict for verdict. Elimination may
+    /// only rip out structure that `add_clause` reintroduction can
+    /// transparently restore.
+    #[test]
+    fn prop_session_elimination_matches_fresh_on_remention_streams(
+        asm_ops in prop::collection::vec(any::<u8>(), 1..8),
+        goal_ops in prop::collection::vec(prop::collection::vec(any::<u8>(), 1..12), 2..5),
+        bound in any::<u8>(),
+        flip in any::<u8>(),
+    ) {
+        reset_ctx();
+        let vars = [BV::fresh(8, "x"), BV::fresh(8, "y"), BV::fresh(8, "z")];
+        let t = build_term(&asm_ops, &vars);
+        let assumptions = vec![
+            t.ule(BV::lit(8, (bound as u128).max(1))),
+            vars[0].ult(BV::lit(8, 0xc0)),
+        ];
+        let planned: Vec<SBool> = goal_ops
+            .iter()
+            .enumerate()
+            .map(|(i, ops)| {
+                let lhs = build_term(ops, &vars);
+                let rhs = build_term(&[ops[0].wrapping_add(i as u8).wrapping_add(1)], &vars);
+                if (flip.wrapping_add(i as u8)) % 2 == 0 {
+                    lhs.eq_(rhs)
+                } else {
+                    lhs.ule(rhs)
+                }
+            })
+            .collect();
+        // The stream the session actually sees: the announced goals in
+        // order, then off-plan re-mentions of the first two — one
+        // verbatim retract/re-assert, one strengthened (conjoined with
+        // a fresh bound on a shared variable).
+        let strengthened = SBool(crate::build::and(
+            planned[1].0,
+            vars[1].ule(BV::lit(8, (bound as u128) | 1)).0,
+        ));
+        let mut stream: Vec<SBool> = planned.clone();
+        stream.push(planned[0]);
+        stream.push(strengthened);
+        stream.push(planned[1]);
+
+        let cfg = SolverConfig { inprocess: true, session_bve: true, ..SolverConfig::default() };
+        let mut session = Session::new(cfg, None);
+        for &a in &assumptions {
+            session.assume(a);
+        }
+        let neg: Vec<SBool> = planned.iter().map(|&g| !g).collect();
+        session.plan_goals(&neg);
+        for (i, &g) in stream.iter().enumerate() {
+            let out = session.solve_goal(g);
+            prop_assert_eq!(out.stats.session_goals, i as u64 + 1);
+            let fresh = fresh_check(&assumptions, g);
+            match (&out.result, &fresh.result) {
+                (CheckResult::Unsat, CheckResult::Unsat) => {}
+                (CheckResult::Sat(m), CheckResult::Sat(_)) => {
+                    for &a in &assumptions {
+                        prop_assert!(
+                            m.eval_bool(a.0),
+                            "goal {}: session model violates an assumption", i
+                        );
+                    }
+                    prop_assert!(
+                        !m.eval_bool(g.0),
+                        "goal {}: session model does not refute the goal", i
+                    );
+                }
+                (s, f) => {
+                    prop_assert!(false, "goal {}: session {:?} vs fresh {:?}", i, s, f);
+                }
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
